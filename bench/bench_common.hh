@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure bench binaries: dataset loading,
+ * engine preparation with Table-II-style tuned parameters, and the
+ * parameter-sharing rules the paper applies across databases.
+ */
+
+#ifndef ANN_BENCH_BENCH_COMMON_HH
+#define ANN_BENCH_BENCH_COMMON_HH
+
+#include <memory>
+#include <string>
+
+#include "common/env.hh"
+#include "core/experiments.hh"
+#include "distance/recall.hh"
+#include "core/tuner.hh"
+#include "engine/engine.hh"
+#include "workload/registry.hh"
+
+namespace ann::bench {
+
+/** An engine prepared on a dataset with its tuned search settings. */
+struct PreparedSetup
+{
+    std::unique_ptr<engine::VectorDbEngine> engine;
+    engine::SearchSettings settings;
+    /** recall@10 achieved by the tuned settings (Table II "acc"). */
+    double recall = 0.0;
+};
+
+/**
+ * Load a registered dataset, truncating the query set to
+ * $ANN_BENCH_QUERIES (default 500) to bound trace-building time.
+ * Ground truth rows are truncated consistently.
+ */
+inline workload::Dataset
+benchDataset(const std::string &name)
+{
+    workload::Dataset dataset = workload::loadOrGenerate(name);
+    const auto limit = static_cast<std::size_t>(
+        envInt("ANN_BENCH_QUERIES", 500));
+    if (limit > 0 && limit < dataset.num_queries) {
+        dataset.num_queries = limit;
+        dataset.queries.resize(limit * dataset.dim);
+        dataset.ground_truth.resize(limit);
+    }
+    return dataset;
+}
+
+/**
+ * Prepare @p setup on @p dataset with the paper's parameter-sharing
+ * rules (SS III-C):
+ *  - one efSearch is tuned per dataset and shared by every plain
+ *    HNSW engine. The paper tunes on Milvus; here the tuning runs on
+ *    the single-graph engine because at this reproduction's scale
+ *    Milvus's small segments would make efSearch *shrink* with
+ *    dataset growth (a scaling artifact the paper's 1M-row segments
+ *    do not have);
+ *  - LanceDB's HNSW-SQ is tuned separately (quantization hurts
+ *    accuracy; Table II's "efSearch (LanceDB)" column);
+ *  - LanceDB's IVF-PQ reuses the shared nprobe and reports the lower
+ *    achieved accuracy, as the paper does;
+ *  - DiskANN tunes search_list (minimum 10 already meets the
+ *    target in the paper).
+ */
+inline PreparedSetup
+prepareTuned(const std::string &setup, const workload::Dataset &dataset,
+             double target = 0.9)
+{
+    PreparedSetup out;
+    out.engine = core::prepareEngine(setup, dataset);
+
+    if (setup == "qdrant-hnsw" || setup == "weaviate-hnsw" ||
+        setup == "milvus-hnsw") {
+        // Shared efSearch, tuned once on the single-graph engine.
+        auto reference = core::prepareEngine("qdrant-hnsw", dataset);
+        const auto tuned =
+            core::tunedSettings(*reference, dataset, target);
+        out.settings = tuned.settings;
+        // Same graph algorithm and parameters -> same accuracy (the
+        // segmented engine's merged recall is at least as high).
+        out.recall = tuned.recall;
+        return out;
+    }
+    if (setup == "lancedb-ivfpq") {
+        auto milvus = core::prepareEngine("milvus-ivf", dataset);
+        const auto tuned = core::tunedSettings(*milvus, dataset, target);
+        out.settings = tuned.settings;
+        // Report the achieved (lower) recall, like Table II's
+        // parenthesized accuracy.
+        double acc = 0.0;
+        const std::size_t n =
+            std::min<std::size_t>(300, dataset.num_queries);
+        for (std::size_t q = 0; q < n; ++q) {
+            const auto result =
+                out.engine->search(dataset.query(q), out.settings);
+            acc += recallAtK(dataset.ground_truth[q], result.results,
+                             out.settings.k);
+        }
+        out.recall = acc / static_cast<double>(n);
+        return out;
+    }
+    const auto tuned = core::tunedSettings(*out.engine, dataset, target);
+    out.settings = tuned.settings;
+    out.recall = tuned.recall;
+    return out;
+}
+
+} // namespace ann::bench
+
+#endif // ANN_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Extension (paper SS VIII) — hybrid read/write workloads.
+ *
+ * The paper's future work: "NAND SSDs have read-write interference,
+ * meaning that the read throughput decreases and the latency
+ * increases with concurrent writes." This bench runs the
+ * Milvus-DiskANN search workload while FreshDiskANN-style ingest
+ * clients stream inserts (PQ encode + delta-graph insert on CPU,
+ * merge writes to the SSD), sweeping the number of ingest clients.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "core/bench_runner.hh"
+#include "core/report.hh"
+#include "engine/milvus_like.hh"
+
+int
+main()
+{
+    using namespace ann;
+    core::printBenchHeader(
+        "Extension (SS VIII): search under concurrent ingestion",
+        "expected: search P99 rises and QPS falls as ingest writes "
+        "share the SSD (NAND read-write interference)");
+
+    core::BenchRunner runner(core::paperTestbed());
+    const std::size_t search_clients = 32;
+    const std::size_t ingest_batch = 2000;
+
+    for (const auto &dataset_name : workload::largeDatasetNames()) {
+        const auto dataset = bench::benchDataset(dataset_name);
+        auto prepared = bench::prepareTuned("milvus-diskann", dataset);
+        auto *milvus = dynamic_cast<engine::MilvusLikeEngine *>(
+            prepared.engine.get());
+
+        const auto &workload_traces = runner.traces(
+            *prepared.engine, dataset, prepared.settings);
+
+        std::vector<engine::QueryTrace> ingest;
+        for (int i = 0; i < 16; ++i)
+            ingest.push_back(milvus->buildIngestTrace(ingest_batch));
+
+        TextTable table("read/write interference (" + dataset_name +
+                        "), " + std::to_string(search_clients) +
+                        " search clients");
+        table.setHeader({"ingest clients", "search QPS", "P99 (us)",
+                         "read MiB/s", "write MiB/s", "inserts/s"});
+
+        double baseline_qps = 0.0, baseline_p99 = 0.0;
+        for (const std::size_t writers : {0u, 1u, 2u, 4u, 8u, 16u}) {
+            core::ReplayConfig config = runner.baseConfig();
+            config.client_threads = search_clients;
+            const auto result = core::replayMixedWorkload(
+                workload_traces.traces, ingest, writers,
+                prepared.engine->profile(), config);
+            if (writers == 0) {
+                baseline_qps = result.qps;
+                baseline_p99 = result.p99_latency_us;
+            }
+            const double inserts_per_s =
+                static_cast<double>(result.ingest_completed) *
+                ingest_batch /
+                (static_cast<double>(config.duration_ns) / 1e9);
+            table.addRow({std::to_string(writers),
+                          formatDouble(result.qps, 0),
+                          formatDouble(result.p99_latency_us, 0),
+                          core::fmtMib(result.read_bw_mib),
+                          core::fmtMib(result.write_bw_mib),
+                          formatDouble(inserts_per_s, 0)});
+            if (writers == 16) {
+                std::cout << "  [" << dataset_name
+                          << "] 16 ingest clients cost "
+                          << formatDouble(
+                                 (1.0 - result.qps / baseline_qps) *
+                                     100.0,
+                                 1)
+                          << "% search QPS and raise P99 by "
+                          << formatDouble(
+                                 (result.p99_latency_us /
+                                      baseline_p99 -
+                                  1.0) *
+                                     100.0,
+                                 1)
+                          << "%\n";
+            }
+        }
+        table.print(std::cout);
+        table.writeCsv(core::resultsDir() + "/ext_readwrite_" +
+                       dataset_name + ".csv");
+    }
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 10 — total read bandwidth of Milvus-DiskANN as search_list
+ * grows, at 1 and 256 threads (O-20/O-21: ~3x at 1T, ~2x at 256T,
+ * SSD still unsaturated).
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "core/bench_runner.hh"
+#include "core/report.hh"
+
+int
+main()
+{
+    using namespace ann;
+    core::printBenchHeader(
+        "Figure 10: DiskANN total read bandwidth vs search_list",
+        "paper: x3.0-3.3 at 1T, x2.0-2.4 at 256T from 10->100; max "
+        "1620 MiB/s -- never saturating the SSD");
+
+    core::BenchRunner runner(core::paperTestbed());
+    const auto sweep = core::searchListSweep();
+
+    std::map<std::size_t,
+             std::map<std::string, std::map<std::size_t, double>>>
+        bw; // [threads][dataset][search_list]
+
+    for (const std::size_t threads : {1u, 256u}) {
+        TextTable table("Fig. 10: read bandwidth (MiB/s) at " +
+                        std::to_string(threads) + " thread(s)");
+        std::vector<std::string> header{"dataset"};
+        for (auto sl : sweep)
+            header.push_back("L=" + std::to_string(sl));
+        table.setHeader(header);
+
+        for (const auto &dataset_name : workload::paperDatasetNames()) {
+            const auto dataset = bench::benchDataset(dataset_name);
+            auto prepared =
+                bench::prepareTuned("milvus-diskann", dataset);
+            std::vector<std::string> row{dataset_name};
+            for (auto sl : sweep) {
+                auto settings = prepared.settings;
+                settings.search_list = sl;
+                const auto m = runner.measure(*prepared.engine, dataset,
+                                              settings, threads);
+                row.push_back(core::fmtMib(m.replay.read_bw_mib));
+                bw[threads][dataset_name][sl] = m.replay.read_bw_mib;
+            }
+            table.addRow(std::move(row));
+        }
+        table.print(std::cout);
+        table.writeCsv(core::resultsDir() + "/fig10_" +
+                       std::to_string(threads) + "t.csv");
+    }
+
+    std::cout << "\nshape checks:\n";
+    double max_bw = 0.0;
+    for (auto &[t, by_ds] : bw)
+        for (auto &[ds, by_sl] : by_ds)
+            for (auto &[sl, v] : by_sl)
+                max_bw = std::max(max_bw, v);
+    for (const auto &ds : workload::paperDatasetNames()) {
+        std::cout << "  [" << ds << "] O-20 bandwidth 10->100: x"
+                  << formatDouble(bw[1][ds][100] / bw[1][ds][10], 2)
+                  << " at 1T (paper: 3.0-3.3x), x"
+                  << formatDouble(bw[256][ds][100] / bw[256][ds][10], 2)
+                  << " at 256T (paper: 2.0-2.4x)\n";
+    }
+    std::cout << "  O-21 max bandwidth " << core::fmtMib(max_bw)
+              << " MiB/s = "
+              << formatDouble(max_bw / (7.2 * 1024.0) * 100.0, 1)
+              << "% of the SSD (paper: 1620 MiB/s, 22%)\n";
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 11 — per-query average read traffic of Milvus-DiskANN as
+ * search_list grows, at 1 and 256 threads (O-20: x5.1-6.3 at 1T,
+ * x4.9-5.4 at 256T from 10->100).
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "core/bench_runner.hh"
+#include "core/report.hh"
+
+int
+main()
+{
+    using namespace ann;
+    core::printBenchHeader(
+        "Figure 11: DiskANN per-query read traffic vs search_list",
+        "paper: x5.1-6.3 at 1T and x4.9-5.4 at 256T from 10->100");
+
+    core::BenchRunner runner(core::paperTestbed());
+    const auto sweep = core::searchListSweep();
+
+    std::map<std::size_t,
+             std::map<std::string, std::map<std::size_t, double>>>
+        mib; // [threads][dataset][search_list]
+
+    for (const std::size_t threads : {1u, 256u}) {
+        TextTable table("Fig. 11: read MiB per query at " +
+                        std::to_string(threads) + " thread(s)");
+        std::vector<std::string> header{"dataset"};
+        for (auto sl : sweep)
+            header.push_back("L=" + std::to_string(sl));
+        table.setHeader(header);
+
+        for (const auto &dataset_name : workload::paperDatasetNames()) {
+            const auto dataset = bench::benchDataset(dataset_name);
+            auto prepared =
+                bench::prepareTuned("milvus-diskann", dataset);
+            std::vector<std::string> row{dataset_name};
+            for (auto sl : sweep) {
+                auto settings = prepared.settings;
+                settings.search_list = sl;
+                const auto m = runner.measure(*prepared.engine, dataset,
+                                              settings, threads);
+                const double per_query =
+                    static_cast<double>(m.replay.read_bytes) /
+                    (1024.0 * 1024.0) /
+                    static_cast<double>(std::max<std::uint64_t>(
+                        1, m.replay.completed));
+                row.push_back(formatDouble(per_query, 3));
+                mib[threads][dataset_name][sl] = per_query;
+            }
+            table.addRow(std::move(row));
+        }
+        table.print(std::cout);
+        table.writeCsv(core::resultsDir() + "/fig11_" +
+                       std::to_string(threads) + "t.csv");
+    }
+
+    std::cout << "\nshape checks:\n";
+    for (const auto &ds : workload::paperDatasetNames()) {
+        std::cout << "  [" << ds << "] per-query traffic 10->100: x"
+                  << formatDouble(mib[1][ds][100] / mib[1][ds][10], 2)
+                  << " at 1T (paper: 5.1-6.3x), x"
+                  << formatDouble(mib[256][ds][100] / mib[256][ds][10],
+                                  2)
+                  << " at 256T (paper: 4.9-5.4x)\n";
+    }
+    return 0;
+}

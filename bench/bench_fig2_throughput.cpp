@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Figure 2 — vector search throughput (QPS) vs client threads
+ * (1..256) for all seven setups on the four datasets, plus the
+ * paper's headline shape checks (O-1..O-6, KF-1).
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "core/bench_runner.hh"
+#include "core/report.hh"
+
+int
+main()
+{
+    using namespace ann;
+    core::printBenchHeader(
+        "Figure 2: throughput scalability vs query threads",
+        "storage-based setups marked with *; LanceDB-HNSW OOMs above "
+        "128 threads; LanceDB-IVF excluded from analysis (<100 QPS)");
+
+    core::BenchRunner runner(core::paperTestbed());
+    const auto threads = core::threadSweep();
+
+    // qps[dataset][setup][thread index]
+    std::map<std::string, std::map<std::string, std::vector<double>>>
+        qps;
+
+    for (const auto &dataset_name : workload::paperDatasetNames()) {
+        const auto dataset = bench::benchDataset(dataset_name);
+        TextTable table("Fig. 2 (" + dataset_name + "): QPS");
+        std::vector<std::string> header{"setup"};
+        for (auto t : threads)
+            header.push_back(std::to_string(t) + "T");
+        table.setHeader(header);
+
+        for (const auto &setup : core::allSetups()) {
+            auto prepared = bench::prepareTuned(setup, dataset);
+            std::vector<std::string> row{
+                prepared.engine->profile().storage_based ? setup + " *"
+                                                         : setup};
+            for (auto t : threads) {
+                const auto m = runner.measure(*prepared.engine, dataset,
+                                              prepared.settings, t);
+                row.push_back(core::fmtQps(m.replay));
+                qps[dataset_name][setup].push_back(
+                    m.replay.oom ? 0.0 : m.replay.qps);
+            }
+            table.addRow(std::move(row));
+        }
+        table.print(std::cout);
+        table.writeCsv(core::resultsDir() + "/fig2_" + dataset_name +
+                       ".csv");
+    }
+
+    // Shape checks against the paper's observations.
+    std::cout << "\nshape checks (paper expectation -> measured):\n";
+    auto at256 = [&](const std::string &ds, const std::string &setup) {
+        return qps[ds][setup].back();
+    };
+    auto at = [&](const std::string &ds, const std::string &setup,
+                  std::size_t idx) { return qps[ds][setup][idx]; };
+
+    for (const auto &ds : workload::paperDatasetNames()) {
+        const double hnsw = at256(ds, "milvus-hnsw");
+        const double dann = at256(ds, "milvus-diskann");
+        const double ivf = at256(ds, "milvus-ivf");
+        std::cout << "  [" << ds << "] O-1/KF-1 milvus order "
+                  << "HNSW > DiskANN > IVF (paper: DiskANN 1.2-3.2x "
+                     "IVF): "
+                  << formatDouble(hnsw, 0) << " / "
+                  << formatDouble(dann, 0) << " / "
+                  << formatDouble(ivf, 0)
+                  << "  (DiskANN/IVF = " << formatDouble(dann / ivf, 2)
+                  << "x)\n";
+    }
+    {
+        // O-4: superlinear 1 -> 16 threads on the small datasets.
+        for (const auto &ds : workload::smallDatasetNames()) {
+            for (const auto &setup :
+                 {"milvus-hnsw", "qdrant-hnsw", "weaviate-hnsw"}) {
+                const double ratio = at(ds, setup, 4) / at(ds, setup, 0);
+                std::cout << "  [" << ds << "] O-4 " << setup
+                          << " 16T/1T (paper: 15.8-41x): "
+                          << formatDouble(ratio, 1) << "x\n";
+            }
+        }
+    }
+    {
+        // O-6: Milvus loses the most when datasets grow 10x;
+        // Weaviate stays ~flat.
+        for (const auto &small : workload::smallDatasetNames()) {
+            const auto large = workload::scaledPartner(small);
+            const double milvus =
+                at256(large, "milvus-hnsw") / at256(small, "milvus-hnsw");
+            const double weaviate = at256(large, "weaviate-hnsw") /
+                                    at256(small, "weaviate-hnsw");
+            const double qdrant = at256(large, "qdrant-hnsw") /
+                                  at256(small, "qdrant-hnsw");
+            std::cout << "  [" << small << " -> " << large
+                      << "] O-6 10x-dataset throughput retention "
+                      << "milvus/qdrant/weaviate (paper: ~0.1 / "
+                         "0.3-0.59 / ~1.0): "
+                      << formatDouble(milvus, 2) << " / "
+                      << formatDouble(qdrant, 2) << " / "
+                      << formatDouble(weaviate, 2) << "\n";
+        }
+    }
+    return 0;
+}

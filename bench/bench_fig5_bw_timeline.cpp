@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Figure 5 — read-bandwidth timeline of Milvus-DiskANN during search
+ * at concurrency 1, 4 (the throughput plateau), and 256, per dataset.
+ * Includes O-10 (max bandwidth far below the SSD's 7.2 GiB/s),
+ * O-11 (dataset-scaling of 1-thread bandwidth), and O-12
+ * (concurrency scaling small vs large datasets).
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "core/bench_runner.hh"
+#include "core/report.hh"
+#include "storage/trace_analysis.hh"
+
+int
+main()
+{
+    using namespace ann;
+    core::printBenchHeader(
+        "Figure 5: Milvus-DiskANN read bandwidth during search",
+        "paper: stable bandwidth; max 658.8 MiB/s = 8.9% of the SSD "
+        "(O-10)");
+
+    core::BenchRunner runner(core::paperTestbed());
+    const std::vector<std::size_t> concurrencies{1, 4, 256};
+    const SimTime duration = runner.baseConfig().duration_ns;
+    const SimTime bucket = duration / 10;
+
+    // mean bandwidth [dataset][concurrency]
+    std::map<std::string, std::map<std::size_t, double>> mean_bw;
+
+    for (const auto &dataset_name : workload::paperDatasetNames()) {
+        const auto dataset = bench::benchDataset(dataset_name);
+        auto prepared = bench::prepareTuned("milvus-diskann", dataset);
+
+        TextTable table("Fig. 5 (" + dataset_name +
+                        "): read bandwidth timeline (MiB/s per "
+                        "interval)");
+        std::vector<std::string> header{"threads"};
+        for (std::size_t b = 0; b < 10; ++b)
+            header.push_back(
+                "t" + formatDouble(static_cast<double>(bucket) *
+                                       static_cast<double>(b) / 1e9,
+                                   1));
+        header.push_back("mean");
+        table.setHeader(header);
+
+        for (const auto conc : concurrencies) {
+            const auto m = runner.measure(*prepared.engine, dataset,
+                                          prepared.settings, conc, true);
+            const auto timeline = storage::readBandwidthTimeline(
+                m.replay.trace, duration, bucket);
+            std::vector<std::string> row{std::to_string(conc)};
+            for (const double v : timeline)
+                row.push_back(core::fmtMib(v));
+            const double mean = storage::meanReadBandwidthMib(
+                m.replay.trace, duration);
+            row.push_back(core::fmtMib(mean));
+            mean_bw[dataset_name][conc] = mean;
+            table.addRow(std::move(row));
+        }
+        table.print(std::cout);
+        table.writeCsv(core::resultsDir() + "/fig5_" + dataset_name +
+                       ".csv");
+    }
+
+    std::cout << "\nshape checks (paper expectation -> measured):\n";
+    double max_bw = 0.0;
+    for (auto &[ds, by_conc] : mean_bw)
+        for (auto &[conc, bw] : by_conc)
+            max_bw = std::max(max_bw, bw);
+    std::cout << "  O-10 max bandwidth " << core::fmtMib(max_bw)
+              << " MiB/s = "
+              << formatDouble(max_bw / (7.2 * 1024.0) * 100.0, 1)
+              << "% of the 7.2 GiB/s SSD (paper: 8.9%)\n";
+    for (const auto &small : workload::smallDatasetNames()) {
+        const auto large = workload::scaledPartner(small);
+        std::cout << "  O-11 1T bandwidth x"
+                  << formatDouble(mean_bw[large][1] / mean_bw[small][1],
+                                  1)
+                  << " when dataset x10 (paper: 16.7-17.4x); at 256T x"
+                  << formatDouble(
+                         mean_bw[large][256] / mean_bw[small][256], 2)
+                  << " (paper: 1.07-1.37x)\n";
+        std::cout << "  O-12 1->256T bandwidth x"
+                  << formatDouble(mean_bw[small][256] / mean_bw[small][1],
+                                  1)
+                  << " on " << small << " (paper: 22.8-28.8x), x"
+                  << formatDouble(mean_bw[large][256] / mean_bw[large][1],
+                                  1)
+                  << " on " << large << " (paper: 1.8-1.9x)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 6 + O-15 — per-query average read traffic of Milvus-DiskANN
+ * at concurrency 1 vs 256 on the four datasets, and the request-size
+ * distribution showing >99.99% 4 KiB reads.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "core/bench_runner.hh"
+#include "core/report.hh"
+#include "storage/trace_analysis.hh"
+
+int
+main()
+{
+    using namespace ann;
+    core::printBenchHeader(
+        "Figure 6: per-query average read traffic of Milvus-DiskANN",
+        "paper: per-query traffic x8.4-10.1 when dataset x10 (O-14); "
+        ">99.99% of requests are 4 KiB (O-15)");
+
+    core::BenchRunner runner(core::paperTestbed());
+
+    TextTable table("Fig. 6: read MiB per query");
+    table.setHeader({"dataset", "1 thread", "256 threads",
+                     "4KiB read fraction"});
+
+    std::map<std::string, double> per_query_1t;
+    for (const auto &dataset_name : workload::paperDatasetNames()) {
+        const auto dataset = bench::benchDataset(dataset_name);
+        auto prepared = bench::prepareTuned("milvus-diskann", dataset);
+
+        const auto m1 = runner.measure(*prepared.engine, dataset,
+                                       prepared.settings, 1, true);
+        const auto m256 = runner.measure(*prepared.engine, dataset,
+                                         prepared.settings, 256, true);
+        const double q1 =
+            static_cast<double>(m1.replay.read_bytes) /
+            (1024.0 * 1024.0) /
+            static_cast<double>(std::max<std::uint64_t>(
+                1, m1.replay.completed));
+        const double q256 =
+            static_cast<double>(m256.replay.read_bytes) /
+            (1024.0 * 1024.0) /
+            static_cast<double>(std::max<std::uint64_t>(
+                1, m256.replay.completed));
+        per_query_1t[dataset_name] = q1;
+
+        const auto summary = storage::summarizeTrace(m256.replay.trace);
+        table.addRow({dataset_name, formatDouble(q1, 3),
+                      formatDouble(q256, 3),
+                      formatDouble(summary.fraction_4k_reads * 100.0,
+                                   3) +
+                          "%"});
+    }
+    table.print(std::cout);
+    table.writeCsv(core::resultsDir() + "/fig6_per_query_bw.csv");
+
+    std::cout << "\nshape checks (paper expectation -> measured):\n";
+    for (const auto &small : workload::smallDatasetNames()) {
+        const auto large = workload::scaledPartner(small);
+        std::cout << "  O-14 per-query traffic x"
+                  << formatDouble(per_query_1t[large] /
+                                      per_query_1t[small],
+                                  1)
+                  << " when " << small << " -> " << large
+                  << " (paper: 8.4x / 10.1x)\n";
+    }
+    std::cout << "  O-15: the 4 KiB fraction above should read "
+                 ">99.99% on every dataset\n";
+    return 0;
+}

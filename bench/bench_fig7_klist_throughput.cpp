@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 7 — Milvus-DiskANN search throughput as search_list grows
+ * from 10 to 100, at 1 and 256 client threads (O-17, O-18).
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "core/bench_runner.hh"
+#include "core/report.hh"
+
+int
+main()
+{
+    using namespace ann;
+    core::printBenchHeader(
+        "Figure 7: DiskANN throughput vs search_list",
+        "paper: 10->100 costs 36.3-43.8% QPS at 1T and 51.2-60.9% at "
+        "256T");
+
+    core::BenchRunner runner(core::paperTestbed());
+    const auto sweep = core::searchListSweep();
+
+    std::map<std::string, std::map<std::size_t, double>> qps1, qps256;
+    for (const std::size_t threads : {1u, 256u}) {
+        TextTable table("Fig. 7: QPS at " + std::to_string(threads) +
+                        " thread(s)");
+        std::vector<std::string> header{"dataset"};
+        for (auto sl : sweep)
+            header.push_back("L=" + std::to_string(sl));
+        table.setHeader(header);
+
+        for (const auto &dataset_name : workload::paperDatasetNames()) {
+            const auto dataset = bench::benchDataset(dataset_name);
+            auto prepared =
+                bench::prepareTuned("milvus-diskann", dataset);
+            std::vector<std::string> row{dataset_name};
+            for (auto sl : sweep) {
+                auto settings = prepared.settings;
+                settings.search_list = sl;
+                const auto m = runner.measure(*prepared.engine, dataset,
+                                              settings, threads);
+                row.push_back(core::fmtQps(m.replay));
+                (threads == 1 ? qps1 : qps256)[dataset_name][sl] =
+                    m.replay.qps;
+            }
+            table.addRow(std::move(row));
+        }
+        table.print(std::cout);
+        table.writeCsv(core::resultsDir() + "/fig7_" +
+                       std::to_string(threads) + "t.csv");
+    }
+
+    std::cout << "\nshape checks (paper expectation -> measured):\n";
+    for (const auto &ds : workload::paperDatasetNames()) {
+        const double drop1 = 1.0 - qps1[ds][100] / qps1[ds][10];
+        const double drop256 = 1.0 - qps256[ds][100] / qps256[ds][10];
+        std::cout << "  [" << ds << "] O-17 1T QPS drop 10->100: "
+                  << formatDouble(drop1 * 100.0, 1)
+                  << "% (paper: 36.3-43.8%); O-18 256T drop: "
+                  << formatDouble(drop256 * 100.0, 1)
+                  << "% (paper: 51.2-60.9%)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 8 — Milvus-DiskANN P99 latency (one client thread) as
+ * search_list grows from 10 to 100 (O-19).
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "core/bench_runner.hh"
+#include "core/report.hh"
+
+int
+main()
+{
+    using namespace ann;
+    core::printBenchHeader(
+        "Figure 8: DiskANN P99 latency vs search_list (1 thread)",
+        "paper: 10->100 raises P99 by 59.7% / 102.5% / 76.2% / 77.0%");
+
+    core::BenchRunner runner(core::paperTestbed());
+    const auto sweep = core::searchListSweep();
+
+    TextTable table("Fig. 8: P99 latency (us), 1 thread");
+    std::vector<std::string> header{"dataset"};
+    for (auto sl : sweep)
+        header.push_back("L=" + std::to_string(sl));
+    table.setHeader(header);
+
+    std::map<std::string, std::map<std::size_t, double>> p99;
+    for (const auto &dataset_name : workload::paperDatasetNames()) {
+        const auto dataset = bench::benchDataset(dataset_name);
+        auto prepared = bench::prepareTuned("milvus-diskann", dataset);
+        std::vector<std::string> row{dataset_name};
+        for (auto sl : sweep) {
+            auto settings = prepared.settings;
+            settings.search_list = sl;
+            const auto m = runner.measure(*prepared.engine, dataset,
+                                          settings, 1);
+            row.push_back(core::fmtP99(m.replay));
+            p99[dataset_name][sl] = m.replay.p99_latency_us;
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    table.writeCsv(core::resultsDir() + "/fig8_klist_latency.csv");
+
+    std::cout << "\nshape checks:\n";
+    for (const auto &ds : workload::paperDatasetNames()) {
+        std::cout << "  [" << ds << "] O-19 P99 increase 10->100: "
+                  << formatDouble(
+                         (p99[ds][100] / p99[ds][10] - 1.0) * 100.0, 1)
+                  << "% (paper: 59.7-102.5%)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Kernel microbenchmarks (google-benchmark) — measures the real C++
+ * kernels whose costs the engine CostModel charges, plus ablations of
+ * the design choices DESIGN.md calls out: PQ ADC vs full-precision
+ * distances, beam batching granularity, page-cache hit path, and the
+ * event-queue rate that bounds replay speed.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cluster/kmeans.hh"
+#include "common/rng.hh"
+#include "distance/distance.hh"
+#include "distance/topk.hh"
+#include "quant/product_quantizer.hh"
+#include "quant/scalar_quantizer.hh"
+#include "sim/simulator.hh"
+#include "storage/page_cache.hh"
+
+namespace {
+
+using namespace ann;
+
+std::vector<float>
+randomVectors(std::size_t rows, std::size_t dim, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> data(rows * dim);
+    for (auto &x : data)
+        x = rng.nextFloat(-1.0f, 1.0f);
+    return data;
+}
+
+void
+BM_L2Distance(benchmark::State &state)
+{
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    const auto data = randomVectors(2, dim, 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            l2DistanceSq(data.data(), data.data() + dim, dim));
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations()));
+}
+// The paper's embedding dims (768/1536) and the scaled ones (128/256).
+BENCHMARK(BM_L2Distance)->Arg(128)->Arg(256)->Arg(768)->Arg(1536);
+
+void
+BM_DotProduct(benchmark::State &state)
+{
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    const auto data = randomVectors(2, dim, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            dotProduct(data.data(), data.data() + dim, dim));
+}
+BENCHMARK(BM_DotProduct)->Arg(128)->Arg(768)->Arg(1536);
+
+void
+BM_PqAdcDistance(benchmark::State &state)
+{
+    const auto m = static_cast<std::size_t>(state.range(0));
+    const std::size_t dim = m * 2;
+    const auto data = randomVectors(600, dim, 3);
+    ProductQuantizer pq;
+    PqParams params;
+    params.m = m;
+    params.ksub = 256;
+    pq.train({data.data(), 600, dim}, params);
+    std::vector<std::uint8_t> codes(pq.codeSize());
+    pq.encode(data.data(), codes.data());
+    const AdcTable table = pq.computeAdcTable(data.data() + dim);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pq.adcDistance(table, codes.data()));
+}
+// Ablation: ADC lookups vs BM_L2Distance at the same dimensionality.
+BENCHMARK(BM_PqAdcDistance)->Arg(64)->Arg(128);
+
+void
+BM_PqAdcTableBuild(benchmark::State &state)
+{
+    const auto m = static_cast<std::size_t>(state.range(0));
+    const std::size_t dim = m * 2;
+    const auto data = randomVectors(600, dim, 4);
+    ProductQuantizer pq;
+    PqParams params;
+    params.m = m;
+    params.ksub = 256;
+    pq.train({data.data(), 600, dim}, params);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pq.computeAdcTable(data.data()));
+}
+BENCHMARK(BM_PqAdcTableBuild)->Arg(64)->Arg(128);
+
+void
+BM_SqAsymmetricL2(benchmark::State &state)
+{
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    const auto data = randomVectors(64, dim, 5);
+    ScalarQuantizer sq;
+    sq.train({data.data(), 64, dim});
+    std::vector<std::uint8_t> codes(sq.codeSize());
+    sq.encode(data.data(), codes.data());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            sq.asymmetricL2(data.data() + dim, codes.data()));
+}
+BENCHMARK(BM_SqAsymmetricL2)->Arg(128)->Arg(1536);
+
+void
+BM_TopKPush(benchmark::State &state)
+{
+    Rng rng(6);
+    std::vector<float> dists(4096);
+    for (auto &d : dists)
+        d = rng.nextFloat(0.0f, 1.0f);
+    std::size_t i = 0;
+    TopK top(10);
+    for (auto _ : state) {
+        top.push(static_cast<VectorId>(i), dists[i & 4095]);
+        ++i;
+    }
+}
+BENCHMARK(BM_TopKPush);
+
+void
+BM_KMeansFit(benchmark::State &state)
+{
+    const auto data = randomVectors(2000, 32, 7);
+    for (auto _ : state) {
+        KMeansParams params;
+        params.k = static_cast<std::size_t>(state.range(0));
+        params.max_iters = 5;
+        benchmark::DoNotOptimize(
+            kmeansFit({data.data(), 2000, 32}, params));
+    }
+}
+BENCHMARK(BM_KMeansFit)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void
+BM_PageCacheHit(benchmark::State &state)
+{
+    storage::PageCache cache(1024);
+    for (std::uint64_t p = 0; p < 1024; ++p)
+        cache.insert(p);
+    std::uint64_t p = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.lookup(p & 1023));
+        ++p;
+    }
+}
+BENCHMARK(BM_PageCacheHit);
+
+void
+BM_PageCacheMissEvict(benchmark::State &state)
+{
+    storage::PageCache cache(1024);
+    std::uint64_t p = 0;
+    for (auto _ : state) {
+        cache.lookup(p);
+        cache.insert(p);
+        ++p;
+    }
+}
+BENCHMARK(BM_PageCacheMissEvict);
+
+void
+BM_EventQueueChurn(benchmark::State &state)
+{
+    // Rate bound of the replay engine: schedule+dispatch round trip.
+    sim::Simulator simulator;
+    for (auto _ : state) {
+        simulator.schedule(1, []() {});
+        simulator.run();
+    }
+}
+BENCHMARK(BM_EventQueueChurn);
+
+} // namespace
+
+BENCHMARK_MAIN();

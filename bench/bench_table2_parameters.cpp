@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Table II — build & search-time parameters and achieved recall@10.
+ *
+ * Reproduces the paper's tuning methodology: for every dataset, tune
+ * nprobe (IVF), efSearch (HNSW), and search_list (DiskANN) on the
+ * Milvus-like engine until recall@10 >= 0.9; tune LanceDB's HNSW-SQ
+ * separately; report LanceDB-IVF-PQ's achieved accuracy at the shared
+ * nprobe in parentheses.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "core/report.hh"
+#include "engine/milvus_like.hh"
+
+int
+main()
+{
+    using namespace ann;
+    core::printBenchHeader(
+        "Table II: index parameters and achieved recall@10",
+        "IVF: nlist=4*sqrt(n), tune nprobe; HNSW: M=16 efC=200, tune "
+        "efSearch; DiskANN: tune search_list (min 10)");
+
+    TextTable table("Build & search-time parameters (recall@10 target "
+                    "0.9)");
+    table.setHeader({"dataset", "ivf nlist", "ivf nprobe", "ivf acc",
+                     "hnsw M", "hnsw efC", "hnsw ef", "hnsw acc",
+                     "lance ef", "lance acc", "dann search_list",
+                     "dann acc"});
+
+    for (const auto &name : workload::paperDatasetNames()) {
+        const auto dataset = bench::benchDataset(name);
+        // Per-segment nlist preserving the paper's rows-per-list.
+        const auto nlist = engine::scaledNlist(
+            name,
+            std::min(dataset.rows,
+                     engine::MilvusLikeEngine::segmentRows(
+                         dataset.dim)));
+
+        const auto ivf = bench::prepareTuned("milvus-ivf", dataset);
+        const auto ivfpq = bench::prepareTuned("lancedb-ivfpq", dataset);
+        const auto hnsw = bench::prepareTuned("milvus-hnsw", dataset);
+        const auto lance = bench::prepareTuned("lancedb-hnsw", dataset);
+        const auto dann = bench::prepareTuned("milvus-diskann", dataset);
+
+        table.addRow(
+            {name, std::to_string(nlist),
+             std::to_string(ivf.settings.nprobe),
+             core::fmtRecall(ivf.recall) + " (" +
+                 core::fmtRecall(ivfpq.recall) + ")",
+             "16", "200", std::to_string(hnsw.settings.ef_search),
+             core::fmtRecall(hnsw.recall),
+             std::to_string(lance.settings.ef_search),
+             core::fmtRecall(lance.recall),
+             std::to_string(dann.settings.search_list),
+             core::fmtRecall(dann.recall)});
+    }
+
+    table.print(std::cout);
+    table.writeCsv(core::resultsDir() + "/table2_parameters.csv");
+    std::cout << "\npaper shape check: DiskANN accuracy should be the\n"
+                 "highest (0.93-0.98 at search_list=10 in the paper), "
+                 "IVF/HNSW ~0.90,\nLanceDB IVF-PQ parenthesized "
+                 "accuracy clearly below target.\n";
+    return 0;
+}

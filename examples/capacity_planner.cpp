@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Capacity planner — "which setup should I deploy?"
+ *
+ * The practitioner question the paper's KF-1 answers: storage-based
+ * setups are not automatically slower, so choose by measuring. This
+ * example compares the memory-based and storage-based setups on one
+ * workload and prints a recommendation table: memory footprint vs
+ * throughput vs latency vs recall at a fixed accuracy target.
+ *
+ *   $ ./examples/capacity_planner
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/bench_runner.hh"
+#include "core/experiments.hh"
+#include "core/tuner.hh"
+#include "workload/registry.hh"
+
+int
+main()
+{
+    using namespace ann;
+
+    const auto dataset = workload::loadOrGenerate("cohere-1m");
+    std::printf("workload: %s (%zu x %zu), accuracy target "
+                "recall@10 >= 0.9\n\n",
+                dataset.name.c_str(), dataset.rows, dataset.dim);
+
+    core::BenchRunner runner(core::paperTestbed());
+
+    TextTable table("Deployment options @ recall>=0.9, 32 clients");
+    table.setHeader({"setup", "kind", "resident MiB", "SSD MiB",
+                     "recall", "QPS", "P99 (ms)"});
+
+    for (const std::string setup :
+         {"milvus-hnsw", "milvus-ivf", "milvus-diskann",
+          "qdrant-hnsw", "weaviate-hnsw"}) {
+        auto engine = core::prepareEngine(setup, dataset);
+        const auto tuned = core::tunedSettings(*engine, dataset, 0.9);
+        const auto m =
+            runner.measure(*engine, dataset, tuned.settings, 32);
+        table.addRow(
+            {setup,
+             engine->profile().storage_based ? "storage" : "memory",
+             formatDouble(static_cast<double>(engine->memoryBytes()) /
+                              (1 << 20),
+                          1),
+             formatDouble(static_cast<double>(engine->diskSectors()) *
+                              4096.0 / (1 << 20),
+                          1),
+             formatDouble(tuned.recall, 3),
+             formatDouble(m.replay.qps, 0),
+             formatDouble(m.replay.p99_latency_us / 1000.0, 2)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nhow to read this: DiskANN trades ~4x less resident "
+                "memory for\nmoderate throughput loss vs HNSW -- and "
+                "still beats the memory-based\nIVF (the paper's KF-1). "
+                "If the index outgrows RAM, storage-based is\nthe only "
+                "option that keeps a single-node deployment.\n");
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * RAG retrieval pipeline — the workload that motivates the paper.
+ *
+ * Simulates a local retrieval-augmented-generation deployment: a
+ * document corpus is chunked and embedded (synthetic embeddings), the
+ * chunks are indexed with a storage-based DiskANN index (the corpus
+ * outgrows RAM in real deployments), and user questions retrieve
+ * top-k context chunks. The example then replays an hour's worth of
+ * chat traffic on the simulated testbed to answer the capacity
+ * question a RAG operator actually has: what latency and SSD traffic
+ * will retrieval add per question?
+ *
+ *   $ ./examples/rag_pipeline
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/bench_runner.hh"
+#include "core/experiments.hh"
+#include "engine/milvus_like.hh"
+#include "workload/generator.hh"
+
+int
+main()
+{
+    using namespace ann;
+
+    // 1. "Embed" a documentation corpus: 20k chunks, 128-d vectors.
+    //    Topic clusters play the role of documents.
+    workload::GeneratorSpec spec;
+    spec.name = "rag-corpus";
+    spec.rows = 20000;
+    spec.dim = 128;
+    spec.num_queries = 200; // user questions
+    spec.clusters = 64;     // documents
+    spec.gt_k = 10;
+    const workload::Dataset corpus = workload::generateDataset(spec);
+    std::printf("corpus: %zu chunks x %zu dims (%.1f MiB of raw "
+                "embeddings)\n",
+                corpus.rows, corpus.dim,
+                static_cast<double>(corpus.baseBytes()) / (1 << 20));
+
+    // 2. Index with the storage-based engine (DiskANN under Milvus).
+    engine::MilvusLikeEngine db(engine::MilvusIndexKind::DiskAnn);
+    db.prepare(corpus, "./ann_cache");
+    std::printf("vector db: %zu segments, %.1f MiB resident (PQ), "
+                "%.1f MiB on SSD\n",
+                db.numSegments(),
+                static_cast<double>(db.memoryBytes()) / (1 << 20),
+                static_cast<double>(db.diskSectors()) * 4096.0 /
+                    (1 << 20));
+
+    // 3. Retrieve context for a few questions.
+    engine::SearchSettings retrieval;
+    retrieval.k = 5; // 5 context chunks per question
+    retrieval.search_list = 20;
+    retrieval.beam_width = 4;
+    for (std::size_t q = 0; q < 3; ++q) {
+        const auto out = db.search(corpus.query(q), retrieval);
+        std::printf("question %zu -> context chunks:", q);
+        for (const auto &n : out.results)
+            std::printf(" #%u", n.id);
+        std::printf("  (%llu KiB read from SSD)\n",
+                    static_cast<unsigned long long>(
+                        out.trace.totalReadBytes() / 1024));
+    }
+
+    // 4. Capacity check: replay chat traffic at growing concurrency.
+    core::BenchRunner runner(core::paperTestbed());
+    std::printf("\nretrieval capacity on the simulated testbed "
+                "(20 cores, NVMe SSD):\n");
+    std::printf("%8s %10s %12s %12s %10s\n", "users", "QPS",
+                "P99 (ms)", "SSD MiB/s", "CPU %");
+    for (const std::size_t users : {1u, 8u, 32u, 128u}) {
+        const auto m =
+            runner.measure(db, corpus, retrieval, users);
+        std::printf("%8zu %10.0f %12.2f %12.1f %9.1f%%\n", users,
+                    m.replay.qps, m.replay.p99_latency_us / 1000.0,
+                    m.replay.read_bw_mib,
+                    m.replay.mean_cpu_util * 100.0);
+    }
+    std::printf("\ntakeaway: retrieval stays in single-digit "
+                "milliseconds while the SSD\nruns far below "
+                "saturation -- the paper's central observation.\n");
+    return 0;
+}

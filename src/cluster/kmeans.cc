@@ -1,0 +1,195 @@
+#include "cluster/kmeans.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "distance/distance.hh"
+
+namespace ann {
+
+namespace {
+
+/** Pick training rows: all of them, or a random subsample. */
+std::vector<std::uint32_t>
+pickTrainingRows(std::size_t rows, std::size_t subsample, Rng &rng)
+{
+    std::vector<std::uint32_t> picks(rows);
+    for (std::size_t i = 0; i < rows; ++i)
+        picks[i] = static_cast<std::uint32_t>(i);
+    if (subsample == 0 || subsample >= rows)
+        return picks;
+    // Partial Fisher-Yates: the first `subsample` entries become a
+    // uniform random subset.
+    for (std::size_t i = 0; i < subsample; ++i) {
+        const std::size_t j = i + rng.nextBelow(rows - i);
+        std::swap(picks[i], picks[j]);
+    }
+    picks.resize(subsample);
+    return picks;
+}
+
+/** k-means++ seeding over the selected training rows. */
+std::vector<float>
+seedPlusPlus(const MatrixView &data,
+             const std::vector<std::uint32_t> &rows_in_use, std::size_t k,
+             Rng &rng)
+{
+    const std::size_t dim = data.dim;
+    std::vector<float> centroids(k * dim);
+    const std::size_t n = rows_in_use.size();
+
+    // First centroid: uniform draw.
+    const std::uint32_t first = rows_in_use[rng.nextBelow(n)];
+    std::copy_n(data.row(first), dim, centroids.begin());
+
+    std::vector<float> min_dist(n, std::numeric_limits<float>::max());
+    for (std::size_t c = 1; c < k; ++c) {
+        const float *last = centroids.data() + (c - 1) * dim;
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const float d =
+                l2DistanceSq(data.row(rows_in_use[i]), last, dim);
+            min_dist[i] = std::min(min_dist[i], d);
+            total += min_dist[i];
+        }
+        std::size_t chosen = 0;
+        if (total > 0.0) {
+            double target = rng.nextDouble() * total;
+            for (std::size_t i = 0; i < n; ++i) {
+                target -= min_dist[i];
+                if (target <= 0.0) {
+                    chosen = i;
+                    break;
+                }
+            }
+        } else {
+            chosen = rng.nextBelow(n);
+        }
+        std::copy_n(data.row(rows_in_use[chosen]), dim,
+                    centroids.begin() + c * dim);
+    }
+    return centroids;
+}
+
+} // namespace
+
+KMeansResult
+kmeansFit(const MatrixView &data, const KMeansParams &params)
+{
+    ANN_CHECK(data.rows > 0, "kmeans requires a non-empty dataset");
+    ANN_CHECK(params.k >= 1, "kmeans requires k >= 1");
+    ANN_CHECK(params.k <= data.rows, "kmeans k=", params.k,
+              " exceeds point count ", data.rows);
+
+    Rng rng(params.seed);
+    const std::size_t dim = data.dim;
+    const std::size_t k = params.k;
+    const auto rows_in_use =
+        pickTrainingRows(data.rows, params.subsample, rng);
+    const std::size_t n = rows_in_use.size();
+    ANN_CHECK(k <= n, "kmeans subsample smaller than k");
+
+    KMeansResult result;
+    result.k = k;
+    result.dim = dim;
+    result.centroids = seedPlusPlus(data, rows_in_use, k, rng);
+
+    std::vector<std::uint32_t> assignment(n, 0);
+    std::vector<float> sums(k * dim);
+    std::vector<std::uint32_t> counts(k);
+
+    for (std::size_t iter = 0; iter < params.max_iters; ++iter) {
+        // Assignment step.
+        bool changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            const float *vec = data.row(rows_in_use[i]);
+            float best = std::numeric_limits<float>::max();
+            std::uint32_t best_c = 0;
+            for (std::size_t c = 0; c < k; ++c) {
+                const float d =
+                    l2DistanceSq(vec, result.centroid(c), dim);
+                if (d < best) {
+                    best = d;
+                    best_c = static_cast<std::uint32_t>(c);
+                }
+            }
+            if (assignment[i] != best_c) {
+                assignment[i] = best_c;
+                changed = true;
+            }
+        }
+        if (!changed && iter > 0)
+            break;
+
+        // Update step.
+        std::fill(sums.begin(), sums.end(), 0.0f);
+        std::fill(counts.begin(), counts.end(), 0u);
+        for (std::size_t i = 0; i < n; ++i) {
+            const float *vec = data.row(rows_in_use[i]);
+            float *sum = sums.data() + assignment[i] * dim;
+            for (std::size_t d = 0; d < dim; ++d)
+                sum[d] += vec[d];
+            ++counts[assignment[i]];
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            if (counts[c] == 0) {
+                // Re-seed an empty cluster from the biggest cluster.
+                const auto biggest = static_cast<std::size_t>(
+                    std::max_element(counts.begin(), counts.end()) -
+                    counts.begin());
+                std::size_t donor = 0;
+                std::uint32_t seen = 0;
+                const std::uint32_t pick = static_cast<std::uint32_t>(
+                    rng.nextBelow(std::max<std::uint64_t>(
+                        counts[biggest], 1)));
+                for (std::size_t i = 0; i < n; ++i) {
+                    if (assignment[i] == biggest) {
+                        if (seen == pick) {
+                            donor = i;
+                            break;
+                        }
+                        ++seen;
+                    }
+                }
+                std::copy_n(data.row(rows_in_use[donor]), dim,
+                            result.centroids.begin() + c * dim);
+                continue;
+            }
+            float *centroid = result.centroids.data() + c * dim;
+            const float inv = 1.0f / static_cast<float>(counts[c]);
+            const float *sum = sums.data() + c * dim;
+            for (std::size_t d = 0; d < dim; ++d)
+                centroid[d] = sum[d] * inv;
+        }
+    }
+    return result;
+}
+
+std::uint32_t
+nearestCentroid(const KMeansResult &model, const float *vec)
+{
+    float best = std::numeric_limits<float>::max();
+    std::uint32_t best_c = 0;
+    for (std::size_t c = 0; c < model.k; ++c) {
+        const float d = l2DistanceSq(vec, model.centroid(c), model.dim);
+        if (d < best) {
+            best = d;
+            best_c = static_cast<std::uint32_t>(c);
+        }
+    }
+    return best_c;
+}
+
+std::vector<std::uint32_t>
+assignToCentroids(const KMeansResult &model, const MatrixView &data)
+{
+    ANN_CHECK(data.dim == model.dim, "dimension mismatch in assignment");
+    std::vector<std::uint32_t> assignment(data.rows);
+    for (std::size_t i = 0; i < data.rows; ++i)
+        assignment[i] = nearestCentroid(model, data.row(i));
+    return assignment;
+}
+
+} // namespace ann

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * K-Means clustering (k-means++ seeding + Lloyd iterations).
+ *
+ * Used by the IVF index for its coarse centroids and by the product
+ * quantizer for per-subspace codebooks. Training can subsample the
+ * input to bound build time on large datasets, matching what faiss
+ * does for IVF training.
+ */
+
+#ifndef ANN_CLUSTER_KMEANS_HH
+#define ANN_CLUSTER_KMEANS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ann {
+
+/** Configuration for one k-means fit. */
+struct KMeansParams
+{
+    /** Number of clusters; must be >= 1 and <= number of points. */
+    std::size_t k = 8;
+    /** Lloyd iteration cap. */
+    std::size_t max_iters = 15;
+    /** Train on at most this many points (0 = use all points). */
+    std::size_t subsample = 0;
+    /** RNG seed for seeding and subsampling. */
+    std::uint64_t seed = 1234;
+};
+
+/** Output of a k-means fit: row-major centroids. */
+struct KMeansResult
+{
+    std::vector<float> centroids; // k * dim floats
+    std::size_t k = 0;
+    std::size_t dim = 0;
+
+    const float *
+    centroid(std::size_t i) const
+    {
+        return centroids.data() + i * dim;
+    }
+};
+
+/**
+ * Fit k-means to @p data.
+ *
+ * Empty clusters are repaired each iteration by re-seeding them with a
+ * point drawn from the most populated cluster, so the result always
+ * has exactly k non-degenerate centroids.
+ */
+KMeansResult kmeansFit(const MatrixView &data, const KMeansParams &params);
+
+/** Index of the centroid nearest to @p vec (L2). */
+std::uint32_t nearestCentroid(const KMeansResult &model, const float *vec);
+
+/** Assign every row of @p data to its nearest centroid. */
+std::vector<std::uint32_t> assignToCentroids(const KMeansResult &model,
+                                             const MatrixView &data);
+
+} // namespace ann
+
+#endif // ANN_CLUSTER_KMEANS_HH

@@ -1,0 +1,84 @@
+#include "common/args.hh"
+
+#include <cstdlib>
+
+#include "common/error.hh"
+
+namespace ann {
+
+ArgParser::ArgParser(std::set<std::string> known_options,
+                     std::set<std::string> known_flags)
+    : knownOptions_(std::move(known_options)),
+      knownFlags_(std::move(known_flags))
+{}
+
+void
+ArgParser::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string token = argv[i];
+        if (token.rfind("--", 0) != 0) {
+            positional_.push_back(std::move(token));
+            continue;
+        }
+        token = token.substr(2);
+        std::string value;
+        bool has_value = false;
+        const auto eq = token.find('=');
+        if (eq != std::string::npos) {
+            value = token.substr(eq + 1);
+            token = token.substr(0, eq);
+            has_value = true;
+        }
+        if (knownFlags_.count(token)) {
+            ANN_CHECK(!has_value, "flag --", token,
+                      " does not take a value");
+            flags_.insert(token);
+            continue;
+        }
+        ANN_CHECK(knownOptions_.count(token), "unknown option --",
+                  token);
+        if (!has_value) {
+            ANN_CHECK(i + 1 < argc, "option --", token,
+                      " needs a value");
+            value = argv[++i];
+        }
+        values_[token] = value;
+    }
+}
+
+bool
+ArgParser::has(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+bool
+ArgParser::flag(const std::string &name) const
+{
+    return flags_.count(name) > 0;
+}
+
+std::string
+ArgParser::get(const std::string &name,
+               const std::string &fallback) const
+{
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t
+ArgParser::getInt(const std::string &name, std::int64_t fallback) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    char *end = nullptr;
+    const long long parsed = std::strtoll(it->second.c_str(), &end, 10);
+    ANN_CHECK(end != it->second.c_str() && *end == '\0',
+              "option --", name, " expects an integer, got '",
+              it->second, "'");
+    return parsed;
+}
+
+} // namespace ann

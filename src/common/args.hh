@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Minimal command-line argument parser for the tools.
+ *
+ * Supports "--key value" and "--key=value" options plus "--flag"
+ * booleans; anything else is a positional argument. Unknown options
+ * are fatal so typos fail loudly.
+ */
+
+#ifndef ANN_COMMON_ARGS_HH
+#define ANN_COMMON_ARGS_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ann {
+
+/** Parsed command line. */
+class ArgParser
+{
+  public:
+    /**
+     * @param known_options option names (without "--") taking values
+     * @param known_flags boolean option names (without "--")
+     */
+    ArgParser(std::set<std::string> known_options,
+              std::set<std::string> known_flags);
+
+    /** Parse argv; throws FatalError on unknown options. */
+    void parse(int argc, const char *const *argv);
+
+    bool has(const std::string &name) const;
+    bool flag(const std::string &name) const;
+    std::string get(const std::string &name,
+                    const std::string &fallback) const;
+    std::int64_t getInt(const std::string &name,
+                        std::int64_t fallback) const;
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+  private:
+    std::set<std::string> knownOptions_;
+    std::set<std::string> knownFlags_;
+    std::map<std::string, std::string> values_;
+    std::set<std::string> flags_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace ann
+
+#endif // ANN_COMMON_ARGS_HH

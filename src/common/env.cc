@@ -1,0 +1,44 @@
+#include "common/env.hh"
+
+#include <cstdlib>
+
+#include "common/serialize.hh"
+
+namespace ann {
+
+std::string
+envString(const char *name, const std::string &fallback)
+{
+    const char *value = std::getenv(name);
+    return value ? std::string(value) : fallback;
+}
+
+std::int64_t
+envInt(const char *name, std::int64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value)
+        return fallback;
+    char *end = nullptr;
+    const long long parsed = std::strtoll(value, &end, 10);
+    if (end == value || *end != '\0')
+        return fallback;
+    return parsed;
+}
+
+std::string
+cacheDir()
+{
+    const std::string dir = envString("ANN_CACHE_DIR", "./ann_cache");
+    ensureDirectory(dir);
+    return dir;
+}
+
+std::int64_t
+workloadScale()
+{
+    const std::int64_t scale = envInt("ANN_SCALE", 1);
+    return scale > 0 ? scale : 1;
+}
+
+} // namespace ann

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Environment-variable configuration shared by benches and examples.
+ */
+
+#ifndef ANN_COMMON_ENV_HH
+#define ANN_COMMON_ENV_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ann {
+
+/** Read string env var @p name, or @p fallback when unset. */
+std::string envString(const char *name, const std::string &fallback);
+
+/** Read integer env var @p name, or @p fallback when unset/invalid. */
+std::int64_t envInt(const char *name, std::int64_t fallback);
+
+/**
+ * Directory used to cache generated datasets and built indexes across
+ * bench/example invocations ($ANN_CACHE_DIR, default "./ann_cache").
+ * The directory is created on first use.
+ */
+std::string cacheDir();
+
+/**
+ * Workload scale factor ($ANN_SCALE, default 1): multiplies the
+ * scaled-down dataset row counts, letting users run closer to the
+ * paper's sizes on bigger machines.
+ */
+std::int64_t workloadScale();
+
+} // namespace ann
+
+#endif // ANN_COMMON_ENV_HH

@@ -1,0 +1,17 @@
+#include "common/error.hh"
+
+namespace ann {
+
+void
+annFatal(const char *file, int line, const std::string &msg)
+{
+    throw FatalError(detail::concat(file, ":", line, ": ", msg));
+}
+
+void
+annPanic(const char *file, int line, const std::string &msg)
+{
+    throw InternalError(detail::concat(file, ":", line, ": ", msg));
+}
+
+} // namespace ann

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Error handling helpers.
+ *
+ * Follows the gem5 fatal()/panic() split: FatalError is raised for user
+ * mistakes (bad configuration, malformed input) via annFatal()/ANN_CHECK,
+ * while logic errors inside the library itself use ANN_ASSERT which maps
+ * to an InternalError.
+ */
+
+#ifndef ANN_COMMON_ERROR_HH
+#define ANN_COMMON_ERROR_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ann {
+
+/** Raised when the library is mis-configured or fed invalid input. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Raised on violated internal invariants (library bugs). */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+/**
+ * Throw a FatalError with file/line context.
+ * @param file source file of the failure
+ * @param line source line of the failure
+ * @param msg human-readable description
+ */
+[[noreturn]] void annFatal(const char *file, int line,
+                           const std::string &msg);
+
+/** Throw an InternalError with file/line context. */
+[[noreturn]] void annPanic(const char *file, int line,
+                           const std::string &msg);
+
+namespace detail {
+
+/** Stream-concatenate arbitrary arguments into a string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace ann
+
+/** Validate a user-facing precondition; throws ann::FatalError. */
+#define ANN_CHECK(cond, ...)                                               \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::ann::annFatal(__FILE__, __LINE__,                            \
+                            ::ann::detail::concat("check failed: " #cond  \
+                                                  ": ",                    \
+                                                  __VA_ARGS__));           \
+        }                                                                  \
+    } while (0)
+
+/** Validate an internal invariant; throws ann::InternalError. */
+#define ANN_ASSERT(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::ann::annPanic(__FILE__, __LINE__,                            \
+                            ::ann::detail::concat("assert failed: " #cond \
+                                                  ": ",                    \
+                                                  __VA_ARGS__));           \
+        }                                                                  \
+    } while (0)
+
+/** Unconditional fatal error. */
+#define ANN_FATAL(...)                                                     \
+    ::ann::annFatal(__FILE__, __LINE__,                                    \
+                    ::ann::detail::concat(__VA_ARGS__))
+
+#endif // ANN_COMMON_ERROR_HH

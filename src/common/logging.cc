@@ -1,0 +1,67 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace ann {
+
+namespace {
+
+LogLevel
+parseLevelFromEnv()
+{
+    const char *env = std::getenv("ANN_LOG_LEVEL");
+    if (!env)
+        return LogLevel::Info;
+    if (!std::strcmp(env, "error"))
+        return LogLevel::Error;
+    if (!std::strcmp(env, "warn"))
+        return LogLevel::Warn;
+    if (!std::strcmp(env, "debug"))
+        return LogLevel::Debug;
+    return LogLevel::Info;
+}
+
+LogLevel activeLevel = parseLevelFromEnv();
+std::mutex logMutex;
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Error:
+        return "ERROR";
+      case LogLevel::Warn:
+        return "WARN ";
+      case LogLevel::Info:
+        return "INFO ";
+      case LogLevel::Debug:
+        return "DEBUG";
+    }
+    return "?????";
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return activeLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    activeLevel = level;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    std::lock_guard<std::mutex> guard(logMutex);
+    std::fprintf(stderr, "[ann %s] %s\n", levelTag(level), msg.c_str());
+}
+
+} // namespace ann

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal leveled logger writing to stderr.
+ *
+ * The level is taken from the ANN_LOG_LEVEL environment variable
+ * (error|warn|info|debug); the default is "info". Logging is designed
+ * for progress reporting of long builds, not for tracing (the simulator
+ * has its own structured tracer in storage/block_tracer.hh).
+ */
+
+#ifndef ANN_COMMON_LOGGING_HH
+#define ANN_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace ann {
+
+enum class LogLevel { Error = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Currently active log level (parsed once from the environment). */
+LogLevel logLevel();
+
+/** Override the active log level programmatically (used by tests). */
+void setLogLevel(LogLevel level);
+
+/** Emit one log line if @p level is enabled. */
+void logMessage(LogLevel level, const std::string &msg);
+
+namespace detail {
+
+template <typename... Args>
+void
+logFmt(LogLevel level, Args &&...args)
+{
+    if (static_cast<int>(level) > static_cast<int>(logLevel()))
+        return;
+    std::ostringstream os;
+    (os << ... << args);
+    logMessage(level, os.str());
+}
+
+} // namespace detail
+
+template <typename... Args>
+void
+logError(Args &&...args)
+{
+    detail::logFmt(LogLevel::Error, std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void
+logWarn(Args &&...args)
+{
+    detail::logFmt(LogLevel::Warn, std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void
+logInfo(Args &&...args)
+{
+    detail::logFmt(LogLevel::Info, std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void
+logDebug(Args &&...args)
+{
+    detail::logFmt(LogLevel::Debug, std::forward<Args>(args)...);
+}
+
+} // namespace ann
+
+#endif // ANN_COMMON_LOGGING_HH

@@ -1,0 +1,103 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace ann {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+    : seed_(seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    ANN_ASSERT(bound > 0, "nextBelow bound must be positive");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+float
+Rng::nextFloat(float lo, float hi)
+{
+    return lo + static_cast<float>(nextDouble()) * (hi - lo);
+}
+
+double
+Rng::nextGaussian()
+{
+    if (hasCachedGaussian_) {
+        hasCachedGaussian_ = false;
+        return cachedGaussian_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 1e-300);
+    const double u2 = nextDouble();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cachedGaussian_ = radius * std::sin(theta);
+    hasCachedGaussian_ = true;
+    return radius * std::cos(theta);
+}
+
+Rng
+Rng::fork(std::uint64_t stream_id) const
+{
+    std::uint64_t mix = seed_;
+    const std::uint64_t a = splitmix64(mix);
+    return Rng(a ^ (stream_id * 0x9e3779b97f4a7c15ULL + 0x1234));
+}
+
+} // namespace ann

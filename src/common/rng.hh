@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything in this library that needs randomness (dataset synthesis,
+ * k-means seeding, HNSW level draws, SSD latency jitter) goes through
+ * Rng so experiments are reproducible bit-for-bit from a seed. The
+ * generator is xoshiro256**, seeded via splitmix64.
+ */
+
+#ifndef ANN_COMMON_RNG_HH
+#define ANN_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace ann {
+
+/** xoshiro256** PRNG with deterministic seeding and forking. */
+class Rng
+{
+  public:
+    /** Seed the generator; equal seeds yield equal streams. */
+    explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound), bound > 0 (unbiased). */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform float in [lo, hi). */
+    float nextFloat(float lo, float hi);
+
+    /** Standard normal draw (Box-Muller, cached pair). */
+    double nextGaussian();
+
+    /**
+     * Derive an independent child generator.
+     *
+     * The child stream is a deterministic function of this generator's
+     * seed and @p stream_id only; forking does not perturb the parent.
+     */
+    Rng fork(std::uint64_t stream_id) const;
+
+  private:
+    std::uint64_t state_[4];
+    std::uint64_t seed_;
+    double cachedGaussian_ = 0.0;
+    bool hasCachedGaussian_ = false;
+};
+
+} // namespace ann
+
+#endif // ANN_COMMON_RNG_HH

@@ -1,0 +1,107 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace ann {
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    const double m = mean(values);
+    double acc = 0.0;
+    for (double v : values)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    ANN_CHECK(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1)
+        return values[0];
+    const double rank = p / 100.0 *
+        static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+void
+OnlineStats::add(double value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    sum_ += value;
+    ++count_;
+}
+
+BucketHistogram::BucketHistogram(std::vector<std::uint64_t> upper_bounds)
+    : bounds_(std::move(upper_bounds))
+{
+    ANN_CHECK(!bounds_.empty(), "histogram needs at least one bucket");
+    ANN_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
+              "histogram bounds must be ascending");
+    counts_.assign(bounds_.size() + 1, 0); // +1 for overflow
+}
+
+void
+BucketHistogram::add(std::uint64_t key, std::uint64_t weight)
+{
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), key);
+    const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+    counts_[idx] += weight;
+    total_ += weight;
+}
+
+std::uint64_t
+BucketHistogram::bucketCount(std::size_t idx) const
+{
+    ANN_ASSERT(idx < counts_.size(), "bucket index out of range");
+    return counts_[idx];
+}
+
+std::uint64_t
+BucketHistogram::upperBound(std::size_t idx) const
+{
+    ANN_ASSERT(idx < counts_.size(), "bucket index out of range");
+    if (idx < bounds_.size())
+        return bounds_[idx];
+    return ~0ULL;
+}
+
+double
+BucketHistogram::fraction(std::size_t idx) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(bucketCount(idx)) /
+        static_cast<double>(total_);
+}
+
+} // namespace ann

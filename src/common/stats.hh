@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Small statistics helpers used by the measurement harness.
+ */
+
+#ifndef ANN_COMMON_STATS_HH
+#define ANN_COMMON_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ann {
+
+/** Arithmetic mean of @p values; 0 when empty. */
+double mean(const std::vector<double> &values);
+
+/** Sample standard deviation of @p values; 0 when fewer than 2. */
+double stddev(const std::vector<double> &values);
+
+/**
+ * Percentile with linear interpolation between closest ranks.
+ * @param values sample (not required to be sorted; copied internally)
+ * @param p percentile in [0, 100]
+ */
+double percentile(std::vector<double> values, double p);
+
+/** Streaming mean / min / max / count accumulator. */
+class OnlineStats
+{
+  public:
+    void add(double value);
+
+    std::size_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram over non-negative integer keys (e.g. request
+ * sizes). Keys above the largest configured bucket fall into an
+ * overflow bucket.
+ */
+class BucketHistogram
+{
+  public:
+    /** @param upper_bounds ascending inclusive upper bounds per bucket */
+    explicit BucketHistogram(std::vector<std::uint64_t> upper_bounds);
+
+    void add(std::uint64_t key, std::uint64_t weight = 1);
+
+    /** Count in bucket @p idx; the overflow bucket is the last one. */
+    std::uint64_t bucketCount(std::size_t idx) const;
+    std::uint64_t totalCount() const { return total_; }
+    std::size_t numBuckets() const { return counts_.size(); }
+    std::uint64_t upperBound(std::size_t idx) const;
+
+    /** Fraction of samples in bucket @p idx (0 when empty). */
+    double fraction(std::size_t idx) const;
+
+  private:
+    std::vector<std::uint64_t> bounds_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace ann
+
+#endif // ANN_COMMON_STATS_HH

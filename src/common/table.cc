@@ -1,0 +1,140 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace ann {
+
+TextTable::TextTable(std::string title)
+    : title_(std::move(title))
+{}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (!header_.empty()) {
+        ANN_CHECK(row.size() == header_.size(),
+                  "row arity ", row.size(), " != header arity ",
+                  header_.size());
+    }
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::size_t cols = header_.size();
+    for (const auto &row : rows_)
+        cols = std::max(cols, row.size());
+    if (cols == 0)
+        return;
+
+    std::vector<std::size_t> widths(cols, 0);
+    auto account = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    if (!header_.empty())
+        account(header_);
+    for (const auto &row : rows_)
+        account(row);
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        os << "| ";
+        for (std::size_t i = 0; i < cols; ++i) {
+            const std::string &cell = i < row.size() ? row[i] : "";
+            os << std::left << std::setw(static_cast<int>(widths[i]))
+               << cell << " | ";
+        }
+        os << "\n";
+    };
+
+    std::size_t total = 1;
+    for (std::size_t w : widths)
+        total += w + 3;
+
+    if (!title_.empty())
+        os << title_ << "\n";
+    os << std::string(total, '-') << "\n";
+    if (!header_.empty()) {
+        print_row(header_);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &row : rows_)
+        print_row(row);
+    os << std::string(total, '-') << "\n";
+}
+
+void
+TextTable::writeCsv(const std::string &path) const
+{
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+    }
+    std::ofstream out(path, std::ios::trunc);
+    ANN_CHECK(out.is_open(), "cannot open csv for writing: ", path);
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                out << ",";
+            const bool needs_quote =
+                row[i].find_first_of(",\"\n") != std::string::npos;
+            if (needs_quote) {
+                out << '"';
+                for (char c : row[i]) {
+                    if (c == '"')
+                        out << '"';
+                    out << c;
+                }
+                out << '"';
+            } else {
+                out << row[i];
+            }
+        }
+        out << "\n";
+    };
+
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+formatDouble(double value, int digits)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << value;
+    return os.str();
+}
+
+std::string
+formatBytes(double bytes)
+{
+    static const char *units[] = { "B", "KiB", "MiB", "GiB", "TiB" };
+    int unit = 0;
+    while (bytes >= 1024.0 && unit < 4) {
+        bytes /= 1024.0;
+        ++unit;
+    }
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(bytes < 10 ? 2 : 1) << bytes
+       << " " << units[unit];
+    return os.str();
+}
+
+} // namespace ann

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Console table and CSV emission for the benchmark reports.
+ *
+ * Every bench binary prints its paper table/figure as an aligned text
+ * table and can additionally dump the same rows as CSV for plotting.
+ */
+
+#ifndef ANN_COMMON_TABLE_HH
+#define ANN_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ann {
+
+/** A simple column-aligned text table with an optional title. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "");
+
+    /** Set the header row; resets any previously added rows' widths. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one row; must match the header arity when a header set. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with padding and separators to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Write header+rows as CSV to @p path (creates parent dirs). */
+    void writeCsv(const std::string &path) const;
+
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format @p value with @p digits fractional digits. */
+std::string formatDouble(double value, int digits = 1);
+
+/** Format bytes as a human-readable KiB/MiB/GiB string. */
+std::string formatBytes(double bytes);
+
+} // namespace ann
+
+#endif // ANN_COMMON_TABLE_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fundamental value types shared across the library.
+ */
+
+#ifndef ANN_COMMON_TYPES_HH
+#define ANN_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ann {
+
+/** Identifier of a vector inside one dataset / index. */
+using VectorId = std::uint32_t;
+
+/** Sentinel for "no vector". */
+inline constexpr VectorId kInvalidVector = 0xffffffffu;
+
+/** Virtual time, in nanoseconds since simulation start. */
+using SimTime = std::uint64_t;
+
+/** One nearest-neighbour candidate: id plus canonical distance. */
+struct Neighbor
+{
+    VectorId id = kInvalidVector;
+    float distance = 0.0f;
+
+    friend bool
+    operator<(const Neighbor &a, const Neighbor &b)
+    {
+        if (a.distance != b.distance)
+            return a.distance < b.distance;
+        return a.id < b.id;
+    }
+    friend bool
+    operator==(const Neighbor &a, const Neighbor &b)
+    {
+        return a.id == b.id && a.distance == b.distance;
+    }
+};
+
+/** Result of one ANNS query: the k approximate nearest neighbours. */
+using SearchResult = std::vector<Neighbor>;
+
+/** Dense row-major float matrix view used for datasets and queries. */
+struct MatrixView
+{
+    const float *data = nullptr;
+    std::size_t rows = 0;
+    std::size_t dim = 0;
+
+    const float *
+    row(std::size_t i) const
+    {
+        return data + i * dim;
+    }
+};
+
+} // namespace ann
+
+#endif // ANN_COMMON_TYPES_HH

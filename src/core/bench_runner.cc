@@ -1,0 +1,90 @@
+#include "core/bench_runner.hh"
+
+#include <sstream>
+
+#include "common/error.hh"
+#include "distance/recall.hh"
+#include "index/diskann_index.hh" // kSectorBytes
+
+namespace ann::core {
+
+BenchRunner::BenchRunner(ReplayConfig base_config)
+    : base_(std::move(base_config))
+{}
+
+WorkloadTraces
+buildWorkloadTraces(engine::VectorDbEngine &engine,
+                    const workload::Dataset &dataset,
+                    const engine::SearchSettings &settings)
+{
+    ANN_CHECK(dataset.num_queries > 0, "dataset has no queries");
+    ANN_CHECK(!dataset.ground_truth.empty(),
+              "dataset has no ground truth");
+
+    WorkloadTraces out;
+    out.traces.reserve(dataset.num_queries);
+    double recall_acc = 0.0;
+    std::uint64_t sectors = 0;
+    for (std::size_t q = 0; q < dataset.num_queries; ++q) {
+        auto result = engine.search(dataset.query(q), settings);
+        recall_acc += recallAtK(dataset.ground_truth[q], result.results,
+                                settings.k);
+        sectors += result.trace.totalReadSectors();
+        out.traces.push_back(std::move(result.trace));
+    }
+    out.recall = recall_acc / static_cast<double>(dataset.num_queries);
+    out.mib_per_query =
+        static_cast<double>(sectors) * kSectorBytes /
+        (1024.0 * 1024.0) / static_cast<double>(dataset.num_queries);
+    return out;
+}
+
+std::string
+BenchRunner::cacheKey(const engine::VectorDbEngine &engine,
+                      const workload::Dataset &dataset,
+                      const engine::SearchSettings &settings) const
+{
+    std::ostringstream key;
+    key << engine.name() << "/" << dataset.name << "/" << dataset.rows
+        << "/k" << settings.k << "/np" << settings.nprobe << "/ef"
+        << settings.ef_search << "/sl" << settings.search_list << "/bw"
+        << settings.beam_width;
+    return key.str();
+}
+
+const WorkloadTraces &
+BenchRunner::traces(engine::VectorDbEngine &engine,
+                    const workload::Dataset &dataset,
+                    const engine::SearchSettings &settings)
+{
+    const std::string key = cacheKey(engine, dataset, settings);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+        it = cache_
+                 .emplace(key,
+                          buildWorkloadTraces(engine, dataset, settings))
+                 .first;
+    }
+    return it->second;
+}
+
+Measurement
+BenchRunner::measure(engine::VectorDbEngine &engine,
+                     const workload::Dataset &dataset,
+                     const engine::SearchSettings &settings,
+                     std::size_t threads, bool collect_trace)
+{
+    const WorkloadTraces &workload = traces(engine, dataset, settings);
+    ReplayConfig config = base_;
+    config.client_threads = threads;
+    config.collect_trace = collect_trace;
+
+    Measurement measurement;
+    measurement.replay =
+        replayWorkload(workload.traces, engine.profile(), config);
+    measurement.recall = workload.recall;
+    measurement.mib_per_query = workload.mib_per_query;
+    return measurement;
+}
+
+} // namespace ann::core

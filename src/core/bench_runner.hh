@@ -1,0 +1,89 @@
+/**
+ * @file
+ * BenchRunner: the VectorDBBench-equivalent measurement loop.
+ *
+ * For each (engine, dataset, search settings) it executes every real
+ * query once — producing recall plus the timed traces — then replays
+ * those traces on the simulated testbed at any concurrency. Traces
+ * are memoized so a concurrency sweep pays the algorithmic cost once.
+ */
+
+#ifndef ANN_CORE_BENCH_RUNNER_HH
+#define ANN_CORE_BENCH_RUNNER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/replay.hh"
+#include "engine/engine.hh"
+#include "workload/dataset.hh"
+
+namespace ann::core {
+
+/** Real execution products for one workload configuration. */
+struct WorkloadTraces
+{
+    std::vector<engine::QueryTrace> traces;
+    /** Mean recall@k against the dataset's ground truth. */
+    double recall = 0.0;
+    /** Mean read MiB per query (structural, pre-cache). */
+    double mib_per_query = 0.0;
+};
+
+/** One measured point: replay metrics plus workload facts. */
+struct Measurement
+{
+    ReplayResult replay;
+    double recall = 0.0;
+    double mib_per_query = 0.0;
+};
+
+/** Executes queries for real and replays them at any concurrency. */
+class BenchRunner
+{
+  public:
+    explicit BenchRunner(ReplayConfig base_config);
+
+    /** Base config used for every measurement (threads overridden). */
+    const ReplayConfig &baseConfig() const { return base_; }
+    ReplayConfig &baseConfig() { return base_; }
+
+    /**
+     * Real-execute all queries of @p dataset on @p engine (memoized
+     * per engine/dataset/settings).
+     */
+    const WorkloadTraces &traces(engine::VectorDbEngine &engine,
+                                 const workload::Dataset &dataset,
+                                 const engine::SearchSettings &settings);
+
+    /** Measure one point at @p threads clients. */
+    Measurement measure(engine::VectorDbEngine &engine,
+                        const workload::Dataset &dataset,
+                        const engine::SearchSettings &settings,
+                        std::size_t threads,
+                        bool collect_trace = false);
+
+    /** Drop memoized traces (e.g. between parameter sweeps). */
+    void clearTraceCache() { cache_.clear(); }
+
+  private:
+    std::string cacheKey(const engine::VectorDbEngine &engine,
+                         const workload::Dataset &dataset,
+                         const engine::SearchSettings &settings) const;
+
+    ReplayConfig base_;
+    std::map<std::string, WorkloadTraces> cache_;
+};
+
+/**
+ * Execute all queries once (no memoization); exposed for tests and
+ * for the tuner.
+ */
+WorkloadTraces buildWorkloadTraces(engine::VectorDbEngine &engine,
+                                   const workload::Dataset &dataset,
+                                   const engine::SearchSettings &settings);
+
+} // namespace ann::core
+
+#endif // ANN_CORE_BENCH_RUNNER_HH

@@ -1,0 +1,92 @@
+#include "core/experiments.hh"
+
+#include "common/env.hh"
+#include "common/error.hh"
+#include "common/serialize.hh"
+#include "engine/lance_like.hh"
+#include "engine/milvus_like.hh"
+#include "engine/qdrant_like.hh"
+#include "engine/weaviate_like.hh"
+
+namespace ann::core {
+
+std::vector<std::string>
+allSetups()
+{
+    return {"milvus-ivf",   "milvus-hnsw",   "milvus-diskann",
+            "qdrant-hnsw",  "weaviate-hnsw", "lancedb-hnsw",
+            "lancedb-ivfpq"};
+}
+
+std::unique_ptr<engine::VectorDbEngine>
+makeEngine(const std::string &setup)
+{
+    using engine::MilvusIndexKind;
+    if (setup == "milvus-ivf")
+        return std::make_unique<engine::MilvusLikeEngine>(
+            MilvusIndexKind::Ivf);
+    if (setup == "milvus-hnsw")
+        return std::make_unique<engine::MilvusLikeEngine>(
+            MilvusIndexKind::Hnsw);
+    if (setup == "milvus-diskann")
+        return std::make_unique<engine::MilvusLikeEngine>(
+            MilvusIndexKind::DiskAnn);
+    if (setup == "qdrant-hnsw")
+        return std::make_unique<engine::QdrantLikeEngine>();
+    if (setup == "weaviate-hnsw")
+        return std::make_unique<engine::WeaviateLikeEngine>();
+    if (setup == "lancedb-hnsw")
+        return std::make_unique<engine::LanceHnswSqEngine>();
+    if (setup == "lancedb-ivfpq")
+        return std::make_unique<engine::LanceIvfPqEngine>();
+    ANN_FATAL("unknown setup: ", setup);
+}
+
+std::unique_ptr<engine::VectorDbEngine>
+prepareEngine(const std::string &setup,
+              const workload::Dataset &dataset)
+{
+    auto engine = makeEngine(setup);
+    engine->prepare(dataset, cacheDir());
+    return engine;
+}
+
+std::vector<std::size_t>
+threadSweep()
+{
+    return {1, 2, 4, 8, 16, 32, 64, 128, 256};
+}
+
+std::vector<std::size_t>
+searchListSweep()
+{
+    return {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+}
+
+std::vector<std::size_t>
+beamWidthSweep()
+{
+    return {1, 2, 4, 8, 16, 32};
+}
+
+ReplayConfig
+paperTestbed()
+{
+    ReplayConfig config;
+    config.num_cores = 20;
+    config.ssd = storage::SsdConfig::samsung990Pro();
+    config.duration_ns =
+        static_cast<SimTime>(envInt("ANN_DURATION_MS", 2000)) *
+        1'000'000ULL;
+    return config;
+}
+
+std::string
+resultsDir()
+{
+    const std::string dir = envString("ANN_RESULTS_DIR", "./results");
+    ensureDirectory(dir);
+    return dir;
+}
+
+} // namespace ann::core

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared experiment definitions: the seven benchmarked setups, the
+ * concurrency sweep, and engine construction/preparation helpers used
+ * by every bench binary and example.
+ */
+
+#ifndef ANN_CORE_EXPERIMENTS_HH
+#define ANN_CORE_EXPERIMENTS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/replay.hh"
+#include "engine/engine.hh"
+#include "workload/dataset.hh"
+
+namespace ann::core {
+
+/**
+ * The seven setups of SS IV (memory-based: milvus-ivf, milvus-hnsw,
+ * qdrant-hnsw, weaviate-hnsw, lancedb-hnsw; storage-based:
+ * milvus-diskann, lancedb-ivfpq).
+ */
+std::vector<std::string> allSetups();
+
+/** Construct an engine by setup name. */
+std::unique_ptr<engine::VectorDbEngine>
+makeEngine(const std::string &setup);
+
+/** Construct + prepare (build or load indexes from the cache dir). */
+std::unique_ptr<engine::VectorDbEngine>
+prepareEngine(const std::string &setup,
+              const workload::Dataset &dataset);
+
+/** The paper's client-thread sweep: 1, 2, 4, ..., 256. */
+std::vector<std::size_t> threadSweep();
+
+/** The paper's search_list sweep (Fig. 7-11): 10, 20, ..., 100. */
+std::vector<std::size_t> searchListSweep();
+
+/** The paper's beam_width sweep (Fig. 12-15). */
+std::vector<std::size_t> beamWidthSweep();
+
+/**
+ * Testbed configuration mirroring Table I (20 cores, 990 Pro),
+ * with run duration from $ANN_DURATION_MS (default 2000 virtual ms).
+ */
+ReplayConfig paperTestbed();
+
+/** Directory bench binaries write CSVs into ("results"). */
+std::string resultsDir();
+
+} // namespace ann::core
+
+#endif // ANN_CORE_EXPERIMENTS_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Trace replay: executes QueryTraces on the simulated machine.
+ *
+ * This is where the characterization study's measurements come from.
+ * A replay instantiates the paper's testbed — a 20-core CPU model, a
+ * Samsung-990-Pro-like SSD, optionally a page cache — and runs N
+ * closed-loop client threads for a fixed virtual duration, each
+ * issuing queries from the pre-computed trace set (restarting from
+ * the first query when exhausted, like VectorDBBench). Outputs are
+ * the paper's metrics: QPS, P99 latency, CPU utilization, and the
+ * block-level I/O trace.
+ */
+
+#ifndef ANN_CORE_REPLAY_HH
+#define ANN_CORE_REPLAY_HH
+
+#include <vector>
+
+#include "engine/engine.hh"
+#include "storage/block_tracer.hh"
+#include "storage/ssd_model.hh"
+
+namespace ann::core {
+
+/** Simulated testbed + run configuration. */
+struct ReplayConfig
+{
+    /** Closed-loop client threads (the paper sweeps 1..256). */
+    std::size_t client_threads = 1;
+    /** Virtual run duration (paper: 30 s; scaled default 2 s). */
+    SimTime duration_ns = 2'000'000'000;
+    /** Server cores (paper's testbed exposes 20). */
+    std::size_t num_cores = 20;
+    storage::SsdConfig ssd = storage::SsdConfig::samsung990Pro();
+    /** Collect the block-level I/O trace. */
+    bool collect_trace = false;
+    /** CPU utilization sampling bucket. */
+    SimTime cpu_bucket_ns = 100'000'000;
+    /** Relative jitter applied to every CPU segment. */
+    double cpu_jitter = 0.05;
+    std::uint64_t seed = 17;
+};
+
+/** Measurements of one replay. */
+struct ReplayResult
+{
+    double qps = 0.0;
+    double mean_latency_us = 0.0;
+    double p99_latency_us = 0.0;
+    std::uint64_t completed = 0;
+    /** Mean whole-machine CPU utilization in [0,1] (Fig. 4). */
+    double mean_cpu_util = 0.0;
+    std::vector<double> cpu_timeline;
+    /** Block trace (only when collect_trace). */
+    std::vector<storage::TraceEvent> trace;
+    std::uint64_t read_bytes = 0;
+    double read_bw_mib = 0.0;
+    /** Write-side metrics (hybrid read/write workloads, SS VIII). */
+    std::uint64_t write_bytes = 0;
+    double write_bw_mib = 0.0;
+    std::uint64_t ingest_completed = 0;
+    /** True when the setup cannot run at this concurrency (OOM). */
+    bool oom = false;
+};
+
+/**
+ * Replay @p traces under @p profile on the configured testbed.
+ * Deterministic: equal inputs give bit-equal results.
+ */
+ReplayResult replayWorkload(const std::vector<engine::QueryTrace> &traces,
+                            const engine::EngineProfile &profile,
+                            const ReplayConfig &config);
+
+/**
+ * Hybrid read/write replay (the paper's SS VIII extension): query
+ * clients and ingest clients run concurrently against the same
+ * device. Latency/QPS metrics cover queries only; write metrics
+ * cover the ingest side.
+ *
+ * @param ingest_traces write traces one ingest client loops over
+ * @param ingest_threads number of concurrent ingest clients
+ */
+ReplayResult
+replayMixedWorkload(const std::vector<engine::QueryTrace> &traces,
+                    const std::vector<engine::QueryTrace> &ingest_traces,
+                    std::size_t ingest_threads,
+                    const engine::EngineProfile &profile,
+                    const ReplayConfig &config);
+
+} // namespace ann::core
+
+#endif // ANN_CORE_REPLAY_HH

@@ -1,0 +1,54 @@
+#include "core/report.hh"
+
+#include <cstdio>
+
+#include "common/table.hh"
+
+namespace ann::core {
+
+std::string
+fmtQps(const ReplayResult &result)
+{
+    if (result.oom)
+        return "OOM";
+    return formatDouble(result.qps, result.qps < 100 ? 1 : 0);
+}
+
+std::string
+fmtP99(const ReplayResult &result)
+{
+    if (result.oom)
+        return "OOM";
+    return formatDouble(result.p99_latency_us, 0);
+}
+
+std::string
+fmtCpuPct(const ReplayResult &result)
+{
+    if (result.oom)
+        return "OOM";
+    return formatDouble(result.mean_cpu_util * 100.0, 1);
+}
+
+std::string
+fmtMib(double mib)
+{
+    return formatDouble(mib, 1);
+}
+
+std::string
+fmtRecall(double recall)
+{
+    return formatDouble(recall, 3);
+}
+
+void
+printBenchHeader(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+    std::printf("reproduces: %s\n", paper_ref.c_str());
+    std::printf("(virtual testbed: 20 cores, Samsung-990-Pro-class SSD; "
+                "scaled datasets -- see DESIGN.md)\n\n");
+}
+
+} // namespace ann::core

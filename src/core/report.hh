@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Report formatting helpers shared by bench binaries.
+ */
+
+#ifndef ANN_CORE_REPORT_HH
+#define ANN_CORE_REPORT_HH
+
+#include <string>
+
+#include "core/replay.hh"
+
+namespace ann::core {
+
+/** "123.4" or "OOM" for points the setup could not run. */
+std::string fmtQps(const ReplayResult &result);
+
+/** P99 in microseconds, or "OOM". */
+std::string fmtP99(const ReplayResult &result);
+
+/** CPU utilization as a percentage string. */
+std::string fmtCpuPct(const ReplayResult &result);
+
+/** MiB/s with one decimal. */
+std::string fmtMib(double mib);
+
+/** Recall with three decimals. */
+std::string fmtRecall(double recall);
+
+/** Banner printed at the top of every bench binary. */
+void printBenchHeader(const std::string &title,
+                      const std::string &paper_ref);
+
+} // namespace ann::core
+
+#endif // ANN_CORE_REPORT_HH

@@ -1,0 +1,176 @@
+#include "core/tuner.hh"
+
+#include <algorithm>
+
+#include "common/env.hh"
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "common/serialize.hh"
+#include "distance/recall.hh"
+
+namespace ann::core {
+
+namespace {
+
+/** Queries evaluated per tuning probe (subset for speed). */
+constexpr std::size_t kTuneQueries = 300;
+
+double
+recallWithSettings(engine::VectorDbEngine &engine,
+                   const workload::Dataset &dataset,
+                   const engine::SearchSettings &settings)
+{
+    const std::size_t n =
+        std::min<std::size_t>(kTuneQueries, dataset.num_queries);
+    double acc = 0.0;
+    for (std::size_t q = 0; q < n; ++q) {
+        const auto out = engine.search(dataset.query(q), settings);
+        acc += recallAtK(dataset.ground_truth[q], out.results,
+                         settings.k);
+    }
+    return acc / static_cast<double>(n);
+}
+
+} // namespace
+
+TunableParam
+tunableParamFor(const std::string &engine_name)
+{
+    if (engine_name.find("diskann") != std::string::npos)
+        return TunableParam::SearchList;
+    if (engine_name.find("ivf") != std::string::npos)
+        return TunableParam::Nprobe;
+    return TunableParam::EfSearch;
+}
+
+std::size_t
+tuneMonotonic(const std::function<double(std::size_t)> &recall_of,
+              std::size_t lo, std::size_t hi, double target,
+              double *achieved)
+{
+    ANN_CHECK(lo >= 1 && lo <= hi, "bad tuning range");
+    double recall = recall_of(lo);
+    if (recall >= target) {
+        if (achieved)
+            *achieved = recall;
+        return lo;
+    }
+    // Exponential probe for an upper bracket.
+    std::size_t prev = lo;
+    std::size_t cur = lo;
+    while (cur < hi) {
+        prev = cur;
+        cur = std::min(hi, cur * 2);
+        recall = recall_of(cur);
+        if (recall >= target)
+            break;
+    }
+    if (recall < target) {
+        // Unreachable: report the best the range offers (the paper
+        // does the same for LanceDB-IVF, listing achieved accuracy).
+        if (achieved)
+            *achieved = recall;
+        return hi;
+    }
+    // Binary search the smallest passing value in (prev, cur].
+    std::size_t passing = cur;
+    double passing_recall = recall;
+    std::size_t left = prev + 1, right = cur;
+    while (left < right) {
+        const std::size_t mid = left + (right - left) / 2;
+        const double r = recall_of(mid);
+        if (r >= target) {
+            passing = mid;
+            passing_recall = r;
+            right = mid;
+        } else {
+            left = mid + 1;
+        }
+    }
+    if (achieved)
+        *achieved = passing_recall;
+    return passing;
+}
+
+TuneResult
+tuneEngine(engine::VectorDbEngine &engine,
+           const workload::Dataset &dataset, double target)
+{
+    TuneResult result;
+    engine::SearchSettings settings;
+    const TunableParam param = tunableParamFor(engine.name());
+
+    auto recall_of = [&](std::size_t value) {
+        switch (param) {
+          case TunableParam::Nprobe:
+            settings.nprobe = value;
+            break;
+          case TunableParam::EfSearch:
+            settings.ef_search = value;
+            break;
+          case TunableParam::SearchList:
+            settings.search_list = value;
+            break;
+        }
+        return recallWithSettings(engine, dataset, settings);
+    };
+
+    std::size_t lo = 1, hi = 4096;
+    switch (param) {
+      case TunableParam::Nprobe:
+        lo = 1;
+        hi = 1024;
+        break;
+      case TunableParam::EfSearch:
+        lo = settings.k;
+        hi = 1024;
+        break;
+      case TunableParam::SearchList:
+        // The paper's minimum legal search_list is 10 (= k).
+        lo = 10;
+        hi = 512;
+        break;
+    }
+    double achieved = 0.0;
+    const std::size_t value =
+        tuneMonotonic(recall_of, lo, hi, target, &achieved);
+    recall_of(value); // leave `settings` at the chosen value
+    result.settings = settings;
+    result.recall = achieved;
+    return result;
+}
+
+TuneResult
+tunedSettings(engine::VectorDbEngine &engine,
+              const workload::Dataset &dataset, double target)
+{
+    const std::string path =
+        cacheDir() + "/params-" + engine.name() + "-" + dataset.name +
+        "-" + std::to_string(dataset.rows) + "-t" +
+        std::to_string(static_cast<int>(target * 100)) + ".bin";
+    if (fileExists(path)) {
+        BinaryReader reader(path, "TUNE", 2);
+        TuneResult result;
+        result.settings.k = reader.readPod<std::uint64_t>();
+        result.settings.nprobe = reader.readPod<std::uint64_t>();
+        result.settings.ef_search = reader.readPod<std::uint64_t>();
+        result.settings.search_list = reader.readPod<std::uint64_t>();
+        result.settings.beam_width = reader.readPod<std::uint64_t>();
+        result.recall = reader.readPod<double>();
+        return result;
+    }
+    logInfo("tuning ", engine.name(), " on ", dataset.name, " for recall ",
+            target, "...");
+    const TuneResult result = tuneEngine(engine, dataset, target);
+    BinaryWriter writer(path, "TUNE", 2);
+    writer.writePod<std::uint64_t>(result.settings.k);
+    writer.writePod<std::uint64_t>(result.settings.nprobe);
+    writer.writePod<std::uint64_t>(result.settings.ef_search);
+    writer.writePod<std::uint64_t>(result.settings.search_list);
+    writer.writePod<std::uint64_t>(result.settings.beam_width);
+    writer.writePod<double>(result.recall);
+    writer.close();
+    return result;
+}
+
+} // namespace ann::core

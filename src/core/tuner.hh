@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Search-parameter tuner: the paper's Table II methodology.
+ *
+ * For every (database, index, dataset) the paper tunes the dominant
+ * search-time parameter until recall@10 >= 0.9: nprobe for IVF,
+ * efSearch for HNSW, search_list for DiskANN (which already meets the
+ * target at its minimum legal value, 10). The tuner reproduces that:
+ * exponential probing for an upper bound, then binary search for the
+ * smallest value meeting the target. Tuned settings are cached on
+ * disk so every bench binary shares them.
+ */
+
+#ifndef ANN_CORE_TUNER_HH
+#define ANN_CORE_TUNER_HH
+
+#include <functional>
+#include <string>
+
+#include "engine/engine.hh"
+#include "workload/dataset.hh"
+
+namespace ann::core {
+
+/** Which search-time knob dominates an engine's accuracy. */
+enum class TunableParam { Nprobe, EfSearch, SearchList };
+
+/** The knob tuned for a given engine setup name. */
+TunableParam tunableParamFor(const std::string &engine_name);
+
+/** Result of one tuning run. */
+struct TuneResult
+{
+    engine::SearchSettings settings;
+    double recall = 0.0;
+};
+
+/**
+ * Smallest parameter value in [lo, hi] with recall(value) >= target;
+ * returns hi's result when the target is unreachable. @p recall_of
+ * must be monotonically non-decreasing in expectation.
+ */
+std::size_t tuneMonotonic(const std::function<double(std::size_t)>
+                              &recall_of,
+                          std::size_t lo, std::size_t hi, double target,
+                          double *achieved);
+
+/**
+ * Tune @p engine's dominant parameter on @p dataset for
+ * recall@10 >= @p target. The engine must be prepared.
+ */
+TuneResult tuneEngine(engine::VectorDbEngine &engine,
+                      const workload::Dataset &dataset,
+                      double target = 0.9);
+
+/**
+ * Load tuned settings from the cache directory, tuning and caching
+ * them on first use.
+ */
+TuneResult tunedSettings(engine::VectorDbEngine &engine,
+                         const workload::Dataset &dataset,
+                         double target = 0.9);
+
+} // namespace ann::core
+
+#endif // ANN_CORE_TUNER_HH

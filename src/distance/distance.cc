@@ -1,0 +1,119 @@
+#include "distance/distance.hh"
+
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace ann {
+
+std::string
+metricName(Metric metric)
+{
+    switch (metric) {
+      case Metric::L2:
+        return "l2";
+      case Metric::InnerProduct:
+        return "ip";
+      case Metric::Cosine:
+        return "cosine";
+    }
+    return "unknown";
+}
+
+float
+l2DistanceSq(const float *a, const float *b, std::size_t dim)
+{
+    float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+    std::size_t i = 0;
+    for (; i + 4 <= dim; i += 4) {
+        const float d0 = a[i] - b[i];
+        const float d1 = a[i + 1] - b[i + 1];
+        const float d2 = a[i + 2] - b[i + 2];
+        const float d3 = a[i + 3] - b[i + 3];
+        acc0 += d0 * d0;
+        acc1 += d1 * d1;
+        acc2 += d2 * d2;
+        acc3 += d3 * d3;
+    }
+    for (; i < dim; ++i) {
+        const float d = a[i] - b[i];
+        acc0 += d * d;
+    }
+    return (acc0 + acc1) + (acc2 + acc3);
+}
+
+float
+dotProduct(const float *a, const float *b, std::size_t dim)
+{
+    float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+    std::size_t i = 0;
+    for (; i + 4 <= dim; i += 4) {
+        acc0 += a[i] * b[i];
+        acc1 += a[i + 1] * b[i + 1];
+        acc2 += a[i + 2] * b[i + 2];
+        acc3 += a[i + 3] * b[i + 3];
+    }
+    for (; i < dim; ++i)
+        acc0 += a[i] * b[i];
+    return (acc0 + acc1) + (acc2 + acc3);
+}
+
+namespace {
+
+float
+negatedDotProduct(const float *a, const float *b, std::size_t dim)
+{
+    return -dotProduct(a, b, dim);
+}
+
+} // namespace
+
+float
+cosineDistance(const float *a, const float *b, std::size_t dim)
+{
+    const float dot = dotProduct(a, b, dim);
+    const float na = vectorNorm(a, dim);
+    const float nb = vectorNorm(b, dim);
+    if (na == 0.0f || nb == 0.0f)
+        return 1.0f;
+    return 1.0f - dot / (na * nb);
+}
+
+float
+distance(Metric metric, const float *a, const float *b, std::size_t dim)
+{
+    return distanceFunc(metric)(a, b, dim);
+}
+
+DistanceFunc
+distanceFunc(Metric metric)
+{
+    switch (metric) {
+      case Metric::L2:
+        return &l2DistanceSq;
+      case Metric::InnerProduct:
+        return &negatedDotProduct;
+      case Metric::Cosine:
+        return &cosineDistance;
+    }
+    ANN_FATAL("unknown metric");
+}
+
+float
+vectorNorm(const float *a, std::size_t dim)
+{
+    return std::sqrt(dotProduct(a, a, dim));
+}
+
+void
+normalizeVector(float *a, std::size_t dim)
+{
+    const float norm = vectorNorm(a, dim);
+    if (norm == 0.0f)
+        return;
+    const float inv = 1.0f / norm;
+    for (std::size_t i = 0; i < dim; ++i)
+        a[i] *= inv;
+}
+
+} // namespace ann

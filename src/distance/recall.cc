@@ -1,0 +1,53 @@
+#include "distance/recall.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace ann {
+
+double
+recallAtK(const std::vector<VectorId> &truth,
+          const std::vector<VectorId> &found, std::size_t k)
+{
+    ANN_CHECK(k > 0, "recall requires k > 0");
+    ANN_CHECK(truth.size() >= k, "ground truth shorter than k");
+    std::vector<VectorId> truth_k(truth.begin(),
+                                  truth.begin() +
+                                      static_cast<std::ptrdiff_t>(k));
+    std::sort(truth_k.begin(), truth_k.end());
+    std::size_t hits = 0;
+    const std::size_t limit = std::min(found.size(), k);
+    for (std::size_t i = 0; i < limit; ++i) {
+        if (std::binary_search(truth_k.begin(), truth_k.end(), found[i]))
+            ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double
+recallAtK(const std::vector<VectorId> &truth, const SearchResult &found,
+          std::size_t k)
+{
+    std::vector<VectorId> ids;
+    ids.reserve(found.size());
+    for (const Neighbor &n : found)
+        ids.push_back(n.id);
+    return recallAtK(truth, ids, k);
+}
+
+double
+meanRecallAtK(const std::vector<std::vector<VectorId>> &truth,
+              const std::vector<SearchResult> &found, std::size_t k)
+{
+    ANN_CHECK(truth.size() == found.size(),
+              "ground truth and results disagree on query count");
+    if (truth.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < truth.size(); ++i)
+        acc += recallAtK(truth[i], found[i], k);
+    return acc / static_cast<double>(truth.size());
+}
+
+} // namespace ann

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Recall@k computation against exact ground truth, as defined in the
+ * paper: recall@k = |K ∩ K'| / k for true neighbours K and approximate
+ * neighbours K'.
+ */
+
+#ifndef ANN_DISTANCE_RECALL_HH
+#define ANN_DISTANCE_RECALL_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ann {
+
+/**
+ * recall@k for one query.
+ * @param truth exact neighbour ids (>= k entries used)
+ * @param found approximate neighbour ids
+ * @param k cutoff
+ */
+double recallAtK(const std::vector<VectorId> &truth,
+                 const std::vector<VectorId> &found, std::size_t k);
+
+/** Convenience overload over SearchResult candidates. */
+double recallAtK(const std::vector<VectorId> &truth,
+                 const SearchResult &found, std::size_t k);
+
+/**
+ * Mean recall@k over a query batch.
+ * @param truth per-query exact ids (row i = query i, >= k entries)
+ * @param found per-query approximate results
+ */
+double meanRecallAtK(const std::vector<std::vector<VectorId>> &truth,
+                     const std::vector<SearchResult> &found,
+                     std::size_t k);
+
+} // namespace ann
+
+#endif // ANN_DISTANCE_RECALL_HH

@@ -1,0 +1,76 @@
+#include "distance/topk.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace ann {
+
+namespace {
+
+// Heap comparator: largest distance at the front (max-heap).
+bool
+heapLess(const Neighbor &a, const Neighbor &b)
+{
+    return a < b;
+}
+
+} // namespace
+
+TopK::TopK(std::size_t k)
+    : k_(k)
+{
+    ANN_CHECK(k > 0, "top-k requires k > 0");
+    heap_.reserve(k);
+}
+
+void
+TopK::push(VectorId id, float dist)
+{
+    if (heap_.size() < k_) {
+        heap_.push_back({id, dist});
+        std::push_heap(heap_.begin(), heap_.end(), heapLess);
+        return;
+    }
+    if (dist >= heap_.front().distance)
+        return;
+    std::pop_heap(heap_.begin(), heap_.end(), heapLess);
+    heap_.back() = {id, dist};
+    std::push_heap(heap_.begin(), heap_.end(), heapLess);
+}
+
+float
+TopK::worstDistance() const
+{
+    ANN_ASSERT(!heap_.empty(), "worstDistance on empty heap");
+    return heap_.front().distance;
+}
+
+bool
+TopK::wouldAccept(float dist) const
+{
+    return heap_.size() < k_ || dist < heap_.front().distance;
+}
+
+SearchResult
+TopK::take()
+{
+    std::sort_heap(heap_.begin(), heap_.end(), heapLess);
+    SearchResult result = std::move(heap_);
+    heap_.clear();
+    return result;
+}
+
+SearchResult
+bruteForceSearch(const MatrixView &base, const float *query, Metric metric,
+                 std::size_t k)
+{
+    const DistanceFunc dist = distanceFunc(metric);
+    TopK top(k);
+    for (std::size_t i = 0; i < base.rows; ++i)
+        top.push(static_cast<VectorId>(i), dist(query, base.row(i),
+                                                base.dim));
+    return top.take();
+}
+
+} // namespace ann

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Top-k selection utilities used by every index.
+ */
+
+#ifndef ANN_DISTANCE_TOPK_HH
+#define ANN_DISTANCE_TOPK_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+#include "distance/distance.hh"
+
+namespace ann {
+
+/**
+ * Bounded max-heap keeping the k smallest-distance neighbours seen.
+ *
+ * push() is O(log k) only when the candidate improves the current
+ * worst; otherwise it is O(1). take() drains the heap in ascending
+ * distance order.
+ */
+class TopK
+{
+  public:
+    explicit TopK(std::size_t k);
+
+    /** Offer a candidate; keeps it only if among the best k so far. */
+    void push(VectorId id, float dist);
+
+    /** @return true when k candidates are held. */
+    bool full() const { return heap_.size() >= k_; }
+
+    /** Current number of held candidates. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Distance of the current k-th best (worst held) candidate. */
+    float worstDistance() const;
+
+    /** Would a candidate at @p dist be accepted right now? */
+    bool wouldAccept(float dist) const;
+
+    /** Drain into an ascending-distance vector; the heap empties. */
+    SearchResult take();
+
+  private:
+    std::size_t k_;
+    std::vector<Neighbor> heap_; // max-heap on distance
+};
+
+/**
+ * Exact k-nearest-neighbour scan over a matrix.
+ * @param base row-major dataset
+ * @param query the query vector (dim = base.dim)
+ * @param metric distance metric
+ * @param k number of neighbours
+ */
+SearchResult bruteForceSearch(const MatrixView &base, const float *query,
+                              Metric metric, std::size_t k);
+
+} // namespace ann
+
+#endif // ANN_DISTANCE_TOPK_HH

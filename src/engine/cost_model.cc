@@ -1,0 +1,33 @@
+#include "engine/cost_model.hh"
+
+#include <cmath>
+
+namespace ann::engine {
+
+SimTime
+CostModel::cpuNs(const OpCounts &ops) const
+{
+    const double dim = static_cast<double>(effective_dim);
+    const double m = static_cast<double>(effective_pq_m);
+    const double ksub = static_cast<double>(effective_pq_ksub);
+
+    // Full-precision work is compensated to paper dimensionality;
+    // quant work already uses the paper-equivalent subspace count.
+    double ns = static_cast<double>(ops.full_distances) *
+                (ns_per_dim_full * dim + ns_full_overhead) *
+                dim_multiplier;
+    ns += static_cast<double>(ops.quant_distances) *
+          (ns_per_sub_quant * m + ns_quant_overhead);
+    ns += static_cast<double>(ops.adc_tables) *
+          (ns_per_adc_entry * m * ksub);
+
+    // Bookkeeping terms are dimension independent.
+    ns += static_cast<double>(ops.heap_ops) * ns_heap_op;
+    ns += static_cast<double>(ops.hops) * ns_hop;
+    ns += static_cast<double>(ops.rows_scanned) * ns_row_scan;
+
+    ns *= engine_scale;
+    return static_cast<SimTime>(std::llround(ns));
+}
+
+} // namespace ann::engine

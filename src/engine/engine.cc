@@ -1,0 +1,91 @@
+#include "engine/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+
+namespace ann::engine {
+
+std::vector<TimedStep>
+VectorDbEngine::timeSteps(std::vector<SearchStep> steps) const
+{
+    std::vector<TimedStep> chain;
+    chain.reserve(steps.size());
+    for (SearchStep &step : steps) {
+        TimedStep timed;
+        timed.cpu_ns = cost_.cpuNs(step.cpu);
+        timed.reads = std::move(step.reads);
+        chain.push_back(std::move(timed));
+    }
+    return chain;
+}
+
+void
+VectorDbEngine::offsetSectors(std::vector<TimedStep> &chain,
+                              std::uint64_t sector_base)
+{
+    for (TimedStep &step : chain)
+        for (SectorRead &read : step.reads)
+            read.sector += sector_base;
+}
+
+void
+VectorDbEngine::splitToSingleSectors(std::vector<TimedStep> &chain)
+{
+    for (TimedStep &step : chain) {
+        if (step.reads.empty())
+            continue;
+        std::vector<SectorRead> split;
+        split.reserve(step.reads.size());
+        for (const SectorRead &read : step.reads)
+            for (std::uint32_t i = 0; i < read.count; ++i)
+                split.push_back({read.sector + i, 1});
+        step.reads = std::move(split);
+    }
+}
+
+std::size_t
+paperDimForDataset(const std::string &dataset_name)
+{
+    if (dataset_name.rfind("cohere", 0) == 0)
+        return 768;
+    if (dataset_name.rfind("openai", 0) == 0)
+        return 1536;
+    // Unknown datasets run unscaled.
+    return 0;
+}
+
+std::size_t
+paperRowsForDataset(const std::string &dataset_name)
+{
+    if (dataset_name == "cohere-1m")
+        return 1'000'000;
+    if (dataset_name == "cohere-10m")
+        return 10'000'000;
+    if (dataset_name == "openai-500k")
+        return 500'000;
+    if (dataset_name == "openai-5m")
+        return 5'000'000;
+    return 0;
+}
+
+std::size_t
+scaledNlist(const std::string &dataset_name, std::size_t rows)
+{
+    const std::size_t paper_rows = paperRowsForDataset(dataset_name);
+    double rows_per_list = 0.0;
+    if (paper_rows) {
+        // faiss rule at paper scale: nlist = 4*sqrt(n), so each list
+        // holds sqrt(n)/4 rows; keep that list size here.
+        rows_per_list =
+            std::sqrt(static_cast<double>(paper_rows)) / 4.0;
+    } else {
+        rows_per_list = std::sqrt(static_cast<double>(rows)) / 4.0;
+    }
+    const auto nlist = static_cast<std::size_t>(
+        static_cast<double>(rows) / rows_per_list);
+    return std::min(rows, std::max<std::size_t>(4, nlist));
+}
+
+} // namespace ann::engine

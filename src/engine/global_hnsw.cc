@@ -1,0 +1,119 @@
+#include "engine/global_hnsw.hh"
+
+#include "common/error.hh"
+#include "engine/index_cache.hh"
+#include "index/diskann_index.hh" // kSectorBytes
+
+namespace ann::engine {
+
+void
+GlobalHnswEngine::prepare(const workload::Dataset &dataset,
+                          const std::string &cache_dir)
+{
+    cost_.effective_dim = dataset.dim;
+    const std::size_t paper_dim = paperDimForDataset(dataset.name);
+    cost_.dim_multiplier =
+        paper_dim ? static_cast<double>(paper_dim) /
+                        static_cast<double>(dataset.dim)
+                  : 1.0;
+    // SQ distances decode one byte per dimension: charge them as
+    // paper-dim-wide quant kernels.
+    cost_.effective_pq_m = paper_dim ? paper_dim : dataset.dim;
+    cost_.effective_pq_ksub = 256;
+
+    // Engine-independent cache key: identical builds are shared.
+    const std::string key = cache_dir + "/hnsw-global-" + dataset.name +
+                            "-" + std::to_string(dataset.rows) +
+                            (useSq_ ? "-sq" : "") + "-m16-efc200.bin";
+    index_ = loadOrBuildIndex<HnswIndex>(key, [&](HnswIndex &index) {
+        HnswBuildParams params;
+        params.m = 16;
+        params.ef_construction = 200;
+        params.use_sq = useSq_;
+        params.seed = 42;
+        index.build(dataset.baseView(), params);
+    });
+
+    // mmap file layout: [vector | level-0 links] records packed into
+    // sectors (upper-level links are tiny and stay resident).
+    nodeBytes_ = dataset.dim * sizeof(float) +
+                 (2 * 16 + 1) * sizeof(VectorId);
+    nodesPerSector_ = std::max<std::size_t>(
+        1, kSectorBytes / nodeBytes_);
+}
+
+std::uint64_t
+GlobalHnswEngine::sectorOfNode(VectorId node) const
+{
+    return node / nodesPerSector_;
+}
+
+std::uint64_t
+GlobalHnswEngine::diskSectors() const
+{
+    if (!mmapStorage_ || index_.size() == 0)
+        return 0;
+    return (index_.size() + nodesPerSector_ - 1) / nodesPerSector_;
+}
+
+VectorDbEngine::SearchOutput
+GlobalHnswEngine::search(const float *query,
+                         const SearchSettings &settings)
+{
+    SearchOutput output;
+    output.trace.rtt_ns = profile_.rtt_ns;
+    output.trace.serial_cpu_ns = profile_.serial_cpu_ns;
+    output.trace.prologue.push_back({profile_.proxy_cpu_ns, {}});
+
+    SearchTraceRecorder recorder;
+    HnswSearchParams params;
+    params.k = settings.k;
+    params.ef_search = settings.ef_search;
+
+    if (!mmapStorage_) {
+        output.results = index_.search(query, params, &recorder);
+        output.trace.parallel_chains.push_back(
+            timeSteps(recorder.takeSteps()));
+    } else {
+        // mmap mode: the evaluation order is the page-fault order.
+        // Every node evaluation becomes a dependent single-sector
+        // access (served by the page cache when resident) — the
+        // graph-traversal I/O dependency the paper's SS II discusses.
+        std::vector<VectorId> visited;
+        output.results =
+            index_.search(query, params, &recorder, &visited);
+        const SimTime total_cpu =
+            cost_.cpuNs(recorder.totals());
+        const SimTime cpu_per_visit =
+            visited.empty() ? 0 : total_cpu / visited.size();
+
+        std::vector<TimedStep> chain;
+        chain.reserve(visited.size());
+        std::uint64_t last_sector = ~0ULL;
+        for (const VectorId node : visited) {
+            const std::uint64_t sector = sectorOfNode(node);
+            if (sector == last_sector && !chain.empty()) {
+                // Same page as the previous access: no new fault.
+                chain.back().cpu_ns += cpu_per_visit;
+                continue;
+            }
+            last_sector = sector;
+            TimedStep step;
+            step.cpu_ns = cpu_per_visit;
+            step.reads.push_back({sector, 1});
+            chain.push_back(std::move(step));
+        }
+        output.trace.parallel_chains.push_back(std::move(chain));
+    }
+
+    output.trace.epilogue.push_back({profile_.merge_cpu_ns, {}});
+    return output;
+}
+
+std::size_t
+GlobalHnswEngine::memoryBytes() const
+{
+    return index_.memoryBytes();
+}
+
+} // namespace ann::engine

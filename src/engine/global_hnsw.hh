@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared base for engines that keep one global HNSW index in memory
+ * (Qdrant-like, Weaviate-like, LanceDB's HNSW-SQ). The concrete
+ * engines differ in their behaviour profiles and quantization, not in
+ * index structure, so they share build caching — the same built graph
+ * is loaded by every engine using identical build parameters.
+ */
+
+#ifndef ANN_ENGINE_GLOBAL_HNSW_HH
+#define ANN_ENGINE_GLOBAL_HNSW_HH
+
+#include "engine/engine.hh"
+#include "index/hnsw_index.hh"
+
+namespace ann::engine {
+
+/** Engine with a single in-memory HNSW over the whole dataset. */
+class GlobalHnswEngine : public VectorDbEngine
+{
+  public:
+    void prepare(const workload::Dataset &dataset,
+                 const std::string &cache_dir) override;
+    SearchOutput search(const float *query,
+                        const SearchSettings &settings) override;
+    std::size_t memoryBytes() const override;
+
+    /** First sector of @p node 's record in the mmap file layout. */
+    std::uint64_t sectorOfNode(VectorId node) const;
+    std::uint64_t diskSectors() const override;
+
+  protected:
+    /**
+     * @param use_sq scalar-quantize stored vectors (LanceDB)
+     * @param mmap_storage serve the graph from an mmap'd file: every
+     *        node evaluation becomes a (page-cached) 4 KiB access,
+     *        the storage-based mode Qdrant offers (paper SS III-C)
+     */
+    explicit GlobalHnswEngine(bool use_sq, bool mmap_storage = false)
+        : useSq_(use_sq), mmapStorage_(mmap_storage)
+    {}
+
+    bool useSq_;
+    bool mmapStorage_;
+    HnswIndex index_;
+    /** mmap layout: whole node records packed into sectors. */
+    std::size_t nodeBytes_ = 0;
+    std::size_t nodesPerSector_ = 1;
+};
+
+} // namespace ann::engine
+
+#endif // ANN_ENGINE_GLOBAL_HNSW_HH

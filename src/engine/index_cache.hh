@@ -1,0 +1,56 @@
+/**
+ * @file
+ * On-disk caching of built indexes.
+ *
+ * Index builds dominate bench start-up; every engine keys its built
+ * indexes by engine-independent content (index kind, dataset, build
+ * parameters) so identical indexes are built once and shared — e.g.
+ * Qdrant-like and Weaviate-like engines load the same global HNSW.
+ */
+
+#ifndef ANN_ENGINE_INDEX_CACHE_HH
+#define ANN_ENGINE_INDEX_CACHE_HH
+
+#include <string>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "common/serialize.hh"
+
+namespace ann::engine {
+
+inline constexpr std::uint32_t kIndexCacheVersion = 3;
+
+/**
+ * Load an index of type Index from @p path, or build it with
+ * @p build (a callable filling the index) and cache it.
+ */
+template <typename Index, typename BuildFn>
+Index
+loadOrBuildIndex(const std::string &path, BuildFn &&build)
+{
+    Index index;
+    if (fileExists(path)) {
+        try {
+            BinaryReader reader(path, "IDXCACHE", kIndexCacheVersion);
+            index.load(reader);
+            logDebug("loaded cached index ", path);
+            return index;
+        } catch (const FatalError &e) {
+            // Stale or corrupt cache entry: rebuild it.
+            logWarn("discarding stale index cache ", path, " (",
+                    e.what(), ")");
+            index = Index{};
+        }
+    }
+    build(index);
+    BinaryWriter writer(path, "IDXCACHE", kIndexCacheVersion);
+    index.save(writer);
+    writer.close();
+    logInfo("built and cached index ", path);
+    return index;
+}
+
+} // namespace ann::engine
+
+#endif // ANN_ENGINE_INDEX_CACHE_HH

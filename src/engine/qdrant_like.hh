@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Qdrant-like engine.
+ *
+ * Qdrant 1.14 in the paper: a Rust server exposing a single
+ * memory-resident HNSW (its mmap storage mode behaved identically
+ * because the working set fit in RAM — §III-C), searched one thread
+ * per query. Profile rationale:
+ *
+ *  - moderate per-query overheads (REST/gRPC + tokio dispatch),
+ *    higher than Milvus's segcore but far below Weaviate's;
+ *  - near-linear thread scaling to the core count (O-4's 14.7x at 16
+ *    threads) -> tiny batch_fraction, no segment fan-out;
+ *  - better 10x-dataset scaling than Milvus (O-6: throughput keeps
+ *    29.6-58.7%): a single global graph grows logarithmically where
+ *    Milvus pays per-segment.
+ */
+
+#ifndef ANN_ENGINE_QDRANT_LIKE_HH
+#define ANN_ENGINE_QDRANT_LIKE_HH
+
+#include "engine/global_hnsw.hh"
+
+namespace ann::engine {
+
+/** Qdrant-like single-graph HNSW engine. */
+class QdrantLikeEngine : public GlobalHnswEngine
+{
+  public:
+    /**
+     * @param mmap_storage serve vectors/links from an mmap'd file
+     *        through the page cache instead of resident memory —
+     *        Qdrant's storage-based mode. The paper found no
+     *        statistically significant difference because the whole
+     *        index fit in RAM (SS III-C); bench_ext_mmap reproduces
+     *        that and shows what happens when it does not.
+     * @param cache_pages page-cache capacity of the mmap mode
+     */
+    explicit QdrantLikeEngine(bool mmap_storage = false,
+                              std::size_t cache_pages = 1 << 18);
+};
+
+} // namespace ann::engine
+
+#endif // ANN_ENGINE_QDRANT_LIKE_HH

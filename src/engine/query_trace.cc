@@ -1,0 +1,75 @@
+#include "engine/query_trace.hh"
+
+#include "index/diskann_index.hh" // kSectorBytes
+
+namespace ann::engine {
+
+namespace {
+
+struct Totals
+{
+    SimTime cpu = 0;
+    std::uint64_t read_sectors = 0;
+    std::uint64_t write_sectors = 0;
+    std::uint64_t read_batches = 0;
+};
+
+void
+accumulate(const std::vector<TimedStep> &steps, Totals &totals)
+{
+    for (const TimedStep &step : steps) {
+        totals.cpu += step.cpu_ns;
+        if (!step.reads.empty())
+            ++totals.read_batches;
+        for (const SectorRead &read : step.reads)
+            totals.read_sectors += read.count;
+        for (const SectorRead &write : step.writes)
+            totals.write_sectors += write.count;
+    }
+}
+
+Totals
+traceTotals(const QueryTrace &trace)
+{
+    Totals totals;
+    totals.cpu = trace.serial_cpu_ns;
+    accumulate(trace.prologue, totals);
+    for (const auto &chain : trace.parallel_chains)
+        accumulate(chain, totals);
+    accumulate(trace.epilogue, totals);
+    return totals;
+}
+
+} // namespace
+
+SimTime
+QueryTrace::totalCpuNs() const
+{
+    return traceTotals(*this).cpu;
+}
+
+std::uint64_t
+QueryTrace::totalReadSectors() const
+{
+    return traceTotals(*this).read_sectors;
+}
+
+std::uint64_t
+QueryTrace::totalReadBytes() const
+{
+    return totalReadSectors() * kSectorBytes;
+}
+
+std::uint64_t
+QueryTrace::totalWriteSectors() const
+{
+    return traceTotals(*this).write_sectors;
+}
+
+std::uint64_t
+QueryTrace::ioBatches() const
+{
+    return traceTotals(*this).read_batches;
+}
+
+} // namespace ann::engine

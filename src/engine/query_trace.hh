@@ -1,0 +1,65 @@
+/**
+ * @file
+ * QueryTrace: the timed execution plan of one real query.
+ *
+ * An engine runs the actual index search once per query vector and
+ * converts the recorded operation counts into a QueryTrace — a small
+ * tree of CPU segments and parallel I/O batches the discrete-event
+ * replay executes under any concurrency level. The shape covers every
+ * engine in the paper:
+ *
+ *   client --rtt/2--> [serial section][prologue CPU]
+ *                       -> N parallel per-segment chains
+ *                          (CPU step, sector batch, CPU step, ...)
+ *                       -> [epilogue CPU] --rtt/2--> client
+ */
+
+#ifndef ANN_ENGINE_QUERY_TRACE_HH
+#define ANN_ENGINE_QUERY_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "index/search_trace.hh"
+
+namespace ann::engine {
+
+/** One CPU burst optionally followed by a parallel I/O batch. */
+struct TimedStep
+{
+    SimTime cpu_ns = 0;
+    std::vector<SectorRead> reads;
+    /** Sector writes (ingest/merge traffic — paper SS VIII). */
+    std::vector<SectorRead> writes;
+};
+
+/** Timed execution plan of one query. */
+struct QueryTrace
+{
+    /** Client <-> server round trip (pure delay, no CPU). */
+    SimTime rtt_ns = 0;
+    /** CPU held under the engine-wide serial section (lock/GIL). */
+    SimTime serial_cpu_ns = 0;
+    /** Request admission / parsing CPU before fan-out. */
+    std::vector<TimedStep> prologue;
+    /** Per-segment chains executed in parallel on the worker pool. */
+    std::vector<std::vector<TimedStep>> parallel_chains;
+    /** Merge / serialization CPU after the join. */
+    std::vector<TimedStep> epilogue;
+
+    /** Sum of all CPU nanoseconds in the trace. */
+    SimTime totalCpuNs() const;
+    /** Total sectors across all read batches. */
+    std::uint64_t totalReadSectors() const;
+    /** Total bytes (sectors * 4 KiB). */
+    std::uint64_t totalReadBytes() const;
+    /** Total sectors across all write batches. */
+    std::uint64_t totalWriteSectors() const;
+    /** Number of I/O batches (beam-search hops with reads). */
+    std::uint64_t ioBatches() const;
+};
+
+} // namespace ann::engine
+
+#endif // ANN_ENGINE_QUERY_TRACE_HH

@@ -1,0 +1,18 @@
+#include "engine/weaviate_like.hh"
+
+namespace ann::engine {
+
+WeaviateLikeEngine::WeaviateLikeEngine()
+    : GlobalHnswEngine(/*use_sq=*/false)
+{
+    profile_.name = "weaviate-hnsw";
+    profile_.rtt_ns = 900'000;       // GraphQL request round trip
+    profile_.proxy_cpu_ns = 700'000; // resolver + GC pressure
+    profile_.merge_cpu_ns = 60'000;
+    profile_.serial_cpu_ns = 9'000;
+    profile_.batch_fraction = 0.62;  // best 1->16 scaling in the study
+    profile_.storage_based = false;
+    cost_.engine_scale = 3.5;        // Go runtime vs C++ segcore
+}
+
+} // namespace ann::engine

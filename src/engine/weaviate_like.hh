@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Weaviate-like engine.
+ *
+ * Weaviate 1.31 in the paper: a Go server with a single in-memory
+ * HNSW. Profile rationale:
+ *
+ *  - the highest fixed per-query cost of the four servers (GraphQL
+ *    resolution, Go GC and interface dispatch): lowest throughput on
+ *    three of four datasets, highest single-thread latency (O-8);
+ *  - strong request coalescing and goroutine scheduling: the best
+ *    1->16 thread scaling of the study (O-4's 41.0x) -> large
+ *    batch_fraction;
+ *  - because fixed overhead dominates index CPU, its throughput is
+ *    nearly flat when datasets grow 10x — the paper even measured a
+ *    small increase (O-6).
+ */
+
+#ifndef ANN_ENGINE_WEAVIATE_LIKE_HH
+#define ANN_ENGINE_WEAVIATE_LIKE_HH
+
+#include "engine/global_hnsw.hh"
+
+namespace ann::engine {
+
+/** Weaviate-like single-graph HNSW engine. */
+class WeaviateLikeEngine : public GlobalHnswEngine
+{
+  public:
+    WeaviateLikeEngine();
+};
+
+} // namespace ann::engine
+
+#endif // ANN_ENGINE_WEAVIATE_LIKE_HH

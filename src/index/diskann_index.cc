@@ -1,0 +1,412 @@
+#include "index/diskann_index.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hh"
+#include "common/serialize.hh"
+#include "distance/distance.hh"
+#include "distance/topk.hh"
+#include "index/vamana.hh"
+
+namespace ann {
+
+namespace {
+
+constexpr const char *kMagic = "DANN";
+constexpr std::uint32_t kVersion = 3;
+
+/** On-disk header written into sector 0. */
+struct DiskHeader
+{
+    char magic[8];
+    std::uint64_t rows;
+    std::uint64_t dim;
+    std::uint64_t max_degree;
+    std::uint64_t node_bytes;
+    std::uint64_t nodes_per_sector;
+    std::uint64_t sectors_per_node;
+    std::uint64_t medoid;
+};
+
+/** Candidate-list entry of the beam search (PQ-ranked). */
+struct BeamEntry
+{
+    float distance;
+    VectorId id;
+    bool expanded;
+    friend bool
+    operator<(const BeamEntry &a, const BeamEntry &b)
+    {
+        if (a.distance != b.distance)
+            return a.distance < b.distance;
+        return a.id < b.id;
+    }
+};
+
+} // namespace
+
+void
+DiskAnnIndex::build(const MatrixView &data,
+                    const DiskAnnBuildParams &params)
+{
+    ANN_CHECK(data.rows > 0, "diskann build needs data");
+
+    rows_ = data.rows;
+    dim_ = data.dim;
+    buildParams_ = params;
+    deltaVectors_.clear();
+    deltaCount_ = 0;
+    deleted_.assign(rows_, false);
+    deletedCount_ = 0;
+
+    // In-memory part: PQ codes for traversal distances.
+    PqParams pq_params = params.pq;
+    pq_.train(data, pq_params);
+    pqCodes_ = pq_.encodeAll(data);
+
+    // Graph part.
+    VamanaGraph graph = buildVamana(data, params.graph);
+    medoid_ = graph.medoid;
+    maxDegree_ = graph.max_degree;
+
+    // Disk layout: pack whole node records into sectors.
+    nodeBytes_ = dim_ * sizeof(float) + sizeof(std::uint32_t) +
+                 maxDegree_ * sizeof(std::uint32_t);
+    if (nodeBytes_ <= kSectorBytes) {
+        nodesPerSector_ = kSectorBytes / nodeBytes_;
+        sectorsPerNode_ = 1;
+    } else {
+        nodesPerSector_ = 0;
+        sectorsPerNode_ = (nodeBytes_ + kSectorBytes - 1) / kSectorBytes;
+    }
+
+    diskImage_.assign(numSectors() * kSectorBytes, 0);
+
+    DiskHeader header{};
+    std::memcpy(header.magic, "DISKANN1", 8);
+    header.rows = rows_;
+    header.dim = dim_;
+    header.max_degree = maxDegree_;
+    header.node_bytes = nodeBytes_;
+    header.nodes_per_sector = nodesPerSector_;
+    header.sectors_per_node = sectorsPerNode_;
+    header.medoid = medoid_;
+    std::memcpy(diskImage_.data(), &header, sizeof(header));
+
+    for (std::size_t v = 0; v < rows_; ++v) {
+        std::uint8_t *record = const_cast<std::uint8_t *>(
+            nodeRecord(static_cast<VectorId>(v)));
+        std::memcpy(record, data.row(v), dim_ * sizeof(float));
+        const auto &adj = graph.adjacency[v];
+        const auto degree = static_cast<std::uint32_t>(adj.size());
+        std::memcpy(record + dim_ * sizeof(float), &degree,
+                    sizeof(degree));
+        std::memcpy(record + dim_ * sizeof(float) + sizeof(degree),
+                    adj.data(), adj.size() * sizeof(std::uint32_t));
+    }
+
+    visitStamp_.assign(rows_, 0);
+    visitEpoch_ = 0;
+}
+
+VectorId
+DiskAnnIndex::addDelta(const float *vec)
+{
+    ANN_CHECK(rows_ > 0, "addDelta() requires a built index");
+    deltaVectors_.insert(deltaVectors_.end(), vec, vec + dim_);
+    deleted_.push_back(false);
+    const auto id = static_cast<VectorId>(rows_ + deltaCount_);
+    ++deltaCount_;
+    return id;
+}
+
+void
+DiskAnnIndex::markDeleted(VectorId id)
+{
+    ANN_CHECK(id < totalSize(), "markDeleted out of range");
+    if (!deleted_[id]) {
+        deleted_[id] = true;
+        ++deletedCount_;
+    }
+}
+
+bool
+DiskAnnIndex::isDeleted(VectorId id) const
+{
+    ANN_CHECK(id < totalSize(), "isDeleted out of range");
+    return deleted_[id];
+}
+
+void
+DiskAnnIndex::consolidate(std::vector<VectorId> *old_to_new)
+{
+    ANN_CHECK(rows_ > 0, "consolidate() requires a built index");
+
+    // Gather survivors: base vectors come back off the disk image.
+    std::vector<float> merged;
+    merged.reserve((totalSize() - deletedCount_) * dim_);
+    std::vector<VectorId> remap(totalSize(), kInvalidVector);
+    VectorId next = 0;
+    for (std::size_t v = 0; v < rows_; ++v) {
+        if (deleted_[v])
+            continue;
+        const auto *vec = reinterpret_cast<const float *>(
+            nodeRecord(static_cast<VectorId>(v)));
+        merged.insert(merged.end(), vec, vec + dim_);
+        remap[v] = next++;
+    }
+    for (std::size_t d = 0; d < deltaCount_; ++d) {
+        if (deleted_[rows_ + d])
+            continue;
+        const float *vec = deltaVectors_.data() + d * dim_;
+        merged.insert(merged.end(), vec, vec + dim_);
+        remap[rows_ + d] = next++;
+    }
+    ANN_CHECK(next > 0, "consolidate would empty the index");
+    if (old_to_new)
+        *old_to_new = remap;
+
+    const MatrixView view{merged.data(),
+                          static_cast<std::size_t>(next), dim_};
+    build(view, buildParams_);
+}
+
+std::uint64_t
+DiskAnnIndex::sectorOfNode(VectorId node) const
+{
+    ANN_ASSERT(node < rows_, "node out of range");
+    if (nodesPerSector_ > 0)
+        return 1 + node / nodesPerSector_;
+    return 1 + static_cast<std::uint64_t>(node) * sectorsPerNode_;
+}
+
+std::uint64_t
+DiskAnnIndex::numSectors() const
+{
+    if (rows_ == 0)
+        return 0;
+    if (nodesPerSector_ > 0)
+        return 1 + (rows_ + nodesPerSector_ - 1) / nodesPerSector_;
+    return 1 + rows_ * sectorsPerNode_;
+}
+
+std::size_t
+DiskAnnIndex::memoryBytes() const
+{
+    return pqCodes_.size() +
+           pq_.numSubspaces() * pq_.codebookSize() *
+               (pq_.numSubspaces() ? dim_ / pq_.numSubspaces() : 0) *
+               sizeof(float);
+}
+
+const std::uint8_t *
+DiskAnnIndex::nodeRecord(VectorId node) const
+{
+    const std::uint64_t sector = sectorOfNode(node);
+    std::size_t offset_in_sector = 0;
+    if (nodesPerSector_ > 0)
+        offset_in_sector = (node % nodesPerSector_) * nodeBytes_;
+    return diskImage_.data() + sector * kSectorBytes + offset_in_sector;
+}
+
+SearchResult
+DiskAnnIndex::search(const float *query, const DiskAnnSearchParams &params,
+                     SearchTraceRecorder *recorder) const
+{
+    ANN_CHECK(rows_ > 0, "search on empty diskann index");
+    ANN_CHECK(params.search_list >= params.k,
+              "search_list must be >= k");
+    ANN_CHECK(params.beam_width >= 1, "beam_width must be >= 1");
+
+    using Entry = BeamEntry;
+
+    // Visit stamps: one epoch per search.
+    if (visitStamp_.size() < rows_)
+        visitStamp_.assign(rows_, 0);
+    ++visitEpoch_;
+    if (visitEpoch_ == 0) {
+        std::fill(visitStamp_.begin(), visitStamp_.end(), 0);
+        visitEpoch_ = 1;
+    }
+
+    OpCounts local_ops;
+    const AdcTable adc = pq_.computeAdcTable(query);
+    local_ops.adc_tables += 1;
+
+    std::vector<Entry> cands;
+    cands.reserve(params.search_list + maxDegree_ * params.beam_width);
+    cands.push_back({pq_.adcDistance(adc, pqCodes_.data() +
+                                              medoid_ * pq_.codeSize()),
+                     medoid_, false});
+    local_ops.quant_distances += 1;
+    visitStamp_[medoid_] = visitEpoch_;
+
+    TopK reranked(params.k);
+    std::vector<VectorId> beam;
+    std::vector<std::uint64_t> sectors;
+
+    for (;;) {
+        // Gather up to beam_width closest unexpanded candidates.
+        beam.clear();
+        for (auto &entry : cands) {
+            if (entry.expanded)
+                continue;
+            entry.expanded = true;
+            beam.push_back(entry.id);
+            if (beam.size() >= params.beam_width)
+                break;
+        }
+        if (beam.empty())
+            break;
+        local_ops.hops += 1;
+
+        // One parallel batch of sector reads for the whole beam.
+        if (recorder) {
+            sectors.clear();
+            for (VectorId node : beam) {
+                const std::uint64_t first = sectorOfNode(node);
+                for (std::size_t s = 0; s < sectorsPerNode_; ++s)
+                    sectors.push_back(first + s);
+            }
+            std::sort(sectors.begin(), sectors.end());
+            sectors.erase(std::unique(sectors.begin(), sectors.end()),
+                          sectors.end());
+            std::vector<SectorRead> reads;
+            for (std::size_t i = 0; i < sectors.size();) {
+                std::size_t j = i + 1;
+                while (j < sectors.size() &&
+                       sectors[j] == sectors[j - 1] + 1)
+                    ++j;
+                reads.push_back({sectors[i],
+                                 static_cast<std::uint32_t>(j - i)});
+                i = j;
+            }
+            recorder->cpu() += local_ops;
+            local_ops = OpCounts{};
+            recorder->issueReads(std::move(reads));
+        }
+
+        // Consume the read node records.
+        for (VectorId node : beam) {
+            const std::uint8_t *record = nodeRecord(node);
+            const float *vec = reinterpret_cast<const float *>(record);
+            if (!deleted_[node])
+                reranked.push(node, l2DistanceSq(query, vec, dim_));
+            local_ops.full_distances += 1;
+
+            std::uint32_t degree = 0;
+            std::memcpy(&degree, record + dim_ * sizeof(float),
+                        sizeof(degree));
+            const auto *neighbors =
+                reinterpret_cast<const std::uint32_t *>(
+                    record + dim_ * sizeof(float) + sizeof(degree));
+            for (std::uint32_t i = 0; i < degree; ++i) {
+                const VectorId nb = neighbors[i];
+                if (visitStamp_[nb] == visitEpoch_)
+                    continue;
+                visitStamp_[nb] = visitEpoch_;
+                const float d = pq_.adcDistance(
+                    adc, pqCodes_.data() + nb * pq_.codeSize());
+                local_ops.quant_distances += 1;
+                local_ops.heap_ops += 1;
+                cands.push_back({d, nb, false});
+            }
+        }
+        std::sort(cands.begin(), cands.end());
+        if (cands.size() > params.search_list)
+            cands.resize(params.search_list);
+    }
+
+    // Memory-resident delta store: exact scan, no I/O.
+    for (std::size_t d = 0; d < deltaCount_; ++d) {
+        if (deleted_[rows_ + d])
+            continue;
+        reranked.push(static_cast<VectorId>(rows_ + d),
+                      l2DistanceSq(query,
+                                   deltaVectors_.data() + d * dim_,
+                                   dim_));
+        local_ops.full_distances += 1;
+        local_ops.rows_scanned += 1;
+    }
+
+    if (recorder) {
+        recorder->cpu() += local_ops;
+        recorder->finish();
+    }
+    return reranked.take();
+}
+
+void
+DiskAnnIndex::save(BinaryWriter &writer) const
+{
+    writer.writeString(kMagic);
+    writer.writePod<std::uint32_t>(kVersion);
+    writer.writePod<std::uint64_t>(rows_);
+    writer.writePod<std::uint64_t>(dim_);
+    writer.writePod<std::uint64_t>(maxDegree_);
+    writer.writePod<std::uint64_t>(nodeBytes_);
+    writer.writePod<std::uint64_t>(nodesPerSector_);
+    writer.writePod<std::uint64_t>(sectorsPerNode_);
+    writer.writePod<VectorId>(medoid_);
+    writer.writePod<std::uint64_t>(buildParams_.graph.max_degree);
+    writer.writePod<std::uint64_t>(buildParams_.graph.build_list);
+    writer.writePod<float>(buildParams_.graph.alpha);
+    writer.writePod<std::uint64_t>(buildParams_.graph.seed);
+    writer.writePod<std::uint64_t>(buildParams_.pq.m);
+    writer.writePod<std::uint64_t>(buildParams_.pq.ksub);
+    writer.writeVector(deltaVectors_);
+    writer.writePod<std::uint64_t>(deltaCount_);
+    {
+        std::vector<std::uint8_t> tombstones(totalSize(), 0);
+        for (std::size_t i = 0; i < totalSize(); ++i)
+            tombstones[i] = deleted_[i] ? 1 : 0;
+        writer.writeVector(tombstones);
+    }
+    pq_.save(writer);
+    writer.writeVector(pqCodes_);
+    writer.writeVector(diskImage_);
+}
+
+void
+DiskAnnIndex::load(BinaryReader &reader)
+{
+    ANN_CHECK(reader.readString() == kMagic, "not a diskann archive");
+    ANN_CHECK(reader.readPod<std::uint32_t>() == kVersion,
+              "diskann archive version mismatch");
+    rows_ = reader.readPod<std::uint64_t>();
+    dim_ = reader.readPod<std::uint64_t>();
+    maxDegree_ = reader.readPod<std::uint64_t>();
+    nodeBytes_ = reader.readPod<std::uint64_t>();
+    nodesPerSector_ = reader.readPod<std::uint64_t>();
+    sectorsPerNode_ = reader.readPod<std::uint64_t>();
+    medoid_ = reader.readPod<VectorId>();
+    buildParams_.graph.max_degree = reader.readPod<std::uint64_t>();
+    buildParams_.graph.build_list = reader.readPod<std::uint64_t>();
+    buildParams_.graph.alpha = reader.readPod<float>();
+    buildParams_.graph.seed = reader.readPod<std::uint64_t>();
+    buildParams_.pq.m = reader.readPod<std::uint64_t>();
+    buildParams_.pq.ksub = reader.readPod<std::uint64_t>();
+    deltaVectors_ = reader.readVector<float>();
+    deltaCount_ = reader.readPod<std::uint64_t>();
+    {
+        const auto tombstones = reader.readVector<std::uint8_t>();
+        deleted_.assign(tombstones.size(), false);
+        deletedCount_ = 0;
+        for (std::size_t i = 0; i < tombstones.size(); ++i) {
+            if (tombstones[i]) {
+                deleted_[i] = true;
+                ++deletedCount_;
+            }
+        }
+    }
+    pq_.load(reader);
+    pqCodes_ = reader.readVector<std::uint8_t>();
+    diskImage_ = reader.readVector<std::uint8_t>();
+    ANN_CHECK(diskImage_.size() == numSectors() * kSectorBytes,
+              "corrupt diskann archive");
+    visitStamp_.assign(rows_, 0);
+    visitEpoch_ = 0;
+}
+
+} // namespace ann

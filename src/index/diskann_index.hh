@@ -1,0 +1,138 @@
+/**
+ * @file
+ * DiskANN: the storage-based graph index (Subramanya et al.,
+ * NeurIPS'19) that the paper characterizes through Milvus.
+ *
+ * Memory holds product-quantized codes of every vector (small); the
+ * Vamana graph plus the full-precision vectors live in a 4 KiB-sector
+ * disk file. Each graph node record is [fp32 vector | degree |
+ * neighbour ids]; records are packed whole into sectors (or span
+ * several sectors when larger than one), so every graph hop costs
+ * whole-sector reads — this layout is why the paper observes > 99.99 %
+ * of I/O requests at exactly 4 KiB (O-15).
+ *
+ * Search is beam search: each iteration expands the beam_width (W)
+ * closest unexpanded candidates of the search_list (L) sized candidate
+ * list, issuing their sector reads as one parallel batch. Distances
+ * that steer the traversal use the in-memory PQ codes; the
+ * full-precision vectors read from disk re-rank the final result.
+ */
+
+#ifndef ANN_INDEX_DISKANN_INDEX_HH
+#define ANN_INDEX_DISKANN_INDEX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "index/params.hh"
+#include "index/search_trace.hh"
+#include "quant/product_quantizer.hh"
+
+namespace ann {
+
+class BinaryReader;
+class BinaryWriter;
+
+/** Sector size of the simulated disk layout (matches NVMe LBA+fs). */
+inline constexpr std::size_t kSectorBytes = 4096;
+
+/** Storage-based graph index with PQ-guided beam search. */
+class DiskAnnIndex
+{
+  public:
+    DiskAnnIndex() = default;
+
+    /** Build graph + PQ codes + disk image from @p data. */
+    void build(const MatrixView &data, const DiskAnnBuildParams &params);
+
+    /**
+     * FreshDiskANN-style streaming insert (paper SS VIII): the vector
+     * joins a memory-resident delta store that searches scan exactly;
+     * consolidate() later merges it into the on-disk graph.
+     * @return the new vector's id (continues after the base rows).
+     */
+    VectorId addDelta(const float *vec);
+
+    /** Tombstone @p id (base or delta); filtered from results. */
+    void markDeleted(VectorId id);
+    bool isDeleted(VectorId id) const;
+    std::size_t deletedCount() const { return deletedCount_; }
+    std::size_t deltaSize() const { return deltaCount_; }
+    /** Base + delta vectors (including tombstoned ones). */
+    std::size_t totalSize() const { return rows_ + deltaCount_; }
+
+    /**
+     * Streaming merge: rebuilds the on-disk index from the surviving
+     * base vectors (read back from the disk image) plus the delta,
+     * clearing tombstones. Surviving vectors get new dense ids;
+     * @param old_to_new when non-null receives the id remapping
+     *        (kInvalidVector for deleted entries).
+     */
+    void consolidate(std::vector<VectorId> *old_to_new = nullptr);
+
+    std::size_t size() const { return rows_; }
+    std::size_t dim() const { return dim_; }
+    std::size_t maxDegree() const { return maxDegree_; }
+    VectorId medoid() const { return medoid_; }
+
+    /** Bytes of one on-disk node record. */
+    std::size_t nodeBytes() const { return nodeBytes_; }
+    /** Node records packed per sector (0 when nodes span sectors). */
+    std::size_t nodesPerSector() const { return nodesPerSector_; }
+    /** Sectors one node spans (1 when nodes pack into sectors). */
+    std::size_t sectorsPerNode() const { return sectorsPerNode_; }
+    /** First sector holding @p node 's record. */
+    std::uint64_t sectorOfNode(VectorId node) const;
+    /** Total sectors of the disk file (including the header sector). */
+    std::uint64_t numSectors() const;
+
+    /** In-memory footprint: PQ codes + codebooks. */
+    std::size_t memoryBytes() const;
+    /** On-disk footprint: the full sector file. */
+    std::size_t diskBytes() const { return diskImage_.size(); }
+
+    /**
+     * Beam search.
+     *
+     * The algorithm always runs on the in-memory disk image (contents
+     * are real); @p recorder captures which sectors each hop read so
+     * the simulator can charge I/O time later.
+     */
+    SearchResult search(const float *query,
+                        const DiskAnnSearchParams &params,
+                        SearchTraceRecorder *recorder = nullptr) const;
+
+    void save(BinaryWriter &writer) const;
+    void load(BinaryReader &reader);
+
+  private:
+    const std::uint8_t *nodeRecord(VectorId node) const;
+
+    std::size_t rows_ = 0;
+    std::size_t dim_ = 0;
+    std::size_t maxDegree_ = 0;
+    std::size_t nodeBytes_ = 0;
+    std::size_t nodesPerSector_ = 0;
+    std::size_t sectorsPerNode_ = 1;
+    VectorId medoid_ = kInvalidVector;
+
+    ProductQuantizer pq_;
+    std::vector<std::uint8_t> pqCodes_;
+    std::vector<std::uint8_t> diskImage_;
+
+    /** Streaming state. */
+    DiskAnnBuildParams buildParams_;
+    std::vector<float> deltaVectors_;
+    std::size_t deltaCount_ = 0;
+    std::vector<bool> deleted_;
+    std::size_t deletedCount_ = 0;
+
+    /** Visit-stamp scratch to avoid per-search allocation. */
+    mutable std::vector<std::uint32_t> visitStamp_;
+    mutable std::uint32_t visitEpoch_ = 0;
+};
+
+} // namespace ann
+
+#endif // ANN_INDEX_DISKANN_INDEX_HH

@@ -1,0 +1,36 @@
+#include "index/flat_index.hh"
+
+#include "common/error.hh"
+#include "distance/topk.hh"
+
+namespace ann {
+
+FlatIndex::FlatIndex(Metric metric)
+    : metric_(metric)
+{}
+
+void
+FlatIndex::build(const MatrixView &data)
+{
+    ANN_CHECK(data.rows > 0 && data.dim > 0, "flat index needs data");
+    rows_ = data.rows;
+    dim_ = data.dim;
+    data_.assign(data.data, data.data + rows_ * dim_);
+}
+
+SearchResult
+FlatIndex::search(const float *query, std::size_t k,
+                  SearchTraceRecorder *recorder) const
+{
+    ANN_CHECK(rows_ > 0, "search on empty flat index");
+    const MatrixView view{data_.data(), rows_, dim_};
+    SearchResult result = bruteForceSearch(view, query, metric_, k);
+    if (recorder) {
+        recorder->cpu().full_distances += rows_;
+        recorder->cpu().rows_scanned += rows_;
+        recorder->cpu().heap_ops += k;
+    }
+    return result;
+}
+
+} // namespace ann

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Exact brute-force index. Serves as ground truth for recall and as
+ * the degenerate baseline every approximate index is compared against.
+ */
+
+#ifndef ANN_INDEX_FLAT_INDEX_HH
+#define ANN_INDEX_FLAT_INDEX_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "distance/distance.hh"
+#include "index/search_trace.hh"
+
+namespace ann {
+
+/** Exact nearest-neighbour index (linear scan). */
+class FlatIndex
+{
+  public:
+    explicit FlatIndex(Metric metric = Metric::L2);
+
+    /** Copy @p data into the index. */
+    void build(const MatrixView &data);
+
+    std::size_t size() const { return rows_; }
+    std::size_t dim() const { return dim_; }
+    Metric metric() const { return metric_; }
+
+    /**
+     * Exact k-nearest search.
+     * @param recorder optional op-count instrumentation
+     */
+    SearchResult search(const float *query, std::size_t k,
+                        SearchTraceRecorder *recorder = nullptr) const;
+
+    /** In-memory footprint of the stored vectors, in bytes. */
+    std::size_t memoryBytes() const { return data_.size() * sizeof(float); }
+
+  private:
+    Metric metric_;
+    std::size_t rows_ = 0;
+    std::size_t dim_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace ann
+
+#endif // ANN_INDEX_FLAT_INDEX_HH

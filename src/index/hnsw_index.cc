@@ -1,0 +1,458 @@
+#include "index/hnsw_index.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/error.hh"
+#include "common/serialize.hh"
+#include "distance/topk.hh"
+
+namespace ann {
+
+namespace {
+
+constexpr const char *kMagic = "HNSW";
+constexpr std::uint32_t kVersion = 3;
+
+} // namespace
+
+HnswIndex::HnswIndex(Metric metric)
+    : metric_(metric)
+{}
+
+std::size_t
+HnswIndex::maxDegree(int level) const
+{
+    return level == 0 ? 2 * m_ : m_;
+}
+
+float
+HnswIndex::nodeDistance(const float *query, VectorId node) const
+{
+    if (useSq_)
+        return sq_.asymmetricL2(query, codes_.data() +
+                                           node * sq_.codeSize());
+    return distance(metric_, query, data_.data() + node * dim_, dim_);
+}
+
+void
+HnswIndex::build(const MatrixView &data, const HnswBuildParams &params)
+{
+    ANN_CHECK(data.rows > 0, "hnsw build needs data");
+    ANN_CHECK(params.m >= 2, "hnsw m must be >= 2");
+    ANN_CHECK(params.ef_construction >= params.m,
+              "efConstruction must be >= m");
+
+    rows_ = 0;
+    dim_ = data.dim;
+    m_ = params.m;
+    efConstruction_ = params.ef_construction;
+    useSq_ = params.use_sq;
+    seed_ = params.seed;
+    maxLevel_ = -1;
+    entryPoint_ = kInvalidVector;
+    deleted_.clear();
+    deletedCount_ = 0;
+    insertRng_ = Rng(params.seed);
+
+    data_.clear();
+    data_.reserve(data.rows * dim_);
+    levels_.clear();
+    links_.clear();
+    links_.reserve(data.rows);
+    visitStamp_.assign(data.rows, 0);
+    visitEpoch_ = 0;
+
+    if (useSq_) {
+        sq_.train(data);
+        codes_.clear();
+        codes_.reserve(data.rows * data.dim);
+    }
+
+    for (std::size_t r = 0; r < data.rows; ++r) {
+        const float *vec = data.row(r);
+        data_.insert(data_.end(), vec, vec + dim_);
+        if (useSq_) {
+            codes_.resize(codes_.size() + sq_.codeSize());
+            sq_.encode(vec, codes_.data() + r * sq_.codeSize());
+        }
+        insert(static_cast<VectorId>(r), vec, insertRng_);
+        deleted_.push_back(false);
+        ++rows_;
+    }
+}
+
+VectorId
+HnswIndex::add(const float *vec)
+{
+    ANN_CHECK(rows_ > 0, "add() requires a built index");
+    const auto id = static_cast<VectorId>(rows_);
+    data_.insert(data_.end(), vec, vec + dim_);
+    if (useSq_) {
+        codes_.resize(codes_.size() + sq_.codeSize());
+        sq_.encode(vec, codes_.data() + id * sq_.codeSize());
+    }
+    insert(id, data_.data() + id * dim_, insertRng_);
+    deleted_.push_back(false);
+    ++rows_;
+    if (visitStamp_.size() < rows_)
+        visitStamp_.resize(rows_, 0);
+    return id;
+}
+
+void
+HnswIndex::markDeleted(VectorId node)
+{
+    ANN_CHECK(node < rows_, "markDeleted out of range");
+    if (!deleted_[node]) {
+        deleted_[node] = true;
+        ++deletedCount_;
+    }
+}
+
+bool
+HnswIndex::isDeleted(VectorId node) const
+{
+    ANN_CHECK(node < rows_, "isDeleted out of range");
+    return deleted_[node];
+}
+
+void
+HnswIndex::insert(VectorId id, const float *vec, Rng &rng)
+{
+    // Exponential level distribution with multiplier 1/ln(M).
+    const double unit = std::max(rng.nextDouble(), 1e-12);
+    const int level = static_cast<int>(-std::log(unit) /
+                                       std::log(static_cast<double>(m_)));
+
+    levels_.push_back(static_cast<std::uint8_t>(std::min(level, 255)));
+    links_.emplace_back(static_cast<std::size_t>(level) + 1);
+
+    if (entryPoint_ == kInvalidVector) {
+        entryPoint_ = id;
+        maxLevel_ = level;
+        return;
+    }
+
+    VectorId entry = entryPoint_;
+    // Greedy descent through the layers above the new node's level.
+    for (int lc = maxLevel_; lc > level; --lc) {
+        bool improved = true;
+        float best = nodeDistance(vec, entry);
+        while (improved) {
+            improved = false;
+            for (VectorId nb : links_[entry][lc]) {
+                const float d = nodeDistance(vec, nb);
+                if (d < best) {
+                    best = d;
+                    entry = nb;
+                    improved = true;
+                }
+            }
+        }
+    }
+
+    // Connect at each level from min(level, maxLevel_) down to 0.
+    for (int lc = std::min(level, maxLevel_); lc >= 0; --lc) {
+        auto candidates =
+            searchLayer(vec, entry, efConstruction_, lc, nullptr);
+        entry = candidates.front().id;
+        auto selected = selectNeighbors(vec, candidates,
+                                        std::min(maxDegree(lc), m_));
+        links_[id][lc] = selected;
+        // Back edges with degree shrinking.
+        for (VectorId nb : selected) {
+            auto &nb_links = links_[nb][lc];
+            nb_links.push_back(id);
+            if (nb_links.size() > maxDegree(lc)) {
+                const float *nb_vec = data_.data() + nb * dim_;
+                std::vector<Candidate> pool;
+                pool.reserve(nb_links.size());
+                for (VectorId cand : nb_links)
+                    pool.push_back({nodeDistance(nb_vec, cand), cand});
+                std::sort(pool.begin(), pool.end());
+                nb_links = selectNeighbors(nb_vec, pool, maxDegree(lc));
+            }
+        }
+    }
+
+    if (level > maxLevel_) {
+        maxLevel_ = level;
+        entryPoint_ = id;
+    }
+}
+
+std::vector<HnswIndex::Candidate>
+HnswIndex::searchLayer(const float *query, VectorId entry, std::size_t ef,
+                       int level, OpCounts *ops,
+                       std::vector<VectorId> *visited_out) const
+{
+    // Visit stamps: epoch bump makes all nodes unvisited in O(1).
+    if (visitStamp_.size() < links_.size())
+        visitStamp_.resize(links_.size(), 0);
+    ++visitEpoch_;
+    if (visitEpoch_ == 0) {
+        std::fill(visitStamp_.begin(), visitStamp_.end(), 0);
+        visitEpoch_ = 1;
+    }
+
+    const float entry_dist = nodeDistance(query, entry);
+    std::uint64_t dist_evals = 1;
+    if (visited_out)
+        visited_out->push_back(entry);
+
+    // Min-heap of frontier candidates, max-heap of current best ef.
+    std::priority_queue<Candidate, std::vector<Candidate>,
+                        std::greater<Candidate>>
+        frontier;
+    std::priority_queue<Candidate> best;
+    frontier.push({entry_dist, entry});
+    best.push({entry_dist, entry});
+    visitStamp_[entry] = visitEpoch_;
+
+    while (!frontier.empty()) {
+        const Candidate current = frontier.top();
+        if (current.distance > best.top().distance && best.size() >= ef)
+            break;
+        frontier.pop();
+        for (VectorId nb : links_[current.id][level]) {
+            if (visitStamp_[nb] == visitEpoch_)
+                continue;
+            visitStamp_[nb] = visitEpoch_;
+            const float d = nodeDistance(query, nb);
+            ++dist_evals;
+            if (visited_out)
+                visited_out->push_back(nb);
+            if (best.size() < ef || d < best.top().distance) {
+                frontier.push({d, nb});
+                best.push({d, nb});
+                if (best.size() > ef)
+                    best.pop();
+            }
+        }
+    }
+
+    if (ops) {
+        if (useSq_)
+            ops->quant_distances += dist_evals;
+        else
+            ops->full_distances += dist_evals;
+        ops->heap_ops += dist_evals;
+    }
+
+    std::vector<Candidate> result;
+    result.reserve(best.size());
+    while (!best.empty()) {
+        result.push_back(best.top());
+        best.pop();
+    }
+    std::reverse(result.begin(), result.end()); // ascending distance
+    return result;
+}
+
+std::vector<VectorId>
+HnswIndex::selectNeighbors(const float *query,
+                           std::vector<Candidate> candidates,
+                           std::size_t m) const
+{
+    // Heuristic selection: keep a candidate only if it is closer to
+    // the query than to every already-selected neighbour. This spreads
+    // edges directionally and is what gives HNSW its navigability.
+    std::sort(candidates.begin(), candidates.end());
+    std::vector<VectorId> selected;
+    selected.reserve(m);
+    for (const Candidate &cand : candidates) {
+        if (selected.size() >= m)
+            break;
+        const float *cand_vec = data_.data() + cand.id * dim_;
+        bool keep = true;
+        for (VectorId prev : selected) {
+            const float *prev_vec = data_.data() + prev * dim_;
+            if (distance(metric_, cand_vec, prev_vec, dim_) <
+                cand.distance) {
+                keep = false;
+                break;
+            }
+        }
+        if (keep)
+            selected.push_back(cand.id);
+    }
+    // Backfill with nearest rejected candidates if underfull.
+    if (selected.size() < m) {
+        for (const Candidate &cand : candidates) {
+            if (selected.size() >= m)
+                break;
+            if (std::find(selected.begin(), selected.end(), cand.id) ==
+                selected.end())
+                selected.push_back(cand.id);
+        }
+    }
+    (void)query;
+    return selected;
+}
+
+SearchResult
+HnswIndex::search(const float *query, const HnswSearchParams &params,
+                  SearchTraceRecorder *recorder,
+                  std::vector<VectorId> *visited_out) const
+{
+    ANN_CHECK(rows_ > 0, "search on empty hnsw index");
+    OpCounts local_ops;
+    OpCounts *ops = recorder ? &local_ops : nullptr;
+
+    VectorId entry = entryPoint_;
+    // Greedy descent with ef=1 through the upper layers.
+    for (int lc = maxLevel_; lc > 0; --lc) {
+        bool improved = true;
+        float best = nodeDistance(query, entry);
+        if (ops)
+            ops->full_distances += 1;
+        if (visited_out)
+            visited_out->push_back(entry);
+        while (improved) {
+            improved = false;
+            for (VectorId nb : links_[entry][lc]) {
+                const float d = nodeDistance(query, nb);
+                if (visited_out)
+                    visited_out->push_back(nb);
+                if (ops) {
+                    if (useSq_)
+                        ops->quant_distances += 1;
+                    else
+                        ops->full_distances += 1;
+                }
+                if (d < best) {
+                    best = d;
+                    entry = nb;
+                    improved = true;
+                }
+            }
+            if (ops)
+                ops->hops += 1;
+        }
+    }
+
+    const std::size_t ef = std::max(params.ef_search, params.k);
+    auto candidates = searchLayer(query, entry, ef, 0, ops, visited_out);
+
+    TopK top(params.k);
+    for (const Candidate &cand : candidates)
+        if (!deleted_[cand.id])
+            top.push(cand.id, cand.distance);
+
+    if (recorder) {
+        local_ops.hops += candidates.size();
+        recorder->cpu() += local_ops;
+    }
+    return top.take();
+}
+
+const std::vector<VectorId> &
+HnswIndex::neighbors(VectorId node, int level) const
+{
+    ANN_CHECK(node < links_.size(), "node out of range");
+    ANN_CHECK(level >= 0 &&
+                  static_cast<std::size_t>(level) < links_[node].size(),
+              "level out of range for node");
+    return links_[node][level];
+}
+
+int
+HnswIndex::nodeLevel(VectorId node) const
+{
+    ANN_CHECK(node < levels_.size(), "node out of range");
+    return levels_[node];
+}
+
+std::size_t
+HnswIndex::memoryBytes() const
+{
+    std::size_t bytes =
+        useSq_ ? codes_.size() : data_.size() * sizeof(float);
+    for (const auto &node_links : links_)
+        for (const auto &level_links : node_links)
+            bytes += level_links.size() * sizeof(VectorId);
+    return bytes;
+}
+
+void
+HnswIndex::save(BinaryWriter &writer) const
+{
+    writer.writeString(kMagic);
+    writer.writePod<std::uint32_t>(kVersion);
+    writer.writePod<std::uint8_t>(static_cast<std::uint8_t>(metric_));
+    writer.writePod<std::uint64_t>(rows_);
+    writer.writePod<std::uint64_t>(dim_);
+    writer.writePod<std::uint64_t>(m_);
+    writer.writePod<std::uint64_t>(efConstruction_);
+    writer.writePod<std::uint8_t>(useSq_ ? 1 : 0);
+    writer.writePod<std::uint64_t>(seed_);
+    {
+        std::vector<std::uint8_t> tombstones(rows_, 0);
+        for (std::size_t i = 0; i < rows_; ++i)
+            tombstones[i] = deleted_[i] ? 1 : 0;
+        writer.writeVector(tombstones);
+    }
+    writer.writePod<std::int32_t>(maxLevel_);
+    writer.writePod<VectorId>(entryPoint_);
+    writer.writeVector(data_);
+    writer.writeVector(levels_);
+    if (useSq_) {
+        writer.writeVector(codes_);
+        sq_.save(writer);
+    }
+    for (const auto &node_links : links_) {
+        writer.writePod<std::uint32_t>(
+            static_cast<std::uint32_t>(node_links.size()));
+        for (const auto &level_links : node_links)
+            writer.writeVector(level_links);
+    }
+}
+
+void
+HnswIndex::load(BinaryReader &reader)
+{
+    ANN_CHECK(reader.readString() == kMagic, "not an hnsw archive");
+    ANN_CHECK(reader.readPod<std::uint32_t>() == kVersion,
+              "hnsw archive version mismatch");
+    metric_ = static_cast<Metric>(reader.readPod<std::uint8_t>());
+    rows_ = reader.readPod<std::uint64_t>();
+    dim_ = reader.readPod<std::uint64_t>();
+    m_ = reader.readPod<std::uint64_t>();
+    efConstruction_ = reader.readPod<std::uint64_t>();
+    useSq_ = reader.readPod<std::uint8_t>() != 0;
+    seed_ = reader.readPod<std::uint64_t>();
+    {
+        const auto tombstones = reader.readVector<std::uint8_t>();
+        deleted_.assign(tombstones.size(), false);
+        deletedCount_ = 0;
+        for (std::size_t i = 0; i < tombstones.size(); ++i) {
+            if (tombstones[i]) {
+                deleted_[i] = true;
+                ++deletedCount_;
+            }
+        }
+    }
+    // Post-load inserts draw from a stream derived from the state.
+    insertRng_ = Rng(seed_).fork(rows_);
+    maxLevel_ = reader.readPod<std::int32_t>();
+    entryPoint_ = reader.readPod<VectorId>();
+    data_ = reader.readVector<float>();
+    levels_ = reader.readVector<std::uint8_t>();
+    if (useSq_) {
+        codes_ = reader.readVector<std::uint8_t>();
+        sq_.load(reader);
+    }
+    links_.assign(rows_, {});
+    for (std::size_t i = 0; i < rows_; ++i) {
+        const auto num_levels = reader.readPod<std::uint32_t>();
+        links_[i].resize(num_levels);
+        for (auto &level_links : links_[i])
+            level_links = reader.readVector<VectorId>();
+    }
+    visitStamp_.assign(rows_, 0);
+    visitEpoch_ = 0;
+}
+
+} // namespace ann

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * HNSW (Hierarchical Navigable Small World) graph index
+ * (Malkov & Yashunin, TPAMI'20).
+ *
+ * The memory-based index used by Milvus, Qdrant, Weaviate, and (with
+ * scalar quantization) LanceDB in the paper. Insertions draw an
+ * exponentially distributed level; search descends greedily through
+ * the upper layers and runs best-first search with an ef-sized
+ * candidate list on layer 0 (Fig. 1b in the paper).
+ */
+
+#ifndef ANN_INDEX_HNSW_INDEX_HH
+#define ANN_INDEX_HNSW_INDEX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "distance/distance.hh"
+#include "index/params.hh"
+#include "index/search_trace.hh"
+#include "quant/scalar_quantizer.hh"
+
+namespace ann {
+
+class BinaryReader;
+class BinaryWriter;
+
+/** Hierarchical navigable small-world graph index. */
+class HnswIndex
+{
+  public:
+    explicit HnswIndex(Metric metric = Metric::L2);
+
+    /** Insert all rows of @p data (resets previous contents). */
+    void build(const MatrixView &data, const HnswBuildParams &params);
+
+    /**
+     * Insert one vector after build (streaming ingestion, paper
+     * SS VIII); @return the new vector's id.
+     */
+    VectorId add(const float *vec);
+
+    /**
+     * Tombstone @p node: it keeps routing traffic (its edges stay)
+     * but never appears in results — the standard HNSW deletion
+     * strategy.
+     */
+    void markDeleted(VectorId node);
+    bool isDeleted(VectorId node) const;
+    std::size_t deletedCount() const { return deletedCount_; }
+
+    std::size_t size() const { return rows_; }
+    std::size_t dim() const { return dim_; }
+    bool usesSq() const { return useSq_; }
+    int maxLevel() const { return maxLevel_; }
+
+    /** Out-neighbours of @p node at @p level (for tests/inspection). */
+    const std::vector<VectorId> &neighbors(VectorId node,
+                                           int level) const;
+
+    /** Level of @p node. */
+    int nodeLevel(VectorId node) const;
+
+    /** Approximate in-memory footprint in bytes. */
+    std::size_t memoryBytes() const;
+
+    /**
+     * Approximate k-nearest search with candidate list size
+     * max(ef_search, k).
+     *
+     * @param visited_out when non-null, receives every node whose
+     *        vector was touched, in evaluation order — the page-fault
+     *        sequence an mmap-backed deployment would take (used by
+     *        the Qdrant-like engine's storage mode).
+     */
+    SearchResult search(const float *query,
+                        const HnswSearchParams &params,
+                        SearchTraceRecorder *recorder = nullptr,
+                        std::vector<VectorId> *visited_out =
+                            nullptr) const;
+
+    void save(BinaryWriter &writer) const;
+    void load(BinaryReader &reader);
+
+  private:
+    struct Candidate
+    {
+        float distance;
+        VectorId id;
+        friend bool
+        operator<(const Candidate &a, const Candidate &b)
+        {
+            if (a.distance != b.distance)
+                return a.distance < b.distance;
+            return a.id < b.id;
+        }
+        friend bool
+        operator>(const Candidate &a, const Candidate &b)
+        {
+            return b < a;
+        }
+    };
+
+    /** Distance from a raw query vector to a stored node. */
+    float nodeDistance(const float *query, VectorId node) const;
+
+    /** Best-first search within one layer. */
+    std::vector<Candidate>
+    searchLayer(const float *query, VectorId entry, std::size_t ef,
+                int level, OpCounts *ops,
+                std::vector<VectorId> *visited_out = nullptr) const;
+
+    /** Heuristic neighbour selection (Malkov alg. 4). */
+    std::vector<VectorId>
+    selectNeighbors(const float *query,
+                    std::vector<Candidate> candidates,
+                    std::size_t m) const;
+
+    void insert(VectorId id, const float *vec, Rng &rng);
+    std::size_t maxDegree(int level) const;
+
+    Metric metric_;
+    std::size_t rows_ = 0;
+    std::size_t dim_ = 0;
+    std::size_t m_ = 16;
+    std::size_t efConstruction_ = 200;
+    bool useSq_ = false;
+    std::uint64_t seed_ = 42;
+
+    std::vector<bool> deleted_;
+    std::size_t deletedCount_ = 0;
+    /** Level-draw RNG, persisted across add() calls. */
+    Rng insertRng_{42};
+
+    int maxLevel_ = -1;
+    VectorId entryPoint_ = kInvalidVector;
+
+    std::vector<float> data_;              // raw vectors (always kept)
+    std::vector<std::uint8_t> codes_;      // SQ codes when useSq_
+    ScalarQuantizer sq_;
+    std::vector<std::uint8_t> levels_;
+    /** links_[node][level] = out-neighbour ids. */
+    std::vector<std::vector<std::vector<VectorId>>> links_;
+
+    /** Visit-stamp scratch to avoid per-search allocation. */
+    mutable std::vector<std::uint32_t> visitStamp_;
+    mutable std::uint32_t visitEpoch_ = 0;
+};
+
+} // namespace ann
+
+#endif // ANN_INDEX_HNSW_INDEX_HH

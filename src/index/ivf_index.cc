@@ -1,0 +1,271 @@
+#include "index/ivf_index.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+#include "common/serialize.hh"
+#include "distance/topk.hh"
+
+namespace ann {
+
+namespace {
+
+constexpr const char *kMagic = "IVF1";
+constexpr std::uint32_t kVersion = 3;
+
+} // namespace
+
+IvfIndex::IvfIndex(Metric metric)
+    : metric_(metric)
+{}
+
+void
+IvfIndex::build(const MatrixView &data, const IvfBuildParams &params)
+{
+    ANN_CHECK(data.rows > 0, "ivf build needs data");
+    ANN_CHECK(params.nlist > 0 && params.nlist <= data.rows,
+              "ivf nlist=", params.nlist, " invalid for ", data.rows,
+              " rows");
+
+    rows_ = data.rows;
+    dim_ = data.dim;
+    usePq_ = params.use_pq;
+
+    KMeansParams km;
+    km.k = params.nlist;
+    km.max_iters = params.train_iters;
+    km.subsample = params.train_subsample;
+    km.seed = params.seed;
+    centroids_ = kmeansFit(data, km);
+
+    if (usePq_) {
+        PqParams pq = params.pq;
+        pq.seed = params.seed + 1;
+        pq_.train(data, pq);
+    }
+
+    deleted_.assign(rows_, false);
+    deletedCount_ = 0;
+
+    const auto assignment = assignToCentroids(centroids_, data);
+    listIds_.assign(params.nlist, {});
+    listVectors_.assign(usePq_ ? 0 : params.nlist, {});
+    listCodes_.assign(usePq_ ? params.nlist : 0, {});
+
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const std::uint32_t list = assignment[r];
+        listIds_[list].push_back(static_cast<VectorId>(r));
+        if (usePq_) {
+            auto &codes = listCodes_[list];
+            const std::size_t offset = codes.size();
+            codes.resize(offset + pq_.codeSize());
+            pq_.encode(data.row(r), codes.data() + offset);
+        } else {
+            auto &vectors = listVectors_[list];
+            vectors.insert(vectors.end(), data.row(r),
+                           data.row(r) + dim_);
+        }
+    }
+}
+
+VectorId
+IvfIndex::add(const float *vec)
+{
+    ANN_CHECK(rows_ > 0, "add() requires a built index");
+    const auto id = static_cast<VectorId>(rows_);
+    const std::uint32_t list = nearestCentroid(centroids_, vec);
+    listIds_[list].push_back(id);
+    if (usePq_) {
+        auto &codes = listCodes_[list];
+        const std::size_t offset = codes.size();
+        codes.resize(offset + pq_.codeSize());
+        pq_.encode(vec, codes.data() + offset);
+    } else {
+        listVectors_[list].insert(listVectors_[list].end(), vec,
+                                  vec + dim_);
+    }
+    deleted_.push_back(false);
+    ++rows_;
+    return id;
+}
+
+void
+IvfIndex::markDeleted(VectorId id)
+{
+    ANN_CHECK(id < rows_, "markDeleted out of range");
+    if (!deleted_[id]) {
+        deleted_[id] = true;
+        ++deletedCount_;
+    }
+}
+
+bool
+IvfIndex::isDeleted(VectorId id) const
+{
+    ANN_CHECK(id < rows_, "isDeleted out of range");
+    return deleted_[id];
+}
+
+const std::vector<VectorId> &
+IvfIndex::listIds(std::size_t list) const
+{
+    ANN_CHECK(list < listIds_.size(), "posting list out of range");
+    return listIds_[list];
+}
+
+std::size_t
+IvfIndex::entryBytes() const
+{
+    return usePq_ ? pq_.codeSize() : dim_ * sizeof(float);
+}
+
+std::size_t
+IvfIndex::memoryBytes() const
+{
+    std::size_t bytes = centroids_.centroids.size() * sizeof(float);
+    for (const auto &ids : listIds_)
+        bytes += ids.size() * (sizeof(VectorId) + entryBytes());
+    return bytes;
+}
+
+std::vector<std::uint32_t>
+IvfIndex::probeLists(const float *query, std::size_t nprobe) const
+{
+    ANN_CHECK(rows_ > 0, "probeLists on empty ivf index");
+    ANN_CHECK(nprobe > 0, "nprobe must be positive");
+    nprobe = std::min(nprobe, nlist());
+    const DistanceFunc dist = distanceFunc(metric_);
+    TopK centroid_top(nprobe);
+    for (std::size_t c = 0; c < nlist(); ++c)
+        centroid_top.push(static_cast<VectorId>(c),
+                          dist(query, centroids_.centroid(c), dim_));
+    std::vector<std::uint32_t> lists;
+    lists.reserve(nprobe);
+    for (const Neighbor &n : centroid_top.take())
+        lists.push_back(n.id);
+    return lists;
+}
+
+SearchResult
+IvfIndex::search(const float *query, const IvfSearchParams &params,
+                 SearchTraceRecorder *recorder) const
+{
+    ANN_CHECK(rows_ > 0, "search on empty ivf index");
+    const std::size_t nprobe = std::min(params.nprobe, nlist());
+    const DistanceFunc dist = distanceFunc(metric_);
+    const std::vector<std::uint32_t> probed =
+        probeLists(query, params.nprobe);
+
+    if (recorder) {
+        recorder->cpu().full_distances += nlist();
+        recorder->cpu().heap_ops += nprobe;
+    }
+
+    AdcTable adc;
+    if (usePq_) {
+        adc = pq_.computeAdcTable(query);
+        if (recorder)
+            recorder->cpu().adc_tables += 1;
+    }
+
+    TopK top(params.k);
+    for (const std::uint32_t list : probed) {
+        const auto &ids = listIds_[list];
+        if (usePq_) {
+            const std::uint8_t *codes = listCodes_[list].data();
+            for (std::size_t i = 0; i < ids.size(); ++i) {
+                if (deleted_[ids[i]])
+                    continue;
+                top.push(ids[i],
+                         pq_.adcDistance(adc,
+                                         codes + i * pq_.codeSize()));
+            }
+        } else {
+            const float *vectors = listVectors_[list].data();
+            for (std::size_t i = 0; i < ids.size(); ++i) {
+                if (deleted_[ids[i]])
+                    continue;
+                top.push(ids[i], dist(query, vectors + i * dim_, dim_));
+            }
+        }
+        if (recorder) {
+            recorder->cpu().hops += 1;
+            recorder->cpu().rows_scanned += ids.size();
+            if (usePq_)
+                recorder->cpu().quant_distances += ids.size();
+            else
+                recorder->cpu().full_distances += ids.size();
+        }
+    }
+    return top.take();
+}
+
+void
+IvfIndex::save(BinaryWriter &writer) const
+{
+    writer.writeString(kMagic);
+    writer.writePod<std::uint32_t>(kVersion);
+    writer.writePod<std::uint8_t>(static_cast<std::uint8_t>(metric_));
+    writer.writePod<std::uint64_t>(rows_);
+    writer.writePod<std::uint64_t>(dim_);
+    writer.writePod<std::uint8_t>(usePq_ ? 1 : 0);
+    {
+        std::vector<std::uint8_t> tombstones(rows_, 0);
+        for (std::size_t i = 0; i < rows_; ++i)
+            tombstones[i] = deleted_[i] ? 1 : 0;
+        writer.writeVector(tombstones);
+    }
+    writer.writePod<std::uint64_t>(centroids_.k);
+    writer.writeVector(centroids_.centroids);
+    if (usePq_)
+        pq_.save(writer);
+    writer.writePod<std::uint64_t>(listIds_.size());
+    for (std::size_t i = 0; i < listIds_.size(); ++i) {
+        writer.writeVector(listIds_[i]);
+        if (usePq_)
+            writer.writeVector(listCodes_[i]);
+        else
+            writer.writeVector(listVectors_[i]);
+    }
+}
+
+void
+IvfIndex::load(BinaryReader &reader)
+{
+    ANN_CHECK(reader.readString() == kMagic, "not an ivf archive");
+    ANN_CHECK(reader.readPod<std::uint32_t>() == kVersion,
+              "ivf archive version mismatch");
+    metric_ = static_cast<Metric>(reader.readPod<std::uint8_t>());
+    rows_ = reader.readPod<std::uint64_t>();
+    dim_ = reader.readPod<std::uint64_t>();
+    usePq_ = reader.readPod<std::uint8_t>() != 0;
+    {
+        const auto tombstones = reader.readVector<std::uint8_t>();
+        deleted_.assign(tombstones.size(), false);
+        deletedCount_ = 0;
+        for (std::size_t i = 0; i < tombstones.size(); ++i) {
+            if (tombstones[i]) {
+                deleted_[i] = true;
+                ++deletedCount_;
+            }
+        }
+    }
+    centroids_.k = reader.readPod<std::uint64_t>();
+    centroids_.dim = dim_;
+    centroids_.centroids = reader.readVector<float>();
+    if (usePq_)
+        pq_.load(reader);
+    const auto lists = reader.readPod<std::uint64_t>();
+    listIds_.assign(lists, {});
+    listVectors_.assign(usePq_ ? 0 : lists, {});
+    listCodes_.assign(usePq_ ? lists : 0, {});
+    for (std::size_t i = 0; i < lists; ++i) {
+        listIds_[i] = reader.readVector<VectorId>();
+        if (usePq_)
+            listCodes_[i] = reader.readVector<std::uint8_t>();
+        else
+            listVectors_[i] = reader.readVector<float>();
+    }
+}
+
+} // namespace ann

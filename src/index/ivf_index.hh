@@ -1,0 +1,104 @@
+/**
+ * @file
+ * IVF (inverted-file) cluster-based index.
+ *
+ * Vectors are partitioned by K-Means into nlist clusters; a query
+ * compares against all centroids, picks the nprobe nearest clusters,
+ * and scans their posting lists (Fig. 1a in the paper). The optional
+ * PQ mode stores product-quantized codes in the posting lists instead
+ * of raw vectors, which is the configuration LanceDB's storage-based
+ * IVF-PQ index uses.
+ */
+
+#ifndef ANN_INDEX_IVF_INDEX_HH
+#define ANN_INDEX_IVF_INDEX_HH
+
+#include <string>
+#include <vector>
+
+#include "cluster/kmeans.hh"
+#include "common/types.hh"
+#include "distance/distance.hh"
+#include "index/params.hh"
+#include "index/search_trace.hh"
+#include "quant/product_quantizer.hh"
+
+namespace ann {
+
+class BinaryReader;
+class BinaryWriter;
+
+/** Cluster-based inverted-file index with optional PQ compression. */
+class IvfIndex
+{
+  public:
+    explicit IvfIndex(Metric metric = Metric::L2);
+
+    /** Cluster @p data and fill the posting lists. */
+    void build(const MatrixView &data, const IvfBuildParams &params);
+
+    /**
+     * Insert one vector after build: it joins the posting list of
+     * its nearest centroid (centroids are not retrained, matching
+     * production IVF behaviour). @return the new vector's id.
+     */
+    VectorId add(const float *vec);
+
+    /** Tombstone @p id; it stays in its list but never surfaces. */
+    void markDeleted(VectorId id);
+    bool isDeleted(VectorId id) const;
+    std::size_t deletedCount() const { return deletedCount_; }
+
+    std::size_t size() const { return rows_; }
+    std::size_t dim() const { return dim_; }
+    std::size_t nlist() const { return centroids_.k; }
+    bool usesPq() const { return usePq_; }
+
+    /** Ids stored in posting list @p list. */
+    const std::vector<VectorId> &listIds(std::size_t list) const;
+
+    /** Bytes one posting-list entry occupies (raw or PQ). */
+    std::size_t entryBytes() const;
+
+    /** Approximate in-memory footprint in bytes. */
+    std::size_t memoryBytes() const;
+
+    /**
+     * Ids of the @p nprobe posting lists nearest to @p query, in
+     * ascending centroid distance (the lists search() would scan).
+     */
+    std::vector<std::uint32_t> probeLists(const float *query,
+                                          std::size_t nprobe) const;
+
+    /**
+     * Search the nprobe nearest clusters.
+     * @param recorder optional op-count instrumentation; probed lists
+     *        are counted as hops and scanned rows as rows_scanned.
+     */
+    SearchResult search(const float *query, const IvfSearchParams &params,
+                        SearchTraceRecorder *recorder = nullptr) const;
+
+    void save(BinaryWriter &writer) const;
+    void load(BinaryReader &reader);
+
+  private:
+    Metric metric_;
+    std::size_t rows_ = 0;
+    std::size_t dim_ = 0;
+    bool usePq_ = false;
+
+    KMeansResult centroids_;
+    ProductQuantizer pq_;
+
+    /** Per-list member ids. */
+    std::vector<std::vector<VectorId>> listIds_;
+    std::vector<bool> deleted_;
+    std::size_t deletedCount_ = 0;
+    /** Per-list contiguous payload: raw floats or PQ codes. */
+    std::vector<std::vector<float>> listVectors_;
+    std::vector<std::vector<std::uint8_t>> listCodes_;
+};
+
+} // namespace ann
+
+#endif // ANN_INDEX_IVF_INDEX_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Build- and search-time parameters for every index, mirroring the
+ * paper's Table II split: build-time parameters are fixed once the
+ * index is constructed, search-time parameters can vary per query.
+ */
+
+#ifndef ANN_INDEX_PARAMS_HH
+#define ANN_INDEX_PARAMS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "quant/product_quantizer.hh"
+
+namespace ann {
+
+/** IVF build-time parameters (paper: nlist = 4 * sqrt(n)). */
+struct IvfBuildParams
+{
+    std::size_t nlist = 64;
+    std::size_t train_iters = 12;
+    /** k-means training subsample (0 = all points). */
+    std::size_t train_subsample = 50000;
+    std::uint64_t seed = 42;
+    /** Store PQ codes instead of raw vectors (LanceDB's IVF-PQ). */
+    bool use_pq = false;
+    PqParams pq;
+};
+
+/** IVF search-time parameters. */
+struct IvfSearchParams
+{
+    std::size_t nprobe = 8;
+    std::size_t k = 10;
+};
+
+/** HNSW build-time parameters (paper: M=16, efConstruction=200). */
+struct HnswBuildParams
+{
+    std::size_t m = 16;
+    std::size_t ef_construction = 200;
+    std::uint64_t seed = 42;
+    /** Store scalar-quantized vectors (LanceDB's HNSW-SQ). */
+    bool use_sq = false;
+};
+
+/** HNSW search-time parameters. */
+struct HnswSearchParams
+{
+    std::size_t ef_search = 50;
+    std::size_t k = 10;
+};
+
+/** Vamana graph build parameters (DiskANN's graph). */
+struct VamanaBuildParams
+{
+    /** Maximum out-degree (R in the DiskANN paper). */
+    std::size_t max_degree = 32;
+    /** Build-time candidate list size (L in the DiskANN paper). */
+    std::size_t build_list = 64;
+    /** Pruning slack; second pass uses this, first pass uses 1.0. */
+    float alpha = 1.2f;
+    std::uint64_t seed = 42;
+};
+
+/** DiskANN build-time parameters. */
+struct DiskAnnBuildParams
+{
+    VamanaBuildParams graph;
+    PqParams pq;
+};
+
+/**
+ * DiskANN search-time parameters: the two knobs the paper sweeps in
+ * its Section VI (search_list and beam_width).
+ */
+struct DiskAnnSearchParams
+{
+    /** Candidate list size (search_list). */
+    std::size_t search_list = 10;
+    /** Max I/O requests issued per search iteration (beam_width, W). */
+    std::size_t beam_width = 4;
+    std::size_t k = 10;
+};
+
+} // namespace ann
+
+#endif // ANN_INDEX_PARAMS_HH

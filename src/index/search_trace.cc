@@ -1,0 +1,69 @@
+#include "index/search_trace.hh"
+
+namespace ann {
+
+OpCounts &
+OpCounts::operator+=(const OpCounts &other)
+{
+    full_distances += other.full_distances;
+    quant_distances += other.quant_distances;
+    adc_tables += other.adc_tables;
+    heap_ops += other.heap_ops;
+    hops += other.hops;
+    rows_scanned += other.rows_scanned;
+    return *this;
+}
+
+bool
+OpCounts::empty() const
+{
+    return full_distances == 0 && quant_distances == 0 &&
+           adc_tables == 0 && heap_ops == 0 && hops == 0 &&
+           rows_scanned == 0;
+}
+
+void
+SearchTraceRecorder::issueReads(std::vector<SectorRead> reads)
+{
+    current_.reads = std::move(reads);
+    steps_.push_back(std::move(current_));
+    current_ = SearchStep{};
+}
+
+void
+SearchTraceRecorder::finish()
+{
+    if (!current_.cpu.empty()) {
+        steps_.push_back(std::move(current_));
+        current_ = SearchStep{};
+    }
+}
+
+std::vector<SearchStep>
+SearchTraceRecorder::takeSteps()
+{
+    finish();
+    return std::move(steps_);
+}
+
+OpCounts
+SearchTraceRecorder::totals() const
+{
+    OpCounts total = current_.cpu;
+    for (const SearchStep &step : steps_)
+        total += step.cpu;
+    return total;
+}
+
+std::uint64_t
+SearchTraceRecorder::totalSectors() const
+{
+    std::uint64_t sectors = 0;
+    for (const SearchStep &step : steps_) {
+        for (const SectorRead &read : step.reads)
+            sectors += read.count;
+    }
+    return sectors;
+}
+
+} // namespace ann

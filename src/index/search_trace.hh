@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Search-time instrumentation.
+ *
+ * Index search paths execute the real algorithm on real data but can
+ * record, per search, what work they did: operation counts for the CPU
+ * cost model, and the exact 4 KiB sectors each beam-search hop read.
+ * The characterization framework converts these traces into virtual
+ * time on the discrete-event simulator, so recall and I/O volume are
+ * genuine while durations come from a calibrated model.
+ */
+
+#ifndef ANN_INDEX_SEARCH_TRACE_HH
+#define ANN_INDEX_SEARCH_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ann {
+
+/** A contiguous run of 4 KiB sectors read in one request. */
+struct SectorRead
+{
+    std::uint64_t sector = 0;
+    std::uint32_t count = 1;
+
+    friend bool
+    operator==(const SectorRead &a, const SectorRead &b)
+    {
+        return a.sector == b.sector && a.count == b.count;
+    }
+};
+
+/** Operation counts of one CPU phase of a search. */
+struct OpCounts
+{
+    std::uint64_t full_distances = 0;  ///< full-precision distances
+    std::uint64_t quant_distances = 0; ///< PQ/SQ approximate distances
+    std::uint64_t adc_tables = 0;      ///< per-query ADC table builds
+    std::uint64_t heap_ops = 0;        ///< candidate/heap updates
+    std::uint64_t hops = 0;            ///< graph hops or probed lists
+    std::uint64_t rows_scanned = 0;    ///< rows touched by linear scans
+
+    OpCounts &operator+=(const OpCounts &other);
+    bool empty() const;
+};
+
+/**
+ * One step of a search: CPU work followed by a batch of sector reads
+ * that the algorithm issued in parallel (a beam). Memory-based
+ * searches produce a single step with no reads.
+ */
+struct SearchStep
+{
+    OpCounts cpu;
+    std::vector<SectorRead> reads;
+};
+
+/** Collects SearchSteps during one search. */
+class SearchTraceRecorder
+{
+  public:
+    /** Mutable op counters of the step being accumulated. */
+    OpCounts &cpu() { return current_.cpu; }
+
+    /** Close the current step with a parallel batch of reads. */
+    void issueReads(std::vector<SectorRead> reads);
+
+    /** Close any trailing CPU-only step. Idempotent. */
+    void finish();
+
+    const std::vector<SearchStep> &steps() const { return steps_; }
+    std::vector<SearchStep> takeSteps();
+
+    /** Sum of op counts across all steps (including the open one). */
+    OpCounts totals() const;
+
+    /** Total sectors read across all steps. */
+    std::uint64_t totalSectors() const;
+
+  private:
+    SearchStep current_;
+    std::vector<SearchStep> steps_;
+};
+
+} // namespace ann
+
+#endif // ANN_INDEX_SEARCH_TRACE_HH

@@ -1,0 +1,212 @@
+#include "index/spann_index.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hh"
+#include "common/serialize.hh"
+#include "distance/distance.hh"
+#include "distance/topk.hh"
+#include "index/diskann_index.hh" // kSectorBytes
+
+namespace ann {
+
+namespace {
+
+constexpr const char *kMagic = "SPAN";
+constexpr std::uint32_t kVersion = 1;
+
+} // namespace
+
+void
+SpannIndex::build(const MatrixView &data, const SpannBuildParams &params)
+{
+    ANN_CHECK(data.rows > 0, "spann build needs data");
+    ANN_CHECK(params.nlist > 0 && params.nlist <= data.rows,
+              "spann nlist invalid");
+    ANN_CHECK(params.closure_epsilon >= 0.0f,
+              "closure epsilon must be non-negative");
+    ANN_CHECK(params.max_replicas >= 1, "max_replicas must be >= 1");
+
+    rows_ = data.rows;
+    dim_ = data.dim;
+
+    KMeansParams km;
+    km.k = params.nlist;
+    km.max_iters = params.train_iters;
+    km.seed = params.seed;
+    centroids_ = kmeansFit(data, km);
+
+    listIds_.assign(params.nlist, {});
+    listVectors_.assign(params.nlist, {});
+
+    // Closure assignment: every cluster whose centroid is within
+    // (1 + eps) of the nearest centroid's distance gets a replica.
+    std::vector<std::pair<float, std::uint32_t>> ranked(params.nlist);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        const float *vec = data.row(r);
+        for (std::size_t c = 0; c < params.nlist; ++c)
+            ranked[c] = {l2DistanceSq(vec, centroids_.centroid(c),
+                                      dim_),
+                         static_cast<std::uint32_t>(c)};
+        std::sort(ranked.begin(), ranked.end());
+        // Closure threshold in squared-distance space.
+        const float threshold = ranked[0].first *
+                                (1.0f + params.closure_epsilon) *
+                                (1.0f + params.closure_epsilon);
+        std::size_t replicas = 0;
+        for (const auto &[dist, list] : ranked) {
+            if (replicas >= params.max_replicas ||
+                (replicas > 0 && dist > threshold))
+                break;
+            listIds_[list].push_back(static_cast<VectorId>(r));
+            listVectors_[list].insert(listVectors_[list].end(), vec,
+                                      vec + dim_);
+            ++replicas;
+        }
+    }
+
+    // Sequential on-disk layout: one contiguous run per list.
+    listSectorStart_.assign(params.nlist, 0);
+    listSectorCount_.assign(params.nlist, 0);
+    std::uint64_t cursor = 0;
+    const std::size_t entry_bytes =
+        dim_ * sizeof(float) + sizeof(VectorId);
+    for (std::size_t c = 0; c < params.nlist; ++c) {
+        const std::size_t bytes = listIds_[c].size() * entry_bytes;
+        const auto sectors = static_cast<std::uint32_t>(
+            std::max<std::size_t>(
+                1, (bytes + kSectorBytes - 1) / kSectorBytes));
+        listSectorStart_[c] = cursor;
+        listSectorCount_[c] = sectors;
+        cursor += sectors;
+    }
+    totalSectors_ = cursor;
+}
+
+double
+SpannIndex::replicationFactor() const
+{
+    ANN_CHECK(rows_ > 0, "replication factor of empty index");
+    std::size_t postings = 0;
+    for (const auto &ids : listIds_)
+        postings += ids.size();
+    return static_cast<double>(postings) / static_cast<double>(rows_);
+}
+
+std::uint64_t
+SpannIndex::listSector(std::size_t list) const
+{
+    ANN_CHECK(list < listSectorStart_.size(), "list out of range");
+    return listSectorStart_[list];
+}
+
+std::uint32_t
+SpannIndex::listSectorCount(std::size_t list) const
+{
+    ANN_CHECK(list < listSectorCount_.size(), "list out of range");
+    return listSectorCount_[list];
+}
+
+std::size_t
+SpannIndex::memoryBytes() const
+{
+    return centroids_.centroids.size() * sizeof(float);
+}
+
+SearchResult
+SpannIndex::search(const float *query, const SpannSearchParams &params,
+                   SearchTraceRecorder *recorder) const
+{
+    ANN_CHECK(rows_ > 0, "search on empty spann index");
+    const std::size_t nprobe = std::min(params.nprobe, nlist());
+
+    // Memory phase: rank centroids.
+    TopK centroid_top(nprobe);
+    for (std::size_t c = 0; c < nlist(); ++c)
+        centroid_top.push(static_cast<VectorId>(c),
+                          l2DistanceSq(query, centroids_.centroid(c),
+                                       dim_));
+    const SearchResult probes = centroid_top.take();
+
+    if (recorder) {
+        recorder->cpu().full_distances += nlist();
+        recorder->cpu().heap_ops += nprobe;
+        // Storage phase: ONE parallel round of list reads.
+        std::vector<SectorRead> reads;
+        reads.reserve(nprobe);
+        for (const Neighbor &probe : probes)
+            reads.push_back({listSectorStart_[probe.id],
+                             listSectorCount_[probe.id]});
+        recorder->issueReads(std::move(reads));
+    }
+
+    // Scan phase: full-precision over the fetched lists; replicas
+    // deduplicate naturally inside the top-k (same id, same dist).
+    TopK top(params.k);
+    std::vector<bool> seen(rows_, false);
+    for (const Neighbor &probe : probes) {
+        const auto &ids = listIds_[probe.id];
+        const float *vectors = listVectors_[probe.id].data();
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            if (seen[ids[i]])
+                continue;
+            seen[ids[i]] = true;
+            top.push(ids[i],
+                     l2DistanceSq(query, vectors + i * dim_, dim_));
+        }
+        if (recorder) {
+            recorder->cpu().hops += 1;
+            recorder->cpu().rows_scanned += ids.size();
+            recorder->cpu().full_distances += ids.size();
+        }
+    }
+    if (recorder)
+        recorder->finish();
+    return top.take();
+}
+
+void
+SpannIndex::save(BinaryWriter &writer) const
+{
+    writer.writeString(kMagic);
+    writer.writePod<std::uint32_t>(kVersion);
+    writer.writePod<std::uint64_t>(rows_);
+    writer.writePod<std::uint64_t>(dim_);
+    writer.writePod<std::uint64_t>(centroids_.k);
+    writer.writeVector(centroids_.centroids);
+    writer.writePod<std::uint64_t>(listIds_.size());
+    for (std::size_t c = 0; c < listIds_.size(); ++c) {
+        writer.writeVector(listIds_[c]);
+        writer.writeVector(listVectors_[c]);
+    }
+    writer.writeVector(listSectorStart_);
+    writer.writeVector(listSectorCount_);
+    writer.writePod<std::uint64_t>(totalSectors_);
+}
+
+void
+SpannIndex::load(BinaryReader &reader)
+{
+    ANN_CHECK(reader.readString() == kMagic, "not a spann archive");
+    ANN_CHECK(reader.readPod<std::uint32_t>() == kVersion,
+              "spann archive version mismatch");
+    rows_ = reader.readPod<std::uint64_t>();
+    dim_ = reader.readPod<std::uint64_t>();
+    centroids_.k = reader.readPod<std::uint64_t>();
+    centroids_.dim = dim_;
+    centroids_.centroids = reader.readVector<float>();
+    const auto lists = reader.readPod<std::uint64_t>();
+    listIds_.assign(lists, {});
+    listVectors_.assign(lists, {});
+    for (std::size_t c = 0; c < lists; ++c) {
+        listIds_[c] = reader.readVector<VectorId>();
+        listVectors_[c] = reader.readVector<float>();
+    }
+    listSectorStart_ = reader.readVector<std::uint64_t>();
+    listSectorCount_ = reader.readVector<std::uint32_t>();
+    totalSectors_ = reader.readPod<std::uint64_t>();
+}
+
+} // namespace ann

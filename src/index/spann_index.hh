@@ -1,0 +1,108 @@
+/**
+ * @file
+ * SPANN-like cluster-based storage index (Chen et al., NeurIPS'21).
+ *
+ * The other storage-based index family the paper's background (SS II)
+ * contrasts with DiskANN: centroids stay in memory, posting lists
+ * live on disk, and vectors near cluster borders are *replicated*
+ * into several lists (closure assignment) so one or few list reads
+ * answer a query. The trade the paper describes — and
+ * bench_ext_spann quantifies — is:
+ *
+ *   DiskANN: many dependent 4 KiB random reads, no replication.
+ *   SPANN:   one parallel round of large sequential reads, but up to
+ *            8x space amplification from border replication.
+ */
+
+#ifndef ANN_INDEX_SPANN_INDEX_HH
+#define ANN_INDEX_SPANN_INDEX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/kmeans.hh"
+#include "common/types.hh"
+#include "index/search_trace.hh"
+
+namespace ann {
+
+class BinaryReader;
+class BinaryWriter;
+
+/** SPANN build-time parameters. */
+struct SpannBuildParams
+{
+    /** Number of posting lists (clusters). */
+    std::size_t nlist = 64;
+    /**
+     * Closure assignment slack: a vector joins every cluster whose
+     * centroid distance is within (1 + epsilon) of its nearest
+     * centroid's distance.
+     */
+    float closure_epsilon = 0.10f;
+    /** Replication cap per vector (SPANN uses 8). */
+    std::size_t max_replicas = 8;
+    std::size_t train_iters = 12;
+    std::uint64_t seed = 42;
+};
+
+/** SPANN search-time parameters. */
+struct SpannSearchParams
+{
+    std::size_t nprobe = 4;
+    std::size_t k = 10;
+};
+
+/** Cluster-based storage index with border replication. */
+class SpannIndex
+{
+  public:
+    SpannIndex() = default;
+
+    void build(const MatrixView &data, const SpannBuildParams &params);
+
+    std::size_t size() const { return rows_; }
+    std::size_t dim() const { return dim_; }
+    std::size_t nlist() const { return centroids_.k; }
+
+    /** Stored postings / rows: the space amplification factor. */
+    double replicationFactor() const;
+
+    /** First sector of posting list @p list. */
+    std::uint64_t listSector(std::size_t list) const;
+    /** Sector count of posting list @p list. */
+    std::uint32_t listSectorCount(std::size_t list) const;
+    /** Total on-disk sectors. */
+    std::uint64_t numSectors() const { return totalSectors_; }
+    /** In-memory footprint (centroids only). */
+    std::size_t memoryBytes() const;
+
+    /**
+     * Search: rank centroids (memory), read the nprobe posting lists
+     * (one parallel batch of sequential reads, recorded into
+     * @p recorder), scan them at full precision.
+     */
+    SearchResult search(const float *query,
+                        const SpannSearchParams &params,
+                        SearchTraceRecorder *recorder = nullptr) const;
+
+    void save(BinaryWriter &writer) const;
+    void load(BinaryReader &reader);
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t dim_ = 0;
+
+    KMeansResult centroids_;
+    /** Per-list member ids (with replication). */
+    std::vector<std::vector<VectorId>> listIds_;
+    /** Per-list contiguous full-precision vectors. */
+    std::vector<std::vector<float>> listVectors_;
+    std::vector<std::uint64_t> listSectorStart_;
+    std::vector<std::uint32_t> listSectorCount_;
+    std::uint64_t totalSectors_ = 0;
+};
+
+} // namespace ann
+
+#endif // ANN_INDEX_SPANN_INDEX_HH

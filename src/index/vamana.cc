@@ -1,0 +1,207 @@
+#include "index/vamana.hh"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "distance/distance.hh"
+
+namespace ann {
+
+namespace {
+
+/** Point closest to the dataset mean. */
+VectorId
+findMedoid(const MatrixView &data)
+{
+    std::vector<float> mean(data.dim, 0.0f);
+    for (std::size_t r = 0; r < data.rows; ++r) {
+        const float *row = data.row(r);
+        for (std::size_t d = 0; d < data.dim; ++d)
+            mean[d] += row[d];
+    }
+    const float inv = 1.0f / static_cast<float>(data.rows);
+    for (float &x : mean)
+        x *= inv;
+
+    float best = std::numeric_limits<float>::max();
+    VectorId medoid = 0;
+    for (std::size_t r = 0; r < data.rows; ++r) {
+        const float d = l2DistanceSq(mean.data(), data.row(r), data.dim);
+        if (d < best) {
+            best = d;
+            medoid = static_cast<VectorId>(r);
+        }
+    }
+    return medoid;
+}
+
+/**
+ * Alpha-robust pruning: from @p pool (ascending by distance to @p p),
+ * keep a neighbour only if no already-kept neighbour is alpha-times
+ * closer to it than the candidate is to p.
+ */
+std::vector<VectorId>
+robustPrune(const MatrixView &data, VectorId p,
+            std::vector<Neighbor> pool, float alpha,
+            std::size_t max_degree)
+{
+    std::sort(pool.begin(), pool.end());
+    std::vector<VectorId> kept;
+    kept.reserve(max_degree);
+    std::vector<bool> pruned(pool.size(), false);
+
+    for (std::size_t i = 0;
+         i < pool.size() && kept.size() < max_degree; ++i) {
+        if (pruned[i] || pool[i].id == p)
+            continue;
+        const VectorId star = pool[i].id;
+        kept.push_back(star);
+        const float *star_vec = data.row(star);
+        for (std::size_t j = i + 1; j < pool.size(); ++j) {
+            if (pruned[j])
+                continue;
+            const float d_star = l2DistanceSq(star_vec,
+                                              data.row(pool[j].id),
+                                              data.dim);
+            if (alpha * d_star <= pool[j].distance)
+                pruned[j] = true;
+        }
+    }
+    return kept;
+}
+
+/** Candidate-list entry for the greedy search. */
+struct Entry
+{
+    float distance;
+    VectorId id;
+    bool expanded;
+    friend bool
+    operator<(const Entry &a, const Entry &b)
+    {
+        if (a.distance != b.distance)
+            return a.distance < b.distance;
+        return a.id < b.id;
+    }
+};
+
+} // namespace
+
+std::vector<Neighbor>
+vamanaGreedySearch(const MatrixView &data, const VamanaGraph &graph,
+                   const float *query, std::size_t list_size)
+{
+    std::vector<Entry> cands;
+    std::unordered_set<VectorId> seen;
+    std::vector<Neighbor> visited;
+
+    const float d0 = l2DistanceSq(query, data.row(graph.medoid),
+                                  data.dim);
+    cands.push_back({d0, graph.medoid, false});
+    seen.insert(graph.medoid);
+
+    for (;;) {
+        // Closest unexpanded candidate.
+        std::size_t pick = cands.size();
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+            if (!cands[i].expanded) {
+                pick = i;
+                break;
+            }
+        }
+        if (pick == cands.size())
+            break;
+        Entry &current = cands[pick];
+        current.expanded = true;
+        visited.push_back({current.id, current.distance});
+
+        for (VectorId nb : graph.adjacency[current.id]) {
+            if (!seen.insert(nb).second)
+                continue;
+            const float d = l2DistanceSq(query, data.row(nb), data.dim);
+            cands.push_back({d, nb, false});
+        }
+        std::sort(cands.begin(), cands.end());
+        if (cands.size() > list_size)
+            cands.resize(list_size);
+    }
+
+    std::sort(visited.begin(), visited.end());
+    return visited;
+}
+
+VamanaGraph
+buildVamana(const MatrixView &data, const VamanaBuildParams &params)
+{
+    ANN_CHECK(data.rows > 0, "vamana build needs data");
+    ANN_CHECK(params.max_degree >= 2, "vamana degree must be >= 2");
+    ANN_CHECK(params.alpha >= 1.0f, "vamana alpha must be >= 1");
+
+    const std::size_t n = data.rows;
+    const std::size_t degree = std::min(params.max_degree, n - 1);
+
+    VamanaGraph graph;
+    graph.max_degree = degree;
+    graph.medoid = findMedoid(data);
+    graph.adjacency.assign(n, {});
+
+    // Random initial regular graph.
+    Rng rng(params.seed);
+    for (std::size_t v = 0; v < n; ++v) {
+        std::unordered_set<VectorId> picks;
+        while (picks.size() < degree) {
+            const auto nb = static_cast<VectorId>(rng.nextBelow(n));
+            if (nb != v)
+                picks.insert(nb);
+        }
+        graph.adjacency[v].assign(picks.begin(), picks.end());
+    }
+
+    // Random insertion order, same for both passes.
+    std::vector<VectorId> order(n);
+    for (std::size_t i = 0; i < n; ++i)
+        order[i] = static_cast<VectorId>(i);
+    for (std::size_t i = n; i > 1; --i)
+        std::swap(order[i - 1], order[rng.nextBelow(i)]);
+
+    const float alphas[2] = {1.0f, params.alpha};
+    for (float alpha : alphas) {
+        for (VectorId p : order) {
+            auto visited = vamanaGreedySearch(data, graph, data.row(p),
+                                              params.build_list);
+            // Merge current neighbours into the pruning pool.
+            for (VectorId nb : graph.adjacency[p])
+                visited.push_back(
+                    {nb, l2DistanceSq(data.row(p), data.row(nb),
+                                      data.dim)});
+            graph.adjacency[p] =
+                robustPrune(data, p, std::move(visited), alpha, degree);
+
+            // Back edges, pruning receivers that overflow.
+            for (VectorId nb : graph.adjacency[p]) {
+                auto &nb_adj = graph.adjacency[nb];
+                if (std::find(nb_adj.begin(), nb_adj.end(), p) !=
+                    nb_adj.end())
+                    continue;
+                nb_adj.push_back(p);
+                if (nb_adj.size() > degree) {
+                    std::vector<Neighbor> pool;
+                    pool.reserve(nb_adj.size());
+                    for (VectorId cand : nb_adj)
+                        pool.push_back(
+                            {cand, l2DistanceSq(data.row(nb),
+                                                data.row(cand),
+                                                data.dim)});
+                    nb_adj = robustPrune(data, nb, std::move(pool),
+                                         alpha, degree);
+                }
+            }
+        }
+    }
+    return graph;
+}
+
+} // namespace ann

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Vamana proximity-graph construction (Subramanya et al., NeurIPS'19).
+ *
+ * Vamana is the graph underlying DiskANN: a flat directed graph with
+ * bounded out-degree R, built by iteratively greedy-searching each
+ * point from the medoid and applying alpha-robust pruning. The alpha
+ * slack (> 1) keeps long-range edges that cut the number of hops a
+ * search needs, which on disk directly cuts the number of I/O rounds.
+ */
+
+#ifndef ANN_INDEX_VAMANA_HH
+#define ANN_INDEX_VAMANA_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "index/params.hh"
+
+namespace ann {
+
+/** A flat directed proximity graph with bounded out-degree. */
+struct VamanaGraph
+{
+    /** adjacency[v] = out-neighbours of v, each of size <= max_degree. */
+    std::vector<std::vector<VectorId>> adjacency;
+    /** Search entry point: the point nearest the dataset centroid. */
+    VectorId medoid = kInvalidVector;
+    std::size_t max_degree = 0;
+};
+
+/** Build a Vamana graph over @p data (L2 metric). */
+VamanaGraph buildVamana(const MatrixView &data,
+                        const VamanaBuildParams &params);
+
+/**
+ * Greedy best-first search over a Vamana graph using full-precision
+ * distances; returns the visited candidates in ascending distance.
+ * Exposed for tests and for the graph build itself.
+ */
+std::vector<Neighbor> vamanaGreedySearch(const MatrixView &data,
+                                         const VamanaGraph &graph,
+                                         const float *query,
+                                         std::size_t list_size);
+
+} // namespace ann
+
+#endif // ANN_INDEX_VAMANA_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Product quantization (Jégou et al., TPAMI'11).
+ *
+ * The vector space is split into m subspaces; each subspace gets its
+ * own ksub-centroid codebook, so a d-dimensional float vector becomes
+ * m bytes. DiskANN keeps these codes in memory and uses asymmetric
+ * distance computation (ADC): per query, a table of subspace distances
+ * to every codeword is precomputed once, and candidate distances are m
+ * table lookups.
+ */
+
+#ifndef ANN_QUANT_PRODUCT_QUANTIZER_HH
+#define ANN_QUANT_PRODUCT_QUANTIZER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ann {
+
+class BinaryReader;
+class BinaryWriter;
+
+/** Training configuration for a ProductQuantizer. */
+struct PqParams
+{
+    /** Number of subquantizers; must divide the vector dimension. */
+    std::size_t m = 8;
+    /** Codebook size per subspace (max 256, codes are one byte). */
+    std::size_t ksub = 256;
+    /** k-means iterations per subspace codebook. */
+    std::size_t train_iters = 12;
+    /** Subsample cap for codebook training (0 = all). */
+    std::size_t train_subsample = 20000;
+    std::uint64_t seed = 77;
+};
+
+/** Query-specific lookup table for asymmetric distances. */
+struct AdcTable
+{
+    std::vector<float> entries; // m * ksub squared L2 contributions
+    std::size_t m = 0;
+    std::size_t ksub = 0;
+};
+
+/** Trained product quantizer: encode/decode plus ADC distances. */
+class ProductQuantizer
+{
+  public:
+    ProductQuantizer() = default;
+
+    /** Train codebooks on @p data; resets any previous training. */
+    void train(const MatrixView &data, const PqParams &params);
+
+    bool trained() const { return dim_ != 0; }
+    std::size_t dim() const { return dim_; }
+    std::size_t numSubspaces() const { return m_; }
+    std::size_t codebookSize() const { return ksub_; }
+    /** Encoded size of one vector, in bytes. */
+    std::size_t codeSize() const { return m_; }
+
+    /** Encode one vector into @p codes (codeSize() bytes). */
+    void encode(const float *vec, std::uint8_t *codes) const;
+
+    /** Encode all rows; returns rows * codeSize() bytes. */
+    std::vector<std::uint8_t> encodeAll(const MatrixView &data) const;
+
+    /** Reconstruct an approximation of the encoded vector. */
+    void decode(const std::uint8_t *codes, float *out) const;
+
+    /** Build the per-query ADC table (squared L2 parts per subspace). */
+    AdcTable computeAdcTable(const float *query) const;
+
+    /** Approximate squared L2 distance via @p table lookups. */
+    float adcDistance(const AdcTable &table,
+                      const std::uint8_t *codes) const;
+
+    /** Exact squared L2 between @p query and the decoded codes. */
+    float reconstructedDistance(const float *query,
+                                const std::uint8_t *codes) const;
+
+    void save(BinaryWriter &writer) const;
+    void load(BinaryReader &reader);
+
+  private:
+    const float *
+    codeword(std::size_t sub, std::size_t code) const
+    {
+        return codebooks_.data() + (sub * ksub_ + code) * subDim_;
+    }
+
+    std::size_t dim_ = 0;
+    std::size_t m_ = 0;
+    std::size_t ksub_ = 0;
+    std::size_t subDim_ = 0;
+    std::vector<float> codebooks_; // m * ksub * subDim_
+};
+
+} // namespace ann
+
+#endif // ANN_QUANT_PRODUCT_QUANTIZER_HH

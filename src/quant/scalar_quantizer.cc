@@ -1,0 +1,93 @@
+#include "quant/scalar_quantizer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hh"
+#include "common/serialize.hh"
+
+namespace ann {
+
+void
+ScalarQuantizer::train(const MatrixView &data)
+{
+    ANN_CHECK(data.rows > 0, "scalar quantizer needs training data");
+    dim_ = data.dim;
+    mins_.assign(dim_, std::numeric_limits<float>::max());
+    std::vector<float> maxs(dim_, std::numeric_limits<float>::lowest());
+    for (std::size_t r = 0; r < data.rows; ++r) {
+        const float *row = data.row(r);
+        for (std::size_t d = 0; d < dim_; ++d) {
+            mins_[d] = std::min(mins_[d], row[d]);
+            maxs[d] = std::max(maxs[d], row[d]);
+        }
+    }
+    scales_.resize(dim_);
+    for (std::size_t d = 0; d < dim_; ++d) {
+        const float range = maxs[d] - mins_[d];
+        scales_[d] = std::max(range / 255.0f, 1e-12f);
+    }
+}
+
+void
+ScalarQuantizer::encode(const float *vec, std::uint8_t *codes) const
+{
+    ANN_ASSERT(trained(), "encode on untrained scalar quantizer");
+    for (std::size_t d = 0; d < dim_; ++d) {
+        const float scaled = (vec[d] - mins_[d]) / scales_[d];
+        const float clamped = std::clamp(scaled, 0.0f, 255.0f);
+        codes[d] = static_cast<std::uint8_t>(std::lround(clamped));
+    }
+}
+
+std::vector<std::uint8_t>
+ScalarQuantizer::encodeAll(const MatrixView &data) const
+{
+    ANN_CHECK(data.dim == dim_, "dimension mismatch in encodeAll");
+    std::vector<std::uint8_t> codes(data.rows * codeSize());
+    for (std::size_t r = 0; r < data.rows; ++r)
+        encode(data.row(r), codes.data() + r * codeSize());
+    return codes;
+}
+
+void
+ScalarQuantizer::decode(const std::uint8_t *codes, float *out) const
+{
+    ANN_ASSERT(trained(), "decode on untrained scalar quantizer");
+    for (std::size_t d = 0; d < dim_; ++d)
+        out[d] = mins_[d] + static_cast<float>(codes[d]) * scales_[d];
+}
+
+float
+ScalarQuantizer::asymmetricL2(const float *query,
+                              const std::uint8_t *codes) const
+{
+    float acc = 0.0f;
+    for (std::size_t d = 0; d < dim_; ++d) {
+        const float decoded =
+            mins_[d] + static_cast<float>(codes[d]) * scales_[d];
+        const float diff = query[d] - decoded;
+        acc += diff * diff;
+    }
+    return acc;
+}
+
+void
+ScalarQuantizer::save(BinaryWriter &writer) const
+{
+    writer.writePod<std::uint64_t>(dim_);
+    writer.writeVector(mins_);
+    writer.writeVector(scales_);
+}
+
+void
+ScalarQuantizer::load(BinaryReader &reader)
+{
+    dim_ = reader.readPod<std::uint64_t>();
+    mins_ = reader.readVector<float>();
+    scales_ = reader.readVector<float>();
+    ANN_CHECK(mins_.size() == dim_ && scales_.size() == dim_,
+              "corrupt scalar quantizer archive");
+}
+
+} // namespace ann

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Scalar quantization (8-bit per dimension, per-dimension affine).
+ *
+ * This is the quantization LanceDB applies to its HNSW index: each
+ * dimension is mapped to a uint8 using a trained [min, max] range, a
+ * 4x memory saving with a measurable recall cost (the paper tunes
+ * LanceDB's efSearch separately for exactly this reason).
+ */
+
+#ifndef ANN_QUANT_SCALAR_QUANTIZER_HH
+#define ANN_QUANT_SCALAR_QUANTIZER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ann {
+
+class BinaryReader;
+class BinaryWriter;
+
+/** Trained 8-bit scalar quantizer. */
+class ScalarQuantizer
+{
+  public:
+    ScalarQuantizer() = default;
+
+    /** Learn per-dimension ranges from @p data. */
+    void train(const MatrixView &data);
+
+    bool trained() const { return dim_ != 0; }
+    std::size_t dim() const { return dim_; }
+    /** Encoded size of one vector, in bytes. */
+    std::size_t codeSize() const { return dim_; }
+
+    /** Encode one vector into dim() bytes. */
+    void encode(const float *vec, std::uint8_t *codes) const;
+
+    /** Encode all rows; returns rows * codeSize() bytes. */
+    std::vector<std::uint8_t> encodeAll(const MatrixView &data) const;
+
+    /** Reconstruct an approximation of the encoded vector. */
+    void decode(const std::uint8_t *codes, float *out) const;
+
+    /**
+     * Asymmetric squared L2 between a float query and encoded codes
+     * (decodes on the fly without materializing the vector).
+     */
+    float asymmetricL2(const float *query,
+                       const std::uint8_t *codes) const;
+
+    void save(BinaryWriter &writer) const;
+    void load(BinaryReader &reader);
+
+  private:
+    std::size_t dim_ = 0;
+    std::vector<float> mins_;
+    std::vector<float> scales_;    // (max-min)/255, >= tiny epsilon
+};
+
+} // namespace ann
+
+#endif // ANN_QUANT_SCALAR_QUANTIZER_HH

@@ -1,0 +1,90 @@
+#include "sim/cpu_model.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace ann::sim {
+
+CpuModel::CpuModel(Simulator &sim, std::size_t num_cores,
+                   SimTime bucket_ns)
+    : sim_(sim), numCores_(num_cores), bucketNs_(bucket_ns)
+{
+    ANN_CHECK(num_cores > 0, "cpu model needs at least one core");
+    ANN_CHECK(bucket_ns > 0, "cpu sampling bucket must be positive");
+}
+
+void
+CpuModel::submit(SimTime work_ns, std::coroutine_handle<> h)
+{
+    if (busyCores_ < numCores_ && runQueue_.empty()) {
+        startJob(work_ns, h);
+    } else {
+        runQueue_.push_back({work_ns, h});
+    }
+}
+
+void
+CpuModel::startJob(SimTime work_ns, std::coroutine_handle<> h)
+{
+    ++busyCores_;
+    const SimTime start = sim_.now();
+    sim_.schedule(work_ns, [this, start, work_ns, h]() {
+        accountBusy(start, work_ns);
+        --busyCores_;
+        // FIFO: admit the oldest queued job before resuming the
+        // completed one, so admission order is stable.
+        if (!runQueue_.empty()) {
+            Pending next = runQueue_.front();
+            runQueue_.pop_front();
+            startJob(next.work_ns, next.handle);
+        }
+        h.resume();
+    });
+}
+
+void
+CpuModel::accountBusy(SimTime start, SimTime duration)
+{
+    totalBusyNs_ += duration;
+    // Split the interval across sampling buckets.
+    SimTime t = start;
+    const SimTime end = start + duration;
+    while (t < end) {
+        const std::size_t bucket = t / bucketNs_;
+        if (busyPerBucket_.size() <= bucket)
+            busyPerBucket_.resize(bucket + 1, 0);
+        const SimTime bucket_end = (bucket + 1) * bucketNs_;
+        const SimTime slice = std::min(end, bucket_end) - t;
+        busyPerBucket_[bucket] += slice;
+        t += slice;
+    }
+}
+
+std::vector<double>
+CpuModel::utilizationTimeline(SimTime until) const
+{
+    const std::size_t buckets = until / bucketNs_;
+    std::vector<double> timeline(buckets, 0.0);
+    const double denom =
+        static_cast<double>(bucketNs_) * static_cast<double>(numCores_);
+    for (std::size_t b = 0; b < buckets && b < busyPerBucket_.size(); ++b)
+        timeline[b] = static_cast<double>(busyPerBucket_[b]) / denom;
+    return timeline;
+}
+
+double
+CpuModel::meanUtilization(SimTime until) const
+{
+    if (until == 0)
+        return 0.0;
+    std::uint64_t busy = 0;
+    const std::size_t full = until / bucketNs_;
+    for (std::size_t b = 0; b < full && b < busyPerBucket_.size(); ++b)
+        busy += busyPerBucket_[b];
+    const double denom = static_cast<double>(full * bucketNs_) *
+                         static_cast<double>(numCores_);
+    return denom > 0 ? static_cast<double>(busy) / denom : 0.0;
+}
+
+} // namespace ann::sim

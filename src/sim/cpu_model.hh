@@ -1,0 +1,99 @@
+/**
+ * @file
+ * CPU model: N cores, FIFO run queue, busy-time accounting.
+ *
+ * Coroutines charge CPU work with `co_await cpu.run(ns)`. A job holds
+ * one core for its whole duration (non-preemptive; the work segments
+ * produced by the query traces are far shorter than an OS timeslice,
+ * so this matches how vector-database worker threads behave). Busy
+ * nanoseconds are accounted into fixed-width buckets so the harness
+ * can reproduce the paper's Fig. 4 global CPU-utilization curves.
+ */
+
+#ifndef ANN_SIM_CPU_MODEL_HH
+#define ANN_SIM_CPU_MODEL_HH
+
+#include <coroutine>
+#include <deque>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace ann::sim {
+
+/** Multi-core CPU with FIFO scheduling and utilization sampling. */
+class CpuModel
+{
+  public:
+    /**
+     * @param sim owning simulator
+     * @param num_cores hardware parallelism
+     * @param bucket_ns utilization sampling bucket width
+     */
+    CpuModel(Simulator &sim, std::size_t num_cores,
+             SimTime bucket_ns = 100'000'000);
+
+    std::size_t numCores() const { return numCores_; }
+    std::size_t busyCores() const { return busyCores_; }
+    std::size_t queued() const { return runQueue_.size(); }
+    std::uint64_t totalBusyNs() const { return totalBusyNs_; }
+
+    struct RunAwaiter
+    {
+        CpuModel &cpu;
+        SimTime work_ns;
+
+        bool
+        await_ready() const noexcept
+        {
+            return work_ns == 0;
+        }
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            cpu.submit(work_ns, h);
+        }
+        void await_resume() const noexcept {}
+    };
+
+    /** Occupy one core for @p work_ns of virtual time. */
+    RunAwaiter
+    run(SimTime work_ns)
+    {
+        return RunAwaiter{*this, work_ns};
+    }
+
+    /**
+     * Mean utilization (0..1 of all cores) per sampling bucket from
+     * time 0 to @p until (exclusive of the partial last bucket).
+     */
+    std::vector<double> utilizationTimeline(SimTime until) const;
+
+    /** Overall utilization in [0, @p until]. */
+    double meanUtilization(SimTime until) const;
+
+  private:
+    friend struct RunAwaiter;
+
+    void submit(SimTime work_ns, std::coroutine_handle<> h);
+    void startJob(SimTime work_ns, std::coroutine_handle<> h);
+    void accountBusy(SimTime start, SimTime duration);
+
+    struct Pending
+    {
+        SimTime work_ns;
+        std::coroutine_handle<> handle;
+    };
+
+    Simulator &sim_;
+    std::size_t numCores_;
+    SimTime bucketNs_;
+    std::size_t busyCores_ = 0;
+    std::uint64_t totalBusyNs_ = 0;
+    std::deque<Pending> runQueue_;
+    std::vector<std::uint64_t> busyPerBucket_;
+};
+
+} // namespace ann::sim
+
+#endif // ANN_SIM_CPU_MODEL_HH

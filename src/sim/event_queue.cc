@@ -1,0 +1,35 @@
+#include "sim/event_queue.hh"
+
+#include "common/error.hh"
+
+namespace ann::sim {
+
+void
+EventQueue::schedule(SimTime when, Callback fn)
+{
+    heap_.push(Event{when, nextSeq_++, std::move(fn)});
+}
+
+SimTime
+EventQueue::nextTime() const
+{
+    ANN_ASSERT(!heap_.empty(), "nextTime on empty event queue");
+    return heap_.top().when;
+}
+
+EventQueue::Callback
+EventQueue::popNext(SimTime *when)
+{
+    ANN_ASSERT(!heap_.empty(), "popNext on empty event queue");
+    // priority_queue::top() is const; the callback must be moved out,
+    // so const_cast is the standard (safe) idiom here: the element is
+    // popped immediately after.
+    Event &top = const_cast<Event &>(heap_.top());
+    Callback fn = std::move(top.fn);
+    if (when)
+        *when = top.when;
+    heap_.pop();
+    return fn;
+}
+
+} // namespace ann::sim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The discrete-event queue at the heart of the simulator.
+ *
+ * Events are (time, sequence) ordered; the sequence number makes
+ * same-timestamp ordering deterministic (FIFO among equal times), so
+ * whole simulations replay bit-for-bit.
+ */
+
+#ifndef ANN_SIM_EVENT_QUEUE_HH
+#define ANN_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ann::sim {
+
+/** Min-heap of timestamped callbacks with stable FIFO tie-breaking. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Enqueue @p fn to fire at absolute time @p when. */
+    void schedule(SimTime when, Callback fn);
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Timestamp of the earliest pending event. */
+    SimTime nextTime() const;
+
+    /** Pop and return the earliest event's callback. */
+    Callback popNext(SimTime *when);
+
+  private:
+    struct Event
+    {
+        SimTime when;
+        std::uint64_t seq;
+        Callback fn;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace ann::sim
+
+#endif // ANN_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,27 @@
+#include "sim/resource.hh"
+
+#include "common/error.hh"
+
+namespace ann::sim {
+
+Resource::Resource(Simulator &sim, std::size_t capacity)
+    : sim_(sim), capacity_(capacity)
+{
+    ANN_CHECK(capacity > 0, "resource capacity must be positive");
+}
+
+void
+Resource::release()
+{
+    ANN_ASSERT(inUse_ > 0, "release without acquire");
+    --inUse_;
+    if (!waiters_.empty()) {
+        auto h = waiters_.front();
+        waiters_.pop_front();
+        // Resume synchronously at the current virtual time; the
+        // waiter's await_resume re-increments inUse_.
+        h.resume();
+    }
+}
+
+} // namespace ann::sim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Generic counted resource with FIFO admission.
+ *
+ * Models anything with finite concurrency: an engine's serial section
+ * (capacity 1), a worker pool, an SSD's internal channels. Coroutines
+ * co_await acquire() and must call release() when done (or use the
+ * RAII ScopedSlot).
+ */
+
+#ifndef ANN_SIM_RESOURCE_HH
+#define ANN_SIM_RESOURCE_HH
+
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+
+#include "sim/simulator.hh"
+
+namespace ann::sim {
+
+/** FIFO counted resource (semaphore with deterministic wakeups). */
+class Resource
+{
+  public:
+    Resource(Simulator &sim, std::size_t capacity);
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t inUse() const { return inUse_; }
+    std::size_t queued() const { return waiters_.size(); }
+
+    struct AcquireAwaiter
+    {
+        Resource &resource;
+
+        bool
+        await_ready() const noexcept
+        {
+            // FIFO: a free slot is only taken directly when nobody
+            // older is queued.
+            return resource.inUse_ < resource.capacity_ &&
+                   resource.waiters_.empty();
+        }
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            resource.waiters_.push_back(h);
+        }
+        void
+        await_resume() const noexcept
+        {
+            ++resource.inUse_;
+        }
+    };
+
+    /** Await a free slot (FIFO). Caller must release() later. */
+    AcquireAwaiter
+    acquire()
+    {
+        return AcquireAwaiter{*this};
+    }
+
+    /** Free a slot; wakes the oldest waiter at the current time. */
+    void release();
+
+  private:
+    friend struct AcquireAwaiter;
+
+    Simulator &sim_;
+    std::size_t capacity_;
+    std::size_t inUse_ = 0;
+    std::deque<std::coroutine_handle<>> waiters_;
+};
+
+} // namespace ann::sim
+
+#endif // ANN_SIM_RESOURCE_HH

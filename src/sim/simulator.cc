@@ -1,0 +1,74 @@
+#include "sim/simulator.hh"
+
+#include <exception>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+
+namespace ann::sim {
+
+void
+Task::promise_type::unhandled_exception()
+{
+    try {
+        std::rethrow_exception(std::current_exception());
+    } catch (const std::exception &e) {
+        logError("exception escaped a simulation task: ", e.what());
+    } catch (...) {
+        logError("unknown exception escaped a simulation task");
+    }
+    std::terminate();
+}
+
+void
+Simulator::schedule(SimTime delay_ns, EventQueue::Callback fn)
+{
+    queue_.schedule(now_ + delay_ns, std::move(fn));
+}
+
+void
+Simulator::scheduleResume(SimTime delay_ns, std::coroutine_handle<> h)
+{
+    queue_.schedule(now_ + delay_ns, [h]() { h.resume(); });
+}
+
+void
+Simulator::run()
+{
+    while (!queue_.empty()) {
+        SimTime when = 0;
+        auto fn = queue_.popNext(&when);
+        ANN_ASSERT(when >= now_, "event queue went backwards in time");
+        now_ = when;
+        ++eventsRun_;
+        fn();
+    }
+}
+
+void
+Simulator::runUntil(SimTime deadline)
+{
+    ANN_CHECK(deadline >= now_, "runUntil deadline in the past");
+    while (!queue_.empty() && queue_.nextTime() <= deadline) {
+        SimTime when = 0;
+        auto fn = queue_.popNext(&when);
+        now_ = when;
+        ++eventsRun_;
+        fn();
+    }
+    now_ = deadline;
+}
+
+void
+JoinCounter::arrive()
+{
+    ANN_ASSERT(remaining_ > 0, "JoinCounter::arrive past zero");
+    --remaining_;
+    if (remaining_ == 0 && waiter_) {
+        auto h = waiter_;
+        waiter_ = nullptr;
+        h.resume();
+    }
+}
+
+} // namespace ann::sim

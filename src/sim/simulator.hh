@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Discrete-event simulator with C++20 coroutine processes.
+ *
+ * Simulated activities (client threads, server workers, I/O requests)
+ * are coroutines returning sim::Task. They advance virtual time by
+ * awaiting primitives:
+ *
+ *   co_await simulator.delay(ns);       // sleep in virtual time
+ *   co_await cpu.run(ns);               // occupy a core for ns
+ *   co_await device.read(request);      // SSD read completion
+ *
+ * Tasks are detached: the coroutine frame frees itself when the task
+ * completes. Exceptions escaping a task are a simulation bug and
+ * terminate via ANN_ASSERT semantics.
+ */
+
+#ifndef ANN_SIM_SIMULATOR_HH
+#define ANN_SIM_SIMULATOR_HH
+
+#include <coroutine>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+
+namespace ann::sim {
+
+/** Detached coroutine process driven by the event queue. */
+struct Task
+{
+    struct promise_type
+    {
+        Task
+        get_return_object()
+        {
+            return Task{};
+        }
+        std::suspend_never
+        initial_suspend() noexcept
+        {
+            return {};
+        }
+        std::suspend_never
+        final_suspend() noexcept
+        {
+            return {};
+        }
+        void return_void() noexcept {}
+        /** Escaped exceptions are simulator bugs. */
+        [[noreturn]] void unhandled_exception();
+    };
+};
+
+/** Owner of virtual time and the event loop. */
+class Simulator
+{
+  public:
+    Simulator() = default;
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current virtual time in nanoseconds. */
+    SimTime now() const { return now_; }
+
+    /** Schedule a callback @p delay_ns from now. */
+    void schedule(SimTime delay_ns, EventQueue::Callback fn);
+
+    /** Schedule a coroutine resume @p delay_ns from now. */
+    void scheduleResume(SimTime delay_ns, std::coroutine_handle<> h);
+
+    /** Run until the event queue drains. */
+    void run();
+
+    /**
+     * Run events with timestamps <= @p deadline; the clock lands on
+     * @p deadline. Later events stay queued.
+     */
+    void runUntil(SimTime deadline);
+
+    /** Number of events executed so far (for tests/diagnostics). */
+    std::uint64_t eventsRun() const { return eventsRun_; }
+
+    /** Awaitable virtual-time sleep. */
+    struct DelayAwaiter
+    {
+        Simulator &sim;
+        SimTime delay_ns;
+
+        bool
+        await_ready() const noexcept
+        {
+            return delay_ns == 0;
+        }
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            sim.scheduleResume(delay_ns, h);
+        }
+        void await_resume() const noexcept {}
+    };
+
+    DelayAwaiter
+    delay(SimTime ns)
+    {
+        return DelayAwaiter{*this, ns};
+    }
+
+  private:
+    EventQueue queue_;
+    SimTime now_ = 0;
+    std::uint64_t eventsRun_ = 0;
+};
+
+/**
+ * Join primitive: a counter that resumes one waiting coroutine when
+ * it reaches zero. Used to fan parallel sub-activities back in.
+ */
+class JoinCounter
+{
+  public:
+    explicit JoinCounter(std::size_t count)
+        : remaining_(count)
+    {}
+
+    /** Signal completion of one sub-activity. */
+    void arrive();
+
+    /** Awaitable that resumes once the counter hits zero. */
+    struct Awaiter
+    {
+        JoinCounter &counter;
+
+        bool
+        await_ready() const noexcept
+        {
+            return counter.remaining_ == 0;
+        }
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            counter.waiter_ = h;
+        }
+        void await_resume() const noexcept {}
+    };
+
+    Awaiter
+    wait()
+    {
+        return Awaiter{*this};
+    }
+
+  private:
+    std::size_t remaining_;
+    std::coroutine_handle<> waiter_;
+};
+
+} // namespace ann::sim
+
+#endif // ANN_SIM_SIMULATOR_HH

@@ -1,0 +1,29 @@
+#include "storage/block_tracer.hh"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hh"
+
+namespace ann::storage {
+
+void
+BlockTracer::writeCsv(const std::string &path) const
+{
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+    }
+    std::ofstream out(path, std::ios::trunc);
+    ANN_CHECK(out.is_open(), "cannot open trace csv: ", path);
+    out << "when_ns,op,offset_bytes,size_bytes,stream_id\n";
+    for (const TraceEvent &e : events_) {
+        out << e.when_ns << ","
+            << (e.op == IoOp::Read ? "R" : "W") << ","
+            << e.offset_bytes << "," << e.size_bytes << ","
+            << e.stream_id << "\n";
+    }
+}
+
+} // namespace ann::storage

@@ -1,0 +1,50 @@
+#include "storage/page_cache.hh"
+
+#include "common/error.hh"
+
+namespace ann::storage {
+
+PageCache::PageCache(std::size_t capacity_pages)
+    : capacity_(capacity_pages)
+{
+    ANN_CHECK(capacity_pages > 0, "page cache capacity must be > 0");
+}
+
+bool
+PageCache::lookup(std::uint64_t page)
+{
+    const auto it = map_.find(page);
+    if (it == map_.end()) {
+        ++misses_;
+        return false;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+}
+
+void
+PageCache::insert(std::uint64_t page)
+{
+    const auto it = map_.find(page);
+    if (it != map_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    if (map_.size() >= capacity_) {
+        const std::uint64_t victim = lru_.back();
+        lru_.pop_back();
+        map_.erase(victim);
+    }
+    lru_.push_front(page);
+    map_[page] = lru_.begin();
+}
+
+void
+PageCache::dropCaches()
+{
+    lru_.clear();
+    map_.clear();
+}
+
+} // namespace ann::storage

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * OS page cache model: 4 KiB pages, strict LRU.
+ *
+ * Buffered I/O paths (LanceDB reads, Qdrant's mmap) consult this
+ * cache; only misses reach the SSD model and the block tracer, just
+ * like real block-layer traces sit below the page cache. DiskANN's
+ * direct-I/O path bypasses it entirely. dropCaches() models the
+ * paper's `echo 1 > /proc/sys/vm/drop_caches` between runs.
+ */
+
+#ifndef ANN_STORAGE_PAGE_CACHE_HH
+#define ANN_STORAGE_PAGE_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace ann::storage {
+
+/** LRU cache of page numbers (content lives in the index images). */
+class PageCache
+{
+  public:
+    /** @param capacity_pages maximum resident pages (> 0). */
+    explicit PageCache(std::size_t capacity_pages);
+
+    /**
+     * Look up @p page. A hit refreshes recency and returns true; a
+     * miss returns false without inserting (call insert() once the
+     * read completes).
+     */
+    bool lookup(std::uint64_t page);
+
+    /** Insert @p page, evicting the LRU page when full. */
+    void insert(std::uint64_t page);
+
+    /** Evict everything (drop_caches). Statistics are kept. */
+    void dropCaches();
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t residentPages() const { return map_.size(); }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    std::size_t capacity_;
+    std::list<std::uint64_t> lru_; // front = most recent
+    std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+        map_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace ann::storage
+
+#endif // ANN_STORAGE_PAGE_CACHE_HH

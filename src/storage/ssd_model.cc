@@ -1,0 +1,100 @@
+#include "storage/ssd_model.hh"
+
+#include <algorithm>
+
+#include "common/error.hh"
+
+namespace ann::storage {
+
+SsdConfig
+SsdConfig::samsung990Pro()
+{
+    return SsdConfig{}; // defaults are the calibrated 990 Pro values
+}
+
+SsdModel::SsdModel(sim::Simulator &sim, const SsdConfig &config,
+                   BlockTracer *tracer)
+    : sim_(sim), config_(config), tracer_(tracer), rng_(config.seed)
+{
+    ANN_CHECK(config.channels > 0, "ssd needs at least one channel");
+    ANN_CHECK(config.link_bandwidth_bps > 0, "ssd link bandwidth <= 0");
+}
+
+void
+SsdModel::readAsync(std::uint64_t offset_bytes, std::uint32_t size_bytes,
+                    std::uint32_t stream_id, Completion on_complete)
+{
+    ANN_CHECK(size_bytes > 0, "zero-size read");
+    if (tracer_)
+        tracer_->record({sim_.now(), IoOp::Read, offset_bytes,
+                         size_bytes, stream_id});
+    admit(Request{IoOp::Read, size_bytes, std::move(on_complete)});
+}
+
+void
+SsdModel::writeAsync(std::uint64_t offset_bytes, std::uint32_t size_bytes,
+                     std::uint32_t stream_id, Completion on_complete)
+{
+    ANN_CHECK(size_bytes > 0, "zero-size write");
+    if (tracer_)
+        tracer_->record({sim_.now(), IoOp::Write, offset_bytes,
+                         size_bytes, stream_id});
+    admit(Request{IoOp::Write, size_bytes, std::move(on_complete)});
+}
+
+void
+SsdModel::admit(Request request)
+{
+    if (busyChannels_ < config_.channels) {
+        startFlash(std::move(request));
+    } else {
+        waiting_.push_back(std::move(request));
+    }
+}
+
+void
+SsdModel::startFlash(Request request)
+{
+    ++busyChannels_;
+    const SimTime base = request.op == IoOp::Read
+                             ? config_.flash_read_ns
+                             : config_.flash_write_ns;
+    // Deterministic +-jitter around the nominal flash access time.
+    const double jitter =
+        1.0 + config_.jitter_frac * (2.0 * rng_.nextDouble() - 1.0);
+    const auto flash_ns =
+        static_cast<SimTime>(static_cast<double>(base) * jitter);
+
+    sim_.schedule(flash_ns, [this, request = std::move(request)]() mutable {
+        // Flash stage done: the channel frees, the transfer queues on
+        // the shared link.
+        --busyChannels_;
+        if (!waiting_.empty()) {
+            Request next = std::move(waiting_.front());
+            waiting_.pop_front();
+            startFlash(std::move(next));
+        }
+
+        const double seconds = static_cast<double>(request.size) /
+                               config_.link_bandwidth_bps;
+        const auto transfer_ns =
+            static_cast<SimTime>(seconds * 1e9);
+        const SimTime start = std::max(linkFreeAt_, sim_.now());
+        linkFreeAt_ = start + transfer_ns;
+        const SimTime wait = linkFreeAt_ - sim_.now();
+
+        sim_.schedule(wait, [this, request = std::move(request)]() {
+            if (request.op == IoOp::Read) {
+                ++completedReads_;
+                bytesRead_ += request.size;
+            } else {
+                ++completedWrites_;
+                bytesWritten_ += request.size;
+            }
+            if (request.on_complete)
+                request.on_complete();
+        });
+    });
+}
+
+} // namespace ann::storage

@@ -1,0 +1,105 @@
+#include "storage/storage_backend.hh"
+
+#include "common/error.hh"
+#include "index/diskann_index.hh" // kSectorBytes
+
+namespace ann::storage {
+
+StorageBackend::StorageBackend(SsdModel &ssd, PageCache *cache,
+                               std::uint64_t base_offset_bytes)
+    : ssd_(ssd), cache_(cache), baseOffset_(base_offset_bytes)
+{
+    ANN_CHECK(base_offset_bytes % kSectorBytes == 0,
+              "file base offset must be sector aligned");
+}
+
+std::vector<SectorRead>
+StorageBackend::admit(const std::vector<SectorRead> &reads)
+{
+    if (!cache_)
+        return reads;
+
+    std::vector<SectorRead> requests;
+    for (const SectorRead &run : reads) {
+        // Merge contiguous missing sectors of the run, as the kernel
+        // would under request plugging.
+        std::uint64_t miss_start = 0;
+        std::uint32_t miss_len = 0;
+        for (std::uint32_t i = 0; i < run.count; ++i) {
+            const std::uint64_t sector = run.sector + i;
+            if (cache_->lookup(sector)) {
+                if (miss_len > 0) {
+                    requests.push_back({miss_start, miss_len});
+                    miss_len = 0;
+                }
+                continue;
+            }
+            cache_->insert(sector); // resident once the read lands
+            if (miss_len == 0) {
+                miss_start = sector;
+                miss_len = 1;
+            } else {
+                ++miss_len;
+            }
+        }
+        if (miss_len > 0)
+            requests.push_back({miss_start, miss_len});
+    }
+    return requests;
+}
+
+void
+StorageBackend::issueBatch(const std::vector<SectorRead> &requests,
+                           std::uint32_t stream_id,
+                           std::function<void()> done, bool is_write)
+{
+    auto state = std::make_shared<BatchState>();
+    state->outstanding = requests.size();
+    state->done = std::move(done);
+
+    if (requests.empty()) {
+        // Complete via a zero-delay event so callers always resume
+        // from the event loop, never recursively.
+        ssd_.simulator().schedule(0, [state]() {
+            if (state->done)
+                state->done();
+        });
+        return;
+    }
+    for (const SectorRead &req : requests) {
+        const std::uint64_t offset =
+            baseOffset_ + req.sector * kSectorBytes;
+        const auto size =
+            req.count * static_cast<std::uint32_t>(kSectorBytes);
+        auto on_complete = [state]() {
+            ANN_ASSERT(state->outstanding > 0,
+                       "batch completion underflow");
+            if (--state->outstanding == 0 && state->done)
+                state->done();
+        };
+        if (is_write)
+            ssd_.writeAsync(offset, size, stream_id,
+                            std::move(on_complete));
+        else
+            ssd_.readAsync(offset, size, stream_id,
+                           std::move(on_complete));
+    }
+}
+
+void
+StorageBackend::readBatchAsync(const std::vector<SectorRead> &requests,
+                               std::uint32_t stream_id,
+                               std::function<void()> done)
+{
+    issueBatch(requests, stream_id, std::move(done), /*is_write=*/false);
+}
+
+void
+StorageBackend::writeBatchAsync(const std::vector<SectorRead> &requests,
+                                std::uint32_t stream_id,
+                                std::function<void()> done)
+{
+    issueBatch(requests, stream_id, std::move(done), /*is_write=*/true);
+}
+
+} // namespace ann::storage

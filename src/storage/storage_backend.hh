@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Bridge from index-level sector batches to the device model.
+ *
+ * A StorageBackend represents one file living on the SSD at a base
+ * offset. Callers first run a batch through admit(), which applies
+ * the page cache (buffered mode) or passes the batch through
+ * unchanged (direct mode — DiskANN's O_DIRECT behaviour, which is
+ * why the paper's traces show the index's raw 4 KiB pattern), then
+ * issue the surviving requests with readBatch()/writeBatch().
+ *
+ * Splitting admission from issue lets the replay engine skip the
+ * event loop entirely for fully cached batches, which is what makes
+ * mmap-style engines (Qdrant §III-C) run at memory speed when their
+ * working set is resident.
+ */
+
+#ifndef ANN_STORAGE_STORAGE_BACKEND_HH
+#define ANN_STORAGE_STORAGE_BACKEND_HH
+
+#include <coroutine>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "index/search_trace.hh"
+#include "storage/page_cache.hh"
+#include "storage/ssd_model.hh"
+
+namespace ann::storage {
+
+/** One file-on-SSD view with optional page caching. */
+class StorageBackend
+{
+  public:
+    /**
+     * @param ssd the shared device model
+     * @param cache page cache, or nullptr for direct I/O
+     * @param base_offset_bytes file placement on the device
+     */
+    StorageBackend(SsdModel &ssd, PageCache *cache,
+                   std::uint64_t base_offset_bytes);
+
+    /**
+     * Apply cache admission to @p reads and return the block
+     * requests that must actually be issued. Buffered mode: cached
+     * sectors are absorbed (as hits), missing sectors are merged
+     * into contiguous runs (kernel plugging) and marked resident.
+     * Direct mode: returns @p reads unchanged.
+     */
+    std::vector<SectorRead>
+    admit(const std::vector<SectorRead> &reads);
+
+    /**
+     * Issue @p requests in parallel; @p done fires when the last
+     * completes. Callers normally pass admit()'s result; an empty
+     * request list completes via a zero-delay event.
+     */
+    void readBatchAsync(const std::vector<SectorRead> &requests,
+                        std::uint32_t stream_id,
+                        std::function<void()> done);
+
+    /** Issue sector writes in parallel (no cache interaction). */
+    void writeBatchAsync(const std::vector<SectorRead> &requests,
+                         std::uint32_t stream_id,
+                         std::function<void()> done);
+
+    /** Awaitable forms for coroutine callers. */
+    struct BatchAwaiter
+    {
+        StorageBackend &backend;
+        const std::vector<SectorRead> &requests;
+        std::uint32_t stream;
+        bool is_write;
+
+        bool
+        await_ready() const noexcept
+        {
+            return false;
+        }
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            auto resume = [h]() { h.resume(); };
+            if (is_write)
+                backend.writeBatchAsync(requests, stream, resume);
+            else
+                backend.readBatchAsync(requests, stream, resume);
+        }
+        void await_resume() const noexcept {}
+    };
+
+    BatchAwaiter
+    readBatch(const std::vector<SectorRead> &requests,
+              std::uint32_t stream_id)
+    {
+        return BatchAwaiter{*this, requests, stream_id, false};
+    }
+
+    BatchAwaiter
+    writeBatch(const std::vector<SectorRead> &requests,
+               std::uint32_t stream_id)
+    {
+        return BatchAwaiter{*this, requests, stream_id, true};
+    }
+
+    bool buffered() const { return cache_ != nullptr; }
+    PageCache *cache() { return cache_; }
+
+  private:
+    /** Completion fan-in for one batch. */
+    struct BatchState
+    {
+        std::size_t outstanding = 0;
+        std::function<void()> done;
+    };
+
+    void issueBatch(const std::vector<SectorRead> &requests,
+                    std::uint32_t stream_id,
+                    std::function<void()> done, bool is_write);
+
+    SsdModel &ssd_;
+    PageCache *cache_;
+    std::uint64_t baseOffset_;
+};
+
+} // namespace ann::storage
+
+#endif // ANN_STORAGE_STORAGE_BACKEND_HH

@@ -1,0 +1,87 @@
+#include "storage/trace_analysis.hh"
+
+#include "common/error.hh"
+
+namespace ann::storage {
+
+TraceSummary
+summarizeTrace(const std::vector<TraceEvent> &events, SimTime from,
+               SimTime to)
+{
+    TraceSummary summary;
+    std::uint64_t reads_4k = 0;
+    for (const TraceEvent &e : events) {
+        if (e.when_ns < from || e.when_ns >= to)
+            continue;
+        if (e.op == IoOp::Read) {
+            ++summary.read_requests;
+            summary.read_bytes += e.size_bytes;
+            if (e.size_bytes == 4096)
+                ++reads_4k;
+        } else {
+            ++summary.write_requests;
+            summary.write_bytes += e.size_bytes;
+        }
+    }
+    if (summary.read_requests > 0)
+        summary.fraction_4k_reads =
+            static_cast<double>(reads_4k) /
+            static_cast<double>(summary.read_requests);
+    return summary;
+}
+
+std::vector<double>
+readBandwidthTimeline(const std::vector<TraceEvent> &events, SimTime until,
+                      SimTime bucket_ns)
+{
+    ANN_CHECK(bucket_ns > 0, "bucket width must be positive");
+    const std::size_t buckets = until / bucket_ns;
+    std::vector<double> timeline(buckets, 0.0);
+    for (const TraceEvent &e : events) {
+        if (e.op != IoOp::Read || e.when_ns >= until)
+            continue;
+        timeline[e.when_ns / bucket_ns] += e.size_bytes;
+    }
+    const double seconds_per_bucket =
+        static_cast<double>(bucket_ns) / 1e9;
+    for (double &v : timeline)
+        v = v / (1024.0 * 1024.0) / seconds_per_bucket;
+    return timeline;
+}
+
+double
+meanReadBandwidthMib(const std::vector<TraceEvent> &events, SimTime until)
+{
+    if (until == 0)
+        return 0.0;
+    std::uint64_t bytes = 0;
+    for (const TraceEvent &e : events)
+        if (e.op == IoOp::Read && e.when_ns < until)
+            bytes += e.size_bytes;
+    const double seconds = static_cast<double>(until) / 1e9;
+    return static_cast<double>(bytes) / (1024.0 * 1024.0) / seconds;
+}
+
+BucketHistogram
+readSizeHistogram(const std::vector<TraceEvent> &events)
+{
+    // Powers of two from 4 KiB to 1 MiB plus overflow.
+    BucketHistogram hist({4096, 8192, 16384, 32768, 65536, 131072,
+                          262144, 524288, 1048576});
+    for (const TraceEvent &e : events)
+        if (e.op == IoOp::Read)
+            hist.add(e.size_bytes);
+    return hist;
+}
+
+std::unordered_map<std::uint32_t, std::uint64_t>
+perStreamReadBytes(const std::vector<TraceEvent> &events)
+{
+    std::unordered_map<std::uint32_t, std::uint64_t> bytes;
+    for (const TraceEvent &e : events)
+        if (e.op == IoOp::Read)
+            bytes[e.stream_id] += e.size_bytes;
+    return bytes;
+}
+
+} // namespace ann::storage

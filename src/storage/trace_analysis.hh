@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Analyses over block traces: the computations behind the paper's
+ * Figures 5, 6, 10, 11, 14, 15 and the O-15 request-size observation.
+ */
+
+#ifndef ANN_STORAGE_TRACE_ANALYSIS_HH
+#define ANN_STORAGE_TRACE_ANALYSIS_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "storage/block_tracer.hh"
+
+namespace ann::storage {
+
+/** Summary statistics of one trace. */
+struct TraceSummary
+{
+    std::uint64_t read_requests = 0;
+    std::uint64_t write_requests = 0;
+    std::uint64_t read_bytes = 0;
+    std::uint64_t write_bytes = 0;
+    /** Fraction of read requests that are exactly 4 KiB. */
+    double fraction_4k_reads = 0.0;
+};
+
+/** Aggregate a trace (optionally only events in [from, to)). */
+TraceSummary summarizeTrace(const std::vector<TraceEvent> &events,
+                            SimTime from = 0,
+                            SimTime to = ~static_cast<SimTime>(0));
+
+/**
+ * Per-second-style read bandwidth timeline (Fig. 5): MiB/s per bucket
+ * over [0, until).
+ * @param bucket_ns bucket width, default one virtual second
+ */
+std::vector<double>
+readBandwidthTimeline(const std::vector<TraceEvent> &events, SimTime until,
+                      SimTime bucket_ns = 1'000'000'000);
+
+/** Mean read bandwidth in MiB/s over [0, until). */
+double meanReadBandwidthMib(const std::vector<TraceEvent> &events,
+                            SimTime until);
+
+/** Request-size histogram over read requests (O-15). */
+BucketHistogram readSizeHistogram(const std::vector<TraceEvent> &events);
+
+/** Total read bytes attributed to each stream (query) id. */
+std::unordered_map<std::uint32_t, std::uint64_t>
+perStreamReadBytes(const std::vector<TraceEvent> &events);
+
+} // namespace ann::storage
+
+#endif // ANN_STORAGE_TRACE_ANALYSIS_HH

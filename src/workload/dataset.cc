@@ -1,0 +1,71 @@
+#include "workload/dataset.hh"
+
+#include "common/error.hh"
+#include "common/serialize.hh"
+#include "distance/topk.hh"
+
+namespace ann::workload {
+
+namespace {
+
+constexpr const char *kMagic = "ANNDATASET";
+constexpr std::uint32_t kVersion = 1;
+
+} // namespace
+
+void
+Dataset::save(const std::string &path) const
+{
+    BinaryWriter writer(path, kMagic, kVersion);
+    writer.writeString(name);
+    writer.writePod<std::uint64_t>(rows);
+    writer.writePod<std::uint64_t>(dim);
+    writer.writePod<std::uint64_t>(num_queries);
+    writer.writePod<std::uint64_t>(gt_k);
+    writer.writeVector(base);
+    writer.writeVector(queries);
+    writer.writePod<std::uint64_t>(ground_truth.size());
+    for (const auto &row : ground_truth)
+        writer.writeVector(row);
+    writer.close();
+}
+
+Dataset
+Dataset::load(const std::string &path)
+{
+    BinaryReader reader(path, kMagic, kVersion);
+    Dataset dataset;
+    dataset.name = reader.readString();
+    dataset.rows = reader.readPod<std::uint64_t>();
+    dataset.dim = reader.readPod<std::uint64_t>();
+    dataset.num_queries = reader.readPod<std::uint64_t>();
+    dataset.gt_k = reader.readPod<std::uint64_t>();
+    dataset.base = reader.readVector<float>();
+    dataset.queries = reader.readVector<float>();
+    const auto gt_rows = reader.readPod<std::uint64_t>();
+    dataset.ground_truth.resize(gt_rows);
+    for (auto &row : dataset.ground_truth)
+        row = reader.readVector<VectorId>();
+    ANN_CHECK(dataset.base.size() == dataset.rows * dataset.dim,
+              "corrupt dataset archive: ", path);
+    return dataset;
+}
+
+void
+computeGroundTruth(Dataset &dataset, std::size_t gt_k)
+{
+    ANN_CHECK(gt_k > 0 && gt_k <= dataset.rows,
+              "ground truth depth out of range");
+    dataset.gt_k = gt_k;
+    dataset.ground_truth.assign(dataset.num_queries, {});
+    for (std::size_t q = 0; q < dataset.num_queries; ++q) {
+        const auto result = bruteForceSearch(
+            dataset.baseView(), dataset.query(q), Metric::L2, gt_k);
+        auto &row = dataset.ground_truth[q];
+        row.reserve(result.size());
+        for (const Neighbor &n : result)
+            row.push_back(n.id);
+    }
+}
+
+} // namespace ann::workload

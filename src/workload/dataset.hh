@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Vector search workload: base vectors, query vectors, ground truth.
+ *
+ * Mirrors what VectorDBBench supplies in the paper: a named dataset of
+ * fixed-dimension embeddings, 1,000 query vectors, and exact top-k
+ * ground truth for recall computation.
+ */
+
+#ifndef ANN_WORKLOAD_DATASET_HH
+#define ANN_WORKLOAD_DATASET_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ann::workload {
+
+/** A complete, self-describing benchmark dataset. */
+struct Dataset
+{
+    std::string name;
+    std::size_t rows = 0;
+    std::size_t dim = 0;
+    std::size_t num_queries = 0;
+    /** Ground-truth depth (exact top-gt_k per query). */
+    std::size_t gt_k = 0;
+
+    std::vector<float> base;    // rows * dim
+    std::vector<float> queries; // num_queries * dim
+    /** ground_truth[q] = exact neighbour ids, ascending distance. */
+    std::vector<std::vector<VectorId>> ground_truth;
+
+    MatrixView
+    baseView() const
+    {
+        return {base.data(), rows, dim};
+    }
+    MatrixView
+    queryView() const
+    {
+        return {queries.data(), num_queries, dim};
+    }
+    const float *
+    query(std::size_t q) const
+    {
+        return queries.data() + q * dim;
+    }
+
+    /** Raw base-vector footprint in bytes. */
+    std::size_t
+    baseBytes() const
+    {
+        return rows * dim * sizeof(float);
+    }
+
+    void save(const std::string &path) const;
+    static Dataset load(const std::string &path);
+};
+
+/** Compute exact ground truth (L2) for all queries. */
+void computeGroundTruth(Dataset &dataset, std::size_t gt_k);
+
+} // namespace ann::workload
+
+#endif // ANN_WORKLOAD_DATASET_HH

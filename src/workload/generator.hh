@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Synthetic embedding generator.
+ *
+ * The paper's Cohere (768-d) and OpenAI (1536-d) embeddings are not
+ * redistributable here, so we synthesize workloads with the structure
+ * that drives ANN index behaviour: unit-norm vectors drawn from a
+ * Gaussian mixture with Zipf-weighted topic clusters and per-cluster
+ * anisotropy, giving realistic local intrinsic dimensionality. Queries
+ * come from the same mixture. DESIGN.md documents this substitution.
+ */
+
+#ifndef ANN_WORKLOAD_GENERATOR_HH
+#define ANN_WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "workload/dataset.hh"
+
+namespace ann::workload {
+
+/** Generation parameters for one synthetic dataset. */
+struct GeneratorSpec
+{
+    std::string name = "synthetic";
+    std::size_t rows = 10000;
+    std::size_t dim = 128;
+    std::size_t num_queries = 1000;
+    /** Topic clusters in the mixture. */
+    std::size_t clusters = 64;
+    /** Within-cluster noise scale (before normalization). */
+    float spread = 0.18f;
+    /** Zipf skew of cluster popularity (0 = uniform). */
+    double zipf_s = 0.8;
+    /** Ground-truth depth. */
+    std::size_t gt_k = 100;
+    std::uint64_t seed = 0x5eedful;
+};
+
+/** Generate a dataset (including ground truth). */
+Dataset generateDataset(const GeneratorSpec &spec);
+
+} // namespace ann::workload
+
+#endif // ANN_WORKLOAD_GENERATOR_HH

@@ -1,0 +1,97 @@
+#include "workload/registry.hh"
+
+#include "common/env.hh"
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "common/serialize.hh"
+
+namespace ann::workload {
+
+std::vector<std::string>
+paperDatasetNames()
+{
+    return {"cohere-1m", "cohere-10m", "openai-500k", "openai-5m"};
+}
+
+std::vector<std::string>
+smallDatasetNames()
+{
+    return {"cohere-1m", "openai-500k"};
+}
+
+std::vector<std::string>
+largeDatasetNames()
+{
+    return {"cohere-10m", "openai-5m"};
+}
+
+GeneratorSpec
+specForName(const std::string &name)
+{
+    const auto scale = static_cast<std::size_t>(workloadScale());
+    GeneratorSpec spec;
+    spec.name = name;
+    spec.num_queries = 1000;
+    spec.gt_k = 100;
+    // Cluster counts/spreads chosen so index difficulty matches the
+    // paper's Table II regime: HNSW needs a moderate efSearch for 0.9
+    // recall, DiskANN is near target at its minimum search_list, and
+    // IVF must probe a large fraction of the (paper-sized) lists.
+    spec.spread = 0.22f;
+    if (name == "cohere-1m") {
+        spec.rows = 6000 * scale;
+        spec.dim = 128;
+        spec.clusters = 64;
+        spec.seed = 0xc0110001;
+    } else if (name == "cohere-10m") {
+        spec.rows = 60000 * scale;
+        spec.dim = 128;
+        spec.clusters = 64;
+        spec.seed = 0xc0110010;
+    } else if (name == "openai-500k") {
+        spec.rows = 3000 * scale;
+        spec.dim = 256;
+        spec.clusters = 48;
+        spec.seed = 0x0a1e0001;
+    } else if (name == "openai-5m") {
+        spec.rows = 30000 * scale;
+        spec.dim = 256;
+        spec.clusters = 48;
+        spec.seed = 0x0a1e0010;
+    } else {
+        ANN_FATAL("unknown dataset name: ", name);
+    }
+    return spec;
+}
+
+Dataset
+loadOrGenerate(const std::string &name)
+{
+    const GeneratorSpec spec = specForName(name);
+    const std::string path = cacheDir() + "/dataset-" + name + "-" +
+                             std::to_string(spec.rows) + ".bin";
+    if (fileExists(path)) {
+        logDebug("loading cached dataset ", path);
+        return Dataset::load(path);
+    }
+    Dataset dataset = generateDataset(spec);
+    dataset.save(path);
+    logInfo("cached dataset ", path);
+    return dataset;
+}
+
+std::string
+scaledPartner(const std::string &name)
+{
+    if (name == "cohere-1m")
+        return "cohere-10m";
+    if (name == "cohere-10m")
+        return "cohere-1m";
+    if (name == "openai-500k")
+        return "openai-5m";
+    if (name == "openai-5m")
+        return "openai-500k";
+    ANN_FATAL("unknown dataset name: ", name);
+}
+
+} // namespace ann::workload

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Registry of the paper's four benchmark datasets, scaled.
+ *
+ * The paper benchmarks Cohere 1M / Cohere 10M (768-d) and OpenAI 500K
+ * / OpenAI 5M (1536-d). This reproduction keeps the defining ratios —
+ * 10x row scaling within each family and the 1:2 dimension ratio
+ * between families — while scaling absolute sizes to a laptop-class
+ * machine. ANN_SCALE multiplies the row counts for larger machines.
+ *
+ *   paper name    here          rows (ANN_SCALE=1)   dim
+ *   cohere-1m     cohere-1m      6,000               128
+ *   cohere-10m    cohere-10m    60,000               128
+ *   openai-500k   openai-500k    3,000               256
+ *   openai-5m     openai-5m     30,000               256
+ *
+ * Generated datasets (with ground truth) are cached on disk under
+ * cacheDir() so every bench binary and example reuses them.
+ */
+
+#ifndef ANN_WORKLOAD_REGISTRY_HH
+#define ANN_WORKLOAD_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/generator.hh"
+
+namespace ann::workload {
+
+/** Names of the four paper datasets, in paper order. */
+std::vector<std::string> paperDatasetNames();
+
+/** The two "small" datasets (paper: 1M / 500K class). */
+std::vector<std::string> smallDatasetNames();
+/** The two "10x" datasets (paper: 10M / 5M class). */
+std::vector<std::string> largeDatasetNames();
+
+/** Generator spec for a registered dataset name. */
+GeneratorSpec specForName(const std::string &name);
+
+/**
+ * Load @p name from the cache directory, generating (and caching) it
+ * on first use.
+ */
+Dataset loadOrGenerate(const std::string &name);
+
+/** Map a dataset to its 10x partner (and back). */
+std::string scaledPartner(const std::string &name);
+
+} // namespace ann::workload
+
+#endif // ANN_WORKLOAD_REGISTRY_HH

@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Tests for k-means clustering and the two quantizers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <numeric>
+
+#include "cluster/kmeans.hh"
+#include "common/error.hh"
+#include "common/rng.hh"
+#include "common/serialize.hh"
+#include "distance/distance.hh"
+#include "quant/product_quantizer.hh"
+#include "quant/scalar_quantizer.hh"
+
+namespace ann {
+namespace {
+
+/** Clustered synthetic data: @p k well-separated Gaussian blobs. */
+std::vector<float>
+makeBlobs(std::size_t k, std::size_t per_cluster, std::size_t dim,
+          float separation, Rng &rng)
+{
+    std::vector<float> data;
+    data.reserve(k * per_cluster * dim);
+    for (std::size_t c = 0; c < k; ++c) {
+        std::vector<float> center(dim);
+        for (auto &x : center)
+            x = rng.nextFloat(-1.0f, 1.0f) * separation;
+        for (std::size_t i = 0; i < per_cluster; ++i)
+            for (std::size_t d = 0; d < dim; ++d)
+                data.push_back(center[d] +
+                               static_cast<float>(rng.nextGaussian()) *
+                                   0.05f);
+    }
+    return data;
+}
+
+TEST(KMeansTest, RecoverSeparatedClusters)
+{
+    Rng rng(1);
+    const std::size_t k = 5, per = 50, dim = 8;
+    auto data = makeBlobs(k, per, dim, 10.0f, rng);
+    MatrixView view{data.data(), k * per, dim};
+
+    KMeansParams params;
+    params.k = k;
+    params.max_iters = 25;
+    params.seed = 7;
+    const auto model = kmeansFit(view, params);
+    const auto assign = assignToCentroids(model, view);
+
+    // All members of a generated blob should share an assignment.
+    for (std::size_t c = 0; c < k; ++c) {
+        const std::uint32_t label = assign[c * per];
+        for (std::size_t i = 1; i < per; ++i)
+            EXPECT_EQ(assign[c * per + i], label) << "blob " << c;
+    }
+}
+
+TEST(KMeansTest, CentroidCountAndDim)
+{
+    Rng rng(2);
+    auto data = makeBlobs(3, 30, 4, 5.0f, rng);
+    MatrixView view{data.data(), 90, 4};
+    KMeansParams params;
+    params.k = 10;
+    const auto model = kmeansFit(view, params);
+    EXPECT_EQ(model.k, 10u);
+    EXPECT_EQ(model.dim, 4u);
+    EXPECT_EQ(model.centroids.size(), 40u);
+}
+
+TEST(KMeansTest, SubsampleStillCoversSpace)
+{
+    Rng rng(3);
+    auto data = makeBlobs(4, 100, 6, 8.0f, rng);
+    MatrixView view{data.data(), 400, 6};
+    KMeansParams params;
+    params.k = 4;
+    params.subsample = 80;
+    const auto model = kmeansFit(view, params);
+    const auto assign = assignToCentroids(model, view);
+    // Every cluster should receive a meaningful share of points.
+    std::vector<std::size_t> counts(4, 0);
+    for (auto a : assign)
+        ++counts[a];
+    for (auto c : counts)
+        EXPECT_GT(c, 40u);
+}
+
+TEST(KMeansTest, RejectsInvalidArguments)
+{
+    std::vector<float> data{1.0f, 2.0f};
+    MatrixView view{data.data(), 2, 1};
+    KMeansParams params;
+    params.k = 3;
+    EXPECT_THROW(kmeansFit(view, params), FatalError);
+    params.k = 0;
+    EXPECT_THROW(kmeansFit(view, params), FatalError);
+}
+
+TEST(KMeansTest, DeterministicAcrossRuns)
+{
+    Rng rng(4);
+    auto data = makeBlobs(3, 40, 5, 6.0f, rng);
+    MatrixView view{data.data(), 120, 5};
+    KMeansParams params;
+    params.k = 6;
+    params.seed = 99;
+    const auto a = kmeansFit(view, params);
+    const auto b = kmeansFit(view, params);
+    EXPECT_EQ(a.centroids, b.centroids);
+}
+
+TEST(KMeansTest, KEqualsNProducesPointCentroids)
+{
+    std::vector<float> data{0.0f, 10.0f, 20.0f};
+    MatrixView view{data.data(), 3, 1};
+    KMeansParams params;
+    params.k = 3;
+    params.max_iters = 10;
+    const auto model = kmeansFit(view, params);
+    std::vector<float> sorted = model.centroids;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_FLOAT_EQ(sorted[0], 0.0f);
+    EXPECT_FLOAT_EQ(sorted[1], 10.0f);
+    EXPECT_FLOAT_EQ(sorted[2], 20.0f);
+}
+
+class PqFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Rng rng(10);
+        data_ = makeBlobs(8, 100, 32, 3.0f, rng);
+        view_ = MatrixView{data_.data(), 800, 32};
+    }
+
+    std::vector<float> data_;
+    MatrixView view_;
+};
+
+TEST_F(PqFixture, EncodeDecodeReducesError)
+{
+    ProductQuantizer pq;
+    PqParams params;
+    params.m = 8;
+    params.ksub = 64;
+    pq.train(view_, params);
+    ASSERT_TRUE(pq.trained());
+    EXPECT_EQ(pq.codeSize(), 8u);
+
+    // Mean reconstruction error must be far below the data scale.
+    std::vector<std::uint8_t> codes(pq.codeSize());
+    std::vector<float> decoded(32);
+    double total_err = 0.0, total_norm = 0.0;
+    for (std::size_t r = 0; r < view_.rows; r += 13) {
+        pq.encode(view_.row(r), codes.data());
+        pq.decode(codes.data(), decoded.data());
+        total_err += l2DistanceSq(view_.row(r), decoded.data(), 32);
+        total_norm += dotProduct(view_.row(r), view_.row(r), 32);
+    }
+    EXPECT_LT(total_err, 0.05 * total_norm);
+}
+
+TEST_F(PqFixture, AdcMatchesReconstructedDistance)
+{
+    ProductQuantizer pq;
+    PqParams params;
+    params.m = 4;
+    params.ksub = 32;
+    pq.train(view_, params);
+
+    Rng rng(11);
+    std::vector<float> query(32);
+    for (auto &x : query)
+        x = rng.nextFloat(-3.0f, 3.0f);
+
+    const AdcTable table = pq.computeAdcTable(query.data());
+    std::vector<std::uint8_t> codes(pq.codeSize());
+    for (std::size_t r = 0; r < 20; ++r) {
+        pq.encode(view_.row(r * 7), codes.data());
+        const float adc = pq.adcDistance(table, codes.data());
+        const float exact =
+            pq.reconstructedDistance(query.data(), codes.data());
+        EXPECT_NEAR(adc, exact, 1e-2f * std::max(1.0f, exact));
+    }
+}
+
+TEST_F(PqFixture, MoreCentroidsLowerError)
+{
+    auto mean_error = [&](std::size_t ksub) {
+        ProductQuantizer pq;
+        PqParams params;
+        params.m = 8;
+        params.ksub = ksub;
+        pq.train(view_, params);
+        std::vector<std::uint8_t> codes(pq.codeSize());
+        std::vector<float> decoded(32);
+        double err = 0.0;
+        for (std::size_t r = 0; r < view_.rows; r += 9) {
+            pq.encode(view_.row(r), codes.data());
+            pq.decode(codes.data(), decoded.data());
+            err += l2DistanceSq(view_.row(r), decoded.data(), 32);
+        }
+        return err;
+    };
+    EXPECT_LT(mean_error(64), mean_error(4));
+}
+
+TEST_F(PqFixture, SaveLoadRoundTrip)
+{
+    ProductQuantizer pq;
+    PqParams params;
+    params.m = 8;
+    params.ksub = 16;
+    pq.train(view_, params);
+    const std::string path = "pq_test.bin";
+    {
+        BinaryWriter writer(path, "PQT", 1);
+        pq.save(writer);
+        writer.close();
+    }
+    ProductQuantizer loaded;
+    {
+        BinaryReader reader(path, "PQT", 1);
+        loaded.load(reader);
+    }
+    std::vector<std::uint8_t> a(pq.codeSize()), b(pq.codeSize());
+    pq.encode(view_.row(5), a.data());
+    loaded.encode(view_.row(5), b.data());
+    EXPECT_EQ(a, b);
+    std::remove(path.c_str());
+}
+
+TEST_F(PqFixture, RejectsBadConfigurations)
+{
+    ProductQuantizer pq;
+    PqParams params;
+    params.m = 5; // does not divide 32
+    EXPECT_THROW(pq.train(view_, params), FatalError);
+    params.m = 8;
+    params.ksub = 1000;
+    EXPECT_THROW(pq.train(view_, params), FatalError);
+}
+
+TEST(ScalarQuantizerTest, RoundTripWithinQuantum)
+{
+    Rng rng(20);
+    std::vector<float> data(100 * 16);
+    for (auto &x : data)
+        x = rng.nextFloat(-2.0f, 2.0f);
+    MatrixView view{data.data(), 100, 16};
+
+    ScalarQuantizer sq;
+    sq.train(view);
+    EXPECT_EQ(sq.codeSize(), 16u);
+
+    std::vector<std::uint8_t> codes(16);
+    std::vector<float> decoded(16);
+    for (std::size_t r = 0; r < 100; r += 11) {
+        sq.encode(view.row(r), codes.data());
+        sq.decode(codes.data(), decoded.data());
+        for (std::size_t d = 0; d < 16; ++d)
+            EXPECT_NEAR(decoded[d], view.row(r)[d], 4.0f / 255.0f + 1e-5f);
+    }
+}
+
+TEST(ScalarQuantizerTest, AsymmetricMatchesDecodedL2)
+{
+    Rng rng(21);
+    std::vector<float> data(50 * 8);
+    for (auto &x : data)
+        x = rng.nextFloat(-1.0f, 1.0f);
+    MatrixView view{data.data(), 50, 8};
+    ScalarQuantizer sq;
+    sq.train(view);
+
+    std::vector<float> query(8);
+    for (auto &x : query)
+        x = rng.nextFloat(-1.0f, 1.0f);
+
+    std::vector<std::uint8_t> codes(8);
+    std::vector<float> decoded(8);
+    for (std::size_t r = 0; r < 50; r += 7) {
+        sq.encode(view.row(r), codes.data());
+        sq.decode(codes.data(), decoded.data());
+        EXPECT_NEAR(sq.asymmetricL2(query.data(), codes.data()),
+                    l2DistanceSq(query.data(), decoded.data(), 8), 1e-4f);
+    }
+}
+
+TEST(ScalarQuantizerTest, ConstantDimensionIsStable)
+{
+    std::vector<float> data{1.0f, 5.0f, 1.0f, 7.0f}; // dim0 constant
+    MatrixView view{data.data(), 2, 2};
+    ScalarQuantizer sq;
+    sq.train(view);
+    std::vector<std::uint8_t> codes(2);
+    std::vector<float> decoded(2);
+    sq.encode(view.row(0), codes.data());
+    sq.decode(codes.data(), decoded.data());
+    EXPECT_NEAR(decoded[0], 1.0f, 1e-4f);
+}
+
+TEST(ScalarQuantizerTest, SaveLoadRoundTrip)
+{
+    Rng rng(22);
+    std::vector<float> data(30 * 4);
+    for (auto &x : data)
+        x = rng.nextFloat(-1.0f, 1.0f);
+    MatrixView view{data.data(), 30, 4};
+    ScalarQuantizer sq;
+    sq.train(view);
+    const std::string path = "sq_test.bin";
+    {
+        BinaryWriter writer(path, "SQT", 1);
+        sq.save(writer);
+        writer.close();
+    }
+    ScalarQuantizer loaded;
+    {
+        BinaryReader reader(path, "SQT", 1);
+        loaded.load(reader);
+    }
+    std::vector<std::uint8_t> a(4), b(4);
+    sq.encode(view.row(3), a.data());
+    loaded.encode(view.row(3), b.data());
+    EXPECT_EQ(a, b);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace ann

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Tests for the characterization framework: replay semantics, the
+ * bench runner, and the parameter tuner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/error.hh"
+#include "core/bench_runner.hh"
+#include "engine/milvus_like.hh"
+#include "core/experiments.hh"
+#include "core/replay.hh"
+#include "core/tuner.hh"
+#include "storage/trace_analysis.hh"
+#include "workload/generator.hh"
+
+namespace ann {
+namespace {
+
+using core::ReplayConfig;
+using core::ReplayResult;
+using engine::EngineProfile;
+using engine::QueryTrace;
+using engine::SearchSettings;
+
+/** A simple CPU-only trace: rtt + one chain with fixed CPU. */
+QueryTrace
+cpuTrace(SimTime cpu_ns, SimTime rtt_ns = 100'000)
+{
+    QueryTrace trace;
+    trace.rtt_ns = rtt_ns;
+    trace.parallel_chains.push_back({{cpu_ns, {}}});
+    return trace;
+}
+
+/** A trace with one I/O batch of @p sectors single-sector reads. */
+QueryTrace
+ioTrace(SimTime cpu_ns, std::size_t sectors)
+{
+    QueryTrace trace;
+    trace.rtt_ns = 50'000;
+    std::vector<SectorRead> reads;
+    for (std::size_t s = 0; s < sectors; ++s)
+        reads.push_back({s * 17 + 1, 1});
+    trace.parallel_chains.push_back({{cpu_ns, std::move(reads)}});
+    return trace;
+}
+
+EngineProfile
+plainProfile()
+{
+    EngineProfile profile;
+    profile.name = "test";
+    profile.rtt_ns = 0;
+    profile.proxy_cpu_ns = 0;
+    profile.merge_cpu_ns = 0;
+    profile.serial_cpu_ns = 0;
+    profile.batch_fraction = 0.0;
+    profile.direct_io = true;
+    return profile;
+}
+
+ReplayConfig
+testConfig(std::size_t threads, SimTime duration = 500'000'000)
+{
+    ReplayConfig config;
+    config.client_threads = threads;
+    config.duration_ns = duration;
+    config.num_cores = 4;
+    config.cpu_jitter = 0.0;
+    return config;
+}
+
+TEST(ReplayTest, SingleThreadQpsMatchesServiceTime)
+{
+    // 1 ms CPU + 0.1 ms RTT -> ~909 QPS on one client.
+    std::vector<QueryTrace> traces{cpuTrace(1'000'000)};
+    const auto result =
+        replayWorkload(traces, plainProfile(), testConfig(1));
+    EXPECT_NEAR(result.qps, 909.0, 20.0);
+    EXPECT_NEAR(result.mean_latency_us, 1100.0, 20.0);
+    EXPECT_FALSE(result.oom);
+}
+
+TEST(ReplayTest, ThroughputSaturatesAtCoreCount)
+{
+    // 4 cores, 1 ms pure-CPU queries -> cap at ~4000 QPS.
+    std::vector<QueryTrace> traces{cpuTrace(1'000'000, 0)};
+    const auto r8 =
+        replayWorkload(traces, plainProfile(), testConfig(8));
+    const auto r32 =
+        replayWorkload(traces, plainProfile(), testConfig(32));
+    EXPECT_NEAR(r8.qps, 4000.0, 150.0);
+    EXPECT_NEAR(r32.qps, 4000.0, 150.0);
+    // Queueing raises latency with more clients.
+    EXPECT_GT(r32.p99_latency_us, 2.0 * r8.p99_latency_us);
+    EXPECT_NEAR(r32.mean_cpu_util, 1.0, 0.05);
+}
+
+TEST(ReplayTest, RttHidingGivesNearLinearLowConcurrency)
+{
+    // RTT-dominated workload scales ~linearly while cores are free.
+    std::vector<QueryTrace> traces{cpuTrace(50'000, 1'000'000)};
+    const auto r1 =
+        replayWorkload(traces, plainProfile(), testConfig(1));
+    const auto r8 =
+        replayWorkload(traces, plainProfile(), testConfig(8));
+    EXPECT_GT(r8.qps, 7.0 * r1.qps);
+}
+
+TEST(ReplayTest, BatchFractionGivesSuperlinearScaling)
+{
+    EngineProfile profile = plainProfile();
+    profile.batch_fraction = 0.6; // coalescing amortizes 60% of CPU
+    std::vector<QueryTrace> traces{cpuTrace(1'000'000, 500'000)};
+    ReplayConfig config = testConfig(1);
+    config.num_cores = 20; // the paper's testbed width
+    const auto r1 = replayWorkload(traces, profile, config);
+    config.client_threads = 16;
+    const auto r16 = replayWorkload(traces, profile, config);
+    // Superlinear: O-4's signature.
+    EXPECT_GT(r16.qps, 18.0 * r1.qps);
+}
+
+TEST(ReplayTest, SerialSectionCapsThroughput)
+{
+    EngineProfile profile = plainProfile();
+    profile.serial_cpu_ns = 1'000'000; // 1 ms under a global lock
+    std::vector<QueryTrace> traces;
+    {
+        QueryTrace t = cpuTrace(100'000, 0);
+        t.serial_cpu_ns = profile.serial_cpu_ns;
+        traces.push_back(t);
+    }
+    const auto r64 = replayWorkload(traces, profile, testConfig(64));
+    EXPECT_LT(r64.qps, 1100.0); // <= 1/serial
+    EXPECT_GT(r64.qps, 800.0);
+}
+
+TEST(ReplayTest, OomAboveClientLimit)
+{
+    EngineProfile profile = plainProfile();
+    profile.max_client_threads = 16;
+    std::vector<QueryTrace> traces{cpuTrace(100'000)};
+    EXPECT_FALSE(
+        replayWorkload(traces, profile, testConfig(16)).oom);
+    const auto r = replayWorkload(traces, profile, testConfig(17));
+    EXPECT_TRUE(r.oom);
+    EXPECT_EQ(r.completed, 0u);
+}
+
+TEST(ReplayTest, IoTracesProduceBlockEvents)
+{
+    std::vector<QueryTrace> traces{ioTrace(50'000, 8)};
+    ReplayConfig config = testConfig(4);
+    config.collect_trace = true;
+    const auto result =
+        replayWorkload(traces, plainProfile(), config);
+    EXPECT_GT(result.completed, 0u);
+    EXPECT_FALSE(result.trace.empty());
+    const auto summary = storage::summarizeTrace(result.trace);
+    EXPECT_EQ(summary.read_requests % 8, 0u);
+    EXPECT_DOUBLE_EQ(summary.fraction_4k_reads, 1.0);
+    // Bytes flow consistently: 8 sectors per completed query, with at
+    // most the in-flight remainder outstanding.
+    EXPECT_NEAR(static_cast<double>(result.read_bytes),
+                static_cast<double>(result.completed) * 8 * 4096,
+                8.0 * 4096 * 8);
+    EXPECT_GT(result.read_bw_mib, 0.0);
+}
+
+TEST(ReplayTest, IoWaitsKeepCpuIdle)
+{
+    // I/O-heavy queries: CPU utilization stays well below 1 even
+    // though clients saturate (KF-2's CPU-vs-SSD signature).
+    std::vector<QueryTrace> traces{ioTrace(20'000, 16)};
+    const auto result =
+        replayWorkload(traces, plainProfile(), testConfig(8));
+    EXPECT_LT(result.mean_cpu_util, 0.8);
+    EXPECT_GT(result.qps, 100.0);
+}
+
+TEST(ReplayTest, DeterministicAcrossRuns)
+{
+    std::vector<QueryTrace> traces{ioTrace(100'000, 4),
+                                   cpuTrace(300'000)};
+    const auto a = replayWorkload(traces, plainProfile(),
+                                  testConfig(6));
+    const auto b = replayWorkload(traces, plainProfile(),
+                                  testConfig(6));
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.read_bytes, b.read_bytes);
+    EXPECT_DOUBLE_EQ(a.p99_latency_us, b.p99_latency_us);
+}
+
+TEST(ReplayTest, WorkerSlotsLimitParallelChains)
+{
+    EngineProfile profile = plainProfile();
+    profile.worker_slots = 1; // everything serialized server-side
+    std::vector<QueryTrace> traces;
+    {
+        QueryTrace t;
+        t.rtt_ns = 0;
+        t.parallel_chains.push_back({{1'000'000, {}}});
+        t.parallel_chains.push_back({{1'000'000, {}}});
+        traces.push_back(t);
+    }
+    const auto result =
+        replayWorkload(traces, profile, testConfig(8));
+    // 2 chains x 1 ms through a single slot -> <= 500 QPS.
+    EXPECT_LT(result.qps, 550.0);
+}
+
+TEST(TunerTest, MonotonicSearchFindsThreshold)
+{
+    auto recall_of = [](std::size_t v) {
+        return v >= 37 ? 0.95 : 0.5;
+    };
+    double achieved = 0.0;
+    EXPECT_EQ(core::tuneMonotonic(recall_of, 1, 1024, 0.9, &achieved),
+              37u);
+    EXPECT_DOUBLE_EQ(achieved, 0.95);
+}
+
+TEST(TunerTest, LowBoundShortCircuit)
+{
+    auto recall_of = [](std::size_t) { return 1.0; };
+    double achieved = 0.0;
+    EXPECT_EQ(core::tuneMonotonic(recall_of, 10, 512, 0.9, &achieved),
+              10u);
+}
+
+TEST(TunerTest, UnreachableTargetReturnsUpperBound)
+{
+    auto recall_of = [](std::size_t) { return 0.5; };
+    double achieved = 0.0;
+    EXPECT_EQ(core::tuneMonotonic(recall_of, 1, 64, 0.9, &achieved),
+              64u);
+    EXPECT_DOUBLE_EQ(achieved, 0.5);
+}
+
+TEST(TunerTest, ParamKindFollowsEngineName)
+{
+    EXPECT_EQ(core::tunableParamFor("milvus-ivf"),
+              core::TunableParam::Nprobe);
+    EXPECT_EQ(core::tunableParamFor("milvus-diskann"),
+              core::TunableParam::SearchList);
+    EXPECT_EQ(core::tunableParamFor("qdrant-hnsw"),
+              core::TunableParam::EfSearch);
+    EXPECT_EQ(core::tunableParamFor("lancedb-ivfpq"),
+              core::TunableParam::Nprobe);
+}
+
+class RunnerFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        ::setenv("ANN_CACHE_DIR", "./core_test_cache", 1);
+        std::filesystem::create_directories("./core_test_cache");
+        workload::GeneratorSpec spec;
+        spec.name = "core-test";
+        spec.rows = 3000;
+        spec.dim = 16;
+        spec.num_queries = 30;
+        spec.clusters = 10;
+        spec.gt_k = 10;
+        spec.seed = 5;
+        data_ = new workload::Dataset(generateDataset(spec));
+        engine_ = new engine::MilvusLikeEngine(
+            engine::MilvusIndexKind::DiskAnn);
+        engine_->prepare(*data_, "./core_test_cache");
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete engine_;
+        delete data_;
+        engine_ = nullptr;
+        data_ = nullptr;
+        std::filesystem::remove_all("./core_test_cache");
+        ::unsetenv("ANN_CACHE_DIR");
+    }
+
+    static workload::Dataset *data_;
+    static engine::MilvusLikeEngine *engine_;
+};
+
+workload::Dataset *RunnerFixture::data_ = nullptr;
+engine::MilvusLikeEngine *RunnerFixture::engine_ = nullptr;
+
+TEST_F(RunnerFixture, TracesAreMemoized)
+{
+    core::BenchRunner runner(testConfig(1));
+    SearchSettings settings;
+    settings.search_list = 15;
+    const auto &a = runner.traces(*engine_, *data_, settings);
+    const auto &b = runner.traces(*engine_, *data_, settings);
+    EXPECT_EQ(&a, &b);
+    settings.search_list = 25;
+    const auto &c = runner.traces(*engine_, *data_, settings);
+    EXPECT_NE(&a, &c);
+}
+
+TEST_F(RunnerFixture, MeasurementHasConsistentMetrics)
+{
+    core::BenchRunner runner(testConfig(4));
+    SearchSettings settings;
+    settings.search_list = 15;
+    const auto m =
+        runner.measure(*engine_, *data_, settings, 4, true);
+    EXPECT_GT(m.replay.qps, 0.0);
+    EXPECT_GT(m.recall, 0.8);
+    EXPECT_GT(m.mib_per_query, 0.0);
+    EXPECT_FALSE(m.replay.trace.empty());
+    // Replayed I/O per completed query matches the structural value.
+    const double replay_mib_per_query =
+        static_cast<double>(m.replay.read_bytes) / (1024.0 * 1024.0) /
+        static_cast<double>(m.replay.completed);
+    EXPECT_NEAR(replay_mib_per_query, m.mib_per_query,
+                0.25 * m.mib_per_query);
+}
+
+TEST_F(RunnerFixture, TunerReachesTargetAndCaches)
+{
+    const auto tuned = core::tunedSettings(*engine_, *data_, 0.9);
+    EXPECT_GE(tuned.recall, 0.9);
+    EXPECT_GE(tuned.settings.search_list, 10u);
+    // Cached second call returns the identical settings.
+    const auto again = core::tunedSettings(*engine_, *data_, 0.9);
+    EXPECT_EQ(again.settings.search_list, tuned.settings.search_list);
+    EXPECT_DOUBLE_EQ(again.recall, tuned.recall);
+}
+
+TEST(ExperimentsTest, SetupAndSweepDefinitions)
+{
+    const auto setups = core::allSetups();
+    EXPECT_EQ(setups.size(), 7u);
+    for (const auto &name : setups)
+        EXPECT_NE(core::makeEngine(name), nullptr);
+    EXPECT_THROW(core::makeEngine("pinecone"), FatalError);
+
+    const auto threads = core::threadSweep();
+    EXPECT_EQ(threads.front(), 1u);
+    EXPECT_EQ(threads.back(), 256u);
+    EXPECT_EQ(core::searchListSweep().front(), 10u);
+    EXPECT_EQ(core::searchListSweep().back(), 100u);
+}
+
+} // namespace
+} // namespace ann

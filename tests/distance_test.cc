@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Unit and property tests for distance kernels, top-k, and recall.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "distance/distance.hh"
+#include "distance/recall.hh"
+#include "distance/topk.hh"
+
+namespace ann {
+namespace {
+
+std::vector<float>
+randomVector(Rng &rng, std::size_t dim)
+{
+    std::vector<float> v(dim);
+    for (auto &x : v)
+        x = rng.nextFloat(-1.0f, 1.0f);
+    return v;
+}
+
+TEST(DistanceTest, L2MatchesNaiveImplementation)
+{
+    Rng rng(1);
+    for (std::size_t dim : {1u, 3u, 4u, 7u, 128u, 255u}) {
+        const auto a = randomVector(rng, dim);
+        const auto b = randomVector(rng, dim);
+        float naive = 0.0f;
+        for (std::size_t i = 0; i < dim; ++i)
+            naive += (a[i] - b[i]) * (a[i] - b[i]);
+        EXPECT_NEAR(l2DistanceSq(a.data(), b.data(), dim), naive,
+                    1e-4f * dim)
+            << "dim=" << dim;
+    }
+}
+
+TEST(DistanceTest, L2IsZeroOnIdenticalVectors)
+{
+    Rng rng(2);
+    const auto a = randomVector(rng, 96);
+    EXPECT_EQ(l2DistanceSq(a.data(), a.data(), 96), 0.0f);
+}
+
+TEST(DistanceTest, DotProductMatchesNaive)
+{
+    Rng rng(3);
+    const auto a = randomVector(rng, 129);
+    const auto b = randomVector(rng, 129);
+    float naive = 0.0f;
+    for (std::size_t i = 0; i < 129; ++i)
+        naive += a[i] * b[i];
+    EXPECT_NEAR(dotProduct(a.data(), b.data(), 129), naive, 1e-3f);
+}
+
+TEST(DistanceTest, CosineDistanceBounds)
+{
+    std::vector<float> a{1.0f, 0.0f};
+    std::vector<float> b{0.0f, 1.0f};
+    std::vector<float> c{-1.0f, 0.0f};
+    EXPECT_NEAR(cosineDistance(a.data(), a.data(), 2), 0.0f, 1e-6f);
+    EXPECT_NEAR(cosineDistance(a.data(), b.data(), 2), 1.0f, 1e-6f);
+    EXPECT_NEAR(cosineDistance(a.data(), c.data(), 2), 2.0f, 1e-6f);
+}
+
+TEST(DistanceTest, CosineOnZeroVectorIsNeutral)
+{
+    std::vector<float> zero{0.0f, 0.0f};
+    std::vector<float> a{1.0f, 1.0f};
+    EXPECT_EQ(cosineDistance(zero.data(), a.data(), 2), 1.0f);
+}
+
+TEST(DistanceTest, CanonicalInnerProductIsNegatedDot)
+{
+    Rng rng(4);
+    const auto a = randomVector(rng, 64);
+    const auto b = randomVector(rng, 64);
+    EXPECT_FLOAT_EQ(distance(Metric::InnerProduct, a.data(), b.data(), 64),
+                    -dotProduct(a.data(), b.data(), 64));
+}
+
+TEST(DistanceTest, MetricNames)
+{
+    EXPECT_EQ(metricName(Metric::L2), "l2");
+    EXPECT_EQ(metricName(Metric::InnerProduct), "ip");
+    EXPECT_EQ(metricName(Metric::Cosine), "cosine");
+}
+
+TEST(DistanceTest, NormalizeProducesUnitNorm)
+{
+    Rng rng(5);
+    auto a = randomVector(rng, 100);
+    normalizeVector(a.data(), 100);
+    EXPECT_NEAR(vectorNorm(a.data(), 100), 1.0f, 1e-5f);
+}
+
+TEST(DistanceTest, NormalizeZeroVectorIsNoop)
+{
+    std::vector<float> zero(8, 0.0f);
+    normalizeVector(zero.data(), 8);
+    for (float x : zero)
+        EXPECT_EQ(x, 0.0f);
+}
+
+TEST(TopKTest, KeepsSmallestDistances)
+{
+    TopK top(3);
+    top.push(0, 5.0f);
+    top.push(1, 1.0f);
+    top.push(2, 3.0f);
+    top.push(3, 4.0f); // rejected, worse than current worst 5? no: 4 < 5
+    top.push(4, 10.0f); // rejected
+    const auto result = top.take();
+    ASSERT_EQ(result.size(), 3u);
+    EXPECT_EQ(result[0].id, 1u);
+    EXPECT_EQ(result[1].id, 2u);
+    EXPECT_EQ(result[2].id, 3u);
+}
+
+TEST(TopKTest, AscendingOrderOnTake)
+{
+    Rng rng(6);
+    TopK top(10);
+    for (VectorId i = 0; i < 1000; ++i)
+        top.push(i, rng.nextFloat(0.0f, 100.0f));
+    const auto result = top.take();
+    ASSERT_EQ(result.size(), 10u);
+    for (std::size_t i = 1; i < result.size(); ++i)
+        EXPECT_LE(result[i - 1].distance, result[i].distance);
+}
+
+TEST(TopKTest, FewerCandidatesThanK)
+{
+    TopK top(5);
+    top.push(7, 2.0f);
+    EXPECT_FALSE(top.full());
+    const auto result = top.take();
+    ASSERT_EQ(result.size(), 1u);
+    EXPECT_EQ(result[0].id, 7u);
+}
+
+TEST(TopKTest, WouldAcceptTracksWorst)
+{
+    TopK top(2);
+    EXPECT_TRUE(top.wouldAccept(1e9f));
+    top.push(0, 1.0f);
+    top.push(1, 2.0f);
+    EXPECT_TRUE(top.wouldAccept(1.5f));
+    EXPECT_FALSE(top.wouldAccept(2.5f));
+    EXPECT_FLOAT_EQ(top.worstDistance(), 2.0f);
+}
+
+TEST(TopKTest, MatchesFullSortProperty)
+{
+    Rng rng(8);
+    for (int round = 0; round < 20; ++round) {
+        std::vector<float> dists;
+        TopK top(7);
+        for (VectorId i = 0; i < 200; ++i) {
+            const float d = rng.nextFloat(0.0f, 10.0f);
+            dists.push_back(d);
+            top.push(i, d);
+        }
+        auto sorted = dists;
+        std::sort(sorted.begin(), sorted.end());
+        const auto result = top.take();
+        ASSERT_EQ(result.size(), 7u);
+        for (std::size_t i = 0; i < 7; ++i)
+            EXPECT_FLOAT_EQ(result[i].distance, sorted[i]);
+    }
+}
+
+TEST(BruteForceTest, FindsExactNeighbor)
+{
+    // 4 points on a line; query nearest to point 2.
+    std::vector<float> data{0.0f, 1.0f, 2.0f, 10.0f};
+    MatrixView view{data.data(), 4, 1};
+    const float query = 2.2f;
+    const auto result = bruteForceSearch(view, &query, Metric::L2, 2);
+    ASSERT_EQ(result.size(), 2u);
+    EXPECT_EQ(result[0].id, 2u);
+    EXPECT_EQ(result[1].id, 1u);
+}
+
+TEST(RecallTest, PerfectAndPartial)
+{
+    std::vector<VectorId> truth{1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(recallAtK(truth, std::vector<VectorId>{1, 2, 3}, 3),
+                     1.0);
+    EXPECT_DOUBLE_EQ(recallAtK(truth, std::vector<VectorId>{1, 9, 8}, 3),
+                     1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(recallAtK(truth, std::vector<VectorId>{}, 3), 0.0);
+}
+
+TEST(RecallTest, OnlyFirstKOfTruthCounts)
+{
+    std::vector<VectorId> truth{1, 2, 3, 4, 5};
+    // id 5 is in the truth list but outside the top-2 cutoff.
+    EXPECT_DOUBLE_EQ(recallAtK(truth, std::vector<VectorId>{5, 1}, 2),
+                     0.5);
+}
+
+TEST(RecallTest, MeanOverBatch)
+{
+    std::vector<std::vector<VectorId>> truth{{1, 2}, {3, 4}};
+    std::vector<SearchResult> found{
+        {{1, 0.1f}, {2, 0.2f}},
+        {{9, 0.1f}, {8, 0.2f}},
+    };
+    EXPECT_DOUBLE_EQ(meanRecallAtK(truth, found, 2), 0.5);
+}
+
+class BruteForceProperty : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(BruteForceProperty, SelfQueryReturnsSelfFirst)
+{
+    const std::size_t dim = GetParam();
+    Rng rng(42 + dim);
+    const std::size_t rows = 50;
+    std::vector<float> data(rows * dim);
+    for (auto &x : data)
+        x = rng.nextFloat(-1.0f, 1.0f);
+    MatrixView view{data.data(), rows, dim};
+    for (std::size_t q = 0; q < rows; q += 7) {
+        const auto result =
+            bruteForceSearch(view, view.row(q), Metric::L2, 1);
+        ASSERT_EQ(result.size(), 1u);
+        EXPECT_EQ(result[0].id, q);
+        EXPECT_EQ(result[0].distance, 0.0f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, BruteForceProperty,
+                         ::testing::Values(2, 8, 31, 64, 128));
+
+} // namespace
+} // namespace ann

@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Tests for Flat, IVF, and HNSW indexes: correctness, recall floors,
+ * parameter monotonicity, serialization, and instrumentation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/error.hh"
+#include "common/serialize.hh"
+#include "distance/recall.hh"
+#include "index/flat_index.hh"
+#include "index/hnsw_index.hh"
+#include "index/ivf_index.hh"
+#include "test_util.hh"
+
+namespace ann {
+namespace {
+
+using testutil::groundTruth;
+using testutil::makeClusteredData;
+using testutil::TestData;
+
+class IndexFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        data_ = new TestData(makeClusteredData(2000, 50, 32, 555));
+        truth_ = new std::vector<std::vector<VectorId>>(
+            groundTruth(*data_, 10));
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete data_;
+        delete truth_;
+        data_ = nullptr;
+        truth_ = nullptr;
+    }
+
+    template <typename SearchFn>
+    double
+    meanRecall(SearchFn &&search) const
+    {
+        double acc = 0.0;
+        for (std::size_t q = 0; q < data_->num_queries; ++q) {
+            const auto result = search(data_->queryView().row(q));
+            acc += recallAtK((*truth_)[q], result, 10);
+        }
+        return acc / static_cast<double>(data_->num_queries);
+    }
+
+    static TestData *data_;
+    static std::vector<std::vector<VectorId>> *truth_;
+};
+
+TestData *IndexFixture::data_ = nullptr;
+std::vector<std::vector<VectorId>> *IndexFixture::truth_ = nullptr;
+
+TEST_F(IndexFixture, FlatIsExact)
+{
+    FlatIndex flat;
+    flat.build(data_->baseView());
+    EXPECT_EQ(flat.size(), 2000u);
+    const double recall =
+        meanRecall([&](const float *q) { return flat.search(q, 10); });
+    EXPECT_DOUBLE_EQ(recall, 1.0);
+}
+
+TEST_F(IndexFixture, FlatRecordsOpCounts)
+{
+    FlatIndex flat;
+    flat.build(data_->baseView());
+    SearchTraceRecorder recorder;
+    flat.search(data_->queryView().row(0), 10, &recorder);
+    const OpCounts totals = recorder.totals();
+    EXPECT_EQ(totals.full_distances, 2000u);
+    EXPECT_EQ(totals.rows_scanned, 2000u);
+}
+
+TEST_F(IndexFixture, IvfReachesHighRecallWithEnoughProbes)
+{
+    IvfIndex ivf;
+    IvfBuildParams build;
+    build.nlist = 64;
+    ivf.build(data_->baseView(), build);
+
+    IvfSearchParams search;
+    search.k = 10;
+    search.nprobe = 16;
+    const double recall = meanRecall([&](const float *q) {
+        return ivf.search(q, search);
+    });
+    EXPECT_GT(recall, 0.9);
+}
+
+TEST_F(IndexFixture, IvfRecallGrowsWithNprobe)
+{
+    IvfIndex ivf;
+    IvfBuildParams build;
+    build.nlist = 64;
+    ivf.build(data_->baseView(), build);
+
+    double last = -1.0;
+    for (std::size_t nprobe : {1u, 4u, 16u, 64u}) {
+        IvfSearchParams search;
+        search.k = 10;
+        search.nprobe = nprobe;
+        const double recall = meanRecall([&](const float *q) {
+            return ivf.search(q, search);
+        });
+        EXPECT_GE(recall, last - 1e-9) << "nprobe=" << nprobe;
+        last = recall;
+    }
+    // nprobe = nlist means an exhaustive scan -> exact results.
+    EXPECT_DOUBLE_EQ(last, 1.0);
+}
+
+TEST_F(IndexFixture, IvfScannedRowsGrowWithNprobe)
+{
+    IvfIndex ivf;
+    IvfBuildParams build;
+    build.nlist = 64;
+    ivf.build(data_->baseView(), build);
+
+    auto scanned = [&](std::size_t nprobe) {
+        SearchTraceRecorder recorder;
+        IvfSearchParams search;
+        search.nprobe = nprobe;
+        ivf.search(data_->queryView().row(0), search, &recorder);
+        return recorder.totals().rows_scanned;
+    };
+    EXPECT_LT(scanned(2), scanned(32));
+}
+
+TEST_F(IndexFixture, IvfPqStillFindsNeighbors)
+{
+    IvfIndex ivf;
+    IvfBuildParams build;
+    build.nlist = 32;
+    build.use_pq = true;
+    build.pq.m = 16;
+    build.pq.ksub = 256;
+    ivf.build(data_->baseView(), build);
+    EXPECT_TRUE(ivf.usesPq());
+    EXPECT_EQ(ivf.entryBytes(), 16u);
+
+    IvfSearchParams search;
+    search.k = 10;
+    search.nprobe = 16;
+    const double recall = meanRecall([&](const float *q) {
+        return ivf.search(q, search);
+    });
+    // PQ costs accuracy (the paper's LanceDB-IVF observation) but must
+    // stay far above random.
+    EXPECT_GT(recall, 0.5);
+    EXPECT_LT(recall, 1.0);
+}
+
+TEST_F(IndexFixture, IvfSaveLoadPreservesResults)
+{
+    IvfIndex ivf;
+    IvfBuildParams build;
+    build.nlist = 32;
+    ivf.build(data_->baseView(), build);
+
+    const std::string path = "ivf_test.bin";
+    {
+        BinaryWriter writer(path, "IVFT", 1);
+        ivf.save(writer);
+        writer.close();
+    }
+    IvfIndex loaded;
+    {
+        BinaryReader reader(path, "IVFT", 1);
+        loaded.load(reader);
+    }
+    IvfSearchParams search;
+    search.nprobe = 8;
+    for (std::size_t q = 0; q < 10; ++q) {
+        const float *query = data_->queryView().row(q);
+        EXPECT_EQ(ivf.search(query, search), loaded.search(query, search));
+    }
+    std::remove(path.c_str());
+}
+
+TEST_F(IndexFixture, IvfMemoryAccounting)
+{
+    IvfIndex ivf;
+    IvfBuildParams build;
+    build.nlist = 16;
+    ivf.build(data_->baseView(), build);
+    // At least the raw vectors must be accounted for.
+    EXPECT_GE(ivf.memoryBytes(), 2000u * 32u * sizeof(float));
+}
+
+TEST_F(IndexFixture, HnswReachesHighRecall)
+{
+    HnswIndex hnsw;
+    HnswBuildParams build;
+    build.m = 16;
+    build.ef_construction = 100;
+    hnsw.build(data_->baseView(), build);
+
+    HnswSearchParams search;
+    search.k = 10;
+    search.ef_search = 64;
+    const double recall = meanRecall([&](const float *q) {
+        return hnsw.search(q, search);
+    });
+    EXPECT_GT(recall, 0.95);
+}
+
+TEST_F(IndexFixture, HnswRecallGrowsWithEfSearch)
+{
+    HnswIndex hnsw;
+    HnswBuildParams build;
+    build.m = 8;
+    build.ef_construction = 60;
+    hnsw.build(data_->baseView(), build);
+
+    auto recall_at = [&](std::size_t ef) {
+        HnswSearchParams search;
+        search.k = 10;
+        search.ef_search = ef;
+        return meanRecall([&](const float *q) {
+            return hnsw.search(q, search);
+        });
+    };
+    EXPECT_GE(recall_at(128) + 1e-9, recall_at(10));
+}
+
+TEST_F(IndexFixture, HnswDegreeBounds)
+{
+    HnswIndex hnsw;
+    HnswBuildParams build;
+    build.m = 8;
+    build.ef_construction = 40;
+    hnsw.build(data_->baseView(), build);
+
+    for (VectorId v = 0; v < hnsw.size(); v += 37) {
+        for (int level = 0; level <= hnsw.nodeLevel(v); ++level) {
+            const std::size_t cap = level == 0 ? 16 : 8;
+            EXPECT_LE(hnsw.neighbors(v, level).size(), cap)
+                << "node " << v << " level " << level;
+        }
+    }
+}
+
+TEST_F(IndexFixture, HnswNeighborsAreValidIds)
+{
+    HnswIndex hnsw;
+    HnswBuildParams build;
+    build.m = 8;
+    build.ef_construction = 40;
+    hnsw.build(data_->baseView(), build);
+    for (VectorId v = 0; v < hnsw.size(); v += 53) {
+        for (VectorId nb : hnsw.neighbors(v, 0)) {
+            EXPECT_LT(nb, hnsw.size());
+            EXPECT_NE(nb, v);
+        }
+    }
+}
+
+TEST_F(IndexFixture, HnswSqTradesRecallForMemory)
+{
+    HnswIndex plain, quantized;
+    HnswBuildParams build;
+    build.m = 16;
+    build.ef_construction = 100;
+    plain.build(data_->baseView(), build);
+    build.use_sq = true;
+    quantized.build(data_->baseView(), build);
+
+    EXPECT_LT(quantized.memoryBytes(), plain.memoryBytes());
+
+    HnswSearchParams search;
+    search.k = 10;
+    search.ef_search = 64;
+    const double recall_q = meanRecall([&](const float *q) {
+        return quantized.search(q, search);
+    });
+    EXPECT_GT(recall_q, 0.8); // still works, just degraded
+}
+
+TEST_F(IndexFixture, HnswSaveLoadPreservesResults)
+{
+    HnswIndex hnsw;
+    HnswBuildParams build;
+    build.m = 8;
+    build.ef_construction = 60;
+    hnsw.build(data_->baseView(), build);
+
+    const std::string path = "hnsw_test.bin";
+    {
+        BinaryWriter writer(path, "HNT", 1);
+        hnsw.save(writer);
+        writer.close();
+    }
+    HnswIndex loaded;
+    {
+        BinaryReader reader(path, "HNT", 1);
+        loaded.load(reader);
+    }
+    HnswSearchParams search;
+    search.ef_search = 32;
+    for (std::size_t q = 0; q < 10; ++q) {
+        const float *query = data_->queryView().row(q);
+        EXPECT_EQ(hnsw.search(query, search),
+                  loaded.search(query, search));
+    }
+    std::remove(path.c_str());
+}
+
+TEST_F(IndexFixture, HnswRecordsDistanceOps)
+{
+    HnswIndex hnsw;
+    HnswBuildParams build;
+    build.m = 8;
+    build.ef_construction = 60;
+    hnsw.build(data_->baseView(), build);
+
+    SearchTraceRecorder recorder;
+    HnswSearchParams search;
+    search.ef_search = 50;
+    hnsw.search(data_->queryView().row(0), search, &recorder);
+    recorder.finish();
+    EXPECT_GT(recorder.totals().full_distances, 50u);
+    EXPECT_EQ(recorder.totalSectors(), 0u); // memory-based: no I/O
+}
+
+TEST(IndexErrorTest, EmptyBuildRejected)
+{
+    FlatIndex flat;
+    MatrixView empty{nullptr, 0, 8};
+    EXPECT_THROW(flat.build(empty), FatalError);
+
+    IvfIndex ivf;
+    EXPECT_THROW(ivf.build(empty, IvfBuildParams{}), FatalError);
+
+    HnswIndex hnsw;
+    EXPECT_THROW(hnsw.build(empty, HnswBuildParams{}), FatalError);
+}
+
+TEST(IndexErrorTest, BadParamsRejected)
+{
+    testutil::TestData small = makeClusteredData(10, 1, 4, 1);
+    IvfIndex ivf;
+    IvfBuildParams build;
+    build.nlist = 100; // > rows
+    EXPECT_THROW(ivf.build(small.baseView(), build), FatalError);
+
+    HnswIndex hnsw;
+    HnswBuildParams hbuild;
+    hbuild.m = 1;
+    EXPECT_THROW(hnsw.build(small.baseView(), hbuild), FatalError);
+}
+
+/** Parameterized sweep: HNSW stays sane across M values. */
+class HnswParamSweep : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(HnswParamSweep, BuildsAndSearchesAcrossM)
+{
+    const std::size_t m = GetParam();
+    testutil::TestData data = makeClusteredData(500, 10, 16, 77);
+    HnswIndex hnsw;
+    HnswBuildParams build;
+    build.m = m;
+    build.ef_construction = std::max<std::size_t>(m, 40);
+    hnsw.build(data.baseView(), build);
+    HnswSearchParams search;
+    search.k = 5;
+    search.ef_search = 40;
+    const auto truth = groundTruth(data, 5);
+    double recall = 0.0;
+    for (std::size_t q = 0; q < data.num_queries; ++q)
+        recall += recallAtK(truth[q],
+                            hnsw.search(data.queryView().row(q), search),
+                            5);
+    recall /= static_cast<double>(data.num_queries);
+    EXPECT_GT(recall, 0.8) << "m=" << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(MValues, HnswParamSweep,
+                         ::testing::Values(4, 8, 16, 32));
+
+} // namespace
+} // namespace ann

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * End-to-end integration: a miniature run of the paper's pipeline —
+ * generate a workload, prepare engines, tune to a recall target,
+ * replay at several concurrencies — asserting the study's headline
+ * *shapes* hold (KF-1, KF-2, KF-3 directionality).
+ *
+ * Uses a reduced dataset so the whole file stays within seconds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/env.hh"
+#include "core/bench_runner.hh"
+#include "core/tuner.hh"
+#include "workload/registry.hh"
+#include "engine/milvus_like.hh"
+#include "engine/qdrant_like.hh"
+#include "engine/weaviate_like.hh"
+#include "storage/trace_analysis.hh"
+#include "workload/generator.hh"
+
+namespace ann {
+namespace {
+
+using engine::MilvusIndexKind;
+using engine::MilvusLikeEngine;
+using engine::SearchSettings;
+
+class PipelineFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        std::filesystem::create_directories("./integration_cache");
+        workload::GeneratorSpec spec;
+        spec.name = "integration";
+        spec.rows = 9000; // 2 Milvus segments
+        spec.dim = 24;
+        spec.num_queries = 60;
+        spec.clusters = 24;
+        spec.spread = 0.22f;
+        spec.gt_k = 10;
+        spec.seed = 77;
+        data_ = new workload::Dataset(generateDataset(spec));
+
+        core::ReplayConfig config;
+        config.duration_ns = 400'000'000;
+        config.num_cores = 20;
+        runner_ = new core::BenchRunner(config);
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete runner_;
+        delete data_;
+        runner_ = nullptr;
+        data_ = nullptr;
+        std::filesystem::remove_all("./integration_cache");
+    }
+
+    static workload::Dataset *data_;
+    static core::BenchRunner *runner_;
+};
+
+workload::Dataset *PipelineFixture::data_ = nullptr;
+core::BenchRunner *PipelineFixture::runner_ = nullptr;
+
+TEST_F(PipelineFixture, TunedSetupsMeetRecallTarget)
+{
+    for (const auto kind : {MilvusIndexKind::Ivf, MilvusIndexKind::Hnsw,
+                            MilvusIndexKind::DiskAnn}) {
+        MilvusLikeEngine engine(kind);
+        engine.prepare(*data_, "./integration_cache");
+        const auto tuned = core::tuneEngine(engine, *data_, 0.9);
+        EXPECT_GE(tuned.recall, 0.9) << engine.name();
+    }
+}
+
+/**
+ * KF-level shape tests run on the real benchmarked workload
+ * (cohere-1m from the registry), because the paper-scale CPU
+ * compensation and rows-per-list scaling only apply to registry
+ * datasets. Shares ./ann_cache with the bench binaries, so the first
+ * run builds the indexes (~1-2 min) and later runs are instant.
+ */
+class PaperShapeFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        data_ = new workload::Dataset(
+            workload::loadOrGenerate("cohere-1m"));
+        core::ReplayConfig config;
+        config.duration_ns = 400'000'000;
+        config.num_cores = 20;
+        runner_ = new core::BenchRunner(config);
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete runner_;
+        delete data_;
+        runner_ = nullptr;
+        data_ = nullptr;
+    }
+
+    static workload::Dataset *data_;
+    static core::BenchRunner *runner_;
+};
+
+workload::Dataset *PaperShapeFixture::data_ = nullptr;
+core::BenchRunner *PaperShapeFixture::runner_ = nullptr;
+
+TEST_F(PaperShapeFixture, Kf1StorageBasedIsNotNecessarilySlower)
+{
+    // KF-1: DiskANN (storage) beats IVF (memory) in throughput while
+    // HNSW (memory) beats DiskANN — within the same database.
+    MilvusLikeEngine ivf(MilvusIndexKind::Ivf);
+    MilvusLikeEngine hnsw(MilvusIndexKind::Hnsw);
+    MilvusLikeEngine dann(MilvusIndexKind::DiskAnn);
+    const std::string cache = envString("ANN_CACHE_DIR", "./ann_cache");
+    ivf.prepare(*data_, cache);
+    hnsw.prepare(*data_, cache);
+    dann.prepare(*data_, cache);
+
+    const auto s_ivf = core::tunedSettings(ivf, *data_, 0.9).settings;
+    const auto s_hnsw = core::tunedSettings(hnsw, *data_, 0.9).settings;
+    const auto s_dann = core::tunedSettings(dann, *data_, 0.9).settings;
+
+    const double q_ivf =
+        runner_->measure(ivf, *data_, s_ivf, 64).replay.qps;
+    const double q_hnsw =
+        runner_->measure(hnsw, *data_, s_hnsw, 64).replay.qps;
+    const double q_dann =
+        runner_->measure(dann, *data_, s_dann, 64).replay.qps;
+
+    EXPECT_GT(q_hnsw, q_dann);
+    EXPECT_GT(q_dann, q_ivf);
+}
+
+TEST_F(PaperShapeFixture, Kf2SsdStaysUnsaturated)
+{
+    MilvusLikeEngine dann(MilvusIndexKind::DiskAnn);
+    dann.prepare(*data_, envString("ANN_CACHE_DIR", "./ann_cache"));
+    SearchSettings settings;
+    settings.search_list = 10;
+    const auto m = runner_->measure(dann, *data_, settings, 256, true);
+    // KF-2's substance: the SSD never saturates — the CPU is the
+    // binding resource at full concurrency. (Scaled datasets sit at
+    // a higher fraction of device bandwidth than the paper's 8.9%;
+    // see EXPERIMENTS.md "Known deviations".)
+    EXPECT_LT(m.replay.read_bw_mib, 0.75 * 7.2 * 1024.0);
+    EXPECT_GT(m.replay.read_bw_mib, 0.0);
+    EXPECT_GT(m.replay.mean_cpu_util, 0.75);
+    // O-15: pure 4 KiB reads on the direct-I/O path.
+    const auto summary = storage::summarizeTrace(m.replay.trace);
+    EXPECT_DOUBLE_EQ(summary.fraction_4k_reads, 1.0);
+}
+
+TEST_F(PipelineFixture, Kf3SearchListTradeoff)
+{
+    MilvusLikeEngine dann(MilvusIndexKind::DiskAnn);
+    dann.prepare(*data_, "./integration_cache");
+
+    SearchSettings lo, hi;
+    lo.search_list = 10;
+    hi.search_list = 100;
+
+    const auto &t_lo = runner_->traces(dann, *data_, lo);
+    const auto &t_hi = runner_->traces(dann, *data_, hi);
+    // Accuracy up...
+    EXPECT_GE(t_hi.recall + 1e-9, t_lo.recall);
+    // ...I/O up substantially...
+    EXPECT_GT(t_hi.mib_per_query, 2.0 * t_lo.mib_per_query);
+
+    // ...throughput down, latency up.
+    const auto m_lo = runner_->measure(dann, *data_, lo, 16);
+    const auto m_hi = runner_->measure(dann, *data_, hi, 16);
+    EXPECT_LT(m_hi.replay.qps, m_lo.replay.qps);
+    EXPECT_GT(m_hi.replay.p99_latency_us, m_lo.replay.p99_latency_us);
+}
+
+TEST_F(PipelineFixture, SegmentedEngineBeatenBySingleGraphOnBigData)
+{
+    // O-5/O-6 mechanism: Milvus pays per-segment, single-graph
+    // engines pay once -- the gap shows in per-query CPU.
+    MilvusLikeEngine milvus(MilvusIndexKind::Hnsw);
+    engine::QdrantLikeEngine qdrant;
+    milvus.prepare(*data_, "./integration_cache");
+    qdrant.prepare(*data_, "./integration_cache");
+    SearchSettings settings;
+    settings.ef_search = 40;
+    const auto m = milvus.search(data_->query(0), settings);
+    const auto q = qdrant.search(data_->query(0), settings);
+    EXPECT_EQ(m.trace.parallel_chains.size(), 2u);
+    EXPECT_EQ(q.trace.parallel_chains.size(), 1u);
+    // Milvus does ~2x the algorithmic distance work here.
+    EXPECT_GT(m.trace.totalCpuNs() * 2,
+              q.trace.totalCpuNs()); // sanity lower bound
+}
+
+TEST_F(PipelineFixture, ReplayQpsScalesThenSaturates)
+{
+    MilvusLikeEngine hnsw(MilvusIndexKind::Hnsw);
+    hnsw.prepare(*data_, "./integration_cache");
+    SearchSettings settings;
+    settings.ef_search = 30;
+    const double q1 =
+        runner_->measure(hnsw, *data_, settings, 1).replay.qps;
+    const double q32 =
+        runner_->measure(hnsw, *data_, settings, 32).replay.qps;
+    const double q256 =
+        runner_->measure(hnsw, *data_, settings, 256).replay.qps;
+    EXPECT_GT(q32, 4.0 * q1);
+    // Saturation: going 32 -> 256 gains far less than 8x.
+    EXPECT_LT(q256, 4.0 * q32);
+}
+
+} // namespace
+} // namespace ann

@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Tests for streaming mutation support (paper SS VIII): inserts,
+ * tombstone deletes, and DiskANN's delta store + consolidation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/error.hh"
+#include "common/serialize.hh"
+#include "distance/recall.hh"
+#include "index/diskann_index.hh"
+#include "index/hnsw_index.hh"
+#include "index/ivf_index.hh"
+#include "test_util.hh"
+
+namespace ann {
+namespace {
+
+using testutil::makeClusteredData;
+using testutil::TestData;
+
+/** Exact top-1 over live rows of @p rows x @p dim data. */
+VectorId
+exactNearest(const std::vector<float> &data, std::size_t dim,
+             const float *query)
+{
+    MatrixView view{data.data(), data.size() / dim, dim};
+    return bruteForceSearch(view, query, Metric::L2, 1)[0].id;
+}
+
+class MutabilityFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        data_ = makeClusteredData(1200, 20, 24, 808);
+    }
+
+    TestData data_;
+};
+
+TEST_F(MutabilityFixture, HnswAddIsImmediatelySearchable)
+{
+    HnswIndex index;
+    HnswBuildParams build;
+    build.m = 8;
+    build.ef_construction = 60;
+    index.build(data_.baseView(), build);
+
+    // Insert each query vector itself; it must become its own NN.
+    HnswSearchParams search;
+    search.ef_search = 40;
+    search.k = 1;
+    for (std::size_t q = 0; q < data_.num_queries; ++q) {
+        const VectorId id = index.add(data_.queryView().row(q));
+        EXPECT_EQ(id, 1200u + q);
+        const auto result =
+            index.search(data_.queryView().row(q), search);
+        ASSERT_FALSE(result.empty());
+        EXPECT_EQ(result[0].id, id);
+        EXPECT_EQ(result[0].distance, 0.0f);
+    }
+    EXPECT_EQ(index.size(), 1200u + data_.num_queries);
+}
+
+TEST_F(MutabilityFixture, HnswDeletedNodesNeverSurface)
+{
+    HnswIndex index;
+    HnswBuildParams build;
+    build.m = 8;
+    build.ef_construction = 60;
+    index.build(data_.baseView(), build);
+
+    HnswSearchParams search;
+    search.ef_search = 50;
+    search.k = 5;
+    const float *query = data_.queryView().row(0);
+    const auto before = index.search(query, search);
+    const VectorId victim = before[0].id;
+    index.markDeleted(victim);
+    EXPECT_TRUE(index.isDeleted(victim));
+    EXPECT_EQ(index.deletedCount(), 1u);
+
+    const auto after = index.search(query, search);
+    for (const Neighbor &n : after)
+        EXPECT_NE(n.id, victim);
+    // The old runner-up moves to the front.
+    EXPECT_EQ(after[0].id, before[1].id);
+}
+
+TEST_F(MutabilityFixture, HnswDeleteIsIdempotent)
+{
+    HnswIndex index;
+    HnswBuildParams build;
+    build.m = 8;
+    build.ef_construction = 40;
+    index.build(data_.baseView(), build);
+    index.markDeleted(3);
+    index.markDeleted(3);
+    EXPECT_EQ(index.deletedCount(), 1u);
+    EXPECT_THROW(index.markDeleted(999999), FatalError);
+}
+
+TEST_F(MutabilityFixture, HnswTombstonesSurviveSaveLoad)
+{
+    HnswIndex index;
+    HnswBuildParams build;
+    build.m = 8;
+    build.ef_construction = 40;
+    index.build(data_.baseView(), build);
+    index.markDeleted(7);
+    const std::string path = "hnsw_mut_test.bin";
+    {
+        BinaryWriter writer(path, "HMT", 1);
+        index.save(writer);
+        writer.close();
+    }
+    HnswIndex loaded;
+    {
+        BinaryReader reader(path, "HMT", 1);
+        loaded.load(reader);
+    }
+    EXPECT_TRUE(loaded.isDeleted(7));
+    EXPECT_EQ(loaded.deletedCount(), 1u);
+    // And the loaded index still accepts inserts.
+    const VectorId id = loaded.add(data_.queryView().row(0));
+    EXPECT_EQ(id, 1200u);
+    std::remove(path.c_str());
+}
+
+TEST_F(MutabilityFixture, IvfAddAndDelete)
+{
+    IvfIndex index;
+    IvfBuildParams build;
+    build.nlist = 24;
+    index.build(data_.baseView(), build);
+
+    IvfSearchParams search;
+    search.nprobe = 24; // exhaustive -> exact over live rows
+    search.k = 1;
+    const float *query = data_.queryView().row(1);
+    const VectorId id = index.add(query);
+    EXPECT_EQ(id, 1200u);
+    auto result = index.search(query, search);
+    EXPECT_EQ(result[0].id, id);
+
+    index.markDeleted(id);
+    result = index.search(query, search);
+    EXPECT_NE(result[0].id, id);
+    EXPECT_EQ(result[0].id, exactNearest(data_.base, 24, query));
+}
+
+TEST_F(MutabilityFixture, IvfDeleteFiltersWithinLists)
+{
+    IvfIndex index;
+    IvfBuildParams build;
+    build.nlist = 16;
+    index.build(data_.baseView(), build);
+    IvfSearchParams search;
+    search.nprobe = 16;
+    search.k = 3;
+    const float *query = data_.queryView().row(2);
+    const auto before = index.search(query, search);
+    for (const Neighbor &n : before)
+        index.markDeleted(n.id);
+    const auto after = index.search(query, search);
+    for (const Neighbor &n : after)
+        for (const Neighbor &b : before)
+            EXPECT_NE(n.id, b.id);
+}
+
+class DiskAnnMutFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        data_ = makeClusteredData(1200, 20, 24, 909);
+        DiskAnnBuildParams params;
+        params.graph.max_degree = 24;
+        params.graph.build_list = 48;
+        params.pq.m = 12;
+        params.pq.ksub = 64;
+        index_.build(data_.baseView(), params);
+        search_.search_list = 20;
+        search_.beam_width = 4;
+        search_.k = 5;
+    }
+
+    TestData data_;
+    DiskAnnIndex index_;
+    DiskAnnSearchParams search_;
+};
+
+TEST_F(DiskAnnMutFixture, DeltaInsertsAreSearchableWithoutIo)
+{
+    const float *query = data_.queryView().row(0);
+    const VectorId id = index_.addDelta(query);
+    EXPECT_EQ(id, 1200u);
+    EXPECT_EQ(index_.deltaSize(), 1u);
+
+    SearchTraceRecorder recorder;
+    const auto result = index_.search(query, search_, &recorder);
+    EXPECT_EQ(result[0].id, id);
+    EXPECT_EQ(result[0].distance, 0.0f);
+    // Delta rows are memory resident: same sector count as a pure
+    // base search (the delta scan shows up as rows_scanned).
+    EXPECT_GT(recorder.totals().rows_scanned, 0u);
+}
+
+TEST_F(DiskAnnMutFixture, DeletesFilterBaseAndDelta)
+{
+    const float *query = data_.queryView().row(1);
+    const auto before = index_.search(query, search_);
+    index_.markDeleted(before[0].id);
+    const auto after = index_.search(query, search_);
+    for (const Neighbor &n : after)
+        EXPECT_NE(n.id, before[0].id);
+
+    const VectorId delta_id = index_.addDelta(query);
+    index_.markDeleted(delta_id);
+    const auto final_result = index_.search(query, search_);
+    for (const Neighbor &n : final_result)
+        EXPECT_NE(n.id, delta_id);
+}
+
+TEST_F(DiskAnnMutFixture, ConsolidateMergesDeltaAndDropsTombstones)
+{
+    // Insert all queries, delete a slice of base vectors.
+    std::vector<VectorId> delta_ids;
+    for (std::size_t q = 0; q < data_.num_queries; ++q)
+        delta_ids.push_back(index_.addDelta(data_.queryView().row(q)));
+    for (VectorId v = 0; v < 100; ++v)
+        index_.markDeleted(v);
+
+    std::vector<VectorId> remap;
+    index_.consolidate(&remap);
+
+    // New size: 1200 - 100 + 20; tombstones cleared; delta merged.
+    EXPECT_EQ(index_.size(), 1200u - 100u + 20u);
+    EXPECT_EQ(index_.deltaSize(), 0u);
+    EXPECT_EQ(index_.deletedCount(), 0u);
+    for (VectorId v = 0; v < 100; ++v)
+        EXPECT_EQ(remap[v], kInvalidVector);
+
+    // Merged queries are now on-disk graph nodes and still findable.
+    for (std::size_t q = 0; q < data_.num_queries; q += 4) {
+        const auto result =
+            index_.search(data_.queryView().row(q), search_);
+        EXPECT_EQ(result[0].id, remap[delta_ids[q]]);
+        EXPECT_EQ(result[0].distance, 0.0f);
+    }
+}
+
+TEST_F(DiskAnnMutFixture, ConsolidateGrowsDiskFile)
+{
+    const auto sectors_before = index_.numSectors();
+    for (int i = 0; i < 300; ++i)
+        index_.addDelta(data_.queryView().row(i % 20));
+    index_.consolidate();
+    EXPECT_GT(index_.numSectors(), sectors_before);
+}
+
+TEST_F(DiskAnnMutFixture, DeltaSurvivesSaveLoad)
+{
+    index_.addDelta(data_.queryView().row(3));
+    index_.markDeleted(5);
+    const std::string path = "diskann_mut_test.bin";
+    {
+        BinaryWriter writer(path, "DMT", 1);
+        index_.save(writer);
+        writer.close();
+    }
+    DiskAnnIndex loaded;
+    {
+        BinaryReader reader(path, "DMT", 1);
+        loaded.load(reader);
+    }
+    EXPECT_EQ(loaded.deltaSize(), 1u);
+    EXPECT_TRUE(loaded.isDeleted(5));
+    const auto result =
+        loaded.search(data_.queryView().row(3), search_);
+    EXPECT_EQ(result[0].distance, 0.0f);
+    std::remove(path.c_str());
+}
+
+TEST_F(DiskAnnMutFixture, RecallHoldsThroughChurn)
+{
+    // Delete 10% of the base, insert replacements, consolidate, and
+    // verify recall against recomputed ground truth.
+    std::vector<float> live = data_.base;
+    for (VectorId v = 0; v < 120; ++v)
+        index_.markDeleted(v);
+    live.erase(live.begin(), live.begin() + 120 * 24);
+    index_.consolidate();
+
+    MatrixView view{live.data(), live.size() / 24, 24};
+    double recall = 0.0;
+    for (std::size_t q = 0; q < data_.num_queries; ++q) {
+        const float *query = data_.queryView().row(q);
+        const auto truth = bruteForceSearch(view, query, Metric::L2, 5);
+        const auto approx = index_.search(query, search_);
+        std::vector<VectorId> truth_ids;
+        for (const Neighbor &n : truth)
+            truth_ids.push_back(n.id);
+        std::vector<VectorId> found_ids;
+        for (const Neighbor &n : approx)
+            found_ids.push_back(n.id);
+        recall += recallAtK(truth_ids, found_ids, 5);
+    }
+    EXPECT_GT(recall / static_cast<double>(data_.num_queries), 0.85);
+}
+
+} // namespace
+} // namespace ann

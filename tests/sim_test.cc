@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests for the discrete-event simulator: event ordering, coroutine
+ * tasks, delays, resources, join counters, and the CPU model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hh"
+#include "sim/cpu_model.hh"
+#include "sim/resource.hh"
+#include "sim/simulator.hh"
+
+namespace ann {
+namespace {
+
+using sim::CpuModel;
+using sim::JoinCounter;
+using sim::Resource;
+using sim::Simulator;
+using sim::Task;
+
+TEST(EventQueueTest, FiresInTimeOrder)
+{
+    Simulator simulator;
+    std::vector<int> order;
+    simulator.schedule(30, [&]() { order.push_back(3); });
+    simulator.schedule(10, [&]() { order.push_back(1); });
+    simulator.schedule(20, [&]() { order.push_back(2); });
+    simulator.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(simulator.now(), 30u);
+}
+
+TEST(EventQueueTest, EqualTimesAreFifo)
+{
+    Simulator simulator;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        simulator.schedule(100, [&order, i]() { order.push_back(i); });
+    simulator.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, NestedSchedulingAdvancesClock)
+{
+    Simulator simulator;
+    SimTime inner_fired_at = 0;
+    simulator.schedule(10, [&]() {
+        simulator.schedule(5, [&]() { inner_fired_at = simulator.now(); });
+    });
+    simulator.run();
+    EXPECT_EQ(inner_fired_at, 15u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline)
+{
+    Simulator simulator;
+    int fired = 0;
+    simulator.schedule(10, [&]() { ++fired; });
+    simulator.schedule(100, [&]() { ++fired; });
+    simulator.runUntil(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(simulator.now(), 50u);
+    simulator.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, CoroutineDelaySequence)
+{
+    Simulator simulator;
+    std::vector<SimTime> times;
+    auto proc = [](Simulator &s, std::vector<SimTime> &out) -> Task {
+        out.push_back(s.now());
+        co_await s.delay(100);
+        out.push_back(s.now());
+        co_await s.delay(50);
+        out.push_back(s.now());
+    };
+    proc(simulator, times);
+    simulator.run();
+    EXPECT_EQ(times, (std::vector<SimTime>{0, 100, 150}));
+}
+
+TEST(SimulatorTest, ZeroDelayIsImmediate)
+{
+    Simulator simulator;
+    bool done = false;
+    auto proc = [](Simulator &s, bool &flag) -> Task {
+        co_await s.delay(0);
+        flag = true;
+    };
+    proc(simulator, done);
+    // delay(0) short-circuits: done before the event loop runs.
+    EXPECT_TRUE(done);
+    simulator.run();
+}
+
+TEST(ResourceTest, CapacityLimitsConcurrency)
+{
+    Simulator simulator;
+    Resource res(simulator, 2);
+    std::size_t max_in_use = 0;
+    auto proc = [](Simulator &s, Resource &r,
+                   std::size_t &peak) -> Task {
+        co_await r.acquire();
+        peak = std::max(peak, r.inUse());
+        co_await s.delay(100);
+        r.release();
+    };
+    for (int i = 0; i < 6; ++i)
+        proc(simulator, res, max_in_use);
+    simulator.run();
+    EXPECT_EQ(max_in_use, 2u);
+    EXPECT_EQ(res.inUse(), 0u);
+    // 6 jobs, capacity 2, 100 ns each -> 3 waves.
+    EXPECT_EQ(simulator.now(), 300u);
+}
+
+TEST(ResourceTest, FifoGrantOrder)
+{
+    Simulator simulator;
+    Resource res(simulator, 1);
+    std::vector<int> grants;
+    auto proc = [](Simulator &s, Resource &r, std::vector<int> &out,
+                   int id) -> Task {
+        co_await r.acquire();
+        out.push_back(id);
+        co_await s.delay(10);
+        r.release();
+    };
+    for (int i = 0; i < 4; ++i)
+        proc(simulator, res, grants, i);
+    simulator.run();
+    EXPECT_EQ(grants, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(JoinCounterTest, ResumesAfterAllArrive)
+{
+    Simulator simulator;
+    SimTime joined_at = 0;
+    auto parent = [](Simulator &s, SimTime &out) -> Task {
+        JoinCounter join(3);
+        auto child = [](Simulator &sm, JoinCounter &j,
+                        SimTime d) -> Task {
+            co_await sm.delay(d);
+            j.arrive();
+        };
+        child(s, join, 30);
+        child(s, join, 10);
+        child(s, join, 20);
+        co_await join.wait();
+        out = s.now();
+    };
+    parent(simulator, joined_at);
+    simulator.run();
+    EXPECT_EQ(joined_at, 30u);
+}
+
+TEST(JoinCounterTest, ZeroCountIsReady)
+{
+    Simulator simulator;
+    bool done = false;
+    auto proc = [](Simulator &, bool &flag) -> Task {
+        JoinCounter join(0);
+        co_await join.wait();
+        flag = true;
+    };
+    proc(simulator, done);
+    EXPECT_TRUE(done);
+}
+
+TEST(CpuModelTest, SingleCoreSerializesJobs)
+{
+    Simulator simulator;
+    CpuModel cpu(simulator, 1);
+    std::vector<SimTime> completion;
+    auto proc = [](Simulator &s, CpuModel &c,
+                   std::vector<SimTime> &out) -> Task {
+        co_await c.run(100);
+        out.push_back(s.now());
+    };
+    for (int i = 0; i < 3; ++i)
+        proc(simulator, cpu, completion);
+    simulator.run();
+    EXPECT_EQ(completion, (std::vector<SimTime>{100, 200, 300}));
+    EXPECT_EQ(cpu.totalBusyNs(), 300u);
+}
+
+TEST(CpuModelTest, MultiCoreRunsInParallel)
+{
+    Simulator simulator;
+    CpuModel cpu(simulator, 4);
+    std::vector<SimTime> completion;
+    auto proc = [](Simulator &s, CpuModel &c,
+                   std::vector<SimTime> &out) -> Task {
+        co_await c.run(100);
+        out.push_back(s.now());
+    };
+    for (int i = 0; i < 4; ++i)
+        proc(simulator, cpu, completion);
+    simulator.run();
+    EXPECT_EQ(completion,
+              (std::vector<SimTime>{100, 100, 100, 100}));
+}
+
+TEST(CpuModelTest, UtilizationTimelineAccounting)
+{
+    Simulator simulator;
+    CpuModel cpu(simulator, 2, 100); // 100 ns buckets
+    auto proc = [](CpuModel &c) -> Task { co_await c.run(150); };
+    proc(cpu); // one of two cores busy for 150 ns
+    simulator.run();
+    const auto timeline = cpu.utilizationTimeline(200);
+    ASSERT_EQ(timeline.size(), 2u);
+    EXPECT_DOUBLE_EQ(timeline[0], 0.5);  // 100/200 core-ns
+    EXPECT_DOUBLE_EQ(timeline[1], 0.25); // 50/200 core-ns
+    EXPECT_DOUBLE_EQ(cpu.meanUtilization(200), 0.375);
+}
+
+TEST(CpuModelTest, SaturationUnderLoad)
+{
+    Simulator simulator;
+    CpuModel cpu(simulator, 2, 1000);
+    auto worker = [](Simulator &s, CpuModel &c) -> Task {
+        for (int i = 0; i < 10; ++i)
+            co_await c.run(100);
+        (void)s;
+    };
+    for (int i = 0; i < 8; ++i)
+        worker(simulator, cpu);
+    simulator.run();
+    // 8 workers x 10 x 100 ns on 2 cores -> 4000 ns makespan.
+    EXPECT_EQ(simulator.now(), 4000u);
+    EXPECT_DOUBLE_EQ(cpu.meanUtilization(4000), 1.0);
+}
+
+TEST(SimDeterminismTest, IdenticalRunsProduceIdenticalTimelines)
+{
+    auto run_once = []() {
+        Simulator simulator;
+        CpuModel cpu(simulator, 3);
+        Resource lock(simulator, 1);
+        std::vector<SimTime> events;
+        auto proc = [](Simulator &s, CpuModel &c, Resource &l,
+                       std::vector<SimTime> &out, int id) -> Task {
+            for (int i = 0; i < 5; ++i) {
+                co_await c.run(70 + id * 13);
+                co_await l.acquire();
+                co_await s.delay(11);
+                l.release();
+                out.push_back(s.now());
+            }
+        };
+        for (int id = 0; id < 6; ++id)
+            proc(simulator, cpu, lock, events, id);
+        simulator.run();
+        return events;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+} // namespace
+} // namespace ann

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared helpers for index-level tests: synthetic clustered data and
+ * exact ground truth.
+ */
+
+#ifndef ANN_TESTS_TEST_UTIL_HH
+#define ANN_TESTS_TEST_UTIL_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "distance/topk.hh"
+
+namespace ann::testutil {
+
+/** Gaussian-mixture dataset resembling embedding workloads. */
+struct TestData
+{
+    std::vector<float> base;
+    std::vector<float> queries;
+    std::size_t rows = 0;
+    std::size_t num_queries = 0;
+    std::size_t dim = 0;
+
+    MatrixView
+    baseView() const
+    {
+        return {base.data(), rows, dim};
+    }
+    MatrixView
+    queryView() const
+    {
+        return {queries.data(), num_queries, dim};
+    }
+};
+
+inline TestData
+makeClusteredData(std::size_t rows, std::size_t num_queries,
+                  std::size_t dim, std::uint64_t seed = 1234,
+                  std::size_t clusters = 16)
+{
+    Rng rng(seed);
+    std::vector<std::vector<float>> centers(clusters,
+                                            std::vector<float>(dim));
+    for (auto &center : centers)
+        for (auto &x : center)
+            x = rng.nextFloat(-1.0f, 1.0f);
+
+    TestData data;
+    data.rows = rows;
+    data.num_queries = num_queries;
+    data.dim = dim;
+    data.base.reserve(rows * dim);
+    data.queries.reserve(num_queries * dim);
+
+    auto sample = [&](std::vector<float> &out) {
+        const auto c = rng.nextBelow(clusters);
+        for (std::size_t d = 0; d < dim; ++d)
+            out.push_back(centers[c][d] +
+                          static_cast<float>(rng.nextGaussian()) * 0.15f);
+    };
+    for (std::size_t r = 0; r < rows; ++r)
+        sample(data.base);
+    for (std::size_t q = 0; q < num_queries; ++q)
+        sample(data.queries);
+    return data;
+}
+
+/** Exact top-k ids for every query (L2). */
+inline std::vector<std::vector<VectorId>>
+groundTruth(const TestData &data, std::size_t k)
+{
+    std::vector<std::vector<VectorId>> truth(data.num_queries);
+    for (std::size_t q = 0; q < data.num_queries; ++q) {
+        const auto result = bruteForceSearch(
+            data.baseView(), data.queryView().row(q), Metric::L2, k);
+        for (const Neighbor &n : result)
+            truth[q].push_back(n.id);
+    }
+    return truth;
+}
+
+} // namespace ann::testutil
+
+#endif // ANN_TESTS_TEST_UTIL_HH

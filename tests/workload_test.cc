@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the synthetic workload generator and dataset registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/error.hh"
+#include "distance/distance.hh"
+#include "distance/topk.hh"
+#include "workload/generator.hh"
+#include "workload/registry.hh"
+
+namespace ann {
+namespace {
+
+using workload::Dataset;
+using workload::GeneratorSpec;
+
+GeneratorSpec
+smallSpec()
+{
+    GeneratorSpec spec;
+    spec.name = "unit-test";
+    spec.rows = 400;
+    spec.dim = 24;
+    spec.num_queries = 20;
+    spec.clusters = 8;
+    spec.gt_k = 10;
+    spec.seed = 99;
+    return spec;
+}
+
+TEST(GeneratorTest, ShapesAndGroundTruthDepth)
+{
+    const Dataset data = generateDataset(smallSpec());
+    EXPECT_EQ(data.rows, 400u);
+    EXPECT_EQ(data.dim, 24u);
+    EXPECT_EQ(data.base.size(), 400u * 24u);
+    EXPECT_EQ(data.queries.size(), 20u * 24u);
+    ASSERT_EQ(data.ground_truth.size(), 20u);
+    for (const auto &row : data.ground_truth)
+        EXPECT_EQ(row.size(), 10u);
+}
+
+TEST(GeneratorTest, VectorsAreUnitNorm)
+{
+    const Dataset data = generateDataset(smallSpec());
+    for (std::size_t r = 0; r < data.rows; r += 37)
+        EXPECT_NEAR(vectorNorm(data.baseView().row(r), data.dim), 1.0f,
+                    1e-4f);
+    for (std::size_t q = 0; q < data.num_queries; ++q)
+        EXPECT_NEAR(vectorNorm(data.query(q), data.dim), 1.0f, 1e-4f);
+}
+
+TEST(GeneratorTest, DeterministicForEqualSeeds)
+{
+    const Dataset a = generateDataset(smallSpec());
+    const Dataset b = generateDataset(smallSpec());
+    EXPECT_EQ(a.base, b.base);
+    EXPECT_EQ(a.queries, b.queries);
+    EXPECT_EQ(a.ground_truth, b.ground_truth);
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer)
+{
+    GeneratorSpec spec = smallSpec();
+    const Dataset a = generateDataset(spec);
+    spec.seed = 100;
+    const Dataset b = generateDataset(spec);
+    EXPECT_NE(a.base, b.base);
+}
+
+TEST(GeneratorTest, GroundTruthIsExact)
+{
+    const Dataset data = generateDataset(smallSpec());
+    for (std::size_t q = 0; q < data.num_queries; q += 5) {
+        const auto exact = bruteForceSearch(data.baseView(),
+                                            data.query(q), Metric::L2,
+                                            10);
+        for (std::size_t i = 0; i < 10; ++i)
+            EXPECT_EQ(data.ground_truth[q][i], exact[i].id);
+    }
+}
+
+TEST(GeneratorTest, ClusteredStructureExists)
+{
+    // Nearest neighbours should be far closer than random pairs.
+    const Dataset data = generateDataset(smallSpec());
+    double nn_dist = 0.0, random_dist = 0.0;
+    for (std::size_t q = 0; q < data.num_queries; ++q) {
+        const auto exact = bruteForceSearch(data.baseView(),
+                                            data.query(q), Metric::L2,
+                                            1);
+        nn_dist += exact[0].distance;
+        random_dist += l2DistanceSq(data.query(q),
+                                    data.baseView().row(q * 13 % 400),
+                                    data.dim);
+    }
+    EXPECT_LT(nn_dist, 0.5 * random_dist);
+}
+
+TEST(DatasetTest, SaveLoadRoundTrip)
+{
+    const Dataset data = generateDataset(smallSpec());
+    const std::string path = "dataset_test.bin";
+    data.save(path);
+    const Dataset loaded = Dataset::load(path);
+    EXPECT_EQ(loaded.name, data.name);
+    EXPECT_EQ(loaded.base, data.base);
+    EXPECT_EQ(loaded.queries, data.queries);
+    EXPECT_EQ(loaded.ground_truth, data.ground_truth);
+    EXPECT_EQ(loaded.gt_k, data.gt_k);
+    std::remove(path.c_str());
+}
+
+TEST(RegistryTest, PaperDatasetRatiosHold)
+{
+    const auto cohere_small = workload::specForName("cohere-1m");
+    const auto cohere_large = workload::specForName("cohere-10m");
+    const auto openai_small = workload::specForName("openai-500k");
+    const auto openai_large = workload::specForName("openai-5m");
+
+    // 10x within families, 1:2 dims across families, 1:2 row ratio
+    // between cohere and openai (1M vs 500K).
+    EXPECT_EQ(cohere_large.rows, 10 * cohere_small.rows);
+    EXPECT_EQ(openai_large.rows, 10 * openai_small.rows);
+    EXPECT_EQ(openai_small.dim, 2 * cohere_small.dim);
+    EXPECT_EQ(cohere_small.rows, 2 * openai_small.rows);
+    EXPECT_EQ(cohere_small.num_queries, 1000u); // paper: 1,000 queries
+}
+
+TEST(RegistryTest, UnknownNameRejected)
+{
+    EXPECT_THROW(workload::specForName("sift-1b"), FatalError);
+    EXPECT_THROW(workload::scaledPartner("nope"), FatalError);
+}
+
+TEST(RegistryTest, ScaledPartnerIsInvolution)
+{
+    for (const auto &name : workload::paperDatasetNames())
+        EXPECT_EQ(workload::scaledPartner(workload::scaledPartner(name)),
+                  name);
+}
+
+} // namespace
+} // namespace ann

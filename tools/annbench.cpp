@@ -1,0 +1,165 @@
+/**
+ * @file
+ * annbench — ad-hoc measurement CLI.
+ *
+ * Runs any (setup, dataset, parameters, concurrency) point of the
+ * study without editing a bench binary — the vectordbbench-style
+ * front door of the library:
+ *
+ *   annbench --setup milvus-diskann --dataset cohere-10m \
+ *            --threads 1,4,64 --search-list 20 --trace
+ *
+ * Prints QPS / latency / recall / CPU / I/O per point and optionally
+ * dumps the block trace to CSV.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "common/args.hh"
+#include "common/error.hh"
+#include "common/table.hh"
+#include "core/bench_runner.hh"
+#include "core/experiments.hh"
+#include "core/report.hh"
+#include "core/tuner.hh"
+#include "storage/block_tracer.hh"
+#include "storage/trace_analysis.hh"
+#include "workload/registry.hh"
+
+namespace {
+
+std::vector<std::size_t>
+parseThreadList(const std::string &spec)
+{
+    std::vector<std::size_t> threads;
+    std::stringstream stream(spec);
+    std::string token;
+    while (std::getline(stream, token, ','))
+        threads.push_back(std::stoul(token));
+    ANN_CHECK(!threads.empty(), "empty --threads list");
+    return threads;
+}
+
+void
+printUsage()
+{
+    std::printf(
+        "usage: annbench [options]\n"
+        "  --setup NAME        one of:");
+    for (const auto &name : ann::core::allSetups())
+        std::printf(" %s", name.c_str());
+    std::printf(
+        "\n"
+        "  --dataset NAME      cohere-1m|cohere-10m|openai-500k|"
+        "openai-5m\n"
+        "  --threads LIST      comma-separated client counts "
+        "(default 1,16,256)\n"
+        "  --k N               neighbours per query (default 10)\n"
+        "  --nprobe N          IVF probes (default: tuned)\n"
+        "  --ef-search N       HNSW candidate list (default: tuned)\n"
+        "  --search-list N     DiskANN candidate list (default: "
+        "tuned)\n"
+        "  --beam-width N      DiskANN beam width (default 4)\n"
+        "  --duration-ms N     virtual run length (default 2000)\n"
+        "  --trace FILE        dump the block trace as CSV\n"
+        "  --help              this message\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ann;
+    ArgParser args({"setup", "dataset", "threads", "k", "nprobe",
+                    "ef-search", "search-list", "beam-width",
+                    "duration-ms", "trace"},
+                   {"help"});
+    try {
+        args.parse(argc, argv);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        printUsage();
+        return 1;
+    }
+    if (args.flag("help")) {
+        printUsage();
+        return 0;
+    }
+
+    const std::string setup = args.get("setup", "milvus-diskann");
+    const std::string dataset_name = args.get("dataset", "cohere-1m");
+    const auto threads =
+        parseThreadList(args.get("threads", "1,16,256"));
+
+    std::printf("loading %s and preparing %s...\n",
+                dataset_name.c_str(), setup.c_str());
+    const auto dataset = workload::loadOrGenerate(dataset_name);
+    auto engine = core::prepareEngine(setup, dataset);
+
+    // Tuned defaults, overridden by explicit options.
+    engine::SearchSettings settings =
+        core::tunedSettings(*engine, dataset, 0.9).settings;
+    settings.k = static_cast<std::size_t>(
+        args.getInt("k", static_cast<std::int64_t>(settings.k)));
+    if (args.has("nprobe"))
+        settings.nprobe =
+            static_cast<std::size_t>(args.getInt("nprobe", 8));
+    if (args.has("ef-search"))
+        settings.ef_search =
+            static_cast<std::size_t>(args.getInt("ef-search", 50));
+    if (args.has("search-list"))
+        settings.search_list =
+            static_cast<std::size_t>(args.getInt("search-list", 10));
+    settings.beam_width = static_cast<std::size_t>(
+        args.getInt("beam-width",
+                    static_cast<std::int64_t>(settings.beam_width)));
+
+    core::ReplayConfig config = core::paperTestbed();
+    config.duration_ns =
+        static_cast<SimTime>(args.getInt("duration-ms", 2000)) *
+        1'000'000ULL;
+    core::BenchRunner runner(config);
+
+    TextTable table(setup + " on " + dataset_name);
+    table.setHeader({"threads", "QPS", "mean (us)", "P99 (us)",
+                     "recall@10", "CPU %", "read MiB/s",
+                     "MiB/query"});
+    const bool want_trace = args.has("trace");
+    for (const std::size_t t : threads) {
+        const auto m = runner.measure(*engine, dataset, settings, t,
+                                      want_trace);
+        const double mib_per_query =
+            m.replay.completed
+                ? static_cast<double>(m.replay.read_bytes) /
+                      (1024.0 * 1024.0) /
+                      static_cast<double>(m.replay.completed)
+                : 0.0;
+        table.addRow({std::to_string(t), core::fmtQps(m.replay),
+                      m.replay.oom
+                          ? "OOM"
+                          : formatDouble(m.replay.mean_latency_us, 0),
+                      core::fmtP99(m.replay),
+                      core::fmtRecall(m.recall),
+                      core::fmtCpuPct(m.replay),
+                      core::fmtMib(m.replay.read_bw_mib),
+                      formatDouble(mib_per_query, 3)});
+        if (want_trace && t == threads.back() && !m.replay.oom) {
+            storage::BlockTracer tracer;
+            for (const auto &event : m.replay.trace)
+                tracer.record(event);
+            tracer.writeCsv(args.get("trace", "trace.csv"));
+            const auto summary =
+                storage::summarizeTrace(m.replay.trace);
+            std::printf("trace: %llu reads (%.4f%% 4 KiB) -> %s\n",
+                        static_cast<unsigned long long>(
+                            summary.read_requests),
+                        summary.fraction_4k_reads * 100.0,
+                        args.get("trace", "trace.csv").c_str());
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_mmap.dir/bench_ext_mmap.cpp.o"
+  "CMakeFiles/bench_ext_mmap.dir/bench_ext_mmap.cpp.o.d"
+  "bench_ext_mmap"
+  "bench_ext_mmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_mmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_readwrite.dir/bench_ext_readwrite.cpp.o"
+  "CMakeFiles/bench_ext_readwrite.dir/bench_ext_readwrite.cpp.o.d"
+  "bench_ext_readwrite"
+  "bench_ext_readwrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_readwrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

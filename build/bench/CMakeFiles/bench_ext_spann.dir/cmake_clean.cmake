@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_spann.dir/bench_ext_spann.cpp.o"
+  "CMakeFiles/bench_ext_spann.dir/bench_ext_spann.cpp.o.d"
+  "bench_ext_spann"
+  "bench_ext_spann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_spann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_15_beamwidth.dir/bench_fig12_15_beamwidth.cpp.o"
+  "CMakeFiles/bench_fig12_15_beamwidth.dir/bench_fig12_15_beamwidth.cpp.o.d"
+  "bench_fig12_15_beamwidth"
+  "bench_fig12_15_beamwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_15_beamwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

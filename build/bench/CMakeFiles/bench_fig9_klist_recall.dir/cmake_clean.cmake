@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_klist_recall.dir/bench_fig9_klist_recall.cpp.o"
+  "CMakeFiles/bench_fig9_klist_recall.dir/bench_fig9_klist_recall.cpp.o.d"
+  "bench_fig9_klist_recall"
+  "bench_fig9_klist_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_klist_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

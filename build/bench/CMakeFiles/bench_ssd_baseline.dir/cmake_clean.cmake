@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ssd_baseline.dir/bench_ssd_baseline.cpp.o"
+  "CMakeFiles/bench_ssd_baseline.dir/bench_ssd_baseline.cpp.o.d"
+  "bench_ssd_baseline"
+  "bench_ssd_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ssd_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_parameters.cpp" "bench/CMakeFiles/bench_table2_parameters.dir/bench_table2_parameters.cpp.o" "gcc" "bench/CMakeFiles/bench_table2_parameters.dir/bench_table2_parameters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ann_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ann_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ann_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ann_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ann_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ann_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ann_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

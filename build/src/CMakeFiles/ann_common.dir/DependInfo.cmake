@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/args.cc" "src/CMakeFiles/ann_common.dir/common/args.cc.o" "gcc" "src/CMakeFiles/ann_common.dir/common/args.cc.o.d"
+  "/root/repo/src/common/env.cc" "src/CMakeFiles/ann_common.dir/common/env.cc.o" "gcc" "src/CMakeFiles/ann_common.dir/common/env.cc.o.d"
+  "/root/repo/src/common/error.cc" "src/CMakeFiles/ann_common.dir/common/error.cc.o" "gcc" "src/CMakeFiles/ann_common.dir/common/error.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/ann_common.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/ann_common.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/ann_common.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/ann_common.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/serialize.cc" "src/CMakeFiles/ann_common.dir/common/serialize.cc.o" "gcc" "src/CMakeFiles/ann_common.dir/common/serialize.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/ann_common.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/ann_common.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/ann_common.dir/common/table.cc.o" "gcc" "src/CMakeFiles/ann_common.dir/common/table.cc.o.d"
+  "/root/repo/src/distance/distance.cc" "src/CMakeFiles/ann_common.dir/distance/distance.cc.o" "gcc" "src/CMakeFiles/ann_common.dir/distance/distance.cc.o.d"
+  "/root/repo/src/distance/recall.cc" "src/CMakeFiles/ann_common.dir/distance/recall.cc.o" "gcc" "src/CMakeFiles/ann_common.dir/distance/recall.cc.o.d"
+  "/root/repo/src/distance/topk.cc" "src/CMakeFiles/ann_common.dir/distance/topk.cc.o" "gcc" "src/CMakeFiles/ann_common.dir/distance/topk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ann_common.dir/common/args.cc.o"
+  "CMakeFiles/ann_common.dir/common/args.cc.o.d"
+  "CMakeFiles/ann_common.dir/common/env.cc.o"
+  "CMakeFiles/ann_common.dir/common/env.cc.o.d"
+  "CMakeFiles/ann_common.dir/common/error.cc.o"
+  "CMakeFiles/ann_common.dir/common/error.cc.o.d"
+  "CMakeFiles/ann_common.dir/common/logging.cc.o"
+  "CMakeFiles/ann_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/ann_common.dir/common/rng.cc.o"
+  "CMakeFiles/ann_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/ann_common.dir/common/serialize.cc.o"
+  "CMakeFiles/ann_common.dir/common/serialize.cc.o.d"
+  "CMakeFiles/ann_common.dir/common/stats.cc.o"
+  "CMakeFiles/ann_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/ann_common.dir/common/table.cc.o"
+  "CMakeFiles/ann_common.dir/common/table.cc.o.d"
+  "CMakeFiles/ann_common.dir/distance/distance.cc.o"
+  "CMakeFiles/ann_common.dir/distance/distance.cc.o.d"
+  "CMakeFiles/ann_common.dir/distance/recall.cc.o"
+  "CMakeFiles/ann_common.dir/distance/recall.cc.o.d"
+  "CMakeFiles/ann_common.dir/distance/topk.cc.o"
+  "CMakeFiles/ann_common.dir/distance/topk.cc.o.d"
+  "libann_common.a"
+  "libann_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ann_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

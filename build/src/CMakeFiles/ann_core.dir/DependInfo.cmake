@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bench_runner.cc" "src/CMakeFiles/ann_core.dir/core/bench_runner.cc.o" "gcc" "src/CMakeFiles/ann_core.dir/core/bench_runner.cc.o.d"
+  "/root/repo/src/core/experiments.cc" "src/CMakeFiles/ann_core.dir/core/experiments.cc.o" "gcc" "src/CMakeFiles/ann_core.dir/core/experiments.cc.o.d"
+  "/root/repo/src/core/replay.cc" "src/CMakeFiles/ann_core.dir/core/replay.cc.o" "gcc" "src/CMakeFiles/ann_core.dir/core/replay.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/ann_core.dir/core/report.cc.o" "gcc" "src/CMakeFiles/ann_core.dir/core/report.cc.o.d"
+  "/root/repo/src/core/tuner.cc" "src/CMakeFiles/ann_core.dir/core/tuner.cc.o" "gcc" "src/CMakeFiles/ann_core.dir/core/tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ann_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ann_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ann_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ann_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ann_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ann_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ann_core.dir/core/bench_runner.cc.o"
+  "CMakeFiles/ann_core.dir/core/bench_runner.cc.o.d"
+  "CMakeFiles/ann_core.dir/core/experiments.cc.o"
+  "CMakeFiles/ann_core.dir/core/experiments.cc.o.d"
+  "CMakeFiles/ann_core.dir/core/replay.cc.o"
+  "CMakeFiles/ann_core.dir/core/replay.cc.o.d"
+  "CMakeFiles/ann_core.dir/core/report.cc.o"
+  "CMakeFiles/ann_core.dir/core/report.cc.o.d"
+  "CMakeFiles/ann_core.dir/core/tuner.cc.o"
+  "CMakeFiles/ann_core.dir/core/tuner.cc.o.d"
+  "libann_core.a"
+  "libann_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ann_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

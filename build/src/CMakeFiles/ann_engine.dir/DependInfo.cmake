@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/cost_model.cc" "src/CMakeFiles/ann_engine.dir/engine/cost_model.cc.o" "gcc" "src/CMakeFiles/ann_engine.dir/engine/cost_model.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/CMakeFiles/ann_engine.dir/engine/engine.cc.o" "gcc" "src/CMakeFiles/ann_engine.dir/engine/engine.cc.o.d"
+  "/root/repo/src/engine/global_hnsw.cc" "src/CMakeFiles/ann_engine.dir/engine/global_hnsw.cc.o" "gcc" "src/CMakeFiles/ann_engine.dir/engine/global_hnsw.cc.o.d"
+  "/root/repo/src/engine/lance_like.cc" "src/CMakeFiles/ann_engine.dir/engine/lance_like.cc.o" "gcc" "src/CMakeFiles/ann_engine.dir/engine/lance_like.cc.o.d"
+  "/root/repo/src/engine/milvus_like.cc" "src/CMakeFiles/ann_engine.dir/engine/milvus_like.cc.o" "gcc" "src/CMakeFiles/ann_engine.dir/engine/milvus_like.cc.o.d"
+  "/root/repo/src/engine/qdrant_like.cc" "src/CMakeFiles/ann_engine.dir/engine/qdrant_like.cc.o" "gcc" "src/CMakeFiles/ann_engine.dir/engine/qdrant_like.cc.o.d"
+  "/root/repo/src/engine/query_trace.cc" "src/CMakeFiles/ann_engine.dir/engine/query_trace.cc.o" "gcc" "src/CMakeFiles/ann_engine.dir/engine/query_trace.cc.o.d"
+  "/root/repo/src/engine/weaviate_like.cc" "src/CMakeFiles/ann_engine.dir/engine/weaviate_like.cc.o" "gcc" "src/CMakeFiles/ann_engine.dir/engine/weaviate_like.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ann_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ann_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ann_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ann_engine.dir/engine/cost_model.cc.o"
+  "CMakeFiles/ann_engine.dir/engine/cost_model.cc.o.d"
+  "CMakeFiles/ann_engine.dir/engine/engine.cc.o"
+  "CMakeFiles/ann_engine.dir/engine/engine.cc.o.d"
+  "CMakeFiles/ann_engine.dir/engine/global_hnsw.cc.o"
+  "CMakeFiles/ann_engine.dir/engine/global_hnsw.cc.o.d"
+  "CMakeFiles/ann_engine.dir/engine/lance_like.cc.o"
+  "CMakeFiles/ann_engine.dir/engine/lance_like.cc.o.d"
+  "CMakeFiles/ann_engine.dir/engine/milvus_like.cc.o"
+  "CMakeFiles/ann_engine.dir/engine/milvus_like.cc.o.d"
+  "CMakeFiles/ann_engine.dir/engine/qdrant_like.cc.o"
+  "CMakeFiles/ann_engine.dir/engine/qdrant_like.cc.o.d"
+  "CMakeFiles/ann_engine.dir/engine/query_trace.cc.o"
+  "CMakeFiles/ann_engine.dir/engine/query_trace.cc.o.d"
+  "CMakeFiles/ann_engine.dir/engine/weaviate_like.cc.o"
+  "CMakeFiles/ann_engine.dir/engine/weaviate_like.cc.o.d"
+  "libann_engine.a"
+  "libann_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ann_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/kmeans.cc" "src/CMakeFiles/ann_index.dir/cluster/kmeans.cc.o" "gcc" "src/CMakeFiles/ann_index.dir/cluster/kmeans.cc.o.d"
+  "/root/repo/src/index/diskann_index.cc" "src/CMakeFiles/ann_index.dir/index/diskann_index.cc.o" "gcc" "src/CMakeFiles/ann_index.dir/index/diskann_index.cc.o.d"
+  "/root/repo/src/index/flat_index.cc" "src/CMakeFiles/ann_index.dir/index/flat_index.cc.o" "gcc" "src/CMakeFiles/ann_index.dir/index/flat_index.cc.o.d"
+  "/root/repo/src/index/hnsw_index.cc" "src/CMakeFiles/ann_index.dir/index/hnsw_index.cc.o" "gcc" "src/CMakeFiles/ann_index.dir/index/hnsw_index.cc.o.d"
+  "/root/repo/src/index/ivf_index.cc" "src/CMakeFiles/ann_index.dir/index/ivf_index.cc.o" "gcc" "src/CMakeFiles/ann_index.dir/index/ivf_index.cc.o.d"
+  "/root/repo/src/index/search_trace.cc" "src/CMakeFiles/ann_index.dir/index/search_trace.cc.o" "gcc" "src/CMakeFiles/ann_index.dir/index/search_trace.cc.o.d"
+  "/root/repo/src/index/spann_index.cc" "src/CMakeFiles/ann_index.dir/index/spann_index.cc.o" "gcc" "src/CMakeFiles/ann_index.dir/index/spann_index.cc.o.d"
+  "/root/repo/src/index/vamana.cc" "src/CMakeFiles/ann_index.dir/index/vamana.cc.o" "gcc" "src/CMakeFiles/ann_index.dir/index/vamana.cc.o.d"
+  "/root/repo/src/quant/product_quantizer.cc" "src/CMakeFiles/ann_index.dir/quant/product_quantizer.cc.o" "gcc" "src/CMakeFiles/ann_index.dir/quant/product_quantizer.cc.o.d"
+  "/root/repo/src/quant/scalar_quantizer.cc" "src/CMakeFiles/ann_index.dir/quant/scalar_quantizer.cc.o" "gcc" "src/CMakeFiles/ann_index.dir/quant/scalar_quantizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ann_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

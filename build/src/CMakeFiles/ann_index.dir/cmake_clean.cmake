@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ann_index.dir/cluster/kmeans.cc.o"
+  "CMakeFiles/ann_index.dir/cluster/kmeans.cc.o.d"
+  "CMakeFiles/ann_index.dir/index/diskann_index.cc.o"
+  "CMakeFiles/ann_index.dir/index/diskann_index.cc.o.d"
+  "CMakeFiles/ann_index.dir/index/flat_index.cc.o"
+  "CMakeFiles/ann_index.dir/index/flat_index.cc.o.d"
+  "CMakeFiles/ann_index.dir/index/hnsw_index.cc.o"
+  "CMakeFiles/ann_index.dir/index/hnsw_index.cc.o.d"
+  "CMakeFiles/ann_index.dir/index/ivf_index.cc.o"
+  "CMakeFiles/ann_index.dir/index/ivf_index.cc.o.d"
+  "CMakeFiles/ann_index.dir/index/search_trace.cc.o"
+  "CMakeFiles/ann_index.dir/index/search_trace.cc.o.d"
+  "CMakeFiles/ann_index.dir/index/spann_index.cc.o"
+  "CMakeFiles/ann_index.dir/index/spann_index.cc.o.d"
+  "CMakeFiles/ann_index.dir/index/vamana.cc.o"
+  "CMakeFiles/ann_index.dir/index/vamana.cc.o.d"
+  "CMakeFiles/ann_index.dir/quant/product_quantizer.cc.o"
+  "CMakeFiles/ann_index.dir/quant/product_quantizer.cc.o.d"
+  "CMakeFiles/ann_index.dir/quant/scalar_quantizer.cc.o"
+  "CMakeFiles/ann_index.dir/quant/scalar_quantizer.cc.o.d"
+  "libann_index.a"
+  "libann_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ann_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ann_sim.dir/sim/cpu_model.cc.o"
+  "CMakeFiles/ann_sim.dir/sim/cpu_model.cc.o.d"
+  "CMakeFiles/ann_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/ann_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/ann_sim.dir/sim/resource.cc.o"
+  "CMakeFiles/ann_sim.dir/sim/resource.cc.o.d"
+  "CMakeFiles/ann_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/ann_sim.dir/sim/simulator.cc.o.d"
+  "libann_sim.a"
+  "libann_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ann_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block_tracer.cc" "src/CMakeFiles/ann_storage.dir/storage/block_tracer.cc.o" "gcc" "src/CMakeFiles/ann_storage.dir/storage/block_tracer.cc.o.d"
+  "/root/repo/src/storage/page_cache.cc" "src/CMakeFiles/ann_storage.dir/storage/page_cache.cc.o" "gcc" "src/CMakeFiles/ann_storage.dir/storage/page_cache.cc.o.d"
+  "/root/repo/src/storage/ssd_model.cc" "src/CMakeFiles/ann_storage.dir/storage/ssd_model.cc.o" "gcc" "src/CMakeFiles/ann_storage.dir/storage/ssd_model.cc.o.d"
+  "/root/repo/src/storage/storage_backend.cc" "src/CMakeFiles/ann_storage.dir/storage/storage_backend.cc.o" "gcc" "src/CMakeFiles/ann_storage.dir/storage/storage_backend.cc.o.d"
+  "/root/repo/src/storage/trace_analysis.cc" "src/CMakeFiles/ann_storage.dir/storage/trace_analysis.cc.o" "gcc" "src/CMakeFiles/ann_storage.dir/storage/trace_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ann_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ann_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ann_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

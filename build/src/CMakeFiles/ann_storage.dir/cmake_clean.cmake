@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ann_storage.dir/storage/block_tracer.cc.o"
+  "CMakeFiles/ann_storage.dir/storage/block_tracer.cc.o.d"
+  "CMakeFiles/ann_storage.dir/storage/page_cache.cc.o"
+  "CMakeFiles/ann_storage.dir/storage/page_cache.cc.o.d"
+  "CMakeFiles/ann_storage.dir/storage/ssd_model.cc.o"
+  "CMakeFiles/ann_storage.dir/storage/ssd_model.cc.o.d"
+  "CMakeFiles/ann_storage.dir/storage/storage_backend.cc.o"
+  "CMakeFiles/ann_storage.dir/storage/storage_backend.cc.o.d"
+  "CMakeFiles/ann_storage.dir/storage/trace_analysis.cc.o"
+  "CMakeFiles/ann_storage.dir/storage/trace_analysis.cc.o.d"
+  "libann_storage.a"
+  "libann_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ann_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dataset.cc" "src/CMakeFiles/ann_workload.dir/workload/dataset.cc.o" "gcc" "src/CMakeFiles/ann_workload.dir/workload/dataset.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/ann_workload.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/ann_workload.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/registry.cc" "src/CMakeFiles/ann_workload.dir/workload/registry.cc.o" "gcc" "src/CMakeFiles/ann_workload.dir/workload/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ann_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ann_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

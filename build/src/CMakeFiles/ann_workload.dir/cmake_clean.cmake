@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ann_workload.dir/workload/dataset.cc.o"
+  "CMakeFiles/ann_workload.dir/workload/dataset.cc.o.d"
+  "CMakeFiles/ann_workload.dir/workload/generator.cc.o"
+  "CMakeFiles/ann_workload.dir/workload/generator.cc.o.d"
+  "CMakeFiles/ann_workload.dir/workload/registry.cc.o"
+  "CMakeFiles/ann_workload.dir/workload/registry.cc.o.d"
+  "libann_workload.a"
+  "libann_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ann_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

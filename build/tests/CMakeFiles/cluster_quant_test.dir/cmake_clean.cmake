@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_quant_test.dir/cluster_quant_test.cc.o"
+  "CMakeFiles/cluster_quant_test.dir/cluster_quant_test.cc.o.d"
+  "cluster_quant_test"
+  "cluster_quant_test.pdb"
+  "cluster_quant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_quant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

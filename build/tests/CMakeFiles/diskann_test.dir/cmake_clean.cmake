@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diskann_test.dir/diskann_test.cc.o"
+  "CMakeFiles/diskann_test.dir/diskann_test.cc.o.d"
+  "diskann_test"
+  "diskann_test.pdb"
+  "diskann_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diskann_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutability_test.dir/mutability_test.cc.o"
+  "CMakeFiles/mutability_test.dir/mutability_test.cc.o.d"
+  "mutability_test"
+  "mutability_test.pdb"
+  "mutability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annbench.dir/annbench.cpp.o"
+  "CMakeFiles/annbench.dir/annbench.cpp.o.d"
+  "annbench"
+  "annbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

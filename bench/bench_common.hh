@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/env.hh"
+#include "core/bench_runner.hh"
 #include "core/experiments.hh"
 #include "distance/recall.hh"
 #include "core/tuner.hh"
@@ -92,12 +93,11 @@ prepareTuned(const std::string &setup, const workload::Dataset &dataset,
         double acc = 0.0;
         const std::size_t n =
             std::min<std::size_t>(300, dataset.num_queries);
-        for (std::size_t q = 0; q < n; ++q) {
-            const auto result =
-                out.engine->search(dataset.query(q), out.settings);
-            acc += recallAtK(dataset.ground_truth[q], result.results,
-                             out.settings.k);
-        }
+        const auto outputs =
+            core::runAllQueries(*out.engine, dataset, out.settings, n);
+        for (std::size_t q = 0; q < n; ++q)
+            acc += recallAtK(dataset.ground_truth[q],
+                             outputs[q].results, out.settings.k);
         out.recall = acc / static_cast<double>(n);
         return out;
     }

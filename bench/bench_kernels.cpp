@@ -49,6 +49,19 @@ BM_L2Distance(benchmark::State &state)
 BENCHMARK(BM_L2Distance)->Arg(128)->Arg(256)->Arg(768)->Arg(1536);
 
 void
+BM_L2DistanceScalar(benchmark::State &state)
+{
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    const auto data = randomVectors(2, dim, 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            l2DistanceSqScalar(data.data(), data.data() + dim, dim));
+}
+// Compare against BM_L2Distance to see the runtime-dispatched SIMD
+// speedup (identical when the CPU lacks AVX2 or $ANN_SIMD=scalar).
+BENCHMARK(BM_L2DistanceScalar)->Arg(128)->Arg(256)->Arg(768)->Arg(1536);
+
+void
 BM_DotProduct(benchmark::State &state)
 {
     const auto dim = static_cast<std::size_t>(state.range(0));
@@ -78,6 +91,36 @@ BM_PqAdcDistance(benchmark::State &state)
 }
 // Ablation: ADC lookups vs BM_L2Distance at the same dimensionality.
 BENCHMARK(BM_PqAdcDistance)->Arg(64)->Arg(128);
+
+void
+BM_DotProductScalar(benchmark::State &state)
+{
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    const auto data = randomVectors(2, dim, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            dotProductScalar(data.data(), data.data() + dim, dim));
+}
+BENCHMARK(BM_DotProductScalar)->Arg(128)->Arg(768)->Arg(1536);
+
+void
+BM_PqAdcDistanceScalar(benchmark::State &state)
+{
+    const auto m = static_cast<std::size_t>(state.range(0));
+    const std::size_t ksub = 256;
+    Rng rng(8);
+    std::vector<float> table(m * ksub);
+    for (auto &x : table)
+        x = rng.nextFloat(0.0f, 4.0f);
+    std::vector<std::uint8_t> codes(m);
+    for (auto &c : codes)
+        c = static_cast<std::uint8_t>(rng.nextBelow(ksub));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            pqAdcDistanceScalar(table.data(), m, ksub, codes.data()));
+}
+// Compare against BM_PqAdcDistance for the gather-based scan speedup.
+BENCHMARK(BM_PqAdcDistanceScalar)->Arg(64)->Arg(128);
 
 void
 BM_PqAdcTableBuild(benchmark::State &state)

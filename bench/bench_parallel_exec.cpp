@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Wall-clock benchmark of the parallel real-execution pipeline.
+ *
+ * Runs the same query workload serially and on the execution thread
+ * pool, reports the speedup, and asserts the two runs produced
+ * bit-identical results and traces (the determinism contract that
+ * lets BenchRunner parallelize real execution at all). Unlike the
+ * rest of the bench suite this measures *host* wall-clock, not
+ * simulated time.
+ *
+ *   ANN_THREADS=8 ./bench_parallel_exec
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/error.hh"
+#include "common/thread_pool.hh"
+#include "core/bench_runner.hh"
+#include "distance/distance.hh"
+
+namespace {
+
+using namespace ann;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::size_t threads = ThreadPool::global().size();
+    std::printf("exec pool: %zu threads, simd: %s\n", threads,
+                simdLevelName(activeSimdLevel()));
+
+    const auto dataset = bench::benchDataset("cohere-1m");
+    const char *setups[] = {"milvus-diskann", "qdrant-hnsw"};
+    for (const char *setup : setups) {
+        auto prepared = bench::prepareTuned(setup, dataset);
+        // Warm-up: touches lazily built state and faults in the index.
+        core::runAllQueries(*prepared.engine, dataset,
+                            prepared.settings, dataset.num_queries, 1);
+
+        auto start = Clock::now();
+        const auto serial = core::runAllQueries(
+            *prepared.engine, dataset, prepared.settings,
+            dataset.num_queries, 1);
+        const double serial_s = secondsSince(start);
+
+        start = Clock::now();
+        const auto parallel = core::runAllQueries(
+            *prepared.engine, dataset, prepared.settings,
+            dataset.num_queries, 0);
+        const double parallel_s = secondsSince(start);
+
+        // Identity check: parallel execution must be bit-identical.
+        ANN_CHECK(serial.size() == parallel.size(), "query count");
+        for (std::size_t q = 0; q < serial.size(); ++q) {
+            ANN_CHECK(serial[q].trace == parallel[q].trace,
+                      setup, ": trace diverged on query ", q);
+            ANN_CHECK(serial[q].results.size() ==
+                          parallel[q].results.size(),
+                      setup, ": result size diverged on query ", q);
+            for (std::size_t i = 0; i < serial[q].results.size(); ++i)
+                ANN_CHECK(serial[q].results[i].id ==
+                                  parallel[q].results[i].id &&
+                              serial[q].results[i].distance ==
+                                  parallel[q].results[i].distance,
+                          setup, ": results diverged on query ", q);
+        }
+
+        std::printf(
+            "%-16s %4zu queries  serial %.3fs  %zu-thread %.3fs  "
+            "speedup %.2fx  (bit-identical)\n",
+            setup, serial.size(), serial_s, threads, parallel_s,
+            parallel_s > 0.0 ? serial_s / parallel_s : 0.0);
+    }
+    return 0;
+}

@@ -1,15 +1,20 @@
 #include "cluster/kmeans.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 
 #include "common/error.hh"
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 #include "distance/distance.hh"
 
 namespace ann {
 
 namespace {
+
+/** Rows per parallel chunk in the assignment loops. */
+constexpr std::size_t kAssignChunk = 256;
 
 /** Pick training rows: all of them, or a random subsample. */
 std::vector<std::uint32_t>
@@ -101,26 +106,34 @@ kmeansFit(const MatrixView &data, const KMeansParams &params)
     std::vector<std::uint32_t> counts(k);
 
     for (std::size_t iter = 0; iter < params.max_iters; ++iter) {
-        // Assignment step.
-        bool changed = false;
-        for (std::size_t i = 0; i < n; ++i) {
-            const float *vec = data.row(rows_in_use[i]);
-            float best = std::numeric_limits<float>::max();
-            std::uint32_t best_c = 0;
-            for (std::size_t c = 0; c < k; ++c) {
-                const float d =
-                    l2DistanceSq(vec, result.centroid(c), dim);
-                if (d < best) {
-                    best = d;
-                    best_c = static_cast<std::uint32_t>(c);
+        // Assignment step: each row's nearest centroid is independent,
+        // so this parallelizes bit-identically (per-index writes only;
+        // the changed flag is a monotonic OR).
+        std::atomic<bool> changed{false};
+        ThreadPool::global().parallelFor(
+            n, kAssignChunk, [&](std::size_t begin, std::size_t end) {
+                bool local_changed = false;
+                for (std::size_t i = begin; i < end; ++i) {
+                    const float *vec = data.row(rows_in_use[i]);
+                    float best = std::numeric_limits<float>::max();
+                    std::uint32_t best_c = 0;
+                    for (std::size_t c = 0; c < k; ++c) {
+                        const float d =
+                            l2DistanceSq(vec, result.centroid(c), dim);
+                        if (d < best) {
+                            best = d;
+                            best_c = static_cast<std::uint32_t>(c);
+                        }
+                    }
+                    if (assignment[i] != best_c) {
+                        assignment[i] = best_c;
+                        local_changed = true;
+                    }
                 }
-            }
-            if (assignment[i] != best_c) {
-                assignment[i] = best_c;
-                changed = true;
-            }
-        }
-        if (!changed && iter > 0)
+                if (local_changed)
+                    changed.store(true, std::memory_order_relaxed);
+            });
+        if (!changed.load(std::memory_order_relaxed) && iter > 0)
             break;
 
         // Update step.
@@ -187,8 +200,12 @@ assignToCentroids(const KMeansResult &model, const MatrixView &data)
 {
     ANN_CHECK(data.dim == model.dim, "dimension mismatch in assignment");
     std::vector<std::uint32_t> assignment(data.rows);
-    for (std::size_t i = 0; i < data.rows; ++i)
-        assignment[i] = nearestCentroid(model, data.row(i));
+    ThreadPool::global().parallelFor(
+        data.rows, kAssignChunk,
+        [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                assignment[i] = nearestCentroid(model, data.row(i));
+        });
     return assignment;
 }
 

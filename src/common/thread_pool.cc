@@ -1,0 +1,154 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+
+#include "common/env.hh"
+#include "common/error.hh"
+
+namespace ann {
+
+namespace {
+
+/** True on threads owned by any pool; makes nested loops run inline. */
+thread_local bool tls_inside_pool = false;
+
+} // namespace
+
+std::size_t
+ThreadPool::hardwareThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : threads_(threads == 0 ? hardwareThreads() : threads)
+{
+    // The calling thread participates in every loop, so a pool of
+    // size N needs N-1 dedicated workers.
+    workers_.reserve(threads_ - 1);
+    for (std::size_t t = 1; t < threads_; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+bool
+ThreadPool::runChunks(Job &job, std::unique_lock<std::mutex> &lock)
+{
+    bool drained = false;
+    while (job.cursor < job.n && !job.error) {
+        const std::size_t begin = job.cursor;
+        const std::size_t end =
+            std::min(job.n, begin + job.chunk);
+        job.cursor = end;
+        lock.unlock();
+        std::exception_ptr error;
+        // The submitting caller also runs chunks; flag it so a nested
+        // parallelFor in the body runs inline instead of waiting on
+        // the very job this chunk belongs to.
+        const bool was_inside = tls_inside_pool;
+        tls_inside_pool = true;
+        try {
+            (*job.body)(begin, end);
+        } catch (...) {
+            error = std::current_exception();
+        }
+        tls_inside_pool = was_inside;
+        lock.lock();
+        if (error && !job.error) {
+            job.error = error;
+            // Poison the cursor so no further chunks start; the
+            // skipped (unclaimed) indices count as done, otherwise
+            // the caller would wait for them forever.
+            job.pending -= job.n - job.cursor;
+            job.cursor = job.n;
+        }
+        job.pending -= end - begin;
+        if (job.pending == 0) {
+            drained = true;
+            doneCv_.notify_all();
+        }
+    }
+    return drained;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tls_inside_pool = true;
+    std::unique_lock<std::mutex> lock(mutex_);
+    std::uint64_t seen = 0;
+    for (;;) {
+        workCv_.wait(lock, [&] {
+            return stopping_ ||
+                   (job_ != nullptr && generation_ != seen &&
+                    job_->cursor < job_->n);
+        });
+        if (stopping_)
+            return;
+        seen = generation_;
+        runChunks(*job_, lock);
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n, std::size_t chunk,
+                        const ChunkFn &body)
+{
+    if (n == 0)
+        return;
+    chunk = std::max<std::size_t>(1, chunk);
+
+    // Inline paths: single-threaded pool, loop smaller than one
+    // chunk, or a nested call from a pool worker. Running inline
+    // keeps exception propagation trivial and avoids deadlocking a
+    // worker on its own pool.
+    if (threads_ == 1 || n <= chunk || tls_inside_pool) {
+        for (std::size_t begin = 0; begin < n; begin += chunk)
+            body(begin, std::min(n, begin + chunk));
+        return;
+    }
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    // One job at a time; queued callers wait for the active one.
+    doneCv_.wait(lock, [&] { return job_ == nullptr; });
+
+    Job job;
+    job.n = n;
+    job.chunk = chunk;
+    job.body = &body;
+    job.pending = n;
+    job_ = &job;
+    ++generation_;
+    workCv_.notify_all();
+
+    runChunks(job, lock);
+    doneCv_.wait(lock, [&] { return job.pending == 0; });
+    job_ = nullptr;
+    doneCv_.notify_all(); // release queued callers
+
+    const std::exception_ptr error = job.error;
+    lock.unlock();
+    if (error)
+        std::rethrow_exception(error);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(static_cast<std::size_t>(
+        std::max<std::int64_t>(0, envInt("ANN_THREADS", 0))));
+    return pool;
+}
+
+} // namespace ann

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fixed-size worker pool for data-parallel loops.
+ *
+ * The pool exists for *real* OS-thread parallelism (the simulated
+ * testbed has its own virtual concurrency): real query execution in
+ * BenchRunner, K-Means assignment, Vamana candidate generation, and
+ * PQ encoding all fan out through parallelFor().
+ *
+ * Scheduling is chunked and dynamic — workers pull [begin, end)
+ * chunks off a shared atomic cursor — so callers must keep results
+ * deterministic by writing into per-index slots and reducing in index
+ * order afterwards. The first exception thrown by any chunk is
+ * captured and rethrown on the calling thread once the loop joins.
+ *
+ * parallelFor() issued from inside a pool worker runs inline on that
+ * worker (no nested fan-out), so library code can parallelize without
+ * knowing whether its caller already did.
+ */
+
+#ifndef ANN_COMMON_THREAD_POOL_HH
+#define ANN_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ann {
+
+/** Fixed worker pool with chunked dynamic parallelFor. */
+class ThreadPool
+{
+  public:
+    /** Body of one chunk: processes indices [begin, end). */
+    using ChunkFn =
+        std::function<void(std::size_t begin, std::size_t end)>;
+
+    /**
+     * Spawn @p threads workers (0 = hardwareThreads()). A pool of
+     * size 1 spawns no workers and runs every loop inline.
+     */
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker count (>= 1, counting the calling thread). */
+    std::size_t size() const { return threads_; }
+
+    /**
+     * Run @p body over [0, n) in chunks of @p chunk indices. The
+     * calling thread participates; returns when every index is done.
+     * Rethrows the first chunk exception after the join.
+     */
+    void parallelFor(std::size_t n, std::size_t chunk,
+                     const ChunkFn &body);
+
+    /**
+     * Process-wide pool, sized once from $ANN_THREADS (default:
+     * hardwareThreads()). Built on first use.
+     */
+    static ThreadPool &global();
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static std::size_t hardwareThreads();
+
+  private:
+    struct Job
+    {
+        std::size_t n = 0;
+        std::size_t chunk = 1;
+        const ChunkFn *body = nullptr;
+        std::size_t cursor = 0;      // next unclaimed index
+        std::size_t pending = 0;     // indices not yet completed
+        std::exception_ptr error;
+    };
+
+    void workerLoop();
+    /** Pull chunks until the job drains; @return true if last out. */
+    bool runChunks(Job &job, std::unique_lock<std::mutex> &lock);
+
+    std::size_t threads_ = 1;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable workCv_;  // workers wait for a job
+    std::condition_variable doneCv_;  // caller waits for completion
+    Job *job_ = nullptr;              // active job, guarded by mutex_
+    std::uint64_t generation_ = 0;    // bumped per submitted job
+    bool stopping_ = false;
+};
+
+} // namespace ann
+
+#endif // ANN_COMMON_THREAD_POOL_HH

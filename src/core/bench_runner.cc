@@ -2,11 +2,71 @@
 
 #include <sstream>
 
+#include "common/env.hh"
 #include "common/error.hh"
+#include "common/thread_pool.hh"
 #include "distance/recall.hh"
 #include "index/diskann_index.hh" // kSectorBytes
 
 namespace ann::core {
+
+namespace {
+
+using engine::VectorDbEngine;
+
+/** Bitwise result + trace equality (verify mode). */
+bool
+sameOutput(const VectorDbEngine::SearchOutput &a,
+           const VectorDbEngine::SearchOutput &b)
+{
+    if (a.results.size() != b.results.size())
+        return false;
+    for (std::size_t i = 0; i < a.results.size(); ++i) {
+        if (a.results[i].id != b.results[i].id ||
+            a.results[i].distance != b.results[i].distance)
+            return false;
+    }
+    return a.trace == b.trace;
+}
+
+} // namespace
+
+ExecOptions
+defaultExecOptions()
+{
+    ExecOptions exec;
+    const std::int64_t threads = envInt("ANN_EXEC_THREADS", 0);
+    exec.threads = threads > 0 ? static_cast<std::size_t>(threads) : 0;
+    exec.verify = envInt("ANN_EXEC_VERIFY", 0) != 0;
+    return exec;
+}
+
+std::vector<VectorDbEngine::SearchOutput>
+runAllQueries(engine::VectorDbEngine &engine,
+              const workload::Dataset &dataset,
+              const engine::SearchSettings &settings,
+              std::size_t num_queries, std::size_t threads)
+{
+    ANN_CHECK(num_queries <= dataset.num_queries,
+              "num_queries exceeds dataset query count");
+    // Per-index output slots: each query writes only outputs[q], so
+    // the result is identical for any thread count (the searches
+    // themselves are deterministic under the shared-read contract).
+    std::vector<VectorDbEngine::SearchOutput> outputs(num_queries);
+    const auto body = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t q = begin; q < end; ++q)
+            outputs[q] = engine.search(dataset.query(q), settings);
+    };
+    if (threads == 1) {
+        body(0, num_queries);
+    } else if (threads == 0) {
+        ThreadPool::global().parallelFor(num_queries, 1, body);
+    } else {
+        ThreadPool dedicated(threads);
+        dedicated.parallelFor(num_queries, 1, body);
+    }
+    return outputs;
+}
 
 BenchRunner::BenchRunner(ReplayConfig base_config)
     : base_(std::move(base_config))
@@ -15,27 +75,41 @@ BenchRunner::BenchRunner(ReplayConfig base_config)
 WorkloadTraces
 buildWorkloadTraces(engine::VectorDbEngine &engine,
                     const workload::Dataset &dataset,
-                    const engine::SearchSettings &settings)
+                    const engine::SearchSettings &settings,
+                    ExecOptions exec)
 {
     ANN_CHECK(dataset.num_queries > 0, "dataset has no queries");
     ANN_CHECK(!dataset.ground_truth.empty(),
               "dataset has no ground truth");
 
+    auto outputs = runAllQueries(engine, dataset, settings,
+                                 dataset.num_queries, exec.threads);
+    if (exec.verify && exec.threads != 1) {
+        const auto serial = runAllQueries(engine, dataset, settings,
+                                          dataset.num_queries, 1);
+        for (std::size_t q = 0; q < outputs.size(); ++q)
+            ANN_CHECK(sameOutput(outputs[q], serial[q]),
+                      "parallel execution diverged from serial on "
+                      "query ", q, " (", engine.name(), "/",
+                      dataset.name, ")");
+    }
+
+    // Reduce serially in query order so the aggregate floats do not
+    // depend on execution interleaving.
     WorkloadTraces out;
-    out.traces.reserve(dataset.num_queries);
+    out.traces.reserve(outputs.size());
     double recall_acc = 0.0;
     std::uint64_t sectors = 0;
-    for (std::size_t q = 0; q < dataset.num_queries; ++q) {
-        auto result = engine.search(dataset.query(q), settings);
-        recall_acc += recallAtK(dataset.ground_truth[q], result.results,
-                                settings.k);
-        sectors += result.trace.totalReadSectors();
-        out.traces.push_back(std::move(result.trace));
+    for (std::size_t q = 0; q < outputs.size(); ++q) {
+        recall_acc += recallAtK(dataset.ground_truth[q],
+                                outputs[q].results, settings.k);
+        sectors += outputs[q].trace.totalReadSectors();
+        out.traces.push_back(std::move(outputs[q].trace));
     }
-    out.recall = recall_acc / static_cast<double>(dataset.num_queries);
+    out.recall = recall_acc / static_cast<double>(outputs.size());
     out.mib_per_query =
         static_cast<double>(sectors) * kSectorBytes /
-        (1024.0 * 1024.0) / static_cast<double>(dataset.num_queries);
+        (1024.0 * 1024.0) / static_cast<double>(outputs.size());
     return out;
 }
 
@@ -61,8 +135,8 @@ BenchRunner::traces(engine::VectorDbEngine &engine,
     auto it = cache_.find(key);
     if (it == cache_.end()) {
         it = cache_
-                 .emplace(key,
-                          buildWorkloadTraces(engine, dataset, settings))
+                 .emplace(key, buildWorkloadTraces(engine, dataset,
+                                                   settings, exec_))
                  .first;
     }
     return it->second;

@@ -39,6 +39,38 @@ struct Measurement
     double mib_per_query = 0.0;
 };
 
+/** How the real query executions run (distinct from sim clients). */
+struct ExecOptions
+{
+    /**
+     * Worker threads for real query execution: 0 = the shared pool
+     * (hardware concurrency, or $ANN_THREADS), 1 = serial, else a
+     * dedicated pool of that size. Results are identical either way —
+     * this only changes wall-clock time.
+     */
+    std::size_t threads = 0;
+    /**
+     * Re-run every workload serially and assert the parallel run
+     * produced bit-identical results and traces (debug aid; doubles
+     * execution cost).
+     */
+    bool verify = false;
+};
+
+/** ExecOptions from $ANN_EXEC_THREADS / $ANN_EXEC_VERIFY. */
+ExecOptions defaultExecOptions();
+
+/**
+ * Execute the first @p num_queries queries of @p dataset on
+ * @p engine, in parallel per ExecOptions::threads semantics. Output
+ * order matches query order regardless of thread count.
+ */
+std::vector<engine::VectorDbEngine::SearchOutput>
+runAllQueries(engine::VectorDbEngine &engine,
+              const workload::Dataset &dataset,
+              const engine::SearchSettings &settings,
+              std::size_t num_queries, std::size_t threads = 0);
+
 /** Executes queries for real and replays them at any concurrency. */
 class BenchRunner
 {
@@ -48,6 +80,10 @@ class BenchRunner
     /** Base config used for every measurement (threads overridden). */
     const ReplayConfig &baseConfig() const { return base_; }
     ReplayConfig &baseConfig() { return base_; }
+
+    /** Real-execution options (worker threads, verify mode). */
+    const ExecOptions &execOptions() const { return exec_; }
+    ExecOptions &execOptions() { return exec_; }
 
     /**
      * Real-execute all queries of @p dataset on @p engine (memoized
@@ -73,6 +109,7 @@ class BenchRunner
                          const engine::SearchSettings &settings) const;
 
     ReplayConfig base_;
+    ExecOptions exec_ = defaultExecOptions();
     std::map<std::string, WorkloadTraces> cache_;
 };
 
@@ -82,7 +119,8 @@ class BenchRunner
  */
 WorkloadTraces buildWorkloadTraces(engine::VectorDbEngine &engine,
                                    const workload::Dataset &dataset,
-                                   const engine::SearchSettings &settings);
+                                   const engine::SearchSettings &settings,
+                                   ExecOptions exec = ExecOptions{});
 
 } // namespace ann::core
 

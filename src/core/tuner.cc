@@ -6,6 +6,7 @@
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "common/serialize.hh"
+#include "core/bench_runner.hh"
 #include "distance/recall.hh"
 
 namespace ann::core {
@@ -22,12 +23,11 @@ recallWithSettings(engine::VectorDbEngine &engine,
 {
     const std::size_t n =
         std::min<std::size_t>(kTuneQueries, dataset.num_queries);
+    const auto outputs = runAllQueries(engine, dataset, settings, n);
     double acc = 0.0;
-    for (std::size_t q = 0; q < n; ++q) {
-        const auto out = engine.search(dataset.query(q), settings);
-        acc += recallAtK(dataset.ground_truth[q], out.results,
+    for (std::size_t q = 0; q < n; ++q)
+        acc += recallAtK(dataset.ground_truth[q], outputs[q].results,
                          settings.k);
-    }
     return acc / static_cast<double>(n);
 }
 

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "common/env.hh"
 #include "common/error.hh"
+#include "distance/simd_kernels.hh"
 
 namespace ann {
 
@@ -21,7 +23,7 @@ metricName(Metric metric)
 }
 
 float
-l2DistanceSq(const float *a, const float *b, std::size_t dim)
+l2DistanceSqScalar(const float *a, const float *b, std::size_t dim)
 {
     float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
     std::size_t i = 0;
@@ -43,7 +45,7 @@ l2DistanceSq(const float *a, const float *b, std::size_t dim)
 }
 
 float
-dotProduct(const float *a, const float *b, std::size_t dim)
+dotProductScalar(const float *a, const float *b, std::size_t dim)
 {
     float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
     std::size_t i = 0;
@@ -56,6 +58,93 @@ dotProduct(const float *a, const float *b, std::size_t dim)
     for (; i < dim; ++i)
         acc0 += a[i] * b[i];
     return (acc0 + acc1) + (acc2 + acc3);
+}
+
+float
+pqAdcDistanceScalar(const float *table, std::size_t m, std::size_t ksub,
+                    const std::uint8_t *codes)
+{
+    float acc = 0.0f;
+    for (std::size_t sub = 0; sub < m; ++sub)
+        acc += table[sub * ksub + codes[sub]];
+    return acc;
+}
+
+namespace {
+
+/** ADC scan signature shared by both tiers. */
+using AdcFunc = float (*)(const float *, std::size_t, std::size_t,
+                          const std::uint8_t *);
+
+/** Kernel set resolved exactly once per process. */
+struct KernelTable
+{
+    DistanceFunc l2 = &l2DistanceSqScalar;
+    DistanceFunc dot = &dotProductScalar;
+    AdcFunc adc = &pqAdcDistanceScalar;
+    SimdLevel level = SimdLevel::Scalar;
+};
+
+KernelTable
+resolveKernels()
+{
+    KernelTable table;
+    // $ANN_SIMD=scalar forces the fallback (used by tests and by the
+    // bench comparison); anything else takes the best supported tier.
+    const std::string wanted = envString("ANN_SIMD", "auto");
+    if (wanted != "scalar" && simd::cpuHasAvx2Fma()) {
+        table.l2 = &simd::l2DistanceSqAvx2;
+        table.dot = &simd::dotProductAvx2;
+        table.adc = &simd::pqAdcDistanceAvx2;
+        table.level = SimdLevel::Avx2;
+    }
+    return table;
+}
+
+const KernelTable &
+kernels()
+{
+    static const KernelTable table = resolveKernels();
+    return table;
+}
+
+} // namespace
+
+SimdLevel
+activeSimdLevel()
+{
+    return kernels().level;
+}
+
+const char *
+simdLevelName(SimdLevel level)
+{
+    switch (level) {
+      case SimdLevel::Scalar:
+        return "scalar";
+      case SimdLevel::Avx2:
+        return "avx2";
+    }
+    return "unknown";
+}
+
+float
+l2DistanceSq(const float *a, const float *b, std::size_t dim)
+{
+    return kernels().l2(a, b, dim);
+}
+
+float
+dotProduct(const float *a, const float *b, std::size_t dim)
+{
+    return kernels().dot(a, b, dim);
+}
+
+float
+pqAdcDistance(const float *table, std::size_t m, std::size_t ksub,
+              const std::uint8_t *codes)
+{
+    return kernels().adc(table, m, ksub, codes);
 }
 
 namespace {

@@ -8,15 +8,19 @@
  *   - InnerProduct  -> negated dot product
  *   - Cosine        -> 1 - cosine similarity
  *
- * The hot loops are manually unrolled 4-wide; with -O2 the compiler
- * vectorizes them for the target ISA. bench_kernels measures the
- * per-dimension cost these kernels feed into the CPU cost model.
+ * Two implementation tiers exist: portable scalar kernels (manually
+ * unrolled 4-wide) and AVX2/FMA kernels. The tier is selected exactly
+ * once per process — CPUID probe, overridable with $ANN_SIMD=scalar —
+ * so every query in a run, serial or parallel, uses identical
+ * arithmetic and results stay bit-reproducible within the run.
+ * bench_kernels measures both tiers side by side.
  */
 
 #ifndef ANN_DISTANCE_DISTANCE_HH
 #define ANN_DISTANCE_DISTANCE_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace ann {
@@ -51,6 +55,33 @@ float vectorNorm(const float *a, std::size_t dim);
 
 /** Scale @p a in place to unit norm (no-op on the zero vector). */
 void normalizeVector(float *a, std::size_t dim);
+
+/**
+ * PQ ADC table scan: sum of table[sub * ksub + codes[sub]] over the
+ * @p m subspaces. The hottest kernel of DiskANN traversal; dispatched
+ * like the float kernels (AVX2 gather vs scalar lookups).
+ */
+float pqAdcDistance(const float *table, std::size_t m, std::size_t ksub,
+                    const std::uint8_t *codes);
+
+/** Kernel tiers selectable at runtime. */
+enum class SimdLevel { Scalar, Avx2 };
+
+/** The tier all dispatched kernels resolved to (fixed per process). */
+SimdLevel activeSimdLevel();
+
+/** @return tier name ("scalar", "avx2"). */
+const char *simdLevelName(SimdLevel level);
+
+/**
+ * Reference scalar kernels — always available, never dispatched.
+ * Exposed so bench_kernels and tests can compare tiers explicitly.
+ */
+float l2DistanceSqScalar(const float *a, const float *b,
+                         std::size_t dim);
+float dotProductScalar(const float *a, const float *b, std::size_t dim);
+float pqAdcDistanceScalar(const float *table, std::size_t m,
+                          std::size_t ksub, const std::uint8_t *codes);
 
 } // namespace ann
 

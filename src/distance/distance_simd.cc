@@ -1,0 +1,143 @@
+#include "distance/simd_kernels.hh"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+namespace ann::simd {
+
+bool
+cpuHasAvx2Fma()
+{
+    return __builtin_cpu_supports("avx2") &&
+           __builtin_cpu_supports("fma");
+}
+
+namespace {
+
+/** Horizontal sum of one 8-lane register. */
+__attribute__((target("avx2,fma"))) inline float
+hsum256(__m256 v)
+{
+    const __m128 lo = _mm256_castps256_ps128(v);
+    const __m128 hi = _mm256_extractf128_ps(v, 1);
+    __m128 sum = _mm_add_ps(lo, hi);
+    sum = _mm_add_ps(sum, _mm_movehl_ps(sum, sum));
+    sum = _mm_add_ss(sum, _mm_shuffle_ps(sum, sum, 0x55));
+    return _mm_cvtss_f32(sum);
+}
+
+} // namespace
+
+__attribute__((target("avx2,fma"))) float
+l2DistanceSqAvx2(const float *a, const float *b, std::size_t dim)
+{
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 16 <= dim; i += 16) {
+        const __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(a + i),
+                                        _mm256_loadu_ps(b + i));
+        const __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(a + i + 8),
+                                        _mm256_loadu_ps(b + i + 8));
+        acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+        acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+    }
+    for (; i + 8 <= dim; i += 8) {
+        const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(a + i),
+                                       _mm256_loadu_ps(b + i));
+        acc0 = _mm256_fmadd_ps(d, d, acc0);
+    }
+    float total = hsum256(_mm256_add_ps(acc0, acc1));
+    for (; i < dim; ++i) {
+        const float d = a[i] - b[i];
+        total += d * d;
+    }
+    return total;
+}
+
+__attribute__((target("avx2,fma"))) float
+dotProductAvx2(const float *a, const float *b, std::size_t dim)
+{
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 16 <= dim; i += 16) {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                               _mm256_loadu_ps(b + i), acc0);
+        acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                               _mm256_loadu_ps(b + i + 8), acc1);
+    }
+    for (; i + 8 <= dim; i += 8)
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                               _mm256_loadu_ps(b + i), acc0);
+    float total = hsum256(_mm256_add_ps(acc0, acc1));
+    for (; i < dim; ++i)
+        total += a[i] * b[i];
+    return total;
+}
+
+__attribute__((target("avx2,fma"))) float
+pqAdcDistanceAvx2(const float *table, std::size_t m, std::size_t ksub,
+                  const std::uint8_t *codes)
+{
+    // Eight subspaces per iteration: widen the codes to 32-bit lane
+    // offsets, add each lane's table-row base (sub * ksub), and
+    // gather the eight contributions in one instruction.
+    __m256 acc = _mm256_setzero_ps();
+    const __m256i lanes = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    const __m256i vksub =
+        _mm256_set1_epi32(static_cast<int>(ksub));
+    std::size_t sub = 0;
+    for (; sub + 8 <= m; sub += 8) {
+        const __m128i raw = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(codes + sub));
+        const __m256i base = _mm256_mullo_epi32(
+            _mm256_add_epi32(
+                _mm256_set1_epi32(static_cast<int>(sub)), lanes),
+            vksub);
+        const __m256i idx =
+            _mm256_add_epi32(base, _mm256_cvtepu8_epi32(raw));
+        acc = _mm256_add_ps(acc,
+                            _mm256_i32gather_ps(table, idx, 4));
+    }
+    float total = hsum256(acc);
+    for (; sub < m; ++sub)
+        total += table[sub * ksub + codes[sub]];
+    return total;
+}
+
+} // namespace ann::simd
+
+#else // non-x86: scalar fallback only
+
+namespace ann::simd {
+
+bool
+cpuHasAvx2Fma()
+{
+    return false;
+}
+
+float
+l2DistanceSqAvx2(const float *, const float *, std::size_t)
+{
+    return 0.0f;
+}
+
+float
+dotProductAvx2(const float *, const float *, std::size_t)
+{
+    return 0.0f;
+}
+
+float
+pqAdcDistanceAvx2(const float *, std::size_t, std::size_t,
+                  const std::uint8_t *)
+{
+    return 0.0f;
+}
+
+} // namespace ann::simd
+
+#endif

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hh"
+#include "common/logging.hh"
 
 namespace ann {
 
@@ -11,7 +12,19 @@ recallAtK(const std::vector<VectorId> &truth,
           const std::vector<VectorId> &found, std::size_t k)
 {
     ANN_CHECK(k > 0, "recall requires k > 0");
-    ANN_CHECK(truth.size() >= k, "ground truth shorter than k");
+    ANN_CHECK(!truth.empty(), "recall requires ground truth");
+    // Small generated datasets can carry ground-truth lists shorter
+    // than the requested k; clamp instead of aborting the whole sweep
+    // and report recall against the available depth.
+    if (truth.size() < k) {
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            logWarn("recall@", k, " clamped to ground-truth depth ",
+                    truth.size(), " (further clamps not logged)");
+        }
+        k = truth.size();
+    }
     std::vector<VectorId> truth_k(truth.begin(),
                                   truth.begin() +
                                       static_cast<std::ptrdiff_t>(k));

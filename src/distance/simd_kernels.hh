@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Internal AVX2/FMA kernel declarations (x86-64 only).
+ *
+ * Implemented in distance_simd.cc with function-level target
+ * attributes, so the file compiles under the project-wide baseline
+ * flags and the vectorized code is only ever *executed* after the
+ * CPUID probe in distance.cc selects it. Not part of the public API —
+ * callers go through the dispatched kernels in distance.hh.
+ */
+
+#ifndef ANN_DISTANCE_SIMD_KERNELS_HH
+#define ANN_DISTANCE_SIMD_KERNELS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ann::simd {
+
+/** True when the running CPU offers AVX2 + FMA. */
+bool cpuHasAvx2Fma();
+
+float l2DistanceSqAvx2(const float *a, const float *b, std::size_t dim);
+float dotProductAvx2(const float *a, const float *b, std::size_t dim);
+float pqAdcDistanceAvx2(const float *table, std::size_t m,
+                        std::size_t ksub, const std::uint8_t *codes);
+
+} // namespace ann::simd
+
+#endif // ANN_DISTANCE_SIMD_KERNELS_HH

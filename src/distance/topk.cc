@@ -32,10 +32,15 @@ TopK::push(VectorId id, float dist)
         std::push_heap(heap_.begin(), heap_.end(), heapLess);
         return;
     }
-    if (dist >= heap_.front().distance)
+    // Full ordering on (distance, id): a candidate tied on distance
+    // with the current worst still replaces it when its id is
+    // smaller, so the held set — and therefore every search result —
+    // is independent of insertion order.
+    const Neighbor candidate{id, dist};
+    if (!(candidate < heap_.front()))
         return;
     std::pop_heap(heap_.begin(), heap_.end(), heapLess);
-    heap_.back() = {id, dist};
+    heap_.back() = candidate;
     std::push_heap(heap_.begin(), heap_.end(), heapLess);
 }
 
@@ -49,6 +54,8 @@ TopK::worstDistance() const
 bool
 TopK::wouldAccept(float dist) const
 {
+    // Conservative on ties: a candidate at exactly the worst held
+    // distance may still enter via push() when its id breaks the tie.
     return heap_.size() < k_ || dist < heap_.front().distance;
 }
 

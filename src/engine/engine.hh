@@ -106,7 +106,16 @@ class VectorDbEngine
     virtual void prepare(const workload::Dataset &dataset,
                          const std::string &cache_dir) = 0;
 
-    /** Execute one real query and return results + timed trace. */
+    /**
+     * Execute one real query and return results + timed trace.
+     *
+     * Shared-read contract: after prepare(), concurrent search() calls
+     * on one engine must be safe — implementations may only read
+     * engine/index state and write locals (per-thread index scratch is
+     * handled by the indexes themselves). Mutations (prepare, ingest
+     * paths) require external exclusion. The execution thread pool in
+     * core::runAllQueries relies on this.
+     */
     virtual SearchOutput search(const float *query,
                                 const SearchSettings &settings) = 0;
 

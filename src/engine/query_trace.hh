@@ -32,6 +32,13 @@ struct TimedStep
     std::vector<SectorRead> reads;
     /** Sector writes (ingest/merge traffic — paper SS VIII). */
     std::vector<SectorRead> writes;
+
+    friend bool
+    operator==(const TimedStep &a, const TimedStep &b)
+    {
+        return a.cpu_ns == b.cpu_ns && a.reads == b.reads &&
+               a.writes == b.writes;
+    }
 };
 
 /** Timed execution plan of one query. */
@@ -58,6 +65,20 @@ struct QueryTrace
     std::uint64_t totalWriteSectors() const;
     /** Number of I/O batches (beam-search hops with reads). */
     std::uint64_t ioBatches() const;
+
+    /**
+     * Exact structural equality; used by the parallel-execution verify
+     * mode to prove serial and parallel runs produced the same plan.
+     */
+    friend bool
+    operator==(const QueryTrace &a, const QueryTrace &b)
+    {
+        return a.rtt_ns == b.rtt_ns &&
+               a.serial_cpu_ns == b.serial_cpu_ns &&
+               a.prologue == b.prologue &&
+               a.parallel_chains == b.parallel_chains &&
+               a.epilogue == b.epilogue;
+    }
 };
 
 } // namespace ann::engine

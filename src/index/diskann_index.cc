@@ -8,10 +8,17 @@
 #include "distance/distance.hh"
 #include "distance/topk.hh"
 #include "index/vamana.hh"
+#include "index/visit_table.hh"
 
 namespace ann {
 
 namespace {
+
+/**
+ * Per-thread visited-set scratch; keeps search() const and safe to run
+ * concurrently from the execution thread pool. Sized lazily per call.
+ */
+thread_local VisitTable tls_visit;
 
 constexpr const char *kMagic = "DANN";
 constexpr std::uint32_t kVersion = 3;
@@ -105,9 +112,6 @@ DiskAnnIndex::build(const MatrixView &data,
         std::memcpy(record + dim_ * sizeof(float) + sizeof(degree),
                     adj.data(), adj.size() * sizeof(std::uint32_t));
     }
-
-    visitStamp_.assign(rows_, 0);
-    visitEpoch_ = 0;
 }
 
 VectorId
@@ -221,14 +225,8 @@ DiskAnnIndex::search(const float *query, const DiskAnnSearchParams &params,
 
     using Entry = BeamEntry;
 
-    // Visit stamps: one epoch per search.
-    if (visitStamp_.size() < rows_)
-        visitStamp_.assign(rows_, 0);
-    ++visitEpoch_;
-    if (visitEpoch_ == 0) {
-        std::fill(visitStamp_.begin(), visitStamp_.end(), 0);
-        visitEpoch_ = 1;
-    }
+    VisitTable &visited = tls_visit;
+    visited.reset(rows_);
 
     OpCounts local_ops;
     const AdcTable adc = pq_.computeAdcTable(query);
@@ -240,7 +238,7 @@ DiskAnnIndex::search(const float *query, const DiskAnnSearchParams &params,
                                               medoid_ * pq_.codeSize()),
                      medoid_, false});
     local_ops.quant_distances += 1;
-    visitStamp_[medoid_] = visitEpoch_;
+    visited.tryVisit(medoid_);
 
     TopK reranked(params.k);
     std::vector<VectorId> beam;
@@ -303,9 +301,8 @@ DiskAnnIndex::search(const float *query, const DiskAnnSearchParams &params,
                     record + dim_ * sizeof(float) + sizeof(degree));
             for (std::uint32_t i = 0; i < degree; ++i) {
                 const VectorId nb = neighbors[i];
-                if (visitStamp_[nb] == visitEpoch_)
+                if (!visited.tryVisit(nb))
                     continue;
-                visitStamp_[nb] = visitEpoch_;
                 const float d = pq_.adcDistance(
                     adc, pqCodes_.data() + nb * pq_.codeSize());
                 local_ops.quant_distances += 1;
@@ -405,8 +402,6 @@ DiskAnnIndex::load(BinaryReader &reader)
     diskImage_ = reader.readVector<std::uint8_t>();
     ANN_CHECK(diskImage_.size() == numSectors() * kSectorBytes,
               "corrupt diskann archive");
-    visitStamp_.assign(rows_, 0);
-    visitEpoch_ = 0;
 }
 
 } // namespace ann

@@ -98,6 +98,10 @@ class DiskAnnIndex
      * The algorithm always runs on the in-memory disk image (contents
      * are real); @p recorder captures which sectors each hop read so
      * the simulator can charge I/O time later.
+     *
+     * Safe to call concurrently with other search() calls (visited-set
+     * scratch is per-thread), but not with mutations (addDelta,
+     * markDeleted, consolidate, build, load).
      */
     SearchResult search(const float *query,
                         const DiskAnnSearchParams &params,
@@ -127,10 +131,6 @@ class DiskAnnIndex
     std::size_t deltaCount_ = 0;
     std::vector<bool> deleted_;
     std::size_t deletedCount_ = 0;
-
-    /** Visit-stamp scratch to avoid per-search allocation. */
-    mutable std::vector<std::uint32_t> visitStamp_;
-    mutable std::uint32_t visitEpoch_ = 0;
 };
 
 } // namespace ann

@@ -7,6 +7,7 @@
 #include "common/error.hh"
 #include "common/serialize.hh"
 #include "distance/topk.hh"
+#include "index/visit_table.hh"
 
 namespace ann {
 
@@ -14,6 +15,13 @@ namespace {
 
 constexpr const char *kMagic = "HNSW";
 constexpr std::uint32_t kVersion = 3;
+
+/**
+ * Per-thread visited-set scratch; keeps searchLayer() const and safe
+ * to run concurrently from the execution thread pool (the insert()
+ * build path shares it — builds are single-threaded per index).
+ */
+thread_local VisitTable tls_visit;
 
 } // namespace
 
@@ -61,8 +69,6 @@ HnswIndex::build(const MatrixView &data, const HnswBuildParams &params)
     levels_.clear();
     links_.clear();
     links_.reserve(data.rows);
-    visitStamp_.assign(data.rows, 0);
-    visitEpoch_ = 0;
 
     if (useSq_) {
         sq_.train(data);
@@ -96,8 +102,6 @@ HnswIndex::add(const float *vec)
     insert(id, data_.data() + id * dim_, insertRng_);
     deleted_.push_back(false);
     ++rows_;
-    if (visitStamp_.size() < rows_)
-        visitStamp_.resize(rows_, 0);
     return id;
 }
 
@@ -189,13 +193,8 @@ HnswIndex::searchLayer(const float *query, VectorId entry, std::size_t ef,
                        std::vector<VectorId> *visited_out) const
 {
     // Visit stamps: epoch bump makes all nodes unvisited in O(1).
-    if (visitStamp_.size() < links_.size())
-        visitStamp_.resize(links_.size(), 0);
-    ++visitEpoch_;
-    if (visitEpoch_ == 0) {
-        std::fill(visitStamp_.begin(), visitStamp_.end(), 0);
-        visitEpoch_ = 1;
-    }
+    VisitTable &visited = tls_visit;
+    visited.reset(links_.size());
 
     const float entry_dist = nodeDistance(query, entry);
     std::uint64_t dist_evals = 1;
@@ -209,7 +208,7 @@ HnswIndex::searchLayer(const float *query, VectorId entry, std::size_t ef,
     std::priority_queue<Candidate> best;
     frontier.push({entry_dist, entry});
     best.push({entry_dist, entry});
-    visitStamp_[entry] = visitEpoch_;
+    visited.tryVisit(entry);
 
     while (!frontier.empty()) {
         const Candidate current = frontier.top();
@@ -217,9 +216,8 @@ HnswIndex::searchLayer(const float *query, VectorId entry, std::size_t ef,
             break;
         frontier.pop();
         for (VectorId nb : links_[current.id][level]) {
-            if (visitStamp_[nb] == visitEpoch_)
+            if (!visited.tryVisit(nb))
                 continue;
-            visitStamp_[nb] = visitEpoch_;
             const float d = nodeDistance(query, nb);
             ++dist_evals;
             if (visited_out)
@@ -451,8 +449,6 @@ HnswIndex::load(BinaryReader &reader)
         for (auto &level_links : links_[i])
             level_links = reader.readVector<VectorId>();
     }
-    visitStamp_.assign(rows_, 0);
-    visitEpoch_ = 0;
 }
 
 } // namespace ann

@@ -75,6 +75,10 @@ class HnswIndex
      *        vector was touched, in evaluation order — the page-fault
      *        sequence an mmap-backed deployment would take (used by
      *        the Qdrant-like engine's storage mode).
+     *
+     * Safe to call concurrently with other search() calls (visited-set
+     * scratch is per-thread), but not with mutations (add,
+     * markDeleted, build, load).
      */
     SearchResult search(const float *query,
                         const HnswSearchParams &params,
@@ -144,10 +148,6 @@ class HnswIndex
     std::vector<std::uint8_t> levels_;
     /** links_[node][level] = out-neighbour ids. */
     std::vector<std::vector<std::vector<VectorId>>> links_;
-
-    /** Visit-stamp scratch to avoid per-search allocation. */
-    mutable std::vector<std::uint32_t> visitStamp_;
-    mutable std::uint32_t visitEpoch_ = 0;
 };
 
 } // namespace ann

@@ -6,16 +6,29 @@
 
 #include "common/error.hh"
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 #include "distance/distance.hh"
 
 namespace ann {
 
 namespace {
 
+/** Rows per parallel chunk in the medoid argmin scan. */
+constexpr std::size_t kMedoidChunk = 512;
+
+/**
+ * Points whose candidate pools are generated together in one parallel
+ * batch during the insertion passes. Fixed (not derived from the
+ * thread count) so the built graph is identical for any pool size.
+ */
+constexpr std::size_t kInsertBatch = 32;
+
 /** Point closest to the dataset mean. */
 VectorId
 findMedoid(const MatrixView &data)
 {
+    // Mean stays serial: float summation order must not depend on the
+    // thread count.
     std::vector<float> mean(data.dim, 0.0f);
     for (std::size_t r = 0; r < data.rows; ++r) {
         const float *row = data.row(r);
@@ -26,13 +39,35 @@ findMedoid(const MatrixView &data)
     for (float &x : mean)
         x *= inv;
 
+    // Parallel argmin: per-chunk minima land in chunk-indexed slots,
+    // reduced serially in chunk order — same winner as the serial scan
+    // (ties break toward the lowest row id in both).
+    const std::size_t num_chunks =
+        (data.rows + kMedoidChunk - 1) / kMedoidChunk;
+    std::vector<Neighbor> chunk_best(
+        num_chunks, {0, std::numeric_limits<float>::max()});
+    ThreadPool::global().parallelFor(
+        data.rows, kMedoidChunk,
+        [&](std::size_t begin, std::size_t end) {
+            float best = std::numeric_limits<float>::max();
+            VectorId arg = 0;
+            for (std::size_t r = begin; r < end; ++r) {
+                const float d =
+                    l2DistanceSq(mean.data(), data.row(r), data.dim);
+                if (d < best) {
+                    best = d;
+                    arg = static_cast<VectorId>(r);
+                }
+            }
+            chunk_best[begin / kMedoidChunk] = {arg, best};
+        });
+
     float best = std::numeric_limits<float>::max();
     VectorId medoid = 0;
-    for (std::size_t r = 0; r < data.rows; ++r) {
-        const float d = l2DistanceSq(mean.data(), data.row(r), data.dim);
-        if (d < best) {
-            best = d;
-            medoid = static_cast<VectorId>(r);
+    for (const Neighbor &cand : chunk_best) {
+        if (cand.distance < best) {
+            best = cand.distance;
+            medoid = cand.id;
         }
     }
     return medoid;
@@ -167,36 +202,55 @@ buildVamana(const MatrixView &data, const VamanaBuildParams &params)
     for (std::size_t i = n; i > 1; --i)
         std::swap(order[i - 1], order[rng.nextBelow(i)]);
 
+    // Insertion passes run in fixed-size batches: the expensive greedy
+    // searches of one batch execute in parallel against the graph as
+    // it stood at the batch boundary (read-only), then the prune +
+    // back-edge updates apply serially in insertion order. The batch
+    // size — not the thread count — defines the graph, so any pool
+    // size (including 1) builds the same index.
     const float alphas[2] = {1.0f, params.alpha};
+    std::vector<std::vector<Neighbor>> pools(kInsertBatch);
     for (float alpha : alphas) {
-        for (VectorId p : order) {
-            auto visited = vamanaGreedySearch(data, graph, data.row(p),
-                                              params.build_list);
-            // Merge current neighbours into the pruning pool.
-            for (VectorId nb : graph.adjacency[p])
-                visited.push_back(
-                    {nb, l2DistanceSq(data.row(p), data.row(nb),
-                                      data.dim)});
-            graph.adjacency[p] =
-                robustPrune(data, p, std::move(visited), alpha, degree);
+        for (std::size_t base = 0; base < n; base += kInsertBatch) {
+            const std::size_t batch =
+                std::min(kInsertBatch, n - base);
+            ThreadPool::global().parallelFor(
+                batch, 1, [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t b = begin; b < end; ++b)
+                        pools[b] = vamanaGreedySearch(
+                            data, graph, data.row(order[base + b]),
+                            params.build_list);
+                });
 
-            // Back edges, pruning receivers that overflow.
-            for (VectorId nb : graph.adjacency[p]) {
-                auto &nb_adj = graph.adjacency[nb];
-                if (std::find(nb_adj.begin(), nb_adj.end(), p) !=
-                    nb_adj.end())
-                    continue;
-                nb_adj.push_back(p);
-                if (nb_adj.size() > degree) {
-                    std::vector<Neighbor> pool;
-                    pool.reserve(nb_adj.size());
-                    for (VectorId cand : nb_adj)
-                        pool.push_back(
-                            {cand, l2DistanceSq(data.row(nb),
-                                                data.row(cand),
-                                                data.dim)});
-                    nb_adj = robustPrune(data, nb, std::move(pool),
-                                         alpha, degree);
+            for (std::size_t b = 0; b < batch; ++b) {
+                const VectorId p = order[base + b];
+                auto visited = std::move(pools[b]);
+                // Merge current neighbours into the pruning pool.
+                for (VectorId nb : graph.adjacency[p])
+                    visited.push_back(
+                        {nb, l2DistanceSq(data.row(p), data.row(nb),
+                                          data.dim)});
+                graph.adjacency[p] = robustPrune(
+                    data, p, std::move(visited), alpha, degree);
+
+                // Back edges, pruning receivers that overflow.
+                for (VectorId nb : graph.adjacency[p]) {
+                    auto &nb_adj = graph.adjacency[nb];
+                    if (std::find(nb_adj.begin(), nb_adj.end(), p) !=
+                        nb_adj.end())
+                        continue;
+                    nb_adj.push_back(p);
+                    if (nb_adj.size() > degree) {
+                        std::vector<Neighbor> pool;
+                        pool.reserve(nb_adj.size());
+                        for (VectorId cand : nb_adj)
+                            pool.push_back(
+                                {cand, l2DistanceSq(data.row(nb),
+                                                    data.row(cand),
+                                                    data.dim)});
+                        nb_adj = robustPrune(data, nb, std::move(pool),
+                                             alpha, degree);
+                    }
                 }
             }
         }

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Epoch-stamped visited-set scratch shared by the graph indexes.
+ *
+ * A search marks nodes visited by writing the current epoch into a
+ * per-node stamp array; reset() bumps the epoch instead of clearing
+ * the array, so starting a search is O(1) after the first use. The
+ * indexes keep one instance per thread (file-scope `thread_local` in
+ * their .cc files) rather than a `mutable` member, which makes the
+ * const search paths safe to call concurrently from the execution
+ * thread pool.
+ */
+
+#ifndef ANN_INDEX_VISIT_TABLE_HH
+#define ANN_INDEX_VISIT_TABLE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ann {
+
+/** Reusable visited-set with O(1) reset via epoch stamping. */
+class VisitTable
+{
+  public:
+    /**
+     * Start a fresh visited-set over @p n nodes. Grows but never
+     * shrinks the stamp array, so growing indexes (HNSW inserts) pay
+     * amortized O(1) and a thread-local instance can serve indexes of
+     * different sizes.
+     */
+    void
+    reset(std::size_t n)
+    {
+        if (stamp_.size() < n)
+            stamp_.resize(n, 0); // zero stamps read as unvisited
+        ++epoch_;
+        if (epoch_ == 0) { // wrapped: stale stamps would alias
+            std::fill(stamp_.begin(), stamp_.end(), 0);
+            epoch_ = 1;
+        }
+    }
+
+    /** Mark @p id visited; @return true when it was not yet visited. */
+    bool
+    tryVisit(VectorId id)
+    {
+        if (stamp_[id] == epoch_)
+            return false;
+        stamp_[id] = epoch_;
+        return true;
+    }
+
+    bool
+    visited(VectorId id) const
+    {
+        return stamp_[id] == epoch_;
+    }
+
+  private:
+    std::vector<std::uint32_t> stamp_;
+    std::uint32_t epoch_ = 0;
+};
+
+} // namespace ann
+
+#endif // ANN_INDEX_VISIT_TABLE_HH

@@ -6,6 +6,7 @@
 #include "cluster/kmeans.hh"
 #include "common/error.hh"
 #include "common/serialize.hh"
+#include "common/thread_pool.hh"
 #include "distance/distance.hh"
 
 namespace ann {
@@ -72,8 +73,13 @@ ProductQuantizer::encodeAll(const MatrixView &data) const
 {
     ANN_CHECK(data.dim == dim_, "dimension mismatch in encodeAll");
     std::vector<std::uint8_t> codes(data.rows * codeSize());
-    for (std::size_t r = 0; r < data.rows; ++r)
-        encode(data.row(r), codes.data() + r * codeSize());
+    // Rows are independent and each writes only its own code slot, so
+    // the parallel loop is bit-identical to the serial one.
+    ThreadPool::global().parallelFor(
+        data.rows, 256, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t r = begin; r < end; ++r)
+                encode(data.row(r), codes.data() + r * codeSize());
+        });
     return codes;
 }
 
@@ -109,11 +115,7 @@ ProductQuantizer::adcDistance(const AdcTable &table,
 {
     ANN_ASSERT(table.m == m_ && table.ksub == ksub_,
                "adc table shape mismatch");
-    const float *entries = table.entries.data();
-    float acc = 0.0f;
-    for (std::size_t sub = 0; sub < m_; ++sub)
-        acc += entries[sub * ksub_ + codes[sub]];
-    return acc;
+    return pqAdcDistance(table.entries.data(), m_, ksub_, codes);
 }
 
 float

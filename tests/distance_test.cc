@@ -175,6 +175,46 @@ TEST(TopKTest, MatchesFullSortProperty)
     }
 }
 
+TEST(TopKTest, TiesBreakByIdRegardlessOfInsertionOrder)
+{
+    // Five vectors at the same distance competing for three slots:
+    // the held set must be the three smallest ids no matter which
+    // order they arrive in, or search results would depend on
+    // traversal order (and parallel execution would diverge).
+    const std::vector<VectorId> orders[] = {
+        {0, 1, 2, 3, 4}, {4, 3, 2, 1, 0}, {2, 4, 0, 3, 1},
+    };
+    for (const auto &order : orders) {
+        TopK top(3);
+        for (VectorId id : order)
+            top.push(id, 1.0f);
+        const auto result = top.take();
+        ASSERT_EQ(result.size(), 3u);
+        EXPECT_EQ(result[0].id, 0u);
+        EXPECT_EQ(result[1].id, 1u);
+        EXPECT_EQ(result[2].id, 2u);
+    }
+}
+
+TEST(TopKTest, TieOnWorstReplacesLargerIdOnly)
+{
+    TopK top(2);
+    top.push(5, 1.0f);
+    top.push(9, 2.0f);
+    top.push(7, 2.0f); // ties the worst, smaller id -> replaces 9
+    auto result = top.take();
+    ASSERT_EQ(result.size(), 2u);
+    EXPECT_EQ(result[1].id, 7u);
+
+    TopK top2(2);
+    top2.push(5, 1.0f);
+    top2.push(7, 2.0f);
+    top2.push(9, 2.0f); // ties the worst, larger id -> rejected
+    result = top2.take();
+    ASSERT_EQ(result.size(), 2u);
+    EXPECT_EQ(result[1].id, 7u);
+}
+
 TEST(BruteForceTest, FindsExactNeighbor)
 {
     // 4 points on a line; query nearest to point 2.
@@ -203,6 +243,62 @@ TEST(RecallTest, OnlyFirstKOfTruthCounts)
     // id 5 is in the truth list but outside the top-2 cutoff.
     EXPECT_DOUBLE_EQ(recallAtK(truth, std::vector<VectorId>{5, 1}, 2),
                      0.5);
+}
+
+TEST(RecallTest, ClampsToShortGroundTruth)
+{
+    // Ground truth shorter than k: recall is measured at the available
+    // depth instead of aborting the run.
+    std::vector<VectorId> truth{1, 2, 3};
+    EXPECT_DOUBLE_EQ(recallAtK(truth, std::vector<VectorId>{1, 2, 9}, 5),
+                     2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(recallAtK(truth, std::vector<VectorId>{1, 2, 3}, 8),
+                     1.0);
+}
+
+TEST(SimdTest, DispatchedKernelsMatchScalarReference)
+{
+    Rng rng(99);
+    for (const std::size_t dim : {1u, 7u, 8u, 16u, 33u, 128u, 100u}) {
+        std::vector<float> a(dim), b(dim);
+        for (std::size_t i = 0; i < dim; ++i) {
+            a[i] = rng.nextFloat(-2.0f, 2.0f);
+            b[i] = rng.nextFloat(-2.0f, 2.0f);
+        }
+        const float tol = 1e-4f * static_cast<float>(dim);
+        EXPECT_NEAR(l2DistanceSq(a.data(), b.data(), dim),
+                    l2DistanceSqScalar(a.data(), b.data(), dim), tol)
+            << "dim " << dim;
+        EXPECT_NEAR(dotProduct(a.data(), b.data(), dim),
+                    dotProductScalar(a.data(), b.data(), dim), tol)
+            << "dim " << dim;
+    }
+}
+
+TEST(SimdTest, AdcScanMatchesScalarReference)
+{
+    Rng rng(123);
+    for (const std::size_t m : {1u, 4u, 8u, 16u, 23u, 64u}) {
+        const std::size_t ksub = 256;
+        std::vector<float> table(m * ksub);
+        for (auto &x : table)
+            x = rng.nextFloat(0.0f, 4.0f);
+        std::vector<std::uint8_t> codes(m);
+        for (auto &c : codes)
+            c = static_cast<std::uint8_t>(rng.nextBelow(ksub));
+        EXPECT_NEAR(pqAdcDistance(table.data(), m, ksub, codes.data()),
+                    pqAdcDistanceScalar(table.data(), m, ksub,
+                                        codes.data()),
+                    1e-4f * static_cast<float>(m))
+            << "m " << m;
+    }
+}
+
+TEST(SimdTest, LevelNameIsStable)
+{
+    const SimdLevel level = activeSimdLevel();
+    EXPECT_STREQ(simdLevelName(level),
+                 level == SimdLevel::Avx2 ? "avx2" : "scalar");
 }
 
 TEST(RecallTest, MeanOverBatch)

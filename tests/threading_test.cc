@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Tests for the execution thread pool and for the determinism
+ * contract of parallel real-query execution: the same workload must
+ * produce bit-identical results and traces at any thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "core/bench_runner.hh"
+#include "engine/milvus_like.hh"
+#include "engine/qdrant_like.hh"
+#include "workload/generator.hh"
+
+namespace ann {
+namespace {
+
+// ---------------------------------------------------------------- pool
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    const std::size_t n = 10'000;
+    std::vector<int> hits(n, 0);
+    std::atomic<std::size_t> total{0};
+    pool.parallelFor(n, 7, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+            ++hits[i]; // per-index slot: no race by construction
+        total.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(total.load(), n);
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ZeroTasksNeverInvokesBody)
+{
+    ThreadPool pool(4);
+    bool called = false;
+    pool.parallelFor(0, 16, [&](std::size_t, std::size_t) {
+        called = true;
+    });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ManyMoreTasksThanWorkers)
+{
+    ThreadPool pool(2);
+    const std::size_t n = 50'000;
+    std::atomic<std::uint64_t> sum{0};
+    pool.parallelFor(n, 3, [&](std::size_t begin, std::size_t end) {
+        std::uint64_t local = 0;
+        for (std::size_t i = begin; i < end; ++i)
+            local += i;
+        sum.fetch_add(local, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), static_cast<std::uint64_t>(n) * (n - 1) / 2);
+}
+
+TEST(ThreadPoolTest, PropagatesFirstExceptionAndSurvives)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(1000, 10,
+                         [&](std::size_t begin, std::size_t) {
+                             if (begin >= 500)
+                                 throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+
+    // The pool must stay usable after a failed loop.
+    std::atomic<std::size_t> count{0};
+    pool.parallelFor(100, 10, [&](std::size_t begin, std::size_t end) {
+        count.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 100u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline)
+{
+    ThreadPool pool(4);
+    std::atomic<std::size_t> inner_total{0};
+    pool.parallelFor(8, 1, [&](std::size_t, std::size_t) {
+        // Nested loops run inline on the claiming thread instead of
+        // re-entering the pool (which would deadlock a worker).
+        pool.parallelFor(10, 2,
+                         [&](std::size_t begin, std::size_t end) {
+                             inner_total.fetch_add(
+                                 end - begin,
+                                 std::memory_order_relaxed);
+                         });
+    });
+    EXPECT_EQ(inner_total.load(), 80u);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.size(), 1u);
+    std::size_t covered = 0;
+    pool.parallelFor(100, 9, [&](std::size_t begin, std::size_t end) {
+        covered += end - begin;
+    });
+    EXPECT_EQ(covered, 100u);
+}
+
+// ---------------------------------------------- execution determinism
+
+using Output = engine::VectorDbEngine::SearchOutput;
+
+/** Bitwise equality of two per-query outputs. */
+void
+expectSameOutputs(const std::vector<Output> &a,
+                  const std::vector<Output> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t q = 0; q < a.size(); ++q) {
+        ASSERT_EQ(a[q].results.size(), b[q].results.size())
+            << "query " << q;
+        for (std::size_t i = 0; i < a[q].results.size(); ++i) {
+            EXPECT_EQ(a[q].results[i].id, b[q].results[i].id)
+                << "query " << q << " rank " << i;
+            EXPECT_EQ(a[q].results[i].distance,
+                      b[q].results[i].distance)
+                << "query " << q << " rank " << i;
+        }
+        EXPECT_TRUE(a[q].trace == b[q].trace) << "query " << q;
+    }
+}
+
+class ParallelExecFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        ::setenv("ANN_CACHE_DIR", "./threading_test_cache", 1);
+        std::filesystem::create_directories("./threading_test_cache");
+        workload::GeneratorSpec spec;
+        spec.name = "threading-test";
+        spec.rows = 2000;
+        spec.dim = 16;
+        spec.num_queries = 40;
+        spec.clusters = 10;
+        spec.gt_k = 10;
+        spec.seed = 7;
+        data_ = new workload::Dataset(generateDataset(spec));
+        diskann_ = new engine::MilvusLikeEngine(
+            engine::MilvusIndexKind::DiskAnn);
+        diskann_->prepare(*data_, "./threading_test_cache");
+        hnsw_ = new engine::QdrantLikeEngine();
+        hnsw_->prepare(*data_, "./threading_test_cache");
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete hnsw_;
+        delete diskann_;
+        delete data_;
+        hnsw_ = nullptr;
+        diskann_ = nullptr;
+        data_ = nullptr;
+        std::filesystem::remove_all("./threading_test_cache");
+        ::unsetenv("ANN_CACHE_DIR");
+    }
+
+    static workload::Dataset *data_;
+    static engine::MilvusLikeEngine *diskann_;
+    static engine::QdrantLikeEngine *hnsw_;
+};
+
+workload::Dataset *ParallelExecFixture::data_ = nullptr;
+engine::MilvusLikeEngine *ParallelExecFixture::diskann_ = nullptr;
+engine::QdrantLikeEngine *ParallelExecFixture::hnsw_ = nullptr;
+
+TEST_F(ParallelExecFixture, DiskAnnParallelMatchesSerial)
+{
+    engine::SearchSettings settings;
+    const auto serial = core::runAllQueries(*diskann_, *data_, settings,
+                                            data_->num_queries, 1);
+    const auto parallel = core::runAllQueries(
+        *diskann_, *data_, settings, data_->num_queries, 4);
+    expectSameOutputs(serial, parallel);
+}
+
+TEST_F(ParallelExecFixture, HnswParallelMatchesSerial)
+{
+    engine::SearchSettings settings;
+    const auto serial = core::runAllQueries(*hnsw_, *data_, settings,
+                                            data_->num_queries, 1);
+    const auto parallel = core::runAllQueries(*hnsw_, *data_, settings,
+                                              data_->num_queries, 4);
+    expectSameOutputs(serial, parallel);
+}
+
+TEST_F(ParallelExecFixture, WorkloadTracesIdenticalAcrossThreadCounts)
+{
+    engine::SearchSettings settings;
+    core::ExecOptions serial_exec;
+    serial_exec.threads = 1;
+    core::ExecOptions parallel_exec;
+    parallel_exec.threads = 4;
+
+    const auto serial = core::buildWorkloadTraces(*diskann_, *data_,
+                                                  settings, serial_exec);
+    const auto parallel = core::buildWorkloadTraces(
+        *diskann_, *data_, settings, parallel_exec);
+
+    EXPECT_EQ(serial.recall, parallel.recall);
+    EXPECT_EQ(serial.mib_per_query, parallel.mib_per_query);
+    ASSERT_EQ(serial.traces.size(), parallel.traces.size());
+    for (std::size_t q = 0; q < serial.traces.size(); ++q)
+        EXPECT_TRUE(serial.traces[q] == parallel.traces[q])
+            << "query " << q;
+}
+
+TEST_F(ParallelExecFixture, VerifyModePassesOnDeterministicEngine)
+{
+    engine::SearchSettings settings;
+    core::ExecOptions exec;
+    exec.threads = 4;
+    exec.verify = true;
+    EXPECT_NO_THROW(
+        core::buildWorkloadTraces(*hnsw_, *data_, settings, exec));
+}
+
+} // namespace
+} // namespace ann

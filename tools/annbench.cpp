@@ -56,6 +56,14 @@ printUsage()
         "openai-5m\n"
         "  --threads LIST      comma-separated client counts "
         "(default 1,16,256)\n"
+        "  --exec-threads N    worker threads for real query "
+        "execution\n"
+        "                      (default: hardware concurrency; 1 = "
+        "serial)\n"
+        "  --verify-exec       cross-check parallel execution "
+        "against a\n"
+        "                      serial run (bit-identical results + "
+        "traces)\n"
         "  --k N               neighbours per query (default 10)\n"
         "  --nprobe N          IVF probes (default: tuned)\n"
         "  --ef-search N       HNSW candidate list (default: tuned)\n"
@@ -73,10 +81,10 @@ int
 main(int argc, char **argv)
 {
     using namespace ann;
-    ArgParser args({"setup", "dataset", "threads", "k", "nprobe",
-                    "ef-search", "search-list", "beam-width",
+    ArgParser args({"setup", "dataset", "threads", "exec-threads", "k",
+                    "nprobe", "ef-search", "search-list", "beam-width",
                     "duration-ms", "trace"},
-                   {"help"});
+                   {"help", "verify-exec"});
     try {
         args.parse(argc, argv);
     } catch (const FatalError &e) {
@@ -122,6 +130,11 @@ main(int argc, char **argv)
         static_cast<SimTime>(args.getInt("duration-ms", 2000)) *
         1'000'000ULL;
     core::BenchRunner runner(config);
+    if (args.has("exec-threads"))
+        runner.execOptions().threads =
+            static_cast<std::size_t>(args.getInt("exec-threads", 0));
+    if (args.flag("verify-exec"))
+        runner.execOptions().verify = true;
 
     TextTable table(setup + " on " + dataset_name);
     table.setHeader({"threads", "QPS", "mean (us)", "P99 (us)",

@@ -41,4 +41,17 @@ workloadScale()
     return scale > 0 ? scale : 1;
 }
 
+std::string
+ioBackendName()
+{
+    return envString("ANN_IO_BACKEND", "memory");
+}
+
+std::int64_t
+ioQueueDepth()
+{
+    const std::int64_t depth = envInt("ANN_IO_QUEUE_DEPTH", 32);
+    return depth > 0 ? depth : 1;
+}
+
 } // namespace ann

@@ -31,6 +31,19 @@ std::string cacheDir();
  */
 std::int64_t workloadScale();
 
+/**
+ * Real-I/O backend serving index node files ($ANN_IO_BACKEND:
+ * "memory" | "file" | "uring", default "memory").
+ */
+std::string ioBackendName();
+
+/**
+ * Submission window of the real-I/O backends ($ANN_IO_QUEUE_DEPTH,
+ * default 32, floor 1): SQEs in flight per io_uring batch, or the
+ * pread overlap width of the file backend.
+ */
+std::int64_t ioQueueDepth();
+
 } // namespace ann
 
 #endif // ANN_COMMON_ENV_HH

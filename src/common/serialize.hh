@@ -53,6 +53,17 @@ class BinaryWriter
             writeBytes(values.data(), values.size() * sizeof(T));
     }
 
+    /**
+     * Append @p size raw bytes (no length prefix). Lets callers
+     * stream large payloads chunk-wise — e.g. spilling a node file —
+     * instead of materializing one vector for writeVector().
+     */
+    void
+    writeRaw(const void *data, std::size_t size)
+    {
+        writeBytes(data, size);
+    }
+
     /** Flush and close; throws on I/O failure. */
     void close();
 
@@ -100,6 +111,16 @@ class BinaryReader
         if (count > 0)
             readBytes(values.data(), count * sizeof(T));
         return values;
+    }
+
+    /**
+     * Read exactly @p size raw bytes (counterpart of writeRaw);
+     * throws on short reads.
+     */
+    void
+    readRaw(void *data, std::size_t size)
+    {
+        readBytes(data, size);
     }
 
   private:

@@ -9,8 +9,14 @@ namespace ann {
 
 namespace {
 
-/** True on threads owned by any pool; makes nested loops run inline. */
-thread_local bool tls_inside_pool = false;
+/**
+ * Pool whose job this thread is currently running; a nested
+ * parallelFor on the *same* pool runs inline (fanning out would
+ * deadlock a worker on its own pool), while a different pool — e.g.
+ * the file I/O backend's overlap pool called from an execution
+ * worker — still gets real parallelism.
+ */
+thread_local const ThreadPool *tls_pool = nullptr;
 
 } // namespace
 
@@ -56,14 +62,14 @@ ThreadPool::runChunks(Job &job, std::unique_lock<std::mutex> &lock)
         // The submitting caller also runs chunks; flag it so a nested
         // parallelFor in the body runs inline instead of waiting on
         // the very job this chunk belongs to.
-        const bool was_inside = tls_inside_pool;
-        tls_inside_pool = true;
+        const ThreadPool *was_inside = tls_pool;
+        tls_pool = this;
         try {
             (*job.body)(begin, end);
         } catch (...) {
             error = std::current_exception();
         }
-        tls_inside_pool = was_inside;
+        tls_pool = was_inside;
         lock.lock();
         if (error && !job.error) {
             job.error = error;
@@ -85,7 +91,7 @@ ThreadPool::runChunks(Job &job, std::unique_lock<std::mutex> &lock)
 void
 ThreadPool::workerLoop()
 {
-    tls_inside_pool = true;
+    tls_pool = this;
     std::unique_lock<std::mutex> lock(mutex_);
     std::uint64_t seen = 0;
     for (;;) {
@@ -110,10 +116,10 @@ ThreadPool::parallelFor(std::size_t n, std::size_t chunk,
     chunk = std::max<std::size_t>(1, chunk);
 
     // Inline paths: single-threaded pool, loop smaller than one
-    // chunk, or a nested call from a pool worker. Running inline
-    // keeps exception propagation trivial and avoids deadlocking a
-    // worker on its own pool.
-    if (threads_ == 1 || n <= chunk || tls_inside_pool) {
+    // chunk, or a nested call from one of this pool's own workers.
+    // Running inline keeps exception propagation trivial and avoids
+    // deadlocking a worker on its own pool.
+    if (threads_ == 1 || n <= chunk || tls_pool == this) {
         for (std::size_t begin = 0; begin < n; begin += chunk)
             body(begin, std::min(n, begin + chunk));
         return;

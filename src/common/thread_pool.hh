@@ -13,9 +13,12 @@
  * order afterwards. The first exception thrown by any chunk is
  * captured and rethrown on the calling thread once the loop joins.
  *
- * parallelFor() issued from inside a pool worker runs inline on that
- * worker (no nested fan-out), so library code can parallelize without
- * knowing whether its caller already did.
+ * parallelFor() issued from inside a worker of the *same* pool runs
+ * inline on that worker (no nested fan-out), so library code can
+ * parallelize without knowing whether its caller already did. A call
+ * targeting a *different* pool fans out normally — that is how the
+ * file I/O backend overlaps blocking preads from inside an execution
+ * worker.
  */
 
 #ifndef ANN_COMMON_THREAD_POOL_HH

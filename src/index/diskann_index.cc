@@ -20,6 +20,16 @@ namespace {
  */
 thread_local VisitTable tls_visit;
 
+/**
+ * Per-thread beam fetch buffer (4 KiB-aligned for O_DIRECT); reused
+ * across hops and searches so the file/uring path allocates nothing
+ * steady-state.
+ */
+thread_local storage::AlignedBuffer tls_fetch;
+
+/** Sectors per chunk when streaming the image to/from archives. */
+constexpr std::size_t kStreamSectors = 1024;
+
 constexpr const char *kMagic = "DANN";
 constexpr std::uint32_t kVersion = 3;
 
@@ -88,7 +98,7 @@ DiskAnnIndex::build(const MatrixView &data,
         sectorsPerNode_ = (nodeBytes_ + kSectorBytes - 1) / kSectorBytes;
     }
 
-    diskImage_.assign(numSectors() * kSectorBytes, 0);
+    std::vector<std::uint8_t> image(numSectors() * kSectorBytes, 0);
 
     DiskHeader header{};
     std::memcpy(header.magic, "DISKANN1", 8);
@@ -99,11 +109,13 @@ DiskAnnIndex::build(const MatrixView &data,
     header.nodes_per_sector = nodesPerSector_;
     header.sectors_per_node = sectorsPerNode_;
     header.medoid = medoid_;
-    std::memcpy(diskImage_.data(), &header, sizeof(header));
+    std::memcpy(image.data(), &header, sizeof(header));
 
     for (std::size_t v = 0; v < rows_; ++v) {
-        std::uint8_t *record = const_cast<std::uint8_t *>(
-            nodeRecord(static_cast<VectorId>(v)));
+        const auto node = static_cast<VectorId>(v);
+        std::uint8_t *record = image.data() +
+                               sectorOfNode(node) * kSectorBytes +
+                               recordOffsetInSector(node);
         std::memcpy(record, data.row(v), dim_ * sizeof(float));
         const auto &adj = graph.adjacency[v];
         const auto degree = static_cast<std::uint32_t>(adj.size());
@@ -112,6 +124,56 @@ DiskAnnIndex::build(const MatrixView &data,
         std::memcpy(record + dim_ * sizeof(float) + sizeof(degree),
                     adj.data(), adj.size() * sizeof(std::uint32_t));
     }
+    adoptImage(std::move(image));
+}
+
+storage::IoOptions
+DiskAnnIndex::effectiveIoOptions() const
+{
+    return ioPinned_ ? ioOptions_ : storage::defaultIoOptions();
+}
+
+void
+DiskAnnIndex::adoptImage(std::vector<std::uint8_t> image)
+{
+    const storage::IoOptions options = effectiveIoOptions();
+    if (options.kind == storage::IoBackendKind::Memory) {
+        io_ = storage::makeMemoryBackend(std::move(image));
+        return;
+    }
+    auto sink = storage::makeIoSink(options, image.size());
+    sink->append(image.data(), image.size());
+    io_ = sink->finish();
+}
+
+void
+DiskAnnIndex::setIoMode(const storage::IoOptions &options)
+{
+    ioOptions_ = options;
+    ioPinned_ = true;
+    if (!io_)
+        return; // applies at the next build()/load()
+
+    // Migrate the node file: stream it from the current backend into
+    // a sink opened under the new options.
+    const std::uint64_t size = io_->sizeBytes();
+    auto sink = storage::makeIoSink(options, size);
+    if (const std::uint8_t *image = io_->data()) {
+        sink->append(image, static_cast<std::size_t>(size));
+    } else {
+        storage::AlignedBuffer chunk;
+        std::uint8_t *buf =
+            chunk.ensure(kStreamSectors * kSectorBytes);
+        const std::uint64_t sectors = size / kSectorBytes;
+        for (std::uint64_t s = 0; s < sectors; s += kStreamSectors) {
+            const auto count = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(kStreamSectors, sectors - s));
+            const storage::IoRequest req{s, count, buf};
+            io_->readBatch(&req, 1);
+            sink->append(buf, count * kSectorBytes);
+        }
+    }
+    io_ = sink->finish();
 }
 
 VectorId
@@ -147,16 +209,17 @@ DiskAnnIndex::consolidate(std::vector<VectorId> *old_to_new)
 {
     ANN_CHECK(rows_ > 0, "consolidate() requires a built index");
 
-    // Gather survivors: base vectors come back off the disk image.
+    // Gather survivors: base vectors come back off the node file.
     std::vector<float> merged;
     merged.reserve((totalSize() - deletedCount_) * dim_);
     std::vector<VectorId> remap(totalSize(), kInvalidVector);
+    storage::AlignedBuffer scratch;
     VectorId next = 0;
     for (std::size_t v = 0; v < rows_; ++v) {
         if (deleted_[v])
             continue;
         const auto *vec = reinterpret_cast<const float *>(
-            nodeRecord(static_cast<VectorId>(v)));
+            fetchRecord(static_cast<VectorId>(v), scratch));
         merged.insert(merged.end(), vec, vec + dim_);
         remap[v] = next++;
     }
@@ -204,14 +267,28 @@ DiskAnnIndex::memoryBytes() const
                sizeof(float);
 }
 
-const std::uint8_t *
-DiskAnnIndex::nodeRecord(VectorId node) const
+std::size_t
+DiskAnnIndex::recordOffsetInSector(VectorId node) const
 {
-    const std::uint64_t sector = sectorOfNode(node);
-    std::size_t offset_in_sector = 0;
     if (nodesPerSector_ > 0)
-        offset_in_sector = (node % nodesPerSector_) * nodeBytes_;
-    return diskImage_.data() + sector * kSectorBytes + offset_in_sector;
+        return (node % nodesPerSector_) * nodeBytes_;
+    return 0;
+}
+
+const std::uint8_t *
+DiskAnnIndex::fetchRecord(VectorId node,
+                          storage::AlignedBuffer &scratch) const
+{
+    ANN_ASSERT(io_ != nullptr, "node file not attached");
+    if (const std::uint8_t *image = io_->data())
+        return image + sectorOfNode(node) * kSectorBytes +
+               recordOffsetInSector(node);
+    std::uint8_t *buf = scratch.ensure(sectorsPerNode_ * kSectorBytes);
+    const storage::IoRequest req{
+        sectorOfNode(node), static_cast<std::uint32_t>(sectorsPerNode_),
+        buf};
+    io_->readBatch(&req, 1);
+    return buf + recordOffsetInSector(node);
 }
 
 SearchResult
@@ -243,6 +320,13 @@ DiskAnnIndex::search(const float *query, const DiskAnnSearchParams &params,
     TopK reranked(params.k);
     std::vector<VectorId> beam;
     std::vector<std::uint64_t> sectors;
+    std::vector<storage::IoRun> runs;
+    std::vector<storage::IoRequest> requests;
+
+    // Zero-copy image when memory-resident; otherwise each hop
+    // fetches its beam through the backend.
+    const std::uint8_t *image = io_->data();
+    const std::uint8_t *fetched = nullptr;
 
     for (;;) {
         // Gather up to beam_width closest unexpanded candidates.
@@ -259,8 +343,9 @@ DiskAnnIndex::search(const float *query, const DiskAnnSearchParams &params,
             break;
         local_ops.hops += 1;
 
-        // One parallel batch of sector reads for the whole beam.
-        if (recorder) {
+        // The whole beam becomes one batch of coalesced sector runs —
+        // the shape recorded for the simulator AND issued for real.
+        if (recorder || !image) {
             sectors.clear();
             for (VectorId node : beam) {
                 const std::uint64_t first = sectorOfNode(node);
@@ -270,24 +355,52 @@ DiskAnnIndex::search(const float *query, const DiskAnnSearchParams &params,
             std::sort(sectors.begin(), sectors.end());
             sectors.erase(std::unique(sectors.begin(), sectors.end()),
                           sectors.end());
+            runs = storage::coalesceSectors(sectors);
+        }
+        if (recorder) {
             std::vector<SectorRead> reads;
-            for (std::size_t i = 0; i < sectors.size();) {
-                std::size_t j = i + 1;
-                while (j < sectors.size() &&
-                       sectors[j] == sectors[j - 1] + 1)
-                    ++j;
-                reads.push_back({sectors[i],
-                                 static_cast<std::uint32_t>(j - i)});
-                i = j;
-            }
+            reads.reserve(runs.size());
+            for (const storage::IoRun &run : runs)
+                reads.push_back({run.sector, run.count});
             recorder->cpu() += local_ops;
             local_ops = OpCounts{};
             recorder->issueReads(std::move(reads));
         }
+        if (!image) {
+            // One batched async submission for the whole beam.
+            std::uint8_t *buf =
+                tls_fetch.ensure(sectors.size() * kSectorBytes);
+            requests.clear();
+            std::size_t offset = 0;
+            for (const storage::IoRun &run : runs) {
+                requests.push_back({run.sector, run.count,
+                                    buf + offset});
+                offset += run.count * kSectorBytes;
+            }
+            io_->readBatch(requests.data(), requests.size());
+            fetched = buf;
+        }
+
+        // A beam node's record: directly in the image, or at its
+        // sector's slot in the fetch buffer (sectors are laid out in
+        // sorted order there).
+        const auto record_of =
+            [&](VectorId node) -> const std::uint8_t * {
+            if (image)
+                return image + sectorOfNode(node) * kSectorBytes +
+                       recordOffsetInSector(node);
+            const auto it =
+                std::lower_bound(sectors.begin(), sectors.end(),
+                                 sectorOfNode(node));
+            return fetched +
+                   static_cast<std::size_t>(it - sectors.begin()) *
+                       kSectorBytes +
+                   recordOffsetInSector(node);
+        };
 
         // Consume the read node records.
         for (VectorId node : beam) {
-            const std::uint8_t *record = nodeRecord(node);
+            const std::uint8_t *record = record_of(node);
             const float *vec = reinterpret_cast<const float *>(record);
             if (!deleted_[node])
                 reranked.push(node, l2DistanceSq(query, vec, dim_));
@@ -362,7 +475,27 @@ DiskAnnIndex::save(BinaryWriter &writer) const
     }
     pq_.save(writer);
     writer.writeVector(pqCodes_);
-    writer.writeVector(diskImage_);
+    // Node file, in writeVector() layout (u64 byte count + raw bytes)
+    // so version-3 archives stay interchangeable, but streamed
+    // chunk-wise: non-memory backends never materialize the image.
+    const std::uint64_t image_bytes = io_ ? io_->sizeBytes() : 0;
+    writer.writePod<std::uint64_t>(image_bytes);
+    if (image_bytes == 0)
+        return;
+    if (const std::uint8_t *image = io_->data()) {
+        writer.writeRaw(image, static_cast<std::size_t>(image_bytes));
+        return;
+    }
+    storage::AlignedBuffer chunk;
+    std::uint8_t *buf = chunk.ensure(kStreamSectors * kSectorBytes);
+    const std::uint64_t sectors = image_bytes / kSectorBytes;
+    for (std::uint64_t s = 0; s < sectors; s += kStreamSectors) {
+        const auto count = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(kStreamSectors, sectors - s));
+        const storage::IoRequest req{s, count, buf};
+        io_->readBatch(&req, 1);
+        writer.writeRaw(buf, count * kSectorBytes);
+    }
 }
 
 void
@@ -399,9 +532,22 @@ DiskAnnIndex::load(BinaryReader &reader)
     }
     pq_.load(reader);
     pqCodes_ = reader.readVector<std::uint8_t>();
-    diskImage_ = reader.readVector<std::uint8_t>();
-    ANN_CHECK(diskImage_.size() == numSectors() * kSectorBytes,
+    // Stream the node file straight into the configured backend
+    // instead of materializing it (readVector layout, see save()).
+    const auto image_bytes = reader.readPod<std::uint64_t>();
+    ANN_CHECK(image_bytes == numSectors() * kSectorBytes,
               "corrupt diskann archive");
+    auto sink = storage::makeIoSink(effectiveIoOptions(), image_bytes);
+    std::vector<std::uint8_t> chunk(kStreamSectors * kSectorBytes);
+    std::uint64_t remaining = image_bytes;
+    while (remaining > 0) {
+        const auto step = static_cast<std::size_t>(
+            std::min<std::uint64_t>(chunk.size(), remaining));
+        reader.readRaw(chunk.data(), step);
+        sink->append(chunk.data(), step);
+        remaining -= step;
+    }
+    io_ = sink->finish();
 }
 
 } // namespace ann

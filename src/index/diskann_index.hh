@@ -22,20 +22,22 @@
 #define ANN_INDEX_DISKANN_INDEX_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/types.hh"
 #include "index/params.hh"
 #include "index/search_trace.hh"
 #include "quant/product_quantizer.hh"
+#include "storage/io_backend.hh"
 
 namespace ann {
 
 class BinaryReader;
 class BinaryWriter;
 
-/** Sector size of the simulated disk layout (matches NVMe LBA+fs). */
-inline constexpr std::size_t kSectorBytes = 4096;
+/** Sector size of the disk layout (matches NVMe LBA+fs). */
+inline constexpr std::size_t kSectorBytes = storage::kIoSectorBytes;
 
 /** Storage-based graph index with PQ-guided beam search. */
 class DiskAnnIndex
@@ -90,18 +92,37 @@ class DiskAnnIndex
     /** In-memory footprint: PQ codes + codebooks. */
     std::size_t memoryBytes() const;
     /** On-disk footprint: the full sector file. */
-    std::size_t diskBytes() const { return diskImage_.size(); }
+    std::size_t diskBytes() const
+    {
+        return io_ ? static_cast<std::size_t>(io_->sizeBytes()) : 0;
+    }
+
+    /**
+     * Re-home the node file onto a different I/O backend: the image
+     * bytes are preserved, so search results stay bit-identical
+     * across backends. Also pins the choice for future build()/load()
+     * calls on this index (otherwise both follow
+     * storage::defaultIoOptions()). Not safe concurrently with
+     * search().
+     */
+    void setIoMode(const storage::IoOptions &options);
+
+    /** Backend serving the node file (null before build/load). */
+    const storage::IoBackend *ioBackend() const { return io_.get(); }
 
     /**
      * Beam search.
      *
-     * The algorithm always runs on the in-memory disk image (contents
-     * are real); @p recorder captures which sectors each hop read so
-     * the simulator can charge I/O time later.
+     * The algorithm runs on the real node file: served zero-copy from
+     * the memory backend, or fetched per hop as ONE batched async
+     * submission of the whole beam on the file/uring backends.
+     * @p recorder captures which sectors each hop read so the
+     * simulator can charge I/O time later; real and simulated request
+     * streams share the same coalesced run shapes.
      *
      * Safe to call concurrently with other search() calls (visited-set
-     * scratch is per-thread), but not with mutations (addDelta,
-     * markDeleted, consolidate, build, load).
+     * and fetch scratch are per-thread), but not with mutations
+     * (addDelta, markDeleted, consolidate, build, load, setIoMode).
      */
     SearchResult search(const float *query,
                         const DiskAnnSearchParams &params,
@@ -111,7 +132,17 @@ class DiskAnnIndex
     void load(BinaryReader &reader);
 
   private:
-    const std::uint8_t *nodeRecord(VectorId node) const;
+    storage::IoOptions effectiveIoOptions() const;
+    /** Hand a fully built image to the configured backend. */
+    void adoptImage(std::vector<std::uint8_t> image);
+    /** Byte offset of @p node 's record inside its first sector. */
+    std::size_t recordOffsetInSector(VectorId node) const;
+    /**
+     * Read one node record (zero-copy when memory-resident, else one
+     * sector read into @p scratch).
+     */
+    const std::uint8_t *fetchRecord(VectorId node,
+                                    storage::AlignedBuffer &scratch) const;
 
     std::size_t rows_ = 0;
     std::size_t dim_ = 0;
@@ -123,7 +154,11 @@ class DiskAnnIndex
 
     ProductQuantizer pq_;
     std::vector<std::uint8_t> pqCodes_;
-    std::vector<std::uint8_t> diskImage_;
+    /** Serves the node file (memory image or spilled file). */
+    std::unique_ptr<storage::IoBackend> io_;
+    storage::IoOptions ioOptions_{};
+    /** setIoMode() called: ignore the process-wide default. */
+    bool ioPinned_ = false;
 
     /** Streaming state. */
     DiskAnnBuildParams buildParams_;

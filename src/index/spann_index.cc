@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "common/error.hh"
@@ -16,6 +17,9 @@ namespace {
 
 constexpr const char *kMagic = "SPAN";
 constexpr std::uint32_t kVersion = 1;
+
+/** Per-thread fetch scratch for non-memory backends. */
+thread_local storage::AlignedBuffer tls_fetch;
 
 } // namespace
 
@@ -38,8 +42,8 @@ SpannIndex::build(const MatrixView &data, const SpannBuildParams &params)
     km.seed = params.seed;
     centroids_ = kmeansFit(data, km);
 
-    listIds_.assign(params.nlist, {});
-    listVectors_.assign(params.nlist, {});
+    std::vector<std::vector<VectorId>> ids(params.nlist);
+    std::vector<std::vector<float>> vecs(params.nlist);
 
     // Closure assignment: every cluster whose centroid is within
     // (1 + eps) of the nearest centroid's distance gets a replica.
@@ -60,29 +64,90 @@ SpannIndex::build(const MatrixView &data, const SpannBuildParams &params)
             if (replicas >= params.max_replicas ||
                 (replicas > 0 && dist > threshold))
                 break;
-            listIds_[list].push_back(static_cast<VectorId>(r));
-            listVectors_[list].insert(listVectors_[list].end(), vec,
-                                      vec + dim_);
+            ids[list].push_back(static_cast<VectorId>(r));
+            vecs[list].insert(vecs[list].end(), vec, vec + dim_);
             ++replicas;
         }
     }
 
     // Sequential on-disk layout: one contiguous run per list.
+    listCounts_.assign(params.nlist, 0);
     listSectorStart_.assign(params.nlist, 0);
     listSectorCount_.assign(params.nlist, 0);
     std::uint64_t cursor = 0;
-    const std::size_t entry_bytes =
-        dim_ * sizeof(float) + sizeof(VectorId);
     for (std::size_t c = 0; c < params.nlist; ++c) {
-        const std::size_t bytes = listIds_[c].size() * entry_bytes;
+        const std::size_t bytes = ids[c].size() * entryBytes();
         const auto sectors = static_cast<std::uint32_t>(
             std::max<std::size_t>(
                 1, (bytes + kSectorBytes - 1) / kSectorBytes));
+        listCounts_[c] = ids[c].size();
         listSectorStart_[c] = cursor;
         listSectorCount_[c] = sectors;
         cursor += sectors;
     }
     totalSectors_ = cursor;
+
+    // Pack lists into the on-disk image ([id | vector] entries, zero
+    // padding to the sector boundary) and hand it to the backend.
+    std::vector<std::uint8_t> image(totalSectors_ * kSectorBytes, 0);
+    for (std::size_t c = 0; c < params.nlist; ++c) {
+        std::uint8_t *out =
+            image.data() + listSectorStart_[c] * kSectorBytes;
+        for (std::size_t i = 0; i < ids[c].size(); ++i) {
+            std::memcpy(out, &ids[c][i], sizeof(VectorId));
+            std::memcpy(out + sizeof(VectorId),
+                        vecs[c].data() + i * dim_,
+                        dim_ * sizeof(float));
+            out += entryBytes();
+        }
+    }
+    adoptImage(std::move(image));
+}
+
+storage::IoOptions
+SpannIndex::effectiveIoOptions() const
+{
+    return ioPinned_ ? ioOptions_ : storage::defaultIoOptions();
+}
+
+void
+SpannIndex::adoptImage(std::vector<std::uint8_t> image)
+{
+    const storage::IoOptions options = effectiveIoOptions();
+    if (options.kind == storage::IoBackendKind::Memory) {
+        io_ = storage::makeMemoryBackend(std::move(image));
+        return;
+    }
+    auto sink = storage::makeIoSink(options, image.size());
+    sink->append(image.data(), image.size());
+    io_ = sink->finish();
+}
+
+void
+SpannIndex::setIoMode(const storage::IoOptions &options)
+{
+    ioOptions_ = options;
+    ioPinned_ = true;
+    if (!io_)
+        return;
+    const std::uint64_t size = io_->sizeBytes();
+    auto sink = storage::makeIoSink(options, size);
+    if (const std::uint8_t *image = io_->data()) {
+        sink->append(image, static_cast<std::size_t>(size));
+    } else {
+        constexpr std::size_t kStreamSectors = 1024;
+        storage::AlignedBuffer chunk;
+        std::uint8_t *buf = chunk.ensure(kStreamSectors * kSectorBytes);
+        const std::uint64_t sectors = size / kSectorBytes;
+        for (std::uint64_t s = 0; s < sectors; s += kStreamSectors) {
+            const auto count = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(kStreamSectors, sectors - s));
+            const storage::IoRequest req{s, count, buf};
+            io_->readBatch(&req, 1);
+            sink->append(buf, count * kSectorBytes);
+        }
+    }
+    io_ = sink->finish();
 }
 
 double
@@ -90,8 +155,8 @@ SpannIndex::replicationFactor() const
 {
     ANN_CHECK(rows_ > 0, "replication factor of empty index");
     std::size_t postings = 0;
-    for (const auto &ids : listIds_)
-        postings += ids.size();
+    for (const std::uint64_t count : listCounts_)
+        postings += count;
     return static_cast<double>(postings) / static_cast<double>(rows_);
 }
 
@@ -142,24 +207,59 @@ SpannIndex::search(const float *query, const SpannSearchParams &params,
         recorder->issueReads(std::move(reads));
     }
 
+    // Storage phase for real: all probed lists fetched as one batched
+    // submission (same run shapes the recorder just logged); the
+    // memory backend serves the image zero-copy instead.
+    ANN_ASSERT(io_ != nullptr, "posting-list file not attached");
+    const std::uint8_t *image = io_->data();
+    const std::uint8_t *fetched = nullptr;
+    std::vector<std::size_t> fetch_offset;
+    if (!image) {
+        std::size_t total = 0;
+        fetch_offset.reserve(probes.size());
+        for (const Neighbor &probe : probes) {
+            fetch_offset.push_back(total);
+            total += std::size_t{listSectorCount_[probe.id]} *
+                     kSectorBytes;
+        }
+        std::uint8_t *buf = tls_fetch.ensure(total);
+        std::vector<storage::IoRequest> requests;
+        requests.reserve(probes.size());
+        for (std::size_t p = 0; p < probes.size(); ++p)
+            requests.push_back({listSectorStart_[probes[p].id],
+                                listSectorCount_[probes[p].id],
+                                buf + fetch_offset[p]});
+        io_->readBatch(requests.data(), requests.size());
+        fetched = buf;
+    }
+
     // Scan phase: full-precision over the fetched lists; replicas
     // deduplicate naturally inside the top-k (same id, same dist).
     TopK top(params.k);
     std::vector<bool> seen(rows_, false);
-    for (const Neighbor &probe : probes) {
-        const auto &ids = listIds_[probe.id];
-        const float *vectors = listVectors_[probe.id].data();
-        for (std::size_t i = 0; i < ids.size(); ++i) {
-            if (seen[ids[i]])
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+        const std::size_t list = probes[p].id;
+        const std::uint8_t *entries =
+            image ? image + listSectorStart_[list] * kSectorBytes
+                  : fetched + fetch_offset[p];
+        const std::uint64_t count = listCounts_[list];
+        for (std::uint64_t i = 0; i < count; ++i) {
+            const std::uint8_t *entry = entries + i * entryBytes();
+            VectorId id;
+            std::memcpy(&id, entry, sizeof(VectorId));
+            if (seen[id])
                 continue;
-            seen[ids[i]] = true;
-            top.push(ids[i],
-                     l2DistanceSq(query, vectors + i * dim_, dim_));
+            seen[id] = true;
+            top.push(id,
+                     l2DistanceSq(query,
+                                  reinterpret_cast<const float *>(
+                                      entry + sizeof(VectorId)),
+                                  dim_));
         }
         if (recorder) {
             recorder->cpu().hops += 1;
-            recorder->cpu().rows_scanned += ids.size();
-            recorder->cpu().full_distances += ids.size();
+            recorder->cpu().rows_scanned += count;
+            recorder->cpu().full_distances += count;
         }
     }
     if (recorder)
@@ -176,10 +276,36 @@ SpannIndex::save(BinaryWriter &writer) const
     writer.writePod<std::uint64_t>(dim_);
     writer.writePod<std::uint64_t>(centroids_.k);
     writer.writeVector(centroids_.centroids);
-    writer.writePod<std::uint64_t>(listIds_.size());
-    for (std::size_t c = 0; c < listIds_.size(); ++c) {
-        writer.writeVector(listIds_[c]);
-        writer.writeVector(listVectors_[c]);
+    // Version-1 archive layout (per-list id and vector arrays) is
+    // kept; lists are rematerialized one at a time from the backend.
+    writer.writePod<std::uint64_t>(listCounts_.size());
+    storage::AlignedBuffer scratch;
+    std::vector<VectorId> ids;
+    std::vector<float> vecs;
+    const std::uint8_t *image = io_ ? io_->data() : nullptr;
+    for (std::size_t c = 0; c < listCounts_.size(); ++c) {
+        const std::uint8_t *entries;
+        if (image) {
+            entries = image + listSectorStart_[c] * kSectorBytes;
+        } else {
+            std::uint8_t *buf = scratch.ensure(
+                std::size_t{listSectorCount_[c]} * kSectorBytes);
+            const storage::IoRequest req{listSectorStart_[c],
+                                         listSectorCount_[c], buf};
+            io_->readBatch(&req, 1);
+            entries = buf;
+        }
+        ids.resize(listCounts_[c]);
+        vecs.resize(listCounts_[c] * dim_);
+        for (std::uint64_t i = 0; i < listCounts_[c]; ++i) {
+            const std::uint8_t *entry = entries + i * entryBytes();
+            std::memcpy(&ids[i], entry, sizeof(VectorId));
+            std::memcpy(vecs.data() + i * dim_,
+                        entry + sizeof(VectorId),
+                        dim_ * sizeof(float));
+        }
+        writer.writeVector(ids);
+        writer.writeVector(vecs);
     }
     writer.writeVector(listSectorStart_);
     writer.writeVector(listSectorCount_);
@@ -198,15 +324,37 @@ SpannIndex::load(BinaryReader &reader)
     centroids_.dim = dim_;
     centroids_.centroids = reader.readVector<float>();
     const auto lists = reader.readPod<std::uint64_t>();
-    listIds_.assign(lists, {});
-    listVectors_.assign(lists, {});
+    std::vector<std::vector<VectorId>> ids(lists);
+    std::vector<std::vector<float>> vecs(lists);
+    listCounts_.assign(lists, 0);
     for (std::size_t c = 0; c < lists; ++c) {
-        listIds_[c] = reader.readVector<VectorId>();
-        listVectors_[c] = reader.readVector<float>();
+        ids[c] = reader.readVector<VectorId>();
+        vecs[c] = reader.readVector<float>();
+        ANN_CHECK(vecs[c].size() == ids[c].size() * dim_,
+                  "corrupt spann archive");
+        listCounts_[c] = ids[c].size();
     }
     listSectorStart_ = reader.readVector<std::uint64_t>();
     listSectorCount_ = reader.readVector<std::uint32_t>();
     totalSectors_ = reader.readPod<std::uint64_t>();
+    ANN_CHECK(listSectorStart_.size() == lists &&
+                  listSectorCount_.size() == lists,
+              "corrupt spann archive");
+
+    // Repack the on-disk image and hand it to the backend.
+    std::vector<std::uint8_t> image(totalSectors_ * kSectorBytes, 0);
+    for (std::size_t c = 0; c < lists; ++c) {
+        std::uint8_t *out =
+            image.data() + listSectorStart_[c] * kSectorBytes;
+        for (std::size_t i = 0; i < ids[c].size(); ++i) {
+            std::memcpy(out, &ids[c][i], sizeof(VectorId));
+            std::memcpy(out + sizeof(VectorId),
+                        vecs[c].data() + i * dim_,
+                        dim_ * sizeof(float));
+            out += entryBytes();
+        }
+    }
+    adoptImage(std::move(image));
 }
 
 } // namespace ann

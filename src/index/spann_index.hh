@@ -18,11 +18,13 @@
 #define ANN_INDEX_SPANN_INDEX_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cluster/kmeans.hh"
 #include "common/types.hh"
 #include "index/search_trace.hh"
+#include "storage/io_backend.hh"
 
 namespace ann {
 
@@ -76,11 +78,27 @@ class SpannIndex
     std::uint64_t numSectors() const { return totalSectors_; }
     /** In-memory footprint (centroids only). */
     std::size_t memoryBytes() const;
+    /** On-disk footprint: the posting-list file. */
+    std::size_t diskBytes() const
+    {
+        return io_ ? static_cast<std::size_t>(io_->sizeBytes()) : 0;
+    }
 
     /**
-     * Search: rank centroids (memory), read the nprobe posting lists
-     * (one parallel batch of sequential reads, recorded into
-     * @p recorder), scan them at full precision.
+     * Re-home the posting-list file onto a different I/O backend
+     * (same contract as DiskAnnIndex::setIoMode: bytes preserved,
+     * choice pinned, not concurrent-safe with search()).
+     */
+    void setIoMode(const storage::IoOptions &options);
+
+    /** Backend serving the posting lists (null before build/load). */
+    const storage::IoBackend *ioBackend() const { return io_.get(); }
+
+    /**
+     * Search: rank centroids (memory), read the nprobe posting lists —
+     * ONE batched submission of sequential runs on the real backend,
+     * mirrored into @p recorder for the simulator — then scan them at
+     * full precision.
      */
     SearchResult search(const float *query,
                         const SpannSearchParams &params,
@@ -90,17 +108,33 @@ class SpannIndex
     void load(BinaryReader &reader);
 
   private:
+    storage::IoOptions effectiveIoOptions() const;
+    /** Hand the packed posting-list image to the configured backend. */
+    void adoptImage(std::vector<std::uint8_t> image);
+    /** Bytes of one posting entry: [id | fp32 vector]. */
+    std::size_t entryBytes() const
+    {
+        return sizeof(VectorId) + dim_ * sizeof(float);
+    }
+
     std::size_t rows_ = 0;
     std::size_t dim_ = 0;
 
     KMeansResult centroids_;
-    /** Per-list member ids (with replication). */
-    std::vector<std::vector<VectorId>> listIds_;
-    /** Per-list contiguous full-precision vectors. */
-    std::vector<std::vector<float>> listVectors_;
+    /** Per-list posting count (entries live on disk, see io_). */
+    std::vector<std::uint64_t> listCounts_;
     std::vector<std::uint64_t> listSectorStart_;
     std::vector<std::uint32_t> listSectorCount_;
     std::uint64_t totalSectors_ = 0;
+
+    /**
+     * Serves the posting-list file: each list is a contiguous run of
+     * listSectorCount_ sectors holding listCounts_ packed
+     * [id | vector] entries (zero padding after the last entry).
+     */
+    std::unique_ptr<storage::IoBackend> io_;
+    storage::IoOptions ioOptions_{};
+    bool ioPinned_ = false;
 };
 
 } // namespace ann

@@ -1,0 +1,403 @@
+#include "storage/io_backend.hh"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "common/env.hh"
+#include "common/error.hh"
+#include "common/logging.hh"
+#include "common/serialize.hh"
+#include "common/thread_pool.hh"
+
+namespace ann::storage {
+
+const char *
+ioBackendKindName(IoBackendKind kind)
+{
+    switch (kind) {
+      case IoBackendKind::Memory:
+        return "memory";
+      case IoBackendKind::File:
+        return "file";
+      case IoBackendKind::Uring:
+        return "uring";
+    }
+    return "?";
+}
+
+bool
+ioBackendKindFromName(const std::string &name, IoBackendKind *out)
+{
+    if (name == "memory")
+        *out = IoBackendKind::Memory;
+    else if (name == "file")
+        *out = IoBackendKind::File;
+    else if (name == "uring")
+        *out = IoBackendKind::Uring;
+    else
+        return false;
+    return true;
+}
+
+IoOptions
+IoOptions::fromEnv()
+{
+    IoOptions options;
+    const std::string name = ioBackendName();
+    if (!ioBackendKindFromName(name, &options.kind)) {
+        logWarn("unknown $ANN_IO_BACKEND '", name,
+                "', using the memory backend");
+        options.kind = IoBackendKind::Memory;
+    }
+    options.queue_depth =
+        static_cast<unsigned>(std::max<std::int64_t>(1, ioQueueDepth()));
+    options.direct_io = envInt("ANN_IO_DIRECT", 1) != 0;
+    return options;
+}
+
+namespace {
+
+std::mutex g_default_mutex;
+
+IoOptions &
+mutableDefaultOptions()
+{
+    static IoOptions options = IoOptions::fromEnv();
+    return options;
+}
+
+} // namespace
+
+IoOptions
+defaultIoOptions()
+{
+    std::lock_guard<std::mutex> lock(g_default_mutex);
+    return mutableDefaultOptions();
+}
+
+void
+setDefaultIoOptions(const IoOptions &options)
+{
+    std::lock_guard<std::mutex> lock(g_default_mutex);
+    mutableDefaultOptions() = options;
+}
+
+std::vector<IoRun>
+coalesceSectors(const std::vector<std::uint64_t> &sorted_unique)
+{
+    std::vector<IoRun> runs;
+    for (std::size_t i = 0; i < sorted_unique.size();) {
+        std::size_t j = i + 1;
+        while (j < sorted_unique.size() &&
+               sorted_unique[j] == sorted_unique[j - 1] + 1)
+            ++j;
+        runs.push_back(
+            {sorted_unique[i], static_cast<std::uint32_t>(j - i)});
+        i = j;
+    }
+    return runs;
+}
+
+AlignedBuffer::~AlignedBuffer()
+{
+    std::free(data_);
+}
+
+std::uint8_t *
+AlignedBuffer::ensure(std::size_t bytes)
+{
+    if (bytes > capacity_) {
+        std::free(data_);
+        // Round the allocation up: aligned_alloc requires the size to
+        // be a multiple of the alignment.
+        const std::size_t rounded =
+            (bytes + kIoSectorBytes - 1) / kIoSectorBytes *
+            kIoSectorBytes;
+        data_ = static_cast<std::uint8_t *>(
+            std::aligned_alloc(kIoSectorBytes, rounded));
+        ANN_CHECK(data_ != nullptr, "aligned_alloc of ", rounded,
+                  " bytes failed");
+        capacity_ = rounded;
+    }
+    return data_;
+}
+
+bool
+ioPreadFull(int fd, std::uint8_t *dst, std::size_t len,
+            std::uint64_t offset)
+{
+    while (len > 0) {
+        const ssize_t got =
+            ::pread(fd, dst, len, static_cast<off_t>(offset));
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (got == 0)
+            return false; // unexpected EOF inside the node file
+        dst += got;
+        len -= static_cast<std::size_t>(got);
+        offset += static_cast<std::uint64_t>(got);
+    }
+    return true;
+}
+
+namespace {
+
+// ------------------------------------------------------------- memory
+
+/** The seed behaviour: a resident byte vector, zero-copy reads. */
+class MemoryIoBackend final : public IoBackend
+{
+  public:
+    explicit MemoryIoBackend(std::vector<std::uint8_t> image)
+        : image_(std::move(image))
+    {
+    }
+
+    IoBackendKind kind() const override { return IoBackendKind::Memory; }
+    std::uint64_t sizeBytes() const override { return image_.size(); }
+    const std::uint8_t *data() const override { return image_.data(); }
+
+    void
+    readBatch(const IoRequest *requests, std::size_t n) override
+    {
+        for (std::size_t i = 0; i < n; ++i) {
+            const IoRequest &req = requests[i];
+            const std::uint64_t offset = req.sector * kIoSectorBytes;
+            const std::size_t bytes = req.count * kIoSectorBytes;
+            ANN_CHECK(offset + bytes <= image_.size(),
+                      "read past end of node image");
+            std::memcpy(req.dest, image_.data() + offset, bytes);
+        }
+    }
+
+  private:
+    std::vector<std::uint8_t> image_;
+};
+
+// --------------------------------------------------------------- file
+
+/**
+ * pread(2)-served node file. Batches overlap through a dedicated I/O
+ * pool sized by queue depth, not core count: a thread blocked in
+ * pread consumes no CPU, so overlap pays off even on one core (where
+ * the CPU-sized shared pool would run everything inline). chunk=1
+ * means each pool thread claims one request at a time, capping
+ * in-flight reads at the pool size.
+ */
+class FileIoBackend final : public IoBackend
+{
+  public:
+    FileIoBackend(int fd, std::uint64_t size, unsigned queue_depth,
+                  bool direct)
+        : fd_(fd), size_(size),
+          queueDepth_(std::max(1u, queue_depth)), direct_(direct)
+    {
+    }
+
+    ~FileIoBackend() override { ::close(fd_); }
+
+    IoBackendKind kind() const override { return IoBackendKind::File; }
+    std::uint64_t sizeBytes() const override { return size_; }
+    bool directIo() const override { return direct_; }
+
+    void
+    readBatch(const IoRequest *requests, std::size_t n) override
+    {
+        if (n == 0)
+            return;
+        if (queueDepth_ <= 1 || n == 1) {
+            for (std::size_t i = 0; i < n; ++i)
+                readOne(requests[i]);
+            return;
+        }
+        std::call_once(poolOnce_, [this] {
+            ioPool_ = std::make_unique<ThreadPool>(
+                std::min<std::size_t>(queueDepth_, 16));
+        });
+        ioPool_->parallelFor(
+            n, 1, [&](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i)
+                    readOne(requests[i]);
+            });
+    }
+
+  private:
+    void
+    readOne(const IoRequest &req) const
+    {
+        const std::uint64_t offset = req.sector * kIoSectorBytes;
+        const std::size_t bytes = req.count * kIoSectorBytes;
+        ANN_CHECK(offset + bytes <= size_,
+                  "read past end of node file");
+        ANN_CHECK(ioPreadFull(fd_, req.dest, bytes, offset),
+                  "pread failed on node file: ", std::strerror(errno));
+    }
+
+    int fd_;
+    std::uint64_t size_;
+    unsigned queueDepth_;
+    bool direct_;
+    std::unique_ptr<ThreadPool> ioPool_;
+    std::once_flag poolOnce_;
+};
+
+// --------------------------------------------------------------- sinks
+
+class MemoryIoSink final : public IoSink
+{
+  public:
+    explicit MemoryIoSink(std::uint64_t total) { image_.reserve(total); }
+
+    void
+    append(const void *data, std::size_t bytes) override
+    {
+        const auto *bytes_ptr = static_cast<const std::uint8_t *>(data);
+        image_.insert(image_.end(), bytes_ptr, bytes_ptr + bytes);
+    }
+
+    std::unique_ptr<IoBackend>
+    finish() override
+    {
+        return makeMemoryBackend(std::move(image_));
+    }
+
+  private:
+    std::vector<std::uint8_t> image_;
+};
+
+/**
+ * Writes the node file under spill_dir, then reopens it for reading
+ * (O_DIRECT first, buffered fallback) and unlinks the name so the
+ * file lives exactly as long as its backend.
+ */
+class FileIoSink final : public IoSink
+{
+  public:
+    FileIoSink(const IoOptions &options, std::uint64_t total)
+        : options_(options)
+    {
+        std::string dir = options.spill_dir;
+        if (dir.empty())
+            dir = cacheDir();
+        else
+            ensureDirectory(dir);
+        static std::atomic<std::uint64_t> counter{0};
+        path_ = dir + "/io-spill-" + std::to_string(::getpid()) + "-" +
+                std::to_string(counter.fetch_add(1)) + ".nodes";
+        fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC |
+                                        O_CLOEXEC,
+                     0644);
+        ANN_CHECK(fd_ >= 0, "cannot create node spill file ", path_,
+                  ": ", std::strerror(errno));
+        (void)total;
+    }
+
+    ~FileIoSink() override
+    {
+        // finish() not reached (exception path): drop the temp file.
+        if (fd_ >= 0) {
+            ::close(fd_);
+            ::unlink(path_.c_str());
+        }
+    }
+
+    void
+    append(const void *data, std::size_t bytes) override
+    {
+        const auto *src = static_cast<const std::uint8_t *>(data);
+        written_ += bytes;
+        while (bytes > 0) {
+            const ssize_t put = ::write(fd_, src, bytes);
+            if (put < 0) {
+                if (errno == EINTR)
+                    continue;
+                ANN_CHECK(false, "write failed on ", path_, ": ",
+                          std::strerror(errno));
+            }
+            src += put;
+            bytes -= static_cast<std::size_t>(put);
+        }
+    }
+
+    std::unique_ptr<IoBackend>
+    finish() override
+    {
+        // O_DIRECT needs whole-sector file lengths.
+        const std::uint64_t padded = (written_ + kIoSectorBytes - 1) /
+                                     kIoSectorBytes * kIoSectorBytes;
+        if (padded > written_) {
+            const std::vector<std::uint8_t> zeros(
+                static_cast<std::size_t>(padded - written_), 0);
+            append(zeros.data(), zeros.size());
+        }
+        ::close(fd_);
+        fd_ = -1;
+
+        bool direct = options_.direct_io;
+        int read_fd = -1;
+        if (direct) {
+            read_fd =
+                ::open(path_.c_str(), O_RDONLY | O_CLOEXEC | O_DIRECT);
+            if (read_fd < 0)
+                direct = false; // e.g. tmpfs: fall back to buffered
+        }
+        if (read_fd < 0)
+            read_fd = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+        ANN_CHECK(read_fd >= 0, "cannot reopen node spill file ",
+                  path_, ": ", std::strerror(errno));
+        // Unlink now: the fd keeps the data alive, nothing leaks on
+        // crash, and concurrent indexes can never collide on names.
+        ::unlink(path_.c_str());
+
+        if (options_.kind == IoBackendKind::Uring) {
+            auto uring = makeUringBackend(read_fd, padded,
+                                          options_.queue_depth, direct);
+            if (uring)
+                return uring;
+            static std::once_flag warned;
+            std::call_once(warned, [] {
+                logWarn("io_uring unavailable (not compiled in or "
+                        "blocked at runtime); uring backend falls "
+                        "back to file/pread");
+            });
+        }
+        return std::make_unique<FileIoBackend>(
+            read_fd, padded, options_.queue_depth, direct);
+    }
+
+  private:
+    IoOptions options_;
+    std::string path_;
+    int fd_ = -1;
+    std::uint64_t written_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<IoBackend>
+makeMemoryBackend(std::vector<std::uint8_t> image)
+{
+    return std::make_unique<MemoryIoBackend>(std::move(image));
+}
+
+std::unique_ptr<IoSink>
+makeIoSink(const IoOptions &options, std::uint64_t total_bytes)
+{
+    if (options.kind == IoBackendKind::Memory)
+        return std::make_unique<MemoryIoSink>(total_bytes);
+    return std::make_unique<FileIoSink>(options, total_bytes);
+}
+
+} // namespace ann::storage

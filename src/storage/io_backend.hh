@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Pluggable real-I/O layer serving the 4 KiB-sector node files of the
+ * storage-based indexes.
+ *
+ * The simulator charges virtual time for sector batches; this layer
+ * is its real-hardware twin: the same (sector, count) request shapes
+ * an index hands to the simulated `storage::StorageBackend` are issued
+ * here against an actual file descriptor, so the real execution path
+ * exhibits the paper's block-layer behaviour (queue-depth scaling,
+ * 4 KiB request dominance) instead of serving every read from a
+ * memory-resident image.
+ *
+ * Three implementations, selected at runtime ($ANN_IO_BACKEND or
+ * `--io-backend`):
+ *
+ *   memory  the seed behaviour: the node file stays a resident byte
+ *           vector and readers get a zero-copy pointer (data()).
+ *   file    the node file is spilled to disk (O_DIRECT when the
+ *           filesystem supports it) and every batch is served by
+ *           pread(2), overlapped through ann::ThreadPool when the
+ *           queue depth allows.
+ *   uring   batched async submission through io_uring: one SQE per
+ *           sector run, a queue-depth-sized submission window, and
+ *           completion reaping without per-read syscalls. Built on
+ *           liburing when CMake finds it, on raw io_uring syscalls
+ *           when only kernel headers exist, and compiled out (falling
+ *           back to `file`) otherwise.
+ *
+ * Lives below ann_index in the dependency order (library `ann_io`)
+ * because the indexes own their backends; the simulated storage stack
+ * keeps living above the indexes.
+ */
+
+#ifndef ANN_STORAGE_IO_BACKEND_HH
+#define ANN_STORAGE_IO_BACKEND_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ann::storage {
+
+/** Sector size of every node-file layout (NVMe LBA + fs block). */
+inline constexpr std::size_t kIoSectorBytes = 4096;
+
+/** Which implementation serves node-file reads. */
+enum class IoBackendKind
+{
+    Memory,
+    File,
+    Uring,
+};
+
+/** Lower-case name used by env vars, CLI flags, and reports. */
+const char *ioBackendKindName(IoBackendKind kind);
+
+/** Parse "memory" / "file" / "uring". @return false when unknown. */
+bool ioBackendKindFromName(const std::string &name, IoBackendKind *out);
+
+/** Selection and tuning knobs of the real-I/O layer. */
+struct IoOptions
+{
+    IoBackendKind kind = IoBackendKind::Memory;
+    /**
+     * Submission window: SQEs in flight per io_uring batch, or the
+     * pread overlap width of the file backend (1 = strictly serial
+     * single-request reads).
+     */
+    unsigned queue_depth = 32;
+    /** Directory for spilled node files; empty = $ANN_CACHE_DIR. */
+    std::string spill_dir;
+    /**
+     * Open spilled files with O_DIRECT so reads hit the device
+     * instead of the OS page cache ($ANN_IO_DIRECT, default on).
+     * Falls back to buffered automatically where the filesystem
+     * rejects it (e.g. tmpfs).
+     */
+    bool direct_io = true;
+
+    /** $ANN_IO_BACKEND / $ANN_IO_QUEUE_DEPTH / $ANN_IO_DIRECT. */
+    static IoOptions fromEnv();
+};
+
+/**
+ * Process-wide default consulted by index build()/load() when no
+ * explicit mode was pinned; seeded from the environment once.
+ */
+IoOptions defaultIoOptions();
+void setDefaultIoOptions(const IoOptions &options);
+
+/**
+ * True when the uring backend can actually run here: compiled in
+ * (liburing or raw syscalls) and io_uring_setup(2) succeeds at
+ * runtime (containers often filter it). Cached after the first call.
+ */
+bool uringSupported();
+
+/**
+ * One read of @ref count whole sectors into a caller buffer.
+ * @ref dest must be 4 KiB-aligned when the serving backend runs
+ * O_DIRECT (directIo() == true) — AlignedBuffer provides this; the
+ * memory backend and buffered files accept any pointer.
+ */
+struct IoRequest
+{
+    std::uint64_t sector = 0;
+    std::uint32_t count = 1;
+    std::uint8_t *dest = nullptr;
+};
+
+/** A contiguous sector run — the request shape shared with the
+ *  simulator's SectorRead batches. */
+struct IoRun
+{
+    std::uint64_t sector = 0;
+    std::uint32_t count = 1;
+};
+
+/**
+ * Merge a sorted, de-duplicated sector list into contiguous runs
+ * (what the kernel would do under request plugging). Shared by the
+ * beam-search fetch path and the trace recorder so the real and
+ * simulated request streams have identical shapes.
+ */
+std::vector<IoRun>
+coalesceSectors(const std::vector<std::uint64_t> &sorted_unique);
+
+/** Serves batched whole-sector reads of one node file. */
+class IoBackend
+{
+  public:
+    virtual ~IoBackend() = default;
+
+    virtual IoBackendKind kind() const = 0;
+    const char *name() const { return ioBackendKindName(kind()); }
+
+    /** Node-file length in bytes (a multiple of kIoSectorBytes). */
+    virtual std::uint64_t sizeBytes() const = 0;
+
+    /**
+     * Zero-copy pointer to the whole image when memory-resident,
+     * nullptr when reads must go through readBatch().
+     */
+    virtual const std::uint8_t *data() const { return nullptr; }
+
+    /**
+     * Issue @p n sector reads as one batched submission and block
+     * until every buffer is filled. Safe to call concurrently from
+     * multiple threads.
+     */
+    virtual void readBatch(const IoRequest *requests, std::size_t n) = 0;
+
+    /** True when reads bypass the OS page cache (O_DIRECT). */
+    virtual bool directIo() const { return false; }
+};
+
+/**
+ * Streaming builder of a node file: lets load() spill an archive's
+ * image straight to the backing file without ever materializing it.
+ */
+class IoSink
+{
+  public:
+    virtual ~IoSink() = default;
+    virtual void append(const void *data, std::size_t bytes) = 0;
+    /** Seal the file and return the backend serving it. */
+    virtual std::unique_ptr<IoBackend> finish() = 0;
+};
+
+/**
+ * Open a sink for @p total_bytes of node file under @p options.
+ * Short appends are zero-padded to a sector boundary at finish().
+ * A uring request silently degrades to `file` when unsupported.
+ */
+std::unique_ptr<IoSink> makeIoSink(const IoOptions &options,
+                                   std::uint64_t total_bytes);
+
+/** Wrap an already-materialized image in the memory backend. */
+std::unique_ptr<IoBackend>
+makeMemoryBackend(std::vector<std::uint8_t> image);
+
+/** Growable 4 KiB-aligned scratch buffer (O_DIRECT-compatible). */
+class AlignedBuffer
+{
+  public:
+    AlignedBuffer() = default;
+    ~AlignedBuffer();
+    AlignedBuffer(const AlignedBuffer &) = delete;
+    AlignedBuffer &operator=(const AlignedBuffer &) = delete;
+
+    /** Grow to at least @p bytes and return the aligned base. */
+    std::uint8_t *ensure(std::size_t bytes);
+    std::uint8_t *data() { return data_; }
+
+  private:
+    std::uint8_t *data_ = nullptr;
+    std::size_t capacity_ = 0;
+};
+
+/// @cond internal — shared between io_backend.cc and uring_backend.cc
+/** pread(2) until @p len bytes land; @return false on error/EOF. */
+bool ioPreadFull(int fd, std::uint8_t *dst, std::size_t len,
+                 std::uint64_t offset);
+/** nullptr when io_uring is compiled out or fails at runtime. */
+std::unique_ptr<IoBackend> makeUringBackend(int fd, std::uint64_t size,
+                                            unsigned queue_depth,
+                                            bool direct);
+/// @endcond
+
+} // namespace ann::storage
+
+#endif // ANN_STORAGE_IO_BACKEND_HH

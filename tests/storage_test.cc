@@ -317,6 +317,84 @@ TEST(StorageBackendTest, BufferedModeMergesContiguousMisses)
     EXPECT_EQ(tracer.events()[1].size_bytes, 4096u);
 }
 
+TEST(StorageBackendTest, AdmitDirectModePassesBatchThrough)
+{
+    Simulator simulator;
+    SsdModel ssd(simulator, SsdConfig::samsung990Pro());
+    StorageBackend backend(ssd, nullptr, 0);
+
+    // No cache: admit() must return the batch unchanged, including
+    // overlapping runs and whatever order the caller chose.
+    const std::vector<SectorRead> reads{{9, 2}, {5, 1}, {9, 2}};
+    const auto admitted = backend.admit(reads);
+    ASSERT_EQ(admitted.size(), reads.size());
+    for (std::size_t i = 0; i < reads.size(); ++i) {
+        EXPECT_EQ(admitted[i].sector, reads[i].sector) << "run " << i;
+        EXPECT_EQ(admitted[i].count, reads[i].count) << "run " << i;
+    }
+}
+
+TEST(StorageBackendTest, AdmitEmptyBatch)
+{
+    Simulator simulator;
+    SsdModel ssd(simulator, SsdConfig::samsung990Pro());
+    PageCache cache(16);
+    StorageBackend direct(ssd, nullptr, 0);
+    StorageBackend buffered(ssd, &cache, 0);
+    EXPECT_TRUE(direct.admit({}).empty());
+    EXPECT_TRUE(buffered.admit({}).empty());
+}
+
+TEST(StorageBackendTest, AdmitSingleSectorMissThenHit)
+{
+    Simulator simulator;
+    SsdModel ssd(simulator, SsdConfig::samsung990Pro());
+    PageCache cache(16);
+    StorageBackend backend(ssd, &cache, 0);
+
+    const std::vector<SectorRead> reads{{7, 1}};
+    const auto miss = backend.admit(reads);
+    ASSERT_EQ(miss.size(), 1u);
+    EXPECT_EQ(miss[0].sector, 7u);
+    EXPECT_EQ(miss[0].count, 1u);
+
+    // Admission marked it resident: the re-read is fully absorbed.
+    EXPECT_TRUE(backend.admit(reads).empty());
+    EXPECT_GE(cache.hits(), 1u);
+}
+
+TEST(StorageBackendTest, AdmitAlreadyResidentRunIsAbsorbed)
+{
+    Simulator simulator;
+    SsdModel ssd(simulator, SsdConfig::samsung990Pro());
+    PageCache cache(64);
+    StorageBackend backend(ssd, &cache, 0);
+
+    for (std::uint64_t s = 20; s < 28; ++s)
+        cache.insert(s);
+    EXPECT_TRUE(backend.admit({{20, 8}}).empty());
+}
+
+TEST(StorageBackendTest, AdmitPartiallyResidentRunSplits)
+{
+    Simulator simulator;
+    SsdModel ssd(simulator, SsdConfig::samsung990Pro());
+    PageCache cache(64);
+    StorageBackend backend(ssd, &cache, 0);
+
+    // Resident holes at 41 and 44 split [40..46) into three runs.
+    cache.insert(41);
+    cache.insert(44);
+    const auto admitted = backend.admit({{40, 6}});
+    ASSERT_EQ(admitted.size(), 3u);
+    EXPECT_EQ(admitted[0].sector, 40u);
+    EXPECT_EQ(admitted[0].count, 1u);
+    EXPECT_EQ(admitted[1].sector, 42u);
+    EXPECT_EQ(admitted[1].count, 2u);
+    EXPECT_EQ(admitted[2].sector, 45u);
+    EXPECT_EQ(admitted[2].count, 1u);
+}
+
 TEST(StorageBackendTest, WriteBatchIssuesWrites)
 {
     Simulator simulator;

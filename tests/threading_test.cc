@@ -17,6 +17,9 @@
 #include "core/bench_runner.hh"
 #include "engine/milvus_like.hh"
 #include "engine/qdrant_like.hh"
+#include "index/diskann_index.hh"
+#include "index/spann_index.hh"
+#include "storage/io_backend.hh"
 #include "workload/generator.hh"
 
 namespace ann {
@@ -229,6 +232,140 @@ TEST_F(ParallelExecFixture, VerifyModePassesOnDeterministicEngine)
     exec.verify = true;
     EXPECT_NO_THROW(
         core::buildWorkloadTraces(*hnsw_, *data_, settings, exec));
+}
+
+// ------------------------------------- real-I/O backend determinism
+
+/**
+ * The backend-identity contract: every I/O backend serves the same
+ * node-file bytes, so beam search must return bit-identical neighbour
+ * lists and distances on memory, file, and uring, at every beam
+ * width. This is the regression gate for the batched async fetch
+ * path.
+ */
+TEST_F(ParallelExecFixture, DiskAnnBackendsBitIdenticalAcrossBeamWidths)
+{
+    DiskAnnIndex index;
+    DiskAnnBuildParams build;
+    build.graph.max_degree = 16;
+    build.graph.build_list = 32;
+    build.pq.m = 8;
+    index.build(data_->baseView(), build);
+
+    std::vector<storage::IoOptions> modes;
+    storage::IoOptions file_mode;
+    file_mode.kind = storage::IoBackendKind::File;
+    file_mode.spill_dir = "./threading_test_cache";
+    modes.push_back(file_mode);
+    storage::IoOptions serial_mode = file_mode;
+    serial_mode.queue_depth = 1;
+    modes.push_back(serial_mode);
+    if (storage::uringSupported()) {
+        storage::IoOptions uring_mode = file_mode;
+        uring_mode.kind = storage::IoBackendKind::Uring;
+        uring_mode.queue_depth = 4;
+        modes.push_back(uring_mode);
+    }
+
+    for (const std::size_t beam_width : {1u, 2u, 4u, 8u}) {
+        DiskAnnSearchParams params;
+        params.k = 10;
+        params.search_list = 24;
+        params.beam_width = beam_width;
+
+        // Reference answers from the memory-resident image.
+        std::vector<SearchResult> expected;
+        for (std::size_t q = 0; q < data_->num_queries; ++q)
+            expected.push_back(index.search(data_->query(q), params));
+
+        for (const storage::IoOptions &mode : modes) {
+            index.setIoMode(mode);
+            // Real backend: no zero-copy image, reads go to the file.
+            ASSERT_EQ(index.ioBackend()->data(), nullptr);
+            for (std::size_t q = 0; q < data_->num_queries; ++q) {
+                const auto got = index.search(data_->query(q), params);
+                ASSERT_EQ(got.size(), expected[q].size())
+                    << mode.queue_depth << "-deep backend, beam "
+                    << beam_width << ", query " << q;
+                for (std::size_t i = 0; i < got.size(); ++i) {
+                    EXPECT_EQ(got[i].id, expected[q][i].id)
+                        << "beam " << beam_width << " query " << q;
+                    EXPECT_EQ(got[i].distance,
+                              expected[q][i].distance)
+                        << "beam " << beam_width << " query " << q;
+                }
+            }
+            // Back to memory for the next reference round.
+            storage::IoOptions memory_mode;
+            memory_mode.kind = storage::IoBackendKind::Memory;
+            index.setIoMode(memory_mode);
+        }
+    }
+}
+
+/** Same contract for the SPANN posting-list file. */
+TEST_F(ParallelExecFixture, SpannBackendsBitIdentical)
+{
+    SpannIndex index;
+    SpannBuildParams build;
+    build.nlist = 16;
+    index.build(data_->baseView(), build);
+
+    SpannSearchParams params;
+    params.k = 10;
+    params.nprobe = 4;
+
+    std::vector<SearchResult> expected;
+    for (std::size_t q = 0; q < data_->num_queries; ++q)
+        expected.push_back(index.search(data_->query(q), params));
+
+    storage::IoOptions file_mode;
+    file_mode.kind = storage::IoBackendKind::File;
+    file_mode.spill_dir = "./threading_test_cache";
+    storage::IoOptions uring_mode = file_mode;
+    uring_mode.kind = storage::IoBackendKind::Uring;
+
+    for (const auto &mode : {file_mode, uring_mode}) {
+        index.setIoMode(mode);
+        for (std::size_t q = 0; q < data_->num_queries; ++q) {
+            const auto got = index.search(data_->query(q), params);
+            ASSERT_EQ(got.size(), expected[q].size()) << "query " << q;
+            for (std::size_t i = 0; i < got.size(); ++i) {
+                EXPECT_EQ(got[i].id, expected[q][i].id)
+                    << "query " << q;
+                EXPECT_EQ(got[i].distance, expected[q][i].distance)
+                    << "query " << q;
+            }
+        }
+    }
+}
+
+/**
+ * Engine-level check: a whole MilvusLike run (load path included)
+ * produces identical outputs when the process-wide default backend is
+ * file instead of memory — i.e. what `annbench --io-backend file`
+ * executes matches the seed behaviour bit for bit.
+ */
+TEST_F(ParallelExecFixture, EngineOutputsIdenticalUnderFileBackend)
+{
+    engine::SearchSettings settings;
+    const auto reference = core::runAllQueries(
+        *diskann_, *data_, settings, data_->num_queries, 4);
+
+    storage::IoOptions file_mode;
+    file_mode.kind = storage::IoBackendKind::File;
+    file_mode.spill_dir = "./threading_test_cache";
+    storage::setDefaultIoOptions(file_mode);
+    // Fresh engine: prepare() reloads the cached index through the
+    // streaming load path onto the file backend.
+    engine::MilvusLikeEngine engine(engine::MilvusIndexKind::DiskAnn);
+    engine.prepare(*data_, "./threading_test_cache");
+    const auto real_io = core::runAllQueries(engine, *data_, settings,
+                                             data_->num_queries, 4);
+    storage::IoOptions memory_mode;
+    storage::setDefaultIoOptions(memory_mode);
+
+    expectSameOutputs(reference, real_io);
 }
 
 } // namespace

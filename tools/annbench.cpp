@@ -13,6 +13,7 @@
  * dumps the block trace to CSV.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -25,6 +26,7 @@
 #include "core/report.hh"
 #include "core/tuner.hh"
 #include "storage/block_tracer.hh"
+#include "storage/io_backend.hh"
 #include "storage/trace_analysis.hh"
 #include "workload/registry.hh"
 
@@ -70,6 +72,11 @@ printUsage()
         "  --search-list N     DiskANN candidate list (default: "
         "tuned)\n"
         "  --beam-width N      DiskANN beam width (default 4)\n"
+        "  --io-backend NAME   node-file I/O backend: memory|file|"
+        "uring\n"
+        "                      (default: $ANN_IO_BACKEND or memory)\n"
+        "  --io-queue-depth N  in-flight requests per real-I/O batch\n"
+        "                      (default: $ANN_IO_QUEUE_DEPTH or 32)\n"
         "  --duration-ms N     virtual run length (default 2000)\n"
         "  --trace FILE        dump the block trace as CSV\n"
         "  --help              this message\n");
@@ -83,7 +90,8 @@ main(int argc, char **argv)
     using namespace ann;
     ArgParser args({"setup", "dataset", "threads", "exec-threads", "k",
                     "nprobe", "ef-search", "search-list", "beam-width",
-                    "duration-ms", "trace"},
+                    "io-backend", "io-queue-depth", "duration-ms",
+                    "trace"},
                    {"help", "verify-exec"});
     try {
         args.parse(argc, argv);
@@ -101,6 +109,27 @@ main(int argc, char **argv)
     const std::string dataset_name = args.get("dataset", "cohere-1m");
     const auto threads =
         parseThreadList(args.get("threads", "1,16,256"));
+
+    // Pick the real-I/O backend before any index is built or loaded
+    // (flags override $ANN_IO_BACKEND / $ANN_IO_QUEUE_DEPTH).
+    {
+        storage::IoOptions io = storage::IoOptions::fromEnv();
+        if (args.has("io-backend")) {
+            const std::string name = args.get("io-backend", "memory");
+            ANN_CHECK(storage::ioBackendKindFromName(name, &io.kind),
+                      "unknown --io-backend (memory|file|uring)");
+        }
+        if (args.has("io-queue-depth"))
+            io.queue_depth = static_cast<unsigned>(
+                std::max<std::int64_t>(1,
+                                       args.getInt("io-queue-depth",
+                                                   32)));
+        storage::setDefaultIoOptions(io);
+        if (io.kind != storage::IoBackendKind::Memory)
+            std::printf("io backend: %s (queue depth %u)\n",
+                        storage::ioBackendKindName(io.kind),
+                        io.queue_depth);
+    }
 
     std::printf("loading %s and preparing %s...\n",
                 dataset_name.c_str(), setup.c_str());

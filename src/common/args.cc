@@ -81,4 +81,30 @@ ArgParser::getInt(const std::string &name, std::int64_t fallback) const
     return parsed;
 }
 
+std::vector<std::size_t>
+parseSizeList(const std::string &option, const std::string &spec)
+{
+    std::vector<std::size_t> values;
+    std::size_t at = 0;
+    while (at <= spec.size()) {
+        std::size_t comma = spec.find(',', at);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string token = spec.substr(at, comma - at);
+        char *end = nullptr;
+        const unsigned long long parsed =
+            std::strtoull(token.c_str(), &end, 10);
+        ANN_CHECK(!token.empty() && end != token.c_str() &&
+                      *end == '\0' && parsed > 0,
+                  "option --", option,
+                  " expects a comma-separated list of positive "
+                  "integers, got '",
+                  spec, "'");
+        values.push_back(static_cast<std::size_t>(parsed));
+        at = comma + 1;
+    }
+    ANN_CHECK(!values.empty(), "empty --", option, " list");
+    return values;
+}
+
 } // namespace ann

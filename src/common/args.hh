@@ -51,6 +51,14 @@ class ArgParser
     std::vector<std::string> positional_;
 };
 
+/**
+ * Parse a comma-separated list of positive integers (e.g. a
+ * "--threads 1,4,64" value). Throws FatalError naming @p option on
+ * empty lists, non-numeric tokens, or zeros.
+ */
+std::vector<std::size_t> parseSizeList(const std::string &option,
+                                       const std::string &spec);
+
 } // namespace ann
 
 #endif // ANN_COMMON_ARGS_HH

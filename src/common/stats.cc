@@ -61,6 +61,139 @@ OnlineStats::add(double value)
     ++count_;
 }
 
+namespace {
+
+constexpr std::uint64_t kSubCount = 1ULL << LatencyHistogram::kSubBits;
+
+} // namespace
+
+LatencyHistogram::LatencyHistogram() : counts_(numBuckets(), 0) {}
+
+std::size_t
+LatencyHistogram::numBuckets()
+{
+    // One exact octave-0 group plus one group per octave whose values
+    // need kSubBits of mantissa: indices run up to bucketIndex(~0).
+    return static_cast<std::size_t>((64 - kSubBits) << kSubBits) +
+           kSubCount;
+}
+
+std::size_t
+LatencyHistogram::bucketIndex(std::uint64_t value)
+{
+    if (value < kSubCount)
+        return static_cast<std::size_t>(value);
+    // Highest set bit decides the octave; the next kSubBits bits pick
+    // the linear sub-bucket within it.
+    unsigned msb = 63;
+    while (!(value >> msb))
+        --msb;
+    const unsigned shift = msb - kSubBits;
+    const auto group = static_cast<std::size_t>(shift + 1);
+    const auto sub =
+        static_cast<std::size_t>((value >> shift) - kSubCount);
+    return (group << kSubBits) + sub;
+}
+
+std::uint64_t
+LatencyHistogram::bucketLow(std::size_t index)
+{
+    const std::size_t group = index >> kSubBits;
+    const std::uint64_t sub = index & (kSubCount - 1);
+    if (group == 0)
+        return sub;
+    return (kSubCount + sub) << (group - 1);
+}
+
+std::uint64_t
+LatencyHistogram::bucketHigh(std::size_t index)
+{
+    const std::size_t group = index >> kSubBits;
+    if (group == 0)
+        return bucketLow(index);
+    return bucketLow(index) + ((1ULL << (group - 1)) - 1);
+}
+
+void
+LatencyHistogram::add(std::uint64_t value)
+{
+    if (total_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++counts_[bucketIndex(value)];
+    ++total_;
+    sum_ += value;
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    if (other.total_ == 0)
+        return;
+    if (total_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+}
+
+void
+LatencyHistogram::clear()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+}
+
+double
+LatencyHistogram::mean() const
+{
+    return total_ ? static_cast<double>(sum_) /
+                        static_cast<double>(total_)
+                  : 0.0;
+}
+
+double
+LatencyHistogram::percentile(double p) const
+{
+    ANN_CHECK(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    if (total_ == 0)
+        return 0.0;
+    if (p <= 0.0)
+        return static_cast<double>(min_);
+    if (p >= 100.0)
+        return static_cast<double>(max_);
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(total_)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (counts_[i] && seen >= target) {
+            // Representative value: bucket midpoint clamped to the
+            // recorded extremes so tails never overshoot max().
+            const double mid =
+                (static_cast<double>(bucketLow(i)) +
+                 static_cast<double>(bucketHigh(i))) /
+                2.0;
+            return std::min(static_cast<double>(max_),
+                            std::max(static_cast<double>(min_), mid));
+        }
+    }
+    return static_cast<double>(max_);
+}
+
 BucketHistogram::BucketHistogram(std::vector<std::uint64_t> upper_bounds)
     : bounds_(std::move(upper_bounds))
 {

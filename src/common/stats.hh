@@ -45,6 +45,62 @@ class OnlineStats
 };
 
 /**
+ * Log-bucketed histogram for latency samples (HdrHistogram-style).
+ *
+ * Values below 2^kSubBits land in exact unit buckets; above that,
+ * every power-of-two octave is split into 2^kSubBits linear
+ * sub-buckets, so the relative quantization error is bounded by
+ * 2^-kSubBits (~3.1%) across the full uint64 range. The bucket array
+ * is fixed-size, so histograms are cheaply mergeable across threads —
+ * each worker records into its own instance and the reporter merges —
+ * which is what the serving layer needs for P99/P99.9 tails over
+ * millions of samples (a sorted-vector percentile() would grow
+ * unboundedly and need a global lock).
+ */
+class LatencyHistogram
+{
+  public:
+    /** Linear sub-buckets per octave (as a power of two). */
+    static constexpr unsigned kSubBits = 5;
+
+    LatencyHistogram();
+
+    void add(std::uint64_t value);
+    /** Element-wise merge of @p other into this histogram. */
+    void merge(const LatencyHistogram &other);
+    void clear();
+
+    std::uint64_t count() const { return total_; }
+    /** Exact mean of all recorded values (0 when empty). */
+    double mean() const;
+    /** Exact extrema (0 when empty). */
+    std::uint64_t minValue() const { return total_ ? min_ : 0; }
+    std::uint64_t maxValue() const { return total_ ? max_ : 0; }
+
+    /**
+     * Value at percentile @p p in [0, 100], as the representative
+     * (midpoint) of the bucket holding that rank; exact at the
+     * extremes, within 2^-kSubBits relative error elsewhere.
+     */
+    double percentile(double p) const;
+
+    /** Index of the bucket @p value falls into (test hook). */
+    static std::size_t bucketIndex(std::uint64_t value);
+    /** Inclusive [low, high] range of bucket @p index (test hook). */
+    static std::uint64_t bucketLow(std::size_t index);
+    static std::uint64_t bucketHigh(std::size_t index);
+    /** Total bucket count covering the full uint64 range. */
+    static std::size_t numBuckets();
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
  * Fixed-bucket histogram over non-negative integer keys (e.g. request
  * sizes). Keys above the largest configured bucket fall into an
  * overflow bucket.

@@ -236,6 +236,7 @@ replayMixedWorkload(const std::vector<QueryTrace> &traces,
     result.qps = static_cast<double>(state.completed) / seconds;
     result.mean_latency_us = mean(state.latencies_us);
     result.p99_latency_us = percentile(state.latencies_us, 99.0);
+    result.p999_latency_us = percentile(state.latencies_us, 99.9);
     result.mean_cpu_util = state.cpu.meanUtilization(config.duration_ns);
     result.cpu_timeline =
         state.cpu.utilizationTimeline(config.duration_ns);

@@ -48,6 +48,7 @@ struct ReplayResult
     double qps = 0.0;
     double mean_latency_us = 0.0;
     double p99_latency_us = 0.0;
+    double p999_latency_us = 0.0;
     std::uint64_t completed = 0;
     /** Mean whole-machine CPU utilization in [0,1] (Fig. 4). */
     double mean_cpu_util = 0.0;

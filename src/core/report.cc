@@ -23,6 +23,14 @@ fmtP99(const ReplayResult &result)
 }
 
 std::string
+fmtP999(const ReplayResult &result)
+{
+    if (result.oom)
+        return "OOM";
+    return formatDouble(result.p999_latency_us, 0);
+}
+
+std::string
 fmtCpuPct(const ReplayResult &result)
 {
     if (result.oom)

@@ -18,6 +18,9 @@ std::string fmtQps(const ReplayResult &result);
 /** P99 in microseconds, or "OOM". */
 std::string fmtP99(const ReplayResult &result);
 
+/** P99.9 in microseconds, or "OOM". */
+std::string fmtP999(const ReplayResult &result);
+
 /** CPU utilization as a percentage string. */
 std::string fmtCpuPct(const ReplayResult &result);
 

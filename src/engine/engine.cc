@@ -7,6 +7,13 @@
 
 namespace ann::engine {
 
+SearchResult
+VectorDbEngine::searchLive(const float *query,
+                           const SearchSettings &settings)
+{
+    return search(query, settings).results;
+}
+
 std::vector<TimedStep>
 VectorDbEngine::timeSteps(std::vector<SearchStep> steps) const
 {

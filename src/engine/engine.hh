@@ -119,6 +119,19 @@ class VectorDbEngine
     virtual SearchOutput search(const float *query,
                                 const SearchSettings &settings) = 0;
 
+    /**
+     * Serving entry point: execute one real query and return only the
+     * results. Unlike search(), no QueryTrace is assembled and no
+     * modeled client round-trip / proxy / merge costs are attached —
+     * on this path the request-handling costs are *real* (the network
+     * server measures wall-clock queue/execution time instead of
+     * replaying modeled constants). Engines override this to skip
+     * trace recording entirely; the default delegates to search() and
+     * drops the trace. Same shared-read contract as search().
+     */
+    virtual SearchResult searchLive(const float *query,
+                                    const SearchSettings &settings);
+
     /** Host-memory footprint of the loaded indexes. */
     virtual std::size_t memoryBytes() const = 0;
     /** On-SSD footprint in sectors (0 for memory-based setups). */

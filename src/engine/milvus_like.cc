@@ -199,6 +199,73 @@ MilvusLikeEngine::search(const float *query,
     return output;
 }
 
+SearchResult
+MilvusLikeEngine::searchLive(const float *query,
+                             const SearchSettings &settings)
+{
+    ANN_CHECK(!segmentBase_.empty(), "engine not prepared");
+
+    TopK merged(settings.k);
+    for (std::size_t s = 0; s < segmentBase_.size(); ++s) {
+        SearchResult local;
+        switch (kind_) {
+          case MilvusIndexKind::Ivf: {
+            IvfSearchParams params;
+            params.k = settings.k;
+            params.nprobe = settings.nprobe;
+            local = ivfSegments_[s].search(query, params);
+            break;
+          }
+          case MilvusIndexKind::Hnsw: {
+            HnswSearchParams params;
+            params.k = settings.k;
+            params.ef_search = settings.ef_search;
+            local = hnswSegments_[s].search(query, params);
+            break;
+          }
+          case MilvusIndexKind::DiskAnn: {
+            DiskAnnSearchParams params;
+            params.k = settings.k;
+            params.search_list =
+                std::max(settings.search_list, settings.k);
+            params.beam_width = settings.beam_width;
+            local = diskannSegments_[s].search(query, params);
+            break;
+          }
+        }
+        const auto base = static_cast<VectorId>(segmentBase_[s]);
+        for (const Neighbor &n : local)
+            merged.push(base + n.id, n.distance);
+    }
+    return merged.take();
+}
+
+VectorId
+MilvusLikeEngine::liveAdd(const float *vec)
+{
+    ANN_CHECK(kind_ == MilvusIndexKind::Hnsw,
+              "live inserts are supported for the HNSW kind");
+    ANN_CHECK(!hnswSegments_.empty(), "engine not prepared");
+    const VectorId local = hnswSegments_.back().add(vec);
+    return static_cast<VectorId>(segmentBase_.back()) + local;
+}
+
+void
+MilvusLikeEngine::liveMarkDeleted(VectorId id)
+{
+    ANN_CHECK(kind_ == MilvusIndexKind::Hnsw,
+              "live deletes are supported for the HNSW kind");
+    ANN_CHECK(!hnswSegments_.empty(), "engine not prepared");
+    std::size_t s = segmentBase_.size() - 1;
+    while (s > 0 && segmentBase_[s] > id)
+        --s;
+    const auto local =
+        static_cast<VectorId>(id - segmentBase_[s]);
+    ANN_CHECK(local < hnswSegments_[s].size(),
+              "vector id out of range: ", id);
+    hnswSegments_[s].markDeleted(local);
+}
+
 engine::QueryTrace
 MilvusLikeEngine::buildIngestTrace(std::size_t rows)
 {

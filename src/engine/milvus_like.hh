@@ -47,8 +47,23 @@ class MilvusLikeEngine : public VectorDbEngine
                  const std::string &cache_dir) override;
     SearchOutput search(const float *query,
                         const SearchSettings &settings) override;
+    /** Trace-free serving path: no recorder, no timed-step assembly. */
+    SearchResult searchLive(const float *query,
+                            const SearchSettings &settings) override;
     std::size_t memoryBytes() const override;
     std::uint64_t diskSectors() const override;
+
+    /**
+     * Streaming insert into the growing tail segment (HNSW kind
+     * only); @return the new vector's engine-global id. Requires
+     * external exclusion against concurrent search()/searchLive()
+     * (the serving layer's EngineGate provides it) — HnswIndex
+     * mutations are not search-safe.
+     */
+    VectorId liveAdd(const float *vec);
+
+    /** Tombstone an engine-global id (HNSW kind; same exclusion). */
+    void liveMarkDeleted(VectorId id);
 
     std::size_t numSegments() const { return segmentBase_.size(); }
     MilvusIndexKind kind() const { return kind_; }

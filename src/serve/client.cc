@@ -1,0 +1,237 @@
+#include "serve/client.hh"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hh"
+
+namespace ann::serve {
+
+AnnClient::~AnnClient()
+{
+    close();
+}
+
+void
+AnnClient::connect(const std::string &host, std::uint16_t port)
+{
+    ANN_CHECK(fd_ < 0, "client already connected");
+
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *result = nullptr;
+    const int rc = ::getaddrinfo(host.c_str(),
+                                 std::to_string(port).c_str(), &hints,
+                                 &result);
+    ANN_CHECK(rc == 0, "resolve ", host, ": ", gai_strerror(rc));
+
+    int fd = -1;
+    int last_errno = ECONNREFUSED;
+    for (const addrinfo *ai = result; ai; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                      ai->ai_protocol);
+        if (fd < 0) {
+            last_errno = errno;
+            continue;
+        }
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        last_errno = errno;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(result);
+    ANN_CHECK(fd >= 0, "connect ", host, ":", port, ": ",
+              std::strerror(last_errno));
+
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    fd_ = fd;
+}
+
+void
+AnnClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+AnnClient::sendAll(const std::uint8_t *data, std::size_t len)
+{
+    ANN_CHECK(fd_ >= 0, "client not connected");
+    std::size_t sent = 0;
+    while (sent < len) {
+        const ssize_t w =
+            ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+        if (w > 0) {
+            sent += static_cast<std::size_t>(w);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        annFatal(__FILE__, __LINE__,
+                 std::string("send: ") + std::strerror(errno));
+    }
+}
+
+bool
+AnnClient::recvFrameMaybe(FrameHeader *out, int timeout_ms)
+{
+    ANN_CHECK(fd_ >= 0, "client not connected");
+
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+    bool frame_started = false;
+    bool timed_out = false;
+    int stalls = 0;
+    const auto fill = [&](std::uint8_t *dest, std::size_t want) {
+        std::size_t got = 0;
+        while (got < want) {
+            const ssize_t r = ::recv(fd_, dest + got, want - got, 0);
+            if (r > 0) {
+                got += static_cast<std::size_t>(r);
+                frame_started = true;
+                continue;
+            }
+            if (r == 0)
+                annFatal(__FILE__, __LINE__,
+                         "server closed the connection");
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // A timeout before the first byte is a clean "no
+                // frame yet"; mid-frame it means the peer stalled —
+                // retry a bounded number of windows, then give up.
+                if (!frame_started) {
+                    timed_out = true;
+                    return;
+                }
+                if (++stalls > 250)
+                    annFatal(__FILE__, __LINE__,
+                             "server stalled mid-frame");
+                continue;
+            }
+            annFatal(__FILE__, __LINE__,
+                     std::string("recv: ") + std::strerror(errno));
+        }
+    };
+
+    std::uint8_t header_bytes[kHeaderBytes];
+    fill(header_bytes, kHeaderBytes);
+    if (timed_out)
+        return false;
+
+    ANN_CHECK(decodeHeader(header_bytes, kHeaderBytes, out) ==
+                  DecodeResult::Ok,
+              "malformed frame header from server");
+    payload_.resize(out->payload_bytes);
+    if (out->payload_bytes > 0)
+        fill(payload_.data(), out->payload_bytes);
+    return true;
+}
+
+FrameHeader
+AnnClient::recvFrame(int timeout_ms)
+{
+    FrameHeader header;
+    ANN_CHECK(recvFrameMaybe(&header, timeout_ms),
+              "timed out waiting for a response frame");
+    return header;
+}
+
+void
+AnnClient::sendSearch(const float *query, std::size_t dim,
+                      const engine::SearchSettings &settings,
+                      std::uint64_t request_id)
+{
+    SearchRequest request;
+    request.request_id = request_id;
+    request.settings = settings;
+    request.query.assign(query, query + dim);
+    std::vector<std::uint8_t> frame;
+    encodeSearchRequest(request, &frame);
+    sendAll(frame.data(), frame.size());
+}
+
+SearchResponse
+AnnClient::recvSearchResponse(int timeout_ms)
+{
+    SearchResponse response;
+    ANN_CHECK(tryRecvSearchResponse(&response, timeout_ms),
+              "timed out waiting for a response frame");
+    return response;
+}
+
+bool
+AnnClient::tryRecvSearchResponse(SearchResponse *out, int timeout_ms)
+{
+    FrameHeader header;
+    if (!recvFrameMaybe(&header, timeout_ms))
+        return false;
+    ANN_CHECK(header.type == FrameType::SearchResponse,
+              "unexpected frame type from server: ",
+              static_cast<int>(header.type));
+    ANN_CHECK(decodeSearchResponse(payload_.data(), payload_.size(),
+                                   out) == DecodeResult::Ok,
+              "malformed search response from server");
+    return true;
+}
+
+SearchResponse
+AnnClient::search(const float *query, std::size_t dim,
+                  const engine::SearchSettings &settings,
+                  std::uint64_t request_id)
+{
+    sendSearch(query, dim, settings, request_id);
+    SearchResponse response = recvSearchResponse();
+    ANN_CHECK(response.request_id == request_id,
+              "response id mismatch: sent ", request_id, ", got ",
+              response.request_id);
+    return response;
+}
+
+MetricsSnapshot
+AnnClient::metrics()
+{
+    std::vector<std::uint8_t> frame;
+    encodeMetricsRequest(&frame);
+    sendAll(frame.data(), frame.size());
+    const FrameHeader header = recvFrame(0);
+    ANN_CHECK(header.type == FrameType::MetricsResponse,
+              "unexpected frame type from server: ",
+              static_cast<int>(header.type));
+    MetricsSnapshot snapshot;
+    ANN_CHECK(decodeMetricsResponse(payload_.data(), payload_.size(),
+                                    &snapshot) == DecodeResult::Ok,
+              "malformed metrics response from server");
+    return snapshot;
+}
+
+void
+AnnClient::shutdownServer()
+{
+    std::vector<std::uint8_t> frame;
+    encodeShutdownRequest(&frame);
+    sendAll(frame.data(), frame.size());
+    const FrameHeader header = recvFrame(0);
+    ANN_CHECK(header.type == FrameType::ShutdownAck,
+              "unexpected frame type from server: ",
+              static_cast<int>(header.type));
+}
+
+} // namespace ann::serve

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * AnnClient: blocking TCP client for the serving protocol.
+ *
+ * One connection, used two ways:
+ *  - request/response: search() / metrics() / shutdownServer() do a
+ *    full round trip (the closed-loop load generator's shape);
+ *  - pipelined: sendSearch() queues requests without waiting and
+ *    recvSearchResponse() drains replies in arrival order, matched
+ *    by request id (the open-loop load generator's shape).
+ *
+ * Every method throws FatalError on socket or protocol failure.
+ */
+
+#ifndef ANN_SERVE_CLIENT_HH
+#define ANN_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hh"
+
+namespace ann::serve {
+
+/** Blocking protocol client over one TCP connection. */
+class AnnClient
+{
+  public:
+    AnnClient() = default;
+    ~AnnClient();
+
+    AnnClient(const AnnClient &) = delete;
+    AnnClient &operator=(const AnnClient &) = delete;
+
+    void connect(const std::string &host, std::uint16_t port);
+    void close();
+    bool connected() const { return fd_ >= 0; }
+
+    /** Blocking search round trip. */
+    SearchResponse search(const float *query, std::size_t dim,
+                          const engine::SearchSettings &settings,
+                          std::uint64_t request_id);
+
+    /** Queue a search without waiting for the reply. */
+    void sendSearch(const float *query, std::size_t dim,
+                    const engine::SearchSettings &settings,
+                    std::uint64_t request_id);
+
+    /**
+     * Blocking read of the next search response on the wire.
+     * @param timeout_ms 0 waits forever; otherwise FatalError on
+     *        expiry (SO_RCVTIMEO granularity).
+     */
+    SearchResponse recvSearchResponse(int timeout_ms = 0);
+
+    /**
+     * Pipelined-reader variant: @return false when no frame began
+     * arriving within @p timeout_ms (instead of throwing); still
+     * throws on disconnects and protocol errors.
+     */
+    bool tryRecvSearchResponse(SearchResponse *out, int timeout_ms);
+
+    /** Fetch the server's metrics snapshot. */
+    MetricsSnapshot metrics();
+
+    /** Ask the server to drain and stop; waits for the ack. */
+    void shutdownServer();
+
+  private:
+    void sendAll(const std::uint8_t *data, std::size_t len);
+    /** Read one frame; payload is left in payload_. */
+    FrameHeader recvFrame(int timeout_ms);
+    /** @return false on timeout before any frame byte arrived. */
+    bool recvFrameMaybe(FrameHeader *out, int timeout_ms);
+
+    int fd_ = -1;
+    std::vector<std::uint8_t> payload_;
+};
+
+} // namespace ann::serve
+
+#endif // ANN_SERVE_CLIENT_HH

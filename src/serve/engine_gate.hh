@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reader-writer gate serializing engine mutations against searches.
+ *
+ * The engines' shared-read contract makes concurrent search() calls
+ * safe but leaves mutations (streaming inserts, tombstones,
+ * consolidation) to external exclusion. The server makes that
+ * interleaving real — query traffic and ingest traffic hit one
+ * engine concurrently — so the serving layer funnels every engine
+ * access through this gate: searches take the lock shared, mutations
+ * take it exclusive. Writer starvation is bounded by
+ * std::shared_mutex's implementation; mutation batches should stay
+ * short regardless (the same discipline FreshDiskANN's background
+ * merge follows).
+ */
+
+#ifndef ANN_SERVE_ENGINE_GATE_HH
+#define ANN_SERVE_ENGINE_GATE_HH
+
+#include <shared_mutex>
+
+#include "engine/engine.hh"
+
+namespace ann::serve {
+
+/** Shared-lock searches, exclusive-lock mutations, one engine. */
+class EngineGate
+{
+  public:
+    explicit EngineGate(engine::VectorDbEngine &engine)
+        : engine_(engine)
+    {}
+
+    EngineGate(const EngineGate &) = delete;
+    EngineGate &operator=(const EngineGate &) = delete;
+
+    engine::VectorDbEngine &engine() { return engine_; }
+
+    /** Trace-free serving search under a shared lock. */
+    SearchResult
+    search(const float *query, const engine::SearchSettings &settings)
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        return engine_.searchLive(query, settings);
+    }
+
+    /**
+     * Run @p fn(engine) under the exclusive lock. Keep the body
+     * short: every queued search stalls while it runs.
+     */
+    template <typename Fn>
+    auto
+    mutate(Fn &&fn)
+    {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        return fn(engine_);
+    }
+
+  private:
+    std::shared_mutex mutex_;
+    engine::VectorDbEngine &engine_;
+};
+
+} // namespace ann::serve
+
+#endif // ANN_SERVE_ENGINE_GATE_HH

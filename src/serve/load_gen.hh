@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Network load generators reproducing the paper's client sweep.
+ *
+ * Two driving disciplines against a running AnnServer:
+ *
+ *  - closed loop (VectorDBBench's shape, the paper's concurrency
+ *    sweep): N clients, each with at most one request outstanding;
+ *    offered load adapts to service rate, so QPS saturates while
+ *    latency grows with N.
+ *  - open loop: requests leave on a fixed schedule (target QPS split
+ *    across sender connections) regardless of completions — the
+ *    discipline that exposes queueing delay and admission-control
+ *    shedding, which a synchronous loop can never generate.
+ *
+ * Both validate recall@k against the dataset's ground truth per
+ * response, so a serving-layer bug that corrupts results (not just
+ * timing) fails the run.
+ */
+
+#ifndef ANN_SERVE_LOAD_GEN_HH
+#define ANN_SERVE_LOAD_GEN_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hh"
+#include "engine/engine.hh"
+#include "workload/dataset.hh"
+
+namespace ann::serve {
+
+struct LoadOptions
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    /** Closed-loop clients, or open-loop sender connections. */
+    std::size_t clients = 1;
+    /** > 0 selects the open-loop discipline at this offered QPS. */
+    double target_qps = 0.0;
+    double duration_s = 3.0;
+    engine::SearchSettings settings;
+    /** Query source + ground truth; required. */
+    const workload::Dataset *dataset = nullptr;
+    /** Validate recall@k on every Ok response (needs gt_k >= k). */
+    bool validate = true;
+    /** Closed-loop pause after an Overloaded reply (anti-spin). */
+    std::chrono::microseconds shed_backoff{200};
+};
+
+struct LoadReport
+{
+    std::uint64_t sent = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;
+    /** BadRequest / ShuttingDown replies. */
+    std::uint64_t rejected = 0;
+    /** Open loop: responses still missing when the run ended. */
+    std::uint64_t unanswered = 0;
+    double wall_s = 0.0;
+    double qps = 0.0;
+    double mean_us = 0.0;
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+    double p999_us = 0.0;
+    /** Mean server-side queue wait / execution time (Ok replies). */
+    double server_queue_us = 0.0;
+    double server_exec_us = 0.0;
+    /** Mean recall@k over validated responses. */
+    double recall = 0.0;
+    std::uint64_t recall_samples = 0;
+    /** Client-observed latency distribution (merged, ns). */
+    LatencyHistogram latency_ns;
+};
+
+/** N concurrent clients, one outstanding request each. */
+LoadReport runClosedLoop(const LoadOptions &options);
+
+/** Fixed-schedule senders at options.target_qps total. */
+LoadReport runOpenLoop(const LoadOptions &options);
+
+} // namespace ann::serve
+
+#endif // ANN_SERVE_LOAD_GEN_HH

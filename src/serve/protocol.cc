@@ -1,0 +1,328 @@
+#include "serve/protocol.hh"
+
+#include <cstring>
+
+namespace ann::serve {
+namespace {
+
+// ------------------------------------------------------------ writers
+
+void
+put16(std::vector<std::uint8_t> *out, std::uint16_t v)
+{
+    out->push_back(static_cast<std::uint8_t>(v));
+    out->push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+put32(std::vector<std::uint8_t> *out, std::uint32_t v)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        out->push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void
+put64(std::vector<std::uint8_t> *out, std::uint64_t v)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        out->push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void
+putF32(std::vector<std::uint8_t> *out, float v)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put32(out, bits);
+}
+
+void
+putF64(std::vector<std::uint8_t> *out, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put64(out, bits);
+}
+
+void
+putHeader(std::vector<std::uint8_t> *out, FrameType type,
+          std::uint32_t payload_bytes)
+{
+    put32(out, kMagic);
+    put16(out, static_cast<std::uint16_t>(type));
+    put16(out, 0);
+    put32(out, payload_bytes);
+}
+
+/**
+ * Patch the header's payload_bytes once the payload is appended;
+ * @p header_at is the offset putHeader() was called at.
+ */
+void
+patchPayloadBytes(std::vector<std::uint8_t> *out, std::size_t header_at)
+{
+    const auto payload =
+        static_cast<std::uint32_t>(out->size() - header_at -
+                                   kHeaderBytes);
+    for (int i = 0; i < 4; ++i)
+        (*out)[header_at + 8 + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(payload >> (8 * i));
+}
+
+// ------------------------------------------------------------ readers
+
+/** Bounds-checked little-endian cursor over a received payload. */
+struct Cursor
+{
+    const std::uint8_t *data;
+    std::size_t len;
+    std::size_t at = 0;
+
+    bool
+    take16(std::uint16_t *v)
+    {
+        if (len - at < 2)
+            return false;
+        *v = static_cast<std::uint16_t>(data[at] | (data[at + 1] << 8));
+        at += 2;
+        return true;
+    }
+
+    bool
+    take32(std::uint32_t *v)
+    {
+        if (len - at < 4)
+            return false;
+        *v = 0;
+        for (int i = 0; i < 4; ++i)
+            *v |= static_cast<std::uint32_t>(data[at + static_cast<
+                      std::size_t>(i)])
+                  << (8 * i);
+        at += 4;
+        return true;
+    }
+
+    bool
+    take64(std::uint64_t *v)
+    {
+        std::uint32_t lo, hi;
+        if (!take32(&lo) || !take32(&hi))
+            return false;
+        *v = lo | (static_cast<std::uint64_t>(hi) << 32);
+        return true;
+    }
+
+    bool
+    takeF32(float *v)
+    {
+        std::uint32_t bits;
+        if (!take32(&bits))
+            return false;
+        std::memcpy(v, &bits, sizeof(*v));
+        return true;
+    }
+
+    bool
+    takeF64(double *v)
+    {
+        std::uint64_t bits;
+        if (!take64(&bits))
+            return false;
+        std::memcpy(v, &bits, sizeof(*v));
+        return true;
+    }
+
+    bool consumedAll() const { return at == len; }
+};
+
+bool
+knownFrameType(std::uint16_t raw)
+{
+    return raw >= static_cast<std::uint16_t>(FrameType::SearchRequest) &&
+           raw <= static_cast<std::uint16_t>(FrameType::ShutdownAck);
+}
+
+} // namespace
+
+DecodeResult
+decodeHeader(const std::uint8_t *data, std::size_t len,
+             FrameHeader *out)
+{
+    if (len < kHeaderBytes) {
+        // Reject non-protocol peers as soon as the magic can't match,
+        // instead of waiting for 12 bytes that may never come.
+        for (std::size_t i = 0; i < len && i < 4; ++i)
+            if (data[i] !=
+                static_cast<std::uint8_t>(kMagic >> (8 * i)))
+                return DecodeResult::Malformed;
+        return DecodeResult::NeedMore;
+    }
+    Cursor cur{data, len};
+    std::uint32_t magic, payload;
+    std::uint16_t type, reserved;
+    cur.take32(&magic);
+    cur.take16(&type);
+    cur.take16(&reserved);
+    cur.take32(&payload);
+    if (magic != kMagic || reserved != 0 || !knownFrameType(type) ||
+        payload > kMaxPayloadBytes)
+        return DecodeResult::Malformed;
+    out->type = static_cast<FrameType>(type);
+    out->payload_bytes = payload;
+    return DecodeResult::Ok;
+}
+
+void
+encodeSearchRequest(const SearchRequest &request,
+                    std::vector<std::uint8_t> *out)
+{
+    const std::size_t header_at = out->size();
+    putHeader(out, FrameType::SearchRequest, 0);
+    put64(out, request.request_id);
+    put32(out, static_cast<std::uint32_t>(request.settings.k));
+    put32(out, static_cast<std::uint32_t>(request.settings.nprobe));
+    put32(out, static_cast<std::uint32_t>(request.settings.ef_search));
+    put32(out,
+          static_cast<std::uint32_t>(request.settings.search_list));
+    put32(out, static_cast<std::uint32_t>(request.settings.beam_width));
+    put32(out, static_cast<std::uint32_t>(request.query.size()));
+    for (const float v : request.query)
+        putF32(out, v);
+    patchPayloadBytes(out, header_at);
+}
+
+DecodeResult
+decodeSearchRequest(const std::uint8_t *payload, std::size_t len,
+                    SearchRequest *out)
+{
+    Cursor cur{payload, len};
+    std::uint32_t k, nprobe, ef, search_list, beam, dim;
+    if (!cur.take64(&out->request_id) || !cur.take32(&k) ||
+        !cur.take32(&nprobe) || !cur.take32(&ef) ||
+        !cur.take32(&search_list) || !cur.take32(&beam) ||
+        !cur.take32(&dim))
+        return DecodeResult::Malformed;
+    if (k > kMaxK || dim > kMaxDim)
+        return DecodeResult::Malformed;
+    if (len - cur.at != static_cast<std::size_t>(dim) * 4)
+        return DecodeResult::Malformed;
+    out->settings.k = k;
+    out->settings.nprobe = nprobe;
+    out->settings.ef_search = ef;
+    out->settings.search_list = search_list;
+    out->settings.beam_width = beam;
+    out->query.resize(dim);
+    for (std::uint32_t i = 0; i < dim; ++i)
+        cur.takeF32(&out->query[i]);
+    return cur.consumedAll() ? DecodeResult::Ok
+                             : DecodeResult::Malformed;
+}
+
+void
+encodeSearchResponse(const SearchResponse &response,
+                     std::vector<std::uint8_t> *out)
+{
+    const std::size_t header_at = out->size();
+    putHeader(out, FrameType::SearchResponse, 0);
+    put64(out, response.request_id);
+    put32(out, static_cast<std::uint32_t>(response.status));
+    put64(out, response.queue_ns);
+    put64(out, response.exec_ns);
+    put32(out, static_cast<std::uint32_t>(response.results.size()));
+    for (const Neighbor &n : response.results) {
+        put32(out, n.id);
+        putF32(out, n.distance);
+    }
+    patchPayloadBytes(out, header_at);
+}
+
+DecodeResult
+decodeSearchResponse(const std::uint8_t *payload, std::size_t len,
+                     SearchResponse *out)
+{
+    Cursor cur{payload, len};
+    std::uint32_t status, n;
+    if (!cur.take64(&out->request_id) || !cur.take32(&status) ||
+        !cur.take64(&out->queue_ns) || !cur.take64(&out->exec_ns) ||
+        !cur.take32(&n))
+        return DecodeResult::Malformed;
+    if (status > static_cast<std::uint32_t>(Status::BadRequest) ||
+        n > kMaxK || len - cur.at != static_cast<std::size_t>(n) * 8)
+        return DecodeResult::Malformed;
+    out->status = static_cast<Status>(status);
+    out->results.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        cur.take32(&out->results[i].id);
+        cur.takeF32(&out->results[i].distance);
+    }
+    return cur.consumedAll() ? DecodeResult::Ok
+                             : DecodeResult::Malformed;
+}
+
+void
+encodeMetricsRequest(std::vector<std::uint8_t> *out)
+{
+    putHeader(out, FrameType::MetricsRequest, 0);
+}
+
+void
+encodeMetricsResponse(const MetricsSnapshot &snapshot,
+                      std::vector<std::uint8_t> *out)
+{
+    const std::size_t header_at = out->size();
+    putHeader(out, FrameType::MetricsResponse, 0);
+    put64(out, snapshot.uptime_ns);
+    put64(out, snapshot.accepted_connections);
+    put64(out, snapshot.open_connections);
+    put64(out, snapshot.received);
+    put64(out, snapshot.completed);
+    put64(out, snapshot.shed);
+    put64(out, snapshot.protocol_errors);
+    put64(out, snapshot.dropped_responses);
+    put64(out, snapshot.in_flight);
+    put64(out, snapshot.queue_depth);
+    put64(out, snapshot.batches);
+    put64(out, snapshot.max_batch);
+    putF64(out, snapshot.qps);
+    putF64(out, snapshot.mean_us);
+    putF64(out, snapshot.p50_us);
+    putF64(out, snapshot.p99_us);
+    putF64(out, snapshot.p999_us);
+    patchPayloadBytes(out, header_at);
+}
+
+DecodeResult
+decodeMetricsResponse(const std::uint8_t *payload, std::size_t len,
+                      MetricsSnapshot *out)
+{
+    Cursor cur{payload, len};
+    if (!cur.take64(&out->uptime_ns) ||
+        !cur.take64(&out->accepted_connections) ||
+        !cur.take64(&out->open_connections) ||
+        !cur.take64(&out->received) || !cur.take64(&out->completed) ||
+        !cur.take64(&out->shed) ||
+        !cur.take64(&out->protocol_errors) ||
+        !cur.take64(&out->dropped_responses) ||
+        !cur.take64(&out->in_flight) ||
+        !cur.take64(&out->queue_depth) || !cur.take64(&out->batches) ||
+        !cur.take64(&out->max_batch) || !cur.takeF64(&out->qps) ||
+        !cur.takeF64(&out->mean_us) || !cur.takeF64(&out->p50_us) ||
+        !cur.takeF64(&out->p99_us) || !cur.takeF64(&out->p999_us))
+        return DecodeResult::Malformed;
+    return cur.consumedAll() ? DecodeResult::Ok
+                             : DecodeResult::Malformed;
+}
+
+void
+encodeShutdownRequest(std::vector<std::uint8_t> *out)
+{
+    putHeader(out, FrameType::ShutdownRequest, 0);
+}
+
+void
+encodeShutdownAck(std::vector<std::uint8_t> *out)
+{
+    putHeader(out, FrameType::ShutdownAck, 0);
+}
+
+} // namespace ann::serve

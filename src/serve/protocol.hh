@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Wire protocol of the serving subsystem.
+ *
+ * Length-prefixed binary frames over TCP, little-endian throughout:
+ *
+ *   header (12 bytes): u32 magic "ANN1" | u16 type | u16 reserved=0
+ *                      | u32 payload_bytes
+ *
+ * A search request carries the full SearchSettings union (k, nprobe,
+ * ef_search, search_list, beam_width) plus the query vector, so one
+ * server can front any engine. Responses echo a client-chosen
+ * request id — responses to pipelined requests can therefore be
+ * matched even when admission-control sheds jump the queue — and
+ * report the server-side queue wait and execution time so load
+ * generators can split client-observed latency into network, queue,
+ * and compute components.
+ *
+ * Decoding is defensive by contract: every decoder bounds-checks
+ * against the received byte count and returns Malformed instead of
+ * reading past the end, because the server feeds these functions
+ * bytes straight off the network.
+ */
+
+#ifndef ANN_SERVE_PROTOCOL_HH
+#define ANN_SERVE_PROTOCOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "engine/engine.hh"
+
+namespace ann::serve {
+
+/** "ANN1", rejecting non-protocol peers on the first 4 bytes. */
+inline constexpr std::uint32_t kMagic = 0x314E4E41;
+inline constexpr std::size_t kHeaderBytes = 12;
+/** Ceiling on payload_bytes; larger prefixes are protocol errors. */
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 24;
+/** Sanity bounds on search-request fields. */
+inline constexpr std::uint32_t kMaxDim = 1u << 16;
+inline constexpr std::uint32_t kMaxK = 1u << 16;
+
+enum class FrameType : std::uint16_t
+{
+    SearchRequest = 1,
+    SearchResponse = 2,
+    MetricsRequest = 3,
+    MetricsResponse = 4,
+    ShutdownRequest = 5,
+    ShutdownAck = 6,
+};
+
+/** Per-request outcome carried in every search response. */
+enum class Status : std::uint32_t
+{
+    Ok = 0,
+    /** Admission control shed the request (queue at its limit). */
+    Overloaded = 1,
+    /** Server is draining after SIGTERM / shutdown request. */
+    ShuttingDown = 2,
+    /** Well-framed but semantically invalid request (k=0, wrong dim). */
+    BadRequest = 3,
+};
+
+struct FrameHeader
+{
+    FrameType type = FrameType::SearchRequest;
+    std::uint32_t payload_bytes = 0;
+};
+
+struct SearchRequest
+{
+    std::uint64_t request_id = 0;
+    engine::SearchSettings settings;
+    std::vector<float> query;
+};
+
+struct SearchResponse
+{
+    std::uint64_t request_id = 0;
+    Status status = Status::Ok;
+    /** Admission -> batch-dispatch wait on the server. */
+    std::uint64_t queue_ns = 0;
+    /** Engine execution time on the server. */
+    std::uint64_t exec_ns = 0;
+    SearchResult results;
+};
+
+/** Server-side counters returned by the metrics endpoint. */
+struct MetricsSnapshot
+{
+    std::uint64_t uptime_ns = 0;
+    std::uint64_t accepted_connections = 0;
+    std::uint64_t open_connections = 0;
+    std::uint64_t received = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t protocol_errors = 0;
+    /** Responses whose connection died before delivery. */
+    std::uint64_t dropped_responses = 0;
+    std::uint64_t in_flight = 0;
+    std::uint64_t queue_depth = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t max_batch = 0;
+    double qps = 0.0;
+    double mean_us = 0.0;
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+    double p999_us = 0.0;
+};
+
+enum class DecodeResult
+{
+    Ok,
+    /** Prefix of a valid frame: keep the bytes, read more. */
+    NeedMore,
+    /** Not this protocol / corrupted: drop the connection. */
+    Malformed,
+};
+
+/**
+ * Decode a frame header from the first @p len bytes of @p data.
+ * NeedMore when fewer than kHeaderBytes arrived; Malformed on bad
+ * magic, unknown type, non-zero reserved bits, or an oversized
+ * payload prefix.
+ */
+DecodeResult decodeHeader(const std::uint8_t *data, std::size_t len,
+                          FrameHeader *out);
+
+/** Append a complete frame (header + payload) for each frame type. */
+void encodeSearchRequest(const SearchRequest &request,
+                         std::vector<std::uint8_t> *out);
+void encodeSearchResponse(const SearchResponse &response,
+                          std::vector<std::uint8_t> *out);
+void encodeMetricsRequest(std::vector<std::uint8_t> *out);
+void encodeMetricsResponse(const MetricsSnapshot &snapshot,
+                           std::vector<std::uint8_t> *out);
+void encodeShutdownRequest(std::vector<std::uint8_t> *out);
+void encodeShutdownAck(std::vector<std::uint8_t> *out);
+
+/**
+ * Decode one payload of the given kind from exactly @p len bytes.
+ * Returns Malformed on any size/bounds mismatch (never NeedMore —
+ * the caller already has the complete payload per the header).
+ */
+DecodeResult decodeSearchRequest(const std::uint8_t *payload,
+                                 std::size_t len, SearchRequest *out);
+DecodeResult decodeSearchResponse(const std::uint8_t *payload,
+                                  std::size_t len, SearchResponse *out);
+DecodeResult decodeMetricsResponse(const std::uint8_t *payload,
+                                   std::size_t len,
+                                   MetricsSnapshot *out);
+
+} // namespace ann::serve
+
+#endif // ANN_SERVE_PROTOCOL_HH

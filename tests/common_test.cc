@@ -322,6 +322,82 @@ TEST(ArgsTest, RejectsUnknownAndMalformed)
     }
 }
 
+TEST(LatencyHistogramTest, BucketsPartitionTheRange)
+{
+    // Every bucket's range must start right after the previous one.
+    std::uint64_t expected_low = 0;
+    for (std::size_t i = 0; i < LatencyHistogram::numBuckets(); ++i) {
+        EXPECT_EQ(LatencyHistogram::bucketLow(i), expected_low)
+            << "bucket " << i;
+        EXPECT_GE(LatencyHistogram::bucketHigh(i),
+                  LatencyHistogram::bucketLow(i));
+        expected_low = LatencyHistogram::bucketHigh(i) + 1;
+        if (expected_low == 0)
+            break; // wrapped: covered the full uint64 range
+    }
+    // Spot-check that values map into the bucket that contains them.
+    for (const std::uint64_t v :
+         {0ULL, 1ULL, 31ULL, 32ULL, 33ULL, 1000ULL, 123456789ULL,
+          (1ULL << 40) + 12345ULL, ~0ULL}) {
+        const auto idx = LatencyHistogram::bucketIndex(v);
+        ASSERT_LT(idx, LatencyHistogram::numBuckets());
+        EXPECT_GE(v, LatencyHistogram::bucketLow(idx));
+        EXPECT_LE(v, LatencyHistogram::bucketHigh(idx));
+    }
+}
+
+TEST(LatencyHistogramTest, PercentilesWithinRelativeError)
+{
+    LatencyHistogram hist;
+    for (std::uint64_t v = 1; v <= 100'000; ++v)
+        hist.add(v);
+    EXPECT_EQ(hist.count(), 100'000u);
+    EXPECT_EQ(hist.minValue(), 1u);
+    EXPECT_EQ(hist.maxValue(), 100'000u);
+    EXPECT_NEAR(hist.mean(), 50'000.5, 1e-6);
+    const double tol = 1.0 / (1 << LatencyHistogram::kSubBits);
+    for (const double p : {50.0, 90.0, 99.0, 99.9}) {
+        const double exact = p / 100.0 * 100'000.0;
+        EXPECT_NEAR(hist.percentile(p), exact, exact * tol)
+            << "p" << p;
+    }
+    EXPECT_EQ(hist.percentile(0.0), 1.0);
+    EXPECT_EQ(hist.percentile(100.0), 100'000.0);
+}
+
+TEST(LatencyHistogramTest, MergeMatchesSingleHistogram)
+{
+    LatencyHistogram parts[4];
+    LatencyHistogram whole;
+    Rng rng(99);
+    for (int i = 0; i < 40'000; ++i) {
+        const auto v = rng.nextBelow(10'000'000);
+        parts[i % 4].add(v);
+        whole.add(v);
+    }
+    LatencyHistogram merged;
+    for (const auto &part : parts)
+        merged.merge(part);
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_EQ(merged.minValue(), whole.minValue());
+    EXPECT_EQ(merged.maxValue(), whole.maxValue());
+    EXPECT_DOUBLE_EQ(merged.mean(), whole.mean());
+    for (const double p : {1.0, 50.0, 99.0, 99.9})
+        EXPECT_DOUBLE_EQ(merged.percentile(p), whole.percentile(p));
+}
+
+TEST(LatencyHistogramTest, EmptyAndClear)
+{
+    LatencyHistogram hist;
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_EQ(hist.percentile(99.0), 0.0);
+    EXPECT_EQ(hist.mean(), 0.0);
+    hist.add(42);
+    hist.clear();
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_EQ(hist.maxValue(), 0u);
+}
+
 TEST(EnvTest, ParsesIntegers)
 {
     ::setenv("ANN_TEST_INT_VAR", "17", 1);

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Argument-hygiene tests for the shipped CLIs: unknown flags and
+ * invalid enum values must exit non-zero and name the valid choices
+ * instead of crashing or silently defaulting. Each case runs the real
+ * binary (paths baked in at build time) and fails fast — every probed
+ * error is detected before any dataset or index work starts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct RunResult
+{
+    int exit_code = -1;
+    std::string output; // stdout + stderr interleaved
+};
+
+RunResult
+run(const std::string &command)
+{
+    RunResult result;
+    FILE *pipe = ::popen((command + " 2>&1").c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    if (pipe == nullptr)
+        return result;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0)
+        result.output.append(buf, n);
+    const int status = ::pclose(pipe);
+    result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return result;
+}
+
+TEST(ToolsCliTest, AnnbenchRejectsUnknownFlag)
+{
+    const auto r = run(std::string(ANNBENCH_PATH) + " --no-such-flag");
+    EXPECT_NE(r.exit_code, 0);
+    EXPECT_NE(r.output.find("unknown option"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
+TEST(ToolsCliTest, AnnbenchRejectsInvalidIoBackend)
+{
+    const auto r = run(std::string(ANNBENCH_PATH) +
+                       " --io-backend bogus");
+    EXPECT_NE(r.exit_code, 0);
+    EXPECT_NE(r.output.find("memory|file|uring"), std::string::npos)
+        << r.output;
+}
+
+TEST(ToolsCliTest, AnnbenchRejectsMalformedThreadList)
+{
+    const auto r = run(std::string(ANNBENCH_PATH) +
+                       " --threads 1,abc,4");
+    EXPECT_NE(r.exit_code, 0);
+    EXPECT_NE(r.output.find("positive integers"), std::string::npos)
+        << r.output;
+}
+
+TEST(ToolsCliTest, AnnserveRejectsUnknownFlag)
+{
+    const auto r = run(std::string(ANNSERVE_PATH) + " --bogus-flag");
+    EXPECT_NE(r.exit_code, 0);
+    EXPECT_NE(r.output.find("unknown option"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
+TEST(ToolsCliTest, AnnserveRejectsInvalidIoBackend)
+{
+    const auto r = run(std::string(ANNSERVE_PATH) +
+                       " --io-backend nvme-of");
+    EXPECT_NE(r.exit_code, 0);
+    EXPECT_NE(r.output.find("memory|file|uring"), std::string::npos)
+        << r.output;
+}
+
+TEST(ToolsCliTest, AnnloadRequiresPort)
+{
+    const auto r = run(std::string(ANNLOAD_PATH));
+    EXPECT_NE(r.exit_code, 0);
+    EXPECT_NE(r.output.find("--port is required"), std::string::npos)
+        << r.output;
+}
+
+TEST(ToolsCliTest, AnnloadRejectsUnknownFlag)
+{
+    const auto r = run(std::string(ANNLOAD_PATH) + " --warmup 5");
+    EXPECT_NE(r.exit_code, 0);
+    EXPECT_NE(r.output.find("unknown option"), std::string::npos)
+        << r.output;
+}
+
+TEST(ToolsCliTest, AnnloadRejectsMalformedClientList)
+{
+    const auto r = run(std::string(ANNLOAD_PATH) +
+                       " --port 1 --clients 1,,8");
+    EXPECT_NE(r.exit_code, 0);
+    EXPECT_NE(r.output.find("positive integers"), std::string::npos)
+        << r.output;
+}
+
+TEST(ToolsCliTest, AnnloadRejectsNonNumericOption)
+{
+    const auto r = run(std::string(ANNLOAD_PATH) +
+                       " --port 1 --min-recall high");
+    EXPECT_NE(r.exit_code, 0);
+    EXPECT_NE(r.output.find("expects a number"), std::string::npos)
+        << r.output;
+}
+
+TEST(ToolsCliTest, HelpExitsZero)
+{
+    EXPECT_EQ(run(std::string(ANNBENCH_PATH) + " --help").exit_code, 0);
+    EXPECT_EQ(run(std::string(ANNSERVE_PATH) + " --help").exit_code, 0);
+    EXPECT_EQ(run(std::string(ANNLOAD_PATH) + " --help").exit_code, 0);
+}
+
+} // namespace

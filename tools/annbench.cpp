@@ -32,18 +32,6 @@
 
 namespace {
 
-std::vector<std::size_t>
-parseThreadList(const std::string &spec)
-{
-    std::vector<std::size_t> threads;
-    std::stringstream stream(spec);
-    std::string token;
-    while (std::getline(stream, token, ','))
-        threads.push_back(std::stoul(token));
-    ANN_CHECK(!threads.empty(), "empty --threads list");
-    return threads;
-}
-
 void
 printUsage()
 {
@@ -82,33 +70,14 @@ printUsage()
         "  --help              this message\n");
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runBench(const ann::ArgParser &args)
 {
     using namespace ann;
-    ArgParser args({"setup", "dataset", "threads", "exec-threads", "k",
-                    "nprobe", "ef-search", "search-list", "beam-width",
-                    "io-backend", "io-queue-depth", "duration-ms",
-                    "trace"},
-                   {"help", "verify-exec"});
-    try {
-        args.parse(argc, argv);
-    } catch (const FatalError &e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        printUsage();
-        return 1;
-    }
-    if (args.flag("help")) {
-        printUsage();
-        return 0;
-    }
-
     const std::string setup = args.get("setup", "milvus-diskann");
     const std::string dataset_name = args.get("dataset", "cohere-1m");
     const auto threads =
-        parseThreadList(args.get("threads", "1,16,256"));
+        parseSizeList("threads", args.get("threads", "1,16,256"));
 
     // Pick the real-I/O backend before any index is built or loaded
     // (flags override $ANN_IO_BACKEND / $ANN_IO_QUEUE_DEPTH).
@@ -167,7 +136,7 @@ main(int argc, char **argv)
 
     TextTable table(setup + " on " + dataset_name);
     table.setHeader({"threads", "QPS", "mean (us)", "P99 (us)",
-                     "recall@10", "CPU %", "read MiB/s",
+                     "P99.9 (us)", "recall@10", "CPU %", "read MiB/s",
                      "MiB/query"});
     const bool want_trace = args.has("trace");
     for (const std::size_t t : threads) {
@@ -184,6 +153,7 @@ main(int argc, char **argv)
                           ? "OOM"
                           : formatDouble(m.replay.mean_latency_us, 0),
                       core::fmtP99(m.replay),
+                      core::fmtP999(m.replay),
                       core::fmtRecall(m.recall),
                       core::fmtCpuPct(m.replay),
                       core::fmtMib(m.replay.read_bw_mib),
@@ -204,4 +174,34 @@ main(int argc, char **argv)
     }
     table.print(std::cout);
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ann;
+    ArgParser args({"setup", "dataset", "threads", "exec-threads", "k",
+                    "nprobe", "ef-search", "search-list", "beam-width",
+                    "io-backend", "io-queue-depth", "duration-ms",
+                    "trace"},
+                   {"help", "verify-exec"});
+    try {
+        args.parse(argc, argv);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        printUsage();
+        return 1;
+    }
+    if (args.flag("help")) {
+        printUsage();
+        return 0;
+    }
+    try {
+        return runBench(args);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "annbench: %s\n", e.what());
+        return 1;
+    }
 }

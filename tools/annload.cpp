@@ -1,0 +1,184 @@
+/**
+ * @file
+ * annload — network load generator for annserve.
+ *
+ * Reproduces the paper's client-concurrency sweep over a real socket:
+ *
+ *   annload --port 7654 --dataset cohere-1m --clients 1,2,4,8,16 \
+ *           --ef-search 80
+ *
+ * Closed loop by default (each client keeps one request in flight,
+ * VectorDBBench's discipline); --target-qps switches to an open loop
+ * that sends on a fixed schedule and therefore can drive the server
+ * into admission-control shedding. Every Ok response is validated
+ * against the dataset's ground truth, and --min-recall turns a recall
+ * regression into a non-zero exit for CI.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/args.hh"
+#include "common/error.hh"
+#include "common/table.hh"
+#include "serve/client.hh"
+#include "serve/load_gen.hh"
+#include "workload/registry.hh"
+
+namespace {
+
+void
+printUsage()
+{
+    std::printf(
+        "usage: annload [options]\n"
+        "  --host ADDR         server address (default 127.0.0.1)\n"
+        "  --port N            server port (required)\n"
+        "  --dataset NAME      query + ground-truth source; must "
+        "match\n"
+        "                      the served dataset (default "
+        "cohere-1m)\n"
+        "  --clients LIST      comma-separated sweep, e.g. "
+        "1,2,4,8,16\n"
+        "                      (default 1,2,4,8,16,32,64)\n"
+        "  --target-qps N      open loop at this offered rate "
+        "(default:\n"
+        "                      closed loop)\n"
+        "  --duration-s N      seconds per sweep point (default 3)\n"
+        "  --k N               neighbours per query (default 10)\n"
+        "  --nprobe N          IVF probes (default 8)\n"
+        "  --ef-search N       HNSW candidate list (default 50)\n"
+        "  --search-list N     DiskANN candidate list (default 10)\n"
+        "  --beam-width N      DiskANN beam width (default 4)\n"
+        "  --min-recall X      exit 1 if any point's recall@k < X\n"
+        "  --no-validate       skip recall validation\n"
+        "  --help              this message\n");
+}
+
+double
+getDouble(const ann::ArgParser &args, const std::string &name,
+          double fallback)
+{
+    if (!args.has(name))
+        return fallback;
+    const std::string text = args.get(name, "");
+    char *end = nullptr;
+    const double parsed = std::strtod(text.c_str(), &end);
+    ANN_CHECK(end != text.c_str() && *end == '\0', "option --", name,
+              " expects a number, got '", text, "'");
+    return parsed;
+}
+
+int
+runLoad(const ann::ArgParser &args)
+{
+    using namespace ann;
+    ANN_CHECK(args.has("port"), "--port is required");
+
+    serve::LoadOptions options;
+    options.host = args.get("host", "127.0.0.1");
+    options.port =
+        static_cast<std::uint16_t>(args.getInt("port", 0));
+    options.target_qps = getDouble(args, "target-qps", 0.0);
+    options.duration_s = getDouble(args, "duration-s", 3.0);
+    options.validate = !args.flag("no-validate");
+    options.settings.k =
+        static_cast<std::size_t>(args.getInt("k", 10));
+    options.settings.nprobe =
+        static_cast<std::size_t>(args.getInt("nprobe", 8));
+    options.settings.ef_search =
+        static_cast<std::size_t>(args.getInt("ef-search", 50));
+    options.settings.search_list =
+        static_cast<std::size_t>(args.getInt("search-list", 10));
+    options.settings.beam_width =
+        static_cast<std::size_t>(args.getInt("beam-width", 4));
+
+    const auto clients =
+        parseSizeList("clients", args.get("clients", "1,2,4,8,16,32,64"));
+    const double min_recall = getDouble(args, "min-recall", -1.0);
+
+    const std::string dataset_name = args.get("dataset", "cohere-1m");
+    std::printf("annload: loading %s...\n", dataset_name.c_str());
+    const auto dataset = workload::loadOrGenerate(dataset_name);
+    options.dataset = &dataset;
+
+    const bool open_loop = options.target_qps > 0.0;
+    const char *discipline = open_loop ? "open" : "closed";
+    TextTable table(std::string(discipline) + "-loop sweep against " +
+                    options.host + ":" +
+                    std::to_string(options.port));
+    table.setHeader({"clients", "sent", "QPS", "mean (us)", "P50 (us)",
+                     "P99 (us)", "P99.9 (us)",
+                     "recall@" + std::to_string(options.settings.k),
+                     "shed", "rejected", "unanswered"});
+
+    bool recall_ok = true;
+    bool progressed = false;
+    for (const std::size_t n : clients) {
+        options.clients = n;
+        const serve::LoadReport report = open_loop
+                                             ? serve::runOpenLoop(options)
+                                             : serve::runClosedLoop(options);
+        const bool validated = report.recall_samples > 0;
+        table.addRow({std::to_string(n), std::to_string(report.sent),
+                      formatDouble(report.qps, 0),
+                      formatDouble(report.mean_us, 0),
+                      formatDouble(report.p50_us, 0),
+                      formatDouble(report.p99_us, 0),
+                      formatDouble(report.p999_us, 0),
+                      validated ? formatDouble(report.recall, 3) : "-",
+                      std::to_string(report.shed),
+                      std::to_string(report.rejected),
+                      std::to_string(report.unanswered)});
+        if (report.completed > 0)
+            progressed = true;
+        if (min_recall >= 0.0 && validated &&
+            report.recall < min_recall)
+            recall_ok = false;
+    }
+    table.print(std::cout);
+
+    if (!progressed) {
+        std::fprintf(stderr,
+                     "annload: no request completed successfully\n");
+        return 1;
+    }
+    if (!recall_ok) {
+        std::fprintf(stderr,
+                     "annload: recall@%zu below --min-recall %.3f\n",
+                     options.settings.k, min_recall);
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ann;
+    ArgParser args({"host", "port", "dataset", "clients", "target-qps",
+                    "duration-s", "k", "nprobe", "ef-search",
+                    "search-list", "beam-width", "min-recall"},
+                   {"help", "no-validate"});
+    try {
+        args.parse(argc, argv);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        printUsage();
+        return 1;
+    }
+    if (args.flag("help")) {
+        printUsage();
+        return 0;
+    }
+    try {
+        return runLoad(args);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "annload: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * annserve — network front end for one prepared engine.
+ *
+ * Loads a dataset, prepares a setup (same cache as annbench), and
+ * serves it over the binary protocol until SIGTERM/SIGINT:
+ *
+ *   annserve --setup milvus-hnsw --dataset cohere-1m --port 7654
+ *
+ * Prints "annserve: listening on HOST:PORT" once ready (scripts wait
+ * for that line), tuned search parameters to pass to annload, and a
+ * final metrics summary after the graceful drain.
+ */
+
+#include <algorithm>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+
+#include "common/args.hh"
+#include "common/error.hh"
+#include "core/experiments.hh"
+#include "core/tuner.hh"
+#include "serve/server.hh"
+#include "storage/io_backend.hh"
+#include "workload/registry.hh"
+
+namespace {
+
+ann::serve::AnnServer *g_server = nullptr;
+
+extern "C" void
+handleStopSignal(int)
+{
+    // requestStop is async-signal-safe (atomic store + eventfd write).
+    if (g_server != nullptr)
+        g_server->requestStop();
+}
+
+void
+printUsage()
+{
+    std::printf(
+        "usage: annserve [options]\n"
+        "  --setup NAME        one of:");
+    for (const auto &name : ann::core::allSetups())
+        std::printf(" %s", name.c_str());
+    std::printf(
+        "\n"
+        "  --dataset NAME      cohere-1m|cohere-10m|openai-500k|"
+        "openai-5m\n"
+        "  --bind ADDR         listen address (default 127.0.0.1)\n"
+        "  --port N            TCP port (default 7654; 0 = ephemeral,\n"
+        "                      printed in the readiness line)\n"
+        "  --queue-limit N     admission limit; requests beyond it "
+        "are\n"
+        "                      shed with OVERLOADED (default 64)\n"
+        "  --max-batch N       micro-batch drain size (default 8)\n"
+        "  --exec-threads N    execution pool width (default: "
+        "hardware\n"
+        "                      concurrency; 1 = serial)\n"
+        "  --max-connections N accepted-connection cap (default "
+        "1024)\n"
+        "  --io-backend NAME   node-file I/O backend: memory|file|"
+        "uring\n"
+        "  --io-queue-depth N  in-flight requests per real-I/O batch\n"
+        "  --help              this message\n");
+}
+
+int
+runServe(const ann::ArgParser &args)
+{
+    using namespace ann;
+
+    {
+        storage::IoOptions io = storage::IoOptions::fromEnv();
+        if (args.has("io-backend")) {
+            const std::string name = args.get("io-backend", "memory");
+            ANN_CHECK(storage::ioBackendKindFromName(name, &io.kind),
+                      "unknown --io-backend '", name,
+                      "' (valid: memory|file|uring)");
+        }
+        if (args.has("io-queue-depth"))
+            io.queue_depth = static_cast<unsigned>(
+                std::max<std::int64_t>(
+                    1, args.getInt("io-queue-depth", 32)));
+        storage::setDefaultIoOptions(io);
+    }
+
+    const std::string setup = args.get("setup", "milvus-hnsw");
+    const std::string dataset_name = args.get("dataset", "cohere-1m");
+    std::printf("annserve: loading %s and preparing %s...\n",
+                dataset_name.c_str(), setup.c_str());
+    const auto dataset = workload::loadOrGenerate(dataset_name);
+    auto engine = core::prepareEngine(setup, dataset);
+
+    // Hand the operator parameters that reach the tuned recall
+    // target, ready to paste into an annload invocation.
+    const auto tuned = core::tunedSettings(*engine, dataset, 0.9);
+    std::printf("annserve: tuned settings: --k %zu --nprobe %zu "
+                "--ef-search %zu --search-list %zu --beam-width %zu "
+                "(recall@%zu %.3f)\n",
+                tuned.settings.k, tuned.settings.nprobe,
+                tuned.settings.ef_search, tuned.settings.search_list,
+                tuned.settings.beam_width, tuned.settings.k,
+                tuned.recall);
+
+    serve::ServerConfig config;
+    config.bind_address = args.get("bind", "127.0.0.1");
+    config.port =
+        static_cast<std::uint16_t>(args.getInt("port", 7654));
+    config.queue_limit =
+        static_cast<std::size_t>(args.getInt("queue-limit", 64));
+    config.max_batch =
+        static_cast<std::size_t>(args.getInt("max-batch", 8));
+    config.exec_threads =
+        static_cast<std::size_t>(args.getInt("exec-threads", 0));
+    config.max_connections = static_cast<std::size_t>(
+        args.getInt("max-connections", 1024));
+    config.expected_dim = dataset.dim;
+
+    serve::AnnServer server(*engine, config);
+    server.start();
+    g_server = &server;
+    std::signal(SIGTERM, handleStopSignal);
+    std::signal(SIGINT, handleStopSignal);
+
+    std::printf("annserve: listening on %s:%u\n",
+                config.bind_address.c_str(), server.port());
+    std::fflush(stdout);
+
+    server.waitStopped();
+    g_server = nullptr;
+
+    const serve::MetricsSnapshot m = server.metrics();
+    std::printf("annserve: drained. %llu requests (%llu ok, %llu "
+                "shed, %llu protocol errors) over %llu connections; "
+                "%.0f QPS, P50 %.0f us, P99 %.0f us, P99.9 %.0f us\n",
+                static_cast<unsigned long long>(m.received),
+                static_cast<unsigned long long>(m.completed),
+                static_cast<unsigned long long>(m.shed),
+                static_cast<unsigned long long>(m.protocol_errors),
+                static_cast<unsigned long long>(m.accepted_connections),
+                m.qps, m.p50_us, m.p99_us, m.p999_us);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ann;
+    ArgParser args({"setup", "dataset", "bind", "port", "queue-limit",
+                    "max-batch", "exec-threads", "max-connections",
+                    "io-backend", "io-queue-depth"},
+                   {"help"});
+    try {
+        args.parse(argc, argv);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        printUsage();
+        return 1;
+    }
+    if (args.flag("help")) {
+        printUsage();
+        return 0;
+    }
+    try {
+        return runServe(args);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "annserve: %s\n", e.what());
+        return 1;
+    }
+}

@@ -21,7 +21,10 @@
  *
  * Environment knobs: $ANN_IO_SPILL_DIR (defaults to $ANN_CACHE_DIR)
  * places the spill files — point it at a real NVMe filesystem, not
- * tmpfs, for meaningful numbers.
+ * tmpfs, for meaningful numbers. $ANN_NODE_CACHE_MB / $ANN_WARM_NODES
+ * front the real backends with the node sector cache; passing
+ * --drop-caches empties its dynamic part before every sweep point
+ * (the paper's drop_caches protocol), so each point starts cold.
  */
 
 #include <chrono>
@@ -142,9 +145,13 @@ searchSweepPoint(const DiskAnnIndex &index,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ann;
+    bool drop_caches = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--drop-caches") == 0)
+            drop_caches = true;
     core::printBenchHeader(
         "Extension: real-I/O backends (pread vs io_uring)",
         "expected: uring IOPS scale with queue depth; batched async "
@@ -211,6 +218,10 @@ main()
         const char *label;
         storage::IoOptions options;
     };
+    // Real modes pick up the node cache from the environment so this
+    // sweep can run cached and uncached without a rebuild.
+    const storage::NodeCacheConfig node_cache =
+        storage::NodeCacheConfig::fromEnv();
     std::vector<Mode> modes;
     {
         Mode memory{"memory", {}};
@@ -218,14 +229,17 @@ main()
         Mode serial{"pread serial (qd=1)", {}};
         serial.options.kind = storage::IoBackendKind::File;
         serial.options.queue_depth = 1;
+        serial.options.node_cache = node_cache;
         modes.push_back(serial);
         Mode overlap{"pread overlapped (qd=32)", {}};
         overlap.options.kind = storage::IoBackendKind::File;
         overlap.options.queue_depth = 32;
+        overlap.options.node_cache = node_cache;
         modes.push_back(overlap);
         Mode uring{"io_uring (qd=32)", {}};
         uring.options.kind = storage::IoBackendKind::Uring;
         uring.options.queue_depth = 32;
+        uring.options.node_cache = node_cache;
         modes.push_back(uring);
     }
 
@@ -238,6 +252,8 @@ main()
     for (const Mode &mode : modes) {
         index.setIoMode(mode.options);
         for (const std::size_t beam : {1u, 2u, 4u, 8u}) {
+            if (drop_caches)
+                index.dropNodeCache();
             DiskAnnSearchParams params;
             params.search_list = 64;
             params.beam_width = beam;

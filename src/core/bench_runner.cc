@@ -82,6 +82,8 @@ buildWorkloadTraces(engine::VectorDbEngine &engine,
     ANN_CHECK(!dataset.ground_truth.empty(),
               "dataset has no ground truth");
 
+    const storage::NodeCacheStats cache_before =
+        engine.nodeCacheStats();
     auto outputs = runAllQueries(engine, dataset, settings,
                                  dataset.num_queries, exec.threads);
     if (exec.verify && exec.threads != 1) {
@@ -110,6 +112,9 @@ buildWorkloadTraces(engine::VectorDbEngine &engine,
     out.mib_per_query =
         static_cast<double>(sectors) * kSectorBytes /
         (1024.0 * 1024.0) / static_cast<double>(outputs.size());
+    // Verify-mode reruns inflate the counters; attribute the whole
+    // delta anyway — the rerun is part of this execution.
+    out.cache = engine.nodeCacheStats() - cache_before;
     return out;
 }
 
@@ -158,6 +163,7 @@ BenchRunner::measure(engine::VectorDbEngine &engine,
         replayWorkload(workload.traces, engine.profile(), config);
     measurement.recall = workload.recall;
     measurement.mib_per_query = workload.mib_per_query;
+    measurement.cache = workload.cache;
     return measurement;
 }
 

@@ -17,6 +17,7 @@
 
 #include "core/replay.hh"
 #include "engine/engine.hh"
+#include "storage/node_cache.hh"
 #include "workload/dataset.hh"
 
 namespace ann::core {
@@ -27,8 +28,13 @@ struct WorkloadTraces
     std::vector<engine::QueryTrace> traces;
     /** Mean recall@k against the dataset's ground truth. */
     double recall = 0.0;
-    /** Mean read MiB per query (structural, pre-cache). */
+    /**
+     * Mean read MiB per query that actually reached the I/O backend
+     * (sector-cache hits are excluded on the real path).
+     */
     double mib_per_query = 0.0;
+    /** Engine sector-cache counter delta across this execution. */
+    storage::NodeCacheStats cache;
 };
 
 /** One measured point: replay metrics plus workload facts. */
@@ -37,6 +43,8 @@ struct Measurement
     ReplayResult replay;
     double recall = 0.0;
     double mib_per_query = 0.0;
+    /** Sector-cache counters of the (memoized) real execution. */
+    storage::NodeCacheStats cache;
 };
 
 /** How the real query executions run (distinct from sim clients). */

@@ -50,6 +50,24 @@ fmtRecall(double recall)
     return formatDouble(recall, 3);
 }
 
+std::string
+fmtHitRate(const storage::NodeCacheStats &stats)
+{
+    if (stats.lookups == 0)
+        return "-";
+    return formatDouble(stats.hitRate() * 100.0, 1) + "%";
+}
+
+std::string
+fmtMibSaved(const storage::NodeCacheStats &stats)
+{
+    if (stats.lookups == 0)
+        return "-";
+    return formatDouble(static_cast<double>(stats.bytesSaved()) /
+                            (1024.0 * 1024.0),
+                        1);
+}
+
 void
 printBenchHeader(const std::string &title, const std::string &paper_ref)
 {

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/replay.hh"
+#include "storage/node_cache.hh"
 
 namespace ann::core {
 
@@ -29,6 +30,12 @@ std::string fmtMib(double mib);
 
 /** Recall with three decimals. */
 std::string fmtRecall(double recall);
+
+/** Sector-cache hit rate as "87.3%", or "-" when the cache is off. */
+std::string fmtHitRate(const storage::NodeCacheStats &stats);
+
+/** Sector-cache bytes saved as MiB, or "-" when the cache is off. */
+std::string fmtMibSaved(const storage::NodeCacheStats &stats);
 
 /** Banner printed at the top of every bench binary. */
 void printBenchHeader(const std::string &title,

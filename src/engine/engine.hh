@@ -23,6 +23,7 @@
 #include "engine/cost_model.hh"
 #include "engine/query_trace.hh"
 #include "index/params.hh"
+#include "storage/node_cache.hh"
 #include "workload/dataset.hh"
 
 namespace ann::engine {
@@ -136,6 +137,23 @@ class VectorDbEngine
     virtual std::size_t memoryBytes() const = 0;
     /** On-SSD footprint in sectors (0 for memory-based setups). */
     virtual std::uint64_t diskSectors() const { return 0; }
+
+    /**
+     * Aggregated sector-cache counters across the engine's indexes.
+     * All-zero for memory-based engines or when the cache is off
+     * (see storage::NodeCacheConfig). Safe under the shared-read
+     * contract — counters are atomics.
+     */
+    virtual storage::NodeCacheStats nodeCacheStats() const
+    {
+        return {};
+    }
+
+    /**
+     * Evict every index's dynamic cache frames (cold-run protocol;
+     * warm sets stay). Safe concurrently with search().
+     */
+    virtual void dropNodeCache() {}
 
   protected:
     /**

@@ -243,27 +243,39 @@ MilvusLikeEngine::searchLive(const float *query,
 VectorId
 MilvusLikeEngine::liveAdd(const float *vec)
 {
-    ANN_CHECK(kind_ == MilvusIndexKind::Hnsw,
-              "live inserts are supported for the HNSW kind");
-    ANN_CHECK(!hnswSegments_.empty(), "engine not prepared");
-    const VectorId local = hnswSegments_.back().add(vec);
+    ANN_CHECK(kind_ == MilvusIndexKind::Hnsw ||
+                  kind_ == MilvusIndexKind::DiskAnn,
+              "live inserts are supported for the HNSW and DiskANN "
+              "kinds");
+    ANN_CHECK(!segmentBase_.empty(), "engine not prepared");
+    const VectorId local = kind_ == MilvusIndexKind::Hnsw
+                               ? hnswSegments_.back().add(vec)
+                               : diskannSegments_.back().addDelta(vec);
     return static_cast<VectorId>(segmentBase_.back()) + local;
 }
 
 void
 MilvusLikeEngine::liveMarkDeleted(VectorId id)
 {
-    ANN_CHECK(kind_ == MilvusIndexKind::Hnsw,
-              "live deletes are supported for the HNSW kind");
-    ANN_CHECK(!hnswSegments_.empty(), "engine not prepared");
+    ANN_CHECK(kind_ == MilvusIndexKind::Hnsw ||
+                  kind_ == MilvusIndexKind::DiskAnn,
+              "live deletes are supported for the HNSW and DiskANN "
+              "kinds");
+    ANN_CHECK(!segmentBase_.empty(), "engine not prepared");
     std::size_t s = segmentBase_.size() - 1;
     while (s > 0 && segmentBase_[s] > id)
         --s;
     const auto local =
         static_cast<VectorId>(id - segmentBase_[s]);
-    ANN_CHECK(local < hnswSegments_[s].size(),
-              "vector id out of range: ", id);
-    hnswSegments_[s].markDeleted(local);
+    if (kind_ == MilvusIndexKind::Hnsw) {
+        ANN_CHECK(local < hnswSegments_[s].size(),
+                  "vector id out of range: ", id);
+        hnswSegments_[s].markDeleted(local);
+    } else {
+        ANN_CHECK(local < diskannSegments_[s].totalSize(),
+                  "vector id out of range: ", id);
+        diskannSegments_[s].markDeleted(local);
+    }
 }
 
 engine::QueryTrace
@@ -330,6 +342,22 @@ MilvusLikeEngine::diskSectors() const
     for (const auto &index : diskannSegments_)
         sectors += index.numSectors();
     return sectors;
+}
+
+storage::NodeCacheStats
+MilvusLikeEngine::nodeCacheStats() const
+{
+    storage::NodeCacheStats stats;
+    for (const auto &index : diskannSegments_)
+        stats += index.nodeCacheStats();
+    return stats;
+}
+
+void
+MilvusLikeEngine::dropNodeCache()
+{
+    for (auto &index : diskannSegments_)
+        index.dropNodeCache();
 }
 
 } // namespace ann::engine

@@ -52,17 +52,21 @@ class MilvusLikeEngine : public VectorDbEngine
                             const SearchSettings &settings) override;
     std::size_t memoryBytes() const override;
     std::uint64_t diskSectors() const override;
+    /** Sum over the DiskANN segments' sector caches. */
+    storage::NodeCacheStats nodeCacheStats() const override;
+    void dropNodeCache() override;
 
     /**
-     * Streaming insert into the growing tail segment (HNSW kind
-     * only); @return the new vector's engine-global id. Requires
+     * Streaming insert into the growing tail segment (HNSW and
+     * DiskANN kinds; DiskANN takes the FreshDiskANN delta-store
+     * path); @return the new vector's engine-global id. Requires
      * external exclusion against concurrent search()/searchLive()
-     * (the serving layer's EngineGate provides it) — HnswIndex
-     * mutations are not search-safe.
+     * (the serving layer's EngineGate provides it) — index mutations
+     * are not search-safe.
      */
     VectorId liveAdd(const float *vec);
 
-    /** Tombstone an engine-global id (HNSW kind; same exclusion). */
+    /** Tombstone an engine-global id (same kinds and exclusion). */
     void liveMarkDeleted(VectorId id);
 
     std::size_t numSegments() const { return segmentBase_.size(); }

@@ -139,11 +139,80 @@ DiskAnnIndex::adoptImage(std::vector<std::uint8_t> image)
     const storage::IoOptions options = effectiveIoOptions();
     if (options.kind == storage::IoBackendKind::Memory) {
         io_ = storage::makeMemoryBackend(std::move(image));
+        attachCache();
         return;
     }
     auto sink = storage::makeIoSink(options, image.size());
     sink->append(image.data(), image.size());
     io_ = sink->finish();
+    attachCache();
+}
+
+void
+DiskAnnIndex::attachCache()
+{
+    cache_.reset();
+    // The memory backend already serves every sector zero-copy; a
+    // cache in front of it would only add copies.
+    if (!io_ || io_->data() != nullptr)
+        return;
+    const storage::NodeCacheConfig config =
+        effectiveIoOptions().node_cache;
+    if (!config.enabled())
+        return;
+    cache_ = std::make_unique<storage::SectorCache>(config);
+    if (config.warm_nodes == 0)
+        return;
+
+    // Static warm set: BFS from the medoid, the region every query's
+    // first hops traverse (DiskANN's num_nodes_to_cache). Reads go
+    // straight to the backend — the cache is not yet shared.
+    std::vector<std::uint8_t> seen(rows_, 0);
+    std::vector<VectorId> queue;
+    queue.reserve(std::min(config.warm_nodes * 2, rows_));
+    queue.push_back(medoid_);
+    seen[medoid_] = 1;
+    storage::AlignedBuffer scratch;
+    std::uint8_t *buf = scratch.ensure(sectorsPerNode_ * kSectorBytes);
+    std::size_t head = 0;
+    std::size_t warmed = 0;
+    while (head < queue.size() && warmed < config.warm_nodes) {
+        const VectorId node = queue[head++];
+        const std::uint64_t first = sectorOfNode(node);
+        const storage::IoRequest req{
+            first, static_cast<std::uint32_t>(sectorsPerNode_), buf};
+        io_->readBatch(&req, 1);
+        for (std::size_t s = 0; s < sectorsPerNode_; ++s)
+            cache_->warmInsert(first + s, buf + s * kSectorBytes);
+        ++warmed;
+
+        const std::uint8_t *record = buf + recordOffsetInSector(node);
+        std::uint32_t degree = 0;
+        std::memcpy(&degree, record + dim_ * sizeof(float),
+                    sizeof(degree));
+        const auto *neighbors = reinterpret_cast<const std::uint32_t *>(
+            record + dim_ * sizeof(float) + sizeof(degree));
+        for (std::uint32_t i = 0; i < degree; ++i) {
+            const VectorId nb = neighbors[i];
+            if (nb < rows_ && !seen[nb]) {
+                seen[nb] = 1;
+                queue.push_back(nb);
+            }
+        }
+    }
+}
+
+storage::NodeCacheStats
+DiskAnnIndex::nodeCacheStats() const
+{
+    return cache_ ? cache_->stats() : storage::NodeCacheStats{};
+}
+
+void
+DiskAnnIndex::dropNodeCache()
+{
+    if (cache_)
+        cache_->dropCaches();
 }
 
 void
@@ -174,6 +243,7 @@ DiskAnnIndex::setIoMode(const storage::IoOptions &options)
         }
     }
     io_ = sink->finish();
+    attachCache();
 }
 
 VectorId
@@ -320,6 +390,8 @@ DiskAnnIndex::search(const float *query, const DiskAnnSearchParams &params,
     TopK reranked(params.k);
     std::vector<VectorId> beam;
     std::vector<std::uint64_t> sectors;
+    std::vector<std::size_t> miss_slots;
+    std::vector<std::uint64_t> miss_sectors;
     std::vector<storage::IoRun> runs;
     std::vector<storage::IoRequest> requests;
 
@@ -355,9 +427,31 @@ DiskAnnIndex::search(const float *query, const DiskAnnSearchParams &params,
             std::sort(sectors.begin(), sectors.end());
             sectors.erase(std::unique(sectors.begin(), sectors.end()),
                           sectors.end());
+        }
+        std::uint8_t *buf = nullptr;
+        if (!image) {
+            // Partition the hop into cache hits (copied into their
+            // fetch-buffer slot, zero I/O) and misses (one batched
+            // submission below). The buffer keeps one slot per beam
+            // sector in sorted order regardless, so record_of() below
+            // is oblivious to which slots came from the cache.
+            buf = tls_fetch.ensure(sectors.size() * kSectorBytes);
+            miss_slots.clear();
+            miss_sectors.clear();
+            for (std::size_t i = 0; i < sectors.size(); ++i) {
+                if (cache_ && cache_->lookup(sectors[i],
+                                             buf + i * kSectorBytes))
+                    continue;
+                miss_slots.push_back(i);
+                miss_sectors.push_back(sectors[i]);
+            }
+            runs = storage::coalesceSectors(miss_sectors);
+        } else if (recorder) {
             runs = storage::coalesceSectors(sectors);
         }
         if (recorder) {
+            // Only sectors that reach the backend are charged to the
+            // simulator; hop sectors served by the cache cost no I/O.
             std::vector<SectorRead> reads;
             reads.reserve(runs.size());
             for (const storage::IoRun &run : runs)
@@ -367,17 +461,26 @@ DiskAnnIndex::search(const float *query, const DiskAnnSearchParams &params,
             recorder->issueReads(std::move(reads));
         }
         if (!image) {
-            // One batched async submission for the whole beam.
-            std::uint8_t *buf =
-                tls_fetch.ensure(sectors.size() * kSectorBytes);
+            // One batched async submission for the hop's misses. A
+            // value-contiguous run is slot-contiguous too (sectors is
+            // sorted and gap-free inside a run), so each run lands as
+            // one read at its first sector's slot.
             requests.clear();
-            std::size_t offset = 0;
             for (const storage::IoRun &run : runs) {
+                const auto slot = static_cast<std::size_t>(
+                    std::lower_bound(sectors.begin(), sectors.end(),
+                                     run.sector) -
+                    sectors.begin());
                 requests.push_back({run.sector, run.count,
-                                    buf + offset});
-                offset += run.count * kSectorBytes;
+                                    buf + slot * kSectorBytes});
             }
-            io_->readBatch(requests.data(), requests.size());
+            if (!requests.empty())
+                io_->readBatch(requests.data(), requests.size());
+            if (cache_) {
+                for (std::size_t i = 0; i < miss_slots.size(); ++i)
+                    cache_->admit(miss_sectors[i],
+                                  buf + miss_slots[i] * kSectorBytes);
+            }
             fetched = buf;
         }
 
@@ -548,6 +651,7 @@ DiskAnnIndex::load(BinaryReader &reader)
         remaining -= step;
     }
     io_ = sink->finish();
+    attachCache();
 }
 
 } // namespace ann

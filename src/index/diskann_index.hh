@@ -111,6 +111,19 @@ class DiskAnnIndex
     const storage::IoBackend *ioBackend() const { return io_.get(); }
 
     /**
+     * Application-level sector cache fronting the file/uring backends
+     * (null on the memory backend or when sized zero): a static warm
+     * set BFS'd from the medoid at attach time plus a sharded CLOCK
+     * dynamic part fed by the beam-search fetch path.
+     */
+    const storage::SectorCache *nodeCache() const { return cache_.get(); }
+    /** Zeroes when no cache is attached. */
+    storage::NodeCacheStats nodeCacheStats() const;
+    /** Evict the dynamic cache frames (cold-run protocol). No-op
+     *  without a cache; the warm set stays. */
+    void dropNodeCache();
+
+    /**
      * Beam search.
      *
      * The algorithm runs on the real node file: served zero-copy from
@@ -135,6 +148,11 @@ class DiskAnnIndex
     storage::IoOptions effectiveIoOptions() const;
     /** Hand a fully built image to the configured backend. */
     void adoptImage(std::vector<std::uint8_t> image);
+    /**
+     * (Re)create the sector cache for the current backend and warm it
+     * by BFS from the medoid. Called whenever io_ changes.
+     */
+    void attachCache();
     /** Byte offset of @p node 's record inside its first sector. */
     std::size_t recordOffsetInSector(VectorId node) const;
     /**
@@ -156,6 +174,8 @@ class DiskAnnIndex
     std::vector<std::uint8_t> pqCodes_;
     /** Serves the node file (memory image or spilled file). */
     std::unique_ptr<storage::IoBackend> io_;
+    /** Hot-sector cache over io_ (null when disabled / memory). */
+    std::unique_ptr<storage::SectorCache> cache_;
     storage::IoOptions ioOptions_{};
     /** setIoMode() called: ignore the process-wide default. */
     bool ioPinned_ = false;

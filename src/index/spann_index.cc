@@ -116,11 +116,39 @@ SpannIndex::adoptImage(std::vector<std::uint8_t> image)
     const storage::IoOptions options = effectiveIoOptions();
     if (options.kind == storage::IoBackendKind::Memory) {
         io_ = storage::makeMemoryBackend(std::move(image));
+        attachCache();
         return;
     }
     auto sink = storage::makeIoSink(options, image.size());
     sink->append(image.data(), image.size());
     io_ = sink->finish();
+    attachCache();
+}
+
+void
+SpannIndex::attachCache()
+{
+    cache_.reset();
+    if (!io_ || io_->data() != nullptr)
+        return;
+    storage::NodeCacheConfig config = effectiveIoOptions().node_cache;
+    config.warm_nodes = 0; // graph-only notion, see nodeCache() docs
+    if (!config.enabled())
+        return;
+    cache_ = std::make_unique<storage::SectorCache>(config);
+}
+
+storage::NodeCacheStats
+SpannIndex::nodeCacheStats() const
+{
+    return cache_ ? cache_->stats() : storage::NodeCacheStats{};
+}
+
+void
+SpannIndex::dropNodeCache()
+{
+    if (cache_)
+        cache_->dropCaches();
 }
 
 void
@@ -148,6 +176,7 @@ SpannIndex::setIoMode(const storage::IoOptions &options)
         }
     }
     io_ = sink->finish();
+    attachCache();
 }
 
 double
@@ -195,25 +224,18 @@ SpannIndex::search(const float *query, const SpannSearchParams &params,
                                        dim_));
     const SearchResult probes = centroid_top.take();
 
-    if (recorder) {
-        recorder->cpu().full_distances += nlist();
-        recorder->cpu().heap_ops += nprobe;
-        // Storage phase: ONE parallel round of list reads.
-        std::vector<SectorRead> reads;
-        reads.reserve(nprobe);
-        for (const Neighbor &probe : probes)
-            reads.push_back({listSectorStart_[probe.id],
-                             listSectorCount_[probe.id]});
-        recorder->issueReads(std::move(reads));
-    }
-
-    // Storage phase for real: all probed lists fetched as one batched
-    // submission (same run shapes the recorder just logged); the
-    // memory backend serves the image zero-copy instead.
+    // Storage phase: all probed lists fetched as one batched
+    // submission; the memory backend serves the image zero-copy
+    // instead. With a sector cache attached, each list's sectors are
+    // partitioned into hits (copied in place) and miss runs, and only
+    // the misses reach the backend — and the recorder, so the
+    // simulator charges exactly the I/O that was issued.
     ANN_ASSERT(io_ != nullptr, "posting-list file not attached");
     const std::uint8_t *image = io_->data();
     const std::uint8_t *fetched = nullptr;
     std::vector<std::size_t> fetch_offset;
+    std::vector<storage::IoRequest> requests;
+    std::vector<SectorRead> reads;
     if (!image) {
         std::size_t total = 0;
         fetch_offset.reserve(probes.size());
@@ -223,14 +245,60 @@ SpannIndex::search(const float *query, const SpannSearchParams &params,
                      kSectorBytes;
         }
         std::uint8_t *buf = tls_fetch.ensure(total);
-        std::vector<storage::IoRequest> requests;
         requests.reserve(probes.size());
-        for (std::size_t p = 0; p < probes.size(); ++p)
-            requests.push_back({listSectorStart_[probes[p].id],
-                                listSectorCount_[probes[p].id],
-                                buf + fetch_offset[p]});
-        io_->readBatch(requests.data(), requests.size());
+        for (std::size_t p = 0; p < probes.size(); ++p) {
+            const std::size_t list = probes[p].id;
+            const std::uint64_t start = listSectorStart_[list];
+            const std::size_t count = listSectorCount_[list];
+            std::uint8_t *dest = buf + fetch_offset[p];
+            std::size_t s = 0;
+            while (s < count) {
+                if (cache_ &&
+                    cache_->lookup(start + s,
+                                   dest + s * kSectorBytes)) {
+                    ++s;
+                    continue;
+                }
+                // Extend the miss run until the list ends or a
+                // cached sector (copied by the probe itself) stops it.
+                std::size_t e = s + 1;
+                while (e < count &&
+                       !(cache_ &&
+                         cache_->lookup(start + e,
+                                        dest + e * kSectorBytes)))
+                    ++e;
+                requests.push_back(
+                    {start + s, static_cast<std::uint32_t>(e - s),
+                     dest + s * kSectorBytes});
+                s = e + (e < count ? 1 : 0);
+            }
+        }
+        reads.reserve(requests.size());
+        for (const storage::IoRequest &req : requests)
+            reads.push_back({req.sector, req.count});
         fetched = buf;
+    } else if (recorder) {
+        reads.reserve(nprobe);
+        for (const Neighbor &probe : probes)
+            reads.push_back({listSectorStart_[probe.id],
+                             listSectorCount_[probe.id]});
+    }
+
+    if (recorder) {
+        recorder->cpu().full_distances += nlist();
+        recorder->cpu().heap_ops += nprobe;
+        recorder->issueReads(std::move(reads));
+    }
+
+    if (!image && !requests.empty()) {
+        io_->readBatch(requests.data(), requests.size());
+        if (cache_) {
+            for (const storage::IoRequest &req : requests)
+                for (std::uint32_t j = 0; j < req.count; ++j)
+                    cache_->admit(req.sector + j,
+                                  req.dest + std::size_t{j} *
+                                                 kSectorBytes);
+        }
     }
 
     // Scan phase: full-precision over the fetched lists; replicas

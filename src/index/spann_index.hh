@@ -95,6 +95,18 @@ class SpannIndex
     const storage::IoBackend *ioBackend() const { return io_.get(); }
 
     /**
+     * Sector cache fronting the file/uring backends (null on the
+     * memory backend or when sized zero). SPANN gets only the dynamic
+     * CLOCK part: the BFS warm set is a graph-traversal notion and
+     * does not map onto the cluster layout.
+     */
+    const storage::SectorCache *nodeCache() const { return cache_.get(); }
+    /** Zeroes when no cache is attached. */
+    storage::NodeCacheStats nodeCacheStats() const;
+    /** Evict the dynamic cache frames (cold-run protocol). */
+    void dropNodeCache();
+
+    /**
      * Search: rank centroids (memory), read the nprobe posting lists —
      * ONE batched submission of sequential runs on the real backend,
      * mirrored into @p recorder for the simulator — then scan them at
@@ -111,6 +123,8 @@ class SpannIndex
     storage::IoOptions effectiveIoOptions() const;
     /** Hand the packed posting-list image to the configured backend. */
     void adoptImage(std::vector<std::uint8_t> image);
+    /** (Re)create the sector cache whenever io_ changes. */
+    void attachCache();
     /** Bytes of one posting entry: [id | fp32 vector]. */
     std::size_t entryBytes() const
     {
@@ -133,6 +147,8 @@ class SpannIndex
      * [id | vector] entries (zero padding after the last entry).
      */
     std::unique_ptr<storage::IoBackend> io_;
+    /** Hot-sector cache over io_ (null when disabled / memory). */
+    std::unique_ptr<storage::SectorCache> cache_;
     storage::IoOptions ioOptions_{};
     bool ioPinned_ = false;
 };

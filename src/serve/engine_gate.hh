@@ -35,6 +35,7 @@ class EngineGate
     EngineGate &operator=(const EngineGate &) = delete;
 
     engine::VectorDbEngine &engine() { return engine_; }
+    const engine::VectorDbEngine &engine() const { return engine_; }
 
     /** Trace-free serving search under a shared lock. */
     SearchResult

@@ -24,12 +24,44 @@ struct ThreadStats
     std::uint64_t completed = 0;
     std::uint64_t shed = 0;
     std::uint64_t rejected = 0;
+    std::uint64_t connects = 0;
+    double connect_ns_sum = 0.0;
     double queue_ns_sum = 0.0;
     double exec_ns_sum = 0.0;
     double recall_sum = 0.0;
     std::uint64_t recall_samples = 0;
     LatencyHistogram latency_ns;
 };
+
+/**
+ * Worker @p slot 's connection: pooled (persistent across runs) when
+ * options.pool is set, otherwise fresh. Establishment time lands in
+ * @p stats either way so the connect column stays comparable.
+ */
+std::shared_ptr<AnnClient>
+acquireClient(const LoadOptions &options, std::size_t slot,
+              ThreadStats &stats)
+{
+    std::uint64_t connect_ns = 0;
+    std::shared_ptr<AnnClient> client;
+    if (options.pool != nullptr) {
+        client = options.pool->acquire(slot, options.host,
+                                       options.port, &connect_ns);
+    } else {
+        client = std::make_shared<AnnClient>();
+        const Clock::time_point t0 = Clock::now();
+        client->connect(options.host, options.port);
+        connect_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - t0)
+                .count());
+    }
+    if (connect_ns > 0) {
+        stats.connects++;
+        stats.connect_ns_sum += static_cast<double>(connect_ns);
+    }
+    return client;
+}
 
 /** Whether recall@k can be validated against this dataset. */
 bool
@@ -68,17 +100,24 @@ mergeStats(const std::vector<ThreadStats> &all, double wall_s)
     LoadReport report;
     double queue_ns = 0.0;
     double exec_ns = 0.0;
+    double connect_ns = 0.0;
     for (const ThreadStats &s : all) {
         report.sent += s.sent;
         report.completed += s.completed;
         report.shed += s.shed;
         report.rejected += s.rejected;
+        report.connections += s.connects;
+        connect_ns += s.connect_ns_sum;
         report.recall_samples += s.recall_samples;
         report.recall += s.recall_sum;
         queue_ns += s.queue_ns_sum;
         exec_ns += s.exec_ns_sum;
         report.latency_ns.merge(s.latency_ns);
     }
+    if (report.connections > 0)
+        report.connect_us = connect_ns /
+                            static_cast<double>(report.connections) /
+                            1e3;
     report.wall_s = wall_s;
     if (wall_s > 0.0)
         report.qps = static_cast<double>(report.completed) / wall_s;
@@ -110,6 +149,46 @@ checkOptions(const LoadOptions &options)
 
 } // namespace
 
+std::shared_ptr<AnnClient>
+ClientPool::acquire(std::size_t slot, const std::string &host,
+                    std::uint16_t port, std::uint64_t *connect_ns)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = slots_.find(slot);
+        if (it != slots_.end()) {
+            *connect_ns = 0;
+            return it->second;
+        }
+    }
+    // Connect outside the lock: slots connect concurrently, and each
+    // slot is requested by exactly one worker per run.
+    auto client = std::make_shared<AnnClient>();
+    const Clock::time_point t0 = Clock::now();
+    client->connect(host, port);
+    *connect_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - t0)
+            .count());
+    std::lock_guard<std::mutex> lock(mutex_);
+    slots_[slot] = client;
+    return client;
+}
+
+void
+ClientPool::discard(std::size_t slot)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    slots_.erase(slot);
+}
+
+std::size_t
+ClientPool::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slots_.size();
+}
+
 LoadReport
 runClosedLoop(const LoadOptions &options)
 {
@@ -128,16 +207,16 @@ runClosedLoop(const LoadOptions &options)
 
     for (std::size_t c = 0; c < options.clients; ++c) {
         threads.emplace_back([&, c] {
-            AnnClient client;
-            client.connect(options.host, options.port);
             ThreadStats &mine = stats[c];
+            const std::shared_ptr<AnnClient> client =
+                acquireClient(options, c, mine);
             while (Clock::now() < deadline) {
                 const std::uint64_t id = next_id.fetch_add(1);
                 const std::size_t qi = id % dataset.num_queries;
                 const Clock::time_point t0 = Clock::now();
                 const SearchResponse response =
-                    client.search(dataset.query(qi), dataset.dim,
-                                  options.settings, id);
+                    client->search(dataset.query(qi), dataset.dim,
+                                   options.settings, id);
                 const std::uint64_t latency_ns =
                     static_cast<std::uint64_t>(
                         std::chrono::duration_cast<
@@ -196,8 +275,8 @@ runOpenLoop(const LoadOptions &options)
         // Client, in-flight map, and sender-done flag are shared by
         // the sender/receiver pair; the client itself is safe here
         // because exactly one thread sends and one receives.
-        auto client = std::make_shared<AnnClient>();
-        client->connect(options.host, options.port);
+        std::shared_ptr<AnnClient> client =
+            acquireClient(options, c, stats[c]);
         auto map_mutex = std::make_shared<std::mutex>();
         auto outstanding = std::make_shared<
             std::unordered_map<std::uint64_t, Outstanding>>();
@@ -262,6 +341,10 @@ runOpenLoop(const LoadOptions &options)
             }
             std::lock_guard<std::mutex> lock(*map_mutex);
             unanswered.fetch_add(outstanding->size());
+            // A reused connection with replies still in flight would
+            // deliver them under the NEXT run's id space — retire it.
+            if (!outstanding->empty() && options.pool != nullptr)
+                options.pool->discard(c);
         });
     }
     for (std::thread &t : threads)

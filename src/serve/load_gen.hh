@@ -23,13 +23,54 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "common/stats.hh"
 #include "engine/engine.hh"
 #include "workload/dataset.hh"
 
 namespace ann::serve {
+
+class AnnClient;
+
+/**
+ * Connections that persist across sweep points, one per worker slot.
+ *
+ * Real load generators amortize TCP establishment over a whole sweep
+ * instead of reconnecting at every concurrency point; annload does
+ * the same by handing each worker the slot it held last time. A slot
+ * whose previous run ended with unanswered in-flight requests must be
+ * discarded — a late reply on a reused connection would surface as a
+ * response to an unknown request id.
+ *
+ * acquire()/discard() are safe from concurrent workers; each slot is
+ * used by at most one worker at a time.
+ */
+class ClientPool
+{
+  public:
+    /**
+     * Connected client for @p slot, establishing (and timing) a new
+     * connection when the slot is empty.
+     * @param connect_ns out: establishment time, 0 when reused.
+     */
+    std::shared_ptr<AnnClient> acquire(std::size_t slot,
+                                       const std::string &host,
+                                       std::uint16_t port,
+                                       std::uint64_t *connect_ns);
+
+    /** Drop @p slot 's connection so the next acquire reconnects. */
+    void discard(std::size_t slot);
+
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::size_t, std::shared_ptr<AnnClient>> slots_;
+};
 
 struct LoadOptions
 {
@@ -47,6 +88,11 @@ struct LoadOptions
     bool validate = true;
     /** Closed-loop pause after an Overloaded reply (anti-spin). */
     std::chrono::microseconds shed_backoff{200};
+    /**
+     * When set, workers draw persistent connections from this pool
+     * (slot = worker index) instead of reconnecting per run.
+     */
+    ClientPool *pool = nullptr;
 };
 
 struct LoadReport
@@ -70,6 +116,10 @@ struct LoadReport
     /** Mean recall@k over validated responses. */
     double recall = 0.0;
     std::uint64_t recall_samples = 0;
+    /** Connections established during this run (reused slots: 0). */
+    std::uint64_t connections = 0;
+    /** Mean establishment time per new connection (us). */
+    double connect_us = 0.0;
     /** Client-observed latency distribution (merged, ns). */
     LatencyHistogram latency_ns;
 };

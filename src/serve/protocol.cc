@@ -283,6 +283,9 @@ encodeMetricsResponse(const MetricsSnapshot &snapshot,
     put64(out, snapshot.queue_depth);
     put64(out, snapshot.batches);
     put64(out, snapshot.max_batch);
+    put64(out, snapshot.cache_lookups);
+    put64(out, snapshot.cache_hits);
+    put64(out, snapshot.cache_bytes_saved);
     putF64(out, snapshot.qps);
     putF64(out, snapshot.mean_us);
     putF64(out, snapshot.p50_us);
@@ -305,7 +308,11 @@ decodeMetricsResponse(const std::uint8_t *payload, std::size_t len,
         !cur.take64(&out->dropped_responses) ||
         !cur.take64(&out->in_flight) ||
         !cur.take64(&out->queue_depth) || !cur.take64(&out->batches) ||
-        !cur.take64(&out->max_batch) || !cur.takeF64(&out->qps) ||
+        !cur.take64(&out->max_batch) ||
+        !cur.take64(&out->cache_lookups) ||
+        !cur.take64(&out->cache_hits) ||
+        !cur.take64(&out->cache_bytes_saved) ||
+        !cur.takeF64(&out->qps) ||
         !cur.takeF64(&out->mean_us) || !cur.takeF64(&out->p50_us) ||
         !cur.takeF64(&out->p99_us) || !cur.takeF64(&out->p999_us))
         return DecodeResult::Malformed;

@@ -105,6 +105,10 @@ struct MetricsSnapshot
     std::uint64_t queue_depth = 0;
     std::uint64_t batches = 0;
     std::uint64_t max_batch = 0;
+    /** Engine sector-cache counters (zero when the cache is off). */
+    std::uint64_t cache_lookups = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_bytes_saved = 0;
     double qps = 0.0;
     double mean_us = 0.0;
     double p50_us = 0.0;

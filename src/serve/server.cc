@@ -612,6 +612,15 @@ AnnServer::metrics() const
     snapshot.batches = batches_.load();
     snapshot.max_batch = maxBatch_.load();
     {
+        // Lock-free: the cache counters are atomics, and the
+        // shared-read contract covers concurrent searches.
+        const storage::NodeCacheStats cache =
+            gate_.engine().nodeCacheStats();
+        snapshot.cache_lookups = cache.lookups;
+        snapshot.cache_hits = cache.hits;
+        snapshot.cache_bytes_saved = cache.bytesSaved();
+    }
+    {
         std::lock_guard<std::mutex> lock(histMutex_);
         snapshot.mean_us = latencyNs_.mean() / 1000.0;
         snapshot.p50_us = latencyNs_.percentile(50.0) / 1000.0;

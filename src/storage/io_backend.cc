@@ -61,6 +61,7 @@ IoOptions::fromEnv()
     options.queue_depth =
         static_cast<unsigned>(std::max<std::int64_t>(1, ioQueueDepth()));
     options.direct_io = envInt("ANN_IO_DIRECT", 1) != 0;
+    options.node_cache = NodeCacheConfig::fromEnv();
     return options;
 }
 

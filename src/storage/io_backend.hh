@@ -41,6 +41,8 @@
 #include <string>
 #include <vector>
 
+#include "storage/node_cache.hh"
+
 namespace ann::storage {
 
 /** Sector size of every node-file layout (NVMe LBA + fs block). */
@@ -79,8 +81,17 @@ struct IoOptions
      * rejects it (e.g. tmpfs).
      */
     bool direct_io = true;
+    /**
+     * Application-level sector cache fronting the file/uring backends
+     * (ignored by the memory backend, which is already resident):
+     * CLOCK capacity plus the BFS warm-set size. See node_cache.hh.
+     */
+    NodeCacheConfig node_cache;
 
-    /** $ANN_IO_BACKEND / $ANN_IO_QUEUE_DEPTH / $ANN_IO_DIRECT. */
+    /**
+     * $ANN_IO_BACKEND / $ANN_IO_QUEUE_DEPTH / $ANN_IO_DIRECT /
+     * $ANN_NODE_CACHE_MB / $ANN_WARM_NODES.
+     */
     static IoOptions fromEnv();
 };
 

@@ -1,0 +1,248 @@
+#include "storage/node_cache.hh"
+
+#include <cstring>
+
+#include "common/env.hh"
+#include "storage/io_backend.hh"
+
+namespace ann::storage {
+
+namespace {
+
+/** Frame-empty marker in Shard::sector_of. */
+constexpr std::uint64_t kFreeFrame = ~std::uint64_t{0};
+
+/**
+ * Shard selector: splmix-style finalizer so consecutive sectors (one
+ * node file region) spread across shards instead of piling onto one.
+ */
+std::size_t
+mixSector(std::uint64_t sector)
+{
+    std::uint64_t x = sector + 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+}
+
+} // namespace
+
+std::uint64_t
+NodeCacheStats::bytesSaved() const
+{
+    return hits * kIoSectorBytes;
+}
+
+double
+NodeCacheStats::hitRate() const
+{
+    return lookups > 0
+               ? static_cast<double>(hits) / static_cast<double>(lookups)
+               : 0.0;
+}
+
+NodeCacheStats &
+NodeCacheStats::operator+=(const NodeCacheStats &other)
+{
+    lookups += other.lookups;
+    hits += other.hits;
+    warm_hits += other.warm_hits;
+    misses += other.misses;
+    insertions += other.insertions;
+    evictions += other.evictions;
+    return *this;
+}
+
+NodeCacheStats
+NodeCacheStats::operator-(const NodeCacheStats &before) const
+{
+    NodeCacheStats delta;
+    delta.lookups = lookups - before.lookups;
+    delta.hits = hits - before.hits;
+    delta.warm_hits = warm_hits - before.warm_hits;
+    delta.misses = misses - before.misses;
+    delta.insertions = insertions - before.insertions;
+    delta.evictions = evictions - before.evictions;
+    return delta;
+}
+
+NodeCacheConfig
+NodeCacheConfig::fromEnv()
+{
+    NodeCacheConfig config;
+    config.capacity_bytes =
+        static_cast<std::size_t>(
+            std::max<std::int64_t>(0, envInt("ANN_NODE_CACHE_MB", 0))) *
+        1024 * 1024;
+    config.warm_nodes = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, envInt("ANN_WARM_NODES", 0)));
+    return config;
+}
+
+SectorCache::SectorCache(const NodeCacheConfig &config)
+{
+    const std::size_t total_frames =
+        config.capacity_bytes / kIoSectorBytes;
+    capacityBytes_ = total_frames * kIoSectorBytes;
+    if (total_frames == 0)
+        return;
+    // Every shard owns at least one frame; tiny capacities simply
+    // get fewer shards.
+    const std::size_t nshards =
+        std::min(std::max<std::size_t>(1, config.shards), total_frames);
+    shards_.reserve(nshards);
+    for (std::size_t s = 0; s < nshards; ++s) {
+        const std::size_t frames =
+            total_frames / nshards + (s < total_frames % nshards);
+        auto shard = std::make_unique<Shard>();
+        shard->frames.resize(frames * kIoSectorBytes);
+        shard->sector_of.assign(frames, kFreeFrame);
+        shard->ref.assign(frames, 0);
+        shard->map.reserve(frames);
+        shards_.push_back(std::move(shard));
+    }
+}
+
+SectorCache::Shard &
+SectorCache::shardOf(std::uint64_t sector)
+{
+    return *shards_[mixSector(sector) % shards_.size()];
+}
+
+bool
+SectorCache::lookup(std::uint64_t sector, std::uint8_t *dest)
+{
+    lookups_.fetch_add(1, std::memory_order_relaxed);
+
+    // Warm set: immutable after load, so no lock is needed.
+    if (!warmIndex_.empty()) {
+        const auto it = warmIndex_.find(sector);
+        if (it != warmIndex_.end()) {
+            std::memcpy(dest, warmBytes_.data() + it->second,
+                        kIoSectorBytes);
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            warmHits_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+
+    if (!shards_.empty()) {
+        Shard &shard = shardOf(sector);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        const auto it = shard.map.find(sector);
+        if (it != shard.map.end()) {
+            const std::uint32_t frame = it->second;
+            std::memcpy(dest,
+                        shard.frames.data() +
+                            std::size_t{frame} * kIoSectorBytes,
+                        kIoSectorBytes);
+            shard.ref[frame] = 1; // second chance
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+void
+SectorCache::admit(std::uint64_t sector, const std::uint8_t *data)
+{
+    if (shards_.empty() || warmIndex_.count(sector))
+        return;
+    Shard &shard = shardOf(sector);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.map.count(sector))
+        return; // raced with another reader admitting the same sector
+
+    // CLOCK sweep: skip referenced frames once (clearing the bit),
+    // take the first unreferenced or free frame. Bounded: after one
+    // full revolution every ref bit is clear, so the second finds a
+    // victim.
+    const std::size_t nframes = shard.sector_of.size();
+    std::uint32_t victim = 0;
+    for (std::size_t step = 0;; ++step) {
+        const auto frame = static_cast<std::uint32_t>(shard.hand);
+        shard.hand = (shard.hand + 1) % nframes;
+        if (shard.sector_of[frame] == kFreeFrame) {
+            victim = frame;
+            break;
+        }
+        if (shard.ref[frame] == 0 || step >= 2 * nframes) {
+            victim = frame;
+            break;
+        }
+        shard.ref[frame] = 0;
+    }
+    if (shard.sector_of[victim] != kFreeFrame) {
+        shard.map.erase(shard.sector_of[victim]);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.sector_of[victim] = sector;
+    shard.ref[victim] = 1;
+    std::memcpy(shard.frames.data() +
+                    std::size_t{victim} * kIoSectorBytes,
+                data, kIoSectorBytes);
+    shard.map[sector] = victim;
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+SectorCache::warmInsert(std::uint64_t sector, const std::uint8_t *data)
+{
+    if (warmIndex_.count(sector))
+        return;
+    const std::size_t offset = warmBytes_.size();
+    warmBytes_.insert(warmBytes_.end(), data, data + kIoSectorBytes);
+    warmIndex_.emplace(sector, offset);
+}
+
+void
+SectorCache::dropCaches()
+{
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->map.clear();
+        shard->sector_of.assign(shard->sector_of.size(), kFreeFrame);
+        shard->ref.assign(shard->ref.size(), 0);
+        shard->hand = 0;
+    }
+}
+
+NodeCacheStats
+SectorCache::stats() const
+{
+    NodeCacheStats stats;
+    stats.lookups = lookups_.load(std::memory_order_relaxed);
+    stats.hits = hits_.load(std::memory_order_relaxed);
+    stats.warm_hits = warmHits_.load(std::memory_order_relaxed);
+    stats.misses = misses_.load(std::memory_order_relaxed);
+    stats.insertions = insertions_.load(std::memory_order_relaxed);
+    stats.evictions = evictions_.load(std::memory_order_relaxed);
+    return stats;
+}
+
+void
+SectorCache::resetStats()
+{
+    lookups_.store(0, std::memory_order_relaxed);
+    hits_.store(0, std::memory_order_relaxed);
+    warmHits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+    insertions_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t
+SectorCache::residentSectors() const
+{
+    std::size_t resident = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        resident += shard->map.size();
+    }
+    return resident;
+}
+
+} // namespace ann::storage

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Application-level sector cache for the real-I/O node files.
+ *
+ * The paper attributes much of the engine-to-engine spread (O-2) to
+ * how much of the index each engine keeps resident: buffered engines
+ * ride the OS page cache while DiskANN's direct-I/O path re-reads the
+ * same entry-region sectors on every query. This cache sits between
+ * the indexes and storage::IoBackend and reproduces production
+ * DiskANN's answer:
+ *
+ *  - a **static warm set**, populated once at load time (the indexes
+ *    BFS from the medoid, à la DiskANN's `num_nodes_to_cache`) and
+ *    immutable afterwards, so lookups into it are lock-free;
+ *  - a **sharded CLOCK (second-chance) dynamic cache**: sectors hash
+ *    to shards, each shard holds its own frames, map, ref bits, and
+ *    mutex, so concurrent searches never contend on a global LRU
+ *    lock (the simulator's `PageCache` keeps its single-threaded
+ *    std::list LRU — it models the OS page cache, not this one).
+ *
+ * Contents are exact sector bytes of an immutable node file, so
+ * search results are bit-identical with the cache on or off; only
+ * the number of reads reaching the backend changes. dropCaches()
+ * empties the dynamic shards (the paper's `drop_caches` protocol for
+ * cold sweep points); the warm set is part of index load and stays.
+ */
+
+#ifndef ANN_STORAGE_NODE_CACHE_HH
+#define ANN_STORAGE_NODE_CACHE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace ann::storage {
+
+/** Counters of one SectorCache (or an aggregate over several). */
+struct NodeCacheStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;      ///< warm + dynamic hits
+    std::uint64_t warm_hits = 0; ///< subset served by the warm set
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+
+    /** Bytes that never reached the backend (hits x sector size). */
+    std::uint64_t bytesSaved() const;
+    /** hits / lookups, 0 when idle. */
+    double hitRate() const;
+
+    NodeCacheStats &operator+=(const NodeCacheStats &other);
+    /** Counter delta (this - @p before): stats of one interval. */
+    NodeCacheStats operator-(const NodeCacheStats &before) const;
+};
+
+/** Sizing knobs ($ANN_NODE_CACHE_MB / $ANN_WARM_NODES / CLI flags). */
+struct NodeCacheConfig
+{
+    /** Dynamic-cache capacity in bytes (0 disables the CLOCK part). */
+    std::size_t capacity_bytes = 0;
+    /**
+     * Nodes to warm by BFS from the medoid at load time (0 disables;
+     * consumed by the indexes, which own the traversal).
+     */
+    std::size_t warm_nodes = 0;
+    /** CLOCK shards (clamped so every shard owns >= 1 frame). */
+    std::size_t shards = 16;
+
+    /** True when either part of the cache would hold anything. */
+    bool enabled() const
+    {
+        return capacity_bytes > 0 || warm_nodes > 0;
+    }
+
+    /** $ANN_NODE_CACHE_MB / $ANN_WARM_NODES (defaults 0 / 0). */
+    static NodeCacheConfig fromEnv();
+};
+
+/**
+ * Whole-sector cache: static warm set + sharded CLOCK dynamic part.
+ *
+ * Thread contract: warmInsert() runs during single-threaded index
+ * load, before the cache is shared. lookup()/admit()/dropCaches()/
+ * stats() are safe from any number of threads.
+ */
+class SectorCache
+{
+  public:
+    explicit SectorCache(const NodeCacheConfig &config);
+
+    SectorCache(const SectorCache &) = delete;
+    SectorCache &operator=(const SectorCache &) = delete;
+
+    /**
+     * Copy @p sector 's bytes into @p dest on a hit (warm set first,
+     * then the sector's CLOCK shard, whose ref bit it refreshes).
+     * @return false on a miss; @p dest is untouched.
+     */
+    bool lookup(std::uint64_t sector, std::uint8_t *dest);
+
+    /**
+     * Admit a completed read. No-op when the sector already sits in
+     * the warm set or the dynamic part is disabled; otherwise claims
+     * a frame in the sector's shard, evicting by second chance.
+     */
+    void admit(std::uint64_t sector, const std::uint8_t *data);
+
+    /** Load-time population of the static warm set (not locked). */
+    void warmInsert(std::uint64_t sector, const std::uint8_t *data);
+
+    /**
+     * Evict every dynamic frame (the warm set stays — it is part of
+     * index load, not runtime state). Counters are kept, matching
+     * PageCache::dropCaches().
+     */
+    void dropCaches();
+
+    NodeCacheStats stats() const;
+    void resetStats();
+
+    std::size_t capacityBytes() const { return capacityBytes_; }
+    std::size_t warmSectors() const { return warmIndex_.size(); }
+    /** Dynamic frames currently holding a sector. */
+    std::size_t residentSectors() const;
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        /** frame i lives at bytes [i*kIoSectorBytes, ...). */
+        std::vector<std::uint8_t> frames;
+        /** Sector held by each frame (kFreeFrame when empty). */
+        std::vector<std::uint64_t> sector_of;
+        /** CLOCK reference bits. */
+        std::vector<std::uint8_t> ref;
+        std::unordered_map<std::uint64_t, std::uint32_t> map;
+        /** CLOCK hand. */
+        std::size_t hand = 0;
+    };
+
+    Shard &shardOf(std::uint64_t sector);
+
+    std::size_t capacityBytes_ = 0;
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    /** Immutable once shared: sector -> offset into warmBytes_. */
+    std::unordered_map<std::uint64_t, std::size_t> warmIndex_;
+    std::vector<std::uint8_t> warmBytes_;
+
+    mutable std::atomic<std::uint64_t> lookups_{0};
+    mutable std::atomic<std::uint64_t> hits_{0};
+    mutable std::atomic<std::uint64_t> warmHits_{0};
+    mutable std::atomic<std::uint64_t> misses_{0};
+    mutable std::atomic<std::uint64_t> insertions_{0};
+    mutable std::atomic<std::uint64_t> evictions_{0};
+};
+
+} // namespace ann::storage
+
+#endif // ANN_STORAGE_NODE_CACHE_HH

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Tests for the application-level sector cache (SectorCache): CLOCK
+ * second-chance eviction correctness per shard, the warm-set contract,
+ * dropCaches() semantics, the stats counters, and concurrent
+ * lookup/admit safety (the TSan CI job runs these under the race
+ * detector).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "storage/io_backend.hh"
+#include "storage/node_cache.hh"
+
+namespace ann::storage {
+namespace {
+
+/** A sector's worth of bytes derived from its number. */
+std::vector<std::uint8_t>
+sectorBytes(std::uint64_t sector)
+{
+    std::vector<std::uint8_t> bytes(kIoSectorBytes);
+    for (std::size_t i = 0; i < bytes.size(); ++i)
+        bytes[i] =
+            static_cast<std::uint8_t>((sector * 131 + i * 7) & 0xff);
+    return bytes;
+}
+
+/** lookup() into a scratch buffer; verifies content on a hit. */
+bool
+checkedLookup(SectorCache &cache, std::uint64_t sector)
+{
+    std::vector<std::uint8_t> out(kIoSectorBytes, 0xEE);
+    if (!cache.lookup(sector, out.data()))
+        return false;
+    EXPECT_EQ(out, sectorBytes(sector)) << "sector " << sector;
+    return true;
+}
+
+TEST(NodeCacheConfigTest, FromEnvParsesKnobs)
+{
+    ::setenv("ANN_NODE_CACHE_MB", "8", 1);
+    ::setenv("ANN_WARM_NODES", "500", 1);
+    const NodeCacheConfig config = NodeCacheConfig::fromEnv();
+    EXPECT_EQ(config.capacity_bytes, 8u * 1024 * 1024);
+    EXPECT_EQ(config.warm_nodes, 500u);
+    EXPECT_TRUE(config.enabled());
+    ::unsetenv("ANN_NODE_CACHE_MB");
+    ::unsetenv("ANN_WARM_NODES");
+    EXPECT_FALSE(NodeCacheConfig::fromEnv().enabled());
+}
+
+TEST(NodeCacheTest, DisabledCacheMissesEverything)
+{
+    SectorCache cache(NodeCacheConfig{});
+    EXPECT_EQ(cache.capacityBytes(), 0u);
+    cache.admit(1, sectorBytes(1).data());
+    EXPECT_FALSE(checkedLookup(cache, 1));
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(NodeCacheTest, AdmitThenLookupRoundTrips)
+{
+    NodeCacheConfig config;
+    config.capacity_bytes = 16 * kIoSectorBytes;
+    config.shards = 4;
+    SectorCache cache(config);
+    for (std::uint64_t s = 0; s < 10; ++s)
+        cache.admit(s, sectorBytes(s).data());
+    for (std::uint64_t s = 0; s < 10; ++s)
+        EXPECT_TRUE(checkedLookup(cache, s));
+    const NodeCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 10u);
+    EXPECT_EQ(stats.insertions, 10u);
+    EXPECT_EQ(stats.evictions, 0u);
+    EXPECT_EQ(stats.bytesSaved(), 10u * kIoSectorBytes);
+    EXPECT_EQ(cache.residentSectors(), 10u);
+}
+
+/**
+ * Single-shard CLOCK: the classic second-chance property. Fill the
+ * cache, touch one resident, overflow — the untouched frames are
+ * evicted before the touched one.
+ */
+TEST(NodeCacheTest, ClockGivesSecondChanceToReferencedFrames)
+{
+    NodeCacheConfig config;
+    config.capacity_bytes = 4 * kIoSectorBytes;
+    config.shards = 1;
+    SectorCache cache(config);
+    for (std::uint64_t s = 0; s < 4; ++s)
+        cache.admit(s, sectorBytes(s).data());
+
+    // Admission set every ref bit; one full revolution clears them
+    // and evicts the frame under the hand (sector 0). Re-reference
+    // sector 1 only, so the NEXT eviction must skip it.
+    cache.admit(100, sectorBytes(100).data());
+    EXPECT_FALSE(checkedLookup(cache, 0)); // the victim
+    EXPECT_TRUE(checkedLookup(cache, 100));
+    ASSERT_TRUE(checkedLookup(cache, 1));
+
+    // Frames now: ref set on 100 (admit) and 1 (hit); 2, 3 clear.
+    cache.admit(101, sectorBytes(101).data());
+    EXPECT_TRUE(checkedLookup(cache, 1)) << "referenced frame evicted";
+    EXPECT_TRUE(checkedLookup(cache, 101));
+    EXPECT_FALSE(checkedLookup(cache, 2)) << "unreferenced survived";
+
+    const NodeCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.insertions, 6u);
+    EXPECT_EQ(stats.evictions, 2u);
+    EXPECT_EQ(cache.residentSectors(), 4u);
+}
+
+/** Eviction bookkeeping stays exact across many overflows. */
+TEST(NodeCacheTest, EvictionKeepsMapAndFramesConsistent)
+{
+    NodeCacheConfig config;
+    config.capacity_bytes = 8 * kIoSectorBytes;
+    config.shards = 2;
+    SectorCache cache(config);
+    for (std::uint64_t s = 0; s < 100; ++s)
+        cache.admit(s, sectorBytes(s).data());
+    // Never more residents than frames, and every resident sector
+    // must serve its exact bytes.
+    EXPECT_LE(cache.residentSectors(), 8u);
+    std::size_t served = 0;
+    for (std::uint64_t s = 0; s < 100; ++s)
+        served += checkedLookup(cache, s) ? 1 : 0;
+    EXPECT_EQ(served, cache.residentSectors());
+    EXPECT_EQ(cache.stats().insertions,
+              cache.stats().evictions + cache.residentSectors());
+}
+
+TEST(NodeCacheTest, DuplicateAdmitIsIgnored)
+{
+    NodeCacheConfig config;
+    config.capacity_bytes = 4 * kIoSectorBytes;
+    SectorCache cache(config);
+    cache.admit(7, sectorBytes(7).data());
+    cache.admit(7, sectorBytes(7).data());
+    EXPECT_EQ(cache.stats().insertions, 1u);
+    EXPECT_EQ(cache.residentSectors(), 1u);
+}
+
+TEST(NodeCacheTest, WarmSetHitsWithoutDynamicCapacity)
+{
+    NodeCacheConfig config; // capacity 0: warm set only
+    config.warm_nodes = 4;
+    SectorCache cache(config);
+    for (std::uint64_t s = 0; s < 4; ++s)
+        cache.warmInsert(s, sectorBytes(s).data());
+    EXPECT_EQ(cache.warmSectors(), 4u);
+
+    for (std::uint64_t s = 0; s < 4; ++s)
+        EXPECT_TRUE(checkedLookup(cache, s));
+    const NodeCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.warm_hits, 4u);
+    EXPECT_EQ(stats.hits, 4u);
+
+    // admit() of a warm sector is a no-op (no dynamic frames anyway).
+    cache.admit(0, sectorBytes(0).data());
+    EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST(NodeCacheTest, DropCachesEvictsDynamicButKeepsWarm)
+{
+    NodeCacheConfig config;
+    config.capacity_bytes = 8 * kIoSectorBytes;
+    config.warm_nodes = 2;
+    config.shards = 1; // all six sectors must fit: no collisions
+    SectorCache cache(config);
+    cache.warmInsert(1000, sectorBytes(1000).data());
+    cache.warmInsert(1001, sectorBytes(1001).data());
+    for (std::uint64_t s = 0; s < 6; ++s)
+        cache.admit(s, sectorBytes(s).data());
+    ASSERT_EQ(cache.residentSectors(), 6u);
+
+    cache.dropCaches();
+    EXPECT_EQ(cache.residentSectors(), 0u);
+    EXPECT_FALSE(checkedLookup(cache, 0));
+    EXPECT_TRUE(checkedLookup(cache, 1000)) << "warm set must survive";
+    EXPECT_TRUE(checkedLookup(cache, 1001));
+
+    // The shards stay usable after the drop.
+    cache.admit(42, sectorBytes(42).data());
+    EXPECT_TRUE(checkedLookup(cache, 42));
+}
+
+TEST(NodeCacheTest, TinyCapacityClampsShardCount)
+{
+    NodeCacheConfig config;
+    config.capacity_bytes = 2 * kIoSectorBytes; // fewer frames than
+    config.shards = 16;                         // requested shards
+    SectorCache cache(config);
+    EXPECT_EQ(cache.capacityBytes(), 2 * kIoSectorBytes);
+    for (std::uint64_t s = 0; s < 50; ++s)
+        cache.admit(s, sectorBytes(s).data());
+    EXPECT_LE(cache.residentSectors(), 2u);
+    std::size_t served = 0;
+    for (std::uint64_t s = 0; s < 50; ++s)
+        served += checkedLookup(cache, s) ? 1 : 0;
+    EXPECT_EQ(served, cache.residentSectors());
+}
+
+TEST(NodeCacheTest, ResetStatsZeroesCounters)
+{
+    NodeCacheConfig config;
+    config.capacity_bytes = 4 * kIoSectorBytes;
+    SectorCache cache(config);
+    cache.admit(1, sectorBytes(1).data());
+    checkedLookup(cache, 1);
+    cache.resetStats();
+    const NodeCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.lookups + stats.hits + stats.misses +
+                  stats.insertions + stats.evictions,
+              0u);
+    // Contents are untouched.
+    EXPECT_TRUE(checkedLookup(cache, 1));
+}
+
+TEST(NodeCacheStatsTest, AggregationAdds)
+{
+    NodeCacheStats a;
+    a.lookups = 10;
+    a.hits = 4;
+    a.warm_hits = 1;
+    a.misses = 6;
+    NodeCacheStats b = a;
+    b += a;
+    EXPECT_EQ(b.lookups, 20u);
+    EXPECT_EQ(b.hits, 8u);
+    EXPECT_EQ(b.warm_hits, 2u);
+    EXPECT_DOUBLE_EQ(b.hitRate(), 0.4);
+    EXPECT_DOUBLE_EQ(NodeCacheStats{}.hitRate(), 0.0);
+}
+
+/**
+ * Hammer one cache from many threads mixing lookups, admissions, and
+ * periodic dropCaches(). Correctness here is (a) no data race — the
+ * TSan job checks that — and (b) every hit serves exact bytes.
+ */
+TEST(NodeCacheTest, ConcurrentLookupAdmitAndDropAreSafe)
+{
+    NodeCacheConfig config;
+    config.capacity_bytes = 64 * kIoSectorBytes;
+    config.warm_nodes = 8;
+    config.shards = 8;
+    SectorCache cache(config);
+    for (std::uint64_t s = 10000; s < 10008; ++s)
+        cache.warmInsert(s, sectorBytes(s).data());
+
+    constexpr int kThreads = 4;
+    constexpr int kIters = 3000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&cache, t] {
+            std::vector<std::uint8_t> out(kIoSectorBytes);
+            for (int i = 0; i < kIters; ++i) {
+                const std::uint64_t sector =
+                    static_cast<std::uint64_t>((i * 37 + t * 11) % 256);
+                if (cache.lookup(sector, out.data()))
+                    ASSERT_EQ(out, sectorBytes(sector));
+                else
+                    cache.admit(sector, sectorBytes(sector).data());
+                if (i % 100 == 0) {
+                    const std::uint64_t warm = 10000 + (i / 100) % 8;
+                    ASSERT_TRUE(cache.lookup(warm, out.data()));
+                    ASSERT_EQ(out, sectorBytes(warm));
+                }
+                if (t == 0 && i % 1000 == 999)
+                    cache.dropCaches();
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    const NodeCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.lookups, stats.hits + stats.misses);
+    EXPECT_GT(stats.hits, 0u);
+}
+
+} // namespace
+} // namespace ann::storage

@@ -27,6 +27,7 @@
 #include "serve/engine_gate.hh"
 #include "serve/protocol.hh"
 #include "serve/server.hh"
+#include "storage/io_backend.hh"
 #include "workload/generator.hh"
 
 namespace ann {
@@ -683,6 +684,79 @@ TEST_F(ServeFixture, ConcurrentSearchesRaceStreamingMutations)
             EXPECT_FALSE(n.id < kMutations && n.id % 2 == 0)
                 << "tombstoned id " << n.id << " returned";
     }
+}
+
+TEST_F(ServeFixture, ConcurrentSearchesShareNodeCacheUnderMutations)
+{
+    // DiskANN segments on the file backend share one sector cache per
+    // segment across all searcher threads; a mutator interleaves
+    // FreshDiskANN-style delta inserts and tombstones behind the
+    // gate's exclusive lock. The TSan build of this test is the
+    // cache's concurrency contract.
+    const storage::IoOptions saved = storage::defaultIoOptions();
+    storage::IoOptions io = saved;
+    io.kind = storage::IoBackendKind::File;
+    io.spill_dir = "./serve_test_cache_nodecache";
+    io.node_cache.capacity_bytes = 4u << 20;
+    io.node_cache.warm_nodes = 32;
+    storage::setDefaultIoOptions(io);
+
+    MilvusLikeEngine engine(MilvusIndexKind::DiskAnn);
+    engine.prepare(*data_, io.spill_dir);
+    storage::setDefaultIoOptions(saved);
+    serve::EngineGate gate(engine);
+
+    constexpr std::size_t kSearchers = 4;
+    constexpr std::size_t kSearches = 100;
+    constexpr std::size_t kMutations = 40;
+    const std::size_t base_rows = data_->rows;
+
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> searchers;
+    searchers.reserve(kSearchers);
+    for (std::size_t t = 0; t < kSearchers; ++t)
+        searchers.emplace_back([&, t] {
+            for (std::size_t i = 0; i < kSearches; ++i) {
+                const std::size_t q =
+                    (t * kSearches + i) % data_->num_queries;
+                const SearchResult result =
+                    gate.search(data_->query(q), settings());
+                if (result.size() != settings().k)
+                    failed.store(true);
+            }
+        });
+
+    std::thread mutator([&] {
+        for (std::size_t i = 0; i < kMutations; ++i) {
+            const float *vec =
+                data_->base.data() + (i % data_->rows) * data_->dim;
+            const VectorId added = gate.mutate(
+                [&](engine::VectorDbEngine &) {
+                    return engine.liveAdd(vec);
+                });
+            if (added < base_rows)
+                failed.store(true);
+            if (i % 2 == 0)
+                gate.mutate([&](engine::VectorDbEngine &) {
+                    engine.liveMarkDeleted(
+                        static_cast<VectorId>(i));
+                });
+        }
+    });
+
+    for (std::thread &t : searchers)
+        t.join();
+    mutator.join();
+    EXPECT_FALSE(failed.load());
+
+    // Every searcher ran against file-backed segments, so the shared
+    // caches must have seen traffic — and repeated queries must hit.
+    const storage::NodeCacheStats stats = engine.nodeCacheStats();
+    EXPECT_GT(stats.lookups, 0u);
+    EXPECT_GT(stats.hits, 0u);
+    EXPECT_EQ(stats.lookups, stats.hits + stats.misses);
+
+    std::filesystem::remove_all("./serve_test_cache_nodecache");
 }
 
 TEST_F(ServeFixture, ServerSearchesDuringLiveMutations)

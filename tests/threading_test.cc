@@ -341,6 +341,149 @@ TEST_F(ParallelExecFixture, SpannBackendsBitIdentical)
 }
 
 /**
+ * The node-cache identity contract: the sector cache stores exact
+ * bytes of an immutable node file, so turning it on must not change a
+ * single result bit on any real backend — only how many reads reach
+ * the backend. Also checks the observability: lookups flow, hits
+ * appear once the working set re-visits sectors, and a generously
+ * sized cache makes a repeated query's second run I/O-free.
+ */
+TEST_F(ParallelExecFixture, DiskAnnNodeCacheBitIdenticalAcrossBackends)
+{
+    DiskAnnIndex index;
+    DiskAnnBuildParams build;
+    build.graph.max_degree = 16;
+    build.graph.build_list = 32;
+    build.pq.m = 8;
+    index.build(data_->baseView(), build);
+
+    DiskAnnSearchParams params;
+    params.k = 10;
+    params.search_list = 24;
+    params.beam_width = 4;
+
+    // Reference answers from the memory-resident image (no cache
+    // attaches there).
+    std::vector<SearchResult> expected;
+    for (std::size_t q = 0; q < data_->num_queries; ++q)
+        expected.push_back(index.search(data_->query(q), params));
+    EXPECT_EQ(index.nodeCache(), nullptr);
+
+    storage::IoOptions cached_file;
+    cached_file.kind = storage::IoBackendKind::File;
+    cached_file.spill_dir = "./threading_test_cache";
+    cached_file.node_cache.capacity_bytes = 4 * 1024 * 1024;
+    // Small on purpose: the 2000-node graph packs into ~65 sectors,
+    // so a big warm set would blanket the file and leave no misses
+    // to measure below.
+    cached_file.node_cache.warm_nodes = 16;
+    std::vector<storage::IoOptions> modes{cached_file};
+    if (storage::uringSupported()) {
+        storage::IoOptions cached_uring = cached_file;
+        cached_uring.kind = storage::IoBackendKind::Uring;
+        modes.push_back(cached_uring);
+    }
+
+    for (const storage::IoOptions &mode : modes) {
+        index.setIoMode(mode);
+        ASSERT_NE(index.nodeCache(), nullptr);
+        EXPECT_GT(index.nodeCache()->warmSectors(), 0u);
+        for (std::size_t q = 0; q < data_->num_queries; ++q) {
+            const auto got = index.search(data_->query(q), params);
+            ASSERT_EQ(got.size(), expected[q].size()) << "query " << q;
+            for (std::size_t i = 0; i < got.size(); ++i) {
+                EXPECT_EQ(got[i].id, expected[q][i].id)
+                    << "query " << q;
+                EXPECT_EQ(got[i].distance, expected[q][i].distance)
+                    << "query " << q;
+            }
+        }
+        const storage::NodeCacheStats stats = index.nodeCacheStats();
+        EXPECT_GT(stats.lookups, 0u);
+        EXPECT_GT(stats.hits, 0u) << "medoid region should re-hit";
+        EXPECT_GT(stats.warm_hits, 0u);
+        EXPECT_EQ(stats.lookups, stats.hits + stats.misses);
+
+        // Cache hits are excluded from the recorded I/O: a query
+        // whose whole path is resident records zero sector reads.
+        // Start from dropped dynamic frames — the query sweep above
+        // made the small index fully resident.
+        index.dropNodeCache();
+        EXPECT_EQ(index.nodeCache()->residentSectors(), 0u);
+        EXPECT_GT(index.nodeCache()->warmSectors(), 0u);
+        SearchTraceRecorder first;
+        index.search(data_->query(0), params, &first);
+        SearchTraceRecorder second;
+        index.search(data_->query(0), params, &second);
+        EXPECT_GT(first.totalSectors(), 0u);
+        EXPECT_EQ(second.totalSectors(), 0u)
+            << "repeat of an identical query should be fully cached";
+
+        // dropNodeCache() restores the cold-run I/O (the warm set
+        // stays, so the cold run never exceeds the first).
+        index.dropNodeCache();
+        SearchTraceRecorder cold;
+        index.search(data_->query(0), params, &cold);
+        EXPECT_GT(cold.totalSectors(), 0u);
+        EXPECT_LE(cold.totalSectors(), first.totalSectors())
+            << "warm set still serves the entry region";
+    }
+}
+
+/** Same contract for SPANN's posting-list reads (dynamic part only:
+ *  the warm set is a graph notion). */
+TEST_F(ParallelExecFixture, SpannNodeCacheBitIdentical)
+{
+    SpannIndex index;
+    SpannBuildParams build;
+    build.nlist = 16;
+    index.build(data_->baseView(), build);
+
+    SpannSearchParams params;
+    params.k = 10;
+    params.nprobe = 4;
+
+    std::vector<SearchResult> expected;
+    for (std::size_t q = 0; q < data_->num_queries; ++q)
+        expected.push_back(index.search(data_->query(q), params));
+
+    storage::IoOptions cached_file;
+    cached_file.kind = storage::IoBackendKind::File;
+    cached_file.spill_dir = "./threading_test_cache";
+    cached_file.node_cache.capacity_bytes = 8 * 1024 * 1024;
+    cached_file.node_cache.warm_nodes = 100; // ignored by SPANN
+    index.setIoMode(cached_file);
+    ASSERT_NE(index.nodeCache(), nullptr);
+    EXPECT_EQ(index.nodeCache()->warmSectors(), 0u);
+
+    for (int round = 0; round < 2; ++round) {
+        for (std::size_t q = 0; q < data_->num_queries; ++q) {
+            const auto got = index.search(data_->query(q), params);
+            ASSERT_EQ(got.size(), expected[q].size()) << "query " << q;
+            for (std::size_t i = 0; i < got.size(); ++i) {
+                EXPECT_EQ(got[i].id, expected[q][i].id)
+                    << "round " << round << " query " << q;
+                EXPECT_EQ(got[i].distance, expected[q][i].distance)
+                    << "round " << round << " query " << q;
+            }
+        }
+    }
+    const storage::NodeCacheStats stats = index.nodeCacheStats();
+    EXPECT_GT(stats.hits, 0u) << "second round should re-hit lists";
+
+    // A repeated query's lists are resident: zero recorded reads.
+    SearchTraceRecorder repeat;
+    index.search(data_->query(0), params, &repeat);
+    EXPECT_EQ(repeat.totalSectors(), 0u);
+
+    index.dropNodeCache();
+    EXPECT_EQ(index.nodeCache()->residentSectors(), 0u);
+    SearchTraceRecorder cold;
+    index.search(data_->query(0), params, &cold);
+    EXPECT_GT(cold.totalSectors(), 0u);
+}
+
+/**
  * Engine-level check: a whole MilvusLike run (load path included)
  * produces identical outputs when the process-wide default backend is
  * file instead of memory — i.e. what `annbench --io-backend file`

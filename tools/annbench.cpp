@@ -65,6 +65,13 @@ printUsage()
         "                      (default: $ANN_IO_BACKEND or memory)\n"
         "  --io-queue-depth N  in-flight requests per real-I/O batch\n"
         "                      (default: $ANN_IO_QUEUE_DEPTH or 32)\n"
+        "  --node-cache-mb N   sector-cache capacity per index (MiB;\n"
+        "                      0 = off, default $ANN_NODE_CACHE_MB)\n"
+        "  --warm-nodes N      nodes BFS-warmed from the medoid "
+        "(DiskANN\n"
+        "                      only, default $ANN_WARM_NODES)\n"
+        "  --drop-caches       drop the sector cache and re-execute\n"
+        "                      before every sweep point (cold runs)\n"
         "  --duration-ms N     virtual run length (default 2000)\n"
         "  --trace FILE        dump the block trace as CSV\n"
         "  --help              this message\n");
@@ -93,11 +100,23 @@ runBench(const ann::ArgParser &args)
                 std::max<std::int64_t>(1,
                                        args.getInt("io-queue-depth",
                                                    32)));
+        if (args.has("node-cache-mb"))
+            io.node_cache.capacity_bytes =
+                static_cast<std::size_t>(std::max<std::int64_t>(
+                    0, args.getInt("node-cache-mb", 0))) *
+                (1u << 20);
+        if (args.has("warm-nodes"))
+            io.node_cache.warm_nodes =
+                static_cast<std::size_t>(std::max<std::int64_t>(
+                    0, args.getInt("warm-nodes", 0)));
         storage::setDefaultIoOptions(io);
         if (io.kind != storage::IoBackendKind::Memory)
-            std::printf("io backend: %s (queue depth %u)\n",
+            std::printf("io backend: %s (queue depth %u, node cache "
+                        "%zu MiB + %zu warm nodes)\n",
                         storage::ioBackendKindName(io.kind),
-                        io.queue_depth);
+                        io.queue_depth,
+                        io.node_cache.capacity_bytes >> 20,
+                        io.node_cache.warm_nodes);
     }
 
     std::printf("loading %s and preparing %s...\n",
@@ -137,9 +156,17 @@ runBench(const ann::ArgParser &args)
     TextTable table(setup + " on " + dataset_name);
     table.setHeader({"threads", "QPS", "mean (us)", "P99 (us)",
                      "P99.9 (us)", "recall@10", "CPU %", "read MiB/s",
-                     "MiB/query"});
+                     "MiB/query", "hit %", "MiB saved"});
     const bool want_trace = args.has("trace");
+    const bool drop_caches = args.flag("drop-caches");
     for (const std::size_t t : threads) {
+        if (drop_caches) {
+            // Cold point: empty the dynamic sector cache and force a
+            // fresh real execution (memoized traces would otherwise
+            // skip the I/O entirely).
+            engine->dropNodeCache();
+            runner.clearTraceCache();
+        }
         const auto m = runner.measure(*engine, dataset, settings, t,
                                       want_trace);
         const double mib_per_query =
@@ -157,7 +184,9 @@ runBench(const ann::ArgParser &args)
                       core::fmtRecall(m.recall),
                       core::fmtCpuPct(m.replay),
                       core::fmtMib(m.replay.read_bw_mib),
-                      formatDouble(mib_per_query, 3)});
+                      formatDouble(mib_per_query, 3),
+                      core::fmtHitRate(m.cache),
+                      core::fmtMibSaved(m.cache)});
         if (want_trace && t == threads.back() && !m.replay.oom) {
             storage::BlockTracer tracer;
             for (const auto &event : m.replay.trace)
@@ -184,9 +213,9 @@ main(int argc, char **argv)
     using namespace ann;
     ArgParser args({"setup", "dataset", "threads", "exec-threads", "k",
                     "nprobe", "ef-search", "search-list", "beam-width",
-                    "io-backend", "io-queue-depth", "duration-ms",
-                    "trace"},
-                   {"help", "verify-exec"});
+                    "io-backend", "io-queue-depth", "node-cache-mb",
+                    "warm-nodes", "duration-ms", "trace"},
+                   {"help", "verify-exec", "drop-caches"});
     try {
         args.parse(argc, argv);
     } catch (const FatalError &e) {

@@ -104,6 +104,17 @@ runLoad(const ann::ArgParser &args)
     const auto dataset = workload::loadOrGenerate(dataset_name);
     options.dataset = &dataset;
 
+    // Workers keep one connection across the whole sweep; only the
+    // first point (and any slot retired with unanswered replies) pays
+    // establishment time, reported in its own column.
+    serve::ClientPool pool;
+    options.pool = &pool;
+
+    // Separate connection for server metrics: sector-cache counter
+    // deltas around each point become the hit-rate columns.
+    serve::AnnClient metrics_client;
+    metrics_client.connect(options.host, options.port);
+
     const bool open_loop = options.target_qps > 0.0;
     const char *discipline = open_loop ? "open" : "closed";
     TextTable table(std::string(discipline) + "-loop sweep against " +
@@ -112,15 +123,25 @@ runLoad(const ann::ArgParser &args)
     table.setHeader({"clients", "sent", "QPS", "mean (us)", "P50 (us)",
                      "P99 (us)", "P99.9 (us)",
                      "recall@" + std::to_string(options.settings.k),
-                     "shed", "rejected", "unanswered"});
+                     "shed", "rejected", "unanswered", "conn (us)",
+                     "hit %", "MiB saved"});
 
     bool recall_ok = true;
     bool progressed = false;
     for (const std::size_t n : clients) {
         options.clients = n;
+        const serve::MetricsSnapshot before = metrics_client.metrics();
         const serve::LoadReport report = open_loop
                                              ? serve::runOpenLoop(options)
                                              : serve::runClosedLoop(options);
+        const serve::MetricsSnapshot after = metrics_client.metrics();
+        const std::uint64_t lookups =
+            after.cache_lookups - before.cache_lookups;
+        const std::uint64_t hits = after.cache_hits - before.cache_hits;
+        const double mib_saved =
+            static_cast<double>(after.cache_bytes_saved -
+                                before.cache_bytes_saved) /
+            (1024.0 * 1024.0);
         const bool validated = report.recall_samples > 0;
         table.addRow({std::to_string(n), std::to_string(report.sent),
                       formatDouble(report.qps, 0),
@@ -131,7 +152,18 @@ runLoad(const ann::ArgParser &args)
                       validated ? formatDouble(report.recall, 3) : "-",
                       std::to_string(report.shed),
                       std::to_string(report.rejected),
-                      std::to_string(report.unanswered)});
+                      std::to_string(report.unanswered),
+                      report.connections > 0
+                          ? formatDouble(report.connect_us, 0)
+                          : "-",
+                      lookups > 0
+                          ? formatDouble(100.0 *
+                                             static_cast<double>(hits) /
+                                             static_cast<double>(lookups),
+                                         1) +
+                                "%"
+                          : "-",
+                      lookups > 0 ? formatDouble(mib_saved, 1) : "-"});
         if (report.completed > 0)
             progressed = true;
         if (min_recall >= 0.0 && validated &&

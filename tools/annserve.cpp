@@ -64,6 +64,11 @@ printUsage()
         "  --io-backend NAME   node-file I/O backend: memory|file|"
         "uring\n"
         "  --io-queue-depth N  in-flight requests per real-I/O batch\n"
+        "  --node-cache-mb N   sector-cache capacity per index (MiB;\n"
+        "                      0 = off, default $ANN_NODE_CACHE_MB)\n"
+        "  --warm-nodes N      nodes BFS-warmed from the medoid "
+        "(DiskANN\n"
+        "                      only, default $ANN_WARM_NODES)\n"
         "  --help              this message\n");
 }
 
@@ -84,6 +89,15 @@ runServe(const ann::ArgParser &args)
             io.queue_depth = static_cast<unsigned>(
                 std::max<std::int64_t>(
                     1, args.getInt("io-queue-depth", 32)));
+        if (args.has("node-cache-mb"))
+            io.node_cache.capacity_bytes =
+                static_cast<std::size_t>(std::max<std::int64_t>(
+                    0, args.getInt("node-cache-mb", 0))) *
+                (1u << 20);
+        if (args.has("warm-nodes"))
+            io.node_cache.warm_nodes =
+                static_cast<std::size_t>(std::max<std::int64_t>(
+                    0, args.getInt("warm-nodes", 0)));
         storage::setDefaultIoOptions(io);
     }
 
@@ -142,6 +156,15 @@ runServe(const ann::ArgParser &args)
                 static_cast<unsigned long long>(m.protocol_errors),
                 static_cast<unsigned long long>(m.accepted_connections),
                 m.qps, m.p50_us, m.p99_us, m.p999_us);
+    if (m.cache_lookups > 0)
+        std::printf("annserve: node cache: %llu lookups, %llu hits "
+                    "(%.1f%%), %.1f MiB saved\n",
+                    static_cast<unsigned long long>(m.cache_lookups),
+                    static_cast<unsigned long long>(m.cache_hits),
+                    100.0 * static_cast<double>(m.cache_hits) /
+                        static_cast<double>(m.cache_lookups),
+                    static_cast<double>(m.cache_bytes_saved) /
+                        (1024.0 * 1024.0));
     return 0;
 }
 
@@ -153,7 +176,8 @@ main(int argc, char **argv)
     using namespace ann;
     ArgParser args({"setup", "dataset", "bind", "port", "queue-limit",
                     "max-batch", "exec-threads", "max-connections",
-                    "io-backend", "io-queue-depth"},
+                    "io-backend", "io-queue-depth", "node-cache-mb",
+                    "warm-nodes"},
                    {"help"});
     try {
         args.parse(argc, argv);

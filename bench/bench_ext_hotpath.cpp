@@ -1,0 +1,574 @@
+/**
+ * @file
+ * Extension — hot-path optimization pass A/B harness.
+ *
+ * Sweeps every combination of the runtime hot-path toggles (scratch
+ * arenas / software prefetch / batched PQ-ADC) over the tuned HNSW
+ * and DiskANN setups on the memory backend, and enforces the three
+ * contracts the pass makes:
+ *
+ *  1. Bit-identity: every toggle combination (and the pinned
+ *     execution pool) returns the same (id, distance) lists as the
+ *     all-off baseline — the optimizations trade allocations, cache
+ *     misses, and instruction counts, never arithmetic.
+ *  2. Zero steady-state allocations: with scratch reuse on, a
+ *     searchInto() query on the memory backend performs no heap
+ *     allocation (counted by the global operator new hook below).
+ *  3. Kernel equivalence: the 4-wide batched ADC kernels reproduce
+ *     the single-code kernels of the same SIMD tier bit for bit.
+ *
+ * Prints QPS / P99 per combination, reports the all-on vs all-off
+ * speedup, and writes results/BENCH_hotpath.json. Exits non-zero if
+ * any contract fails, or if the speedup falls below
+ * $ANN_HOTPATH_MIN_SPEEDUP (default 0 = report-only; CI gates use
+ * the contracts, local runs can set 1.2 to enforce the target).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/hotpath.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/thread_pool.hh"
+#include "core/report.hh"
+#include "distance/distance.hh"
+#include "distance/recall.hh"
+#include "index/diskann_index.hh"
+#include "index/hnsw_index.hh"
+
+// ------------------------------------------- counting allocator hook
+//
+// Process-wide allocation counter: every operator new in the binary
+// bumps it. The zero-alloc gate snapshots it around a single-threaded
+// run of steady-state queries, so no other thread may allocate during
+// that window (the bench keeps no pools alive across it).
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+
+void *
+countedAlloc(std::size_t size, std::size_t align)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    void *p = nullptr;
+    if (align <= alignof(std::max_align_t)) {
+        p = std::malloc(size ? size : 1);
+    } else if (posix_memalign(&p, align, size ? size : align) != 0) {
+        p = nullptr;
+    }
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    return countedAlloc(size, 0);
+}
+void *
+operator new[](std::size_t size)
+{
+    return countedAlloc(size, 0);
+}
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    return countedAlloc(size, static_cast<std::size_t>(align));
+}
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return countedAlloc(size, static_cast<std::size_t>(align));
+}
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+namespace {
+
+using namespace ann;
+
+double
+nowUs()
+{
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now()
+                       .time_since_epoch())
+                   .count()) /
+           1000.0;
+}
+
+/** One toggle combination of the three in-process switches. */
+struct Combo
+{
+    bool scratch;
+    bool prefetch;
+    bool adc_batch;
+};
+
+void
+applyCombo(const Combo &combo)
+{
+    setScratchReuseEnabled(combo.scratch);
+    setPrefetchEnabled(combo.prefetch);
+    setAdcBatchEnabled(combo.adc_batch);
+}
+
+std::string
+comboLabel(const Combo &combo)
+{
+    std::string label;
+    label += combo.scratch ? "scratch " : "-       ";
+    label += combo.prefetch ? "prefetch " : "-        ";
+    label += combo.adc_batch ? "adc4" : "-";
+    return label;
+}
+
+struct SweepPoint
+{
+    double qps = 0.0;
+    double p99_us = 0.0;
+    /** Per-query (id, distance) lists from the last round. */
+    std::vector<SearchResult> results;
+};
+
+/**
+ * Time @p rounds passes of single-threaded searchInto over the query
+ * set (after one untimed warm-up pass) and capture the results for
+ * the bit-identity comparison.
+ */
+template <typename SearchFn>
+SweepPoint
+sweepPoint(const workload::Dataset &data, std::size_t rounds,
+           const SearchFn &search)
+{
+    SweepPoint point;
+    point.results.resize(data.num_queries);
+    for (std::size_t q = 0; q < data.num_queries; ++q)
+        search(data.query(q), point.results[q]);
+
+    std::vector<double> latencies;
+    latencies.reserve(rounds * data.num_queries);
+    const double start = nowUs();
+    for (std::size_t r = 0; r < rounds; ++r) {
+        for (std::size_t q = 0; q < data.num_queries; ++q) {
+            const double t0 = nowUs();
+            search(data.query(q), point.results[q]);
+            latencies.push_back(nowUs() - t0);
+        }
+    }
+    const double elapsed_us = nowUs() - start;
+    point.qps = static_cast<double>(rounds * data.num_queries) * 1e6 /
+                elapsed_us;
+    point.p99_us = percentile(std::move(latencies), 99.0);
+    return point;
+}
+
+bool
+sameResults(const std::vector<SearchResult> &a,
+            const std::vector<SearchResult> &b, const char *what)
+{
+    if (a.size() != b.size()) {
+        std::fprintf(stderr, "FAIL: %s: query count mismatch\n", what);
+        return false;
+    }
+    for (std::size_t q = 0; q < a.size(); ++q) {
+        if (a[q].size() != b[q].size()) {
+            std::fprintf(stderr,
+                         "FAIL: %s: result count differs on query "
+                         "%zu\n",
+                         what, q);
+            return false;
+        }
+        for (std::size_t i = 0; i < a[q].size(); ++i) {
+            if (a[q][i].id != b[q][i].id ||
+                a[q][i].distance != b[q][i].distance) {
+                std::fprintf(stderr,
+                             "FAIL: %s: query %zu rank %zu diverged\n",
+                             what, q, i);
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+/**
+ * Steady-state allocation count per query: warm the calling thread's
+ * scratch, then count allocations across @p queries reused-output
+ * searches. Must run with no other live thread.
+ */
+template <typename SearchFn>
+double
+allocsPerQuery(const workload::Dataset &data, const SearchFn &search)
+{
+    SearchResult out;
+    const std::size_t warm =
+        std::min<std::size_t>(32, data.num_queries);
+    for (std::size_t q = 0; q < warm; ++q)
+        search(data.query(q), out);
+    const std::uint64_t before =
+        g_allocs.load(std::memory_order_relaxed);
+    for (std::size_t q = 0; q < data.num_queries; ++q)
+        search(data.query(q), out);
+    const std::uint64_t after =
+        g_allocs.load(std::memory_order_relaxed);
+    return static_cast<double>(after - before) /
+           static_cast<double>(data.num_queries);
+}
+
+/** Dispatched and scalar batch-4 ADC kernels vs their single-code
+ *  references, exact equality over random inputs. */
+bool
+adcKernelsMatch()
+{
+    Rng rng(0xadc4);
+    for (const std::size_t m : {1u, 4u, 8u, 16u, 23u, 64u, 128u}) {
+        const std::size_t ksub = 256;
+        std::vector<float> table(m * ksub);
+        for (auto &x : table)
+            x = rng.nextFloat(0.0f, 4.0f);
+        std::vector<std::uint8_t> codes(4 * m);
+        for (auto &c : codes)
+            c = static_cast<std::uint8_t>(rng.nextBelow(ksub));
+        const std::uint8_t *ptrs[4] = {
+            codes.data(), codes.data() + m, codes.data() + 2 * m,
+            codes.data() + 3 * m};
+        float batched[4];
+        pqAdcDistanceBatch4(table.data(), m, ksub, ptrs, batched);
+        float scalar_batched[4];
+        pqAdcDistanceBatch4Scalar(table.data(), m, ksub, ptrs,
+                                  scalar_batched);
+        for (std::size_t i = 0; i < 4; ++i) {
+            const float single =
+                pqAdcDistance(table.data(), m, ksub, ptrs[i]);
+            const float scalar_single =
+                pqAdcDistanceScalar(table.data(), m, ksub, ptrs[i]);
+            if (batched[i] != single) {
+                std::fprintf(stderr,
+                             "FAIL: batched ADC diverged from the "
+                             "dispatched single-code kernel (m=%zu "
+                             "lane %zu: %a vs %a)\n",
+                             m, i, static_cast<double>(batched[i]),
+                             static_cast<double>(single));
+                return false;
+            }
+            if (scalar_batched[i] != scalar_single) {
+                std::fprintf(stderr,
+                             "FAIL: scalar batched ADC diverged from "
+                             "the scalar reference (m=%zu lane %zu)\n",
+                             m, i);
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace ann;
+    core::printBenchHeader(
+        "Extension: hot-path pass (scratch / prefetch / batched ADC "
+        "/ pinning)",
+        "expected: all-on >= 1.2x all-off QPS on the memory backend "
+        "with bit-identical results in every toggle combination");
+
+    const auto rounds = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, envInt("ANN_HOTPATH_ROUNDS", 3)));
+    const double min_speedup = [] {
+        const char *env = std::getenv("ANN_HOTPATH_MIN_SPEEDUP");
+        return env != nullptr ? std::atof(env) : 0.0;
+    }();
+    const auto dataset = bench::benchDataset("cohere-1m");
+
+    // Tuned setups, built directly so the sweep hits searchInto()
+    // without an engine wrapper between the timer and the index.
+    HnswIndex hnsw;
+    {
+        HnswBuildParams build; // paper defaults: M=16, efC=200
+        hnsw.build(dataset.baseView(), build);
+    }
+    DiskAnnIndex diskann;
+    {
+        DiskAnnBuildParams build;
+        build.graph.max_degree = 64;
+        build.graph.build_list = 128;
+        build.pq.m = dataset.dim;
+        build.pq.ksub = 256;
+        diskann.build(dataset.baseView(), build);
+    }
+
+    // Tune each index's knob to the paper's 0.9 recall@10 target.
+    HnswSearchParams hnsw_params;
+    double hnsw_recall = 0.0;
+    for (const std::size_t ef : {16u, 24u, 32u, 48u, 64u, 96u, 128u}) {
+        hnsw_params.ef_search = ef;
+        double acc = 0.0;
+        for (std::size_t q = 0; q < dataset.num_queries; ++q)
+            acc += recallAtK(dataset.ground_truth[q],
+                             hnsw.search(dataset.query(q), hnsw_params),
+                             hnsw_params.k);
+        hnsw_recall = acc / static_cast<double>(dataset.num_queries);
+        if (hnsw_recall >= 0.9)
+            break;
+    }
+    DiskAnnSearchParams diskann_params;
+    double diskann_recall = 0.0;
+    for (const std::size_t sl : {10u, 20u, 30u, 40u, 60u, 80u}) {
+        diskann_params.search_list = sl;
+        double acc = 0.0;
+        for (std::size_t q = 0; q < dataset.num_queries; ++q)
+            acc += recallAtK(
+                dataset.ground_truth[q],
+                diskann.search(dataset.query(q), diskann_params),
+                diskann_params.k);
+        diskann_recall = acc / static_cast<double>(dataset.num_queries);
+        if (diskann_recall >= 0.9)
+            break;
+    }
+    std::printf("tuned: HNSW efSearch=%zu (recall %.3f), DiskANN "
+                "search_list=%zu (recall %.3f), %zu queries x %zu "
+                "rounds\n\n",
+                hnsw_params.ef_search, hnsw_recall,
+                diskann_params.search_list, diskann_recall,
+                dataset.num_queries, rounds);
+
+    const auto hnsw_search = [&](const float *query,
+                                 SearchResult &out) {
+        hnsw.searchInto(query, hnsw_params, out);
+    };
+    const auto diskann_search = [&](const float *query,
+                                    SearchResult &out) {
+        diskann.searchInto(query, diskann_params, out);
+    };
+
+    bool ok = true;
+
+    // ------------------------------------------- toggle-combo sweep
+    TextTable table("hot-path toggle sweep (" + dataset.name +
+                    ", memory backend, 1 thread)");
+    table.setHeader({"combo", "HNSW QPS", "HNSW P99 (us)",
+                     "DiskANN QPS", "DiskANN P99 (us)"});
+    std::vector<Combo> combos;
+    for (unsigned mask = 0; mask < 8; ++mask)
+        combos.push_back({(mask & 1u) != 0, (mask & 2u) != 0,
+                          (mask & 4u) != 0});
+    std::vector<SweepPoint> hnsw_points, diskann_points;
+    for (const Combo &combo : combos) {
+        applyCombo(combo);
+        hnsw_points.push_back(
+            sweepPoint(dataset, rounds, hnsw_search));
+        diskann_points.push_back(
+            sweepPoint(dataset, rounds, diskann_search));
+        table.addRow(
+            {comboLabel(combo),
+             formatDouble(hnsw_points.back().qps, 0),
+             formatDouble(hnsw_points.back().p99_us, 1),
+             formatDouble(diskann_points.back().qps, 0),
+             formatDouble(diskann_points.back().p99_us, 1)});
+    }
+    table.print(std::cout);
+
+    // Gate 1: bit-identity of every combination vs all-off.
+    for (std::size_t i = 1; i < combos.size(); ++i) {
+        const std::string what = comboLabel(combos[i]);
+        ok &= sameResults(hnsw_points[0].results,
+                          hnsw_points[i].results,
+                          ("HNSW " + what).c_str());
+        ok &= sameResults(diskann_points[0].results,
+                          diskann_points[i].results,
+                          ("DiskANN " + what).c_str());
+    }
+    const double hnsw_speedup =
+        hnsw_points.back().qps / hnsw_points.front().qps;
+    const double diskann_speedup =
+        diskann_points.back().qps / diskann_points.front().qps;
+    std::printf("\nall-on vs all-off speedup: HNSW %.2fx, DiskANN "
+                "%.2fx\n",
+                hnsw_speedup, diskann_speedup);
+    const double best_speedup =
+        std::max(hnsw_speedup, diskann_speedup);
+    if (best_speedup < min_speedup) {
+        std::fprintf(stderr,
+                     "FAIL: best speedup %.2fx below "
+                     "$ANN_HOTPATH_MIN_SPEEDUP=%.2f\n",
+                     best_speedup, min_speedup);
+        ok = false;
+    }
+
+    // ----------------------------------- pinned execution pool check
+    // The fourth toggle moves threads, not arithmetic: a pinned pool
+    // must reproduce the serial results bit for bit.
+    applyCombo({true, true, true});
+    double qps_unpinned = 0.0, qps_pinned = 0.0;
+    std::size_t pinned_workers = 0;
+    {
+        std::vector<SearchResult> parallel_out(dataset.num_queries);
+        for (const bool pin : {false, true}) {
+            ThreadPool pool(0, pin);
+            const auto body = [&](std::size_t begin, std::size_t end) {
+                for (std::size_t q = begin; q < end; ++q)
+                    diskann.searchInto(dataset.query(q),
+                                       diskann_params,
+                                       parallel_out[q]);
+            };
+            pool.parallelFor(dataset.num_queries, 1, body); // warm-up
+            const double t0 = nowUs();
+            for (std::size_t r = 0; r < rounds; ++r)
+                pool.parallelFor(dataset.num_queries, 1, body);
+            const double qps =
+                static_cast<double>(rounds * dataset.num_queries) *
+                1e6 / (nowUs() - t0);
+            (pin ? qps_pinned : qps_unpinned) = qps;
+            if (pin)
+                pinned_workers = pool.pinnedThreads();
+            ok &= sameResults(diskann_points.back().results,
+                              parallel_out,
+                              pin ? "DiskANN pinned pool"
+                                  : "DiskANN unpinned pool");
+        }
+    }
+    std::printf("parallel DiskANN QPS: unpinned %.0f, pinned %.0f "
+                "(%zu workers pinned)\n",
+                qps_unpinned, qps_pinned, pinned_workers);
+
+    // ----------------------------------------- zero-allocation gate
+    // All toggles on; single-threaded; memory backend. The arena
+    // contract says the steady-state query allocates nothing.
+    const double hnsw_allocs = allocsPerQuery(dataset, hnsw_search);
+    const double diskann_allocs =
+        allocsPerQuery(dataset, diskann_search);
+    std::printf("steady-state allocations/query: HNSW %.3f, DiskANN "
+                "%.3f\n",
+                hnsw_allocs, diskann_allocs);
+    if (hnsw_allocs != 0.0 || diskann_allocs != 0.0) {
+        std::fprintf(stderr,
+                     "FAIL: steady-state query path allocated "
+                     "(HNSW %.3f, DiskANN %.3f per query)\n",
+                     hnsw_allocs, diskann_allocs);
+        ok = false;
+    }
+
+    // ---------------------------------------- ADC divergence gate
+    const bool kernels_ok = adcKernelsMatch();
+    ok &= kernels_ok;
+    std::printf("batched ADC kernels match single-code references: "
+                "%s\n",
+                kernels_ok ? "yes" : "NO");
+
+    // Leave the process-default toggles as the environment set them.
+    setScratchReuseEnabled(envFlag("ANN_SCRATCH", true));
+    setPrefetchEnabled(envFlag("ANN_PREFETCH", true));
+    setAdcBatchEnabled(envFlag("ANN_ADC_BATCH", true));
+
+    // --------------------------------------------------- JSON report
+    const std::string json_path =
+        core::resultsDir() + "/BENCH_hotpath.json";
+    if (std::FILE *f = std::fopen(json_path.c_str(), "w")) {
+        std::fprintf(f,
+                     "{\n  \"dataset\": \"%s\",\n  \"queries\": %zu,"
+                     "\n  \"rounds\": %zu,\n",
+                     dataset.name.c_str(), dataset.num_queries,
+                     rounds);
+        const auto dump = [&](const char *name,
+                              const std::vector<SweepPoint> &points,
+                              double recall) {
+            std::fprintf(f, "  \"%s\": {\n    \"recall\": %.4f,\n"
+                            "    \"combos\": [\n",
+                         name, recall);
+            for (std::size_t i = 0; i < points.size(); ++i)
+                std::fprintf(
+                    f,
+                    "      {\"scratch\": %d, \"prefetch\": %d, "
+                    "\"adc_batch\": %d, \"qps\": %.1f, "
+                    "\"p99_us\": %.1f}%s\n",
+                    combos[i].scratch ? 1 : 0,
+                    combos[i].prefetch ? 1 : 0,
+                    combos[i].adc_batch ? 1 : 0, points[i].qps,
+                    points[i].p99_us,
+                    i + 1 < points.size() ? "," : "");
+            std::fprintf(f, "    ],\n    \"speedup\": %.3f\n  },\n",
+                         points.back().qps / points.front().qps);
+        };
+        dump("hnsw", hnsw_points, hnsw_recall);
+        dump("diskann", diskann_points, diskann_recall);
+        std::fprintf(
+            f,
+            "  \"parallel\": {\"qps_unpinned\": %.1f, "
+            "\"qps_pinned\": %.1f, \"pinned_workers\": %zu},\n"
+            "  \"allocs_per_query\": {\"hnsw\": %.3f, "
+            "\"diskann\": %.3f},\n"
+            "  \"adc_kernels_match\": %s,\n"
+            "  \"bit_identical\": %s,\n"
+            "  \"min_speedup_gate\": %.2f\n}\n",
+            qps_unpinned, qps_pinned, pinned_workers, hnsw_allocs,
+            diskann_allocs, kernels_ok ? "true" : "false",
+            ok ? "true" : "false", min_speedup);
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path.c_str());
+    } else {
+        std::fprintf(stderr, "FAIL: cannot write %s\n",
+                     json_path.c_str());
+        ok = false;
+    }
+
+    if (!ok) {
+        std::fprintf(stderr, "bench_ext_hotpath: GATES FAILED\n");
+        return 1;
+    }
+    std::printf("bench_ext_hotpath: all gates passed\n");
+    return 0;
+}

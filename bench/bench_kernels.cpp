@@ -123,6 +123,58 @@ BM_PqAdcDistanceScalar(benchmark::State &state)
 BENCHMARK(BM_PqAdcDistanceScalar)->Arg(64)->Arg(128);
 
 void
+BM_PqAdcDistanceBatch4(benchmark::State &state)
+{
+    const auto m = static_cast<std::size_t>(state.range(0));
+    const std::size_t ksub = 256;
+    Rng rng(9);
+    std::vector<float> table(m * ksub);
+    for (auto &x : table)
+        x = rng.nextFloat(0.0f, 4.0f);
+    std::vector<std::uint8_t> codes(4 * m);
+    for (auto &c : codes)
+        c = static_cast<std::uint8_t>(rng.nextBelow(ksub));
+    const std::uint8_t *ptrs[4] = {codes.data(), codes.data() + m,
+                                   codes.data() + 2 * m,
+                                   codes.data() + 3 * m};
+    float out[4];
+    for (auto _ : state) {
+        pqAdcDistanceBatch4(table.data(), m, ksub, ptrs, out);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 4);
+}
+// Ablation: 4 codes per dispatched pass vs 4x BM_PqAdcDistance calls.
+BENCHMARK(BM_PqAdcDistanceBatch4)->Arg(64)->Arg(128);
+
+void
+BM_PqAdcDistanceBatch4Scalar(benchmark::State &state)
+{
+    const auto m = static_cast<std::size_t>(state.range(0));
+    const std::size_t ksub = 256;
+    Rng rng(9);
+    std::vector<float> table(m * ksub);
+    for (auto &x : table)
+        x = rng.nextFloat(0.0f, 4.0f);
+    std::vector<std::uint8_t> codes(4 * m);
+    for (auto &c : codes)
+        c = static_cast<std::uint8_t>(rng.nextBelow(ksub));
+    const std::uint8_t *ptrs[4] = {codes.data(), codes.data() + m,
+                                   codes.data() + 2 * m,
+                                   codes.data() + 3 * m};
+    float out[4];
+    for (auto _ : state) {
+        pqAdcDistanceBatch4Scalar(table.data(), m, ksub, ptrs, out);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 4);
+}
+// The batched reference kernel without SIMD dispatch.
+BENCHMARK(BM_PqAdcDistanceBatch4Scalar)->Arg(64)->Arg(128);
+
+void
 BM_PqAdcTableBuild(benchmark::State &state)
 {
     const auto m = static_cast<std::size_t>(state.range(0));

@@ -26,6 +26,16 @@ envInt(const char *name, std::int64_t fallback)
     return parsed;
 }
 
+bool
+envFlag(const char *name, bool fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value)
+        return fallback;
+    const std::string v(value);
+    return !(v == "0" || v == "false" || v == "off" || v == "no");
+}
+
 std::string
 cacheDir()
 {

@@ -18,6 +18,12 @@ std::string envString(const char *name, const std::string &fallback);
 std::int64_t envInt(const char *name, std::int64_t fallback);
 
 /**
+ * Read boolean env var @p name ("0"/"false"/"off"/"no" are false,
+ * anything else true), or @p fallback when unset.
+ */
+bool envFlag(const char *name, bool fallback);
+
+/**
  * Directory used to cache generated datasets and built indexes across
  * bench/example invocations ($ANN_CACHE_DIR, default "./ann_cache").
  * The directory is created on first use.

@@ -1,0 +1,69 @@
+#include "common/hotpath.hh"
+
+#include <atomic>
+
+#include "common/env.hh"
+
+namespace ann {
+namespace {
+
+std::atomic<bool> &
+scratchFlag()
+{
+    static std::atomic<bool> flag{envFlag("ANN_SCRATCH", true)};
+    return flag;
+}
+
+std::atomic<bool> &
+prefetchFlag()
+{
+    static std::atomic<bool> flag{envFlag("ANN_PREFETCH", true)};
+    return flag;
+}
+
+std::atomic<bool> &
+adcBatchFlag()
+{
+    static std::atomic<bool> flag{envFlag("ANN_ADC_BATCH", true)};
+    return flag;
+}
+
+} // namespace
+
+bool
+scratchReuseEnabled()
+{
+    return scratchFlag().load(std::memory_order_relaxed);
+}
+
+void
+setScratchReuseEnabled(bool enabled)
+{
+    scratchFlag().store(enabled, std::memory_order_relaxed);
+}
+
+bool
+prefetchEnabled()
+{
+    return prefetchFlag().load(std::memory_order_relaxed);
+}
+
+void
+setPrefetchEnabled(bool enabled)
+{
+    prefetchFlag().store(enabled, std::memory_order_relaxed);
+}
+
+bool
+adcBatchEnabled()
+{
+    return adcBatchFlag().load(std::memory_order_relaxed);
+}
+
+void
+setAdcBatchEnabled(bool enabled)
+{
+    adcBatchFlag().store(enabled, std::memory_order_relaxed);
+}
+
+} // namespace ann

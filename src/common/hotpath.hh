@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Runtime toggles for the query hot-path optimizations.
+ *
+ * Every optimization in the hot-path pass (scratch arenas, software
+ * prefetch, batched PQ-ADC) is independently switchable at runtime so
+ * `bench_ext_hotpath` can A/B each one in-process and report its
+ * incremental contribution. Defaults come from the environment
+ * ($ANN_SCRATCH / $ANN_PREFETCH / $ANN_ADC_BATCH, all on), and the
+ * programmatic setters override them — unlike $ANN_SIMD, these are
+ * not frozen at first use, precisely so a bench can flip them between
+ * measurement rounds. None of the toggles may change results: they
+ * trade allocations, cache misses, and instruction counts only.
+ */
+
+#ifndef ANN_COMMON_HOTPATH_HH
+#define ANN_COMMON_HOTPATH_HH
+
+namespace ann {
+
+/**
+ * Reuse thread-local search scratch arenas across queries
+ * ($ANN_SCRATCH, default on). Off = construct fresh scratch per
+ * query, reproducing the seed's per-query allocation behaviour — the
+ * honest baseline for the allocation-count comparison.
+ */
+bool scratchReuseEnabled();
+void setScratchReuseEnabled(bool enabled);
+
+/**
+ * Software-prefetch neighbor blocks / PQ codes one step ahead in
+ * graph traversal and ADC scans ($ANN_PREFETCH, default on).
+ */
+bool prefetchEnabled();
+void setPrefetchEnabled(bool enabled);
+
+/**
+ * Score PQ codes through the 4-wide batched ADC kernel where the
+ * scan shape allows it ($ANN_ADC_BATCH, default on). The batched
+ * kernels replicate the per-code reduction order of the single-code
+ * kernel in the same SIMD tier, so results are bit-identical.
+ */
+bool adcBatchEnabled();
+void setAdcBatchEnabled(bool enabled);
+
+/** Best-effort read prefetch; no-op where the builtin is missing. */
+inline void
+prefetchRead(const void *addr)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(addr, /*rw=*/0, /*locality=*/3);
+#else
+    (void)addr;
+#endif
+}
+
+} // namespace ann
+
+#endif // ANN_COMMON_HOTPATH_HH

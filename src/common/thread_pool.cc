@@ -1,6 +1,15 @@
 #include "common/thread_pool.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 #include "common/env.hh"
 #include "common/error.hh"
@@ -18,7 +27,127 @@ namespace {
  */
 thread_local const ThreadPool *tls_pool = nullptr;
 
+std::atomic<bool> &
+pinDefaultFlag()
+{
+    static std::atomic<bool> flag{envFlag("ANN_PIN_THREADS", false)};
+    return flag;
+}
+
+#if defined(__linux__)
+
+/** Append "a" / "a-b" cpulist tokens (sysfs format) onto @p out. */
+void
+parseCpuList(const std::string &list, std::vector<int> &out)
+{
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+        std::size_t end = list.find(',', pos);
+        if (end == std::string::npos)
+            end = list.size();
+        const std::string token = list.substr(pos, end - pos);
+        pos = end + 1;
+        if (token.empty())
+            continue;
+        const std::size_t dash = token.find('-');
+        const int lo = std::atoi(token.c_str());
+        const int hi = dash == std::string::npos
+                           ? lo
+                           : std::atoi(token.c_str() + dash + 1);
+        for (int cpu = lo; cpu <= hi; ++cpu)
+            out.push_back(cpu);
+    }
+}
+
+/**
+ * CPUs this process may run on, ordered NUMA-node-compact: node 0's
+ * allowed CPUs first, then node 1's, and so on, with CPUs the sysfs
+ * topology doesn't mention appended last. On single-node machines
+ * (or without sysfs) this degrades to plain cpuset order.
+ */
+std::vector<int>
+allowedCpusNodeOrder()
+{
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    std::vector<int> allowed;
+    if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+        for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu)
+            if (CPU_ISSET(cpu, &set))
+                allowed.push_back(cpu);
+    }
+    if (allowed.empty())
+        return allowed;
+
+    std::vector<int> ordered;
+    ordered.reserve(allowed.size());
+    std::vector<bool> placed(
+        static_cast<std::size_t>(allowed.back()) + 1, false);
+    for (int node = 0;; ++node) {
+        const std::string path = "/sys/devices/system/node/node" +
+                                 std::to_string(node) + "/cpulist";
+        std::ifstream in(path);
+        if (!in.is_open())
+            break;
+        std::string list;
+        std::getline(in, list);
+        std::vector<int> cpus;
+        parseCpuList(list, cpus);
+        for (const int cpu : cpus)
+            if (CPU_ISSET(cpu, &set) &&
+                static_cast<std::size_t>(cpu) < placed.size() &&
+                !placed[static_cast<std::size_t>(cpu)]) {
+                placed[static_cast<std::size_t>(cpu)] = true;
+                ordered.push_back(cpu);
+            }
+    }
+    for (const int cpu : allowed)
+        if (!placed[static_cast<std::size_t>(cpu)])
+            ordered.push_back(cpu);
+    return ordered;
+}
+
+/** Best-effort pin of @p handle to one CPU; @return success. */
+bool
+pinThreadToCpu(std::thread &worker, int cpu)
+{
+    cpu_set_t one;
+    CPU_ZERO(&one);
+    CPU_SET(cpu, &one);
+    return pthread_setaffinity_np(worker.native_handle(), sizeof(one),
+                                  &one) == 0;
+}
+
+#endif // __linux__
+
 } // namespace
+
+bool
+ThreadPool::pinByDefault()
+{
+    return pinDefaultFlag().load(std::memory_order_relaxed);
+}
+
+void
+ThreadPool::setPinByDefault(bool pin)
+{
+    pinDefaultFlag().store(pin, std::memory_order_relaxed);
+}
+
+std::size_t
+ThreadPool::allowedCpuCount()
+{
+#if defined(__linux__)
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+        const int count = CPU_COUNT(&set);
+        if (count > 0)
+            return static_cast<std::size_t>(count);
+    }
+#endif
+    return hardwareThreads();
+}
 
 std::size_t
 ThreadPool::hardwareThreads()
@@ -27,14 +156,28 @@ ThreadPool::hardwareThreads()
     return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
-ThreadPool::ThreadPool(std::size_t threads)
+ThreadPool::ThreadPool(std::size_t threads, bool pin_threads)
     : threads_(threads == 0 ? hardwareThreads() : threads)
 {
     // The calling thread participates in every loop, so a pool of
     // size N needs N-1 dedicated workers.
     workers_.reserve(threads_ - 1);
+#if defined(__linux__)
+    std::vector<int> cpu_order;
+    if (pin_threads && threads_ > 1)
+        cpu_order = allowedCpusNodeOrder();
+    for (std::size_t t = 1; t < threads_; ++t) {
+        workers_.emplace_back([this] { workerLoop(); });
+        if (!cpu_order.empty() &&
+            pinThreadToCpu(workers_.back(),
+                           cpu_order[(t - 1) % cpu_order.size()]))
+            ++pinned_;
+    }
+#else
+    (void)pin_threads;
     for (std::size_t t = 1; t < threads_; ++t)
         workers_.emplace_back([this] { workerLoop(); });
+#endif
 }
 
 ThreadPool::~ThreadPool()
@@ -152,8 +295,10 @@ ThreadPool::parallelFor(std::size_t n, std::size_t chunk,
 ThreadPool &
 ThreadPool::global()
 {
-    static ThreadPool pool(static_cast<std::size_t>(
-        std::max<std::int64_t>(0, envInt("ANN_THREADS", 0))));
+    static ThreadPool pool(
+        static_cast<std::size_t>(
+            std::max<std::int64_t>(0, envInt("ANN_THREADS", 0))),
+        pinByDefault());
     return pool;
 }
 

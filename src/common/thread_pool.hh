@@ -45,8 +45,21 @@ class ThreadPool
     /**
      * Spawn @p threads workers (0 = hardwareThreads()). A pool of
      * size 1 spawns no workers and runs every loop inline.
+     *
+     * @p pin_threads pins each spawned worker to one allowed CPU,
+     * walking the cpuset in NUMA-node-compact order (all of node 0's
+     * CPUs before node 1's, so small pools stay on one socket) and
+     * wrapping around when the pool is wider than the cpuset. The
+     * caller's thread is never pinned — it is not ours to place.
+     * Pinning is strictly best-effort: a restricted cpuset, a
+     * single-node machine, or a refused syscall degrades to unpinned
+     * workers, never to failure, and results are unaffected either
+     * way (pinning moves threads, not arithmetic). Index arrays get
+     * NUMA locality from first-touch: pages land on the node of the
+     * worker that first writes them during the parallel build loops.
      */
-    explicit ThreadPool(std::size_t threads = 0);
+    explicit ThreadPool(std::size_t threads = 0,
+                        bool pin_threads = false);
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -54,6 +67,23 @@ class ThreadPool
 
     /** Worker count (>= 1, counting the calling thread). */
     std::size_t size() const { return threads_; }
+
+    /** Spawned workers successfully pinned (0 when not requested). */
+    std::size_t pinnedThreads() const { return pinned_; }
+
+    /**
+     * Process default for execution-pool pinning, seeded from
+     * $ANN_PIN_THREADS (default off) and overridable by the
+     * --pin-threads CLI flag. Consulted by the call sites that build
+     * *execution* pools (bench runner, server); auxiliary pools (the
+     * file backend's I/O overlap pool) stay unpinned — their threads
+     * block on syscalls and gain nothing from affinity.
+     */
+    static bool pinByDefault();
+    static void setPinByDefault(bool pin);
+
+    /** CPUs in this process's allowed cpuset (floor 1). */
+    static std::size_t allowedCpuCount();
 
     /**
      * Run @p body over [0, n) in chunks of @p chunk indices. The
@@ -88,6 +118,7 @@ class ThreadPool
     bool runChunks(Job &job, std::unique_lock<std::mutex> &lock);
 
     std::size_t threads_ = 1;
+    std::size_t pinned_ = 0;
     std::vector<std::thread> workers_;
 
     std::mutex mutex_;

@@ -62,7 +62,7 @@ runAllQueries(engine::VectorDbEngine &engine,
     } else if (threads == 0) {
         ThreadPool::global().parallelFor(num_queries, 1, body);
     } else {
-        ThreadPool dedicated(threads);
+        ThreadPool dedicated(threads, ThreadPool::pinByDefault());
         dedicated.parallelFor(num_queries, 1, body);
     }
     return outputs;

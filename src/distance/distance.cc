@@ -70,11 +70,38 @@ pqAdcDistanceScalar(const float *table, std::size_t m, std::size_t ksub,
     return acc;
 }
 
+void
+pqAdcDistanceBatch4Scalar(const float *table, std::size_t m,
+                          std::size_t ksub,
+                          const std::uint8_t *const codes[4],
+                          float out[4])
+{
+    // Four independent accumulators, each advanced in the same
+    // sequential sub order as pqAdcDistanceScalar: per-lane sums are
+    // bit-identical to four single-code calls.
+    float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+    for (std::size_t sub = 0; sub < m; ++sub) {
+        const float *row = table + sub * ksub;
+        acc0 += row[codes[0][sub]];
+        acc1 += row[codes[1][sub]];
+        acc2 += row[codes[2][sub]];
+        acc3 += row[codes[3][sub]];
+    }
+    out[0] = acc0;
+    out[1] = acc1;
+    out[2] = acc2;
+    out[3] = acc3;
+}
+
 namespace {
 
 /** ADC scan signature shared by both tiers. */
 using AdcFunc = float (*)(const float *, std::size_t, std::size_t,
                           const std::uint8_t *);
+
+/** Batched (4-code) ADC scan signature. */
+using AdcBatch4Func = void (*)(const float *, std::size_t, std::size_t,
+                               const std::uint8_t *const *, float *);
 
 /** Kernel set resolved exactly once per process. */
 struct KernelTable
@@ -82,6 +109,7 @@ struct KernelTable
     DistanceFunc l2 = &l2DistanceSqScalar;
     DistanceFunc dot = &dotProductScalar;
     AdcFunc adc = &pqAdcDistanceScalar;
+    AdcBatch4Func adc_batch4 = &pqAdcDistanceBatch4Scalar;
     SimdLevel level = SimdLevel::Scalar;
 };
 
@@ -96,6 +124,7 @@ resolveKernels()
         table.l2 = &simd::l2DistanceSqAvx2;
         table.dot = &simd::dotProductAvx2;
         table.adc = &simd::pqAdcDistanceAvx2;
+        table.adc_batch4 = &simd::pqAdcDistanceBatch4Avx2;
         table.level = SimdLevel::Avx2;
     }
     return table;
@@ -145,6 +174,13 @@ pqAdcDistance(const float *table, std::size_t m, std::size_t ksub,
               const std::uint8_t *codes)
 {
     return kernels().adc(table, m, ksub, codes);
+}
+
+void
+pqAdcDistanceBatch4(const float *table, std::size_t m, std::size_t ksub,
+                    const std::uint8_t *const codes[4], float out[4])
+{
+    kernels().adc_batch4(table, m, ksub, codes, out);
 }
 
 namespace {

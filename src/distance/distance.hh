@@ -64,6 +64,20 @@ void normalizeVector(float *a, std::size_t dim);
 float pqAdcDistance(const float *table, std::size_t m, std::size_t ksub,
                     const std::uint8_t *codes);
 
+/**
+ * Batched ADC scan: score four code words against the same table in
+ * one pass ($ANN_SIMD-dispatched like the single-code kernel). Each
+ * lane follows the *exact* per-code reduction order of the
+ * single-code kernel in the same tier, so
+ * out[i] == pqAdcDistance(table, m, ksub, codes[i]) bit for bit —
+ * batching amortizes code loads and keeps four gathers in flight,
+ * it never reassociates the per-code sums.
+ */
+void pqAdcDistanceBatch4(const float *table, std::size_t m,
+                         std::size_t ksub,
+                         const std::uint8_t *const codes[4],
+                         float out[4]);
+
 /** Kernel tiers selectable at runtime. */
 enum class SimdLevel { Scalar, Avx2 };
 
@@ -82,6 +96,10 @@ float l2DistanceSqScalar(const float *a, const float *b,
 float dotProductScalar(const float *a, const float *b, std::size_t dim);
 float pqAdcDistanceScalar(const float *table, std::size_t m,
                           std::size_t ksub, const std::uint8_t *codes);
+void pqAdcDistanceBatch4Scalar(const float *table, std::size_t m,
+                               std::size_t ksub,
+                               const std::uint8_t *const codes[4],
+                               float out[4]);
 
 } // namespace ann
 

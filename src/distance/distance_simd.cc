@@ -107,6 +107,48 @@ pqAdcDistanceAvx2(const float *table, std::size_t m, std::size_t ksub,
     return total;
 }
 
+__attribute__((target("avx2,fma"))) void
+pqAdcDistanceBatch4Avx2(const float *table, std::size_t m,
+                        std::size_t ksub,
+                        const std::uint8_t *const codes[4],
+                        float out[4])
+{
+    // Same 8-subspace chunking as pqAdcDistanceAvx2, with four
+    // gathers in flight per chunk sharing one index base. Each lane's
+    // accumulate/hsum/tail sequence is identical to a single-code
+    // call, so the four results are bit-identical to four calls —
+    // the win is overlap, not reassociation.
+    __m256 acc[4] = {_mm256_setzero_ps(), _mm256_setzero_ps(),
+                     _mm256_setzero_ps(), _mm256_setzero_ps()};
+    const __m256i lanes = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    const __m256i vksub = _mm256_set1_epi32(static_cast<int>(ksub));
+    std::size_t sub = 0;
+    for (; sub + 8 <= m; sub += 8) {
+        const __m256i base = _mm256_mullo_epi32(
+            _mm256_add_epi32(
+                _mm256_set1_epi32(static_cast<int>(sub)), lanes),
+            vksub);
+        for (int c = 0; c < 4; ++c) {
+            const __m128i raw = _mm_loadl_epi64(
+                reinterpret_cast<const __m128i *>(codes[c] + sub));
+            const __m256i idx =
+                _mm256_add_epi32(base, _mm256_cvtepu8_epi32(raw));
+            acc[c] = _mm256_add_ps(acc[c],
+                                   _mm256_i32gather_ps(table, idx, 4));
+        }
+    }
+    float totals[4];
+    for (int c = 0; c < 4; ++c)
+        totals[c] = hsum256(acc[c]);
+    for (; sub < m; ++sub) {
+        const float *row = table + sub * ksub;
+        for (int c = 0; c < 4; ++c)
+            totals[c] += row[codes[c][sub]];
+    }
+    for (int c = 0; c < 4; ++c)
+        out[c] = totals[c];
+}
+
 } // namespace ann::simd
 
 #else // non-x86: scalar fallback only
@@ -136,6 +178,12 @@ pqAdcDistanceAvx2(const float *, std::size_t, std::size_t,
                   const std::uint8_t *)
 {
     return 0.0f;
+}
+
+void
+pqAdcDistanceBatch4Avx2(const float *, std::size_t, std::size_t,
+                        const std::uint8_t *const[4], float[4])
+{
 }
 
 } // namespace ann::simd

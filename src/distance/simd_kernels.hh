@@ -24,6 +24,10 @@ float l2DistanceSqAvx2(const float *a, const float *b, std::size_t dim);
 float dotProductAvx2(const float *a, const float *b, std::size_t dim);
 float pqAdcDistanceAvx2(const float *table, std::size_t m,
                         std::size_t ksub, const std::uint8_t *codes);
+void pqAdcDistanceBatch4Avx2(const float *table, std::size_t m,
+                             std::size_t ksub,
+                             const std::uint8_t *const codes[4],
+                             float out[4]);
 
 } // namespace ann::simd
 

@@ -25,6 +25,16 @@ TopK::TopK(std::size_t k)
 }
 
 void
+TopK::reset(std::size_t k)
+{
+    ANN_CHECK(k > 0, "top-k requires k > 0");
+    k_ = k;
+    heap_.clear();
+    if (heap_.capacity() < k)
+        heap_.reserve(k);
+}
+
+void
 TopK::push(VectorId id, float dist)
 {
     if (heap_.size() < k_) {
@@ -66,6 +76,14 @@ TopK::take()
     SearchResult result = std::move(heap_);
     heap_.clear();
     return result;
+}
+
+void
+TopK::drainInto(SearchResult &out)
+{
+    std::sort_heap(heap_.begin(), heap_.end(), heapLess);
+    out.assign(heap_.begin(), heap_.end());
+    heap_.clear();
 }
 
 SearchResult

@@ -26,6 +26,12 @@ class TopK
   public:
     explicit TopK(std::size_t k);
 
+    /**
+     * Re-arm for a new query at bound @p k, keeping the backing
+     * store's capacity (the scratch-arena reuse hook).
+     */
+    void reset(std::size_t k);
+
     /** Offer a candidate; keeps it only if among the best k so far. */
     void push(VectorId id, float dist);
 
@@ -43,6 +49,13 @@ class TopK
 
     /** Drain into an ascending-distance vector; the heap empties. */
     SearchResult take();
+
+    /**
+     * Drain into @p out (overwritten, ascending distance) without
+     * surrendering the backing store: the allocation-free counterpart
+     * of take() for reused scratch. Same ordering contract.
+     */
+    void drainInto(SearchResult &out);
 
   private:
     std::size_t k_;

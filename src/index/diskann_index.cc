@@ -4,9 +4,11 @@
 #include <cstring>
 
 #include "common/error.hh"
+#include "common/hotpath.hh"
 #include "common/serialize.hh"
 #include "distance/distance.hh"
 #include "distance/topk.hh"
+#include "index/search_scratch.hh"
 #include "index/vamana.hh"
 #include "index/visit_table.hh"
 
@@ -60,6 +62,30 @@ struct BeamEntry
         return a.id < b.id;
     }
 };
+
+/**
+ * Per-query scratch arena of the beam search (see search_scratch.hh).
+ * Every container is fully re-initialized per query, so a reused and
+ * a fresh arena produce identical results; only allocator traffic
+ * differs. The sector fetch buffer itself stays in tls_fetch (shared
+ * with fetchRecord(), and the io_uring registered-buffer region).
+ */
+struct DiskAnnScratch
+{
+    AdcTable adc;
+    std::vector<BeamEntry> cands;
+    std::vector<VectorId> beam;
+    std::vector<std::uint64_t> sectors;
+    std::vector<std::size_t> miss_slots;
+    std::vector<std::uint64_t> miss_sectors;
+    std::vector<storage::IoRun> runs;
+    std::vector<storage::IoRequest> requests;
+    /** Unvisited neighbours awaiting (batched) ADC scoring. */
+    std::vector<VectorId> pending;
+    TopK reranked{1};
+};
+
+thread_local DiskAnnScratch tls_scratch;
 
 } // namespace
 
@@ -365,35 +391,59 @@ SearchResult
 DiskAnnIndex::search(const float *query, const DiskAnnSearchParams &params,
                      SearchTraceRecorder *recorder) const
 {
+    SearchResult out;
+    searchInto(query, params, out, recorder);
+    return out;
+}
+
+void
+DiskAnnIndex::searchInto(const float *query,
+                         const DiskAnnSearchParams &params,
+                         SearchResult &out,
+                         SearchTraceRecorder *recorder) const
+{
     ANN_CHECK(rows_ > 0, "search on empty diskann index");
     ANN_CHECK(params.search_list >= params.k,
               "search_list must be >= k");
     ANN_CHECK(params.beam_width >= 1, "beam_width must be >= 1");
 
-    using Entry = BeamEntry;
-
     VisitTable &visited = tls_visit;
     visited.reset(rows_);
 
+    ScratchGuard<DiskAnnScratch> scratch(tls_scratch);
+    const bool prefetch = prefetchEnabled();
+    const bool batch_adc = adcBatchEnabled();
+    const std::size_t code_size = pq_.codeSize();
+
     OpCounts local_ops;
-    const AdcTable adc = pq_.computeAdcTable(query);
+    AdcTable &adc = scratch->adc;
+    pq_.computeAdcTable(query, adc);
     local_ops.adc_tables += 1;
 
-    std::vector<Entry> cands;
-    cands.reserve(params.search_list + maxDegree_ * params.beam_width);
+    // Sized once to its worst case (search_list survivors plus one
+    // hop's fan-out) and clear()ed per query — the seed reallocated
+    // this pool on every search.
+    std::vector<BeamEntry> &cands = scratch->cands;
+    cands.clear();
+    const std::size_t cand_cap =
+        params.search_list + maxDegree_ * params.beam_width;
+    if (cands.capacity() < cand_cap)
+        cands.reserve(cand_cap);
     cands.push_back({pq_.adcDistance(adc, pqCodes_.data() +
-                                              medoid_ * pq_.codeSize()),
+                                              medoid_ * code_size),
                      medoid_, false});
     local_ops.quant_distances += 1;
     visited.tryVisit(medoid_);
 
-    TopK reranked(params.k);
-    std::vector<VectorId> beam;
-    std::vector<std::uint64_t> sectors;
-    std::vector<std::size_t> miss_slots;
-    std::vector<std::uint64_t> miss_sectors;
-    std::vector<storage::IoRun> runs;
-    std::vector<storage::IoRequest> requests;
+    TopK &reranked = scratch->reranked;
+    reranked.reset(params.k);
+    std::vector<VectorId> &beam = scratch->beam;
+    std::vector<std::uint64_t> &sectors = scratch->sectors;
+    std::vector<std::size_t> &miss_slots = scratch->miss_slots;
+    std::vector<std::uint64_t> &miss_sectors = scratch->miss_sectors;
+    std::vector<storage::IoRun> &runs = scratch->runs;
+    std::vector<storage::IoRequest> &requests = scratch->requests;
+    std::vector<VectorId> &pending = scratch->pending;
 
     // Zero-copy image when memory-resident; otherwise each hop
     // fetches its beam through the backend.
@@ -445,9 +495,9 @@ DiskAnnIndex::search(const float *query, const DiskAnnSearchParams &params,
                 miss_slots.push_back(i);
                 miss_sectors.push_back(sectors[i]);
             }
-            runs = storage::coalesceSectors(miss_sectors);
+            storage::coalesceSectors(miss_sectors, runs);
         } else if (recorder) {
-            runs = storage::coalesceSectors(sectors);
+            storage::coalesceSectors(sectors, runs);
         }
         if (recorder) {
             // Only sectors that reach the backend are charged to the
@@ -475,7 +525,8 @@ DiskAnnIndex::search(const float *query, const DiskAnnSearchParams &params,
                                     buf + slot * kSectorBytes});
             }
             if (!requests.empty())
-                io_->readBatch(requests.data(), requests.size());
+                io_->readBatch(requests.data(), requests.size(),
+                               tls_fetch.region());
             if (cache_) {
                 for (std::size_t i = 0; i < miss_slots.size(); ++i)
                     cache_->admit(miss_sectors[i],
@@ -515,16 +566,42 @@ DiskAnnIndex::search(const float *query, const DiskAnnSearchParams &params,
             const auto *neighbors =
                 reinterpret_cast<const std::uint32_t *>(
                     record + dim_ * sizeof(float) + sizeof(degree));
+            // Collect unvisited neighbours (prefetching the next
+            // candidate's PQ codes one step ahead), then score them —
+            // four per batched ADC pass when enabled. The push order
+            // into cands matches the per-neighbour loop exactly and
+            // the batched kernels keep the per-code reduction order,
+            // so results stay bit-identical across both toggles.
+            pending.clear();
             for (std::uint32_t i = 0; i < degree; ++i) {
+                if (prefetch && i + 1 < degree)
+                    prefetchRead(pqCodes_.data() +
+                                 neighbors[i + 1] * code_size);
                 const VectorId nb = neighbors[i];
                 if (!visited.tryVisit(nb))
                     continue;
-                const float d = pq_.adcDistance(
-                    adc, pqCodes_.data() + nb * pq_.codeSize());
-                local_ops.quant_distances += 1;
-                local_ops.heap_ops += 1;
-                cands.push_back({d, nb, false});
+                pending.push_back(nb);
             }
+            std::size_t p = 0;
+            if (batch_adc) {
+                for (; p + 4 <= pending.size(); p += 4) {
+                    const std::uint8_t *codes4[4];
+                    float d4[4];
+                    for (int j = 0; j < 4; ++j)
+                        codes4[j] = pqCodes_.data() +
+                                    pending[p + j] * code_size;
+                    pq_.adcDistanceBatch4(adc, codes4, d4);
+                    for (int j = 0; j < 4; ++j)
+                        cands.push_back({d4[j], pending[p + j], false});
+                }
+            }
+            for (; p < pending.size(); ++p)
+                cands.push_back(
+                    {pq_.adcDistance(adc, pqCodes_.data() +
+                                              pending[p] * code_size),
+                     pending[p], false});
+            local_ops.quant_distances += pending.size();
+            local_ops.heap_ops += pending.size();
         }
         std::sort(cands.begin(), cands.end());
         if (cands.size() > params.search_list)
@@ -547,7 +624,7 @@ DiskAnnIndex::search(const float *query, const DiskAnnSearchParams &params,
         recorder->cpu() += local_ops;
         recorder->finish();
     }
-    return reranked.take();
+    reranked.drainInto(out);
 }
 
 void

@@ -2,14 +2,36 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
+#include <functional>
 
 #include "common/error.hh"
+#include "common/hotpath.hh"
 #include "common/serialize.hh"
 #include "distance/topk.hh"
+#include "index/search_scratch.hh"
 #include "index/visit_table.hh"
 
 namespace ann {
+
+/**
+ * Reusable arena for one HNSW search: heap backing stores, the
+ * layer-0 result list, the pruning pools of the build path, and the
+ * final top-k. One instance lives per thread; every container is
+ * cleared (not shrunk) at the start of the operation that uses it,
+ * so steady-state queries run entirely inside the high-water
+ * capacity. The visited set stays in its own thread_local VisitTable
+ * (epoch reset, as in the seed).
+ */
+struct HnswSearchScratch
+{
+    std::vector<HnswIndex::Candidate> frontier;   // min-heap
+    std::vector<HnswIndex::Candidate> best;       // max-heap
+    std::vector<HnswIndex::Candidate> layer_out;  // sorted ascending
+    std::vector<HnswIndex::Candidate> prune_pool; // build-path pruning
+    std::vector<VectorId> selected;
+    std::vector<VectorId> pruned;
+    TopK top{1};
+};
 
 namespace {
 
@@ -22,6 +44,9 @@ constexpr std::uint32_t kVersion = 3;
  * build path shares it — builds are single-threaded per index).
  */
 thread_local VisitTable tls_visit;
+
+/** Per-thread search arena (see HnswSearchScratch). */
+thread_local HnswSearchScratch tls_scratch;
 
 } // namespace
 
@@ -42,6 +67,15 @@ HnswIndex::nodeDistance(const float *query, VectorId node) const
         return sq_.asymmetricL2(query, codes_.data() +
                                            node * sq_.codeSize());
     return distance(metric_, query, data_.data() + node * dim_, dim_);
+}
+
+void
+HnswIndex::prefetchNode(VectorId node) const
+{
+    if (useSq_)
+        prefetchRead(codes_.data() + node * sq_.codeSize());
+    else
+        prefetchRead(data_.data() + node * dim_);
 }
 
 void
@@ -158,25 +192,32 @@ HnswIndex::insert(VectorId id, const float *vec, Rng &rng)
     }
 
     // Connect at each level from min(level, maxLevel_) down to 0.
+    // Builds are single-threaded per index, so the thread-local
+    // search arena doubles as the build scratch: the pruning pool
+    // below is hoisted out of the per-node loop into it.
+    HnswSearchScratch &scratch = tls_scratch;
     for (int lc = std::min(level, maxLevel_); lc >= 0; --lc) {
-        auto candidates =
-            searchLayer(vec, entry, efConstruction_, lc, nullptr);
-        entry = candidates.front().id;
-        auto selected = selectNeighbors(vec, candidates,
-                                        std::min(maxDegree(lc), m_));
-        links_[id][lc] = selected;
-        // Back edges with degree shrinking.
-        for (VectorId nb : selected) {
+        searchLayer(vec, entry, efConstruction_, lc, nullptr, scratch);
+        entry = scratch.layer_out.front().id;
+        selectNeighborsInto(vec, scratch.layer_out,
+                            std::min(maxDegree(lc), m_),
+                            scratch.selected);
+        links_[id][lc] = scratch.selected;
+        // Back edges with degree shrinking. Iterate the stable copy:
+        // the pruning below reuses the arena's selection buffers.
+        for (VectorId nb : links_[id][lc]) {
             auto &nb_links = links_[nb][lc];
             nb_links.push_back(id);
             if (nb_links.size() > maxDegree(lc)) {
                 const float *nb_vec = data_.data() + nb * dim_;
-                std::vector<Candidate> pool;
-                pool.reserve(nb_links.size());
+                auto &pool = scratch.prune_pool;
+                pool.clear();
                 for (VectorId cand : nb_links)
                     pool.push_back({nodeDistance(nb_vec, cand), cand});
-                std::sort(pool.begin(), pool.end());
-                nb_links = selectNeighbors(nb_vec, pool, maxDegree(lc));
+                selectNeighborsInto(nb_vec, pool, maxDegree(lc),
+                                    scratch.pruned);
+                nb_links.assign(scratch.pruned.begin(),
+                                scratch.pruned.end());
             }
         }
     }
@@ -187,46 +228,66 @@ HnswIndex::insert(VectorId id, const float *vec, Rng &rng)
     }
 }
 
-std::vector<HnswIndex::Candidate>
+void
 HnswIndex::searchLayer(const float *query, VectorId entry, std::size_t ef,
                        int level, OpCounts *ops,
+                       HnswSearchScratch &scratch,
                        std::vector<VectorId> *visited_out) const
 {
     // Visit stamps: epoch bump makes all nodes unvisited in O(1).
     VisitTable &visited = tls_visit;
     visited.reset(links_.size());
+    const bool prefetch = prefetchEnabled();
 
     const float entry_dist = nodeDistance(query, entry);
     std::uint64_t dist_evals = 1;
     if (visited_out)
         visited_out->push_back(entry);
 
-    // Min-heap of frontier candidates, max-heap of current best ef.
-    std::priority_queue<Candidate, std::vector<Candidate>,
-                        std::greater<Candidate>>
-        frontier;
-    std::priority_queue<Candidate> best;
-    frontier.push({entry_dist, entry});
-    best.push({entry_dist, entry});
+    // Min-heap of frontier candidates, max-heap of current best ef —
+    // push_heap/pop_heap over the arena's vectors, with the same
+    // comparators std::priority_queue would use, so the pop sequence
+    // (and therefore the result) is unchanged from the seed.
+    const std::greater<Candidate> frontier_cmp;
+    auto &frontier = scratch.frontier;
+    auto &best = scratch.best;
+    frontier.clear();
+    best.clear();
+    frontier.push_back({entry_dist, entry});
+    best.push_back({entry_dist, entry});
     visited.tryVisit(entry);
 
     while (!frontier.empty()) {
-        const Candidate current = frontier.top();
-        if (current.distance > best.top().distance && best.size() >= ef)
+        const Candidate current = frontier.front();
+        if (current.distance > best.front().distance &&
+            best.size() >= ef)
             break;
-        frontier.pop();
-        for (VectorId nb : links_[current.id][level]) {
+        std::pop_heap(frontier.begin(), frontier.end(), frontier_cmp);
+        frontier.pop_back();
+        const auto &nbrs = links_[current.id][level];
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            // Pull the next neighbour's vector toward L1 while this
+            // one computes; visited-miss or not, the line is needed
+            // with high probability one iteration from now.
+            if (prefetch && i + 1 < nbrs.size())
+                prefetchNode(nbrs[i + 1]);
+            const VectorId nb = nbrs[i];
             if (!visited.tryVisit(nb))
                 continue;
             const float d = nodeDistance(query, nb);
             ++dist_evals;
             if (visited_out)
                 visited_out->push_back(nb);
-            if (best.size() < ef || d < best.top().distance) {
-                frontier.push({d, nb});
-                best.push({d, nb});
-                if (best.size() > ef)
-                    best.pop();
+            if (best.size() < ef || d < best.front().distance) {
+                frontier.push_back({d, nb});
+                std::push_heap(frontier.begin(), frontier.end(),
+                               frontier_cmp);
+                best.push_back({d, nb});
+                std::push_heap(best.begin(), best.end());
+                if (best.size() > ef) {
+                    std::pop_heap(best.begin(), best.end());
+                    best.pop_back();
+                }
             }
         }
     }
@@ -239,27 +300,26 @@ HnswIndex::searchLayer(const float *query, VectorId entry, std::size_t ef,
         ops->heap_ops += dist_evals;
     }
 
-    std::vector<Candidate> result;
-    result.reserve(best.size());
-    while (!best.empty()) {
-        result.push_back(best.top());
-        best.pop();
-    }
-    std::reverse(result.begin(), result.end()); // ascending distance
-    return result;
+    // Ascending (distance, id). The comparator is a strict total
+    // order, so a full sort produces exactly the sequence the seed
+    // obtained by popping the max-heap and reversing.
+    auto &result = scratch.layer_out;
+    result.assign(best.begin(), best.end());
+    std::sort(result.begin(), result.end());
 }
 
-std::vector<VectorId>
-HnswIndex::selectNeighbors(const float *query,
-                           std::vector<Candidate> candidates,
-                           std::size_t m) const
+void
+HnswIndex::selectNeighborsInto(const float *query,
+                               std::vector<Candidate> &candidates,
+                               std::size_t m,
+                               std::vector<VectorId> &out) const
 {
     // Heuristic selection: keep a candidate only if it is closer to
     // the query than to every already-selected neighbour. This spreads
     // edges directionally and is what gives HNSW its navigability.
     std::sort(candidates.begin(), candidates.end());
-    std::vector<VectorId> selected;
-    selected.reserve(m);
+    auto &selected = out;
+    selected.clear();
     for (const Candidate &cand : candidates) {
         if (selected.size() >= m)
             break;
@@ -287,7 +347,6 @@ HnswIndex::selectNeighbors(const float *query,
         }
     }
     (void)query;
-    return selected;
 }
 
 SearchResult
@@ -295,9 +354,21 @@ HnswIndex::search(const float *query, const HnswSearchParams &params,
                   SearchTraceRecorder *recorder,
                   std::vector<VectorId> *visited_out) const
 {
+    SearchResult out;
+    searchInto(query, params, out, recorder, visited_out);
+    return out;
+}
+
+void
+HnswIndex::searchInto(const float *query, const HnswSearchParams &params,
+                      SearchResult &out, SearchTraceRecorder *recorder,
+                      std::vector<VectorId> *visited_out) const
+{
     ANN_CHECK(rows_ > 0, "search on empty hnsw index");
     OpCounts local_ops;
     OpCounts *ops = recorder ? &local_ops : nullptr;
+    ScratchGuard<HnswSearchScratch> scratch(tls_scratch);
+    const bool prefetch = prefetchEnabled();
 
     VectorId entry = entryPoint_;
     // Greedy descent with ef=1 through the upper layers.
@@ -310,7 +381,11 @@ HnswIndex::search(const float *query, const HnswSearchParams &params,
             visited_out->push_back(entry);
         while (improved) {
             improved = false;
-            for (VectorId nb : links_[entry][lc]) {
+            const auto &nbrs = links_[entry][lc];
+            for (std::size_t i = 0; i < nbrs.size(); ++i) {
+                if (prefetch && i + 1 < nbrs.size())
+                    prefetchNode(nbrs[i + 1]);
+                const VectorId nb = nbrs[i];
                 const float d = nodeDistance(query, nb);
                 if (visited_out)
                     visited_out->push_back(nb);
@@ -332,18 +407,19 @@ HnswIndex::search(const float *query, const HnswSearchParams &params,
     }
 
     const std::size_t ef = std::max(params.ef_search, params.k);
-    auto candidates = searchLayer(query, entry, ef, 0, ops, visited_out);
+    searchLayer(query, entry, ef, 0, ops, *scratch, visited_out);
 
-    TopK top(params.k);
-    for (const Candidate &cand : candidates)
+    TopK &top = scratch->top;
+    top.reset(params.k);
+    for (const Candidate &cand : scratch->layer_out)
         if (!deleted_[cand.id])
             top.push(cand.id, cand.distance);
 
     if (recorder) {
-        local_ops.hops += candidates.size();
+        local_ops.hops += scratch->layer_out.size();
         recorder->cpu() += local_ops;
     }
-    return top.take();
+    top.drainInto(out);
 }
 
 const std::vector<VectorId> &

@@ -27,6 +27,7 @@ namespace ann {
 
 class BinaryReader;
 class BinaryWriter;
+struct HnswSearchScratch;
 
 /** Hierarchical navigable small-world graph index. */
 class HnswIndex
@@ -86,10 +87,21 @@ class HnswIndex
                         std::vector<VectorId> *visited_out =
                             nullptr) const;
 
+    /**
+     * search() into a caller-owned result vector: with reused
+     * scratch and a reused @p out, the steady-state query path
+     * performs no heap allocation at all.
+     */
+    void searchInto(const float *query, const HnswSearchParams &params,
+                    SearchResult &out,
+                    SearchTraceRecorder *recorder = nullptr,
+                    std::vector<VectorId> *visited_out = nullptr) const;
+
     void save(BinaryWriter &writer) const;
     void load(BinaryReader &reader);
 
   private:
+    friend struct HnswSearchScratch;
     struct Candidate
     {
         float distance;
@@ -111,17 +123,26 @@ class HnswIndex
     /** Distance from a raw query vector to a stored node. */
     float nodeDistance(const float *query, VectorId node) const;
 
-    /** Best-first search within one layer. */
-    std::vector<Candidate>
-    searchLayer(const float *query, VectorId entry, std::size_t ef,
-                int level, OpCounts *ops,
-                std::vector<VectorId> *visited_out = nullptr) const;
+    /** Prefetch the stored vector (or SQ codes) of @p node. */
+    void prefetchNode(VectorId node) const;
 
-    /** Heuristic neighbour selection (Malkov alg. 4). */
-    std::vector<VectorId>
-    selectNeighbors(const float *query,
-                    std::vector<Candidate> candidates,
-                    std::size_t m) const;
+    /**
+     * Best-first search within one layer. Leaves the best-ef set in
+     * @p scratch .layer_out, sorted ascending by (distance, id).
+     */
+    void searchLayer(const float *query, VectorId entry, std::size_t ef,
+                     int level, OpCounts *ops,
+                     HnswSearchScratch &scratch,
+                     std::vector<VectorId> *visited_out = nullptr) const;
+
+    /**
+     * Heuristic neighbour selection (Malkov alg. 4). Sorts
+     * @p candidates in place and fills @p out (overwritten).
+     */
+    void selectNeighborsInto(const float *query,
+                             std::vector<Candidate> &candidates,
+                             std::size_t m,
+                             std::vector<VectorId> &out) const;
 
     void insert(VectorId id, const float *vec, Rng &rng);
     std::size_t maxDegree(int level) const;

@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "common/error.hh"
+#include "common/hotpath.hh"
 #include "common/serialize.hh"
 #include "distance/topk.hh"
+#include "index/search_scratch.hh"
 
 namespace ann {
 
@@ -12,6 +14,24 @@ namespace {
 
 constexpr const char *kMagic = "IVF1";
 constexpr std::uint32_t kVersion = 3;
+
+/**
+ * Per-query scratch arena (see search_scratch.hh): centroid ranking,
+ * ADC table, result heap, and the pending lists of the batched ADC
+ * scan. Fully re-initialized per query.
+ */
+struct IvfScratch
+{
+    AdcTable adc;
+    TopK centroid_top{1};
+    TopK top{1};
+    SearchResult probes;
+    /** Non-deleted posting entries awaiting (batched) ADC scoring. */
+    std::vector<const std::uint8_t *> pending_codes;
+    std::vector<VectorId> pending_ids;
+};
+
+thread_local IvfScratch tls_scratch;
 
 } // namespace
 
@@ -150,39 +170,94 @@ SearchResult
 IvfIndex::search(const float *query, const IvfSearchParams &params,
                  SearchTraceRecorder *recorder) const
 {
+    SearchResult out;
+    searchInto(query, params, out, recorder);
+    return out;
+}
+
+void
+IvfIndex::searchInto(const float *query, const IvfSearchParams &params,
+                     SearchResult &out,
+                     SearchTraceRecorder *recorder) const
+{
     ANN_CHECK(rows_ > 0, "search on empty ivf index");
+    ANN_CHECK(params.nprobe > 0, "nprobe must be positive");
     const std::size_t nprobe = std::min(params.nprobe, nlist());
     const DistanceFunc dist = distanceFunc(metric_);
-    const std::vector<std::uint32_t> probed =
-        probeLists(query, params.nprobe);
+
+    ScratchGuard<IvfScratch> scratch(tls_scratch);
+    const bool prefetch = prefetchEnabled();
+    const bool batch_adc = adcBatchEnabled();
+
+    // Centroid ranking, arena-backed (same TopK order as
+    // probeLists(), which stays the allocating public variant).
+    TopK &centroid_top = scratch->centroid_top;
+    centroid_top.reset(nprobe);
+    for (std::size_t c = 0; c < nlist(); ++c) {
+        if (prefetch && c + 1 < nlist())
+            prefetchRead(centroids_.centroid(c + 1));
+        centroid_top.push(static_cast<VectorId>(c),
+                          dist(query, centroids_.centroid(c), dim_));
+    }
+    SearchResult &probes = scratch->probes;
+    centroid_top.drainInto(probes);
 
     if (recorder) {
         recorder->cpu().full_distances += nlist();
         recorder->cpu().heap_ops += nprobe;
     }
 
-    AdcTable adc;
+    AdcTable &adc = scratch->adc;
     if (usePq_) {
-        adc = pq_.computeAdcTable(query);
+        pq_.computeAdcTable(query, adc);
         if (recorder)
             recorder->cpu().adc_tables += 1;
     }
 
-    TopK top(params.k);
-    for (const std::uint32_t list : probed) {
+    TopK &top = scratch->top;
+    top.reset(params.k);
+    std::vector<const std::uint8_t *> &pending_codes =
+        scratch->pending_codes;
+    std::vector<VectorId> &pending_ids = scratch->pending_ids;
+    const std::size_t code_size = usePq_ ? pq_.codeSize() : 0;
+    for (const Neighbor &probe : probes) {
+        const auto list = static_cast<std::size_t>(probe.id);
         const auto &ids = listIds_[list];
         if (usePq_) {
+            // Collect the non-deleted entries (prefetching the next
+            // code word one step ahead), then score four per batched
+            // ADC pass. The push order matches the per-entry loop and
+            // the batched kernels keep the per-code reduction order,
+            // so results stay bit-identical across both toggles.
             const std::uint8_t *codes = listCodes_[list].data();
+            pending_codes.clear();
+            pending_ids.clear();
             for (std::size_t i = 0; i < ids.size(); ++i) {
+                if (prefetch && i + 1 < ids.size())
+                    prefetchRead(codes + (i + 1) * code_size);
                 if (deleted_[ids[i]])
                     continue;
-                top.push(ids[i],
-                         pq_.adcDistance(adc,
-                                         codes + i * pq_.codeSize()));
+                pending_codes.push_back(codes + i * code_size);
+                pending_ids.push_back(ids[i]);
             }
+            std::size_t p = 0;
+            if (batch_adc) {
+                for (; p + 4 <= pending_codes.size(); p += 4) {
+                    float d4[4];
+                    pq_.adcDistanceBatch4(
+                        adc, pending_codes.data() + p, d4);
+                    for (int j = 0; j < 4; ++j)
+                        top.push(pending_ids[p + j], d4[j]);
+                }
+            }
+            for (; p < pending_codes.size(); ++p)
+                top.push(pending_ids[p],
+                         pq_.adcDistance(adc, pending_codes[p]));
         } else {
             const float *vectors = listVectors_[list].data();
             for (std::size_t i = 0; i < ids.size(); ++i) {
+                if (prefetch && i + 1 < ids.size())
+                    prefetchRead(vectors + (i + 1) * dim_);
                 if (deleted_[ids[i]])
                     continue;
                 top.push(ids[i], dist(query, vectors + i * dim_, dim_));
@@ -197,7 +272,7 @@ IvfIndex::search(const float *query, const IvfSearchParams &params,
                 recorder->cpu().full_distances += ids.size();
         }
     }
-    return top.take();
+    top.drainInto(out);
 }
 
 void

@@ -78,6 +78,15 @@ class IvfIndex
     SearchResult search(const float *query, const IvfSearchParams &params,
                         SearchTraceRecorder *recorder = nullptr) const;
 
+    /**
+     * search() into a caller-owned result vector: with reused scratch
+     * and a reused @p out, the steady-state query path performs no
+     * heap allocation at all.
+     */
+    void searchInto(const float *query, const IvfSearchParams &params,
+                    SearchResult &out,
+                    SearchTraceRecorder *recorder = nullptr) const;
+
     void save(BinaryWriter &writer) const;
     void load(BinaryReader &reader);
 

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-query scratch-arena reuse policy shared by the index search
+ * paths.
+ *
+ * Every index keeps one thread-local Scratch struct holding the
+ * candidate pools, visited lists, priority-queue backing stores, and
+ * ADC tables its search needs. With scratch reuse on (the default,
+ * $ANN_SCRATCH), searches borrow the thread-local instance — the
+ * containers keep their high-water capacity, so steady-state queries
+ * allocate nothing. With reuse off, each search constructs a fresh
+ * Scratch, reproducing the seed's per-query allocation behaviour so
+ * bench_ext_hotpath has an honest baseline to compare against.
+ *
+ * Correctness does not depend on the policy: every search fully
+ * re-initializes the scratch state it reads (clear(), reset(),
+ * epoch-bumped visited tables), so a reused arena and a fresh one are
+ * indistinguishable to the algorithm — only the allocator traffic
+ * differs.
+ */
+
+#ifndef ANN_INDEX_SEARCH_SCRATCH_HH
+#define ANN_INDEX_SEARCH_SCRATCH_HH
+
+#include <optional>
+
+#include "common/hotpath.hh"
+
+namespace ann {
+
+/**
+ * Hands a search either the thread-local reusable scratch or a fresh
+ * one, depending on scratchReuseEnabled(). Scratch must be
+ * default-constructible.
+ */
+template <typename Scratch> class ScratchGuard
+{
+  public:
+    explicit ScratchGuard(Scratch &reusable)
+    {
+        if (scratchReuseEnabled()) {
+            ptr_ = &reusable;
+        } else {
+            fresh_.emplace();
+            ptr_ = &*fresh_;
+        }
+    }
+
+    ScratchGuard(const ScratchGuard &) = delete;
+    ScratchGuard &operator=(const ScratchGuard &) = delete;
+
+    Scratch &operator*() { return *ptr_; }
+    Scratch *operator->() { return ptr_; }
+
+  private:
+    std::optional<Scratch> fresh_;
+    Scratch *ptr_ = nullptr;
+};
+
+} // namespace ann
+
+#endif // ANN_INDEX_SEARCH_SCRATCH_HH

@@ -6,10 +6,13 @@
 #include <limits>
 
 #include "common/error.hh"
+#include "common/hotpath.hh"
 #include "common/serialize.hh"
 #include "distance/distance.hh"
 #include "distance/topk.hh"
 #include "index/diskann_index.hh" // kSectorBytes
+#include "index/search_scratch.hh"
+#include "index/visit_table.hh"
 
 namespace ann {
 
@@ -20,6 +23,24 @@ constexpr std::uint32_t kVersion = 1;
 
 /** Per-thread fetch scratch for non-memory backends. */
 thread_local storage::AlignedBuffer tls_fetch;
+
+/**
+ * Per-query scratch arena (see search_scratch.hh): centroid ranking,
+ * result heap, per-probe fetch layout, and the replica-dedup visit
+ * table (epoch-reset, replacing the seed's per-query vector<bool>).
+ * Fully re-initialized per query.
+ */
+struct SpannScratch
+{
+    TopK centroid_top{1};
+    TopK top{1};
+    SearchResult probes;
+    std::vector<std::size_t> fetch_offset;
+    std::vector<storage::IoRequest> requests;
+    VisitTable seen;
+};
+
+thread_local SpannScratch tls_scratch;
 
 } // namespace
 
@@ -213,16 +234,35 @@ SearchResult
 SpannIndex::search(const float *query, const SpannSearchParams &params,
                    SearchTraceRecorder *recorder) const
 {
+    SearchResult out;
+    searchInto(query, params, out, recorder);
+    return out;
+}
+
+void
+SpannIndex::searchInto(const float *query,
+                       const SpannSearchParams &params,
+                       SearchResult &out,
+                       SearchTraceRecorder *recorder) const
+{
     ANN_CHECK(rows_ > 0, "search on empty spann index");
     const std::size_t nprobe = std::min(params.nprobe, nlist());
 
+    ScratchGuard<SpannScratch> scratch(tls_scratch);
+    const bool prefetch = prefetchEnabled();
+
     // Memory phase: rank centroids.
-    TopK centroid_top(nprobe);
-    for (std::size_t c = 0; c < nlist(); ++c)
+    TopK &centroid_top = scratch->centroid_top;
+    centroid_top.reset(nprobe);
+    for (std::size_t c = 0; c < nlist(); ++c) {
+        if (prefetch && c + 1 < nlist())
+            prefetchRead(centroids_.centroid(c + 1));
         centroid_top.push(static_cast<VectorId>(c),
                           l2DistanceSq(query, centroids_.centroid(c),
                                        dim_));
-    const SearchResult probes = centroid_top.take();
+    }
+    SearchResult &probes = scratch->probes;
+    centroid_top.drainInto(probes);
 
     // Storage phase: all probed lists fetched as one batched
     // submission; the memory backend serves the image zero-copy
@@ -233,9 +273,11 @@ SpannIndex::search(const float *query, const SpannSearchParams &params,
     ANN_ASSERT(io_ != nullptr, "posting-list file not attached");
     const std::uint8_t *image = io_->data();
     const std::uint8_t *fetched = nullptr;
-    std::vector<std::size_t> fetch_offset;
-    std::vector<storage::IoRequest> requests;
-    std::vector<SectorRead> reads;
+    std::vector<std::size_t> &fetch_offset = scratch->fetch_offset;
+    std::vector<storage::IoRequest> &requests = scratch->requests;
+    fetch_offset.clear();
+    requests.clear();
+    std::vector<SectorRead> reads; // trace-mode only (moved away)
     if (!image) {
         std::size_t total = 0;
         fetch_offset.reserve(probes.size());
@@ -273,9 +315,11 @@ SpannIndex::search(const float *query, const SpannSearchParams &params,
                 s = e + (e < count ? 1 : 0);
             }
         }
-        reads.reserve(requests.size());
-        for (const storage::IoRequest &req : requests)
-            reads.push_back({req.sector, req.count});
+        if (recorder) {
+            reads.reserve(requests.size());
+            for (const storage::IoRequest &req : requests)
+                reads.push_back({req.sector, req.count});
+        }
         fetched = buf;
     } else if (recorder) {
         reads.reserve(nprobe);
@@ -291,7 +335,8 @@ SpannIndex::search(const float *query, const SpannSearchParams &params,
     }
 
     if (!image && !requests.empty()) {
-        io_->readBatch(requests.data(), requests.size());
+        io_->readBatch(requests.data(), requests.size(),
+                       tls_fetch.region());
         if (cache_) {
             for (const storage::IoRequest &req : requests)
                 for (std::uint32_t j = 0; j < req.count; ++j)
@@ -302,9 +347,12 @@ SpannIndex::search(const float *query, const SpannSearchParams &params,
     }
 
     // Scan phase: full-precision over the fetched lists; replicas
-    // deduplicate naturally inside the top-k (same id, same dist).
-    TopK top(params.k);
-    std::vector<bool> seen(rows_, false);
+    // deduplicate through the epoch-reset visit table (same outcome
+    // as the seed's per-query vector<bool>, no allocation).
+    TopK &top = scratch->top;
+    top.reset(params.k);
+    VisitTable &seen = scratch->seen;
+    seen.reset(rows_);
     for (std::size_t p = 0; p < probes.size(); ++p) {
         const std::size_t list = probes[p].id;
         const std::uint8_t *entries =
@@ -313,11 +361,12 @@ SpannIndex::search(const float *query, const SpannSearchParams &params,
         const std::uint64_t count = listCounts_[list];
         for (std::uint64_t i = 0; i < count; ++i) {
             const std::uint8_t *entry = entries + i * entryBytes();
+            if (prefetch && i + 1 < count)
+                prefetchRead(entry + entryBytes());
             VectorId id;
             std::memcpy(&id, entry, sizeof(VectorId));
-            if (seen[id])
+            if (!seen.tryVisit(id))
                 continue;
-            seen[id] = true;
             top.push(id,
                      l2DistanceSq(query,
                                   reinterpret_cast<const float *>(
@@ -332,7 +381,7 @@ SpannIndex::search(const float *query, const SpannSearchParams &params,
     }
     if (recorder)
         recorder->finish();
-    return top.take();
+    top.drainInto(out);
 }
 
 void

@@ -116,6 +116,16 @@ class SpannIndex
                         const SpannSearchParams &params,
                         SearchTraceRecorder *recorder = nullptr) const;
 
+    /**
+     * search() into a caller-owned result vector: with reused scratch
+     * and a reused @p out, the steady-state memory-backend query path
+     * performs no heap allocation (the file/uring paths additionally
+     * reuse their per-thread fetch buffers).
+     */
+    void searchInto(const float *query, const SpannSearchParams &params,
+                    SearchResult &out,
+                    SearchTraceRecorder *recorder = nullptr) const;
+
     void save(BinaryWriter &writer) const;
     void load(BinaryReader &reader);
 

@@ -95,8 +95,16 @@ ProductQuantizer::decode(const std::uint8_t *codes, float *out) const
 AdcTable
 ProductQuantizer::computeAdcTable(const float *query) const
 {
-    ANN_ASSERT(trained(), "adc table on untrained quantizer");
     AdcTable table;
+    computeAdcTable(query, table);
+    return table;
+}
+
+void
+ProductQuantizer::computeAdcTable(const float *query,
+                                  AdcTable &table) const
+{
+    ANN_ASSERT(trained(), "adc table on untrained quantizer");
     table.m = m_;
     table.ksub = ksub_;
     table.entries.resize(m_ * ksub_);
@@ -106,7 +114,6 @@ ProductQuantizer::computeAdcTable(const float *query) const
         for (std::size_t c = 0; c < ksub_; ++c)
             row[c] = l2DistanceSq(sub_query, codeword(sub, c), subDim_);
     }
-    return table;
 }
 
 float
@@ -116,6 +123,16 @@ ProductQuantizer::adcDistance(const AdcTable &table,
     ANN_ASSERT(table.m == m_ && table.ksub == ksub_,
                "adc table shape mismatch");
     return pqAdcDistance(table.entries.data(), m_, ksub_, codes);
+}
+
+void
+ProductQuantizer::adcDistanceBatch4(const AdcTable &table,
+                                    const std::uint8_t *const codes[4],
+                                    float out[4]) const
+{
+    ANN_ASSERT(table.m == m_ && table.ksub == ksub_,
+               "adc table shape mismatch");
+    pqAdcDistanceBatch4(table.entries.data(), m_, ksub_, codes, out);
 }
 
 float

@@ -75,9 +75,24 @@ class ProductQuantizer
     /** Build the per-query ADC table (squared L2 parts per subspace). */
     AdcTable computeAdcTable(const float *query) const;
 
+    /**
+     * In-place variant for reused scratch: fills @p table without
+     * allocating once its entries reach capacity.
+     */
+    void computeAdcTable(const float *query, AdcTable &table) const;
+
     /** Approximate squared L2 distance via @p table lookups. */
     float adcDistance(const AdcTable &table,
                       const std::uint8_t *codes) const;
+
+    /**
+     * Score four code words in one batched kernel pass. Each result
+     * is bit-identical to the corresponding adcDistance() call (the
+     * batched kernels keep the per-code reduction order).
+     */
+    void adcDistanceBatch4(const AdcTable &table,
+                           const std::uint8_t *const codes[4],
+                           float out[4]) const;
 
     /** Exact squared L2 between @p query and the decoded codes. */
     float reconstructedDistance(const float *query,

@@ -111,7 +111,8 @@ AnnServer::start()
     ANN_CHECK(::epoll_ctl(epollFd_, EPOLL_CTL_ADD, wakeFd_, &ev) == 0,
               "epoll_ctl(wake): ", std::strerror(errno));
 
-    pool_ = std::make_unique<ThreadPool>(config_.exec_threads);
+    pool_ = std::make_unique<ThreadPool>(config_.exec_threads,
+                                         ThreadPool::pinByDefault());
     nextConnId_ = 2; // 0/1 are the listen/wake tags
     started_ = std::chrono::steady_clock::now();
     running_.store(true);

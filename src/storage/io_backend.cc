@@ -96,6 +96,15 @@ std::vector<IoRun>
 coalesceSectors(const std::vector<std::uint64_t> &sorted_unique)
 {
     std::vector<IoRun> runs;
+    coalesceSectors(sorted_unique, runs);
+    return runs;
+}
+
+void
+coalesceSectors(const std::vector<std::uint64_t> &sorted_unique,
+                std::vector<IoRun> &runs)
+{
+    runs.clear();
     for (std::size_t i = 0; i < sorted_unique.size();) {
         std::size_t j = i + 1;
         while (j < sorted_unique.size() &&
@@ -105,7 +114,29 @@ coalesceSectors(const std::vector<std::uint64_t> &sorted_unique)
             {sorted_unique[i], static_cast<std::uint32_t>(j - i)});
         i = j;
     }
-    return runs;
+}
+
+namespace {
+
+std::atomic<bool> &
+uringRegisterFlag()
+{
+    static std::atomic<bool> flag{envFlag("ANN_URING_REG", true)};
+    return flag;
+}
+
+} // namespace
+
+bool
+uringRegisterEnabled()
+{
+    return uringRegisterFlag().load(std::memory_order_relaxed);
+}
+
+void
+setUringRegisterEnabled(bool enabled)
+{
+    uringRegisterFlag().store(enabled, std::memory_order_relaxed);
 }
 
 AlignedBuffer::~AlignedBuffer()
@@ -128,6 +159,10 @@ AlignedBuffer::ensure(std::size_t bytes)
         ANN_CHECK(data_ != nullptr, "aligned_alloc of ", rounded,
                   " bytes failed");
         capacity_ = rounded;
+        // Fresh incarnation: backends holding a buffer registration
+        // for the old allocation must not serve fixed reads into it.
+        static std::atomic<std::uint64_t> next_id{1};
+        id_ = next_id.fetch_add(1, std::memory_order_relaxed);
     }
     return data_;
 }

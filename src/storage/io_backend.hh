@@ -139,6 +139,35 @@ struct IoRun
 std::vector<IoRun>
 coalesceSectors(const std::vector<std::uint64_t> &sorted_unique);
 
+/** In-place overload for reused scratch: @p runs is overwritten. */
+void coalesceSectors(const std::vector<std::uint64_t> &sorted_unique,
+                     std::vector<IoRun> &runs);
+
+/**
+ * A registration-eligible scratch region (the io_uring fast path
+ * pre-registers it with IORING_REGISTER_BUFFERS and issues
+ * READ_FIXED). @ref id is a generation tag: AlignedBuffer bumps it on
+ * every reallocation, so a backend holding a registration for an old
+ * incarnation of the buffer detects the mismatch and re-registers
+ * instead of reading through a stale mapping. id 0 means "never
+ * register" (no buffer, or an unmanaged pointer).
+ */
+struct IoRegion
+{
+    std::uint8_t *base = nullptr;
+    std::size_t bytes = 0;
+    std::uint64_t id = 0;
+};
+
+/**
+ * $ANN_URING_REG (default on): lets the uring backend serve
+ * region-hinted batches with registered buffers and a fixed file.
+ * Off, every read goes through the plain READ path. Toggling never
+ * changes the bytes read — only the submission mechanics.
+ */
+bool uringRegisterEnabled();
+void setUringRegisterEnabled(bool enabled);
+
 /** Serves batched whole-sector reads of one node file. */
 class IoBackend
 {
@@ -163,6 +192,21 @@ class IoBackend
      * multiple threads.
      */
     virtual void readBatch(const IoRequest *requests, std::size_t n) = 0;
+
+    /**
+     * readBatch() with a destination-region hint: the caller promises
+     * every request's dest lies inside @p region. Backends with a
+     * registered-buffer fast path (uring) pre-register the region and
+     * issue fixed-buffer reads; the base implementation ignores the
+     * hint, so callers can pass it unconditionally.
+     */
+    virtual void
+    readBatch(const IoRequest *requests, std::size_t n,
+              const IoRegion &region)
+    {
+        (void)region;
+        readBatch(requests, n);
+    }
 
     /** True when reads bypass the OS page cache (O_DIRECT). */
     virtual bool directIo() const { return false; }
@@ -206,9 +250,16 @@ class AlignedBuffer
     std::uint8_t *ensure(std::size_t bytes);
     std::uint8_t *data() { return data_; }
 
+    /**
+     * Registration identity of the current allocation (id bumps on
+     * every reallocation; {nullptr, 0, 0} before the first ensure()).
+     */
+    IoRegion region() const { return {data_, capacity_, id_}; }
+
   private:
     std::uint8_t *data_ = nullptr;
     std::size_t capacity_ = 0;
+    std::uint64_t id_ = 0;
 };
 
 /// @cond internal — shared between io_backend.cc and uring_backend.cc

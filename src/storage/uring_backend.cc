@@ -34,6 +34,7 @@
 #include <linux/io_uring.h>
 #include <sys/mman.h>
 #include <sys/syscall.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -67,24 +68,81 @@ class UringQueue
         return inited_;
     }
 
+    /** Generation id of the buffer this ring has registered (0: none). */
+    std::uint64_t registeredRegion() const { return regionId_; }
+
+    /**
+     * Make @p region the ring's registered buffer 0, re-registering
+     * only when its generation id changed. @return false when
+     * registration is unavailable (e.g. RLIMIT_MEMLOCK); the failed id
+     * is remembered so the syscall is not retried every batch.
+     */
+    bool
+    ensureBuffers(const IoRegion &region)
+    {
+        if (regionId_ == region.id)
+            return true;
+        if (failedRegionId_ == region.id)
+            return false;
+        if (regionId_ != 0)
+            io_uring_unregister_buffers(&ring_);
+        regionId_ = 0;
+        iovec iov{region.base, region.bytes};
+        if (io_uring_register_buffers(&ring_, &iov, 1) != 0) {
+            failedRegionId_ = region.id;
+            return false;
+        }
+        regionId_ = region.id;
+        return true;
+    }
+
+    /** Register @p fd as fixed file 0 (idempotent per ring). */
+    bool
+    ensureFiles(int fd)
+    {
+        if (fileFd_ == fd)
+            return true;
+        if (filesFailed_)
+            return false;
+        if (fileFd_ >= 0)
+            io_uring_unregister_files(&ring_);
+        fileFd_ = -1;
+        if (io_uring_register_files(&ring_, &fd, 1) != 0) {
+            filesFailed_ = true;
+            return false;
+        }
+        fileFd_ = fd;
+        return true;
+    }
+
     /**
      * Submit requests [begin, begin + count) of @p reqs against @p fd
-     * as one batch and reap all completions. @return false on a ring
+     * as one batch and reap all completions. With @p fixed_buf /
+     * @p fixed_file the SQEs reference the pre-registered buffer and
+     * file (READ_FIXED + IOSQE_FIXED_FILE) — no per-read page pinning
+     * or fd refcounting in the kernel. @return false on a ring
      * failure (caller falls back to pread).
      */
     bool
     submitAndReap(int fd, const IoRequest *reqs, std::size_t begin,
-                  std::size_t count)
+                  std::size_t count, bool fixed_buf, bool fixed_file)
     {
         for (std::size_t i = 0; i < count; ++i) {
             io_uring_sqe *sqe = io_uring_get_sqe(&ring_);
             if (!sqe)
                 return false;
             const IoRequest &req = reqs[begin + i];
-            io_uring_prep_read(
-                sqe, fd, req.dest,
-                req.count * static_cast<unsigned>(kIoSectorBytes),
-                req.sector * kIoSectorBytes);
+            const unsigned len =
+                req.count * static_cast<unsigned>(kIoSectorBytes);
+            const std::uint64_t off = req.sector * kIoSectorBytes;
+            const int sqe_fd = fixed_file ? 0 : fd;
+            if (fixed_buf)
+                io_uring_prep_read_fixed(sqe, sqe_fd, req.dest, len,
+                                         off, 0);
+            else
+                io_uring_prep_read(sqe, sqe_fd, req.dest, len, off);
+            if (fixed_file)
+                sqe->flags |= IOSQE_FIXED_FILE;
             sqe->user_data = begin + i;
         }
         if (io_uring_submit_and_wait(&ring_,
@@ -121,6 +179,10 @@ class UringQueue
 
     io_uring ring_{};
     bool inited_ = false;
+    std::uint64_t regionId_ = 0;
+    std::uint64_t failedRegionId_ = 0;
+    int fileFd_ = -1;
+    bool filesFailed_ = false;
 };
 
 #else // ANN_HAVE_IO_URING_SYSCALL
@@ -139,6 +201,14 @@ sysIoUringEnter(int ring_fd, unsigned to_submit, unsigned min_complete,
     return static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd,
                                       to_submit, min_complete, flags,
                                       nullptr, 0));
+}
+
+int
+sysIoUringRegister(int ring_fd, unsigned opcode, const void *arg,
+                   unsigned nr_args)
+{
+    return static_cast<int>(::syscall(__NR_io_uring_register, ring_fd,
+                                      opcode, arg, nr_args));
 }
 
 /**
@@ -218,9 +288,60 @@ class UringQueue
         return true;
     }
 
+    /** Generation id of the buffer this ring has registered (0: none). */
+    std::uint64_t registeredRegion() const { return regionId_; }
+
+    /**
+     * Make @p region the ring's registered buffer 0, re-registering
+     * only when its generation id changed. @return false when
+     * registration is unavailable (e.g. RLIMIT_MEMLOCK); the failed id
+     * is remembered so the syscall is not retried every batch.
+     */
+    bool
+    ensureBuffers(const IoRegion &region)
+    {
+        if (regionId_ == region.id)
+            return true;
+        if (failedRegionId_ == region.id)
+            return false;
+        if (regionId_ != 0)
+            sysIoUringRegister(ringFd_, IORING_UNREGISTER_BUFFERS,
+                               nullptr, 0);
+        regionId_ = 0;
+        iovec iov{region.base, region.bytes};
+        if (sysIoUringRegister(ringFd_, IORING_REGISTER_BUFFERS, &iov,
+                               1) != 0) {
+            failedRegionId_ = region.id;
+            return false;
+        }
+        regionId_ = region.id;
+        return true;
+    }
+
+    /** Register @p fd as fixed file 0 (idempotent per ring). */
+    bool
+    ensureFiles(int fd)
+    {
+        if (fileFd_ == fd)
+            return true;
+        if (filesFailed_)
+            return false;
+        if (fileFd_ >= 0)
+            sysIoUringRegister(ringFd_, IORING_UNREGISTER_FILES,
+                               nullptr, 0);
+        fileFd_ = -1;
+        if (sysIoUringRegister(ringFd_, IORING_REGISTER_FILES, &fd,
+                               1) != 0) {
+            filesFailed_ = true;
+            return false;
+        }
+        fileFd_ = fd;
+        return true;
+    }
+
     bool
     submitAndReap(int fd, const IoRequest *reqs, std::size_t begin,
-                  std::size_t count)
+                  std::size_t count, bool fixed_buf, bool fixed_file)
     {
         // Fill SQEs, then publish them with one release-store on the
         // tail index.
@@ -232,12 +353,16 @@ class UringQueue
             io_uring_sqe *sqe = &sqes_[idx];
             std::memset(sqe, 0, sizeof(*sqe));
             const IoRequest &req = reqs[begin + i];
-            sqe->opcode = IORING_OP_READ;
-            sqe->fd = fd;
+            sqe->opcode = static_cast<std::uint8_t>(
+                fixed_buf ? IORING_OP_READ_FIXED : IORING_OP_READ);
+            sqe->fd = fixed_file ? 0 : fd;
+            if (fixed_file)
+                sqe->flags |= IOSQE_FIXED_FILE;
             sqe->addr = reinterpret_cast<std::uint64_t>(req.dest);
             sqe->len =
                 req.count * static_cast<unsigned>(kIoSectorBytes);
             sqe->off = req.sector * kIoSectorBytes;
+            sqe->buf_index = 0; // registered buffer 0 (READ_FIXED)
             sqe->user_data = begin + i;
             sqArray_[idx] = idx;
         }
@@ -318,6 +443,10 @@ class UringQueue
     }
 
     int ringFd_ = -1;
+    std::uint64_t regionId_ = 0;
+    std::uint64_t failedRegionId_ = 0;
+    int fileFd_ = -1;
+    bool filesFailed_ = false;
     void *sqMem_ = nullptr;
     void *cqMem_ = nullptr;
     void *sqeMem_ = nullptr;
@@ -368,6 +497,40 @@ class UringIoBackend final : public IoBackend
     void
     readBatch(const IoRequest *requests, std::size_t n) override
     {
+        readBatchImpl(requests, n, IoRegion{});
+    }
+
+    void
+    readBatch(const IoRequest *requests, std::size_t n,
+              const IoRegion &region) override
+    {
+        // The registered fast path only applies when every dest
+        // really lies inside the advertised region; anything else
+        // (including the toggle being off) takes the plain READ path.
+        IoRegion effective = region;
+        if (!uringRegisterEnabled() || region.id == 0 ||
+            region.base == nullptr) {
+            effective = IoRegion{};
+        } else {
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::uint8_t *dest = requests[i].dest;
+                const std::size_t bytes =
+                    requests[i].count * kIoSectorBytes;
+                if (dest < region.base ||
+                    dest + bytes > region.base + region.bytes) {
+                    effective = IoRegion{};
+                    break;
+                }
+            }
+        }
+        readBatchImpl(requests, n, effective);
+    }
+
+  private:
+    void
+    readBatchImpl(const IoRequest *requests, std::size_t n,
+                  const IoRegion &region)
+    {
         if (n == 0)
             return;
         for (std::size_t i = 0; i < n; ++i)
@@ -376,13 +539,20 @@ class UringIoBackend final : public IoBackend
                           size_,
                       "read past end of node file");
 
-        std::unique_ptr<UringQueue> queue = acquire();
+        std::unique_ptr<UringQueue> queue = acquire(region.id);
         if (queue) {
+            // Registration is best-effort per feature: fixed file and
+            // fixed buffer degrade independently to their plain forms.
+            const bool fixed_file =
+                region.id != 0 && queue->ensureFiles(fd_);
+            const bool fixed_buf =
+                region.id != 0 && queue->ensureBuffers(region);
             bool ok = true;
             for (std::size_t done = 0; done < n && ok;) {
                 const std::size_t window =
                     std::min<std::size_t>(queueDepth_, n - done);
-                ok = queue->submitAndReap(fd_, requests, done, window);
+                ok = queue->submitAndReap(fd_, requests, done, window,
+                                          fixed_buf, fixed_file);
                 done += window;
             }
             release(std::move(queue));
@@ -400,15 +570,30 @@ class UringIoBackend final : public IoBackend
                 "pread fallback failed on node file");
     }
 
-  private:
+    /**
+     * Hand out an idle ring, preferring one whose registered buffer
+     * already matches @p prefer_region — steady-state threads get
+     * "their" ring back and pay zero registration syscalls per batch.
+     */
     std::unique_ptr<UringQueue>
-    acquire()
+    acquire(std::uint64_t prefer_region)
     {
         {
             std::lock_guard<std::mutex> lock(mutex_);
             if (!idle_.empty()) {
-                auto queue = std::move(idle_.back());
-                idle_.pop_back();
+                std::size_t pick = idle_.size() - 1;
+                if (prefer_region != 0) {
+                    for (std::size_t i = idle_.size(); i-- > 0;) {
+                        if (idle_[i]->registeredRegion() ==
+                            prefer_region) {
+                            pick = i;
+                            break;
+                        }
+                    }
+                }
+                auto queue = std::move(idle_[pick]);
+                idle_.erase(idle_.begin() +
+                            static_cast<std::ptrdiff_t>(pick));
                 return queue;
             }
         }

@@ -294,6 +294,42 @@ TEST(SimdTest, AdcScanMatchesScalarReference)
     }
 }
 
+TEST(SimdTest, BatchedAdcBitIdenticalToSingleCodeKernel)
+{
+    // The batched kernel's contract is stronger than "close": it
+    // replicates the single-code kernel's reduction order in the same
+    // SIMD tier, so each lane matches bit for bit. This is what lets
+    // $ANN_ADC_BATCH flip without changing a single result.
+    Rng rng(321);
+    for (const std::size_t m : {1u, 4u, 8u, 16u, 23u, 64u}) {
+        const std::size_t ksub = 256;
+        std::vector<float> table(m * ksub);
+        for (auto &x : table)
+            x = rng.nextFloat(0.0f, 4.0f);
+        std::vector<std::uint8_t> codes(4 * m);
+        for (auto &c : codes)
+            c = static_cast<std::uint8_t>(rng.nextBelow(ksub));
+        const std::uint8_t *ptrs[4] = {
+            codes.data(), codes.data() + m, codes.data() + 2 * m,
+            codes.data() + 3 * m};
+
+        float batched[4];
+        pqAdcDistanceBatch4(table.data(), m, ksub, ptrs, batched);
+        float scalar_batched[4];
+        pqAdcDistanceBatch4Scalar(table.data(), m, ksub, ptrs,
+                                  scalar_batched);
+        for (std::size_t i = 0; i < 4; ++i) {
+            EXPECT_EQ(batched[i],
+                      pqAdcDistance(table.data(), m, ksub, ptrs[i]))
+                << "m " << m << " lane " << i;
+            EXPECT_EQ(scalar_batched[i],
+                      pqAdcDistanceScalar(table.data(), m, ksub,
+                                          ptrs[i]))
+                << "m " << m << " lane " << i;
+        }
+    }
+}
+
 TEST(SimdTest, LevelNameIsStable)
 {
     const SimdLevel level = activeSimdLevel();

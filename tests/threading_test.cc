@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/hotpath.hh"
 #include "common/thread_pool.hh"
 #include "core/bench_runner.hh"
 #include "engine/milvus_like.hh"
@@ -112,6 +113,53 @@ TEST(ThreadPoolTest, SingleThreadPoolRunsInline)
         covered += end - begin;
     });
     EXPECT_EQ(covered, 100u);
+}
+
+// ------------------------------------------------------------ pinning
+
+TEST(ThreadPoolTest, PinningIsBestEffortAndKeepsResults)
+{
+    // Pinning may fail wholesale (restricted cpuset, refused
+    // syscall) but never breaks the pool: every pinned count up to
+    // the spawned-worker count is legal, and the loop still covers
+    // every index exactly once.
+    ThreadPool pool(4, /*pin_threads=*/true);
+    EXPECT_LE(pool.pinnedThreads(), pool.size() - 1)
+        << "only spawned workers are pinned, never the caller";
+
+    const std::size_t n = 10'000;
+    std::vector<int> hits(n, 0);
+    pool.parallelFor(n, 13, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+            ++hits[i];
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, PinningWiderThanCpusetWrapsAround)
+{
+    // More workers than allowed CPUs: the NUMA-compact order wraps,
+    // so pinning still succeeds (or degrades, on exotic hosts) and
+    // the pool stays correct.
+    const std::size_t wide = ThreadPool::allowedCpuCount() + 2;
+    ThreadPool pool(wide, /*pin_threads=*/true);
+    EXPECT_LE(pool.pinnedThreads(), wide - 1);
+    std::atomic<std::size_t> total{0};
+    pool.parallelFor(1000, 7, [&](std::size_t begin, std::size_t end) {
+        total.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(total.load(), 1000u);
+}
+
+TEST(ThreadPoolTest, PinByDefaultIsProgrammable)
+{
+    const bool before = ThreadPool::pinByDefault();
+    ThreadPool::setPinByDefault(true);
+    EXPECT_TRUE(ThreadPool::pinByDefault());
+    ThreadPool::setPinByDefault(false);
+    EXPECT_FALSE(ThreadPool::pinByDefault());
+    ThreadPool::setPinByDefault(before);
 }
 
 // ---------------------------------------------- execution determinism
@@ -509,6 +557,122 @@ TEST_F(ParallelExecFixture, EngineOutputsIdenticalUnderFileBackend)
     storage::setDefaultIoOptions(memory_mode);
 
     expectSameOutputs(reference, real_io);
+}
+
+// --------------------------------------- hot-path toggle bit-identity
+
+/** Restore the env-seeded toggle defaults when a test exits. */
+struct HotpathToggleGuard
+{
+    ~HotpathToggleGuard()
+    {
+        setScratchReuseEnabled(true);
+        setPrefetchEnabled(true);
+        setAdcBatchEnabled(true);
+        ThreadPool::setPinByDefault(false);
+    }
+};
+
+/**
+ * The hot-path contract: scratch arenas, software prefetch, and the
+ * batched ADC kernel trade allocations, cache misses, and instruction
+ * counts — never arithmetic. Every combination of the three toggles
+ * must reproduce the all-off baseline bit for bit, on the graph
+ * (HNSW) and PQ-rerank (DiskANN) engines alike.
+ */
+TEST_F(ParallelExecFixture, ToggleCombinationsBitIdentical)
+{
+    HotpathToggleGuard guard;
+    engine::SearchSettings settings;
+
+    setScratchReuseEnabled(false);
+    setPrefetchEnabled(false);
+    setAdcBatchEnabled(false);
+    const auto hnsw_base = core::runAllQueries(
+        *hnsw_, *data_, settings, data_->num_queries, 1);
+    const auto diskann_base = core::runAllQueries(
+        *diskann_, *data_, settings, data_->num_queries, 1);
+
+    for (unsigned mask = 1; mask < 8; ++mask) {
+        setScratchReuseEnabled((mask & 1u) != 0);
+        setPrefetchEnabled((mask & 2u) != 0);
+        setAdcBatchEnabled((mask & 4u) != 0);
+        SCOPED_TRACE("toggle mask " + std::to_string(mask));
+        expectSameOutputs(hnsw_base,
+                          core::runAllQueries(*hnsw_, *data_, settings,
+                                              data_->num_queries, 1));
+        expectSameOutputs(
+            diskann_base,
+            core::runAllQueries(*diskann_, *data_, settings,
+                                data_->num_queries, 1));
+    }
+}
+
+/** Same contract on a real-I/O backend: the registered-buffer uring
+ *  fast path (and its file fallback) must not change a bit when the
+ *  toggles flip. */
+TEST_F(ParallelExecFixture, ToggleCombinationsBitIdenticalOnRealIo)
+{
+    HotpathToggleGuard guard;
+    DiskAnnIndex index;
+    DiskAnnBuildParams build;
+    build.graph.max_degree = 16;
+    build.graph.build_list = 32;
+    build.pq.m = 8;
+    index.build(data_->baseView(), build);
+
+    DiskAnnSearchParams params;
+    params.k = 10;
+    params.search_list = 24;
+    params.beam_width = 4;
+
+    storage::IoOptions mode;
+    mode.kind = storage::uringSupported()
+                    ? storage::IoBackendKind::Uring
+                    : storage::IoBackendKind::File;
+    mode.spill_dir = "./threading_test_cache";
+    index.setIoMode(mode);
+
+    setScratchReuseEnabled(false);
+    setPrefetchEnabled(false);
+    setAdcBatchEnabled(false);
+    storage::setUringRegisterEnabled(false);
+    std::vector<SearchResult> expected;
+    for (std::size_t q = 0; q < data_->num_queries; ++q)
+        expected.push_back(index.search(data_->query(q), params));
+
+    for (unsigned mask = 1; mask < 16; ++mask) {
+        setScratchReuseEnabled((mask & 1u) != 0);
+        setPrefetchEnabled((mask & 2u) != 0);
+        setAdcBatchEnabled((mask & 4u) != 0);
+        storage::setUringRegisterEnabled((mask & 8u) != 0);
+        SCOPED_TRACE("toggle mask " + std::to_string(mask));
+        for (std::size_t q = 0; q < data_->num_queries; ++q) {
+            const auto got = index.search(data_->query(q), params);
+            ASSERT_EQ(got.size(), expected[q].size()) << "query " << q;
+            for (std::size_t i = 0; i < got.size(); ++i) {
+                EXPECT_EQ(got[i].id, expected[q][i].id)
+                    << "query " << q;
+                EXPECT_EQ(got[i].distance, expected[q][i].distance)
+                    << "query " << q;
+            }
+        }
+    }
+    storage::setUringRegisterEnabled(true);
+}
+
+/** A pinned execution pool moves threads, not arithmetic: parallel
+ *  runs under the pin default must match the serial baseline. */
+TEST_F(ParallelExecFixture, PinnedExecutionMatchesSerial)
+{
+    HotpathToggleGuard guard;
+    engine::SearchSettings settings;
+    const auto serial = core::runAllQueries(*diskann_, *data_, settings,
+                                            data_->num_queries, 1);
+    ThreadPool::setPinByDefault(true);
+    const auto pinned = core::runAllQueries(
+        *diskann_, *data_, settings, data_->num_queries, 4);
+    expectSameOutputs(serial, pinned);
 }
 
 } // namespace

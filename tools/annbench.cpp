@@ -21,6 +21,7 @@
 #include "common/args.hh"
 #include "common/error.hh"
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "core/bench_runner.hh"
 #include "core/experiments.hh"
 #include "core/report.hh"
@@ -54,6 +55,9 @@ printUsage()
         "against a\n"
         "                      serial run (bit-identical results + "
         "traces)\n"
+        "  --pin-threads       pin execution-pool workers to cores in\n"
+        "                      NUMA-node order (default: "
+        "$ANN_PIN_THREADS)\n"
         "  --k N               neighbours per query (default 10)\n"
         "  --nprobe N          IVF probes (default: tuned)\n"
         "  --ef-search N       HNSW candidate list (default: tuned)\n"
@@ -152,6 +156,8 @@ runBench(const ann::ArgParser &args)
             static_cast<std::size_t>(args.getInt("exec-threads", 0));
     if (args.flag("verify-exec"))
         runner.execOptions().verify = true;
+    if (args.flag("pin-threads"))
+        ThreadPool::setPinByDefault(true);
 
     TextTable table(setup + " on " + dataset_name);
     table.setHeader({"threads", "QPS", "mean (us)", "P99 (us)",
@@ -215,7 +221,8 @@ main(int argc, char **argv)
                     "nprobe", "ef-search", "search-list", "beam-width",
                     "io-backend", "io-queue-depth", "node-cache-mb",
                     "warm-nodes", "duration-ms", "trace"},
-                   {"help", "verify-exec", "drop-caches"});
+                   {"help", "verify-exec", "drop-caches",
+                    "pin-threads"});
     try {
         args.parse(argc, argv);
     } catch (const FatalError &e) {

@@ -19,6 +19,7 @@
 
 #include "common/args.hh"
 #include "common/error.hh"
+#include "common/thread_pool.hh"
 #include "core/experiments.hh"
 #include "core/tuner.hh"
 #include "serve/server.hh"
@@ -59,6 +60,9 @@ printUsage()
         "  --exec-threads N    execution pool width (default: "
         "hardware\n"
         "                      concurrency; 1 = serial)\n"
+        "  --pin-threads       pin execution-pool workers to cores in\n"
+        "                      NUMA-node order (default: "
+        "$ANN_PIN_THREADS)\n"
         "  --max-connections N accepted-connection cap (default "
         "1024)\n"
         "  --io-backend NAME   node-file I/O backend: memory|file|"
@@ -129,6 +133,8 @@ runServe(const ann::ArgParser &args)
         static_cast<std::size_t>(args.getInt("max-batch", 8));
     config.exec_threads =
         static_cast<std::size_t>(args.getInt("exec-threads", 0));
+    if (args.flag("pin-threads"))
+        ThreadPool::setPinByDefault(true);
     config.max_connections = static_cast<std::size_t>(
         args.getInt("max-connections", 1024));
     config.expected_dim = dataset.dim;
@@ -178,7 +184,7 @@ main(int argc, char **argv)
                     "max-batch", "exec-threads", "max-connections",
                     "io-backend", "io-queue-depth", "node-cache-mb",
                     "warm-nodes"},
-                   {"help"});
+                   {"help", "pin-threads"});
     try {
         args.parse(argc, argv);
     } catch (const FatalError &e) {

@@ -449,16 +449,40 @@ main()
         ok = false;
     }
 
+    // Regression gate: turning every optimization ON must not make
+    // DiskANN slower than all-off (the recorded 3375->3134 QPS
+    // batched-ADC regression, fixed by the pending-count threshold).
+    // A small tolerance absorbs shared-runner timing noise.
+    const double regress_tol = [] {
+        const char *env = std::getenv("ANN_HOTPATH_REGRESS_TOLERANCE");
+        return env != nullptr ? std::atof(env) : 0.95;
+    }();
+    if (diskann_speedup < regress_tol) {
+        std::fprintf(stderr,
+                     "FAIL: DiskANN all-on regressed vs all-off "
+                     "(%.2fx < tolerance %.2f) — batched ADC is "
+                     "hurting the beam search again\n",
+                     diskann_speedup, regress_tol);
+        ok = false;
+    }
+
     // ----------------------------------- pinned execution pool check
     // The fourth toggle moves threads, not arithmetic: a pinned pool
     // must reproduce the serial results bit for bit.
     applyCombo({true, true, true});
     double qps_unpinned = 0.0, qps_pinned = 0.0;
     std::size_t pinned_workers = 0;
+    const bool pin_supported = ThreadPool::pinningSupported();
+    // At least one spawned worker must exist for pinning to have
+    // anything to pin: ThreadPool(0, ...) on a single-CPU cpuset
+    // sizes to 1 and spawns none, which is exactly how the recorded
+    // `pinned_workers: 0` regression happened.
+    const std::size_t pool_threads =
+        std::max<std::size_t>(2, ThreadPool::allowedCpuCount());
     {
         std::vector<SearchResult> parallel_out(dataset.num_queries);
         for (const bool pin : {false, true}) {
-            ThreadPool pool(0, pin);
+            ThreadPool pool(pool_threads, pin);
             const auto body = [&](std::size_t begin, std::size_t end) {
                 for (std::size_t q = begin; q < end; ++q)
                     diskann.searchInto(dataset.query(q),
@@ -482,8 +506,22 @@ main()
         }
     }
     std::printf("parallel DiskANN QPS: unpinned %.0f, pinned %.0f "
-                "(%zu workers pinned)\n",
-                qps_unpinned, qps_pinned, pinned_workers);
+                "(%zu of %zu workers pinned)\n",
+                qps_unpinned, qps_pinned, pinned_workers,
+                pool_threads - 1);
+    // Regression gate: with pinning requested and the platform
+    // willing, workers must actually be pinned. Where affinity is
+    // unavailable (restricted sandbox / seccomp) the check is
+    // *skipped out loud*, never silently passed.
+    if (pin_supported && pinned_workers == 0) {
+        std::fprintf(stderr,
+                     "FAIL: pinning requested and supported, but no "
+                     "worker was pinned\n");
+        ok = false;
+    } else if (!pin_supported) {
+        std::printf("pinning check SKIPPED: thread affinity is "
+                    "unavailable in this environment\n");
+    }
 
     // ----------------------------------------- zero-allocation gate
     // All toggles on; single-threaded; memory backend. The arena
@@ -548,15 +586,20 @@ main()
         std::fprintf(
             f,
             "  \"parallel\": {\"qps_unpinned\": %.1f, "
-            "\"qps_pinned\": %.1f, \"pinned_workers\": %zu},\n"
+            "\"qps_pinned\": %.1f, \"pinned_workers\": %zu, "
+            "\"pin_supported\": %s},\n"
             "  \"allocs_per_query\": {\"hnsw\": %.3f, "
             "\"diskann\": %.3f},\n"
             "  \"adc_kernels_match\": %s,\n"
             "  \"bit_identical\": %s,\n"
+            "  \"adc_batch_min\": %zu,\n"
+            "  \"regress_tolerance_gate\": %.2f,\n"
             "  \"min_speedup_gate\": %.2f\n}\n",
-            qps_unpinned, qps_pinned, pinned_workers, hnsw_allocs,
+            qps_unpinned, qps_pinned, pinned_workers,
+            pin_supported ? "true" : "false", hnsw_allocs,
             diskann_allocs, kernels_ok ? "true" : "false",
-            ok ? "true" : "false", min_speedup);
+            ok ? "true" : "false", adcBatchMinPending(),
+            regress_tol, min_speedup);
         std::fclose(f);
         std::printf("wrote %s\n", json_path.c_str());
     } else {

@@ -2,7 +2,7 @@
  * @file
  * Extension — the real-I/O layer characterized on real hardware.
  *
- * Two phases, mirroring how the paper validates its testbed (fio
+ * Three phases, mirroring how the paper validates its testbed (fio
  * microbenchmarks first, then end-to-end search):
  *
  *  1. Raw sweep: batches of random single-sector O_DIRECT reads
@@ -19,27 +19,46 @@
  *     so their advantage over serial pread grows with beam_width
  *     (>= 2x at beam_width >= 4 on real NVMe).
  *
+ *  3. Layout design-space sweep: layout policy (id-order vs
+ *     packed-BFS) x beam width x node-cache size x queue depth, all
+ *     on the real file backend. Per point it reports I/O requests
+ *     per query, bytes per query, cache hit rate, page reuse rate,
+ *     recall, and QPS, and writes results/BENCH_layout.json. Gates:
+ *     packed results must be bit-identical to id-order, and the best
+ *     matched-config I/O reduction must reach
+ *     $ANN_LAYOUT_MIN_IO_REDUCTION (default 1.5x). Run with
+ *     --layout-only to skip phases 1-2 (the CI smoke).
+ *
  * Environment knobs: $ANN_IO_SPILL_DIR (defaults to $ANN_CACHE_DIR)
  * places the spill files — point it at a real NVMe filesystem, not
  * tmpfs, for meaningful numbers. $ANN_NODE_CACHE_MB / $ANN_WARM_NODES
  * front the real backends with the node sector cache; passing
  * --drop-caches empties its dynamic part before every sweep point
  * (the paper's drop_caches protocol), so each point starts cold.
+ * (Phase 3 sizes its caches itself and always starts points cold.)
  */
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <utility>
 
 #include "bench_common.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "core/report.hh"
+#include "distance/distance.hh"
 #include "distance/recall.hh"
 #include "index/diskann_index.hh"
+#include "index/layout.hh"
+#include "index/search_trace.hh"
 #include "storage/io_backend.hh"
+#include "workload/generator.hh"
 
 namespace {
 
@@ -142,6 +161,71 @@ searchSweepPoint(const DiskAnnIndex &index,
     return point;
 }
 
+/** One cell of the phase-3 layout design-space sweep. */
+struct LayoutPoint
+{
+    LayoutPolicy layout = LayoutPolicy::IdOrder;
+    std::size_t beam = 4;
+    std::size_t cache_kib = 0;
+    unsigned qd = 1;
+
+    double ios_per_query = 0.0;   ///< read requests reaching the backend
+    double bytes_per_query = 0.0; ///< sectors fetched x 4 KiB
+    double hit_rate = 0.0;        ///< node-cache hits / lookups
+    double page_reuse = 0.0;      ///< admitted pages that served a hit
+    double recall = 0.0;
+    double qps = 0.0;
+};
+
+/**
+ * Fill the I/O-characterization fields of @p point. The point starts
+ * cold (dynamic node cache dropped), then the first half of the query
+ * set warms the cache and the second half — distinct queries sharing
+ * only the hot graph regions — is measured: the steady state a
+ * serving system runs in, not the fill transient.
+ */
+void
+layoutSweepPoint(DiskAnnIndex &index, const workload::Dataset &data,
+                 LayoutPoint &point)
+{
+    index.dropNodeCache();
+    DiskAnnSearchParams params;
+    params.search_list = 64;
+    params.beam_width = point.beam;
+
+    const std::size_t warmup = data.num_queries / 2;
+    for (std::size_t q = 0; q < warmup; ++q)
+        (void)index.search(data.query(q), params);
+
+    const storage::NodeCacheStats before = index.nodeCacheStats();
+    std::uint64_t requests = 0, sectors = 0;
+    double recall_sum = 0.0;
+    const double start = nowUs();
+    for (std::size_t q = warmup; q < data.num_queries; ++q) {
+        SearchTraceRecorder recorder;
+        const SearchResult result =
+            index.search(data.query(q), params, &recorder);
+        for (const SearchStep &step : recorder.steps())
+            requests += step.reads.size();
+        sectors += recorder.totalSectors();
+        recall_sum +=
+            recallAtK(data.ground_truth[q], result, params.k);
+    }
+    const double elapsed_us = nowUs() - start;
+    const auto nq =
+        static_cast<double>(data.num_queries - warmup);
+
+    point.ios_per_query = static_cast<double>(requests) / nq;
+    point.bytes_per_query =
+        static_cast<double>(sectors * storage::kIoSectorBytes) / nq;
+    const storage::NodeCacheStats delta =
+        index.nodeCacheStats() - before;
+    point.hit_rate = delta.hitRate();
+    point.page_reuse = delta.pageReuseRate();
+    point.recall = recall_sum / nq;
+    point.qps = nq * 1e6 / elapsed_us;
+}
+
 } // namespace
 
 int
@@ -149,9 +233,13 @@ main(int argc, char **argv)
 {
     using namespace ann;
     bool drop_caches = false;
-    for (int i = 1; i < argc; ++i)
+    bool layout_only = false;
+    for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--drop-caches") == 0)
             drop_caches = true;
+        if (std::strcmp(argv[i], "--layout-only") == 0)
+            layout_only = true;
+    }
     core::printBenchHeader(
         "Extension: real-I/O backends (pread vs io_uring)",
         "expected: uring IOPS scale with queue depth; batched async "
@@ -164,44 +252,48 @@ main(int argc, char **argv)
                      "fall back to the file backend\n\n";
 
     // ---------------------------------------------- raw random reads
-    const std::size_t raw_sectors = 16384; // 64 MiB spill file
-    std::vector<std::uint8_t> image(raw_sectors *
-                                    storage::kIoSectorBytes);
-    Rng fill(7);
-    for (auto &byte : image)
-        byte = static_cast<std::uint8_t>(fill.next() & 0xff);
+    if (!layout_only) {
+        const std::size_t raw_sectors = 16384; // 64 MiB spill file
+        std::vector<std::uint8_t> image(raw_sectors *
+                                        storage::kIoSectorBytes);
+        Rng fill(7);
+        for (auto &byte : image)
+            byte = static_cast<std::uint8_t>(fill.next() & 0xff);
 
-    TextTable raw_table("random 4 KiB reads, 64-request batches "
-                        "(64 MiB O_DIRECT file)");
-    raw_table.setHeader({"queue depth", "file kIOPS", "file P99 (us)",
-                         "uring kIOPS", "uring P99 (us)"});
-    const std::size_t rounds = 200;
-    double uring_kiops_qd1 = 0.0, uring_kiops_best = 0.0;
-    for (const unsigned qd : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
-        auto file_backend =
-            spillBackend(storage::IoBackendKind::File, image, qd);
-        const RawPoint file_point =
-            rawSweepPoint(*file_backend, 64, rounds);
-        auto uring_backend =
-            spillBackend(storage::IoBackendKind::Uring, image, qd);
-        const RawPoint uring_point =
-            rawSweepPoint(*uring_backend, 64, rounds);
-        if (qd == 1)
-            uring_kiops_qd1 = uring_point.kiops;
-        uring_kiops_best =
-            std::max(uring_kiops_best, uring_point.kiops);
-        raw_table.addRow({std::to_string(qd),
-                          formatDouble(file_point.kiops, 1),
-                          formatDouble(file_point.batch_p99_us, 1),
-                          formatDouble(uring_point.kiops, 1),
-                          formatDouble(uring_point.batch_p99_us, 1)});
+        TextTable raw_table("random 4 KiB reads, 64-request batches "
+                            "(64 MiB O_DIRECT file)");
+        raw_table.setHeader({"queue depth", "file kIOPS",
+                             "file P99 (us)", "uring kIOPS",
+                             "uring P99 (us)"});
+        const std::size_t rounds = 200;
+        double uring_kiops_qd1 = 0.0, uring_kiops_best = 0.0;
+        for (const unsigned qd : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+            auto file_backend =
+                spillBackend(storage::IoBackendKind::File, image, qd);
+            const RawPoint file_point =
+                rawSweepPoint(*file_backend, 64, rounds);
+            auto uring_backend =
+                spillBackend(storage::IoBackendKind::Uring, image, qd);
+            const RawPoint uring_point =
+                rawSweepPoint(*uring_backend, 64, rounds);
+            if (qd == 1)
+                uring_kiops_qd1 = uring_point.kiops;
+            uring_kiops_best =
+                std::max(uring_kiops_best, uring_point.kiops);
+            raw_table.addRow(
+                {std::to_string(qd),
+                 formatDouble(file_point.kiops, 1),
+                 formatDouble(file_point.batch_p99_us, 1),
+                 formatDouble(uring_point.kiops, 1),
+                 formatDouble(uring_point.batch_p99_us, 1)});
+        }
+        raw_table.print(std::cout);
+        std::cout << "queue-depth scaling (uring best/qd1): "
+                  << formatDouble(uring_kiops_best /
+                                      std::max(uring_kiops_qd1, 1e-9),
+                                  2)
+                  << "x\n\n";
     }
-    raw_table.print(std::cout);
-    std::cout << "queue-depth scaling (uring best/qd1): "
-              << formatDouble(uring_kiops_best /
-                                  std::max(uring_kiops_qd1, 1e-9),
-                              2)
-              << "x\n\n";
 
     // ------------------------------------------------- beam search
     const auto dataset = bench::benchDataset("cohere-1m");
@@ -211,7 +303,9 @@ main(int argc, char **argv)
     build.graph.build_list = 128;
     build.pq.m = dataset.dim;
     build.pq.ksub = 256;
-    index.build(dataset.baseView(), build);
+    build.layout = LayoutPolicy::IdOrder;
+    if (!layout_only)
+        index.build(dataset.baseView(), build);
 
     struct Mode
     {
@@ -223,7 +317,7 @@ main(int argc, char **argv)
     const storage::NodeCacheConfig node_cache =
         storage::NodeCacheConfig::fromEnv();
     std::vector<Mode> modes;
-    {
+    if (!layout_only) {
         Mode memory{"memory", {}};
         modes.push_back(memory);
         Mode serial{"pread serial (qd=1)", {}};
@@ -249,7 +343,7 @@ main(int argc, char **argv)
                             "P99 (us)"});
     // mean latency per (beam, mode); beams 4 and 8 feed the summary.
     std::map<std::size_t, double> serial_mean, batched_best_mean;
-    for (const Mode &mode : modes) {
+    for (const Mode &mode : modes) { // empty under --layout-only
         index.setIoMode(mode.options);
         for (const std::size_t beam : {1u, 2u, 4u, 8u}) {
             if (drop_caches)
@@ -273,25 +367,265 @@ main(int argc, char **argv)
                                  formatDouble(point.p99_us, 1)});
         }
     }
-    search_table.print(std::cout);
-    search_table.writeCsv(core::resultsDir() + "/ext_real_io.csv");
+    if (!layout_only) {
+        search_table.print(std::cout);
+        search_table.writeCsv(core::resultsDir() +
+                              "/ext_real_io.csv");
 
-    for (const std::size_t beam : {std::size_t{4}, std::size_t{8}}) {
-        const auto serial_it = serial_mean.find(beam);
-        const auto batched_it = batched_best_mean.find(beam);
-        if (serial_it == serial_mean.end() ||
-            batched_it == batched_best_mean.end())
-            continue;
-        std::cout << "batched async vs serial pread at beam_width="
-                  << beam << ": "
-                  << formatDouble(serial_it->second /
-                                      batched_it->second,
-                                  2)
-                  << "x\n";
+        for (const std::size_t beam :
+             {std::size_t{4}, std::size_t{8}}) {
+            const auto serial_it = serial_mean.find(beam);
+            const auto batched_it = batched_best_mean.find(beam);
+            if (serial_it == serial_mean.end() ||
+                batched_it == batched_best_mean.end())
+                continue;
+            std::cout
+                << "batched async vs serial pread at beam_width="
+                << beam << ": "
+                << formatDouble(serial_it->second /
+                                    batched_it->second,
+                                2)
+                << "x\n";
+        }
+        std::cout << "shape check: serial pread pays one device "
+                     "round-trip per beam slot;\nthe batched "
+                     "backends pay ~one per hop, so the gap widens "
+                     "with beam_width.\n\n";
     }
-    std::cout << "shape check: serial pread pays one device "
-                 "round-trip per beam slot;\nthe batched backends "
-                 "pay ~one per hop, so the gap widens with "
-                 "beam_width.\n";
+
+    // ------------------------------- layout design-space sweep
+    bool ok = true;
+
+    // Layout matters when queries have locality: serving traffic
+    // concentrates on a topic at a time (a burst), while the base
+    // stays broad — the hot graph region is then a small fraction of
+    // the index and can re-fit in a small cache. Generate a clustered
+    // dataset, then keep only the half of its query set nearest an
+    // anchor query: distinct queries, one hot topic.
+    workload::GeneratorSpec skew_spec;
+    skew_spec.name = "layout-burst";
+    skew_spec.rows = dataset.rows;
+    skew_spec.dim = dataset.dim;
+    skew_spec.num_queries = dataset.num_queries;
+    skew_spec.clusters = 16;
+    skew_spec.zipf_s = 0.0;
+    skew_spec.spread = 0.22f;
+    skew_spec.gt_k = 16;
+    skew_spec.seed = 0x1a10075;
+    workload::Dataset skew = workload::generateDataset(skew_spec);
+    {
+        // Replace the uniform query set with a burst: fresh samples
+        // around one base vector (a trending item), each with exact
+        // brute-force ground truth. Distinct queries, one hot graph
+        // region — high-d distance concentration makes "the nearest
+        // existing queries" span many clusters, so sampling is the
+        // only way to actually get locality.
+        const std::size_t nq = skew.num_queries;
+        const float *anchor = skew.base.data() +
+                              std::size_t{skew.ground_truth[0][0]} *
+                                  skew.dim;
+        Rng rng(0xb0057);
+        std::vector<float> queries(nq * skew.dim);
+        std::vector<std::vector<VectorId>> truth(nq);
+        std::vector<std::pair<float, VectorId>> dists(skew.rows);
+        for (std::size_t q = 0; q < nq; ++q) {
+            float *dst = queries.data() + q * skew.dim;
+            for (std::size_t d = 0; d < skew.dim; ++d)
+                dst[d] = anchor[d] +
+                         0.5f * skew_spec.spread *
+                             static_cast<float>(rng.nextGaussian());
+            for (std::size_t v = 0; v < skew.rows; ++v)
+                dists[v] = {l2DistanceSq(
+                                dst, skew.base.data() + v * skew.dim,
+                                skew.dim),
+                            static_cast<VectorId>(v)};
+            std::partial_sort(dists.begin(),
+                              dists.begin() +
+                                  static_cast<std::ptrdiff_t>(
+                                      skew_spec.gt_k),
+                              dists.end());
+            truth[q].reserve(skew_spec.gt_k);
+            for (std::size_t i = 0; i < skew_spec.gt_k; ++i)
+                truth[q].push_back(dists[i].second);
+        }
+        skew.queries = std::move(queries);
+        skew.ground_truth = std::move(truth);
+    }
+
+    // Same data, same graph parameters and seed — only the on-disk
+    // placement differs, so any result divergence is a layout bug.
+    DiskAnnIndex id_index, packed;
+    DiskAnnBuildParams packed_build = build;
+    id_index.build(skew.baseView(), build);
+    packed_build.layout = LayoutPolicy::PackedBfs;
+    packed.build(skew.baseView(), packed_build);
+
+    // Bit-identity gate on the memory backend: the permutation must
+    // be invisible to search (ids AND distances).
+    bool identical = true;
+    {
+        id_index.setIoMode({});
+        packed.setIoMode({});
+        DiskAnnSearchParams params;
+        params.search_list = 64;
+        params.beam_width = 4;
+        for (std::size_t q = 0; q < skew.num_queries; ++q) {
+            const SearchResult a = id_index.search(skew.query(q),
+                                                params);
+            const SearchResult b = packed.search(skew.query(q),
+                                                 params);
+            if (a.size() != b.size()) {
+                identical = false;
+            } else {
+                for (std::size_t i = 0; i < a.size(); ++i)
+                    if (a[i].id != b[i].id ||
+                        a[i].distance != b[i].distance)
+                        identical = false;
+            }
+            if (!identical)
+                break;
+        }
+        std::cout << "packed-BFS vs id-order top-k bit-identical: "
+                  << (identical ? "yes" : "NO") << "\n";
+        if (!identical) {
+            std::cerr << "FAIL: packed layout changed search "
+                         "results\n";
+            ok = false;
+        }
+    }
+
+    TextTable layout_table(
+        "layout design-space sweep (file backend, search_list=64, "
+        "cold start per point)");
+    layout_table.setHeader({"layout", "beam", "cache KiB", "qd",
+                            "IOs/query", "KiB/query", "hit rate",
+                            "page reuse", "recall@10", "QPS"});
+    // Cache sizes scale with the index: none, 1/8, and 1/2 of the
+    // node file. Never the whole image — there both layouts trivially
+    // converge (everything resident, zero steady-state I/O).
+    const std::size_t image_bytes =
+        static_cast<std::size_t>(id_index.numSectors()) * 4096;
+    std::vector<LayoutPoint> points;
+    for (const std::size_t cache_bytes : {std::size_t{0},
+                                          image_bytes / 8,
+                                          image_bytes / 2}) {
+        for (const unsigned qd : {1u, 16u}) {
+            storage::IoOptions io;
+            io.kind = storage::IoBackendKind::File;
+            io.queue_depth = qd;
+            io.node_cache.capacity_bytes = cache_bytes;
+            for (DiskAnnIndex *target : {&id_index, &packed}) {
+                target->setIoMode(io);
+                for (const std::size_t beam : {std::size_t{2},
+                                               std::size_t{4}}) {
+                    LayoutPoint point;
+                    point.layout = target->layout();
+                    point.beam = beam;
+                    point.cache_kib = cache_bytes / 1024;
+                    point.qd = qd;
+                    layoutSweepPoint(*target, skew, point);
+                    layout_table.addRow(
+                        {layoutPolicyName(point.layout),
+                         std::to_string(beam),
+                         std::to_string(point.cache_kib),
+                         std::to_string(qd),
+                         formatDouble(point.ios_per_query, 1),
+                         formatDouble(point.bytes_per_query / 1024.0,
+                                      1),
+                         formatDouble(point.hit_rate, 3),
+                         formatDouble(point.page_reuse, 3),
+                         formatDouble(point.recall, 3),
+                         formatDouble(point.qps, 0)});
+                    points.push_back(point);
+                }
+            }
+        }
+    }
+    layout_table.print(std::cout);
+
+    // Matched-config I/O reduction: id-order IOs / packed IOs at the
+    // same (beam, cache, qd). The acceptance target is the best cell
+    // — packing is allowed to need the page cache to pay off.
+    double best_reduction = 0.0;
+    double best_beam = 0, best_cache = 0, best_qd = 0;
+    for (const LayoutPoint &id_point : points) {
+        if (id_point.layout != LayoutPolicy::IdOrder)
+            continue;
+        for (const LayoutPoint &packed_point : points) {
+            if (packed_point.layout != LayoutPolicy::PackedBfs ||
+                packed_point.beam != id_point.beam ||
+                packed_point.cache_kib != id_point.cache_kib ||
+                packed_point.qd != id_point.qd)
+                continue;
+            if (id_point.recall != packed_point.recall) {
+                std::cerr << "FAIL: recall differs between layouts "
+                             "at equal config\n";
+                ok = false;
+            }
+            const double reduction =
+                id_point.ios_per_query /
+                std::max(packed_point.ios_per_query, 1e-9);
+            if (reduction > best_reduction) {
+                best_reduction = reduction;
+                best_beam = static_cast<double>(id_point.beam);
+                best_cache = static_cast<double>(id_point.cache_kib);
+                best_qd = id_point.qd;
+            }
+        }
+    }
+    const double min_reduction = [] {
+        const char *env =
+            std::getenv("ANN_LAYOUT_MIN_IO_REDUCTION");
+        return env != nullptr ? std::atof(env) : 1.5;
+    }();
+    std::cout << "best packed-BFS I/O reduction: "
+              << formatDouble(best_reduction, 2) << "x (beam="
+              << best_beam << ", cache=" << best_cache
+              << " KiB, qd=" << best_qd << "); gate >= "
+              << formatDouble(min_reduction, 2) << "x\n";
+    if (best_reduction < min_reduction) {
+        std::cerr << "FAIL: packed layout saves too little I/O\n";
+        ok = false;
+    }
+
+    const std::string json_path =
+        core::resultsDir() + "/BENCH_layout.json";
+    if (std::FILE *f = std::fopen(json_path.c_str(), "w")) {
+        std::fprintf(f,
+                     "{\n  \"dataset\": \"%s\",\n"
+                     "  \"queries\": %zu,\n  \"points\": [\n",
+                     dataset.name.c_str(), dataset.num_queries);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const LayoutPoint &p = points[i];
+            std::fprintf(
+                f,
+                "    {\"layout\": \"%s\", \"beam\": %zu, "
+                "\"cache_kib\": %zu, \"qd\": %u, "
+                "\"ios_per_query\": %.2f, \"bytes_per_query\": %.0f, "
+                "\"hit_rate\": %.4f, \"page_reuse_rate\": %.4f, "
+                "\"recall\": %.4f, \"qps\": %.1f}%s\n",
+                layoutPolicyName(p.layout), p.beam, p.cache_kib, p.qd,
+                p.ios_per_query, p.bytes_per_query, p.hit_rate,
+                p.page_reuse, p.recall, p.qps,
+                i + 1 < points.size() ? "," : "");
+        }
+        std::fprintf(f,
+                     "  ],\n  \"io_reduction_best\": %.3f,\n"
+                     "  \"min_io_reduction_gate\": %.2f,\n"
+                     "  \"bit_identical\": %s\n}\n",
+                     best_reduction, min_reduction,
+                     identical ? "true" : "false");
+        std::fclose(f);
+        std::cout << "wrote " << json_path << "\n";
+    } else {
+        std::cerr << "FAIL: cannot write " << json_path << "\n";
+        ok = false;
+    }
+
+    if (!ok) {
+        std::cerr << "bench_ext_real_io: GATES FAILED\n";
+        return 1;
+    }
+    std::cout << "bench_ext_real_io: all gates passed\n";
     return 0;
 }

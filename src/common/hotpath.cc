@@ -1,6 +1,8 @@
 #include "common/hotpath.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 
 #include "common/env.hh"
 
@@ -25,6 +27,14 @@ std::atomic<bool> &
 adcBatchFlag()
 {
     static std::atomic<bool> flag{envFlag("ANN_ADC_BATCH", true)};
+    return flag;
+}
+
+std::atomic<std::size_t> &
+adcBatchMinFlag()
+{
+    static std::atomic<std::size_t> flag{static_cast<std::size_t>(
+        std::max<std::int64_t>(0, envInt("ANN_ADC_BATCH_MIN", 16)))};
     return flag;
 }
 
@@ -64,6 +74,18 @@ void
 setAdcBatchEnabled(bool enabled)
 {
     adcBatchFlag().store(enabled, std::memory_order_relaxed);
+}
+
+std::size_t
+adcBatchMinPending()
+{
+    return adcBatchMinFlag().load(std::memory_order_relaxed);
+}
+
+void
+setAdcBatchMinPending(std::size_t min_pending)
+{
+    adcBatchMinFlag().store(min_pending, std::memory_order_relaxed);
 }
 
 } // namespace ann

@@ -16,6 +16,8 @@
 #ifndef ANN_COMMON_HOTPATH_HH
 #define ANN_COMMON_HOTPATH_HH
 
+#include <cstddef>
+
 namespace ann {
 
 /**
@@ -42,6 +44,18 @@ void setPrefetchEnabled(bool enabled);
  */
 bool adcBatchEnabled();
 void setAdcBatchEnabled(bool enabled);
+
+/**
+ * Minimum pending-code count before a scan switches to the batched
+ * kernel ($ANN_ADC_BATCH_MIN, default 16). Graph traversals score
+ * *short* runs — one node's unvisited neighbours, often < 8 codes
+ * late in a search — where the 4-wide kernel's setup cost outweighs
+ * its gather overlap and regresses throughput (the BENCH_hotpath
+ * DiskANN regression); long IVF-style list scans amortize it and
+ * keep batching unconditionally. 0 restores always-batch.
+ */
+std::size_t adcBatchMinPending();
+void setAdcBatchMinPending(std::size_t min_pending);
 
 /** Best-effort read prefetch; no-op where the builtin is missing. */
 inline void

@@ -156,8 +156,38 @@ ThreadPool::hardwareThreads()
     return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
+bool
+ThreadPool::pinningSupported()
+{
+#if defined(__linux__)
+    // One probe thread, pinned to the first allowed CPU: proves both
+    // that the cpuset is readable and that the affinity syscall is
+    // permitted (seccomp profiles commonly deny it). Cached — the
+    // answer cannot change within a process.
+    static const bool supported = [] {
+        const std::vector<int> cpus = allowedCpusNodeOrder();
+        if (cpus.empty())
+            return false;
+        // Keep the probe alive until after the affinity call — the
+        // syscall fails with ESRCH on an already-exited thread.
+        std::atomic<bool> release{false};
+        std::thread probe([&] {
+            while (!release.load(std::memory_order_acquire))
+                std::this_thread::yield();
+        });
+        const bool pinned = pinThreadToCpu(probe, cpus.front());
+        release.store(true, std::memory_order_release);
+        probe.join();
+        return pinned;
+    }();
+    return supported;
+#else
+    return false;
+#endif
+}
+
 ThreadPool::ThreadPool(std::size_t threads, bool pin_threads)
-    : threads_(threads == 0 ? hardwareThreads() : threads)
+    : threads_(threads == 0 ? allowedCpuCount() : threads)
 {
     // The calling thread participates in every loop, so a pool of
     // size N needs N-1 dedicated workers.

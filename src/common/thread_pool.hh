@@ -43,8 +43,10 @@ class ThreadPool
         std::function<void(std::size_t begin, std::size_t end)>;
 
     /**
-     * Spawn @p threads workers (0 = hardwareThreads()). A pool of
-     * size 1 spawns no workers and runs every loop inline.
+     * Spawn @p threads workers (0 = allowedCpuCount(), i.e. the
+     * process cpuset — NOT hardware_concurrency, which counts the
+     * whole machine and over-subscribes restricted cpusets). A pool
+     * of size 1 spawns no workers and runs every loop inline.
      *
      * @p pin_threads pins each spawned worker to one allowed CPU,
      * walking the cpuset in NUMA-node-compact order (all of node 0's
@@ -86,6 +88,17 @@ class ThreadPool
     static std::size_t allowedCpuCount();
 
     /**
+     * Whether worker pinning can actually engage here: the cpuset is
+     * readable and a probe thread accepts pthread_setaffinity_np.
+     * Cached after the first call. Benches and tests use this to
+     * *assert* pinnedThreads() > 0 when pinning was requested, and to
+     * skip (loudly, not silently pass) where the platform refuses
+     * affinity. Note a pool still needs size >= 2 to have a spawned
+     * worker to pin — the caller's thread is never pinned.
+     */
+    static bool pinningSupported();
+
+    /**
      * Run @p body over [0, n) in chunks of @p chunk indices. The
      * calling thread participates; returns when every index is done.
      * Rethrows the first chunk exception after the join.
@@ -95,7 +108,7 @@ class ThreadPool
 
     /**
      * Process-wide pool, sized once from $ANN_THREADS (default:
-     * hardwareThreads()). Built on first use.
+     * allowedCpuCount()). Built on first use.
      */
     static ThreadPool &global();
 

@@ -7,6 +7,7 @@
 #include "common/error.hh"
 #include "distance/topk.hh"
 #include "engine/index_cache.hh"
+#include "index/layout.hh"
 
 namespace ann::engine {
 
@@ -85,10 +86,21 @@ MilvusLikeEngine::prepare(const workload::Dataset &dataset,
         segmentBase_.push_back(base);
         const MatrixView segment{dataset.base.data() + base * dim_,
                                  rows, dim_};
+        // Non-default layouts get their own cache entries so a
+        // packed run never serves (or clobbers) id-order archives.
+        const LayoutPolicy layout =
+            kind_ == MilvusIndexKind::DiskAnn
+                ? resolveLayoutPolicy(LayoutPolicy::Default)
+                : LayoutPolicy::IdOrder;
+        const std::string layout_tag =
+            layout == LayoutPolicy::IdOrder
+                ? ""
+                : std::string("-") + layoutPolicyName(layout);
         const std::string key =
             cache_dir + "/" + profile_.name + "-" + dataset.name + "-" +
             std::to_string(dataset.rows) + "-seg" +
-            std::to_string(segmentBase_.size() - 1) + ".bin";
+            std::to_string(segmentBase_.size() - 1) + layout_tag +
+            ".bin";
 
         switch (kind_) {
           case MilvusIndexKind::Ivf: {

@@ -8,6 +8,7 @@
 #include "common/serialize.hh"
 #include "distance/distance.hh"
 #include "distance/topk.hh"
+#include "index/layout.hh"
 #include "index/search_scratch.hh"
 #include "index/vamana.hh"
 #include "index/visit_table.hh"
@@ -33,9 +34,19 @@ thread_local storage::AlignedBuffer tls_fetch;
 constexpr std::size_t kStreamSectors = 1024;
 
 constexpr const char *kMagic = "DANN";
-constexpr std::uint32_t kVersion = 3;
+/** Id-order archives (the seed format, byte-identical). */
+constexpr std::uint32_t kVersionIdOrder = 3;
+/** Packed-layout archives: adds the layout tag + permutation. */
+constexpr std::uint32_t kVersionPacked = 4;
 
-/** On-disk header written into sector 0. */
+/**
+ * On-disk header written into sector 0. The layout/perm_sectors pair
+ * was appended for the packed layout; id-order images write zeros
+ * there (previously zero padding), so their bytes are unchanged and
+ * the magic distinguishes the generations: "DISKANN1" = id order,
+ * "DISKANN2" = permuted records with the permutation table in sectors
+ * [1, 1 + perm_sectors).
+ */
 struct DiskHeader
 {
     char magic[8];
@@ -46,6 +57,8 @@ struct DiskHeader
     std::uint64_t nodes_per_sector;
     std::uint64_t sectors_per_node;
     std::uint64_t medoid;
+    std::uint64_t layout;
+    std::uint64_t perm_sectors;
 };
 
 /** Candidate-list entry of the beam search (PQ-ranked). */
@@ -124,10 +137,27 @@ DiskAnnIndex::build(const MatrixView &data,
         sectorsPerNode_ = (nodeBytes_ + kSectorBytes - 1) / kSectorBytes;
     }
 
+    // Record placement: resolve the requested policy now so the
+    // choice is fixed for the life of the index (consolidate()
+    // rebuilds with buildParams_ and must keep the same placement).
+    layout_ = resolveLayoutPolicy(params.layout);
+    buildParams_.layout = layout_;
+    nodePos_.clear();
+    permSectors_ = 0;
+    if (layout_ == LayoutPolicy::PackedBfs) {
+        nodePos_ = packedBfsOrder(graph, nodesPerSector_);
+        permSectors_ = (rows_ * sizeof(std::uint32_t) +
+                        kSectorBytes - 1) /
+                       kSectorBytes;
+    }
+
     std::vector<std::uint8_t> image(numSectors() * kSectorBytes, 0);
 
     DiskHeader header{};
-    std::memcpy(header.magic, "DISKANN1", 8);
+    std::memcpy(header.magic,
+                layout_ == LayoutPolicy::PackedBfs ? "DISKANN2"
+                                                   : "DISKANN1",
+                8);
     header.rows = rows_;
     header.dim = dim_;
     header.max_degree = maxDegree_;
@@ -135,7 +165,12 @@ DiskAnnIndex::build(const MatrixView &data,
     header.nodes_per_sector = nodesPerSector_;
     header.sectors_per_node = sectorsPerNode_;
     header.medoid = medoid_;
+    header.layout = static_cast<std::uint64_t>(layout_);
+    header.perm_sectors = permSectors_;
     std::memcpy(image.data(), &header, sizeof(header));
+    if (permSectors_ > 0)
+        std::memcpy(image.data() + kSectorBytes, nodePos_.data(),
+                    rows_ * sizeof(std::uint32_t));
 
     for (std::size_t v = 0; v < rows_; ++v) {
         const auto node = static_cast<VectorId>(v);
@@ -339,9 +374,10 @@ std::uint64_t
 DiskAnnIndex::sectorOfNode(VectorId node) const
 {
     ANN_ASSERT(node < rows_, "node out of range");
+    const std::uint64_t pos = nodePosition(node);
     if (nodesPerSector_ > 0)
-        return 1 + node / nodesPerSector_;
-    return 1 + static_cast<std::uint64_t>(node) * sectorsPerNode_;
+        return dataStartSector() + pos / nodesPerSector_;
+    return dataStartSector() + pos * sectorsPerNode_;
 }
 
 std::uint64_t
@@ -350,8 +386,9 @@ DiskAnnIndex::numSectors() const
     if (rows_ == 0)
         return 0;
     if (nodesPerSector_ > 0)
-        return 1 + (rows_ + nodesPerSector_ - 1) / nodesPerSector_;
-    return 1 + rows_ * sectorsPerNode_;
+        return dataStartSector() +
+               (rows_ + nodesPerSector_ - 1) / nodesPerSector_;
+    return dataStartSector() + rows_ * sectorsPerNode_;
 }
 
 std::size_t
@@ -367,7 +404,7 @@ std::size_t
 DiskAnnIndex::recordOffsetInSector(VectorId node) const
 {
     if (nodesPerSector_ > 0)
-        return (node % nodesPerSector_) * nodeBytes_;
+        return (nodePosition(node) % nodesPerSector_) * nodeBytes_;
     return 0;
 }
 
@@ -413,6 +450,12 @@ DiskAnnIndex::searchInto(const float *query,
     ScratchGuard<DiskAnnScratch> scratch(tls_scratch);
     const bool prefetch = prefetchEnabled();
     const bool batch_adc = adcBatchEnabled();
+    // Short neighbour runs (most hops after the first few — the
+    // visited filter leaves single-digit pending counts) lose more to
+    // the 4-wide kernel's setup than they gain from gather overlap;
+    // only batch runs long enough to amortize it.
+    const std::size_t batch_min =
+        std::max<std::size_t>(4, adcBatchMinPending());
     const std::size_t code_size = pq_.codeSize();
 
     OpCounts local_ops;
@@ -583,7 +626,7 @@ DiskAnnIndex::searchInto(const float *query,
                 pending.push_back(nb);
             }
             std::size_t p = 0;
-            if (batch_adc) {
+            if (batch_adc && pending.size() >= batch_min) {
                 for (; p + 4 <= pending.size(); p += 4) {
                     const std::uint8_t *codes4[4];
                     float d4[4];
@@ -630,8 +673,13 @@ DiskAnnIndex::searchInto(const float *query,
 void
 DiskAnnIndex::save(BinaryWriter &writer) const
 {
+    // Id-order indexes keep writing the seed's version-3 byte stream
+    // (older readers still load them); the packed layout needs the
+    // permutation persisted and bumps to version 4.
+    const bool packed = layout_ != LayoutPolicy::IdOrder;
     writer.writeString(kMagic);
-    writer.writePod<std::uint32_t>(kVersion);
+    writer.writePod<std::uint32_t>(packed ? kVersionPacked
+                                          : kVersionIdOrder);
     writer.writePod<std::uint64_t>(rows_);
     writer.writePod<std::uint64_t>(dim_);
     writer.writePod<std::uint64_t>(maxDegree_);
@@ -639,6 +687,11 @@ DiskAnnIndex::save(BinaryWriter &writer) const
     writer.writePod<std::uint64_t>(nodesPerSector_);
     writer.writePod<std::uint64_t>(sectorsPerNode_);
     writer.writePod<VectorId>(medoid_);
+    if (packed) {
+        writer.writePod<std::uint32_t>(
+            static_cast<std::uint32_t>(layout_));
+        writer.writeVector(nodePos_);
+    }
     writer.writePod<std::uint64_t>(buildParams_.graph.max_degree);
     writer.writePod<std::uint64_t>(buildParams_.graph.build_list);
     writer.writePod<float>(buildParams_.graph.alpha);
@@ -682,7 +735,8 @@ void
 DiskAnnIndex::load(BinaryReader &reader)
 {
     ANN_CHECK(reader.readString() == kMagic, "not a diskann archive");
-    ANN_CHECK(reader.readPod<std::uint32_t>() == kVersion,
+    const auto version = reader.readPod<std::uint32_t>();
+    ANN_CHECK(version == kVersionIdOrder || version == kVersionPacked,
               "diskann archive version mismatch");
     rows_ = reader.readPod<std::uint64_t>();
     dim_ = reader.readPod<std::uint64_t>();
@@ -691,6 +745,22 @@ DiskAnnIndex::load(BinaryReader &reader)
     nodesPerSector_ = reader.readPod<std::uint64_t>();
     sectorsPerNode_ = reader.readPod<std::uint64_t>();
     medoid_ = reader.readPod<VectorId>();
+    layout_ = LayoutPolicy::IdOrder;
+    nodePos_.clear();
+    permSectors_ = 0;
+    if (version == kVersionPacked) {
+        layout_ = static_cast<LayoutPolicy>(
+            reader.readPod<std::uint32_t>());
+        ANN_CHECK(layout_ == LayoutPolicy::PackedBfs,
+                  "corrupt diskann archive (unknown layout)");
+        nodePos_ = reader.readVector<std::uint32_t>();
+        ANN_CHECK(nodePos_.size() == rows_,
+                  "corrupt diskann archive (permutation size)");
+        permSectors_ = (rows_ * sizeof(std::uint32_t) +
+                        kSectorBytes - 1) /
+                       kSectorBytes;
+    }
+    buildParams_.layout = layout_;
     buildParams_.graph.max_degree = reader.readPod<std::uint64_t>();
     buildParams_.graph.build_list = reader.readPod<std::uint64_t>();
     buildParams_.graph.alpha = reader.readPod<float>();

@@ -11,6 +11,14 @@
  * whole-sector reads — this layout is why the paper observes > 99.99 %
  * of I/O requests at exactly 4 KiB (O-15).
  *
+ * *Which* record lands in which sector is a pluggable LayoutPolicy
+ * (index/layout.hh): id order (the seed layout) or PAGE-style packed
+ * BFS-from-medoid order, where topologically close nodes share pages
+ * so a beam fetch serves several candidates per read. The id->position
+ * permutation lives in the header region of the disk image and in
+ * version-4 archives; the read path translates through it, so results
+ * are bit-identical across policies.
+ *
  * Search is beam search: each iteration expands the beam_width (W)
  * closest unexpanded candidates of the search_list (L) sized candidate
  * list, issuing their sector reads as one parallel batch. Distances
@@ -84,9 +92,26 @@ class DiskAnnIndex
     std::size_t nodesPerSector() const { return nodesPerSector_; }
     /** Sectors one node spans (1 when nodes pack into sectors). */
     std::size_t sectorsPerNode() const { return sectorsPerNode_; }
+    /** Record-placement policy this index was built with. */
+    LayoutPolicy layout() const { return layout_; }
+    /**
+     * Record position of @p node : its id under IdOrder, its
+     * BFS-from-medoid rank under PackedBfs. Positions, not ids, are
+     * what pack consecutively into sectors.
+     */
+    std::uint64_t nodePosition(VectorId node) const
+    {
+        return nodePos_.empty() ? node : nodePos_[node];
+    }
+    /**
+     * First data sector: 1 under IdOrder; 1 + the permutation-table
+     * sectors under PackedBfs (the permutation is part of the header
+     * region so the image stays self-describing).
+     */
+    std::uint64_t dataStartSector() const { return 1 + permSectors_; }
     /** First sector holding @p node 's record. */
     std::uint64_t sectorOfNode(VectorId node) const;
-    /** Total sectors of the disk file (including the header sector). */
+    /** Total sectors of the disk file (including the header region). */
     std::uint64_t numSectors() const;
 
     /** In-memory footprint: PQ codes + codebooks. */
@@ -179,6 +204,12 @@ class DiskAnnIndex
     std::size_t nodesPerSector_ = 0;
     std::size_t sectorsPerNode_ = 1;
     VectorId medoid_ = kInvalidVector;
+    /** Resolved at build time; never LayoutPolicy::Default. */
+    LayoutPolicy layout_ = LayoutPolicy::IdOrder;
+    /** id -> record position; empty = identity (IdOrder). */
+    std::vector<std::uint32_t> nodePos_;
+    /** Header-region sectors holding the permutation (0 = IdOrder). */
+    std::uint64_t permSectors_ = 0;
 
     ProductQuantizer pq_;
     std::vector<std::uint8_t> pqCodes_;

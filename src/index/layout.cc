@@ -1,0 +1,173 @@
+#include "index/layout.hh"
+
+#include <atomic>
+
+#include "common/env.hh"
+#include "common/error.hh"
+#include "index/vamana.hh"
+
+namespace ann {
+
+namespace {
+
+LayoutPolicy
+layoutFromEnv()
+{
+    const std::string name = envString("ANN_LAYOUT", "");
+    if (name.empty())
+        return LayoutPolicy::IdOrder;
+    LayoutPolicy policy = LayoutPolicy::IdOrder;
+    ANN_CHECK(layoutPolicyFromName(name, &policy),
+              "unknown $ANN_LAYOUT (id-order|packed-bfs)");
+    return policy;
+}
+
+std::atomic<LayoutPolicy> &
+defaultLayoutFlag()
+{
+    static std::atomic<LayoutPolicy> policy{layoutFromEnv()};
+    return policy;
+}
+
+} // namespace
+
+const char *
+layoutPolicyName(LayoutPolicy policy)
+{
+    switch (policy) {
+      case LayoutPolicy::IdOrder:
+        return "id-order";
+      case LayoutPolicy::PackedBfs:
+        return "packed-bfs";
+      case LayoutPolicy::Default:
+        break;
+    }
+    return "default";
+}
+
+bool
+layoutPolicyFromName(const std::string &name, LayoutPolicy *out)
+{
+    if (name == "id" || name == "id-order") {
+        *out = LayoutPolicy::IdOrder;
+        return true;
+    }
+    if (name == "packed" || name == "packed-bfs") {
+        *out = LayoutPolicy::PackedBfs;
+        return true;
+    }
+    if (name == "default") {
+        *out = LayoutPolicy::Default;
+        return true;
+    }
+    return false;
+}
+
+LayoutPolicy
+defaultLayoutPolicy()
+{
+    return defaultLayoutFlag().load(std::memory_order_relaxed);
+}
+
+void
+setDefaultLayoutPolicy(LayoutPolicy policy)
+{
+    defaultLayoutFlag().store(policy == LayoutPolicy::Default
+                                  ? layoutFromEnv()
+                                  : policy,
+                              std::memory_order_relaxed);
+}
+
+LayoutPolicy
+resolveLayoutPolicy(LayoutPolicy requested)
+{
+    return requested == LayoutPolicy::Default ? defaultLayoutPolicy()
+                                              : requested;
+}
+
+std::vector<std::uint32_t>
+packedBfsOrder(const VamanaGraph &graph, std::size_t nodes_per_page)
+{
+    constexpr std::uint32_t kUnplaced = 0xffffffffu;
+    const std::size_t rows = graph.adjacency.size();
+    std::vector<std::uint32_t> position(rows, kUnplaced);
+    if (rows == 0)
+        return position;
+
+    // Pass 1 — BFS rank from the medoid: the hop order an idealized
+    // search reaches nodes in. It seeds the partition below and is
+    // the whole answer when a record spans >= 1 sector (no two nodes
+    // share a page, so adjacency grouping has nothing to win).
+    std::vector<std::uint32_t> rank(rows, kUnplaced);
+    std::vector<VectorId> order;
+    order.reserve(rows);
+    std::uint32_t next_rank = 0;
+    if (graph.medoid < rows) {
+        rank[graph.medoid] = next_rank++;
+        order.push_back(graph.medoid);
+    }
+    for (std::size_t head = 0; head < order.size(); ++head) {
+        for (const VectorId nb : graph.adjacency[order[head]]) {
+            if (nb < rows && rank[nb] == kUnplaced) {
+                rank[nb] = next_rank++;
+                order.push_back(nb);
+            }
+        }
+    }
+    // Disconnected remainder (and the medoid of an empty graph):
+    // stable id order after the reachable region.
+    for (std::size_t v = 0; v < rows; ++v)
+        if (rank[v] == kUnplaced) {
+            rank[v] = next_rank++;
+            order.push_back(static_cast<VectorId>(v));
+        }
+    if (nodes_per_page <= 1)
+        return rank;
+
+    // Pass 2 — greedy page partition: each page is seeded by the
+    // lowest-ranked unplaced node and filled by a local BFS over its
+    // still-unplaced out-neighbourhood. A beam search that fetches
+    // the seed's page thereby gets several of the very nodes its next
+    // hops will ask for, which turns whole-page cache admission into
+    // future hits and lets hop-mates share sectors.
+    std::uint32_t next = 0;
+    std::vector<VectorId> group;
+    group.reserve(nodes_per_page);
+    std::size_t cursor = 0;
+    while (cursor < rows) {
+        if (position[order[cursor]] != kUnplaced) {
+            ++cursor;
+            continue;
+        }
+        const VectorId seed = order[cursor];
+        group.clear();
+        group.push_back(seed);
+        position[seed] = next++;
+        for (std::size_t head = 0;
+             head < group.size() && group.size() < nodes_per_page;
+             ++head) {
+            for (const VectorId nb : graph.adjacency[group[head]]) {
+                if (nb < rows && position[nb] == kUnplaced) {
+                    position[nb] = next++;
+                    group.push_back(nb);
+                    if (group.size() >= nodes_per_page)
+                        break;
+                }
+            }
+        }
+        // Dry local frontier: top the page up with the next unplaced
+        // nodes in BFS-rank order so the following group still starts
+        // on a page boundary.
+        for (std::size_t scan = cursor + 1;
+             group.size() < nodes_per_page && scan < rows; ++scan) {
+            const VectorId filler = order[scan];
+            if (position[filler] == kUnplaced) {
+                position[filler] = next++;
+                group.push_back(filler);
+            }
+        }
+    }
+    return position;
+}
+
+} // namespace ann

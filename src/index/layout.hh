@@ -1,0 +1,79 @@
+/**
+ * @file
+ * On-disk node-placement policies for the DiskANN sector file.
+ *
+ * The seed layout stores node i's record at slot i ("id order"), so
+ * the nodes sharing a 4 KiB sector are just consecutive ids — beam
+ * search wastes most of every sector it reads. The packed policy
+ * reorders records by a BFS from the medoid (PAGE-style page-aligned
+ * packing): a node and its neighbourhood land in the same or adjacent
+ * sectors, so one fetched page serves several upcoming beam slots and
+ * the per-query I/O count drops at identical recall. The permutation
+ * is stored in the index header region and applied on the read path,
+ * so search results stay bit-identical across policies — only which
+ * sector a record lives in changes.
+ */
+
+#ifndef ANN_INDEX_LAYOUT_HH
+#define ANN_INDEX_LAYOUT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ann {
+
+struct VamanaGraph;
+
+/** How node records are placed into the DiskANN sector file. */
+enum class LayoutPolicy : std::uint32_t
+{
+    /** Record slot = node id (the seed layout; archive version 3). */
+    IdOrder = 0,
+    /**
+     * Record slot = BFS-from-medoid rank: topologically close nodes
+     * share pages (archive version 4, permutation in the header).
+     */
+    PackedBfs = 1,
+    /** Resolve to defaultLayoutPolicy() at build time. */
+    Default = 0xffffffffu,
+};
+
+/** "id-order" / "packed-bfs" / "default". */
+const char *layoutPolicyName(LayoutPolicy policy);
+
+/**
+ * Parse "id"/"id-order" or "packed"/"packed-bfs" (case-sensitive).
+ * @return false (leaving @p out untouched) on anything else.
+ */
+bool layoutPolicyFromName(const std::string &name, LayoutPolicy *out);
+
+/**
+ * Process-wide default applied when a build asks for
+ * LayoutPolicy::Default; seeded from $ANN_LAYOUT (unset = id order)
+ * and overridable by the --layout CLI flag.
+ */
+LayoutPolicy defaultLayoutPolicy();
+void setDefaultLayoutPolicy(LayoutPolicy policy);
+
+/** @p requested, with Default resolved to defaultLayoutPolicy(). */
+LayoutPolicy resolveLayoutPolicy(LayoutPolicy requested);
+
+/**
+ * PackedBfs ordering: id -> record position. A BFS from the medoid
+ * ranks every node (unreachable nodes keep relative id order after
+ * the reachable region); pages of @p nodes_per_page slots are then
+ * filled greedily — the lowest-ranked unplaced node seeds a page and
+ * a local BFS over its unplaced out-neighbourhood fills it, topping
+ * up from the global rank order when the neighbourhood runs dry. With
+ * @p nodes_per_page <= 1 (multi-sector records) the plain BFS rank is
+ * returned. The result is a permutation of [0, adjacency.size()).
+ */
+std::vector<std::uint32_t> packedBfsOrder(const VamanaGraph &graph,
+                                          std::size_t nodes_per_page);
+
+} // namespace ann
+
+#endif // ANN_INDEX_LAYOUT_HH

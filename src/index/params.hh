@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "index/layout.hh"
 #include "quant/product_quantizer.hh"
 
 namespace ann {
@@ -69,6 +70,12 @@ struct DiskAnnBuildParams
 {
     VamanaBuildParams graph;
     PqParams pq;
+    /**
+     * On-disk record placement (see index/layout.hh). Default follows
+     * the process-wide policy ($ANN_LAYOUT / --layout); the resolved
+     * choice is fixed at build time and persisted with the index.
+     */
+    LayoutPolicy layout = LayoutPolicy::Default;
 };
 
 /**

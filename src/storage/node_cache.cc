@@ -41,6 +41,14 @@ NodeCacheStats::hitRate() const
                : 0.0;
 }
 
+double
+NodeCacheStats::pageReuseRate() const
+{
+    return insertions > 0 ? static_cast<double>(pages_reused) /
+                                static_cast<double>(insertions)
+                          : 0.0;
+}
+
 NodeCacheStats &
 NodeCacheStats::operator+=(const NodeCacheStats &other)
 {
@@ -50,6 +58,7 @@ NodeCacheStats::operator+=(const NodeCacheStats &other)
     misses += other.misses;
     insertions += other.insertions;
     evictions += other.evictions;
+    pages_reused += other.pages_reused;
     return *this;
 }
 
@@ -63,6 +72,7 @@ NodeCacheStats::operator-(const NodeCacheStats &before) const
     delta.misses = misses - before.misses;
     delta.insertions = insertions - before.insertions;
     delta.evictions = evictions - before.evictions;
+    delta.pages_reused = pages_reused - before.pages_reused;
     return delta;
 }
 
@@ -98,6 +108,7 @@ SectorCache::SectorCache(const NodeCacheConfig &config)
         shard->frames.resize(frames * kIoSectorBytes);
         shard->sector_of.assign(frames, kFreeFrame);
         shard->ref.assign(frames, 0);
+        shard->hit_count.assign(frames, 0);
         shard->map.reserve(frames);
         shards_.push_back(std::move(shard));
     }
@@ -137,6 +148,7 @@ SectorCache::lookup(std::uint64_t sector, std::uint8_t *dest)
                             std::size_t{frame} * kIoSectorBytes,
                         kIoSectorBytes);
             shard.ref[frame] = 1; // second chance
+            ++shard.hit_count[frame];
             hits_.fetch_add(1, std::memory_order_relaxed);
             return true;
         }
@@ -178,9 +190,12 @@ SectorCache::admit(std::uint64_t sector, const std::uint8_t *data)
     if (shard.sector_of[victim] != kFreeFrame) {
         shard.map.erase(shard.sector_of[victim]);
         evictions_.fetch_add(1, std::memory_order_relaxed);
+        if (shard.hit_count[victim] > 0)
+            retiredReused_.fetch_add(1, std::memory_order_relaxed);
     }
     shard.sector_of[victim] = sector;
     shard.ref[victim] = 1;
+    shard.hit_count[victim] = 0;
     std::memcpy(shard.frames.data() +
                     std::size_t{victim} * kIoSectorBytes,
                 data, kIoSectorBytes);
@@ -203,9 +218,15 @@ SectorCache::dropCaches()
 {
     for (const auto &shard : shards_) {
         std::lock_guard<std::mutex> lock(shard->mutex);
+        // Dropping retires every occupant; settle its page account.
+        for (std::size_t f = 0; f < shard->sector_of.size(); ++f)
+            if (shard->sector_of[f] != kFreeFrame &&
+                shard->hit_count[f] > 0)
+                retiredReused_.fetch_add(1, std::memory_order_relaxed);
         shard->map.clear();
         shard->sector_of.assign(shard->sector_of.size(), kFreeFrame);
         shard->ref.assign(shard->ref.size(), 0);
+        shard->hit_count.assign(shard->hit_count.size(), 0);
         shard->hand = 0;
     }
 }
@@ -220,6 +241,16 @@ SectorCache::stats() const
     stats.misses = misses_.load(std::memory_order_relaxed);
     stats.insertions = insertions_.load(std::memory_order_relaxed);
     stats.evictions = evictions_.load(std::memory_order_relaxed);
+    // Retired reused pages plus the reused pages still resident; the
+    // scan takes each shard lock, so stats() is not for hot paths.
+    stats.pages_reused = retiredReused_.load(std::memory_order_relaxed);
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        for (std::size_t f = 0; f < shard->sector_of.size(); ++f)
+            if (shard->sector_of[f] != kFreeFrame &&
+                shard->hit_count[f] > 0)
+                ++stats.pages_reused;
+    }
     return stats;
 }
 
@@ -232,6 +263,11 @@ SectorCache::resetStats()
     misses_.store(0, std::memory_order_relaxed);
     insertions_.store(0, std::memory_order_relaxed);
     evictions_.store(0, std::memory_order_relaxed);
+    retiredReused_.store(0, std::memory_order_relaxed);
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->hit_count.assign(shard->hit_count.size(), 0);
+    }
 }
 
 std::size_t

@@ -47,11 +47,22 @@ struct NodeCacheStats
     std::uint64_t misses = 0;
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
+    /**
+     * Per-page accounting: dynamic pages (admitted whole after a
+     * fetch) that went on to serve >= 1 hit — i.e. a co-resident or
+     * revisited node was read from them before retirement. The
+     * page-level payoff of admitting entire fetched pages:
+     * pages_reused / insertions is the fraction of admissions that
+     * ever earned their frame.
+     */
+    std::uint64_t pages_reused = 0;
 
     /** Bytes that never reached the backend (hits x sector size). */
     std::uint64_t bytesSaved() const;
     /** hits / lookups, 0 when idle. */
     double hitRate() const;
+    /** pages_reused / insertions, 0 when nothing was admitted. */
+    double pageReuseRate() const;
 
     NodeCacheStats &operator+=(const NodeCacheStats &other);
     /** Counter delta (this - @p before): stats of one interval. */
@@ -138,6 +149,8 @@ class SectorCache
         std::vector<std::uint64_t> sector_of;
         /** CLOCK reference bits. */
         std::vector<std::uint8_t> ref;
+        /** Hits served by the current occupant (per-page account). */
+        std::vector<std::uint32_t> hit_count;
         std::unordered_map<std::uint64_t, std::uint32_t> map;
         /** CLOCK hand. */
         std::size_t hand = 0;
@@ -158,6 +171,9 @@ class SectorCache
     mutable std::atomic<std::uint64_t> misses_{0};
     mutable std::atomic<std::uint64_t> insertions_{0};
     mutable std::atomic<std::uint64_t> evictions_{0};
+    /** Retired (evicted/dropped) pages that had served >= 1 hit;
+     *  stats() adds the still-resident reused pages on top. */
+    mutable std::atomic<std::uint64_t> retiredReused_{0};
 };
 
 } // namespace ann::storage

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Tests for the pluggable on-disk layout (index/layout.hh): the
+ * packed-BFS permutation itself, bit-identity of search results
+ * across layouts and I/O backends, archive version compatibility
+ * (id-order archives keep the seed's version-3 byte stream), and the
+ * I/O saving page-aligned packing buys once a sector cache fronts the
+ * real backends.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hh"
+#include "index/diskann_index.hh"
+#include "index/layout.hh"
+#include "index/search_trace.hh"
+#include "index/vamana.hh"
+#include "storage/io_backend.hh"
+#include "test_util.hh"
+
+namespace ann {
+namespace {
+
+using testutil::makeClusteredData;
+using testutil::TestData;
+
+bool
+isPermutation(const std::vector<std::uint32_t> &position)
+{
+    std::vector<std::uint32_t> sorted(position);
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size(); ++i)
+        if (sorted[i] != i)
+            return false;
+    return true;
+}
+
+/** 0->{1,2}, 1->{3}; nodes 4..9 unreachable. */
+VamanaGraph
+tinyGraph()
+{
+    VamanaGraph graph;
+    graph.adjacency.assign(10, {});
+    graph.adjacency[0] = {1, 2};
+    graph.adjacency[1] = {3};
+    graph.medoid = 0;
+    graph.max_degree = 2;
+    return graph;
+}
+
+TEST(PackedBfsOrderTest, ProducesPermutationForAnyPageSize)
+{
+    const VamanaGraph graph = tinyGraph();
+    for (const std::size_t nodes_per_page : {0u, 1u, 3u, 4u, 17u}) {
+        const auto position = packedBfsOrder(graph, nodes_per_page);
+        ASSERT_EQ(position.size(), graph.adjacency.size());
+        EXPECT_TRUE(isPermutation(position))
+            << nodes_per_page << " nodes/page";
+        // The medoid always leads: it seeds the BFS and the first
+        // page alike, so warm-up reads start at the image's front.
+        EXPECT_EQ(position[graph.medoid], 0u)
+            << nodes_per_page << " nodes/page";
+    }
+}
+
+TEST(PackedBfsOrderTest, SingleSlotPagesFallBackToBfsRank)
+{
+    const auto position = packedBfsOrder(tinyGraph(), 1);
+    // BFS from 0 visits 0,1,2,3; the disconnected tail 4..9 follows
+    // in id order.
+    const std::vector<std::uint32_t> expected{0, 1, 2, 3,
+                                              4, 5, 6, 7, 8, 9};
+    EXPECT_EQ(position, expected);
+}
+
+TEST(PackedBfsOrderTest, FirstPageHoldsTheMedoidNeighbourhood)
+{
+    const auto position = packedBfsOrder(tinyGraph(), 3);
+    // Page 0 (slots 0..2) is seeded by the medoid and filled by its
+    // out-neighbourhood, so the entry hop's fetch serves hop two.
+    EXPECT_LT(position[0], 3u);
+    EXPECT_LT(position[1], 3u);
+    EXPECT_LT(position[2], 3u);
+}
+
+TEST(PackedBfsOrderTest, EmptyGraphYieldsEmptyOrder)
+{
+    VamanaGraph graph;
+    graph.medoid = 0;
+    EXPECT_TRUE(packedBfsOrder(graph, 4).empty());
+}
+
+TEST(PackedBfsOrderTest, RealGraphPermutationIsValid)
+{
+    const TestData data = makeClusteredData(800, 4, 16, 2024);
+    VamanaBuildParams params;
+    params.max_degree = 16;
+    params.build_list = 32;
+    const VamanaGraph graph = buildVamana(data.baseView(), params);
+    for (const std::size_t nodes_per_page : {1u, 5u, 17u}) {
+        const auto position = packedBfsOrder(graph, nodes_per_page);
+        EXPECT_TRUE(isPermutation(position))
+            << nodes_per_page << " nodes/page";
+        EXPECT_EQ(position[graph.medoid], 0u);
+    }
+}
+
+/** One dataset, the same build under both layout policies. */
+class LayoutFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        data_ = new TestData(makeClusteredData(1200, 24, 32, 77));
+        DiskAnnBuildParams params;
+        params.graph.max_degree = 24;
+        params.graph.build_list = 48;
+        params.pq.m = 16;
+        params.pq.ksub = 256;
+        params.layout = LayoutPolicy::IdOrder;
+        id_ = new DiskAnnIndex();
+        id_->build(data_->baseView(), params);
+        params.layout = LayoutPolicy::PackedBfs;
+        packed_ = new DiskAnnIndex();
+        packed_->build(data_->baseView(), params);
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete data_;
+        delete id_;
+        delete packed_;
+        data_ = nullptr;
+        id_ = nullptr;
+        packed_ = nullptr;
+    }
+
+    static void
+    expectIdenticalResults(DiskAnnIndex &a, DiskAnnIndex &b,
+                           const DiskAnnSearchParams &params,
+                           const char *what)
+    {
+        for (std::size_t q = 0; q < data_->num_queries; ++q) {
+            const float *query = data_->queryView().row(q);
+            const auto lhs = a.search(query, params);
+            const auto rhs = b.search(query, params);
+            ASSERT_EQ(lhs.size(), rhs.size())
+                << what << ", query " << q;
+            for (std::size_t i = 0; i < lhs.size(); ++i) {
+                EXPECT_EQ(lhs[i].id, rhs[i].id)
+                    << what << ", query " << q << ", rank " << i;
+                EXPECT_EQ(lhs[i].distance, rhs[i].distance)
+                    << what << ", query " << q << ", rank " << i;
+            }
+        }
+    }
+
+    static TestData *data_;
+    static DiskAnnIndex *id_;
+    static DiskAnnIndex *packed_;
+};
+
+TestData *LayoutFixture::data_ = nullptr;
+DiskAnnIndex *LayoutFixture::id_ = nullptr;
+DiskAnnIndex *LayoutFixture::packed_ = nullptr;
+
+TEST_F(LayoutFixture, PackedRecordsAreReallyPermuted)
+{
+    ASSERT_EQ(packed_->layout(), LayoutPolicy::PackedBfs);
+    ASSERT_EQ(id_->layout(), LayoutPolicy::IdOrder);
+    // The permutation must move at least some records, and the
+    // packed image grows by the permutation-table sectors only.
+    bool moved = false;
+    for (VectorId v = 0; v < data_->rows; ++v)
+        moved = moved || packed_->nodePosition(v) != v;
+    EXPECT_TRUE(moved);
+    EXPECT_GT(packed_->numSectors(), id_->numSectors());
+}
+
+TEST_F(LayoutFixture, PackedSearchIsBitIdentical)
+{
+    // The permutation only relocates records; every candidate list,
+    // distance, and tie-break must match the id-order index exactly.
+    DiskAnnSearchParams params;
+    params.k = 10;
+    for (const std::size_t search_list : {10u, 20u, 50u}) {
+        for (const std::size_t beam : {1u, 4u}) {
+            params.search_list = search_list;
+            params.beam_width = beam;
+            expectIdenticalResults(*id_, *packed_, params,
+                                   "packed vs id-order");
+        }
+    }
+}
+
+TEST_F(LayoutFixture, PackedSaveLoadRoundTripAcrossBackends)
+{
+    const std::string path = "layout_test_packed.bin";
+    {
+        BinaryWriter writer(path, "LAY", 1);
+        packed_->save(writer);
+        writer.close();
+    }
+    DiskAnnIndex loaded;
+    {
+        BinaryReader reader(path, "LAY", 1);
+        loaded.load(reader);
+    }
+    EXPECT_EQ(loaded.layout(), LayoutPolicy::PackedBfs);
+    EXPECT_EQ(loaded.numSectors(), packed_->numSectors());
+
+    DiskAnnSearchParams params;
+    params.search_list = 24;
+    params.beam_width = 4;
+    params.k = 10;
+    expectIdenticalResults(*packed_, loaded, params,
+                           "loaded packed (memory)");
+
+    storage::IoOptions file_mode;
+    file_mode.kind = storage::IoBackendKind::File;
+    file_mode.spill_dir = "./layout_test_spill";
+    loaded.setIoMode(file_mode);
+    expectIdenticalResults(*packed_, loaded, params,
+                           "loaded packed (file)");
+    if (storage::uringSupported()) {
+        storage::IoOptions uring_mode = file_mode;
+        uring_mode.kind = storage::IoBackendKind::Uring;
+        loaded.setIoMode(uring_mode);
+        expectIdenticalResults(*packed_, loaded, params,
+                               "loaded packed (uring)");
+    }
+    std::remove(path.c_str());
+}
+
+TEST_F(LayoutFixture, IdOrderArchivesKeepLoading)
+{
+    // Id-order saves still emit the seed's version-3 stream, so
+    // pre-layout archives and fresh id-order ones are byte-for-byte
+    // the same format; loading one must not grow a permutation.
+    const std::string path = "layout_test_idorder.bin";
+    {
+        BinaryWriter writer(path, "LAY", 1);
+        id_->save(writer);
+        writer.close();
+    }
+    DiskAnnIndex loaded;
+    {
+        BinaryReader reader(path, "LAY", 1);
+        loaded.load(reader);
+    }
+    EXPECT_EQ(loaded.layout(), LayoutPolicy::IdOrder);
+    EXPECT_EQ(loaded.numSectors(), id_->numSectors());
+    for (VectorId v = 0; v < 32; ++v)
+        EXPECT_EQ(loaded.nodePosition(v), v);
+
+    DiskAnnSearchParams params;
+    params.search_list = 24;
+    params.beam_width = 4;
+    params.k = 10;
+    expectIdenticalResults(*id_, loaded, params, "loaded id-order");
+    std::remove(path.c_str());
+}
+
+TEST_F(LayoutFixture, PackedReadsFewerSectorsWithCache)
+{
+    // With a sector cache fronting the file backend, packing
+    // hop-mates into shared pages turns whole-page admissions into
+    // future hits: the packed index must reach the backend for fewer
+    // sectors than id order on the same warmed query stream.
+    storage::IoOptions mode;
+    mode.kind = storage::IoBackendKind::File;
+    mode.spill_dir = "./layout_test_spill";
+    mode.node_cache.capacity_bytes =
+        static_cast<std::size_t>(id_->numSectors()) * kSectorBytes / 2;
+
+    DiskAnnSearchParams params;
+    params.search_list = 32;
+    params.beam_width = 4;
+    params.k = 10;
+
+    auto measured_sectors = [&](DiskAnnIndex &index) {
+        index.setIoMode(mode);
+        // Warm pass, then a measured steady-state pass.
+        for (std::size_t q = 0; q < data_->num_queries; ++q)
+            index.search(data_->queryView().row(q), params);
+        std::uint64_t total = 0;
+        for (std::size_t q = 0; q < data_->num_queries; ++q) {
+            SearchTraceRecorder recorder;
+            index.search(data_->queryView().row(q), params,
+                         &recorder);
+            total += recorder.totalSectors();
+        }
+        storage::IoOptions memory_mode;
+        index.setIoMode(memory_mode);
+        return total;
+    };
+
+    const std::uint64_t id_sectors = measured_sectors(*id_);
+    const std::uint64_t packed_sectors = measured_sectors(*packed_);
+    EXPECT_LT(packed_sectors, id_sectors)
+        << "packed layout should save backend reads under a cache";
+}
+
+} // namespace
+} // namespace ann

@@ -137,6 +137,38 @@ TEST(NodeCacheTest, EvictionKeepsMapAndFramesConsistent)
               cache.stats().evictions + cache.residentSectors());
 }
 
+/**
+ * Per-page reuse accounting: a frame counts as "reused" once any hit
+ * is served from it, exactly once, and the count survives both
+ * eviction (retirement) and dropCaches().
+ */
+TEST(NodeCacheTest, PageReuseCountsEarnedFramesOnce)
+{
+    NodeCacheConfig config;
+    config.capacity_bytes = 4 * kIoSectorBytes;
+    config.shards = 1;
+    SectorCache cache(config);
+    cache.admit(1, sectorBytes(1).data());
+    cache.admit(2, sectorBytes(2).data());
+    EXPECT_EQ(cache.stats().pages_reused, 0u);
+    EXPECT_DOUBLE_EQ(cache.stats().pageReuseRate(), 0.0);
+
+    // Sector 1 earns its frame; repeat hits do not double-count it.
+    EXPECT_TRUE(checkedLookup(cache, 1));
+    EXPECT_EQ(cache.stats().pages_reused, 1u);
+    EXPECT_TRUE(checkedLookup(cache, 1));
+    EXPECT_EQ(cache.stats().pages_reused, 1u);
+    EXPECT_DOUBLE_EQ(cache.stats().pageReuseRate(), 0.5);
+
+    // Retiring every frame must not lose the earned credit.
+    cache.dropCaches();
+    EXPECT_EQ(cache.stats().pages_reused, 1u);
+    EXPECT_EQ(cache.stats().insertions, 2u);
+    EXPECT_DOUBLE_EQ(cache.stats().pageReuseRate(), 0.5);
+    cache.resetStats();
+    EXPECT_EQ(cache.stats().pages_reused, 0u);
+}
+
 TEST(NodeCacheTest, DuplicateAdmitIsIgnored)
 {
     NodeCacheConfig config;

@@ -117,6 +117,23 @@ TEST(ThreadPoolTest, SingleThreadPoolRunsInline)
 
 // ------------------------------------------------------------ pinning
 
+TEST(ThreadPoolTest, PinningEngagesWhenSupported)
+{
+    // The regression this guards: BENCH_hotpath shipped with
+    // `pinned_workers: 0` for months because the pool auto-sized to
+    // the 1-CPU cpuset, spawned zero workers, and the bench treated
+    // "nothing pinned" as a pass. When the platform supports
+    // affinity, a pool with spawned workers must pin every one of
+    // them; where it doesn't, skip *loudly* instead of passing.
+    if (!ThreadPool::pinningSupported())
+        GTEST_SKIP() << "thread affinity unavailable in this "
+                        "environment (restricted sandbox?) — pinning "
+                        "left unverified";
+    ThreadPool pool(2, /*pin_threads=*/true);
+    EXPECT_EQ(pool.pinnedThreads(), pool.size() - 1)
+        << "pinning supported but some spawned worker was not pinned";
+}
+
 TEST(ThreadPoolTest, PinningIsBestEffortAndKeepsResults)
 {
     // Pinning may fail wholesale (restricted cpuset, refused
@@ -126,6 +143,10 @@ TEST(ThreadPoolTest, PinningIsBestEffortAndKeepsResults)
     ThreadPool pool(4, /*pin_threads=*/true);
     EXPECT_LE(pool.pinnedThreads(), pool.size() - 1)
         << "only spawned workers are pinned, never the caller";
+    if (ThreadPool::pinningSupported())
+        EXPECT_GT(pool.pinnedThreads(), 0u)
+            << "affinity works here, so at least one of the three "
+               "spawned workers must be pinned";
 
     const std::size_t n = 10'000;
     std::vector<int> hits(n, 0);
@@ -145,6 +166,9 @@ TEST(ThreadPoolTest, PinningWiderThanCpusetWrapsAround)
     const std::size_t wide = ThreadPool::allowedCpuCount() + 2;
     ThreadPool pool(wide, /*pin_threads=*/true);
     EXPECT_LE(pool.pinnedThreads(), wide - 1);
+    if (ThreadPool::pinningSupported())
+        EXPECT_EQ(pool.pinnedThreads(), wide - 1)
+            << "wrap-around must pin every worker, reusing CPUs";
     std::atomic<std::size_t> total{0};
     pool.parallelFor(1000, 7, [&](std::size_t begin, std::size_t end) {
         total.fetch_add(end - begin, std::memory_order_relaxed);

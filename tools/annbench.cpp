@@ -26,6 +26,7 @@
 #include "core/experiments.hh"
 #include "core/report.hh"
 #include "core/tuner.hh"
+#include "index/layout.hh"
 #include "storage/block_tracer.hh"
 #include "storage/io_backend.hh"
 #include "storage/trace_analysis.hh"
@@ -74,6 +75,10 @@ printUsage()
         "  --warm-nodes N      nodes BFS-warmed from the medoid "
         "(DiskANN\n"
         "                      only, default $ANN_WARM_NODES)\n"
+        "  --layout NAME       DiskANN on-disk node placement:\n"
+        "                      id-order|packed-bfs (default: "
+        "$ANN_LAYOUT\n"
+        "                      or id-order)\n"
         "  --drop-caches       drop the sector cache and re-execute\n"
         "                      before every sweep point (cold runs)\n"
         "  --duration-ms N     virtual run length (default 2000)\n"
@@ -121,6 +126,17 @@ runBench(const ann::ArgParser &args)
                         io.queue_depth,
                         io.node_cache.capacity_bytes >> 20,
                         io.node_cache.warm_nodes);
+    }
+
+    // Resolve the on-disk layout before prepareEngine builds or loads
+    // any DiskANN segment; the flag overrides $ANN_LAYOUT.
+    if (args.has("layout")) {
+        const std::string name = args.get("layout", "default");
+        LayoutPolicy policy = LayoutPolicy::Default;
+        ANN_CHECK(layoutPolicyFromName(name, &policy),
+                  "unknown --layout '", name,
+                  "' (valid: id-order|packed-bfs)");
+        setDefaultLayoutPolicy(policy);
     }
 
     std::printf("loading %s and preparing %s...\n",
@@ -220,7 +236,7 @@ main(int argc, char **argv)
     ArgParser args({"setup", "dataset", "threads", "exec-threads", "k",
                     "nprobe", "ef-search", "search-list", "beam-width",
                     "io-backend", "io-queue-depth", "node-cache-mb",
-                    "warm-nodes", "duration-ms", "trace"},
+                    "warm-nodes", "layout", "duration-ms", "trace"},
                    {"help", "verify-exec", "drop-caches",
                     "pin-threads"});
     try {

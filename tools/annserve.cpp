@@ -22,6 +22,7 @@
 #include "common/thread_pool.hh"
 #include "core/experiments.hh"
 #include "core/tuner.hh"
+#include "index/layout.hh"
 #include "serve/server.hh"
 #include "storage/io_backend.hh"
 #include "workload/registry.hh"
@@ -73,6 +74,10 @@ printUsage()
         "  --warm-nodes N      nodes BFS-warmed from the medoid "
         "(DiskANN\n"
         "                      only, default $ANN_WARM_NODES)\n"
+        "  --layout NAME       DiskANN on-disk node placement:\n"
+        "                      id-order|packed-bfs (default: "
+        "$ANN_LAYOUT\n"
+        "                      or id-order)\n"
         "  --help              this message\n");
 }
 
@@ -103,6 +108,17 @@ runServe(const ann::ArgParser &args)
                 static_cast<std::size_t>(std::max<std::int64_t>(
                     0, args.getInt("warm-nodes", 0)));
         storage::setDefaultIoOptions(io);
+    }
+
+    // Resolve the on-disk layout before prepareEngine builds or loads
+    // any DiskANN segment; the flag overrides $ANN_LAYOUT.
+    if (args.has("layout")) {
+        const std::string name = args.get("layout", "default");
+        LayoutPolicy policy = LayoutPolicy::Default;
+        ANN_CHECK(layoutPolicyFromName(name, &policy),
+                  "unknown --layout '", name,
+                  "' (valid: id-order|packed-bfs)");
+        setDefaultLayoutPolicy(policy);
     }
 
     const std::string setup = args.get("setup", "milvus-hnsw");
@@ -183,7 +199,7 @@ main(int argc, char **argv)
     ArgParser args({"setup", "dataset", "bind", "port", "queue-limit",
                     "max-batch", "exec-threads", "max-connections",
                     "io-backend", "io-queue-depth", "node-cache-mb",
-                    "warm-nodes"},
+                    "warm-nodes", "layout"},
                    {"help", "pin-threads"});
     try {
         args.parse(argc, argv);

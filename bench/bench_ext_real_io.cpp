@@ -27,7 +27,23 @@
  *     packed results must be bit-identical to id-order, and the best
  *     matched-config I/O reduction must reach
  *     $ANN_LAYOUT_MIN_IO_REDUCTION (default 1.5x). Run with
- *     --layout-only to skip phases 1-2 (the CI smoke).
+ *     --layout-only to skip phases 1-2 (the CI smoke; it still runs
+ *     phase 4 — pass --no-learned to skip that too).
+ *
+ *  4. Learned I/O-avoidance A/B: hop records are collected over the
+ *     first half of the burst query set, a logistic model is trained
+ *     and its early-stop threshold calibrated on that half, then the
+ *     second half is measured in four modes (off / learned entry /
+ *     early stop / both) under the established discipline —
+ *     bit-identical results with the toggles off, and with both on a
+ *     recall@10 delta <= 0.5pp plus
+ *     >= $ANN_LEARNED_MIN_IO_REDUCTION (default 1.2x) fewer
+ *     IOs/query. Writes results/BENCH_learned.json. Run with
+ *     --learned-only to skip phases 1-3.
+ *
+ * The burst workload (and hence the exported training data) is
+ * seeded: --seed N or $ANN_SEED make runs reproducible; the default
+ * reproduces the historical stream.
  *
  * Environment knobs: $ANN_IO_SPILL_DIR (defaults to $ANN_CACHE_DIR)
  * places the spill files — point it at a real NVMe filesystem, not
@@ -35,7 +51,7 @@
  * front the real backends with the node sector cache; passing
  * --drop-caches empties its dynamic part before every sweep point
  * (the paper's drop_caches protocol), so each point starts cold.
- * (Phase 3 sizes its caches itself and always starts points cold.)
+ * (Phases 3-4 size their caches themselves and always start cold.)
  */
 
 #include <algorithm>
@@ -45,9 +61,12 @@
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <utility>
 
 #include "bench_common.hh"
+#include "common/env.hh"
+#include "common/error.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -57,6 +76,9 @@
 #include "index/diskann_index.hh"
 #include "index/layout.hh"
 #include "index/search_trace.hh"
+#include "learn/hoplog.hh"
+#include "learn/model.hh"
+#include "learn/policy.hh"
 #include "storage/io_backend.hh"
 #include "workload/generator.hh"
 
@@ -226,237 +248,70 @@ layoutSweepPoint(DiskAnnIndex &index, const workload::Dataset &data,
     point.qps = nq * 1e6 / elapsed_us;
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+/** One arm of the phase-4 learned I/O-avoidance A/B. */
+struct LearnedPoint
 {
-    using namespace ann;
-    bool drop_caches = false;
-    bool layout_only = false;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--drop-caches") == 0)
-            drop_caches = true;
-        if (std::strcmp(argv[i], "--layout-only") == 0)
-            layout_only = true;
+    const char *label = "";
+    double ios_per_query = 0.0;
+    double recall = 0.0;
+    double qps = 0.0;
+};
+
+/**
+ * Measure one learned-policy arm under the phase-3 discipline: cold
+ * start, the train half warms the cache, the eval half is measured.
+ * The learned toggles are whatever the caller set — warming runs
+ * under the same policy as measurement, like a serving system would.
+ * @p results, when non-null, receives the eval-half results for
+ * bit-identity comparison.
+ */
+void
+learnedSweepPoint(DiskAnnIndex &index, const workload::Dataset &data,
+                  const DiskAnnSearchParams &params, std::size_t split,
+                  LearnedPoint &point,
+                  std::vector<SearchResult> *results = nullptr)
+{
+    index.dropNodeCache();
+    for (std::size_t q = 0; q < split; ++q)
+        (void)index.search(data.query(q), params);
+
+    std::uint64_t requests = 0;
+    double recall_sum = 0.0;
+    const double start = nowUs();
+    for (std::size_t q = split; q < data.num_queries; ++q) {
+        SearchTraceRecorder recorder;
+        const SearchResult result =
+            index.search(data.query(q), params, &recorder);
+        for (const SearchStep &step : recorder.steps())
+            requests += step.reads.size();
+        recall_sum +=
+            recallAtK(data.ground_truth[q], result, params.k);
+        if (results != nullptr)
+            results->push_back(result);
     }
-    core::printBenchHeader(
-        "Extension: real-I/O backends (pread vs io_uring)",
-        "expected: uring IOPS scale with queue depth; batched async "
-        "beam fetches beat serial single-sector pread by >= 2x at "
-        "beam_width >= 4");
+    const double elapsed_us = nowUs() - start;
+    const auto nq = static_cast<double>(data.num_queries - split);
 
-    const bool have_uring = storage::uringSupported();
-    if (!have_uring)
-        std::cout << "note: io_uring unavailable here — uring rows "
-                     "fall back to the file backend\n\n";
+    point.ios_per_query = static_cast<double>(requests) / nq;
+    point.recall = recall_sum / nq;
+    point.qps = nq * 1e6 / elapsed_us;
+}
 
-    // ---------------------------------------------- raw random reads
-    if (!layout_only) {
-        const std::size_t raw_sectors = 16384; // 64 MiB spill file
-        std::vector<std::uint8_t> image(raw_sectors *
-                                        storage::kIoSectorBytes);
-        Rng fill(7);
-        for (auto &byte : image)
-            byte = static_cast<std::uint8_t>(fill.next() & 0xff);
-
-        TextTable raw_table("random 4 KiB reads, 64-request batches "
-                            "(64 MiB O_DIRECT file)");
-        raw_table.setHeader({"queue depth", "file kIOPS",
-                             "file P99 (us)", "uring kIOPS",
-                             "uring P99 (us)"});
-        const std::size_t rounds = 200;
-        double uring_kiops_qd1 = 0.0, uring_kiops_best = 0.0;
-        for (const unsigned qd : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
-            auto file_backend =
-                spillBackend(storage::IoBackendKind::File, image, qd);
-            const RawPoint file_point =
-                rawSweepPoint(*file_backend, 64, rounds);
-            auto uring_backend =
-                spillBackend(storage::IoBackendKind::Uring, image, qd);
-            const RawPoint uring_point =
-                rawSweepPoint(*uring_backend, 64, rounds);
-            if (qd == 1)
-                uring_kiops_qd1 = uring_point.kiops;
-            uring_kiops_best =
-                std::max(uring_kiops_best, uring_point.kiops);
-            raw_table.addRow(
-                {std::to_string(qd),
-                 formatDouble(file_point.kiops, 1),
-                 formatDouble(file_point.batch_p99_us, 1),
-                 formatDouble(uring_point.kiops, 1),
-                 formatDouble(uring_point.batch_p99_us, 1)});
-        }
-        raw_table.print(std::cout);
-        std::cout << "queue-depth scaling (uring best/qd1): "
-                  << formatDouble(uring_kiops_best /
-                                      std::max(uring_kiops_qd1, 1e-9),
-                                  2)
-                  << "x\n\n";
-    }
-
-    // ------------------------------------------------- beam search
-    const auto dataset = bench::benchDataset("cohere-1m");
-    DiskAnnIndex index;
-    DiskAnnBuildParams build;
-    build.graph.max_degree = 64;
-    build.graph.build_list = 128;
-    build.pq.m = dataset.dim;
-    build.pq.ksub = 256;
-    build.layout = LayoutPolicy::IdOrder;
-    if (!layout_only)
-        index.build(dataset.baseView(), build);
-
-    struct Mode
-    {
-        const char *label;
-        storage::IoOptions options;
-    };
-    // Real modes pick up the node cache from the environment so this
-    // sweep can run cached and uncached without a rebuild.
-    const storage::NodeCacheConfig node_cache =
-        storage::NodeCacheConfig::fromEnv();
-    std::vector<Mode> modes;
-    if (!layout_only) {
-        Mode memory{"memory", {}};
-        modes.push_back(memory);
-        Mode serial{"pread serial (qd=1)", {}};
-        serial.options.kind = storage::IoBackendKind::File;
-        serial.options.queue_depth = 1;
-        serial.options.node_cache = node_cache;
-        modes.push_back(serial);
-        Mode overlap{"pread overlapped (qd=32)", {}};
-        overlap.options.kind = storage::IoBackendKind::File;
-        overlap.options.queue_depth = 32;
-        overlap.options.node_cache = node_cache;
-        modes.push_back(overlap);
-        Mode uring{"io_uring (qd=32)", {}};
-        uring.options.kind = storage::IoBackendKind::Uring;
-        uring.options.queue_depth = 32;
-        uring.options.node_cache = node_cache;
-        modes.push_back(uring);
-    }
-
-    TextTable search_table("DiskANN beam search per backend (" +
-                           dataset.name + ", search_list=64)");
-    search_table.setHeader({"backend", "beam", "QPS", "mean (us)",
-                            "P99 (us)"});
-    // mean latency per (beam, mode); beams 4 and 8 feed the summary.
-    std::map<std::size_t, double> serial_mean, batched_best_mean;
-    for (const Mode &mode : modes) { // empty under --layout-only
-        index.setIoMode(mode.options);
-        for (const std::size_t beam : {1u, 2u, 4u, 8u}) {
-            if (drop_caches)
-                index.dropNodeCache();
-            DiskAnnSearchParams params;
-            params.search_list = 64;
-            params.beam_width = beam;
-            const SearchPoint point =
-                searchSweepPoint(index, dataset, params);
-            if (std::strcmp(mode.label, "pread serial (qd=1)") == 0) {
-                serial_mean[beam] = point.mean_us;
-            } else if (std::strcmp(mode.label, "memory") != 0) {
-                auto it = batched_best_mean.find(beam);
-                if (it == batched_best_mean.end() ||
-                    point.mean_us < it->second)
-                    batched_best_mean[beam] = point.mean_us;
-            }
-            search_table.addRow({mode.label, std::to_string(beam),
-                                 formatDouble(point.qps, 0),
-                                 formatDouble(point.mean_us, 1),
-                                 formatDouble(point.p99_us, 1)});
-        }
-    }
-    if (!layout_only) {
-        search_table.print(std::cout);
-        search_table.writeCsv(core::resultsDir() +
-                              "/ext_real_io.csv");
-
-        for (const std::size_t beam :
-             {std::size_t{4}, std::size_t{8}}) {
-            const auto serial_it = serial_mean.find(beam);
-            const auto batched_it = batched_best_mean.find(beam);
-            if (serial_it == serial_mean.end() ||
-                batched_it == batched_best_mean.end())
-                continue;
-            std::cout
-                << "batched async vs serial pread at beam_width="
-                << beam << ": "
-                << formatDouble(serial_it->second /
-                                    batched_it->second,
-                                2)
-                << "x\n";
-        }
-        std::cout << "shape check: serial pread pays one device "
-                     "round-trip per beam slot;\nthe batched "
-                     "backends pay ~one per hop, so the gap widens "
-                     "with beam_width.\n\n";
-    }
-
-    // ------------------------------- layout design-space sweep
+/**
+ * Phase 3: the layout design-space sweep and its gates (bit-identity
+ * and matched-config I/O reduction). Writes BENCH_layout.json.
+ */
+bool
+runLayoutPhase(DiskAnnIndex &id_index, const DiskAnnBuildParams &build,
+               const workload::Dataset &skew,
+               const workload::Dataset &dataset)
+{
     bool ok = true;
-
-    // Layout matters when queries have locality: serving traffic
-    // concentrates on a topic at a time (a burst), while the base
-    // stays broad — the hot graph region is then a small fraction of
-    // the index and can re-fit in a small cache. Generate a clustered
-    // dataset, then keep only the half of its query set nearest an
-    // anchor query: distinct queries, one hot topic.
-    workload::GeneratorSpec skew_spec;
-    skew_spec.name = "layout-burst";
-    skew_spec.rows = dataset.rows;
-    skew_spec.dim = dataset.dim;
-    skew_spec.num_queries = dataset.num_queries;
-    skew_spec.clusters = 16;
-    skew_spec.zipf_s = 0.0;
-    skew_spec.spread = 0.22f;
-    skew_spec.gt_k = 16;
-    skew_spec.seed = 0x1a10075;
-    workload::Dataset skew = workload::generateDataset(skew_spec);
-    {
-        // Replace the uniform query set with a burst: fresh samples
-        // around one base vector (a trending item), each with exact
-        // brute-force ground truth. Distinct queries, one hot graph
-        // region — high-d distance concentration makes "the nearest
-        // existing queries" span many clusters, so sampling is the
-        // only way to actually get locality.
-        const std::size_t nq = skew.num_queries;
-        const float *anchor = skew.base.data() +
-                              std::size_t{skew.ground_truth[0][0]} *
-                                  skew.dim;
-        Rng rng(0xb0057);
-        std::vector<float> queries(nq * skew.dim);
-        std::vector<std::vector<VectorId>> truth(nq);
-        std::vector<std::pair<float, VectorId>> dists(skew.rows);
-        for (std::size_t q = 0; q < nq; ++q) {
-            float *dst = queries.data() + q * skew.dim;
-            for (std::size_t d = 0; d < skew.dim; ++d)
-                dst[d] = anchor[d] +
-                         0.5f * skew_spec.spread *
-                             static_cast<float>(rng.nextGaussian());
-            for (std::size_t v = 0; v < skew.rows; ++v)
-                dists[v] = {l2DistanceSq(
-                                dst, skew.base.data() + v * skew.dim,
-                                skew.dim),
-                            static_cast<VectorId>(v)};
-            std::partial_sort(dists.begin(),
-                              dists.begin() +
-                                  static_cast<std::ptrdiff_t>(
-                                      skew_spec.gt_k),
-                              dists.end());
-            truth[q].reserve(skew_spec.gt_k);
-            for (std::size_t i = 0; i < skew_spec.gt_k; ++i)
-                truth[q].push_back(dists[i].second);
-        }
-        skew.queries = std::move(queries);
-        skew.ground_truth = std::move(truth);
-    }
 
     // Same data, same graph parameters and seed — only the on-disk
     // placement differs, so any result divergence is a layout bug.
-    DiskAnnIndex id_index, packed;
+    DiskAnnIndex packed;
     DiskAnnBuildParams packed_build = build;
-    id_index.build(skew.baseView(), build);
     packed_build.layout = LayoutPolicy::PackedBfs;
     packed.build(skew.baseView(), packed_build);
 
@@ -621,6 +476,599 @@ main(int argc, char **argv)
         std::cerr << "FAIL: cannot write " << json_path << "\n";
         ok = false;
     }
+    return ok;
+}
+
+/**
+ * Phase 4: the learned I/O-avoidance A/B. Collects labeled hop
+ * records over the train half of the burst query set, fits a logistic
+ * model, calibrates its early-stop threshold on that same half, then
+ * measures the eval half in four modes. Gates: bit-identity with the
+ * toggles off, recall@10 delta <= 0.5pp and I/O reduction >=
+ * $ANN_LEARNED_MIN_IO_REDUCTION with both toggles on. Writes
+ * BENCH_learned.json.
+ */
+bool
+runLearnedPhase(DiskAnnIndex &index, const workload::Dataset &skew,
+                std::uint64_t seed)
+{
+    bool ok = true;
+
+    // Serving config for the A/B: real file backend, 1/8-image node
+    // cache plus a BFS warm set — the resident pool that
+    // $ANN_LEARNED_ENTRY scores at zero I/O.
+    const std::size_t image_bytes =
+        static_cast<std::size_t>(index.numSectors()) * 4096;
+    storage::IoOptions io;
+    io.kind = storage::IoBackendKind::File;
+    io.queue_depth = 16;
+    io.node_cache.capacity_bytes = image_bytes / 8;
+    io.node_cache.warm_nodes = 512;
+    index.setIoMode(io);
+
+    DiskAnnSearchParams params;
+    params.search_list = 64;
+    params.beam_width = 4;
+
+    const std::size_t split = skew.num_queries / 2;
+
+    // The phase drives the process-wide learned policy; start from a
+    // clean slate (and leave one behind for whoever runs next).
+    learn::setLearnedEntryEnabled(false);
+    learn::setEarlyStopEnabled(false);
+    learn::setEarlyStopThresholdOverride(-1.0f);
+    learn::setActiveModel(nullptr);
+
+    LearnedPoint base;
+    base.label = "off (baseline)";
+    std::vector<SearchResult> base_results;
+    base_results.reserve(skew.num_queries - split);
+    learnedSweepPoint(index, skew, params, split, base,
+                      &base_results);
+
+    // The train half is split again: the model fits on the first 60%
+    // of its queries and the early-stop gate calibrates on the last
+    // 40%. A threshold validated on the model's own training queries
+    // memorizes their trajectories and does not transfer to eval —
+    // the held-out block is what makes the calibration honest. The
+    // block is CONTIGUOUS on purpose: the burst workload repeats
+    // correlated queries within a burst, so an interleaved split
+    // would scatter near-duplicates of the fit queries into the
+    // calibration set and leak the training distribution.
+    const std::size_t fit_end = split * 3 / 5;
+    const auto isCalibQuery = [fit_end, split](std::size_t q) {
+        return q >= fit_end && q < split;
+    };
+    const std::size_t n_calib = split - fit_end;
+
+    // Training data: labeled per-hop records from the fit queries.
+    const auto collectTraces = [&] {
+        std::vector<learn::QueryHopTrace> traces;
+        traces.reserve(split - n_calib);
+        for (std::size_t q = 0; q < split; ++q) {
+            if (isCalibQuery(q))
+                continue;
+            SearchTraceRecorder recorder;
+            recorder.enableHopCapture();
+            (void)index.search(skew.query(q), params, &recorder);
+            learn::QueryHopTrace trace;
+            trace.query_seq = q;
+            trace.query_code = recorder.queryCode();
+            trace.hops = recorder.takeHopRecords();
+            traces.push_back(std::move(trace));
+        }
+        return traces;
+    };
+    learn::TrainParams train_params;
+    // A small MLP separates "converged tail" from "still exploring"
+    // noticeably better than plain logreg on the hop features.
+    train_params.hidden = 8;
+    train_params.epochs = 60;
+    train_params.seed = seed;
+    const auto fitModel =
+        [&](const std::vector<learn::QueryHopTrace> &traces,
+            std::size_t &n_samples,
+            std::size_t &n_positives) -> learn::Model {
+        const auto samples = learn::samplesFromTraces(traces);
+        n_samples = samples.size();
+        n_positives = 0;
+        for (const auto &sample : samples)
+            n_positives += sample.y > 0.5f ? 1 : 0;
+        ANN_CHECK(n_positives > 0 && n_positives < samples.size(),
+                  "degenerate hop-record labels: ", n_positives, "/",
+                  samples.size(), " positive");
+        return learn::Model::train(samples, train_params);
+    };
+
+    // Stage 1: model from medoid-start traces; it drives the learned
+    // entry selection.
+    auto traces = collectTraces();
+    std::size_t n_samples = 0, positives = 0;
+    learn::Model model = fitModel(traces, n_samples, positives);
+    learn::setActiveModel(
+        std::make_shared<const learn::Model>(model));
+
+    // Stages 2+: the early-stop gate runs alongside the learned
+    // entry, which shifts hop numbering and frontier shape relative
+    // to medoid starts — and retraining in turn shifts which entry
+    // the model picks. Iterate collect-with-entry-live -> retrain so
+    // the stop model converges onto the trajectory distribution it
+    // will actually be asked about.
+    learn::setLearnedEntryEnabled(true);
+    for (int stage = 0; stage < 2; ++stage) {
+        traces = collectTraces();
+        model = fitModel(traces, n_samples, positives);
+        learn::setActiveModel(
+            std::make_shared<const learn::Model>(model));
+    }
+    learn::setLearnedEntryEnabled(false);
+
+    // Offline-analysis hook: $ANN_LEARN_DEBUG_DIR dumps the training
+    // traces and the fitted model for inspection with anntrain.
+    if (const char *dir = std::getenv("ANN_LEARN_DEBUG_DIR")) {
+        learn::writeHopCsvFile(std::string(dir) + "/learned_hops.csv",
+                               traces);
+        model.saveFile(std::string(dir) + "/learned.model");
+    }
+
+    // Calibrate the early-stop gate on the held-out calibration
+    // queries — queries the model never trained on. The stop gate
+    // ships alongside the learned entry, so the calibration baseline
+    // is entry-on/stop-off: the budget here buys the STOP's recall
+    // cost alone (the entry's own cost shows up in the A/B table and
+    // counts against the eval gate).
+    //
+    // The gate has two knobs — threshold and patience — and per-hop
+    // false-stop rates compound across a query, so a percentile of
+    // positive predictions is only an anchor. Search the (patience x
+    // geometric-threshold) grid and keep the point pruning the most
+    // hops whose measured held-out recall cost stays within 0.25pp
+    // (half the eval gate; threshold 0 disables the gate and is the
+    // always-valid fallback).
+    const auto heldOutPoint = [&](double &recall, double &hops) {
+        double recall_sum = 0.0;
+        std::size_t hop_sum = 0;
+        for (std::size_t q = 0; q < split; ++q) {
+            if (!isCalibQuery(q))
+                continue;
+            SearchTraceRecorder recorder;
+            recorder.enableHopCapture();
+            const SearchResult res =
+                index.search(skew.query(q), params, &recorder);
+            recall_sum +=
+                recallAtK(skew.ground_truth[q], res, params.k);
+            hop_sum += recorder.takeHopRecords().size();
+        }
+        const double n = static_cast<double>(n_calib);
+        recall = recall_sum / n;
+        hops = static_cast<double>(hop_sum) / n;
+    };
+    learn::setLearnedEntryEnabled(true);
+    double calib_base = 0.0, base_hops = 0.0;
+    heldOutPoint(calib_base, base_hops);
+    const float anchor = model.positivePercentile(
+        learn::samplesFromTraces(traces), 20.0);
+    // Half-neighbor slack: with tens of calibration queries the mean
+    // recall moves in whole-neighbor steps, and the boundary step
+    // must not be lost to float rounding.
+    const double calib_budget =
+        0.0025 + 0.5 / (static_cast<double>(n_calib) *
+                        static_cast<double>(params.k));
+    float threshold = 0.0f;
+    std::size_t patience = learn::earlyStopPatience();
+    const std::size_t default_patience = patience;
+    double best_saved = 0.0;
+    learn::setEarlyStopEnabled(true);
+    for (std::size_t pat = 2; pat <= 4; ++pat) {
+        learn::setEarlyStopPatience(pat);
+        for (float candidate = anchor; candidate > anchor / 4096.0f;
+             candidate *= 0.7f) {
+            learn::setEarlyStopThresholdOverride(candidate);
+            double recall = 0.0, hops = 0.0;
+            heldOutPoint(recall, hops);
+            const double saved = base_hops - hops;
+            // Smaller thresholds only fire the gate less; once the
+            // savings are gone this ladder is exhausted.
+            if (saved <= 0.0)
+                break;
+            if (calib_base - recall > calib_budget)
+                continue;
+            std::cout << "  calibrate patience=" << pat
+                      << " t=" << formatDouble(candidate, 5)
+                      << " held-out recall " << formatDouble(recall, 4)
+                      << " (base " << formatDouble(calib_base, 4)
+                      << "), hops saved/query "
+                      << formatDouble(saved, 1) << "\n";
+            if (saved > best_saved) {
+                best_saved = saved;
+                threshold = candidate;
+                patience = pat;
+            }
+            // Savings shrink monotonically as the threshold drops, so
+            // the first valid point is this ladder's best.
+            break;
+        }
+    }
+    learn::setLearnedEntryEnabled(false);
+    learn::setEarlyStopEnabled(false);
+    learn::setEarlyStopThresholdOverride(-1.0f);
+    learn::setEarlyStopPatience(threshold > 0.0f ? patience
+                                                 : default_patience);
+    model.setThreshold(threshold);
+    learn::setActiveModel(
+        std::make_shared<const learn::Model>(model));
+    std::cout << "early-stop gate calibrated: threshold "
+              << formatDouble(threshold, 5) << ", patience "
+              << patience << " (anchor " << formatDouble(anchor, 5)
+              << " = 20th pct of positives, held-out hops saved/query "
+              << formatDouble(best_saved, 1) << ")\n";
+
+    // Bit-identity gate: a loaded model with the toggles off must be
+    // invisible to search — ids AND distances.
+    bool identical = true;
+    {
+        LearnedPoint off;
+        off.label = "off (model loaded)";
+        std::vector<SearchResult> off_results;
+        off_results.reserve(skew.num_queries - split);
+        learnedSweepPoint(index, skew, params, split, off,
+                          &off_results);
+        identical = off_results == base_results;
+        std::cout << "learned toggles off bit-identical: "
+                  << (identical ? "yes" : "NO") << "\n";
+        if (!identical) {
+            std::cerr << "FAIL: loaded model changed results with "
+                         "toggles off\n";
+            ok = false;
+        }
+    }
+
+    LearnedPoint entry_only, stop_only, both;
+    entry_only.label = "learned entry";
+    stop_only.label = "early stop";
+    both.label = "entry + stop";
+    learn::setLearnedEntryEnabled(true);
+    learnedSweepPoint(index, skew, params, split, entry_only);
+    learn::setEarlyStopEnabled(true);
+    learnedSweepPoint(index, skew, params, split, both);
+    learn::setLearnedEntryEnabled(false);
+    learnedSweepPoint(index, skew, params, split, stop_only);
+    learn::setEarlyStopEnabled(false);
+
+    TextTable table("learned I/O-avoidance A/B (file backend, "
+                    "search_list=64, beam=4, cache=image/8)");
+    table.setHeader({"mode", "IOs/query", "recall@10", "QPS"});
+    for (const LearnedPoint *p :
+         {&base, &entry_only, &stop_only, &both})
+        table.addRow({p->label,
+                      formatDouble(p->ios_per_query, 1),
+                      formatDouble(p->recall, 3),
+                      formatDouble(p->qps, 0)});
+    table.print(std::cout);
+
+    const double recall_delta = base.recall - both.recall;
+    const double reduction =
+        base.ios_per_query / std::max(both.ios_per_query, 1e-9);
+    const double min_reduction = [] {
+        const char *env =
+            std::getenv("ANN_LEARNED_MIN_IO_REDUCTION");
+        return env != nullptr ? std::atof(env) : 1.2;
+    }();
+    std::cout << "learned entry+stop: " << formatDouble(reduction, 2)
+              << "x fewer IOs/query (gate >= "
+              << formatDouble(min_reduction, 2)
+              << "x), recall delta "
+              << formatDouble(recall_delta * 100.0, 2)
+              << "pp (gate <= 0.50pp), threshold "
+              << formatDouble(threshold, 4) << "\n";
+    if (recall_delta > 0.005) {
+        std::cerr << "FAIL: learned policies cost too much recall\n";
+        ok = false;
+    }
+    if (reduction < min_reduction) {
+        std::cerr << "FAIL: learned policies save too little I/O\n";
+        ok = false;
+    }
+
+    const std::string json_path =
+        core::resultsDir() + "/BENCH_learned.json";
+    if (std::FILE *f = std::fopen(json_path.c_str(), "w")) {
+        std::fprintf(f,
+                     "{\n  \"dataset\": \"%s\",\n"
+                     "  \"seed\": %llu,\n"
+                     "  \"queries\": %zu,\n"
+                     "  \"train_queries\": %zu,\n"
+                     "  \"samples\": %zu,\n"
+                     "  \"positives\": %zu,\n"
+                     "  \"threshold\": %.6f,\n"
+                     "  \"patience\": %zu,\n  \"points\": [\n",
+                     skew.name.c_str(),
+                     static_cast<unsigned long long>(seed),
+                     skew.num_queries, split, n_samples,
+                     positives, static_cast<double>(threshold),
+                     learn::earlyStopPatience());
+        const LearnedPoint *arms[] = {&base, &entry_only, &stop_only,
+                                      &both};
+        for (std::size_t i = 0; i < 4; ++i) {
+            const LearnedPoint &p = *arms[i];
+            std::fprintf(f,
+                         "    {\"mode\": \"%s\", "
+                         "\"ios_per_query\": %.2f, "
+                         "\"recall\": %.4f, \"qps\": %.1f}%s\n",
+                         p.label, p.ios_per_query, p.recall, p.qps,
+                         i + 1 < 4 ? "," : "");
+        }
+        std::fprintf(f,
+                     "  ],\n  \"recall_delta\": %.4f,\n"
+                     "  \"io_reduction\": %.3f,\n"
+                     "  \"min_io_reduction_gate\": %.2f,\n"
+                     "  \"bit_identical\": %s\n}\n",
+                     recall_delta, reduction, min_reduction,
+                     identical ? "true" : "false");
+        std::fclose(f);
+        std::cout << "wrote " << json_path << "\n";
+    } else {
+        std::cerr << "FAIL: cannot write " << json_path << "\n";
+        ok = false;
+    }
+
+    learn::setActiveModel(nullptr);
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ann;
+    bool drop_caches = false;
+    bool layout_only = false;
+    bool learned_only = false;
+    bool no_learned = false;
+    // Workload seed: --seed beats $ANN_SEED beats the historical
+    // default (which reproduces the pre-seeding byte streams).
+    std::uint64_t seed = static_cast<std::uint64_t>(
+        envInt("ANN_SEED", 0x1a10075));
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--drop-caches") == 0)
+            drop_caches = true;
+        if (std::strcmp(argv[i], "--layout-only") == 0)
+            layout_only = true;
+        if (std::strcmp(argv[i], "--learned-only") == 0)
+            learned_only = true;
+        if (std::strcmp(argv[i], "--no-learned") == 0)
+            no_learned = true;
+        if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+            seed = std::strtoull(argv[++i], nullptr, 0);
+    }
+    if (learned_only)
+        layout_only = true; // skip phases 1-2 as well
+    core::printBenchHeader(
+        "Extension: real-I/O backends (pread vs io_uring)",
+        "expected: uring IOPS scale with queue depth; batched async "
+        "beam fetches beat serial single-sector pread by >= 2x at "
+        "beam_width >= 4");
+
+    const bool have_uring = storage::uringSupported();
+    if (!have_uring)
+        std::cout << "note: io_uring unavailable here — uring rows "
+                     "fall back to the file backend\n\n";
+
+    // ---------------------------------------------- raw random reads
+    if (!layout_only) {
+        const std::size_t raw_sectors = 16384; // 64 MiB spill file
+        std::vector<std::uint8_t> image(raw_sectors *
+                                        storage::kIoSectorBytes);
+        Rng fill(7);
+        for (auto &byte : image)
+            byte = static_cast<std::uint8_t>(fill.next() & 0xff);
+
+        TextTable raw_table("random 4 KiB reads, 64-request batches "
+                            "(64 MiB O_DIRECT file)");
+        raw_table.setHeader({"queue depth", "file kIOPS",
+                             "file P99 (us)", "uring kIOPS",
+                             "uring P99 (us)"});
+        const std::size_t rounds = 200;
+        double uring_kiops_qd1 = 0.0, uring_kiops_best = 0.0;
+        for (const unsigned qd : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+            auto file_backend =
+                spillBackend(storage::IoBackendKind::File, image, qd);
+            const RawPoint file_point =
+                rawSweepPoint(*file_backend, 64, rounds);
+            auto uring_backend =
+                spillBackend(storage::IoBackendKind::Uring, image, qd);
+            const RawPoint uring_point =
+                rawSweepPoint(*uring_backend, 64, rounds);
+            if (qd == 1)
+                uring_kiops_qd1 = uring_point.kiops;
+            uring_kiops_best =
+                std::max(uring_kiops_best, uring_point.kiops);
+            raw_table.addRow(
+                {std::to_string(qd),
+                 formatDouble(file_point.kiops, 1),
+                 formatDouble(file_point.batch_p99_us, 1),
+                 formatDouble(uring_point.kiops, 1),
+                 formatDouble(uring_point.batch_p99_us, 1)});
+        }
+        raw_table.print(std::cout);
+        std::cout << "queue-depth scaling (uring best/qd1): "
+                  << formatDouble(uring_kiops_best /
+                                      std::max(uring_kiops_qd1, 1e-9),
+                                  2)
+                  << "x\n\n";
+    }
+
+    // ------------------------------------------------- beam search
+    const auto dataset = bench::benchDataset("cohere-1m");
+    DiskAnnIndex index;
+    DiskAnnBuildParams build;
+    build.graph.max_degree = 64;
+    build.graph.build_list = 128;
+    build.pq.m = dataset.dim;
+    build.pq.ksub = 256;
+    build.layout = LayoutPolicy::IdOrder;
+    if (!layout_only)
+        index.build(dataset.baseView(), build);
+
+    struct Mode
+    {
+        const char *label;
+        storage::IoOptions options;
+    };
+    // Real modes pick up the node cache from the environment so this
+    // sweep can run cached and uncached without a rebuild.
+    const storage::NodeCacheConfig node_cache =
+        storage::NodeCacheConfig::fromEnv();
+    std::vector<Mode> modes;
+    if (!layout_only) {
+        Mode memory{"memory", {}};
+        modes.push_back(memory);
+        Mode serial{"pread serial (qd=1)", {}};
+        serial.options.kind = storage::IoBackendKind::File;
+        serial.options.queue_depth = 1;
+        serial.options.node_cache = node_cache;
+        modes.push_back(serial);
+        Mode overlap{"pread overlapped (qd=32)", {}};
+        overlap.options.kind = storage::IoBackendKind::File;
+        overlap.options.queue_depth = 32;
+        overlap.options.node_cache = node_cache;
+        modes.push_back(overlap);
+        Mode uring{"io_uring (qd=32)", {}};
+        uring.options.kind = storage::IoBackendKind::Uring;
+        uring.options.queue_depth = 32;
+        uring.options.node_cache = node_cache;
+        modes.push_back(uring);
+    }
+
+    TextTable search_table("DiskANN beam search per backend (" +
+                           dataset.name + ", search_list=64)");
+    search_table.setHeader({"backend", "beam", "QPS", "mean (us)",
+                            "P99 (us)"});
+    // mean latency per (beam, mode); beams 4 and 8 feed the summary.
+    std::map<std::size_t, double> serial_mean, batched_best_mean;
+    for (const Mode &mode : modes) { // empty under --layout-only
+        index.setIoMode(mode.options);
+        for (const std::size_t beam : {1u, 2u, 4u, 8u}) {
+            if (drop_caches)
+                index.dropNodeCache();
+            DiskAnnSearchParams params;
+            params.search_list = 64;
+            params.beam_width = beam;
+            const SearchPoint point =
+                searchSweepPoint(index, dataset, params);
+            if (std::strcmp(mode.label, "pread serial (qd=1)") == 0) {
+                serial_mean[beam] = point.mean_us;
+            } else if (std::strcmp(mode.label, "memory") != 0) {
+                auto it = batched_best_mean.find(beam);
+                if (it == batched_best_mean.end() ||
+                    point.mean_us < it->second)
+                    batched_best_mean[beam] = point.mean_us;
+            }
+            search_table.addRow({mode.label, std::to_string(beam),
+                                 formatDouble(point.qps, 0),
+                                 formatDouble(point.mean_us, 1),
+                                 formatDouble(point.p99_us, 1)});
+        }
+    }
+    if (!layout_only) {
+        search_table.print(std::cout);
+        search_table.writeCsv(core::resultsDir() +
+                              "/ext_real_io.csv");
+
+        for (const std::size_t beam :
+             {std::size_t{4}, std::size_t{8}}) {
+            const auto serial_it = serial_mean.find(beam);
+            const auto batched_it = batched_best_mean.find(beam);
+            if (serial_it == serial_mean.end() ||
+                batched_it == batched_best_mean.end())
+                continue;
+            std::cout
+                << "batched async vs serial pread at beam_width="
+                << beam << ": "
+                << formatDouble(serial_it->second /
+                                    batched_it->second,
+                                2)
+                << "x\n";
+        }
+        std::cout << "shape check: serial pread pays one device "
+                     "round-trip per beam slot;\nthe batched "
+                     "backends pay ~one per hop, so the gap widens "
+                     "with beam_width.\n\n";
+    }
+
+    // --------------------- layout sweep + learned A/B (phases 3-4)
+
+    // Layout matters when queries have locality: serving traffic
+    // concentrates on a topic at a time (a burst), while the base
+    // stays broad — the hot graph region is then a small fraction of
+    // the index and can re-fit in a small cache. Generate a clustered
+    // dataset, then keep only the half of its query set nearest an
+    // anchor query: distinct queries, one hot topic.
+    workload::GeneratorSpec skew_spec;
+    skew_spec.name = "layout-burst";
+    skew_spec.rows = dataset.rows;
+    skew_spec.dim = dataset.dim;
+    skew_spec.num_queries = dataset.num_queries;
+    skew_spec.clusters = 16;
+    skew_spec.zipf_s = 0.0;
+    skew_spec.spread = 0.22f;
+    skew_spec.gt_k = 16;
+    skew_spec.seed = seed;
+    std::cout << "burst workload seed: 0x" << std::hex << seed
+              << std::dec << "\n";
+    workload::Dataset skew = workload::generateDataset(skew_spec);
+    {
+        // Replace the uniform query set with a burst: fresh samples
+        // around one base vector (a trending item), each with exact
+        // brute-force ground truth. Distinct queries, one hot graph
+        // region — high-d distance concentration makes "the nearest
+        // existing queries" span many clusters, so sampling is the
+        // only way to actually get locality.
+        const std::size_t nq = skew.num_queries;
+        const float *anchor = skew.base.data() +
+                              std::size_t{skew.ground_truth[0][0]} *
+                                  skew.dim;
+        // Derived so the default seed reproduces the historical
+        // 0xb0057 query stream exactly.
+        Rng rng(seed ^ (0x1a10075ULL ^ 0xb0057ULL));
+        std::vector<float> queries(nq * skew.dim);
+        std::vector<std::vector<VectorId>> truth(nq);
+        std::vector<std::pair<float, VectorId>> dists(skew.rows);
+        for (std::size_t q = 0; q < nq; ++q) {
+            float *dst = queries.data() + q * skew.dim;
+            for (std::size_t d = 0; d < skew.dim; ++d)
+                dst[d] = anchor[d] +
+                         0.5f * skew_spec.spread *
+                             static_cast<float>(rng.nextGaussian());
+            for (std::size_t v = 0; v < skew.rows; ++v)
+                dists[v] = {l2DistanceSq(
+                                dst, skew.base.data() + v * skew.dim,
+                                skew.dim),
+                            static_cast<VectorId>(v)};
+            std::partial_sort(dists.begin(),
+                              dists.begin() +
+                                  static_cast<std::ptrdiff_t>(
+                                      skew_spec.gt_k),
+                              dists.end());
+            truth[q].reserve(skew_spec.gt_k);
+            for (std::size_t i = 0; i < skew_spec.gt_k; ++i)
+                truth[q].push_back(dists[i].second);
+        }
+        skew.queries = std::move(queries);
+        skew.ground_truth = std::move(truth);
+    }
+
+    // Shared by phases 3 and 4: the id-order index over the burst
+    // data. Phase 3 adds its packed-BFS twin internally.
+    DiskAnnIndex id_index;
+    id_index.build(skew.baseView(), build);
+
+    bool ok = true;
+    if (!learned_only)
+        ok = runLayoutPhase(id_index, build, skew, dataset) && ok;
+    if (!no_learned)
+        ok = runLearnedPhase(id_index, skew, seed) && ok;
 
     if (!ok) {
         std::cerr << "bench_ext_real_io: GATES FAILED\n";

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "common/error.hh"
 #include "common/hotpath.hh"
@@ -12,6 +13,7 @@
 #include "index/search_scratch.hh"
 #include "index/vamana.hh"
 #include "index/visit_table.hh"
+#include "learn/policy.hh"
 
 namespace ann {
 
@@ -96,6 +98,14 @@ struct DiskAnnScratch
     /** Unvisited neighbours awaiting (batched) ADC scoring. */
     std::vector<VectorId> pending;
     TopK reranked{1};
+    /** ADC distance of each beam node this hop (aligned with beam). */
+    std::vector<float> beam_dists;
+    /** Learned-entry candidate pool + their ADC distances. */
+    std::vector<VectorId> entry_pool;
+    std::vector<float> entry_dists;
+    std::vector<float> entry_sorted;
+    /** Per-expansion records when hop capture is on. */
+    std::vector<learn::HopRecord> hops;
 };
 
 thread_local DiskAnnScratch tls_scratch;
@@ -213,6 +223,7 @@ void
 DiskAnnIndex::attachCache()
 {
     cache_.reset();
+    warmNodes_.clear();
     // The memory backend already serves every sector zero-copy; a
     // cache in front of it would only add copies.
     if (!io_ || io_->data() != nullptr)
@@ -261,6 +272,10 @@ DiskAnnIndex::attachCache()
             }
         }
     }
+    // The nodes actually warmed (queue[0, head)) stay cache-resident;
+    // remember them as the zero-I/O entry-candidate pool.
+    queue.resize(head);
+    warmNodes_ = std::move(queue);
 }
 
 storage::NodeCacheStats
@@ -458,6 +473,22 @@ DiskAnnIndex::searchInto(const float *query,
         std::max<std::size_t>(4, adcBatchMinPending());
     const std::size_t code_size = pq_.codeSize();
 
+    // Learned-policy snapshot: taken once per query so a concurrent
+    // toggle flip cannot split one search across configurations. Both
+    // behaviors require an active model; with the toggles off (the
+    // default) none of the code below runs and results stay
+    // bit-identical to the unlearned baseline.
+    std::shared_ptr<const learn::Model> model;
+    if (learn::learnedEntryEnabled() || learn::earlyStopEnabled())
+        model = learn::activeModel();
+    const bool entry_on = model && learn::learnedEntryEnabled();
+    const bool stop_on = model && learn::earlyStopEnabled();
+    const bool want_hops =
+        (recorder && recorder->hopCaptureEnabled()) ||
+        learn::HopSink::instance().enabled();
+    std::vector<learn::HopRecord> &hop_records = scratch->hops;
+    hop_records.clear();
+
     OpCounts local_ops;
     AdcTable &adc = scratch->adc;
     pq_.computeAdcTable(query, adc);
@@ -472,11 +503,68 @@ DiskAnnIndex::searchInto(const float *query,
         params.search_list + maxDegree_ * params.beam_width;
     if (cands.capacity() < cand_cap)
         cands.reserve(cand_cap);
-    cands.push_back({pq_.adcDistance(adc, pqCodes_.data() +
-                                              medoid_ * code_size),
-                     medoid_, false});
+
+    const float medoid_adc = pq_.adcDistance(
+        adc, pqCodes_.data() + medoid_ * code_size);
     local_ops.quant_distances += 1;
-    visited.tryVisit(medoid_);
+    VectorId entry_id = medoid_;
+    float entry_adc = medoid_adc;
+    if (entry_on) {
+        // Per-query predicted entry point: score a capped pool of
+        // candidates by P(reaches top-k) and start from the argmax.
+        // The pool is the cache-resident BFS warm set when one exists
+        // (prediction then costs zero I/O on the file/uring backends);
+        // without a cache — e.g. the memory backend, where every
+        // sector is free anyway — a fixed stride over all ids serves.
+        std::vector<VectorId> &pool = scratch->entry_pool;
+        std::vector<float> &dists = scratch->entry_dists;
+        pool.clear();
+        dists.clear();
+        const std::size_t cap = learn::entryCandidateCap();
+        if (!warmNodes_.empty()) {
+            const std::size_t stride =
+                std::max<std::size_t>(1, warmNodes_.size() / cap);
+            for (std::size_t i = 0;
+                 i < warmNodes_.size() && pool.size() < cap;
+                 i += stride)
+                pool.push_back(warmNodes_[i]);
+        } else {
+            const std::size_t stride =
+                std::max<std::size_t>(1, rows_ / cap);
+            for (std::size_t v = 0; v < rows_ && pool.size() < cap;
+                 v += stride)
+                pool.push_back(static_cast<VectorId>(v));
+        }
+        float best_adc = medoid_adc;
+        for (const VectorId node : pool) {
+            const float d = pq_.adcDistance(
+                adc, pqCodes_.data() + node * code_size);
+            dists.push_back(d);
+            best_adc = std::min(best_adc, d);
+        }
+        local_ops.quant_distances += pool.size();
+        std::vector<float> &sorted = scratch->entry_sorted;
+        sorted = dists;
+        const std::size_t kth_idx =
+            std::min<std::size_t>(params.k, sorted.size()) - 1;
+        std::nth_element(sorted.begin(), sorted.begin() + kth_idx,
+                         sorted.end());
+        const float kth_adc = sorted[kth_idx];
+        // Strict > keeps the argmax deterministic: ties resolve to
+        // the earliest pool entry (warm BFS order / ascending id).
+        float best_p = -1.0f;
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+            const float p = model->predict(learn::featurize(
+                {dists[i], best_adc, kth_adc, medoid_adc, 0}));
+            if (p > best_p) {
+                best_p = p;
+                entry_id = pool[i];
+                entry_adc = dists[i];
+            }
+        }
+    }
+    cands.push_back({entry_adc, entry_id, false});
+    visited.tryVisit(entry_id);
 
     TopK &reranked = scratch->reranked;
     reranked.reset(params.k);
@@ -487,6 +575,27 @@ DiskAnnIndex::searchInto(const float *query,
     std::vector<storage::IoRun> &runs = scratch->runs;
     std::vector<storage::IoRequest> &requests = scratch->requests;
     std::vector<VectorId> &pending = scratch->pending;
+    std::vector<float> &beam_dists = scratch->beam_dists;
+
+    float stop_threshold = 0.0f;
+    std::size_t stop_min_hops = 0;
+    std::size_t stop_patience = 1;
+    std::size_t stop_below = 0;
+    if (stop_on) {
+        const float override_t = learn::earlyStopThresholdOverride();
+        stop_threshold =
+            override_t >= 0.0f ? override_t : model->threshold();
+        stop_min_hops = learn::earlyStopMinHops();
+        stop_patience = learn::earlyStopPatience();
+    }
+    std::uint32_t hop = 0;
+    std::size_t expanded_total = 0;
+    // Frontier-stall tracker for the learned features: hops since the
+    // k-th candidate distance last improved. samplesFromTraces()
+    // derives the same counter from the recorded kth_adc sequence, so
+    // training and inference see identical inputs.
+    float best_kth_seen = std::numeric_limits<float>::infinity();
+    std::uint32_t last_improve_hop = 0;
 
     // Zero-copy image when memory-resident; otherwise each hop
     // fetches its beam through the backend.
@@ -494,18 +603,62 @@ DiskAnnIndex::searchInto(const float *query,
     const std::uint8_t *fetched = nullptr;
 
     for (;;) {
+        // Decision-time frontier stats (cands is sorted on entry to
+        // every iteration): shared by the early-stop gate and the hop
+        // records, both measured BEFORE this hop spends any I/O.
+        const float frontier_best = cands[0].distance;
+        const float frontier_kth =
+            cands[std::min<std::size_t>(params.k, cands.size()) - 1]
+                .distance;
+        if (frontier_kth < best_kth_seen) {
+            best_kth_seen = frontier_kth;
+            last_improve_hop = hop;
+        }
+        const std::uint32_t stall = hop - last_improve_hop;
+
         // Gather up to beam_width closest unexpanded candidates.
         beam.clear();
+        beam_dists.clear();
         for (auto &entry : cands) {
             if (entry.expanded)
                 continue;
             entry.expanded = true;
             beam.push_back(entry.id);
+            beam_dists.push_back(entry.distance);
             if (beam.size() >= params.beam_width)
                 break;
         }
         if (beam.empty())
             break;
+
+        // Confidence-gated early termination: once the mandatory
+        // first hops have run and k nodes are reranked, halt before
+        // issuing this hop's reads when no beam candidate is
+        // predicted to reach the final top-k.
+        if (stop_on && hop >= stop_min_hops &&
+            expanded_total >= params.k) {
+            float best_p = 0.0f;
+            for (const float d : beam_dists)
+                best_p = std::max(
+                    best_p,
+                    model->predict(learn::featurize(
+                        {d, frontier_best, frontier_kth, entry_adc,
+                         hop, stall})));
+            if (best_p < stop_threshold) {
+                // Patience: one low-confidence hop can be a
+                // misprediction; a run of them is convergence.
+                if (++stop_below >= stop_patience)
+                    break;
+            } else {
+                stop_below = 0;
+            }
+        }
+        if (want_hops) {
+            for (std::size_t i = 0; i < beam.size(); ++i)
+                hop_records.push_back({beam[i], hop, beam_dists[i],
+                                       frontier_best, frontier_kth,
+                                       entry_adc, 0});
+        }
         local_ops.hops += 1;
 
         // The whole beam becomes one batch of coalesced sector runs —
@@ -646,6 +799,8 @@ DiskAnnIndex::searchInto(const float *query,
             local_ops.quant_distances += pending.size();
             local_ops.heap_ops += pending.size();
         }
+        expanded_total += beam.size();
+        ++hop;
         std::sort(cands.begin(), cands.end());
         if (cands.size() > params.search_list)
             cands.resize(params.search_list);
@@ -668,6 +823,33 @@ DiskAnnIndex::searchInto(const float *query,
         recorder->finish();
     }
     reranked.drainInto(out);
+
+    if (want_hops && !hop_records.empty()) {
+        // Label each expansion by whether its node made the final
+        // top-k, then deliver: per-query to the recorder, process-wide
+        // to the HopSink (annbench --learn-dump).
+        for (learn::HopRecord &h : hop_records) {
+            h.reached_topk = 0;
+            for (const Neighbor &n : out) {
+                if (n.id == h.node) {
+                    h.reached_topk = 1;
+                    break;
+                }
+            }
+        }
+        std::vector<std::uint8_t> code(code_size);
+        pq_.encode(query, code.data());
+        learn::HopSink &sink = learn::HopSink::instance();
+        if (sink.enabled()) {
+            learn::QueryHopTrace trace;
+            trace.query_seq = sink.nextSeq();
+            trace.query_code = code;
+            trace.hops = hop_records;
+            sink.append(std::move(trace));
+        }
+        if (recorder && recorder->hopCaptureEnabled())
+            recorder->setHopRecords(hop_records, std::move(code));
+    }
 }
 
 void

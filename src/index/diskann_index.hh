@@ -149,6 +149,14 @@ class DiskAnnIndex
     void dropNodeCache();
 
     /**
+     * Nodes of the static BFS warm set, in BFS order from the medoid
+     * (empty without a cache). These sectors stay resident for the
+     * life of the cache, which is what lets the learned entry-point
+     * policy ($ANN_LEARNED_ENTRY) score them per query at zero I/O.
+     */
+    const std::vector<VectorId> &warmNodes() const { return warmNodes_; }
+
+    /**
      * Beam search.
      *
      * The algorithm runs on the real node file: served zero-copy from
@@ -217,6 +225,8 @@ class DiskAnnIndex
     std::unique_ptr<storage::IoBackend> io_;
     /** Hot-sector cache over io_ (null when disabled / memory). */
     std::unique_ptr<storage::SectorCache> cache_;
+    /** Warm-set nodes in BFS order (see warmNodes()). */
+    std::vector<VectorId> warmNodes_;
     storage::IoOptions ioOptions_{};
     /** setIoMode() called: ignore the process-wide default. */
     bool ioPinned_ = false;

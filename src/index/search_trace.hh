@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "learn/hoplog.hh"
+
 namespace ann {
 
 /** A contiguous run of 4 KiB sectors read in one request. */
@@ -78,9 +80,44 @@ class SearchTraceRecorder
     /** Total sectors read across all steps. */
     std::uint64_t totalSectors() const;
 
+    /**
+     * Opt in to per-hop record capture: when enabled, the DiskANN
+     * search additionally stores one labeled learn::HopRecord per
+     * expanded node (plus the query's PQ code) for training-data
+     * export. Off by default — hop capture is not free.
+     */
+    void enableHopCapture() { hop_capture_ = true; }
+    bool hopCaptureEnabled() const { return hop_capture_; }
+
+    void
+    setHopRecords(std::vector<learn::HopRecord> hops,
+                  std::vector<std::uint8_t> query_code)
+    {
+        hop_records_ = std::move(hops);
+        query_code_ = std::move(query_code);
+    }
+    const std::vector<learn::HopRecord> &
+    hopRecords() const
+    {
+        return hop_records_;
+    }
+    const std::vector<std::uint8_t> &
+    queryCode() const
+    {
+        return query_code_;
+    }
+    std::vector<learn::HopRecord>
+    takeHopRecords()
+    {
+        return std::move(hop_records_);
+    }
+
   private:
     SearchStep current_;
     std::vector<SearchStep> steps_;
+    bool hop_capture_ = false;
+    std::vector<learn::HopRecord> hop_records_;
+    std::vector<std::uint8_t> query_code_;
 };
 
 } // namespace ann

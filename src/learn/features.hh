@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Feature extraction for the learned I/O-avoidance models.
+ *
+ * Every feature is a function of quantities the DiskANN beam search
+ * already has in hand when it must decide whether to spend I/O —
+ * PQ-space (ADC) distances and hop depth — so evaluating a model
+ * costs arithmetic only, never a sector read. The same featurize()
+ * runs at training time (over dumped hop records) and at inference
+ * time inside the search loop; keeping it in one place is what makes
+ * the offline-trained weights valid online.
+ */
+
+#ifndef ANN_LEARN_FEATURES_HH
+#define ANN_LEARN_FEATURES_HH
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ann::learn {
+
+/** Dimensionality of the model input. */
+inline constexpr std::size_t kFeatureCount = 7;
+
+using FeatureVec = std::array<float, kFeatureCount>;
+
+/**
+ * Raw decision-time signals about one beam candidate: its own ADC
+ * distance and the state of the candidate list it would be expanded
+ * from. All distances are PQ-space (squared L2 via ADC lookups).
+ */
+struct CandidateSignals
+{
+    /** The candidate's ADC distance to the query. */
+    float adc = 0.0f;
+    /** Best (smallest) ADC distance in the candidate list. */
+    float best_adc = 0.0f;
+    /** k-th best ADC distance in the candidate list. */
+    float kth_adc = 0.0f;
+    /** ADC distance of the search's entry point (hop-0 candidate). */
+    float entry_adc = 0.0f;
+    /** Hop depth at which the expansion would happen. */
+    std::uint32_t hop = 0;
+    /** Hops since the frontier's k-th ADC distance last improved —
+     *  the stall counter; 0 while the search is still progressing. */
+    std::uint32_t stall = 0;
+};
+
+/**
+ * Map decision-time signals to the model input. Ratios instead of
+ * absolute distances keep the features dataset-scale free; everything
+ * is clamped to [0, 8] so one degenerate query cannot blow up SGD.
+ */
+inline FeatureVec
+featurize(const CandidateSignals &s)
+{
+    static constexpr float kEps = 1e-12f;
+    static constexpr float kClamp = 8.0f;
+    const auto ratio = [](float num, float den) {
+        return std::clamp(num / (den + kEps), 0.0f, kClamp);
+    };
+    FeatureVec x;
+    // How far outside the current top-k frontier the candidate sits.
+    x[0] = ratio(s.adc, s.kth_adc);
+    // Progress relative to where the search started.
+    x[1] = ratio(s.adc, s.entry_adc);
+    // Frontier gap: position between the best and k-th candidate.
+    x[2] = std::clamp((s.adc - s.best_adc) /
+                          (s.kth_adc - s.best_adc + kEps),
+                      0.0f, kClamp);
+    // Distance to the best candidate seen so far.
+    x[3] = ratio(s.adc, s.best_adc);
+    // Hop depth, saturating: late hops rarely contribute.
+    x[4] = static_cast<float>(std::min<std::uint32_t>(s.hop, 64)) /
+           16.0f;
+    x[5] = 1.0f / (1.0f + static_cast<float>(s.hop));
+    // Frontier stall: hops since the k-th candidate last improved.
+    // A stalled frontier is the single strongest converged-tail
+    // signal the beam search has.
+    x[6] = static_cast<float>(std::min<std::uint32_t>(s.stall, 32)) /
+           8.0f;
+    return x;
+}
+
+/** One labeled training example. */
+struct Sample
+{
+    FeatureVec x{};
+    /** 1 = useful work remained at or after this hop (see
+     *  samplesFromTraces), else 0. */
+    float y = 0.0f;
+};
+
+} // namespace ann::learn
+
+#endif // ANN_LEARN_FEATURES_HH

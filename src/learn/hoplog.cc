@@ -1,0 +1,225 @@
+#include "learn/hoplog.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace ann::learn {
+namespace {
+
+constexpr char kHeader[] = "# annlearn-hops v1";
+constexpr char kColumns[] =
+    "query_seq,hop,node,adc,best_adc,kth_adc,entry_adc,reached_topk,"
+    "query_code_hex";
+
+std::string
+toHex(const std::vector<std::uint8_t> &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (const std::uint8_t b : bytes) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+fromHex(const std::string &hex)
+{
+    ANN_CHECK(hex.size() % 2 == 0, "odd-length query code hex");
+    const auto nibble = [](char c) -> std::uint8_t {
+        if (c >= '0' && c <= '9')
+            return static_cast<std::uint8_t>(c - '0');
+        if (c >= 'a' && c <= 'f')
+            return static_cast<std::uint8_t>(c - 'a' + 10);
+        ANN_FATAL("bad hex digit '", c, "' in query code");
+    };
+    std::vector<std::uint8_t> out(hex.size() / 2);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = static_cast<std::uint8_t>((nibble(hex[2 * i]) << 4) |
+                                           nibble(hex[2 * i + 1]));
+    return out;
+}
+
+} // namespace
+
+HopSink &
+HopSink::instance()
+{
+    static HopSink sink;
+    return sink;
+}
+
+void
+HopSink::setEnabled(bool enabled)
+{
+    enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t
+HopSink::nextSeq()
+{
+    return seq_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+HopSink::append(QueryHopTrace trace)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    traces_.push_back(std::move(trace));
+}
+
+std::vector<QueryHopTrace>
+HopSink::drain()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<QueryHopTrace> out;
+    out.swap(traces_);
+    return out;
+}
+
+std::size_t
+HopSink::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return traces_.size();
+}
+
+void
+writeHopCsv(std::ostream &out, const std::vector<QueryHopTrace> &traces)
+{
+    out << kHeader << "\n" << kColumns << "\n";
+    for (const QueryHopTrace &trace : traces) {
+        const std::string code = toHex(trace.query_code);
+        for (const HopRecord &h : trace.hops) {
+            out << trace.query_seq << ',' << h.hop << ',' << h.node << ','
+                << h.adc << ',' << h.best_adc << ',' << h.kth_adc << ','
+                << h.entry_adc << ','
+                << static_cast<unsigned>(h.reached_topk) << ',' << code
+                << '\n';
+        }
+    }
+}
+
+void
+writeHopCsvFile(const std::string &path,
+                const std::vector<QueryHopTrace> &traces)
+{
+    std::ofstream out(path);
+    ANN_CHECK(out.good(), "cannot open hop log for write: ", path);
+    writeHopCsv(out, traces);
+    ANN_CHECK(out.good(), "failed writing hop log: ", path);
+}
+
+std::vector<QueryHopTrace>
+readHopCsv(std::istream &in)
+{
+    std::string line;
+    ANN_CHECK(std::getline(in, line) && line == kHeader,
+              "bad hop log header: '", line, "'");
+    ANN_CHECK(std::getline(in, line) && line == kColumns,
+              "bad hop log column row: '", line, "'");
+    std::vector<QueryHopTrace> traces;
+    std::size_t line_no = 2;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        std::istringstream row(line);
+        std::string field;
+        std::vector<std::string> fields;
+        while (std::getline(row, field, ','))
+            fields.push_back(field);
+        // An empty query-code (index without PQ) leaves a trailing
+        // empty field that the splitter drops — 8 fields then.
+        if (fields.size() == 8 && !line.empty() && line.back() == ',')
+            fields.emplace_back();
+        ANN_CHECK(fields.size() == 9, "hop log line ", line_no,
+                  ": expected 9 fields, got ", fields.size());
+        try {
+            const std::uint64_t seq = std::stoull(fields[0]);
+            HopRecord h;
+            h.hop = static_cast<std::uint32_t>(std::stoul(fields[1]));
+            h.node = static_cast<VectorId>(std::stoul(fields[2]));
+            h.adc = std::stof(fields[3]);
+            h.best_adc = std::stof(fields[4]);
+            h.kth_adc = std::stof(fields[5]);
+            h.entry_adc = std::stof(fields[6]);
+            h.reached_topk = std::stoul(fields[7]) != 0 ? 1 : 0;
+            if (traces.empty() || traces.back().query_seq != seq) {
+                QueryHopTrace trace;
+                trace.query_seq = seq;
+                trace.query_code = fromHex(fields[8]);
+                traces.push_back(std::move(trace));
+            }
+            traces.back().hops.push_back(h);
+        } catch (const FatalError &) {
+            throw;
+        } catch (const std::exception &e) {
+            ANN_FATAL("hop log line ", line_no, ": ", e.what());
+        }
+    }
+    return traces;
+}
+
+std::vector<QueryHopTrace>
+readHopCsvFile(const std::string &path)
+{
+    std::ifstream in(path);
+    ANN_CHECK(in.good(), "cannot open hop log: ", path);
+    return readHopCsv(in);
+}
+
+std::vector<Sample>
+samplesFromTraces(const std::vector<QueryHopTrace> &traces)
+{
+    std::size_t total = 0;
+    for (const QueryHopTrace &t : traces)
+        total += t.hops.size();
+    std::vector<Sample> samples;
+    samples.reserve(total);
+    for (const QueryHopTrace &t : traces) {
+        // Future-inclusive labels: a record is positive when useful
+        // work remains at or after its hop — i.e. some expansion from
+        // that hop onward reached the final top-k. That is exactly
+        // the question the early-stop gate asks ("anything left to
+        // find?"); labeling each candidate only by its own fate makes
+        // late useful hops look like noise and leaves no workable
+        // threshold between "never stop" and "lose recall".
+        std::uint32_t last_useful = 0;
+        bool any_useful = false;
+        for (const HopRecord &h : t.hops) {
+            if (h.reached_topk != 0) {
+                last_useful = std::max(last_useful, h.hop);
+                any_useful = true;
+            }
+        }
+        // Derive the stall counter exactly as the search loop tracks
+        // it online: the frontier's k-th ADC distance is shared by
+        // every record of one hop, and the counter resets whenever a
+        // hop improves on the best k-th seen so far.
+        float best_kth = std::numeric_limits<float>::infinity();
+        std::uint32_t last_improve = 0;
+        for (const HopRecord &h : t.hops) {
+            if (h.kth_adc < best_kth) {
+                best_kth = h.kth_adc;
+                last_improve = h.hop;
+            }
+            CandidateSignals sig = h.signals();
+            sig.stall = h.hop - last_improve;
+            Sample s;
+            s.x = featurize(sig);
+            s.y = any_useful && h.hop <= last_useful ? 1.0f : 0.0f;
+            samples.push_back(s);
+        }
+    }
+    return samples;
+}
+
+} // namespace ann::learn

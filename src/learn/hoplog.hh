@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Hop-record capture: the training-data side of the learned
+ * I/O-avoidance loop.
+ *
+ * During beam search every expanded node produces one HopRecord with
+ * the decision-time signals of features.hh plus a label assigned once
+ * the query finishes (did the node reach the final top-k?). Records
+ * flow either into a per-query SearchTraceRecorder (bench code that
+ * drives the index directly) or into the process-wide HopSink
+ * (annbench --learn-dump, where queries cross the engine
+ * abstraction), and are serialized as a line-oriented CSV that
+ * tools/anntrain.cpp consumes.
+ */
+
+#ifndef ANN_LEARN_HOPLOG_HH
+#define ANN_LEARN_HOPLOG_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "learn/features.hh"
+
+namespace ann::learn {
+
+/** One beam-search expansion, labeled after the query completed. */
+struct HopRecord
+{
+    VectorId node = kInvalidVector;
+    std::uint32_t hop = 0;
+    float adc = 0.0f;
+    float best_adc = 0.0f;
+    float kth_adc = 0.0f;
+    float entry_adc = 0.0f;
+    /** 1 if the node made the query's final top-k, else 0. */
+    std::uint8_t reached_topk = 0;
+
+    CandidateSignals
+    signals() const
+    {
+        return CandidateSignals{adc, best_adc, kth_adc, entry_adc, hop};
+    }
+};
+
+/** All expansions of one query plus the query's PQ code. */
+struct QueryHopTrace
+{
+    std::uint64_t query_seq = 0;
+    /** PQ code of the query vector (empty if the index has no PQ). */
+    std::vector<std::uint8_t> query_code;
+    std::vector<HopRecord> hops;
+};
+
+/**
+ * Process-wide collection point for hop traces. Disabled (and free)
+ * by default; annbench --learn-dump enables it around a measured run
+ * and drains the traces into a CSV afterwards. Append is mutex-
+ * protected — capture runs are for training-data export, not for
+ * peak-QPS measurement.
+ */
+class HopSink
+{
+  public:
+    static HopSink &instance();
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+    void setEnabled(bool enabled);
+
+    /** Sequence number for the next captured query. */
+    std::uint64_t nextSeq();
+
+    void append(QueryHopTrace trace);
+
+    /** Move all collected traces out, leaving the sink empty. */
+    std::vector<QueryHopTrace> drain();
+
+    std::size_t size() const;
+
+  private:
+    HopSink() = default;
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<std::uint64_t> seq_{0};
+    mutable std::mutex mutex_;
+    std::vector<QueryHopTrace> traces_;
+};
+
+/** Write traces as the "annlearn-hops v1" CSV. */
+void writeHopCsv(std::ostream &out,
+                 const std::vector<QueryHopTrace> &traces);
+void writeHopCsvFile(const std::string &path,
+                     const std::vector<QueryHopTrace> &traces);
+
+/** Parse an "annlearn-hops v1" CSV; throws FatalError on bad input. */
+std::vector<QueryHopTrace> readHopCsv(std::istream &in);
+std::vector<QueryHopTrace> readHopCsvFile(const std::string &path);
+
+/**
+ * Featurize every hop record into labeled training samples. Labels
+ * are future-inclusive: a record is positive when some expansion at
+ * or after its hop reached the query's final top-k — the question
+ * the early-stop gate asks at that moment.
+ */
+std::vector<Sample>
+samplesFromTraces(const std::vector<QueryHopTrace> &traces);
+
+} // namespace ann::learn
+
+#endif // ANN_LEARN_HOPLOG_HH

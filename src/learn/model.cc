@@ -1,0 +1,307 @@
+#include "learn/model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hh"
+#include "common/rng.hh"
+
+namespace ann::learn {
+namespace {
+
+float
+sigmoid(float z)
+{
+    // Clamp before exp so large SGD excursions stay finite.
+    z = std::clamp(z, -30.0f, 30.0f);
+    return 1.0f / (1.0f + std::exp(-z));
+}
+
+/** Standardization statistics over the training set. */
+void
+computeStats(const std::vector<Sample> &samples, std::vector<float> &mean,
+             std::vector<float> &inv_std)
+{
+    mean.assign(kFeatureCount, 0.0f);
+    inv_std.assign(kFeatureCount, 1.0f);
+    if (samples.empty())
+        return;
+    std::vector<double> sum(kFeatureCount, 0.0);
+    std::vector<double> sum_sq(kFeatureCount, 0.0);
+    for (const Sample &s : samples) {
+        for (std::size_t f = 0; f < kFeatureCount; ++f) {
+            sum[f] += s.x[f];
+            sum_sq[f] += static_cast<double>(s.x[f]) * s.x[f];
+        }
+    }
+    const double n = static_cast<double>(samples.size());
+    for (std::size_t f = 0; f < kFeatureCount; ++f) {
+        const double m = sum[f] / n;
+        const double var = std::max(0.0, sum_sq[f] / n - m * m);
+        mean[f] = static_cast<float>(m);
+        inv_std[f] =
+            var > 1e-12 ? static_cast<float>(1.0 / std::sqrt(var)) : 1.0f;
+    }
+}
+
+} // namespace
+
+float
+Model::raw(const FeatureVec &x) const
+{
+    float z[kFeatureCount];
+    for (std::size_t f = 0; f < kFeatureCount; ++f)
+        z[f] = (x[f] - mean_[f]) * invStd_[f];
+    if (hidden_ == 0) {
+        float acc = b2_;
+        for (std::size_t f = 0; f < kFeatureCount; ++f)
+            acc += w2_[f] * z[f];
+        return acc;
+    }
+    float acc = b2_;
+    for (std::size_t h = 0; h < hidden_; ++h) {
+        float a = b1_[h];
+        const float *wrow = &w1_[h * kFeatureCount];
+        for (std::size_t f = 0; f < kFeatureCount; ++f)
+            a += wrow[f] * z[f];
+        acc += w2_[h] * std::tanh(a);
+    }
+    return acc;
+}
+
+float
+Model::predict(const FeatureVec &x) const
+{
+    return sigmoid(raw(x));
+}
+
+double
+Model::loss(const std::vector<Sample> &samples, float pos_weight) const
+{
+    if (samples.empty())
+        return 0.0;
+    double total = 0.0;
+    double weight = 0.0;
+    for (const Sample &s : samples) {
+        const double p =
+            std::clamp<double>(predict(s.x), 1e-7, 1.0 - 1e-7);
+        const double w = s.y > 0.5f ? pos_weight : 1.0;
+        total -= w * (s.y * std::log(p) + (1.0 - s.y) * std::log(1.0 - p));
+        weight += w;
+    }
+    return total / weight;
+}
+
+Model
+Model::train(const std::vector<Sample> &samples, const TrainParams &params)
+{
+    ANN_CHECK(!samples.empty(), "no training samples");
+    Model m;
+    m.hidden_ = params.hidden;
+    computeStats(samples, m.mean_, m.invStd_);
+
+    std::size_t positives = 0;
+    for (const Sample &s : samples)
+        positives += s.y > 0.5f ? 1 : 0;
+    float pos_weight = params.pos_weight;
+    if (pos_weight <= 0.0f) {
+        pos_weight = positives > 0
+                         ? static_cast<float>(samples.size() - positives) /
+                               static_cast<float>(positives)
+                         : 1.0f;
+        pos_weight = std::clamp(pos_weight, 1.0f, 64.0f);
+    }
+
+    Rng rng(params.seed);
+    const std::size_t in = kFeatureCount;
+    if (m.hidden_ == 0) {
+        m.w2_.assign(in, 0.0f);
+    } else {
+        m.w1_.resize(m.hidden_ * in);
+        m.b1_.assign(m.hidden_, 0.0f);
+        m.w2_.resize(m.hidden_);
+        const float scale1 = 1.0f / std::sqrt(static_cast<float>(in));
+        for (float &w : m.w1_)
+            w = static_cast<float>(rng.nextGaussian()) * scale1;
+        const float scale2 =
+            1.0f / std::sqrt(static_cast<float>(m.hidden_));
+        for (float &w : m.w2_)
+            w = static_cast<float>(rng.nextGaussian()) * scale2;
+    }
+
+    std::vector<std::size_t> order(samples.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+
+    float z[kFeatureCount];
+    std::vector<float> act(m.hidden_, 0.0f);
+    for (std::size_t epoch = 0; epoch < params.epochs; ++epoch) {
+        // Fisher-Yates with the deterministic Rng.
+        for (std::size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1], order[rng.nextBelow(i)]);
+        // 1/sqrt decay keeps late epochs from thrashing the threshold
+        // calibration while early epochs move fast.
+        const float lr = params.learning_rate /
+                         std::sqrt(1.0f + static_cast<float>(epoch));
+        for (const std::size_t idx : order) {
+            const Sample &s = samples[idx];
+            for (std::size_t f = 0; f < in; ++f)
+                z[f] = (s.x[f] - m.mean_[f]) * m.invStd_[f];
+            const float w = s.y > 0.5f ? pos_weight : 1.0f;
+            if (m.hidden_ == 0) {
+                float acc = m.b2_;
+                for (std::size_t f = 0; f < in; ++f)
+                    acc += m.w2_[f] * z[f];
+                const float g = w * (sigmoid(acc) - s.y);
+                for (std::size_t f = 0; f < in; ++f)
+                    m.w2_[f] -=
+                        lr * (g * z[f] + params.l2 * m.w2_[f]);
+                m.b2_ -= lr * g;
+                continue;
+            }
+            float acc = m.b2_;
+            for (std::size_t h = 0; h < m.hidden_; ++h) {
+                float a = m.b1_[h];
+                const float *wrow = &m.w1_[h * in];
+                for (std::size_t f = 0; f < in; ++f)
+                    a += wrow[f] * z[f];
+                act[h] = std::tanh(a);
+                acc += m.w2_[h] * act[h];
+            }
+            const float g = w * (sigmoid(acc) - s.y);
+            for (std::size_t h = 0; h < m.hidden_; ++h) {
+                const float gh =
+                    g * m.w2_[h] * (1.0f - act[h] * act[h]);
+                float *wrow = &m.w1_[h * in];
+                for (std::size_t f = 0; f < in; ++f)
+                    wrow[f] -= lr * (gh * z[f] + params.l2 * wrow[f]);
+                m.b1_[h] -= lr * gh;
+                m.w2_[h] -=
+                    lr * (g * act[h] + params.l2 * m.w2_[h]);
+            }
+            m.b2_ -= lr * g;
+        }
+    }
+    return m;
+}
+
+float
+Model::positivePercentile(const std::vector<Sample> &samples,
+                          double percentile) const
+{
+    std::vector<float> preds;
+    preds.reserve(samples.size());
+    for (const Sample &s : samples)
+        if (s.y > 0.5f)
+            preds.push_back(predict(s.x));
+    if (preds.empty())
+        return 0.0f;
+    std::sort(preds.begin(), preds.end());
+    const double frac = std::clamp(percentile / 100.0, 0.0, 1.0);
+    const std::size_t idx = std::min(
+        preds.size() - 1,
+        static_cast<std::size_t>(frac *
+                                 static_cast<double>(preds.size())));
+    return preds[idx];
+}
+
+void
+Model::save(std::ostream &out) const
+{
+    out << "annlearn-model v1\n";
+    out << "features " << kFeatureCount << "\n";
+    out << "hidden " << hidden_ << "\n";
+    out << "threshold " << threshold_ << "\n";
+    const auto dump = [&out](const char *name,
+                             const std::vector<float> &v) {
+        out << name << " " << v.size();
+        for (const float x : v)
+            out << " " << x;
+        out << "\n";
+    };
+    dump("mean", mean_);
+    dump("inv_std", invStd_);
+    dump("w1", w1_);
+    dump("b1", b1_);
+    dump("w2", w2_);
+    out << "b2 " << b2_ << "\n";
+}
+
+Model
+Model::load(std::istream &in)
+{
+    std::string line;
+    std::getline(in, line);
+    ANN_CHECK(line == "annlearn-model v1",
+              "bad model header: '", line, "'");
+    Model m;
+    const auto expectKey = [&in](const char *key) {
+        std::string k;
+        in >> k;
+        ANN_CHECK(k == key, "expected model key '", key, "', got '", k,
+                  "'");
+    };
+    std::size_t features = 0;
+    expectKey("features");
+    in >> features;
+    ANN_CHECK(features == kFeatureCount, "model feature count ", features,
+              " != built-in ", kFeatureCount);
+    expectKey("hidden");
+    in >> m.hidden_;
+    expectKey("threshold");
+    in >> m.threshold_;
+    const auto slurp = [&in, &expectKey](const char *key,
+                                         std::vector<float> &v) {
+        expectKey(key);
+        std::size_t n = 0;
+        in >> n;
+        ANN_CHECK(n <= (1u << 20), "model vector '", key,
+                  "' too large: ", n);
+        v.resize(n);
+        for (float &x : v)
+            in >> x;
+    };
+    slurp("mean", m.mean_);
+    slurp("inv_std", m.invStd_);
+    slurp("w1", m.w1_);
+    slurp("b1", m.b1_);
+    slurp("w2", m.w2_);
+    expectKey("b2");
+    in >> m.b2_;
+    ANN_CHECK(in.good() || in.eof(), "truncated model stream");
+    ANN_CHECK(m.mean_.size() == kFeatureCount &&
+                  m.invStd_.size() == kFeatureCount,
+              "model normalization size mismatch");
+    if (m.hidden_ == 0) {
+        ANN_CHECK(m.w2_.size() == kFeatureCount && m.w1_.empty(),
+                  "logistic model weight shape mismatch");
+    } else {
+        ANN_CHECK(m.w1_.size() == m.hidden_ * kFeatureCount &&
+                      m.b1_.size() == m.hidden_ &&
+                      m.w2_.size() == m.hidden_,
+                  "mlp model weight shape mismatch");
+    }
+    return m;
+}
+
+void
+Model::saveFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    ANN_CHECK(out.good(), "cannot open model file for write: ", path);
+    save(out);
+    ANN_CHECK(out.good(), "failed writing model file: ", path);
+}
+
+Model
+Model::loadFile(const std::string &path)
+{
+    std::ifstream in(path);
+    ANN_CHECK(in.good(), "cannot open model file: ", path);
+    return load(in);
+}
+
+} // namespace ann::learn

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The learned I/O-avoidance model: logistic regression or a one-
+ * hidden-layer tanh MLP over the PQ-space features of features.hh,
+ * trained by plain SGD — no external dependencies, a few hundred
+ * multiply-adds per prediction, deterministic given a seed.
+ *
+ * The model answers one question — "will expanding this candidate
+ * contribute to the final top-k?" — and the DiskANN search uses the
+ * answer two ways: ranking warm-set nodes to pick a per-query entry
+ * point, and gating beam expansion to stop hops whose best candidate
+ * is unlikely to matter (the confidence threshold is calibrated at
+ * training time and stored with the weights).
+ */
+
+#ifndef ANN_LEARN_MODEL_HH
+#define ANN_LEARN_MODEL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "learn/features.hh"
+
+namespace ann::learn {
+
+/** SGD hyperparameters for Model::train(). */
+struct TrainParams
+{
+    /** Hidden units; 0 = plain logistic regression. */
+    std::size_t hidden = 0;
+    std::size_t epochs = 40;
+    float learning_rate = 0.05f;
+    float l2 = 1e-4f;
+    /**
+     * Loss weight of positive examples (0 = auto: negatives /
+     * positives, balancing the heavily negative hop-record stream).
+     */
+    float pos_weight = 0.0f;
+    std::uint64_t seed = 1;
+};
+
+/** Logistic regression / 1-hidden-layer MLP with a stored threshold. */
+class Model
+{
+  public:
+    Model() = default;
+
+    /** False until trained or loaded. */
+    bool valid() const { return !w2_.empty(); }
+    std::size_t hiddenUnits() const { return hidden_; }
+
+    /** P(candidate reaches the final top-k) in [0, 1]. */
+    float predict(const FeatureVec &x) const;
+
+    /**
+     * Confidence gate calibrated at training time: the early-stop
+     * rule halts a search when every beam candidate predicts below
+     * this value.
+     */
+    float threshold() const { return threshold_; }
+    void setThreshold(float t) { threshold_ = t; }
+
+    /** Mean weighted log-loss over @p samples (quality metric). */
+    double loss(const std::vector<Sample> &samples,
+                float pos_weight = 1.0f) const;
+
+    /**
+     * SGD with per-epoch shuffling. Features are standardized
+     * internally (the affine transform is stored in the model, so
+     * predict() takes raw features). Deterministic per seed.
+     */
+    static Model train(const std::vector<Sample> &samples,
+                       const TrainParams &params);
+
+    /**
+     * Threshold calibration: the @p percentile -th percentile of the
+     * model's predictions over the *positive* samples — i.e. a gate
+     * that keeps (100 - percentile)% of known-useful expansions.
+     */
+    float positivePercentile(const std::vector<Sample> &samples,
+                             double percentile) const;
+
+    /** Text serialization (stable across platforms, diff-friendly). */
+    void save(std::ostream &out) const;
+    static Model load(std::istream &in);
+    void saveFile(const std::string &path) const;
+    static Model loadFile(const std::string &path);
+
+  private:
+    float raw(const FeatureVec &x) const;
+
+    std::size_t hidden_ = 0;
+    /** Feature standardization: z = (x - mean) * inv_std. */
+    std::vector<float> mean_;
+    std::vector<float> invStd_;
+    /** hidden x features (empty for logistic regression). */
+    std::vector<float> w1_;
+    std::vector<float> b1_;
+    /** Output weights: over hidden units, or features when hidden_=0. */
+    std::vector<float> w2_;
+    float b2_ = 0.0f;
+    float threshold_ = 0.5f;
+};
+
+} // namespace ann::learn
+
+#endif // ANN_LEARN_MODEL_HH

@@ -1,0 +1,185 @@
+#include "learn/policy.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "common/env.hh"
+
+namespace ann::learn {
+namespace {
+
+std::atomic<bool> &
+learnedEntryFlag()
+{
+    static std::atomic<bool> flag{envFlag("ANN_LEARNED_ENTRY", false)};
+    return flag;
+}
+
+std::atomic<bool> &
+earlyStopFlag()
+{
+    static std::atomic<bool> flag{envFlag("ANN_EARLY_STOP", false)};
+    return flag;
+}
+
+std::atomic<std::size_t> &
+entryCandidateFlag()
+{
+    static std::atomic<std::size_t> flag{static_cast<std::size_t>(
+        std::max<std::int64_t>(1, envInt("ANN_ENTRY_CANDIDATES", 256)))};
+    return flag;
+}
+
+std::atomic<std::size_t> &
+minHopsFlag()
+{
+    static std::atomic<std::size_t> flag{static_cast<std::size_t>(
+        std::max<std::int64_t>(0, envInt("ANN_EARLY_STOP_MIN_HOPS", 2)))};
+    return flag;
+}
+
+std::atomic<std::size_t> &
+patienceFlag()
+{
+    static std::atomic<std::size_t> flag{static_cast<std::size_t>(
+        std::max<std::int64_t>(1,
+                               envInt("ANN_EARLY_STOP_PATIENCE", 2)))};
+    return flag;
+}
+
+std::atomic<float> &
+thresholdOverrideFlag()
+{
+    static std::atomic<float> flag{[] {
+        const char *raw = std::getenv("ANN_EARLY_STOP_THRESHOLD");
+        if (raw == nullptr)
+            return -1.0f;
+        try {
+            return std::stof(raw);
+        } catch (...) {
+            return -1.0f;
+        }
+    }()};
+    return flag;
+}
+
+struct ModelSlot
+{
+    std::mutex mutex;
+    std::shared_ptr<const Model> model;
+    bool env_checked = false;
+};
+
+ModelSlot &
+modelSlot()
+{
+    static ModelSlot slot;
+    return slot;
+}
+
+} // namespace
+
+bool
+learnedEntryEnabled()
+{
+    return learnedEntryFlag().load(std::memory_order_relaxed);
+}
+
+void
+setLearnedEntryEnabled(bool enabled)
+{
+    learnedEntryFlag().store(enabled, std::memory_order_relaxed);
+}
+
+bool
+earlyStopEnabled()
+{
+    return earlyStopFlag().load(std::memory_order_relaxed);
+}
+
+void
+setEarlyStopEnabled(bool enabled)
+{
+    earlyStopFlag().store(enabled, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const Model>
+activeModel()
+{
+    ModelSlot &slot = modelSlot();
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (!slot.env_checked) {
+        slot.env_checked = true;
+        const std::string path = envString("ANN_LEARN_MODEL", "");
+        if (!path.empty())
+            slot.model =
+                std::make_shared<const Model>(Model::loadFile(path));
+    }
+    return slot.model;
+}
+
+void
+setActiveModel(std::shared_ptr<const Model> model)
+{
+    ModelSlot &slot = modelSlot();
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    slot.model = std::move(model);
+    // An explicit set overrides whatever $ANN_LEARN_MODEL would load.
+    slot.env_checked = true;
+}
+
+std::size_t
+entryCandidateCap()
+{
+    return entryCandidateFlag().load(std::memory_order_relaxed);
+}
+
+void
+setEntryCandidateCap(std::size_t cap)
+{
+    entryCandidateFlag().store(cap > 0 ? cap : 1,
+                               std::memory_order_relaxed);
+}
+
+std::size_t
+earlyStopMinHops()
+{
+    return minHopsFlag().load(std::memory_order_relaxed);
+}
+
+void
+setEarlyStopMinHops(std::size_t hops)
+{
+    minHopsFlag().store(hops, std::memory_order_relaxed);
+}
+
+std::size_t
+earlyStopPatience()
+{
+    return patienceFlag().load(std::memory_order_relaxed);
+}
+
+void
+setEarlyStopPatience(std::size_t hops)
+{
+    patienceFlag().store(hops > 0 ? hops : 1,
+                         std::memory_order_relaxed);
+}
+
+float
+earlyStopThresholdOverride()
+{
+    return thresholdOverrideFlag().load(std::memory_order_relaxed);
+}
+
+void
+setEarlyStopThresholdOverride(float threshold)
+{
+    thresholdOverrideFlag().store(threshold, std::memory_order_relaxed);
+}
+
+} // namespace ann::learn

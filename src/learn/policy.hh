@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Runtime policy switches for the learned I/O-avoidance path.
+ *
+ * Mirrors common/hotpath.hh: every knob is env-seeded, atomically
+ * readable from the search hot path, and settable at runtime so the
+ * A/B bench can flip configurations inside one process. Both learned
+ * behaviors default OFF — with the toggles off the beam search must
+ * stay bit-identical to the unlearned baseline.
+ */
+
+#ifndef ANN_LEARN_POLICY_HH
+#define ANN_LEARN_POLICY_HH
+
+#include <cstddef>
+#include <memory>
+
+#include "learn/model.hh"
+
+namespace ann::learn {
+
+/**
+ * Per-query predicted entry point replacing the fixed medoid
+ * ($ANN_LEARNED_ENTRY, default off). Only engages when a model is
+ * active; the entry is chosen among cache-warm nodes so prediction
+ * never costs I/O.
+ */
+bool learnedEntryEnabled();
+void setLearnedEntryEnabled(bool enabled);
+
+/**
+ * Confidence-gated early beam termination ($ANN_EARLY_STOP, default
+ * off). Only engages when a model is active.
+ */
+bool earlyStopEnabled();
+void setEarlyStopEnabled(bool enabled);
+
+/**
+ * The process-wide model driving both learned behaviors. First call
+ * lazily loads $ANN_LEARN_MODEL if set; returns nullptr when no model
+ * is available (both toggles then behave as off).
+ */
+std::shared_ptr<const Model> activeModel();
+void setActiveModel(std::shared_ptr<const Model> model);
+
+/**
+ * Cap on warm-set nodes scored during entry prediction
+ * ($ANN_ENTRY_CANDIDATES, default 256). Larger warm sets are
+ * stride-sampled down to this many.
+ */
+std::size_t entryCandidateCap();
+void setEntryCandidateCap(std::size_t cap);
+
+/**
+ * Hops always expanded before the early-stop gate may fire
+ * ($ANN_EARLY_STOP_MIN_HOPS, default 2) — the first hops establish
+ * the frontier the features are measured against.
+ */
+std::size_t earlyStopMinHops();
+void setEarlyStopMinHops(std::size_t hops);
+
+/**
+ * Consecutive below-threshold hops required before the early-stop
+ * gate fires ($ANN_EARLY_STOP_PATIENCE, default 2, floor 1). A
+ * single mispredicted hop would otherwise kill the whole query;
+ * sustained low confidence is the converged-tail signal.
+ */
+std::size_t earlyStopPatience();
+void setEarlyStopPatience(std::size_t hops);
+
+/**
+ * Override of the model's calibrated early-stop threshold
+ * ($ANN_EARLY_STOP_THRESHOLD; negative = use the model's own).
+ */
+float earlyStopThresholdOverride();
+void setEarlyStopThresholdOverride(float threshold);
+
+} // namespace ann::learn
+
+#endif // ANN_LEARN_POLICY_HH

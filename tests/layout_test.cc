@@ -88,6 +88,70 @@ TEST(PackedBfsOrderTest, FirstPageHoldsTheMedoidNeighbourhood)
     EXPECT_LT(position[2], 3u);
 }
 
+/** Two components: 0->{9} (reachable), 2->{7}; medoid 0. */
+VamanaGraph
+twoComponentGraph()
+{
+    VamanaGraph graph;
+    graph.adjacency.assign(10, {});
+    graph.adjacency[0] = {9};
+    graph.adjacency[2] = {7};
+    graph.medoid = 0;
+    graph.max_degree = 1;
+    return graph;
+}
+
+TEST(PackedBfsOrderTest, DryFrontierTopsUpAcrossComponents)
+{
+    // BFS from the medoid reaches only {0, 9}; the rest of the graph
+    // is disconnected and follows in id order. Every page must still
+    // fill to its boundary by topping up from that order whenever the
+    // local frontier runs dry mid-page.
+    const auto position = packedBfsOrder(twoComponentGraph(), 3);
+    EXPECT_TRUE(isPermutation(position));
+    // Page 0: seed 0 pulls its only neighbour 9, dries out, and tops
+    // up with node 1. Page 1: seed 2 jumps ahead to its neighbour 7,
+    // dries out, and tops up with 3. Pages 2-3 are pure top-up.
+    const std::vector<std::uint32_t> expected{0, 2, 3, 5, 6,
+                                              7, 8, 4, 9, 1};
+    EXPECT_EQ(position, expected);
+}
+
+TEST(PackedBfsOrderTest, OutOfRangeMedoidFallsBackToIdOrder)
+{
+    // Nothing is reachable when the medoid index is invalid: the
+    // whole graph is "disconnected remainder" and must come out as
+    // the identity permutation at one node per page.
+    VamanaGraph graph;
+    graph.adjacency.assign(6, {});
+    graph.adjacency[1] = {5};
+    graph.medoid = 42;
+    const auto position = packedBfsOrder(graph, 1);
+    const std::vector<std::uint32_t> expected{0, 1, 2, 3, 4, 5};
+    EXPECT_EQ(position, expected);
+}
+
+TEST(PackedBfsOrderTest, ManyComponentsStayPermutationsForAnyPageSize)
+{
+    // Dozens of 2-node components on a prime node count: the dry
+    // frontier fires once per component and pages never divide the
+    // graph evenly, whatever the page size.
+    VamanaGraph graph;
+    const std::size_t rows = 101;
+    graph.adjacency.assign(rows, {});
+    for (std::size_t v = 0; v + 1 < rows; v += 4)
+        graph.adjacency[v] = {static_cast<VectorId>(v + 1)};
+    graph.medoid = 0;
+    graph.max_degree = 1;
+    for (const std::size_t nodes_per_page : {2u, 3u, 7u, 64u}) {
+        const auto position = packedBfsOrder(graph, nodes_per_page);
+        EXPECT_TRUE(isPermutation(position))
+            << nodes_per_page << " nodes/page";
+        EXPECT_EQ(position[graph.medoid], 0u)
+            << nodes_per_page << " nodes/page";
+    }
+}
+
 TEST(PackedBfsOrderTest, EmptyGraphYieldsEmptyOrder)
 {
     VamanaGraph graph;

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Tests for the learned I/O-avoidance subsystem (src/learn): feature
+ * extraction, future-inclusive labeling and stall derivation in
+ * samplesFromTraces, model training / serialization round-trips,
+ * runtime policy knobs, the HopSink capture path, and the contract
+ * that a loaded model with the toggles off leaves search results
+ * bit-identical.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hh"
+#include "index/diskann_index.hh"
+#include "learn/features.hh"
+#include "learn/hoplog.hh"
+#include "learn/model.hh"
+#include "learn/policy.hh"
+#include "test_util.hh"
+
+namespace ann {
+namespace {
+
+using testutil::makeClusteredData;
+using testutil::TestData;
+
+learn::HopRecord
+record(std::uint32_t hop, float adc, float best, float kth,
+       std::uint8_t reached)
+{
+    learn::HopRecord h;
+    h.node = hop;
+    h.hop = hop;
+    h.adc = adc;
+    h.best_adc = best;
+    h.kth_adc = kth;
+    h.entry_adc = 4.0f;
+    h.reached_topk = reached;
+    return h;
+}
+
+TEST(FeaturizeTest, RatiosClampAndStallSaturates)
+{
+    ASSERT_EQ(learn::kFeatureCount, 7u);
+    learn::CandidateSignals s;
+    s.adc = 2.0f;
+    s.best_adc = 1.0f;
+    s.kth_adc = 4.0f;
+    s.entry_adc = 8.0f;
+    s.hop = 3;
+    s.stall = 2;
+    const learn::FeatureVec x = learn::featurize(s);
+    EXPECT_FLOAT_EQ(x[0], 0.5f);  // adc / kth
+    EXPECT_FLOAT_EQ(x[1], 0.25f); // adc / entry
+    EXPECT_NEAR(x[2], 1.0f / 3.0f, 1e-6);
+    EXPECT_FLOAT_EQ(x[3], 2.0f); // adc / best
+    EXPECT_FLOAT_EQ(x[4], 3.0f / 16.0f);
+    EXPECT_FLOAT_EQ(x[5], 0.25f);
+    EXPECT_FLOAT_EQ(x[6], 0.25f); // stall / 8
+
+    // Degenerate inputs clamp instead of blowing up.
+    s.best_adc = 0.0f;
+    s.kth_adc = 0.0f;
+    s.entry_adc = 0.0f;
+    const learn::FeatureVec y = learn::featurize(s);
+    for (std::size_t f = 0; f < 4; ++f) {
+        EXPECT_GE(y[f], 0.0f) << f;
+        EXPECT_LE(y[f], 8.0f) << f;
+    }
+
+    // The stall feature saturates at 32 hops.
+    s.stall = 1000;
+    EXPECT_FLOAT_EQ(learn::featurize(s)[6], 4.0f);
+}
+
+TEST(SamplesFromTracesTest, LabelsAreFutureInclusive)
+{
+    // Expansions at hops 0..4; the last top-k hit happens at hop 2.
+    // Every record at hop <= 2 is positive ("useful work remained"),
+    // later ones negative — including the hop-3 record between hits
+    // in per-node terms.
+    learn::QueryHopTrace t;
+    t.hops = {record(0, 3, 3, 9, 1), record(1, 4, 3, 8, 0),
+              record(2, 5, 3, 8, 1), record(3, 6, 3, 8, 0),
+              record(4, 7, 3, 8, 0)};
+    const auto samples = learn::samplesFromTraces({t});
+    ASSERT_EQ(samples.size(), 5u);
+    EXPECT_FLOAT_EQ(samples[0].y, 1.0f);
+    EXPECT_FLOAT_EQ(samples[1].y, 1.0f);
+    EXPECT_FLOAT_EQ(samples[2].y, 1.0f);
+    EXPECT_FLOAT_EQ(samples[3].y, 0.0f);
+    EXPECT_FLOAT_EQ(samples[4].y, 0.0f);
+
+    // A trace with no top-k hits at all is all-negative.
+    for (auto &h : t.hops)
+        h.reached_topk = 0;
+    for (const auto &s : learn::samplesFromTraces({t}))
+        EXPECT_FLOAT_EQ(s.y, 0.0f);
+}
+
+TEST(SamplesFromTracesTest, StallCounterTracksKthImprovement)
+{
+    // kth_adc per hop: 10, 10, 8, 8, 8 -> the frontier improves at
+    // hops 0 and 2, so the stall counter reads 0, 1, 0, 1, 2.
+    learn::QueryHopTrace t;
+    t.hops = {record(0, 3, 3, 10, 1), record(1, 3, 3, 10, 0),
+              record(2, 3, 3, 8, 0), record(3, 3, 3, 8, 0),
+              record(4, 3, 3, 8, 0)};
+    const auto samples = learn::samplesFromTraces({t});
+    ASSERT_EQ(samples.size(), 5u);
+    const float expected_stall[] = {0.0f, 1.0f, 0.0f, 1.0f, 2.0f};
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_FLOAT_EQ(samples[i].x[6], expected_stall[i] / 8.0f)
+            << "hop " << i;
+}
+
+std::vector<learn::Sample>
+separableSamples(std::size_t n)
+{
+    // Positives sit at x0 = 0.5, negatives at x0 = 2.0; every other
+    // feature is constant, so feature 0 alone decides the class.
+    std::vector<learn::Sample> samples(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        learn::Sample &s = samples[i];
+        s.x.fill(0.5f);
+        s.x[0] = i % 2 == 0 ? 0.5f : 2.0f;
+        s.y = i % 2 == 0 ? 1.0f : 0.0f;
+    }
+    return samples;
+}
+
+TEST(ModelTest, TrainsSeparableDataBothArchitectures)
+{
+    const auto samples = separableSamples(200);
+    learn::FeatureVec pos = samples[0].x;
+    learn::FeatureVec neg = samples[1].x;
+    for (const std::size_t hidden : {std::size_t{0}, std::size_t{4}}) {
+        learn::TrainParams params;
+        params.hidden = hidden;
+        params.epochs = 80;
+        params.seed = 7;
+        const learn::Model model = learn::Model::train(samples, params);
+        ASSERT_TRUE(model.valid()) << hidden << " hidden units";
+        EXPECT_EQ(model.hiddenUnits(), hidden);
+        EXPECT_GT(model.predict(pos), 0.8f) << hidden;
+        EXPECT_LT(model.predict(neg), 0.2f) << hidden;
+        // Deterministic per seed.
+        const learn::Model again = learn::Model::train(samples, params);
+        EXPECT_FLOAT_EQ(model.predict(pos), again.predict(pos));
+    }
+}
+
+TEST(ModelTest, SaveLoadRoundTripPreservesPredictions)
+{
+    const auto samples = separableSamples(120);
+    learn::TrainParams params;
+    params.hidden = 4;
+    params.epochs = 50;
+    learn::Model model = learn::Model::train(samples, params);
+    model.setThreshold(0.123f);
+
+    std::stringstream buf;
+    model.save(buf);
+    const learn::Model loaded = learn::Model::load(buf);
+    ASSERT_TRUE(loaded.valid());
+    EXPECT_EQ(loaded.hiddenUnits(), 4u);
+    EXPECT_FLOAT_EQ(loaded.threshold(), 0.123f);
+    for (const auto &s : samples)
+        EXPECT_NEAR(model.predict(s.x), loaded.predict(s.x), 1e-4)
+            << "prediction drift through text round-trip";
+}
+
+TEST(ModelTest, PositivePercentileIsMonotonic)
+{
+    const auto samples = separableSamples(100);
+    learn::TrainParams params;
+    params.epochs = 50;
+    const learn::Model model = learn::Model::train(samples, params);
+    const float p10 = model.positivePercentile(samples, 10.0);
+    const float p50 = model.positivePercentile(samples, 50.0);
+    const float p90 = model.positivePercentile(samples, 90.0);
+    EXPECT_LE(p10, p50);
+    EXPECT_LE(p50, p90);
+    EXPECT_GE(p10, 0.0f);
+    EXPECT_LE(p90, 1.0f);
+}
+
+TEST(HopCsvTest, WriteReadRoundTrip)
+{
+    learn::QueryHopTrace t;
+    t.query_seq = 3;
+    t.query_code = {0x00, 0xab, 0xff};
+    t.hops = {record(0, 1.5f, 1.5f, 2.25f, 1),
+              record(1, 3.5f, 1.5f, 2.0f, 0)};
+    // An index without PQ leaves the query code empty; the reader
+    // must cope with the resulting trailing empty CSV field.
+    learn::QueryHopTrace bare;
+    bare.query_seq = 4;
+    bare.hops = {record(0, 1.0f, 1.0f, 2.0f, 1)};
+    std::stringstream buf;
+    learn::writeHopCsv(buf, {t, bare});
+    const auto traces = learn::readHopCsv(buf);
+    ASSERT_EQ(traces.size(), 2u);
+    EXPECT_TRUE(traces[1].query_code.empty());
+    ASSERT_EQ(traces[1].hops.size(), 1u);
+    EXPECT_EQ(traces[0].query_seq, 3u);
+    EXPECT_EQ(traces[0].query_code, t.query_code);
+    ASSERT_EQ(traces[0].hops.size(), 2u);
+    EXPECT_EQ(traces[0].hops[1].hop, 1u);
+    EXPECT_FLOAT_EQ(traces[0].hops[1].adc, 3.5f);
+    EXPECT_FLOAT_EQ(traces[0].hops[0].kth_adc, 2.25f);
+    EXPECT_EQ(traces[0].hops[0].reached_topk, 1);
+    EXPECT_EQ(traces[0].hops[1].reached_topk, 0);
+}
+
+TEST(HopCsvTest, RejectsBadHeader)
+{
+    std::stringstream buf("not a hop log\n");
+    EXPECT_THROW(learn::readHopCsv(buf), FatalError);
+}
+
+TEST(HopSinkTest, CaptureIsExplicitAndDrainEmpties)
+{
+    learn::HopSink &sink = learn::HopSink::instance();
+    EXPECT_FALSE(sink.enabled());
+    sink.setEnabled(true);
+    EXPECT_TRUE(sink.enabled());
+    const std::uint64_t seq = sink.nextSeq();
+    EXPECT_EQ(sink.nextSeq(), seq + 1);
+    learn::QueryHopTrace t;
+    t.query_seq = seq;
+    t.hops = {record(0, 1, 1, 2, 0)};
+    sink.append(t);
+    sink.append(t);
+    EXPECT_EQ(sink.size(), 2u);
+    const auto drained = sink.drain();
+    EXPECT_EQ(drained.size(), 2u);
+    EXPECT_EQ(sink.size(), 0u);
+    sink.setEnabled(false);
+}
+
+TEST(PolicyTest, TogglesDefaultOffAndKnobsFloor)
+{
+    // Both learned behaviors must default off (no env set in tests).
+    EXPECT_FALSE(learn::learnedEntryEnabled());
+    EXPECT_FALSE(learn::earlyStopEnabled());
+
+    learn::setLearnedEntryEnabled(true);
+    learn::setEarlyStopEnabled(true);
+    EXPECT_TRUE(learn::learnedEntryEnabled());
+    EXPECT_TRUE(learn::earlyStopEnabled());
+    learn::setLearnedEntryEnabled(false);
+    learn::setEarlyStopEnabled(false);
+
+    // Patience and the candidate cap floor at 1; min hops takes 0.
+    const std::size_t patience = learn::earlyStopPatience();
+    learn::setEarlyStopPatience(0);
+    EXPECT_EQ(learn::earlyStopPatience(), 1u);
+    learn::setEarlyStopPatience(patience);
+
+    const std::size_t cap = learn::entryCandidateCap();
+    learn::setEntryCandidateCap(0);
+    EXPECT_EQ(learn::entryCandidateCap(), 1u);
+    learn::setEntryCandidateCap(cap);
+
+    const std::size_t min_hops = learn::earlyStopMinHops();
+    learn::setEarlyStopMinHops(0);
+    EXPECT_EQ(learn::earlyStopMinHops(), 0u);
+    learn::setEarlyStopMinHops(min_hops);
+
+    const float override_t = learn::earlyStopThresholdOverride();
+    learn::setEarlyStopThresholdOverride(0.25f);
+    EXPECT_FLOAT_EQ(learn::earlyStopThresholdOverride(), 0.25f);
+    learn::setEarlyStopThresholdOverride(override_t);
+}
+
+TEST(PolicyTest, ActiveModelSlotIsSettable)
+{
+    const auto samples = separableSamples(60);
+    learn::TrainParams params;
+    params.epochs = 30;
+    auto model = std::make_shared<const learn::Model>(
+        learn::Model::train(samples, params));
+    learn::setActiveModel(model);
+    EXPECT_EQ(learn::activeModel().get(), model.get());
+    learn::setActiveModel(nullptr);
+    EXPECT_EQ(learn::activeModel(), nullptr);
+}
+
+TEST(LearnedSearchTest, LoadedModelWithTogglesOffIsBitIdentical)
+{
+    // The hard contract behind $ANN_LEARNED_ENTRY / $ANN_EARLY_STOP
+    // defaulting off: publishing a model must not perturb search at
+    // all until a toggle is flipped — and flipping one must still
+    // return k well-formed neighbours.
+    const TestData data = makeClusteredData(600, 8, 24, 99);
+    DiskAnnBuildParams build;
+    build.graph.max_degree = 16;
+    build.graph.build_list = 32;
+    build.pq.m = 8;
+    build.pq.ksub = 256;
+    DiskAnnIndex index;
+    index.build(data.baseView(), build);
+
+    DiskAnnSearchParams params;
+    params.k = 5;
+    params.search_list = 24;
+    params.beam_width = 2;
+
+    std::vector<SearchResult> baseline;
+    for (std::size_t q = 0; q < data.num_queries; ++q)
+        baseline.push_back(index.search(data.queryView().row(q), params));
+
+    const auto samples = separableSamples(80);
+    learn::TrainParams tp;
+    tp.hidden = 4;
+    tp.epochs = 30;
+    learn::setActiveModel(std::make_shared<const learn::Model>(
+        learn::Model::train(samples, tp)));
+
+    for (std::size_t q = 0; q < data.num_queries; ++q) {
+        const SearchResult got =
+            index.search(data.queryView().row(q), params);
+        EXPECT_EQ(got, baseline[q]) << "query " << q;
+    }
+
+    learn::setLearnedEntryEnabled(true);
+    learn::setEarlyStopEnabled(true);
+    for (std::size_t q = 0; q < data.num_queries; ++q) {
+        const SearchResult got =
+            index.search(data.queryView().row(q), params);
+        ASSERT_EQ(got.size(), params.k) << "query " << q;
+        for (std::size_t i = 1; i < got.size(); ++i)
+            EXPECT_LE(got[i - 1].distance, got[i].distance);
+    }
+    learn::setLearnedEntryEnabled(false);
+    learn::setEarlyStopEnabled(false);
+    learn::setActiveModel(nullptr);
+}
+
+} // namespace
+} // namespace ann

@@ -11,6 +11,10 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
+
+#include "learn/hoplog.hh"
+#include "learn/model.hh"
 
 namespace {
 
@@ -116,11 +120,78 @@ TEST(ToolsCliTest, AnnloadRejectsNonNumericOption)
         << r.output;
 }
 
+TEST(ToolsCliTest, AnntrainRejectsUnknownFlag)
+{
+    const auto r = run(std::string(ANNTRAIN_PATH) + " --learn-rate 1");
+    EXPECT_NE(r.exit_code, 0);
+    EXPECT_NE(r.output.find("unknown option"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
+TEST(ToolsCliTest, AnntrainRequiresInputAndOutput)
+{
+    const auto missing_input = run(std::string(ANNTRAIN_PATH));
+    EXPECT_NE(missing_input.exit_code, 0);
+    EXPECT_NE(missing_input.output.find("--input is required"),
+              std::string::npos)
+        << missing_input.output;
+
+    const auto missing_output =
+        run(std::string(ANNTRAIN_PATH) + " --input hops.csv");
+    EXPECT_NE(missing_output.exit_code, 0);
+    EXPECT_NE(missing_output.output.find("--output is required"),
+              std::string::npos)
+        << missing_output.output;
+}
+
+TEST(ToolsCliTest, AnntrainTrainsFromDumpedHops)
+{
+    // End to end over the real file formats: dump a tiny labeled hop
+    // log, train on it, and load the resulting model back.
+    const std::string csv = "tools_cli_anntrain_hops.csv";
+    const std::string model_path = "tools_cli_anntrain.model";
+    std::vector<ann::learn::QueryHopTrace> traces(40);
+    for (std::size_t q = 0; q < traces.size(); ++q) {
+        traces[q].query_seq = q;
+        for (std::uint32_t hop = 0; hop < 6; ++hop) {
+            ann::learn::HopRecord h;
+            h.node = hop;
+            h.hop = hop;
+            // Early hops sit close to the frontier and reach the
+            // top-k; late hops drift away and never do.
+            h.adc = 1.0f + static_cast<float>(hop);
+            h.best_adc = 1.0f;
+            h.kth_adc = 3.0f;
+            h.entry_adc = 6.0f;
+            h.reached_topk = hop < 2 ? 1 : 0;
+            traces[q].hops.push_back(h);
+        }
+    }
+    ann::learn::writeHopCsvFile(csv, traces);
+
+    const auto r = run(std::string(ANNTRAIN_PATH) + " --input " + csv +
+                       " --output " + model_path +
+                       " --hidden 4 --epochs 30");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("wrote " + model_path), std::string::npos)
+        << r.output;
+
+    const ann::learn::Model model =
+        ann::learn::Model::loadFile(model_path);
+    EXPECT_TRUE(model.valid());
+    EXPECT_EQ(model.hiddenUnits(), 4u);
+    EXPECT_GT(model.threshold(), 0.0f);
+    std::remove(csv.c_str());
+    std::remove(model_path.c_str());
+}
+
 TEST(ToolsCliTest, HelpExitsZero)
 {
     EXPECT_EQ(run(std::string(ANNBENCH_PATH) + " --help").exit_code, 0);
     EXPECT_EQ(run(std::string(ANNSERVE_PATH) + " --help").exit_code, 0);
     EXPECT_EQ(run(std::string(ANNLOAD_PATH) + " --help").exit_code, 0);
+    EXPECT_EQ(run(std::string(ANNTRAIN_PATH) + " --help").exit_code, 0);
 }
 
 } // namespace

@@ -14,8 +14,10 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "common/args.hh"
@@ -27,6 +29,8 @@
 #include "core/report.hh"
 #include "core/tuner.hh"
 #include "index/layout.hh"
+#include "learn/hoplog.hh"
+#include "learn/policy.hh"
 #include "storage/block_tracer.hh"
 #include "storage/io_backend.hh"
 #include "storage/trace_analysis.hh"
@@ -83,7 +87,29 @@ printUsage()
         "                      before every sweep point (cold runs)\n"
         "  --duration-ms N     virtual run length (default 2000)\n"
         "  --trace FILE        dump the block trace as CSV\n"
+        "  --learn-dump FILE   capture labeled per-hop records "
+        "(DiskANN)\n"
+        "                      over the query set into an "
+        "annlearn-hops\n"
+        "                      CSV for tools/anntrain\n"
+        "  --learn-model FILE  activate a trained model "
+        "(tools/anntrain\n"
+        "                      output; default: $ANN_LEARN_MODEL)\n"
+        "  --learned-entry     predict per-query entry points with "
+        "the\n"
+        "                      active model (default: "
+        "$ANN_LEARNED_ENTRY)\n"
+        "  --early-stop        confidence-gated beam termination\n"
+        "                      (default: $ANN_EARLY_STOP)\n"
         "  --help              this message\n");
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
 }
 
 int
@@ -139,14 +165,28 @@ runBench(const ann::ArgParser &args)
         setDefaultLayoutPolicy(policy);
     }
 
+    // Learned-policy setup before any query runs: activate a trained
+    // model and/or flip the toggles (flags OR into the env defaults).
+    if (args.has("learn-model"))
+        learn::setActiveModel(std::make_shared<const learn::Model>(
+            learn::Model::loadFile(args.get("learn-model", ""))));
+    if (args.flag("learned-entry"))
+        learn::setLearnedEntryEnabled(true);
+    if (args.flag("early-stop"))
+        learn::setEarlyStopEnabled(true);
+
     std::printf("loading %s and preparing %s...\n",
                 dataset_name.c_str(), setup.c_str());
+    const auto build_start = std::chrono::steady_clock::now();
     const auto dataset = workload::loadOrGenerate(dataset_name);
     auto engine = core::prepareEngine(setup, dataset);
+    const double build_s = secondsSince(build_start);
 
     // Tuned defaults, overridden by explicit options.
+    const auto warm_start = std::chrono::steady_clock::now();
     engine::SearchSettings settings =
         core::tunedSettings(*engine, dataset, 0.9).settings;
+    const double warm_s = secondsSince(warm_start);
     settings.k = static_cast<std::size_t>(
         args.getInt("k", static_cast<std::int64_t>(settings.k)));
     if (args.has("nprobe"))
@@ -178,9 +218,11 @@ runBench(const ann::ArgParser &args)
     TextTable table(setup + " on " + dataset_name);
     table.setHeader({"threads", "QPS", "mean (us)", "P99 (us)",
                      "P99.9 (us)", "recall@10", "CPU %", "read MiB/s",
-                     "MiB/query", "hit %", "MiB saved"});
+                     "MiB/query", "hit %", "MiB saved", "build (s)",
+                     "warm (s)", "measure (s)"});
     const bool want_trace = args.has("trace");
     const bool drop_caches = args.flag("drop-caches");
+    bool first_row = true;
     for (const std::size_t t : threads) {
         if (drop_caches) {
             // Cold point: empty the dynamic sector cache and force a
@@ -189,8 +231,10 @@ runBench(const ann::ArgParser &args)
             engine->dropNodeCache();
             runner.clearTraceCache();
         }
+        const auto measure_start = std::chrono::steady_clock::now();
         const auto m = runner.measure(*engine, dataset, settings, t,
                                       want_trace);
+        const double measure_s = secondsSince(measure_start);
         const double mib_per_query =
             m.replay.completed
                 ? static_cast<double>(m.replay.read_bytes) /
@@ -208,7 +252,13 @@ runBench(const ann::ArgParser &args)
                       core::fmtMib(m.replay.read_bw_mib),
                       formatDouble(mib_per_query, 3),
                       core::fmtHitRate(m.cache),
-                      core::fmtMibSaved(m.cache)});
+                      core::fmtMibSaved(m.cache),
+                      // Build/warm happen once; charge them to the
+                      // first sweep point so row sums stay honest.
+                      first_row ? formatDouble(build_s, 2) : "-",
+                      first_row ? formatDouble(warm_s, 2) : "-",
+                      formatDouble(measure_s, 2)});
+        first_row = false;
         if (want_trace && t == threads.back() && !m.replay.oom) {
             storage::BlockTracer tracer;
             for (const auto &event : m.replay.trace)
@@ -224,6 +274,32 @@ runBench(const ann::ArgParser &args)
         }
     }
     table.print(std::cout);
+
+    if (args.has("learn-dump")) {
+        // Training-data export: re-run the query set with the
+        // process-wide hop sink armed, then dump the labeled records.
+        const std::string path = args.get("learn-dump", "hops.csv");
+        learn::HopSink &sink = learn::HopSink::instance();
+        sink.setEnabled(true);
+        core::runAllQueries(*engine, dataset, settings,
+                            dataset.num_queries);
+        sink.setEnabled(false);
+        const auto traces = sink.drain();
+        std::size_t records = 0;
+        for (const auto &t : traces)
+            records += t.hops.size();
+        learn::writeHopCsvFile(path, traces);
+        if (records == 0)
+            std::fprintf(stderr,
+                         "annbench: --learn-dump captured no hop "
+                         "records (does setup '%s' include a DiskANN "
+                         "segment?)\n",
+                         setup.c_str());
+        else
+            std::printf(
+                "learn dump: %zu queries, %zu hop records -> %s\n",
+                traces.size(), records, path.c_str());
+    }
     return 0;
 }
 
@@ -236,9 +312,10 @@ main(int argc, char **argv)
     ArgParser args({"setup", "dataset", "threads", "exec-threads", "k",
                     "nprobe", "ef-search", "search-list", "beam-width",
                     "io-backend", "io-queue-depth", "node-cache-mb",
-                    "warm-nodes", "layout", "duration-ms", "trace"},
+                    "warm-nodes", "layout", "duration-ms", "trace",
+                    "learn-dump", "learn-model"},
                    {"help", "verify-exec", "drop-caches",
-                    "pin-threads"});
+                    "pin-threads", "learned-entry", "early-stop"});
     try {
         args.parse(argc, argv);
     } catch (const FatalError &e) {

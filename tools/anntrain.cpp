@@ -1,0 +1,143 @@
+/**
+ * @file
+ * anntrain — offline trainer for the learned I/O-avoidance model.
+ *
+ * Consumes the labeled per-hop records that `annbench --learn-dump`
+ * (or the bench_ext_real_io learned phase) exports, fits a logistic
+ * regression or 1-hidden-layer MLP by SGD, calibrates the early-stop
+ * confidence threshold from the positive-prediction distribution, and
+ * serializes the weights for `$ANN_LEARN_MODEL` /
+ * `annbench --learn-model`:
+ *
+ *   annbench --setup milvus-diskann --learn-dump hops.csv
+ *   anntrain --input hops.csv --output entry.model
+ *   ANN_LEARN_MODEL=entry.model ANN_LEARNED_ENTRY=1 ANN_EARLY_STOP=1 \
+ *       annbench --setup milvus-diskann --io-backend file
+ *
+ * Training is deterministic per --seed; no external dependencies.
+ */
+
+#include <cstdio>
+
+#include "common/args.hh"
+#include "common/error.hh"
+#include "learn/hoplog.hh"
+#include "learn/model.hh"
+
+namespace {
+
+void
+printUsage()
+{
+    std::printf(
+        "usage: anntrain --input HOPS.csv --output MODEL [options]\n"
+        "  --input FILE        annlearn-hops CSV (annbench "
+        "--learn-dump)\n"
+        "  --output FILE       where to write the trained model\n"
+        "  --hidden N          hidden units (0 = logistic regression,\n"
+        "                      default 0)\n"
+        "  --epochs N          SGD epochs (default 40)\n"
+        "  --lr F              initial learning rate (default 0.05)\n"
+        "  --l2 F              L2 regularization (default 1e-4)\n"
+        "  --seed N            shuffle/init seed (default 1)\n"
+        "  --threshold-pct P   early-stop threshold = P-th percentile "
+        "of\n"
+        "                      predictions on positive samples "
+        "(default 2:\n"
+        "                      the gate keeps 98%% of known-useful "
+        "hops)\n"
+        "  --help              this message\n");
+}
+
+int
+runTrain(const ann::ArgParser &args)
+{
+    using namespace ann;
+    ANN_CHECK(args.has("input"), "--input is required");
+    ANN_CHECK(args.has("output"), "--output is required");
+    const std::string input = args.get("input", "");
+    const std::string output = args.get("output", "");
+
+    const auto traces = learn::readHopCsvFile(input);
+    const auto samples = learn::samplesFromTraces(traces);
+    ANN_CHECK(!samples.empty(), "no hop records in ", input);
+    std::size_t positives = 0;
+    for (const auto &s : samples)
+        positives += s.y > 0.5f ? 1 : 0;
+    std::printf("anntrain: %zu queries, %zu samples (%zu positive, "
+                "%.2f%%)\n",
+                traces.size(), samples.size(), positives,
+                100.0 * static_cast<double>(positives) /
+                    static_cast<double>(samples.size()));
+    ANN_CHECK(positives > 0 && positives < samples.size(),
+              "training needs both positive and negative samples");
+
+    learn::TrainParams params;
+    params.hidden =
+        static_cast<std::size_t>(args.getInt("hidden", 0));
+    params.epochs =
+        static_cast<std::size_t>(args.getInt("epochs", 40));
+    params.learning_rate =
+        static_cast<float>(std::stod(args.get("lr", "0.05")));
+    params.l2 = static_cast<float>(std::stod(args.get("l2", "1e-4")));
+    params.seed = static_cast<std::uint64_t>(args.getInt("seed", 1));
+
+    learn::Model model = learn::Model::train(samples, params);
+    const double pct =
+        std::stod(args.get("threshold-pct", "2"));
+    model.setThreshold(model.positivePercentile(samples, pct));
+
+    // Quality summary: loss + how the calibrated gate splits the set.
+    std::size_t pos_kept = 0, neg_cut = 0;
+    for (const auto &s : samples) {
+        const bool above = model.predict(s.x) >= model.threshold();
+        if (s.y > 0.5f && above)
+            ++pos_kept;
+        if (s.y <= 0.5f && !above)
+            ++neg_cut;
+    }
+    std::printf("anntrain: %s, log-loss %.4f, threshold %.4f "
+                "(keeps %.1f%% of positives, cuts %.1f%% of "
+                "negatives)\n",
+                params.hidden == 0
+                    ? "logistic regression"
+                    : "1-hidden-layer MLP",
+                model.loss(samples),
+                static_cast<double>(model.threshold()),
+                100.0 * static_cast<double>(pos_kept) /
+                    static_cast<double>(positives),
+                100.0 * static_cast<double>(neg_cut) /
+                    static_cast<double>(samples.size() - positives));
+
+    model.saveFile(output);
+    std::printf("anntrain: wrote %s\n", output.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ann;
+    ArgParser args({"input", "output", "hidden", "epochs", "lr", "l2",
+                    "seed", "threshold-pct"},
+                   {"help"});
+    try {
+        args.parse(argc, argv);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        printUsage();
+        return 1;
+    }
+    if (args.flag("help")) {
+        printUsage();
+        return 0;
+    }
+    try {
+        return runTrain(args);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "anntrain: %s\n", e.what());
+        return 1;
+    }
+}

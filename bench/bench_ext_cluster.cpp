@@ -1,0 +1,613 @@
+/**
+ * @file
+ * Extension — distributed serving characterized end to end.
+ *
+ * Builds loopback clusters of real AnnServer shard processes-in-
+ * miniature (one server per replica, replicas of a shard sharing the
+ * prepared engine) behind a RouterEngine fronted by a stock AnnServer,
+ * and measures them with the same load generators the single-process
+ * sweeps use. Three phases:
+ *
+ *  1. Merge-correctness gate: at a high-ef operating point, recall@10
+ *     of the sharded cluster (router-merged, global ids) must be at
+ *     least the single-process engine's recall minus 1e-6 — sharding
+ *     the graph must not cost accuracy (each shard searches a smaller
+ *     graph with the full candidate budget).
+ *
+ *  2. Topology sweep: 1x1 (single process, no router), Sx1, and Sx2
+ *     with hedging off/on, each measured closed-loop (throughput,
+ *     recall) and open-loop at a fixed offered rate (P50/P99/P99.9
+ *     tails, shedding) — the paper's Fig. 2/3 shape extended across
+ *     cluster topologies. Per-shard drain metrics (including the
+ *     learned-policy echo) are recorded per sweep point.
+ *
+ *  3. Hedging tail gate: an Sx2 fleet where one replica of every
+ *     shard is uniformly degraded (ServerConfig slow injection on
+ *     every request — a node with, say, failing storage). After a
+ *     closed-loop warmup that fills the router's per-backend latency
+ *     histograms, the open-loop P99.9 with hedging on must beat
+ *     hedging off by $ANN_CLUSTER_MIN_HEDGE_GAIN (default 1.5x).
+ *
+ * Writes results/BENCH_cluster.json and exits non-zero if any gate
+ * fails. Scale knobs: $ANN_CLUSTER_DATASET (default cohere-1m),
+ * $ANN_CLUSTER_SHARDS (4), $ANN_CLUSTER_EF (120), $ANN_CLUSTER_QPS
+ * (300 offered open-loop), $ANN_CLUSTER_CLIENTS (4),
+ * $ANN_CLUSTER_DURATION_S (2), $ANN_CLUSTER_STRAGGLER_QPS (40),
+ * $ANN_CLUSTER_STRAGGLER_S (10), $ANN_BENCH_QUERIES (query-set cap).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/env.hh"
+#include "common/error.hh"
+#include "common/table.hh"
+#include "dist/router.hh"
+#include "dist/topology.hh"
+#include "distance/recall.hh"
+#include "serve/client.hh"
+#include "serve/load_gen.hh"
+#include "serve/server.hh"
+
+namespace {
+
+using namespace ann;
+
+// Defaults are sized for a small (even single-core) box: offered
+// rates sit well under closed-loop capacity so the measured tails are
+// dominated by the injected stragglers, not CPU contention between
+// the loopback fleet's threads.
+struct ClusterParams
+{
+    std::size_t shards = 4;
+    std::size_t ef = 120;
+    std::size_t clients = 4;
+    double open_qps = 300.0;
+    double duration_s = 2.0;
+    double straggler_qps = 40.0;
+    double straggler_duration_s = 10.0;
+    // The straggler replica is uniformly slow (every request pays
+    // slow_us) — a degraded node, not a flaky one. A sparse every-Nth
+    // model would let hedge traffic into the straggler mint extra
+    // stall windows, hiding the effect being measured. slow_us must
+    // dwarf scheduler latency on small boxes, or the hedge timer
+    // loses the race against its own thread being rescheduled.
+    std::size_t slow_every = 1;
+    std::uint64_t slow_us = 40'000;
+    double min_hedge_gain = 1.5;
+};
+
+/** One replica's drain-time view, echoed into the JSON report. */
+struct ShardEcho
+{
+    std::size_t shard = 0;
+    std::size_t replica = 0;
+    std::string endpoint;
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t learned_entry = 0;
+    std::uint64_t learned_early_stop = 0;
+    std::string learned_model;
+};
+
+/**
+ * A loopback fleet: shard servers (replicas share one prepared
+ * engine), the router engine, and its fronting AnnServer. When
+ * `shards == 1 && replicas == 1` the single server IS the endpoint
+ * (no router) — the single-process baseline.
+ */
+class Fleet
+{
+  public:
+    Fleet(std::vector<engine::VectorDbEngine *> shard_engines,
+          std::size_t replicas, std::size_t rows, std::size_t dim,
+          const ClusterParams &params, bool hedge,
+          int slow_replica = -1)
+        : direct_(shard_engines.size() == 1 && replicas == 1)
+    {
+        const std::size_t shards = shard_engines.size();
+        topology_ = dist::loopbackTopology(shards, replicas);
+        servers_.resize(shards);
+        for (std::size_t s = 0; s < shards; ++s) {
+            const auto range = dist::shardRange(rows, s, shards);
+            for (std::size_t r = 0; r < replicas; ++r) {
+                serve::ServerConfig config;
+                config.port = 0;
+                config.expected_dim = dim;
+                config.queue_limit = 256;
+                config.max_batch = 4;
+                config.id_offset = shards > 1 ? range.begin : 0;
+                const bool slowed =
+                    slow_replica >= 0 &&
+                    r == static_cast<std::size_t>(slow_replica);
+                if (slowed) {
+                    config.slow_every = params.slow_every;
+                    config.slow_us =
+                        std::chrono::microseconds(params.slow_us);
+                }
+                // Degraded replicas get exec_threads == max_batch so
+                // a batch of injected straggler sleeps overlaps fully
+                // (sleeps cost no CPU) and the replica adds ~slow_us
+                // of latency instead of multiplying it per batch
+                // wave. Healthy replicas run their ~100us searches
+                // inline: on a small box every idle pool thread is
+                // another body the scheduler wakes on each straggler
+                // wave, starving the router's hedge timers.
+                config.exec_threads = direct_ ? 0 : (slowed ? 4 : 1);
+                auto server = std::make_unique<serve::AnnServer>(
+                    *shard_engines[s], config);
+                server->start();
+                topology_.shards[s][r].port = server->port();
+                servers_[s].push_back(std::move(server));
+            }
+        }
+        if (direct_)
+            return;
+
+        dist::RouterConfig rc;
+        rc.topology = topology_;
+        rc.dim = dim;
+        rc.hedge = hedge;
+        rc.hedge_quantile = 95.0;
+        rc.hedge_epoch_samples = 64;
+        rc.hedge_min_delay_us = 500;
+        rc.hedge_max_delay_us = 2'000;
+        rc.probe_interval = std::chrono::milliseconds(100);
+        router_ = std::make_unique<dist::RouterEngine>(rc);
+        ANN_CHECK(router_->waitReady(std::chrono::seconds(10)),
+                  "cluster backends did not come up");
+
+        serve::ServerConfig front;
+        front.port = 0;
+        front.expected_dim = dim;
+        front.queue_limit = 512;
+        front.max_batch = 4;
+        front.exec_threads = static_cast<std::size_t>(
+            envInt("ANN_CLUSTER_ROUTER_THREADS", 4));
+        front_ = std::make_unique<serve::AnnServer>(*router_, front);
+        front_->start();
+    }
+
+    ~Fleet() { stop(); }
+
+    std::uint16_t
+    port() const
+    {
+        return direct_ ? servers_[0][0]->port() : front_->port();
+    }
+
+    dist::RouterEngine *router() { return router_.get(); }
+
+    /** Per-replica drain metrics fetched over the wire. */
+    std::vector<ShardEcho>
+    shardEchoes()
+    {
+        std::vector<ShardEcho> echoes;
+        for (std::size_t s = 0; s < servers_.size(); ++s)
+            for (std::size_t r = 0; r < servers_[s].size(); ++r) {
+                serve::AnnClient client;
+                client.connect(topology_.shards[s][r].host,
+                               topology_.shards[s][r].port);
+                const serve::MetricsSnapshot m = client.metrics();
+                ShardEcho echo;
+                echo.shard = s;
+                echo.replica = r;
+                echo.endpoint =
+                    dist::formatEndpoint(topology_.shards[s][r]);
+                echo.completed = m.completed;
+                echo.shed = m.shed;
+                echo.learned_entry = m.learned_entry;
+                echo.learned_early_stop = m.learned_early_stop;
+                echo.learned_model = m.learned_model;
+                echoes.push_back(std::move(echo));
+            }
+        return echoes;
+    }
+
+    void
+    stop()
+    {
+        if (front_) {
+            front_->requestStop();
+            front_->waitStopped();
+            front_.reset();
+        }
+        router_.reset(); // stops the probe thread before backends die
+        for (auto &shard : servers_)
+            for (auto &server : shard)
+                if (server->running()) {
+                    server->requestStop();
+                    server->waitStopped();
+                }
+        servers_.clear();
+    }
+
+  private:
+    bool direct_ = false;
+    dist::Topology topology_;
+    std::vector<std::vector<std::unique_ptr<serve::AnnServer>>>
+        servers_;
+    std::unique_ptr<dist::RouterEngine> router_;
+    std::unique_ptr<serve::AnnServer> front_;
+};
+
+struct SweepPoint
+{
+    std::string label;
+    std::size_t shards = 1;
+    std::size_t replicas = 1;
+    bool hedge = false;
+    serve::LoadReport closed;
+    serve::LoadReport open;
+    dist::RouterStats router;
+    std::vector<ShardEcho> echoes;
+};
+
+serve::LoadOptions
+baseLoad(const workload::Dataset &dataset, std::uint16_t port,
+         const ClusterParams &params)
+{
+    serve::LoadOptions options;
+    options.host = "127.0.0.1";
+    options.port = port;
+    options.dataset = &dataset;
+    options.settings.k = 10;
+    options.settings.ef_search = params.ef;
+    options.duration_s = params.duration_s;
+    options.clients = params.clients;
+    return options;
+}
+
+void
+printReport(TextTable &table, const SweepPoint &p)
+{
+    table.addRow(
+        {p.label, formatDouble(p.closed.qps, 0),
+         formatDouble(p.closed.p99_us, 0),
+         formatDouble(p.open.p50_us, 0), formatDouble(p.open.p99_us, 0),
+         formatDouble(p.open.p999_us, 0),
+         p.open.recall_samples > 0 ? formatDouble(p.open.recall, 3)
+                                   : "-",
+         std::to_string(p.open.shed),
+         std::to_string(p.router.hedges_fired),
+         std::to_string(p.router.hedge_wins)});
+}
+
+void
+writeJson(const std::string &path, const workload::Dataset &dataset,
+          const ClusterParams &params, double single_recall,
+          double cluster_recall, bool merge_ok,
+          const std::vector<SweepPoint> &points, double p999_off,
+          double p999_on, double hedge_gain, bool hedge_ok)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    ANN_CHECK(f != nullptr, "cannot write ", path);
+    std::fprintf(f,
+                 "{\n  \"dataset\": \"%s\",\n  \"rows\": %zu,\n"
+                 "  \"queries\": %zu,\n  \"ef_search\": %zu,\n"
+                 "  \"merge_gate\": {\"single_recall\": %.6f, "
+                 "\"cluster_recall\": %.6f, \"ok\": %s},\n"
+                 "  \"topologies\": [\n",
+                 dataset.name.c_str(), dataset.rows,
+                 dataset.num_queries, params.ef, single_recall,
+                 cluster_recall, merge_ok ? "true" : "false");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const SweepPoint &p = points[i];
+        std::fprintf(
+            f,
+            "    {\"name\": \"%s\", \"shards\": %zu, "
+            "\"replicas\": %zu, \"hedge\": %s,\n"
+            "     \"closed\": {\"qps\": %.1f, \"p50_us\": %.1f, "
+            "\"p99_us\": %.1f, \"p999_us\": %.1f, \"recall\": %.4f},\n"
+            "     \"open\": {\"offered_qps\": %.1f, \"qps\": %.1f, "
+            "\"p50_us\": %.1f, \"p99_us\": %.1f, \"p999_us\": %.1f, "
+            "\"recall\": %.4f, \"shed\": %llu},\n"
+            "     \"router\": {\"routed\": %llu, \"hedges_fired\": "
+            "%llu, \"hedge_wins\": %llu, \"failovers\": %llu, "
+            "\"ejections\": %llu, \"stale_skipped\": %llu},\n"
+            "     \"shards_echo\": [",
+            p.label.c_str(), p.shards, p.replicas,
+            p.hedge ? "true" : "false", p.closed.qps, p.closed.p50_us,
+            p.closed.p99_us, p.closed.p999_us, p.closed.recall,
+            params.open_qps, p.open.qps, p.open.p50_us, p.open.p99_us,
+            p.open.p999_us, p.open.recall,
+            static_cast<unsigned long long>(p.open.shed),
+            static_cast<unsigned long long>(p.router.routed),
+            static_cast<unsigned long long>(p.router.hedges_fired),
+            static_cast<unsigned long long>(p.router.hedge_wins),
+            static_cast<unsigned long long>(p.router.failovers),
+            static_cast<unsigned long long>(p.router.ejections),
+            static_cast<unsigned long long>(p.router.stale_skipped));
+        for (std::size_t e = 0; e < p.echoes.size(); ++e) {
+            const ShardEcho &echo = p.echoes[e];
+            std::fprintf(
+                f,
+                "%s\n       {\"shard\": %zu, \"replica\": %zu, "
+                "\"endpoint\": \"%s\", \"completed\": %llu, "
+                "\"shed\": %llu, \"learned_entry\": %llu, "
+                "\"learned_early_stop\": %llu, "
+                "\"learned_model\": \"%s\"}",
+                e == 0 ? "" : ",", echo.shard, echo.replica,
+                echo.endpoint.c_str(),
+                static_cast<unsigned long long>(echo.completed),
+                static_cast<unsigned long long>(echo.shed),
+                static_cast<unsigned long long>(echo.learned_entry),
+                static_cast<unsigned long long>(
+                    echo.learned_early_stop),
+                echo.learned_model.c_str());
+        }
+        std::fprintf(f, "]}%s\n", i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n  \"hedge_gate\": {\"p999_off_us\": %.1f, "
+                 "\"p999_on_us\": %.1f, \"gain\": %.3f, "
+                 "\"min_gain\": %.2f, \"ok\": %s}\n}\n",
+                 p999_off, p999_on, hedge_gain, params.min_hedge_gain,
+                 hedge_ok ? "true" : "false");
+    std::fclose(f);
+    std::cout << "wrote " << path << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    ClusterParams params;
+    params.shards = static_cast<std::size_t>(
+        envInt("ANN_CLUSTER_SHARDS", 4));
+    params.ef =
+        static_cast<std::size_t>(envInt("ANN_CLUSTER_EF", 120));
+    params.clients = static_cast<std::size_t>(
+        envInt("ANN_CLUSTER_CLIENTS", 4));
+    params.open_qps =
+        static_cast<double>(envInt("ANN_CLUSTER_QPS", 300));
+    params.duration_s = static_cast<double>(
+        envInt("ANN_CLUSTER_DURATION_S", 2));
+    params.straggler_qps = static_cast<double>(
+        envInt("ANN_CLUSTER_STRAGGLER_QPS", 40));
+    params.straggler_duration_s = static_cast<double>(
+        envInt("ANN_CLUSTER_STRAGGLER_S", 10));
+    params.slow_every = static_cast<std::size_t>(
+        envInt("ANN_CLUSTER_SLOW_EVERY", 1));
+    params.slow_us = static_cast<std::uint64_t>(
+        envInt("ANN_CLUSTER_SLOW_US", 40'000));
+    params.min_hedge_gain = [] {
+        const char *env = std::getenv("ANN_CLUSTER_MIN_HEDGE_GAIN");
+        return env != nullptr ? std::atof(env) : 1.5;
+    }();
+
+    const std::string dataset_name =
+        envString("ANN_CLUSTER_DATASET", "cohere-1m");
+    std::cout << "cluster bench: dataset " << dataset_name << ", "
+              << params.shards << " shards, ef " << params.ef << "\n";
+    const workload::Dataset dataset = bench::benchDataset(dataset_name);
+    ANN_CHECK(params.shards >= 2, "need >= 2 shards for the sweep");
+
+    // One engine for the single-process baseline, one per shard slice
+    // (replicas of a shard share it — real replica processes build
+    // identical indexes from identical slices).
+    std::cout << "preparing single-process engine + " << params.shards
+              << " shard engines...\n";
+    auto full = core::prepareEngine("milvus-hnsw", dataset);
+    std::vector<std::unique_ptr<engine::VectorDbEngine>> shard_engines;
+    for (std::size_t s = 0; s < params.shards; ++s) {
+        const workload::Dataset slice = dist::shardSlice(
+            dataset, dist::ShardSpec{s, params.shards});
+        shard_engines.push_back(
+            core::prepareEngine("milvus-hnsw", slice));
+    }
+    std::vector<engine::VectorDbEngine *> shard_ptrs;
+    for (auto &engine : shard_engines)
+        shard_ptrs.push_back(engine.get());
+
+    engine::SearchSettings settings;
+    settings.k = 10;
+    settings.ef_search = params.ef;
+
+    bool ok = true;
+
+    // ---- Phase 1: merge-correctness gate -------------------------
+    double single_recall = 0.0;
+    double cluster_recall = 0.0;
+    {
+        Fleet fleet(shard_ptrs, 1, dataset.rows, dataset.dim, params,
+                    /*hedge=*/false);
+        for (std::size_t q = 0; q < dataset.num_queries; ++q) {
+            const SearchResult merged =
+                fleet.router()->searchLive(dataset.query(q), settings);
+            const SearchResult local =
+                full->searchLive(dataset.query(q), settings);
+            cluster_recall += recallAtK(dataset.ground_truth[q],
+                                        merged, settings.k);
+            single_recall += recallAtK(dataset.ground_truth[q], local,
+                                       settings.k);
+        }
+        cluster_recall /= static_cast<double>(dataset.num_queries);
+        single_recall /= static_cast<double>(dataset.num_queries);
+    }
+    const bool merge_ok = cluster_recall >= single_recall - 1e-6;
+    std::cout << "merge gate: single recall@10 "
+              << formatDouble(single_recall, 4) << ", cluster "
+              << formatDouble(cluster_recall, 4)
+              << (merge_ok ? " (ok)\n" : " (FAIL)\n");
+    if (!merge_ok) {
+        std::cerr << "FAIL: sharded recall fell below the "
+                     "single-process baseline\n";
+        ok = false;
+    }
+
+    // ---- Phase 2: topology sweep ---------------------------------
+    struct Config
+    {
+        std::string label;
+        std::size_t shards;
+        std::size_t replicas;
+        bool hedge;
+    };
+    const std::string s = std::to_string(params.shards);
+    const std::vector<Config> configs = {
+        {"1x1", 1, 1, false},
+        {s + "x1", params.shards, 1, false},
+        {s + "x2", params.shards, 2, false},
+        {s + "x2+hedge", params.shards, 2, true},
+    };
+
+    std::vector<SweepPoint> points;
+    for (const Config &config : configs) {
+        std::cout << "sweeping " << config.label << "...\n";
+        std::vector<engine::VectorDbEngine *> engines =
+            config.shards == 1
+                ? std::vector<engine::VectorDbEngine *>{full.get()}
+                : shard_ptrs;
+        Fleet fleet(engines, config.replicas, dataset.rows,
+                    dataset.dim, params, config.hedge);
+        SweepPoint point;
+        point.label = config.label;
+        point.shards = config.shards;
+        point.replicas = config.replicas;
+        point.hedge = config.hedge;
+
+        serve::LoadOptions options =
+            baseLoad(dataset, fleet.port(), params);
+        point.closed = serve::runClosedLoop(options);
+        options.target_qps = params.open_qps;
+        point.open = serve::runOpenLoop(options);
+        if (fleet.router() != nullptr)
+            point.router = fleet.router()->stats();
+        point.echoes = fleet.shardEchoes();
+        points.push_back(std::move(point));
+    }
+
+    TextTable table("cluster topology sweep (closed loop + open loop "
+                    "@ " +
+                    formatDouble(params.open_qps, 0) + " QPS)");
+    table.setHeader({"topology", "closed QPS", "closed P99 (us)",
+                     "open P50 (us)", "open P99 (us)",
+                     "open P99.9 (us)", "recall@10", "shed", "hedges",
+                     "wins"});
+    for (const SweepPoint &point : points)
+        printReport(table, point);
+    table.print(std::cout);
+
+    for (const SweepPoint &point : points)
+        if (point.open.recall_samples > 0 &&
+            point.open.recall < single_recall - 0.01) {
+            std::cerr << "FAIL: " << point.label
+                      << " open-loop recall "
+                      << formatDouble(point.open.recall, 4)
+                      << " fell below the single-process baseline\n";
+            ok = false;
+        }
+
+    // ---- Phase 3: hedging tail gate ------------------------------
+    double p999_off = 0.0;
+    double p999_on = 0.0;
+    for (const bool hedge : {false, true}) {
+        std::cout << "straggler fleet (slow every "
+                  << params.slow_every << "th request, "
+                  << params.slow_us << " us), hedge "
+                  << (hedge ? "on" : "off") << "...\n";
+        Fleet fleet(shard_ptrs, 2, dataset.rows, dataset.dim, params,
+                    hedge, /*slow_replica=*/1);
+        serve::LoadOptions options =
+            baseLoad(dataset, fleet.port(), params);
+        // Closed-loop warmup fills every backend's latency histogram
+        // so the hedge delay is armed before the measured window.
+        options.clients = 4;
+        options.duration_s = 1.0;
+        serve::runClosedLoop(options);
+        if (hedge) {
+            // The delay arms only after a full histogram epoch per
+            // backend; a cold backend never hedges, so entering the
+            // measured window unarmed would charge full straggler
+            // waits to the "on" run. Keep warming until every
+            // replica reports a nonzero delay.
+            options.duration_s = 0.5;
+            for (int round = 0; round < 30; ++round) {
+                bool armed = true;
+                for (const auto &row : fleet.router()->hedgeDelaysUs())
+                    for (const std::uint64_t d : row)
+                        armed = armed && d > 0;
+                if (armed)
+                    break;
+                serve::runClosedLoop(options);
+            }
+        }
+        // Few client threads: on a small box every extra runnable
+        // thread adds scheduler latency, which is exactly what the
+        // hedge timer races against.
+        options.clients = 2;
+        options.duration_s = params.straggler_duration_s;
+        options.target_qps = params.straggler_qps;
+        const serve::LoadReport report = serve::runOpenLoop(options);
+        (hedge ? p999_on : p999_off) = report.p999_us;
+        std::cout << "  P50 " << formatDouble(report.p50_us, 0)
+                  << " us, P99 " << formatDouble(report.p99_us, 0)
+                  << " us, P99.9 " << formatDouble(report.p999_us, 0)
+                  << " us, shed " << report.shed << ", front queue "
+                  << formatDouble(report.server_queue_us, 0)
+                  << " us, front exec "
+                  << formatDouble(report.server_exec_us, 0)
+                  << " us (means)\n";
+        {
+            const dist::RouterStats stats = fleet.router()->stats();
+            std::cout << "  routed " << stats.routed
+                      << ", hedges fired " << stats.hedges_fired
+                      << ", won " << stats.hedge_wins << ", averted "
+                      << stats.hedges_averted << " (late "
+                      << stats.hedges_averted_late << "), failovers "
+                      << stats.failovers << ", ejections "
+                      << stats.ejections << ", rejoins "
+                      << stats.rejoins << ", stale skipped "
+                      << stats.stale_skipped << "\n  router exec P50 "
+                      << formatDouble(
+                             fleet.router()->routeLatencyPercentileUs(
+                                 50.0),
+                             0)
+                      << " us, P99 "
+                      << formatDouble(
+                             fleet.router()->routeLatencyPercentileUs(
+                                 99.0),
+                             0)
+                      << " us\n  hedge delays us:";
+            for (const auto &row : fleet.router()->hedgeDelaysUs()) {
+                std::cout << " [";
+                for (std::size_t r = 0; r < row.size(); ++r)
+                    std::cout << (r > 0 ? " " : "") << row[r];
+                std::cout << "]";
+            }
+            std::cout << "\n";
+        }
+        if (hedge) {
+            const dist::RouterStats stats = fleet.router()->stats();
+            if (stats.hedges_fired == 0) {
+                std::cerr << "FAIL: straggler fleet never hedged\n";
+                ok = false;
+            }
+        }
+    }
+    const double hedge_gain =
+        p999_on > 0.0 ? p999_off / p999_on : 0.0;
+    const bool hedge_ok = hedge_gain >= params.min_hedge_gain;
+    std::cout << "hedge gate: P99.9 " << formatDouble(p999_off, 0)
+              << " us off vs " << formatDouble(p999_on, 0)
+              << " us on = " << formatDouble(hedge_gain, 2)
+              << "x (gate >= "
+              << formatDouble(params.min_hedge_gain, 2) << "x)"
+              << (hedge_ok ? "\n" : " FAIL\n");
+    if (!hedge_ok) {
+        std::cerr << "FAIL: hedging did not reduce P99.9 enough\n";
+        ok = false;
+    }
+
+    writeJson(core::resultsDir() + "/BENCH_cluster.json", dataset,
+              params, single_recall, cluster_recall, merge_ok, points,
+              p999_off, p999_on, hedge_gain, hedge_ok);
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,587 @@
+#include "dist/router.hh"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <climits>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hh"
+#include "distance/topk.hh"
+#include "serve/protocol.hh"
+
+namespace ann::dist {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Whole milliseconds until @p tp, clamped to [1, INT_MAX]. */
+int
+msUntil(Clock::time_point tp)
+{
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        tp - Clock::now())
+                        .count();
+    if (ms < 1)
+        return 1;
+    if (ms > INT_MAX)
+        return INT_MAX;
+    return static_cast<int>(ms);
+}
+
+std::uint64_t
+elapsedUs(Clock::time_point since)
+{
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        Clock::now() - since)
+                        .count();
+    return us > 0 ? static_cast<std::uint64_t>(us) : 0;
+}
+
+} // namespace
+
+SearchResult
+mergePartials(const std::vector<SearchResult> &partials, std::size_t k)
+{
+    TopK topk(k);
+    std::unordered_set<VectorId> seen;
+    for (const SearchResult &partial : partials)
+        for (const Neighbor &neighbor : partial)
+            if (seen.insert(neighbor.id).second)
+                topk.push(neighbor.id, neighbor.distance);
+    SearchResult out;
+    topk.drainInto(out);
+    return out;
+}
+
+// ------------------------------------------------------------- Backend
+
+Backend::Backend(Endpoint endpoint, const RouterConfig &config)
+    : endpoint_(std::move(endpoint)), config_(config)
+{}
+
+std::unique_ptr<Backend::Conn>
+Backend::acquire(std::uint64_t connect_wait_ms)
+{
+    {
+        std::lock_guard<std::mutex> lock(poolMutex_);
+        if (!pool_.empty()) {
+            auto conn = std::move(pool_.back());
+            pool_.pop_back();
+            return conn;
+        }
+    }
+    auto conn = std::make_unique<Conn>();
+    serve::ConnectRetry retry;
+    retry.max_wait_ms = connect_wait_ms;
+    conn->client.connect(endpoint_.host, endpoint_.port, retry);
+    return conn;
+}
+
+void
+Backend::release(std::unique_ptr<Conn> conn)
+{
+    if (conn == nullptr || !conn->client.connected())
+        return;
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    pool_.push_back(std::move(conn));
+}
+
+void
+Backend::clearPool()
+{
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    pool_.clear();
+}
+
+void
+Backend::recordLatency(std::uint64_t us)
+{
+    std::lock_guard<std::mutex> lock(histMutex_);
+    current_.add(us);
+    if (current_.count() < config_.hedge_epoch_samples)
+        return;
+    // Epoch roll: derive the hedge delay from the last two epochs so
+    // it tracks load shifts within ~2 epochs yet never rests on a
+    // handful of samples.
+    LatencyHistogram merged = previous_;
+    merged.merge(current_);
+    const auto delay =
+        static_cast<std::uint64_t>(merged.percentile(
+            config_.hedge_quantile));
+    hedgeDelayUs_.store(std::clamp(delay, config_.hedge_min_delay_us,
+                                   config_.hedge_max_delay_us));
+    previous_ = current_;
+    current_.clear();
+}
+
+// -------------------------------------------------------- RouterEngine
+
+RouterEngine::RouterEngine(RouterConfig config)
+    : config_(std::move(config))
+{
+    profile_.name = "router";
+    ANN_CHECK(config_.topology.numShards() > 0,
+              "router topology has no shards");
+    for (std::size_t s = 0; s < config_.topology.numShards(); ++s) {
+        auto shard = std::make_unique<ShardState>();
+        for (const Endpoint &endpoint : config_.topology.shards[s])
+            shard->replicas.push_back(
+                std::make_unique<Backend>(endpoint, config_));
+        shards_.push_back(std::move(shard));
+    }
+}
+
+RouterEngine::~RouterEngine()
+{
+    stopProbe_.store(true);
+    if (probeThread_.joinable())
+        probeThread_.join();
+}
+
+bool
+RouterEngine::waitReady(std::chrono::milliseconds timeout)
+{
+    const auto deadline = Clock::now() + timeout;
+    bool all_ready = true;
+    for (auto &shard : shards_) {
+        for (auto &backend : shard->replicas) {
+            if (backend->healthy())
+                continue;
+            const auto now = Clock::now();
+            const std::uint64_t budget =
+                now < deadline
+                    ? static_cast<std::uint64_t>(
+                          std::chrono::duration_cast<
+                              std::chrono::milliseconds>(deadline - now)
+                              .count())
+                    : 0;
+            try {
+                backend->release(backend->acquire(budget));
+                backend->markHealthy();
+            } catch (const FatalError &) {
+                all_ready = false;
+            }
+        }
+    }
+    if (!probeThread_.joinable())
+        probeThread_ = std::thread(&RouterEngine::probeLoop, this);
+    return all_ready;
+}
+
+void
+RouterEngine::prepare(const workload::Dataset &dataset,
+                      const std::string & /* cache_dir */)
+{
+    // No local index: the shards own the data. Only the query
+    // dimensionality is taken, for the downstream request frames.
+    config_.dim = dataset.dim;
+}
+
+engine::VectorDbEngine::SearchOutput
+RouterEngine::search(const float *query,
+                     const engine::SearchSettings &settings)
+{
+    SearchOutput out;
+    out.results = searchLive(query, settings);
+    return out;
+}
+
+SearchResult
+RouterEngine::searchLive(const float *query,
+                         const engine::SearchSettings &settings)
+{
+    ANN_CHECK(config_.dim > 0,
+              "router dim unset: call prepare() or set RouterConfig::dim");
+    routed_.fetch_add(1, std::memory_order_relaxed);
+    const auto started = Clock::now();
+    const auto deadline = started + config_.request_timeout;
+    const std::size_t num_shards = shards_.size();
+
+    // All shards' flights are multiplexed in one poll loop: every
+    // hedge timer is attended the moment it is due, no matter which
+    // shard answers first. A sequential per-shard gather would reach
+    // later shards only after earlier ones settle — past their hedge
+    // points — turning would-be hedges into full straggler waits.
+    struct Gather
+    {
+        Flight primary;
+        Flight hedge;
+        bool hedge_tried = false;
+        bool counted = false;
+        bool done = false;
+    };
+    std::vector<Gather> gathers(num_shards);
+    std::vector<SearchResult> partials(num_shards);
+    std::size_t remaining = num_shards;
+    serve::SearchResponse resp;
+
+    // Reply for shard `s` in hand on `winner` (in `resp`): record its
+    // latency, pool the winner's conn, park the loser's pending reply
+    // on its pooled conn, and translate non-Ok statuses (Overloaded
+    // relays as-is; ShuttingDown is equally retryable from the
+    // client's seat).
+    auto settleShard = [&](std::size_t s, Flight &winner, Flight &loser,
+                           bool winner_is_hedge) {
+        Gather &g = gathers[s];
+        winner.backend->recordLatency(elapsedUs(winner.sent));
+        const serve::Status status = resp.status;
+        partials[s] = std::move(resp.results);
+        winner.backend->release(std::move(winner.conn));
+        if (loser.conn != nullptr)
+            abandonFlight(loser);
+        if (winner_is_hedge)
+            hedgeWins_.fetch_add(1, std::memory_order_relaxed);
+        g.done = true;
+        --remaining;
+        if (g.counted) {
+            shards_[s]->outstanding.fetch_sub(1);
+            g.counted = false;
+        }
+        if (status == serve::Status::Ok)
+            return;
+        if (status == serve::Status::Overloaded ||
+            status == serve::Status::ShuttingDown)
+            throw serve::OverloadedError(
+                "shard " + std::to_string(s) + " replied " +
+                serve::statusName(status));
+        ANN_FATAL("shard ", s, " rejected the query (",
+                  serve::statusName(status), ")");
+    };
+
+    // Mid-request replica failure: eject the dead flight and move the
+    // shard's query to whatever is still available.
+    auto failoverShard = [&](std::size_t s, bool primary_died) {
+        Gather &g = gathers[s];
+        failovers_.fetch_add(1, std::memory_order_relaxed);
+        if (primary_died) {
+            ejectFlight(g.primary);
+            if (g.hedge.conn != nullptr) {
+                g.primary = std::move(g.hedge);
+                g.hedge = Flight{};
+            } else {
+                g.primary = sendToShard(s, query, settings, nullptr);
+                g.hedge_tried = false;
+            }
+        } else {
+            ejectFlight(g.hedge);
+            g.hedge = Flight{};
+        }
+    };
+
+    try {
+        // Scatter first so every shard computes concurrently.
+        for (std::size_t s = 0; s < num_shards; ++s) {
+            ShardState &shard = *shards_[s];
+            if (config_.shard_budget > 0) {
+                const std::uint64_t inflight =
+                    shard.outstanding.fetch_add(1);
+                gathers[s].counted = true;
+                if (inflight >= config_.shard_budget) {
+                    shedBudget_.fetch_add(1, std::memory_order_relaxed);
+                    throw serve::OverloadedError(
+                        "shard " + std::to_string(s) +
+                        " at outstanding budget");
+                }
+            }
+            gathers[s].primary = sendToShard(s, query, settings, nullptr);
+        }
+
+        std::vector<struct pollfd> fds;
+        std::vector<std::pair<std::size_t, bool>> owners;
+        while (remaining > 0) {
+            if (Clock::now() >= deadline)
+                throw serve::OverloadedError(
+                    "cluster deadline exceeded with " +
+                    std::to_string(remaining) + " shards pending");
+
+            // Fire every due hedge; the earliest not-yet-due hedge
+            // point bounds the poll timeout below.
+            Clock::time_point wake = deadline;
+            for (std::size_t s = 0; s < num_shards; ++s) {
+                Gather &g = gathers[s];
+                if (g.done || g.hedge_tried ||
+                    g.hedge.conn != nullptr || !config_.hedge ||
+                    shards_[s]->replicas.size() < 2)
+                    continue;
+                const std::uint64_t delay_us =
+                    g.primary.backend->hedgeDelayUs();
+                if (delay_us == 0)
+                    continue; // unwarmed backend: never hedge
+                const auto hedge_at =
+                    g.primary.sent +
+                    std::chrono::microseconds(delay_us);
+                if (Clock::now() < hedge_at) {
+                    wake = std::min(wake, hedge_at);
+                    continue;
+                }
+                g.hedge_tried = true;
+                // Nonblocking peek: the reply may already be
+                // buffered; don't pay for a hedge it would instantly
+                // beat.
+                struct pollfd peek = {g.primary.conn->client.fd(),
+                                      POLLIN, 0};
+                if (::poll(&peek, 1, 0) > 0) {
+                    try {
+                        if (awaitReply(g.primary, 1, &resp)) {
+                            hedgesAverted_.fetch_add(
+                                1, std::memory_order_relaxed);
+                            if (elapsedUs(g.primary.sent) >
+                                delay_us + 10'000)
+                                hedgesAvertedLate_.fetch_add(
+                                    1, std::memory_order_relaxed);
+                            settleShard(s, g.primary, g.hedge, false);
+                            continue;
+                        }
+                    } catch (const FatalError &) {
+                        failoverShard(s, true);
+                        continue;
+                    }
+                }
+                try {
+                    g.hedge = sendToShard(s, query, settings,
+                                          g.primary.backend);
+                    hedgesFired_.fetch_add(1,
+                                           std::memory_order_relaxed);
+                } catch (const serve::OverloadedError &) {
+                    // No second replica right now; the primary
+                    // remains the only hope.
+                }
+            }
+            if (remaining == 0)
+                break;
+
+            // One poll over every live flight of every pending shard.
+            fds.clear();
+            owners.clear();
+            for (std::size_t s = 0; s < num_shards; ++s) {
+                Gather &g = gathers[s];
+                if (g.done)
+                    continue;
+                fds.push_back(
+                    {g.primary.conn->client.fd(), POLLIN, 0});
+                owners.emplace_back(s, false);
+                if (g.hedge.conn != nullptr) {
+                    fds.push_back(
+                        {g.hedge.conn->client.fd(), POLLIN, 0});
+                    owners.emplace_back(s, true);
+                }
+            }
+            const int rc =
+                ::poll(fds.data(), fds.size(), msUntil(wake));
+            if (rc < 0) {
+                if (errno == EINTR)
+                    continue;
+                ANN_FATAL("poll over scatter flights: ",
+                          std::strerror(errno));
+            }
+            if (rc == 0)
+                continue; // hedge points / deadline re-checked on top
+            for (std::size_t i = 0; i < fds.size(); ++i) {
+                if (fds[i].revents == 0)
+                    continue;
+                const std::size_t s = owners[i].first;
+                const bool is_hedge = owners[i].second;
+                Gather &g = gathers[s];
+                if (g.done)
+                    continue;
+                Flight &flight = is_hedge ? g.hedge : g.primary;
+                if (flight.conn == nullptr)
+                    continue; // freed by an earlier failover this pass
+                try {
+                    if (awaitReply(flight, 1, &resp))
+                        settleShard(s, flight,
+                                    is_hedge ? g.primary : g.hedge,
+                                    is_hedge);
+                } catch (const FatalError &) {
+                    failoverShard(s, !is_hedge);
+                }
+            }
+        }
+    } catch (...) {
+        for (std::size_t s = 0; s < num_shards; ++s) {
+            Gather &g = gathers[s];
+            if (g.primary.conn != nullptr)
+                abandonFlight(g.primary);
+            if (g.hedge.conn != nullptr)
+                abandonFlight(g.hedge);
+            if (g.counted)
+                shards_[s]->outstanding.fetch_sub(1);
+        }
+        throw;
+    }
+    {
+        std::lock_guard<std::mutex> lock(routeHistMutex_);
+        routeLatency_.add(elapsedUs(started));
+    }
+    return mergePartials(partials, settings.k);
+}
+
+Backend *
+RouterEngine::pickReplica(ShardState &shard, const Backend *avoid)
+{
+    const std::size_t n = shard.replicas.size();
+    const std::uint64_t start = shard.nextReplica.fetch_add(1);
+    for (std::size_t i = 0; i < n; ++i) {
+        Backend *backend =
+            shard.replicas[(start + i) % n].get();
+        if (backend->healthy() && backend != avoid)
+            return backend;
+    }
+    return nullptr;
+}
+
+RouterEngine::Flight
+RouterEngine::sendToShard(std::size_t shard_idx, const float *query,
+                          const engine::SearchSettings &settings,
+                          const Backend *avoid)
+{
+    ShardState &shard = *shards_[shard_idx];
+    for (std::size_t attempt = 0; attempt < shard.replicas.size();
+         ++attempt) {
+        Backend *backend = pickReplica(shard, avoid);
+        if (backend == nullptr)
+            break;
+        Flight flight;
+        flight.backend = backend;
+        try {
+            flight.conn = backend->acquire(0);
+            flight.request_id = nextRequestId_.fetch_add(1);
+            flight.conn->client.sendSearch(query, config_.dim, settings,
+                                           flight.request_id);
+            flight.sent = Clock::now();
+            return flight;
+        } catch (const FatalError &) {
+            ejectFlight(flight);
+            avoid = backend;
+        }
+    }
+    throw serve::OverloadedError("shard " + std::to_string(shard_idx) +
+                                 " has no healthy replica");
+}
+
+
+bool
+RouterEngine::awaitReply(Flight &flight, int wait_ms,
+                         serve::SearchResponse *out)
+{
+    const auto wait_deadline =
+        Clock::now() +
+        std::chrono::milliseconds(wait_ms < 1 ? 1 : wait_ms);
+    while (true) {
+        serve::SearchResponse resp;
+        if (!flight.conn->client.tryRecvSearchResponse(
+                &resp, msUntil(wait_deadline)))
+            return false;
+        if (resp.request_id == flight.request_id) {
+            *out = std::move(resp);
+            return true;
+        }
+        const auto it = flight.conn->abandoned.find(resp.request_id);
+        ANN_CHECK(it != flight.conn->abandoned.end(),
+                  "unexpected reply id ", resp.request_id,
+                  " on connection to ",
+                  formatEndpoint(flight.backend->endpoint()));
+        flight.conn->abandoned.erase(it);
+        staleSkipped_.fetch_add(1, std::memory_order_relaxed);
+        if (Clock::now() >= wait_deadline)
+            return false;
+    }
+}
+
+void
+RouterEngine::abandonFlight(Flight &flight)
+{
+    if (flight.conn == nullptr)
+        return;
+    flight.conn->abandoned.insert(flight.request_id);
+    flight.backend->release(std::move(flight.conn));
+}
+
+void
+RouterEngine::ejectFlight(Flight &flight)
+{
+    ejections_.fetch_add(1, std::memory_order_relaxed);
+    flight.backend->markUnhealthy();
+    // The process behind this endpoint is gone or confused; every
+    // pooled connection to it is equally suspect.
+    flight.backend->clearPool();
+    flight.conn.reset();
+}
+
+void
+RouterEngine::probeLoop()
+{
+    while (!stopProbe_.load()) {
+        std::this_thread::sleep_for(config_.probe_interval);
+        if (stopProbe_.load())
+            return;
+        for (auto &shard : shards_) {
+            for (auto &backend : shard->replicas) {
+                if (backend->healthy())
+                    continue;
+                try {
+                    backend->release(backend->acquire(0));
+                    backend->markHealthy();
+                    rejoins_.fetch_add(1, std::memory_order_relaxed);
+                } catch (const FatalError &) {
+                    // Still down; try again next interval.
+                }
+            }
+        }
+    }
+}
+
+RouterStats
+RouterEngine::stats() const
+{
+    RouterStats stats;
+    stats.routed = routed_.load();
+    stats.hedges_fired = hedgesFired_.load();
+    stats.hedge_wins = hedgeWins_.load();
+    stats.hedges_averted = hedgesAverted_.load();
+    stats.hedges_averted_late = hedgesAvertedLate_.load();
+    stats.shed_budget = shedBudget_.load();
+    stats.failovers = failovers_.load();
+    stats.ejections = ejections_.load();
+    stats.rejoins = rejoins_.load();
+    stats.stale_skipped = staleSkipped_.load();
+    return stats;
+}
+
+double
+RouterEngine::routeLatencyPercentileUs(double p) const
+{
+    std::lock_guard<std::mutex> lock(routeHistMutex_);
+    return routeLatency_.percentile(p);
+}
+
+std::vector<std::vector<std::uint64_t>>
+RouterEngine::hedgeDelaysUs() const
+{
+    std::vector<std::vector<std::uint64_t>> delays;
+    for (const auto &shard : shards_) {
+        std::vector<std::uint64_t> row;
+        for (const auto &backend : shard->replicas)
+            row.push_back(backend->hedgeDelayUs());
+        delays.push_back(std::move(row));
+    }
+    return delays;
+}
+
+std::vector<std::vector<bool>>
+RouterEngine::healthMatrix() const
+{
+    std::vector<std::vector<bool>> matrix;
+    for (const auto &shard : shards_) {
+        std::vector<bool> row;
+        for (const auto &backend : shard->replicas)
+            row.push_back(backend->healthy());
+        matrix.push_back(std::move(row));
+    }
+    return matrix;
+}
+
+} // namespace ann::dist

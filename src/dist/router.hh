@@ -1,0 +1,284 @@
+/**
+ * @file
+ * RouterEngine: scatter-gather over a sharded annserve fleet.
+ *
+ * The router is itself a VectorDbEngine, so the stock AnnServer front
+ * end (epoll loop, admission queue, micro-batching, metrics, drain)
+ * serves it unchanged: each searchLive() call fans the query out to
+ * one replica per shard over persistent pooled AnnClient connections,
+ * gathers the per-shard partial top-k lists, and merges them into the
+ * global top-k with TopK::drainInto. Shards return ids pre-offset
+ * into the global id space (ServerConfig::id_offset), so the merged
+ * result is directly comparable — in recall accounting — to a
+ * single-process run over the whole dataset.
+ *
+ * Tail control, per the paper's serving observations:
+ *
+ *  - Hedged requests: each backend keeps a rolling two-epoch latency
+ *    histogram; once warmed, a query that has not answered within the
+ *    backend's P-quantile delay is re-sent to a second replica and
+ *    the first reply wins. The loser's request id is recorded on its
+ *    connection's abandoned set so the pooled connection stays usable
+ *    (the stale reply is skipped by the next borrower).
+ *  - Per-shard outstanding budgets: a shard at its budget sheds the
+ *    query with OverloadedError, which the fronting AnnServer relays
+ *    as Status::Overloaded — back-pressure surfaces at the client
+ *    instead of stalling the whole fleet behind one slow shard.
+ *  - Replica ejection + rejoin: a replica that refuses connections or
+ *    fails mid-request is marked unhealthy and skipped; a background
+ *    probe thread reconnects and re-admits it once it answers again.
+ */
+
+#ifndef ANN_DIST_ROUTER_HH
+#define ANN_DIST_ROUTER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dist/topology.hh"
+#include "engine/engine.hh"
+#include "serve/client.hh"
+
+namespace ann::dist {
+
+struct RouterConfig
+{
+    Topology topology;
+    /** Query dimensionality the fleet serves. */
+    std::size_t dim = 0;
+    /** Connect-retry budget while waiting for shards to come up. */
+    std::uint64_t connect_wait_ms = 10'000;
+    /** Hard per-shard deadline for one query (send to reply). */
+    std::chrono::milliseconds request_timeout{2000};
+    /** Outstanding-query budget per shard (0 = unlimited). */
+    std::uint64_t shard_budget = 128;
+    /** Fire a second replica after the P-quantile delay. */
+    bool hedge = true;
+    /** Quantile of the backend's latency history used as the delay. */
+    double hedge_quantile = 99.0;
+    /** Clamp on the hedge delay derived from the quantile. */
+    std::uint64_t hedge_min_delay_us = 100;
+    std::uint64_t hedge_max_delay_us = 50'000;
+    /** Samples per rolling histogram epoch (warm-up gate). */
+    std::uint64_t hedge_epoch_samples = 256;
+    /** Unhealthy-replica reconnect probe cadence. */
+    std::chrono::milliseconds probe_interval{200};
+};
+
+/** Point-in-time router counters (all monotonic since start). */
+struct RouterStats
+{
+    std::uint64_t routed = 0;         ///< queries entering scatter
+    std::uint64_t hedges_fired = 0;   ///< secondary replicas contacted
+    std::uint64_t hedge_wins = 0;     ///< secondary answered first
+    std::uint64_t hedges_averted = 0; ///< hedge point hit, reply was
+                                      ///< already buffered (no send)
+    std::uint64_t hedges_averted_late = 0; ///< averted >10ms past the
+                                           ///< hedge point (the gather
+                                           ///< was attended too late
+                                           ///< to hedge at all)
+    std::uint64_t shed_budget = 0;   ///< queries shed at a shard budget
+    std::uint64_t failovers = 0;     ///< mid-request replica switches
+    std::uint64_t ejections = 0;     ///< replicas marked unhealthy
+    std::uint64_t rejoins = 0;       ///< replicas re-admitted
+    std::uint64_t stale_skipped = 0; ///< abandoned replies skipped
+};
+
+/**
+ * Merge per-shard partial top-k lists into the global top-k
+ * (ascending distance). Duplicate ids keep their first occurrence —
+ * shards own disjoint row slices, so duplicates only arise from
+ * overlapping topologies or replayed partials, and the first (best
+ * list position) wins deterministically.
+ */
+SearchResult mergePartials(const std::vector<SearchResult> &partials,
+                           std::size_t k);
+
+/**
+ * One replica process as the router sees it: a health flag, a pool of
+ * persistent AnnClient connections, and a rolling latency history
+ * driving the hedge delay.
+ */
+class Backend
+{
+  public:
+    /** A pooled connection plus the reply ids it may still owe. */
+    struct Conn
+    {
+        serve::AnnClient client;
+        /** Request ids whose replies must be skipped, not matched. */
+        std::unordered_set<std::uint64_t> abandoned;
+    };
+
+    Backend(Endpoint endpoint, const RouterConfig &config);
+
+    const Endpoint &endpoint() const { return endpoint_; }
+    bool healthy() const { return healthy_.load(); }
+    void markHealthy() { healthy_.store(true); }
+    void markUnhealthy() { healthy_.store(false); }
+
+    /**
+     * Borrow a pooled connection, dialing a fresh one when the pool
+     * is empty. @p connect_wait_ms is the ECONNREFUSED retry budget
+     * (0 = single attempt). Throws FatalError when the dial fails.
+     */
+    std::unique_ptr<Conn> acquire(std::uint64_t connect_wait_ms);
+
+    /** Return a borrowed connection (drop broken ones instead). */
+    void release(std::unique_ptr<Conn> conn);
+
+    /** Close and drop every pooled connection. */
+    void clearPool();
+
+    /** Record one send-to-reply latency sample. */
+    void recordLatency(std::uint64_t us);
+
+    /**
+     * Current hedge delay in microseconds, already clamped to the
+     * configured [min, max]; 0 until the first epoch completes
+     * (callers must not hedge on an unwarmed backend).
+     */
+    std::uint64_t hedgeDelayUs() const { return hedgeDelayUs_.load(); }
+
+  private:
+    Endpoint endpoint_;
+    const RouterConfig &config_;
+    std::atomic<bool> healthy_{false};
+
+    std::mutex poolMutex_;
+    std::vector<std::unique_ptr<Conn>> pool_;
+
+    std::mutex histMutex_;
+    LatencyHistogram current_;
+    LatencyHistogram previous_;
+    std::atomic<std::uint64_t> hedgeDelayUs_{0};
+};
+
+/** Scatter-gather engine served by a stock AnnServer front end. */
+class RouterEngine : public engine::VectorDbEngine
+{
+  public:
+    explicit RouterEngine(RouterConfig config);
+    ~RouterEngine() override;
+
+    RouterEngine(const RouterEngine &) = delete;
+    RouterEngine &operator=(const RouterEngine &) = delete;
+
+    /**
+     * Dial every backend (retrying ECONNREFUSED within @p timeout)
+     * and start the rejoin probe thread. @return true when the whole
+     * fleet answered; false leaves unreachable replicas unhealthy —
+     * the probe thread keeps trying to admit them.
+     */
+    bool waitReady(std::chrono::milliseconds timeout);
+
+    /** The router serves no local index; prepare records the dim. */
+    void prepare(const workload::Dataset &dataset,
+                 const std::string &cache_dir) override;
+
+    SearchOutput search(const float *query,
+                        const engine::SearchSettings &settings) override;
+
+    /**
+     * Scatter to one replica per shard, gather, merge. Throws
+     * serve::OverloadedError when a shard is at budget or has no
+     * healthy replica within the deadline (the fronting server
+     * relays it as Status::Overloaded).
+     */
+    SearchResult
+    searchLive(const float *query,
+               const engine::SearchSettings &settings) override;
+
+    std::size_t memoryBytes() const override { return 0; }
+
+    RouterStats stats() const;
+    const RouterConfig &config() const { return config_; }
+
+    /** Replica health matrix (test/monitoring hook). */
+    std::vector<std::vector<bool>> healthMatrix() const;
+
+    /** Current per-replica hedge delays in us (0 = unwarmed). */
+    std::vector<std::vector<std::uint64_t>> hedgeDelaysUs() const;
+
+    /** Scatter-to-merge wall-time percentile over all routed queries. */
+    double routeLatencyPercentileUs(double p) const;
+
+  private:
+    /** One request in flight on one replica. */
+    struct Flight
+    {
+        Backend *backend = nullptr;
+        std::unique_ptr<Backend::Conn> conn;
+        std::uint64_t request_id = 0;
+        std::chrono::steady_clock::time_point sent;
+    };
+
+    struct ShardState
+    {
+        std::vector<std::unique_ptr<Backend>> replicas;
+        std::atomic<std::uint64_t> outstanding{0};
+        std::atomic<std::uint64_t> nextReplica{0};
+    };
+
+    /**
+     * Round-robin pick of a healthy replica, skipping @p avoid;
+     * nullptr when none qualifies.
+     */
+    Backend *pickReplica(ShardState &shard, const Backend *avoid);
+
+    /** Dial + send on some healthy replica; throws OverloadedError
+     *  when no replica accepts the query. */
+    Flight sendToShard(std::size_t shard_idx, const float *query,
+                       const engine::SearchSettings &settings,
+                       const Backend *avoid);
+
+    /**
+     * Read replies on @p flight until one matches its request id,
+     * skipping abandoned ids. @return false when @p wait_ms expired
+     * first; throws on socket/protocol errors.
+     */
+    bool awaitReply(Flight &flight, int wait_ms,
+                    serve::SearchResponse *out);
+
+    /** Mark the flight's pending reply abandoned and pool the conn. */
+    void abandonFlight(Flight &flight);
+
+    /** Eject the flight's backend and destroy its connection. */
+    void ejectFlight(Flight &flight);
+
+    void probeLoop();
+
+    RouterConfig config_;
+    std::vector<std::unique_ptr<ShardState>> shards_;
+
+    std::atomic<std::uint64_t> nextRequestId_{1};
+
+    std::thread probeThread_;
+    std::atomic<bool> stopProbe_{false};
+
+    std::atomic<std::uint64_t> routed_{0};
+    std::atomic<std::uint64_t> hedgesFired_{0};
+    std::atomic<std::uint64_t> hedgeWins_{0};
+    std::atomic<std::uint64_t> hedgesAverted_{0};
+    std::atomic<std::uint64_t> hedgesAvertedLate_{0};
+    mutable std::mutex routeHistMutex_;
+    LatencyHistogram routeLatency_;
+    std::atomic<std::uint64_t> shedBudget_{0};
+    std::atomic<std::uint64_t> failovers_{0};
+    std::atomic<std::uint64_t> ejections_{0};
+    std::atomic<std::uint64_t> rejoins_{0};
+    std::atomic<std::uint64_t> staleSkipped_{0};
+};
+
+} // namespace ann::dist
+
+#endif // ANN_DIST_ROUTER_HH

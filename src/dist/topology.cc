@@ -1,0 +1,264 @@
+#include "dist/topology.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace ann::dist {
+namespace {
+
+/** Endpoints must be unique: two replicas on one port is a typo. */
+void
+checkTopology(const Topology &topology, const std::string &origin)
+{
+    ANN_CHECK(!topology.shards.empty(), origin,
+              ": topology has no shards");
+    std::set<std::pair<std::string, std::uint16_t>> seen;
+    if (topology.router.port != 0)
+        seen.insert({topology.router.host, topology.router.port});
+    for (std::size_t s = 0; s < topology.shards.size(); ++s) {
+        ANN_CHECK(!topology.shards[s].empty(), origin, ": shard ", s,
+                  " has no replicas");
+        for (const Endpoint &e : topology.shards[s]) {
+            // Port 0 endpoints (ephemeral placeholders) may repeat.
+            if (e.port == 0)
+                continue;
+            ANN_CHECK(seen.insert({e.host, e.port}).second, origin,
+                      ": duplicate endpoint ", formatEndpoint(e));
+        }
+    }
+}
+
+} // namespace
+
+bool
+parseEndpoint(const std::string &text, Endpoint *out)
+{
+    const std::size_t colon = text.rfind(':');
+    if (colon == std::string::npos || colon + 1 == text.size())
+        return false;
+    const std::string port_text = text.substr(colon + 1);
+    char *end = nullptr;
+    const unsigned long port =
+        std::strtoul(port_text.c_str(), &end, 10);
+    if (end == port_text.c_str() || *end != '\0' || port > 65535)
+        return false;
+    out->host = colon == 0 ? std::string("127.0.0.1")
+                           : text.substr(0, colon);
+    out->port = static_cast<std::uint16_t>(port);
+    return true;
+}
+
+std::string
+formatEndpoint(const Endpoint &endpoint)
+{
+    return endpoint.host + ":" + std::to_string(endpoint.port);
+}
+
+std::size_t
+Topology::numBackends() const
+{
+    std::size_t n = 0;
+    for (const auto &replicas : shards)
+        n += replicas.size();
+    return n;
+}
+
+Topology
+parseTopologySpec(const std::string &spec)
+{
+    Topology topology;
+    std::stringstream shards_stream(spec);
+    std::string shard_text;
+    bool first = true;
+    while (std::getline(shards_stream, shard_text, ';')) {
+        if (first && shard_text.rfind("router@", 0) == 0) {
+            ANN_CHECK(parseEndpoint(shard_text.substr(7),
+                                    &topology.router),
+                      "topology spec: bad router endpoint '",
+                      shard_text, "'");
+            first = false;
+            continue;
+        }
+        first = false;
+        if (shard_text.empty())
+            continue;
+        std::vector<Endpoint> replicas;
+        std::stringstream replica_stream(shard_text);
+        std::string replica_text;
+        while (std::getline(replica_stream, replica_text, ',')) {
+            Endpoint endpoint;
+            ANN_CHECK(parseEndpoint(replica_text, &endpoint),
+                      "topology spec: bad endpoint '", replica_text,
+                      "'");
+            replicas.push_back(endpoint);
+        }
+        topology.shards.push_back(std::move(replicas));
+    }
+    checkTopology(topology, "topology spec");
+    return topology;
+}
+
+Topology
+loadTopologyFile(const std::string &path)
+{
+    std::ifstream in(path);
+    ANN_CHECK(in.good(), "cannot open topology file ", path);
+
+    Topology topology;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        std::string keyword;
+        if (!(fields >> keyword))
+            continue; // blank / comment-only line
+        if (keyword == "router") {
+            std::string text;
+            ANN_CHECK(fields >> text, path, ":", line_no,
+                      ": router line needs an endpoint");
+            ANN_CHECK(parseEndpoint(text, &topology.router), path,
+                      ":", line_no, ": bad endpoint '", text, "'");
+            continue;
+        }
+        ANN_CHECK(keyword == "shard", path, ":", line_no,
+                  ": expected 'router' or 'shard', got '", keyword,
+                  "'");
+        std::size_t index = 0;
+        ANN_CHECK(fields >> index, path, ":", line_no,
+                  ": shard line needs an index");
+        ANN_CHECK(index == topology.shards.size(), path, ":", line_no,
+                  ": shard indices must be dense and in order "
+                  "(expected ",
+                  topology.shards.size(), ", got ", index, ")");
+        std::vector<Endpoint> replicas;
+        std::string text;
+        while (fields >> text) {
+            Endpoint endpoint;
+            ANN_CHECK(parseEndpoint(text, &endpoint), path, ":",
+                      line_no, ": bad endpoint '", text, "'");
+            replicas.push_back(endpoint);
+        }
+        ANN_CHECK(!replicas.empty(), path, ":", line_no,
+                  ": shard ", index, " lists no replicas");
+        topology.shards.push_back(std::move(replicas));
+    }
+    checkTopology(topology, path);
+    return topology;
+}
+
+std::string
+formatTopology(const Topology &topology)
+{
+    std::ostringstream out;
+    if (topology.router.port != 0 || !topology.shards.empty())
+        out << "router " << formatEndpoint(topology.router) << "\n";
+    for (std::size_t s = 0; s < topology.shards.size(); ++s) {
+        out << "shard " << s;
+        for (const Endpoint &e : topology.shards[s])
+            out << " " << formatEndpoint(e);
+        out << "\n";
+    }
+    return out.str();
+}
+
+void
+saveTopologyFile(const Topology &topology, const std::string &path)
+{
+    std::ofstream out(path);
+    ANN_CHECK(out.good(), "cannot write topology file ", path);
+    out << "# annserve cluster topology (router + shard replicas)\n"
+        << formatTopology(topology);
+    ANN_CHECK(out.good(), "short write to topology file ", path);
+}
+
+Topology
+loopbackTopology(std::size_t shards, std::size_t replicas,
+                 std::uint16_t router_port)
+{
+    ANN_CHECK(shards > 0 && replicas > 0,
+              "loopback topology needs at least 1x1");
+    Topology topology;
+    topology.router = {"127.0.0.1", router_port};
+    topology.shards.assign(shards,
+                           std::vector<Endpoint>(
+                               replicas, Endpoint{"127.0.0.1", 0}));
+    return topology;
+}
+
+ShardRange
+shardRange(std::size_t rows, std::size_t shard,
+           std::size_t num_shards)
+{
+    ANN_CHECK(num_shards > 0, "shard count must be positive");
+    ANN_CHECK(shard < num_shards, "shard index ", shard,
+              " out of range 0..", num_shards - 1);
+    // First (rows % num_shards) shards get one extra row.
+    const std::size_t base = rows / num_shards;
+    const std::size_t extra = rows % num_shards;
+    ShardRange range;
+    range.begin = shard * base + std::min(shard, extra);
+    range.end = range.begin + base + (shard < extra ? 1 : 0);
+    return range;
+}
+
+bool
+parseShardSpec(const std::string &text, ShardSpec *out)
+{
+    const std::size_t slash = text.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 == text.size())
+        return false;
+    char *end = nullptr;
+    const std::string index_text = text.substr(0, slash);
+    const std::string count_text = text.substr(slash + 1);
+    const unsigned long index =
+        std::strtoul(index_text.c_str(), &end, 10);
+    if (end == index_text.c_str() || *end != '\0')
+        return false;
+    const unsigned long count =
+        std::strtoul(count_text.c_str(), &end, 10);
+    if (end == count_text.c_str() || *end != '\0')
+        return false;
+    if (count == 0 || index >= count)
+        return false;
+    out->index = index;
+    out->count = count;
+    return true;
+}
+
+workload::Dataset
+shardSlice(const workload::Dataset &dataset, const ShardSpec &spec)
+{
+    ANN_CHECK(spec.count <= dataset.rows, "cannot split ",
+              dataset.rows, " rows into ", spec.count, " shards");
+    const ShardRange range =
+        shardRange(dataset.rows, spec.index, spec.count);
+
+    workload::Dataset slice;
+    slice.name = dataset.name + "-s" + std::to_string(spec.index) +
+                 "of" + std::to_string(spec.count);
+    slice.rows = range.size();
+    slice.dim = dataset.dim;
+    slice.num_queries = dataset.num_queries;
+    slice.base.assign(dataset.base.begin() +
+                          static_cast<std::ptrdiff_t>(range.begin *
+                                                      dataset.dim),
+                      dataset.base.begin() +
+                          static_cast<std::ptrdiff_t>(range.end *
+                                                      dataset.dim));
+    slice.queries = dataset.queries;
+    // Ground truth stays global: a slice cannot validate it.
+    slice.gt_k = 0;
+    slice.ground_truth.clear();
+    return slice;
+}
+
+} // namespace ann::dist

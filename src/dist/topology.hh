@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Cluster shard map: which process serves which slice of a dataset.
+ *
+ * One Topology describes a sharded + replicated annserve fleet plus
+ * the router endpoint in front of it, and is shared verbatim by all
+ * three cluster tools so a single file keeps them consistent:
+ *
+ *   - `annrouter --topology FILE` fans queries out to one replica
+ *     per shard and merges the partial top-k;
+ *   - `annserve --topology FILE --shard i/N --replica r` binds the
+ *     endpoint the file assigns it and builds its index over the
+ *     shard's contiguous row slice;
+ *   - `annload --topology FILE` resolves the router endpoint.
+ *
+ * File format (comments with '#', whitespace-separated):
+ *
+ *   router 127.0.0.1:7600
+ *   shard 0 127.0.0.1:7601 127.0.0.1:7611
+ *   shard 1 127.0.0.1:7602 127.0.0.1:7612
+ *
+ * The equivalent one-line CLI spec (shards ';'-separated, replicas
+ * ','-separated, optional "router@host:port;" prefix):
+ *
+ *   router@127.0.0.1:7600;127.0.0.1:7601,127.0.0.1:7611;...
+ *
+ * Sharding is contiguous by row: shard i of N owns rows
+ * [shardRange.begin, shardRange.end) of the dataset, and the serving
+ * process offsets every returned neighbour id by `begin` so merged
+ * cluster results live in the same global id space as a
+ * single-process run (the merge-correctness gate in
+ * bench_ext_cluster depends on this).
+ */
+
+#ifndef ANN_DIST_TOPOLOGY_HH
+#define ANN_DIST_TOPOLOGY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/dataset.hh"
+
+namespace ann::dist {
+
+/** One network address inside the cluster. */
+struct Endpoint
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+
+    friend bool
+    operator==(const Endpoint &a, const Endpoint &b)
+    {
+        return a.host == b.host && a.port == b.port;
+    }
+};
+
+/** "host:port" (host may be empty to default to 127.0.0.1). */
+bool parseEndpoint(const std::string &text, Endpoint *out);
+std::string formatEndpoint(const Endpoint &endpoint);
+
+/** The full shard map: router front end plus per-shard replica sets. */
+struct Topology
+{
+    /** Router endpoint clients talk to (port 0 = unspecified). */
+    Endpoint router;
+    /** shards[s][r] = endpoint of replica r of shard s. */
+    std::vector<std::vector<Endpoint>> shards;
+
+    std::size_t numShards() const { return shards.size(); }
+    std::size_t
+    numReplicas(std::size_t shard) const
+    {
+        return shards[shard].size();
+    }
+    std::size_t numBackends() const;
+};
+
+/**
+ * Parse the one-line CLI spec (see file header). Throws FatalError
+ * on malformed specs, empty shards, or duplicate endpoints.
+ */
+Topology parseTopologySpec(const std::string &spec);
+
+/** Parse a topology file. Throws FatalError with line context. */
+Topology loadTopologyFile(const std::string &path);
+
+/** Render as the file format (round-trips through loadTopologyFile). */
+std::string formatTopology(const Topology &topology);
+
+/** Write @p topology to @p path in the file format. */
+void saveTopologyFile(const Topology &topology,
+                      const std::string &path);
+
+/**
+ * Build a loopback topology for tests/benches: @p shards x
+ * @p replicas endpoints on 127.0.0.1 with port 0 (each server binds
+ * an ephemeral port and the caller patches the real one in).
+ */
+Topology loopbackTopology(std::size_t shards, std::size_t replicas,
+                          std::uint16_t router_port = 0);
+
+/** Contiguous slice of [0, rows) owned by one shard. */
+struct ShardRange
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+
+    std::size_t size() const { return end - begin; }
+};
+
+/**
+ * The rows shard @p shard of @p num_shards owns. Slices differ in
+ * size by at most one row and cover [0, rows) exactly; every shard
+ * of a non-empty dataset with num_shards <= rows is non-empty.
+ */
+ShardRange shardRange(std::size_t rows, std::size_t shard,
+                      std::size_t num_shards);
+
+/** "--shard i/N" (0-based index i, total N). */
+struct ShardSpec
+{
+    std::size_t index = 0;
+    std::size_t count = 1;
+};
+
+/** Parse "i/N"; false on malformed input or index >= count. */
+bool parseShardSpec(const std::string &text, ShardSpec *out);
+
+/**
+ * The slice of @p dataset that shard @p spec serves: base rows
+ * restricted to its shardRange, name suffixed "-s<i>of<N>" (so
+ * per-shard index builds land in distinct cache entries), queries
+ * kept (the server only needs their dimension), ground truth dropped
+ * (global ground truth is meaningless against a slice — recall is
+ * accounted at the router/client, in global ids).
+ */
+workload::Dataset shardSlice(const workload::Dataset &dataset,
+                             const ShardSpec &spec);
+
+} // namespace ann::dist
+
+#endif // ANN_DIST_TOPOLOGY_HH

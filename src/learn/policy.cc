@@ -71,6 +71,7 @@ struct ModelSlot
 {
     std::mutex mutex;
     std::shared_ptr<const Model> model;
+    std::string path;
     bool env_checked = false;
 };
 
@@ -115,9 +116,11 @@ activeModel()
     if (!slot.env_checked) {
         slot.env_checked = true;
         const std::string path = envString("ANN_LEARN_MODEL", "");
-        if (!path.empty())
+        if (!path.empty()) {
             slot.model =
                 std::make_shared<const Model>(Model::loadFile(path));
+            slot.path = path;
+        }
     }
     return slot.model;
 }
@@ -128,8 +131,26 @@ setActiveModel(std::shared_ptr<const Model> model)
     ModelSlot &slot = modelSlot();
     std::lock_guard<std::mutex> lock(slot.mutex);
     slot.model = std::move(model);
+    if (slot.model == nullptr)
+        slot.path.clear();
     // An explicit set overrides whatever $ANN_LEARN_MODEL would load.
     slot.env_checked = true;
+}
+
+std::string
+activeModelPath()
+{
+    ModelSlot &slot = modelSlot();
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    return slot.model != nullptr ? slot.path : std::string();
+}
+
+void
+setActiveModelPath(const std::string &path)
+{
+    ModelSlot &slot = modelSlot();
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    slot.path = path;
 }
 
 std::size_t

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
 
 #include "learn/model.hh"
 
@@ -42,6 +43,15 @@ void setEarlyStopEnabled(bool enabled);
  */
 std::shared_ptr<const Model> activeModel();
 void setActiveModel(std::shared_ptr<const Model> model);
+
+/**
+ * Where the active model came from: the $ANN_LEARN_MODEL path for the
+ * lazily loaded model, the @p path passed to setActiveModelPath, or
+ * "" when no model is active. Serving metrics echo this so cluster
+ * sweeps can record each shard's I/O-avoidance config.
+ */
+std::string activeModelPath();
+void setActiveModelPath(const std::string &path);
 
 /**
  * Cap on warm-set nodes scored during entry prediction

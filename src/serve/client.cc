@@ -2,14 +2,18 @@
 
 #include <arpa/inet.h>
 #include <netdb.h>
+#include <poll.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/error.hh"
 
@@ -20,11 +24,13 @@ AnnClient::~AnnClient()
     close();
 }
 
-void
-AnnClient::connect(const std::string &host, std::uint16_t port)
-{
-    ANN_CHECK(fd_ < 0, "client already connected");
+namespace {
 
+/** One resolve + connect attempt; -1 with *last_errno on failure. */
+int
+connectOnce(const std::string &host, std::uint16_t port,
+            int *last_errno)
+{
     addrinfo hints{};
     hints.ai_family = AF_INET;
     hints.ai_socktype = SOCK_STREAM;
@@ -35,21 +41,67 @@ AnnClient::connect(const std::string &host, std::uint16_t port)
     ANN_CHECK(rc == 0, "resolve ", host, ": ", gai_strerror(rc));
 
     int fd = -1;
-    int last_errno = ECONNREFUSED;
+    *last_errno = ECONNREFUSED;
     for (const addrinfo *ai = result; ai; ai = ai->ai_next) {
         fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
                       ai->ai_protocol);
         if (fd < 0) {
-            last_errno = errno;
+            *last_errno = errno;
             continue;
         }
         if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
             break;
-        last_errno = errno;
+        *last_errno = errno;
         ::close(fd);
         fd = -1;
     }
     ::freeaddrinfo(result);
+    return fd;
+}
+
+} // namespace
+
+void
+AnnClient::connect(const std::string &host, std::uint16_t port)
+{
+    connect(host, port, ConnectRetry{});
+}
+
+void
+AnnClient::connect(const std::string &host, std::uint16_t port,
+                   const ConnectRetry &retry, std::uint64_t *retries)
+{
+    ANN_CHECK(fd_ < 0, "client already connected");
+    if (retries != nullptr)
+        *retries = 0;
+
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(retry.max_wait_ms);
+    std::uint64_t backoff_ms =
+        std::max<std::uint64_t>(1, retry.initial_backoff_ms);
+
+    int fd;
+    int last_errno;
+    for (;;) {
+        fd = connectOnce(host, port, &last_errno);
+        if (fd >= 0)
+            break;
+        // Only the not-yet-listening race is retryable; anything
+        // else (unreachable, reset) fails fast as before.
+        if (last_errno != ECONNREFUSED ||
+            std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(backoff_ms) >
+                deadline)
+            break;
+        if (retries != nullptr)
+            ++*retries;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(backoff_ms));
+        backoff_ms = std::min(backoff_ms * 2,
+                              std::max<std::uint64_t>(
+                                  1, retry.max_backoff_ms));
+    }
     ANN_CHECK(fd >= 0, "connect ", host, ":", port, ": ",
               std::strerror(last_errno));
 
@@ -91,18 +143,20 @@ AnnClient::recvFrameMaybe(FrameHeader *out, int timeout_ms)
 {
     ANN_CHECK(fd_ >= 0, "client not connected");
 
-    timeval tv{};
-    tv.tv_sec = timeout_ms / 1000;
-    tv.tv_usec = (timeout_ms % 1000) * 1000;
-    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-
+    // The wait happens in poll(), never SO_RCVTIMEO: poll timeouts
+    // ride the kernel's high-resolution timers while SO_RCVTIMEO
+    // rounds up to the scheduler tick — ~8ms on an HZ=125 kernel —
+    // which would turn every millisecond-scale receive window into a
+    // tick-long stall. timeout_ms <= 0 blocks indefinitely, as
+    // before.
     bool frame_started = false;
     bool timed_out = false;
     int stalls = 0;
     const auto fill = [&](std::uint8_t *dest, std::size_t want) {
         std::size_t got = 0;
         while (got < want) {
-            const ssize_t r = ::recv(fd_, dest + got, want - got, 0);
+            const ssize_t r = ::recv(fd_, dest + got, want - got,
+                                     MSG_DONTWAIT);
             if (r > 0) {
                 got += static_cast<std::size_t>(r);
                 frame_started = true;
@@ -114,6 +168,18 @@ AnnClient::recvFrameMaybe(FrameHeader *out, int timeout_ms)
             if (errno == EINTR)
                 continue;
             if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                struct pollfd pfd = {fd_, POLLIN, 0};
+                const int rc =
+                    ::poll(&pfd, 1, timeout_ms <= 0 ? -1 : timeout_ms);
+                if (rc < 0) {
+                    if (errno == EINTR)
+                        continue;
+                    annFatal(__FILE__, __LINE__,
+                             std::string("poll: ") +
+                                 std::strerror(errno));
+                }
+                if (rc > 0)
+                    continue; // readable (errors surface via recv)
                 // A timeout before the first byte is a clean "no
                 // frame yet"; mid-frame it means the peer stalled —
                 // retry a bounded number of windows, then give up.

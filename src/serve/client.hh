@@ -23,6 +23,22 @@
 
 namespace ann::serve {
 
+/**
+ * Retry policy for connection establishment. A server that is still
+ * loading its index (or a shard process racing the router's startup)
+ * refuses connections for a while; retrying with capped exponential
+ * backoff turns that race into a short stall instead of a failed
+ * sweep.
+ */
+struct ConnectRetry
+{
+    /** Total time budget across attempts (0 = single attempt). */
+    std::uint64_t max_wait_ms = 0;
+    /** First backoff sleep; doubles per attempt up to the cap. */
+    std::uint64_t initial_backoff_ms = 1;
+    std::uint64_t max_backoff_ms = 250;
+};
+
 /** Blocking protocol client over one TCP connection. */
 class AnnClient
 {
@@ -34,8 +50,22 @@ class AnnClient
     AnnClient &operator=(const AnnClient &) = delete;
 
     void connect(const std::string &host, std::uint16_t port);
+
+    /**
+     * connect() with ECONNREFUSED retried under @p retry's budget.
+     * @param retries out (optional): refused attempts before success.
+     * Non-refusal errors (resolve failure, unreachable) stay fatal
+     * immediately — only the startup race is worth waiting out.
+     */
+    void connect(const std::string &host, std::uint16_t port,
+                 const ConnectRetry &retry,
+                 std::uint64_t *retries = nullptr);
+
     void close();
     bool connected() const { return fd_ >= 0; }
+
+    /** Raw socket fd (poll()-ing across clients); -1 when closed. */
+    int fd() const { return fd_; }
 
     /** Blocking search round trip. */
     SearchResponse search(const float *query, std::size_t dim,

@@ -25,6 +25,7 @@ struct ThreadStats
     std::uint64_t shed = 0;
     std::uint64_t rejected = 0;
     std::uint64_t connects = 0;
+    std::uint64_t connect_retries = 0;
     double connect_ns_sum = 0.0;
     double queue_ns_sum = 0.0;
     double exec_ns_sum = 0.0;
@@ -43,19 +44,25 @@ acquireClient(const LoadOptions &options, std::size_t slot,
               ThreadStats &stats)
 {
     std::uint64_t connect_ns = 0;
+    std::uint64_t retries = 0;
     std::shared_ptr<AnnClient> client;
     if (options.pool != nullptr) {
         client = options.pool->acquire(slot, options.host,
-                                       options.port, &connect_ns);
+                                       options.port, &connect_ns,
+                                       options.connect_retry_ms,
+                                       &retries);
     } else {
         client = std::make_shared<AnnClient>();
+        ConnectRetry retry;
+        retry.max_wait_ms = options.connect_retry_ms;
         const Clock::time_point t0 = Clock::now();
-        client->connect(options.host, options.port);
+        client->connect(options.host, options.port, retry, &retries);
         connect_ns = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 Clock::now() - t0)
                 .count());
     }
+    stats.connect_retries += retries;
     if (connect_ns > 0) {
         stats.connects++;
         stats.connect_ns_sum += static_cast<double>(connect_ns);
@@ -107,6 +114,7 @@ mergeStats(const std::vector<ThreadStats> &all, double wall_s)
         report.shed += s.shed;
         report.rejected += s.rejected;
         report.connections += s.connects;
+        report.connect_retries += s.connect_retries;
         connect_ns += s.connect_ns_sum;
         report.recall_samples += s.recall_samples;
         report.recall += s.recall_sum;
@@ -151,7 +159,8 @@ checkOptions(const LoadOptions &options)
 
 std::shared_ptr<AnnClient>
 ClientPool::acquire(std::size_t slot, const std::string &host,
-                    std::uint16_t port, std::uint64_t *connect_ns)
+                    std::uint16_t port, std::uint64_t *connect_ns,
+                    std::uint64_t retry_ms, std::uint64_t *retries)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -164,8 +173,10 @@ ClientPool::acquire(std::size_t slot, const std::string &host,
     // Connect outside the lock: slots connect concurrently, and each
     // slot is requested by exactly one worker per run.
     auto client = std::make_shared<AnnClient>();
+    ConnectRetry retry;
+    retry.max_wait_ms = retry_ms;
     const Clock::time_point t0 = Clock::now();
-    client->connect(host, port);
+    client->connect(host, port, retry, retries);
     *connect_ns = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             Clock::now() - t0)

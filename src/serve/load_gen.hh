@@ -56,11 +56,16 @@ class ClientPool
      * Connected client for @p slot, establishing (and timing) a new
      * connection when the slot is empty.
      * @param connect_ns out: establishment time, 0 when reused.
+     * @param retry_ms ECONNREFUSED retry budget for new connections
+     *        (0 = single attempt) — rides out server startup races.
+     * @param retries out (optional): refused attempts before success.
      */
     std::shared_ptr<AnnClient> acquire(std::size_t slot,
                                        const std::string &host,
                                        std::uint16_t port,
-                                       std::uint64_t *connect_ns);
+                                       std::uint64_t *connect_ns,
+                                       std::uint64_t retry_ms = 0,
+                                       std::uint64_t *retries = nullptr);
 
     /** Drop @p slot 's connection so the next acquire reconnects. */
     void discard(std::size_t slot);
@@ -88,6 +93,13 @@ struct LoadOptions
     bool validate = true;
     /** Closed-loop pause after an Overloaded reply (anti-spin). */
     std::chrono::microseconds shed_backoff{200};
+    /**
+     * ECONNREFUSED retry budget when establishing connections (0 =
+     * single attempt). A server still loading its index refuses
+     * connections; the default turns that startup race into a short
+     * stall instead of a failed run.
+     */
+    std::uint64_t connect_retry_ms = 2000;
     /**
      * When set, workers draw persistent connections from this pool
      * (slot = worker index) instead of reconnecting per run.
@@ -120,6 +132,8 @@ struct LoadReport
     std::uint64_t connections = 0;
     /** Mean establishment time per new connection (us). */
     double connect_us = 0.0;
+    /** Refused-then-retried connect attempts across the run. */
+    std::uint64_t connect_retries = 0;
     /** Client-observed latency distribution (merged, ns). */
     LatencyHistogram latency_ns;
 };

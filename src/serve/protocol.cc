@@ -286,6 +286,12 @@ encodeMetricsResponse(const MetricsSnapshot &snapshot,
     put64(out, snapshot.cache_lookups);
     put64(out, snapshot.cache_hits);
     put64(out, snapshot.cache_bytes_saved);
+    put64(out, snapshot.learned_entry);
+    put64(out, snapshot.learned_early_stop);
+    put32(out,
+          static_cast<std::uint32_t>(snapshot.learned_model.size()));
+    for (const char c : snapshot.learned_model)
+        out->push_back(static_cast<std::uint8_t>(c));
     putF64(out, snapshot.qps);
     putF64(out, snapshot.mean_us);
     putF64(out, snapshot.p50_us);
@@ -312,7 +318,17 @@ decodeMetricsResponse(const std::uint8_t *payload, std::size_t len,
         !cur.take64(&out->cache_lookups) ||
         !cur.take64(&out->cache_hits) ||
         !cur.take64(&out->cache_bytes_saved) ||
-        !cur.takeF64(&out->qps) ||
+        !cur.take64(&out->learned_entry) ||
+        !cur.take64(&out->learned_early_stop))
+        return DecodeResult::Malformed;
+    std::uint32_t model_len;
+    if (!cur.take32(&model_len) || model_len > kMaxModelPathBytes ||
+        len - cur.at < model_len)
+        return DecodeResult::Malformed;
+    out->learned_model.assign(
+        reinterpret_cast<const char *>(payload + cur.at), model_len);
+    cur.at += model_len;
+    if (!cur.takeF64(&out->qps) ||
         !cur.takeF64(&out->mean_us) || !cur.takeF64(&out->p50_us) ||
         !cur.takeF64(&out->p99_us) || !cur.takeF64(&out->p999_us))
         return DecodeResult::Malformed;

@@ -27,6 +27,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -42,6 +44,24 @@ inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 24;
 /** Sanity bounds on search-request fields. */
 inline constexpr std::uint32_t kMaxDim = 1u << 16;
 inline constexpr std::uint32_t kMaxK = 1u << 16;
+/** Ceiling on the learned-model path echoed in metrics frames. */
+inline constexpr std::uint32_t kMaxModelPathBytes = 4096;
+
+/**
+ * Thrown by a served "engine" whose capacity is exhausted — the
+ * distributed router raises it when a shard's outstanding-request
+ * budget is spent or every replica of a shard shed/failed. The
+ * server relays it to the client as Status::Overloaded (counted as
+ * shed), so back-pressure propagates through the router instead of
+ * turning into BadRequest.
+ */
+class OverloadedError : public std::runtime_error
+{
+  public:
+    explicit OverloadedError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
 
 enum class FrameType : std::uint16_t
 {
@@ -64,6 +84,23 @@ enum class Status : std::uint32_t
     /** Well-framed but semantically invalid request (k=0, wrong dim). */
     BadRequest = 3,
 };
+
+/** Human-readable status label (diagnostics, error messages). */
+inline const char *
+statusName(Status status)
+{
+    switch (status) {
+      case Status::Ok:
+        return "Ok";
+      case Status::Overloaded:
+        return "Overloaded";
+      case Status::ShuttingDown:
+        return "ShuttingDown";
+      case Status::BadRequest:
+        return "BadRequest";
+    }
+    return "Unknown";
+}
 
 struct FrameHeader
 {
@@ -109,6 +146,16 @@ struct MetricsSnapshot
     std::uint64_t cache_lookups = 0;
     std::uint64_t cache_hits = 0;
     std::uint64_t cache_bytes_saved = 0;
+    /**
+     * Learned I/O-avoidance policy echo: whether $ANN_LEARNED_ENTRY /
+     * $ANN_EARLY_STOP are engaged on this server and which model file
+     * backs them (empty when none is loaded). Cluster sweeps record
+     * these per shard so a result table can never silently mix
+     * learned and unlearned shards.
+     */
+    std::uint64_t learned_entry = 0;
+    std::uint64_t learned_early_stop = 0;
+    std::string learned_model;
     double qps = 0.0;
     double mean_us = 0.0;
     double p50_us = 0.0;

@@ -11,8 +11,10 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 
 #include "common/error.hh"
+#include "learn/policy.hh"
 
 namespace ann::serve {
 namespace {
@@ -555,11 +557,25 @@ AnnServer::runBatch(std::vector<Pending> &batch)
                 out.response.queue_ns =
                     elapsedNs(pending.enqueued, dispatched);
                 const auto t0 = std::chrono::steady_clock::now();
+                if (config_.slow_every > 0 &&
+                    execSeq_.fetch_add(1) % config_.slow_every ==
+                        config_.slow_every - 1)
+                    std::this_thread::sleep_for(config_.slow_us);
                 try {
                     out.response.results =
                         gate_.search(pending.request.query.data(),
                                      pending.request.settings);
+                    for (Neighbor &neighbor : out.response.results)
+                        neighbor.id += static_cast<VectorId>(
+                            config_.id_offset);
                     out.response.status = Status::Ok;
+                } catch (const OverloadedError &) {
+                    // A routed engine ran out of downstream capacity:
+                    // relay the back-pressure instead of reporting a
+                    // bad request.
+                    out.response.results.clear();
+                    out.response.status = Status::Overloaded;
+                    shed_.fetch_add(1);
                 } catch (const std::exception &) {
                     // Settings the engine rejects (FatalError) must
                     // not take the server down with them.
@@ -620,6 +636,16 @@ AnnServer::metrics() const
         snapshot.cache_lookups = cache.lookups;
         snapshot.cache_hits = cache.hits;
         snapshot.cache_bytes_saved = cache.bytesSaved();
+    }
+    {
+        // Learned-policy echo: a toggle only acts when a model is
+        // loaded, so report the effective (toggle AND model) state.
+        const bool model_active = learn::activeModel() != nullptr;
+        snapshot.learned_entry =
+            model_active && learn::learnedEntryEnabled() ? 1 : 0;
+        snapshot.learned_early_stop =
+            model_active && learn::earlyStopEnabled() ? 1 : 0;
+        snapshot.learned_model = learn::activeModelPath();
     }
     {
         std::lock_guard<std::mutex> lock(histMutex_);

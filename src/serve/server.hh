@@ -74,6 +74,21 @@ struct ServerConfig
     std::size_t expected_dim = 0;
     /** Forced connection close if a drain cannot flush in time. */
     std::chrono::milliseconds drain_timeout{5000};
+    /**
+     * Added to every returned neighbour id. A shard process serving
+     * rows [base, base+n) of a larger dataset sets this to `base` so
+     * its results land in the global id space and the router's merged
+     * top-k is directly comparable to a single-process run.
+     */
+    std::uint64_t id_offset = 0;
+    /**
+     * Debug straggler injection: every @p slow_every 'th request on
+     * this server sleeps @p slow_us before executing (0 = off). Gives
+     * cluster benches a deterministic tail to hedge away — the
+     * stand-in for GC pauses, compaction, and noisy neighbours.
+     */
+    std::size_t slow_every = 0;
+    std::chrono::microseconds slow_us{0};
 };
 
 /** Epoll server executing search requests on a gated engine. */
@@ -189,6 +204,8 @@ class AnnServer
     std::atomic<std::uint64_t> queueDepth_{0};
     std::atomic<std::uint64_t> batches_{0};
     std::atomic<std::uint64_t> maxBatch_{0};
+    /** Running request index driving slow_every injection. */
+    std::atomic<std::uint64_t> execSeq_{0};
     mutable std::mutex histMutex_;
     LatencyHistogram latencyNs_;
 };

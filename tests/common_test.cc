@@ -398,6 +398,63 @@ TEST(LatencyHistogramTest, EmptyAndClear)
     EXPECT_EQ(hist.maxValue(), 0u);
 }
 
+TEST(LatencyHistogramTest, MergeWithEmptyIsIdentity)
+{
+    // The router's rolling hedge-delay estimate merges the previous
+    // epoch into the current one; at startup either side may be empty
+    // and the merge must be an exact identity, not a perturbation.
+    LatencyHistogram filled;
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        filled.add(v * 7);
+    const double p99_before = filled.percentile(99.0);
+
+    LatencyHistogram empty;
+    filled.merge(empty);
+    EXPECT_EQ(filled.count(), 1000u);
+    EXPECT_DOUBLE_EQ(filled.percentile(99.0), p99_before);
+
+    empty.merge(filled);
+    EXPECT_EQ(empty.count(), 1000u);
+    EXPECT_EQ(empty.minValue(), filled.minValue());
+    EXPECT_EQ(empty.maxValue(), filled.maxValue());
+    EXPECT_DOUBLE_EQ(empty.percentile(99.0), p99_before);
+}
+
+TEST(LatencyHistogramTest, MergedTailDominatedByslowSource)
+{
+    // Hedging scenario: one epoch of fast replies (~100 us) merged
+    // with a straggler epoch (~40 ms). The merged tail must surface
+    // the stragglers while the median stays near the fast mode —
+    // exactly what makes a P99-derived hedge delay meaningful.
+    LatencyHistogram fast;
+    for (int i = 0; i < 990; ++i)
+        fast.add(100 + static_cast<std::uint64_t>(i) % 7);
+    LatencyHistogram slow;
+    for (int i = 0; i < 10; ++i)
+        slow.add(40'000 + static_cast<std::uint64_t>(i));
+
+    LatencyHistogram merged;
+    merged.merge(fast);
+    merged.merge(slow);
+    EXPECT_EQ(merged.count(), 1000u);
+    EXPECT_LT(merged.percentile(50.0), 200.0);
+    EXPECT_GT(merged.percentile(99.5), 30'000.0);
+    // Quantiles are monotone in p on the merged histogram.
+    double prev = 0.0;
+    for (const double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+        const double q = merged.percentile(p);
+        EXPECT_GE(q, prev) << "p" << p;
+        prev = q;
+    }
+    // Merge order is immaterial (element-wise bucket addition).
+    LatencyHistogram reversed;
+    reversed.merge(slow);
+    reversed.merge(fast);
+    for (const double p : {50.0, 99.0, 99.9})
+        EXPECT_DOUBLE_EQ(reversed.percentile(p),
+                         merged.percentile(p));
+}
+
 TEST(EnvTest, ParsesIntegers)
 {
     ::setenv("ANN_TEST_INT_VAR", "17", 1);

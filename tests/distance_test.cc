@@ -215,6 +215,76 @@ TEST(TopKTest, TieOnWorstReplacesLargerIdOnly)
     EXPECT_EQ(result[1].id, 7u);
 }
 
+TEST(TopKTest, DrainIntoMergesShardPartials)
+{
+    // The cluster router merges per-shard partial top-k lists by
+    // pushing every partial into one TopK and draining — verify the
+    // drained list is the global top-k in ascending order.
+    const std::vector<std::vector<Neighbor>> partials = {
+        {{0, 0.10f}, {1, 0.50f}, {2, 0.90f}},
+        {{10, 0.20f}, {11, 0.30f}, {12, 0.95f}},
+        {{20, 0.05f}, {21, 0.80f}},
+    };
+    TopK topk(4);
+    for (const auto &partial : partials)
+        for (const Neighbor &n : partial)
+            topk.push(n.id, n.distance);
+    SearchResult out;
+    topk.drainInto(out);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0].id, 20u);
+    EXPECT_EQ(out[1].id, 0u);
+    EXPECT_EQ(out[2].id, 10u);
+    EXPECT_EQ(out[3].id, 11u);
+    for (std::size_t i = 1; i < out.size(); ++i)
+        EXPECT_LE(out[i - 1].distance, out[i].distance);
+}
+
+TEST(TopKTest, DrainIntoMatchesTakeAndSupportsReuse)
+{
+    TopK a(5);
+    TopK b(5);
+    for (const float d : {0.9f, 0.1f, 0.5f, 0.3f, 0.7f, 0.2f}) {
+        const auto id = static_cast<VectorId>(d * 100.0f);
+        a.push(id, d);
+        b.push(id, d);
+    }
+    SearchResult drained;
+    a.drainInto(drained);
+    const SearchResult taken = b.take();
+    ASSERT_EQ(drained.size(), taken.size());
+    for (std::size_t i = 0; i < drained.size(); ++i) {
+        EXPECT_EQ(drained[i].id, taken[i].id);
+        EXPECT_EQ(drained[i].distance, taken[i].distance);
+    }
+    // Reuse: drainInto overwrites stale contents and the heap re-arms.
+    a.reset(2);
+    a.push(7, 0.2f);
+    a.push(8, 0.1f);
+    a.drainInto(drained);
+    ASSERT_EQ(drained.size(), 2u);
+    EXPECT_EQ(drained[0].id, 8u);
+    EXPECT_EQ(drained[1].id, 7u);
+}
+
+TEST(TopKTest, DuplicateIdsOccupySeparateSlots)
+{
+    // TopK does not deduplicate: the same id pushed twice (replayed
+    // or overlapping partials) takes two of the k slots. The router's
+    // mergePartials carries a seen-set for exactly this reason.
+    TopK topk(3);
+    topk.push(5, 0.1f);
+    topk.push(5, 0.1f);
+    topk.push(6, 0.2f);
+    topk.push(7, 0.3f);
+    SearchResult out;
+    topk.drainInto(out);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].id, 5u);
+    EXPECT_EQ(out[1].id, 5u);
+    EXPECT_EQ(out[2].id, 6u);
+}
+
 TEST(BruteForceTest, FindsExactNeighbor)
 {
     // 4 points on a line; query nearest to point 2.

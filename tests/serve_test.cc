@@ -23,6 +23,7 @@
 #include "common/error.hh"
 #include "distance/recall.hh"
 #include "engine/milvus_like.hh"
+#include "learn/policy.hh"
 #include "serve/client.hh"
 #include "serve/engine_gate.hh"
 #include "serve/protocol.hh"
@@ -617,6 +618,139 @@ TEST_F(ServeFixture, ShutdownRequestFrameDrainsServer)
     client.shutdownServer(); // waits for the ack
     server.waitStopped();
     EXPECT_FALSE(server.running());
+}
+
+TEST_F(ServeFixture, IdOffsetShiftsResultsIntoGlobalSpace)
+{
+    // A shard process serving rows [base, base+n) reports neighbour
+    // ids offset by base so the router's merged top-k lives in the
+    // global id space.
+    serve::ServerConfig config = baseConfig();
+    config.id_offset = 100'000;
+    serve::AnnServer server(*engine_, config);
+    server.start();
+    serve::AnnClient client;
+    client.connect("127.0.0.1", server.port());
+
+    for (std::size_t q = 0; q < 5; ++q) {
+        const auto response =
+            client.search(data_->query(q), data_->dim, settings(), q);
+        ASSERT_EQ(response.status, serve::Status::Ok);
+        const SearchResult local =
+            engine_->searchLive(data_->query(q), settings());
+        ASSERT_EQ(response.results.size(), local.size());
+        for (std::size_t i = 0; i < local.size(); ++i) {
+            EXPECT_EQ(response.results[i].id, local[i].id + 100'000u);
+            EXPECT_FLOAT_EQ(response.results[i].distance,
+                            local[i].distance);
+        }
+    }
+}
+
+TEST_F(ServeFixture, MetricsEchoLearnedPolicyState)
+{
+    serve::AnnServer server(*engine_, baseConfig());
+    server.start();
+    serve::AnnClient client;
+    client.connect("127.0.0.1", server.port());
+
+    // Toggles without an active model echo as off: the policies only
+    // engage when a model is loaded, and the echo must match what the
+    // search path actually does.
+    learn::setActiveModel(nullptr);
+    learn::setActiveModelPath("");
+    learn::setLearnedEntryEnabled(true);
+    learn::setEarlyStopEnabled(true);
+    auto snapshot = client.metrics();
+    EXPECT_EQ(snapshot.learned_entry, 0u);
+    EXPECT_EQ(snapshot.learned_early_stop, 0u);
+    EXPECT_TRUE(snapshot.learned_model.empty());
+
+    // With a model active the toggles and its path round-trip through
+    // the metrics wire frame.
+    learn::setActiveModel(std::make_shared<learn::Model>());
+    learn::setActiveModelPath("/models/hop-mlp.bin");
+    snapshot = client.metrics();
+    EXPECT_EQ(snapshot.learned_entry, 1u);
+    EXPECT_EQ(snapshot.learned_early_stop, 1u);
+    EXPECT_EQ(snapshot.learned_model, "/models/hop-mlp.bin");
+
+    learn::setLearnedEntryEnabled(false);
+    snapshot = client.metrics();
+    EXPECT_EQ(snapshot.learned_entry, 0u);
+    EXPECT_EQ(snapshot.learned_early_stop, 1u);
+
+    learn::setEarlyStopEnabled(false);
+    learn::setActiveModel(nullptr);
+    learn::setActiveModelPath("");
+}
+
+TEST_F(ServeFixture, ConnectRetryWaitsOutStartupRace)
+{
+    // Immediate success: an established listener costs no retries.
+    serve::AnnServer server(*engine_, baseConfig());
+    server.start();
+    {
+        serve::AnnClient client;
+        serve::ConnectRetry retry;
+        retry.max_wait_ms = 1000;
+        std::uint64_t retries = 77;
+        client.connect("127.0.0.1", server.port(), retry, &retries);
+        EXPECT_TRUE(client.connected());
+        EXPECT_EQ(retries, 0u);
+    }
+
+    // Reserve a port nothing listens on, then connect with a small
+    // budget: the dial must fail with FatalError after >= 1 refused
+    // attempt (the retry counter survives the throw).
+    std::uint16_t idle_port = 0;
+    {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+                         sizeof(addr)),
+                  0);
+        socklen_t len = sizeof(addr);
+        ASSERT_EQ(::getsockname(
+                      fd, reinterpret_cast<sockaddr *>(&addr), &len),
+                  0);
+        idle_port = ntohs(addr.sin_port);
+        ::close(fd); // bound but never listening -> ECONNREFUSED
+    }
+    {
+        serve::AnnClient client;
+        serve::ConnectRetry retry;
+        retry.max_wait_ms = 50;
+        std::uint64_t retries = 0;
+        EXPECT_THROW(client.connect("127.0.0.1", idle_port, retry,
+                                    &retries),
+                     FatalError);
+        EXPECT_GE(retries, 1u);
+    }
+
+    // Startup race: the listener appears ~100 ms after the client
+    // starts dialing; the retry loop must absorb the gap.
+    serve::ServerConfig late_config = baseConfig();
+    late_config.port = idle_port;
+    serve::AnnServer late_server(*engine_, late_config);
+    std::thread starter([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        late_server.start();
+    });
+    serve::AnnClient client;
+    serve::ConnectRetry retry;
+    retry.max_wait_ms = 5000;
+    std::uint64_t retries = 0;
+    client.connect("127.0.0.1", idle_port, retry, &retries);
+    starter.join();
+    EXPECT_TRUE(client.connected());
+    EXPECT_GE(retries, 1u);
+    const auto response =
+        client.search(data_->query(0), data_->dim, settings(), 1);
+    EXPECT_EQ(response.status, serve::Status::Ok);
 }
 
 // ---------------------------------------- mutation / search races

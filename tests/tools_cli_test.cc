@@ -90,7 +90,8 @@ TEST(ToolsCliTest, AnnloadRequiresPort)
 {
     const auto r = run(std::string(ANNLOAD_PATH));
     EXPECT_NE(r.exit_code, 0);
-    EXPECT_NE(r.output.find("--port is required"), std::string::npos)
+    EXPECT_NE(r.output.find("--port (or --topology) is required"),
+              std::string::npos)
         << r.output;
 }
 

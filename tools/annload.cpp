@@ -15,6 +15,7 @@
  * regression into a non-zero exit for CI.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -23,6 +24,7 @@
 #include "common/args.hh"
 #include "common/error.hh"
 #include "common/table.hh"
+#include "dist/topology.hh"
 #include "serve/client.hh"
 #include "serve/load_gen.hh"
 #include "workload/registry.hh"
@@ -35,7 +37,13 @@ printUsage()
     std::printf(
         "usage: annload [options]\n"
         "  --host ADDR         server address (default 127.0.0.1)\n"
-        "  --port N            server port (required)\n"
+        "  --port N            server port (required unless "
+        "--topology)\n"
+        "  --topology FILE     cluster shard map; targets its router\n"
+        "                      endpoint instead of --host/--port\n"
+        "  --connect-retry-ms N  retry refused connects for up to N "
+        "ms\n"
+        "                      (default 2000; 0 = single attempt)\n"
         "  --dataset NAME      query + ground-truth source; must "
         "match\n"
         "                      the served dataset (default "
@@ -75,12 +83,27 @@ int
 runLoad(const ann::ArgParser &args)
 {
     using namespace ann;
-    ANN_CHECK(args.has("port"), "--port is required");
+    ANN_CHECK(args.has("port") || args.has("topology"),
+              "--port (or --topology) is required");
 
     serve::LoadOptions options;
-    options.host = args.get("host", "127.0.0.1");
-    options.port =
-        static_cast<std::uint16_t>(args.getInt("port", 0));
+    if (args.has("topology")) {
+        // The shard map names the router endpoint clients talk to —
+        // the same file the fleet's annrouter/annserve were given.
+        const auto topology =
+            dist::loadTopologyFile(args.get("topology", ""));
+        ANN_CHECK(topology.router.port != 0,
+                  "topology file has no usable router endpoint");
+        options.host = topology.router.host;
+        options.port = topology.router.port;
+    } else {
+        options.host = args.get("host", "127.0.0.1");
+        options.port =
+            static_cast<std::uint16_t>(args.getInt("port", 0));
+    }
+    options.connect_retry_ms = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0,
+                               args.getInt("connect-retry-ms", 2000)));
     options.target_qps = getDouble(args, "target-qps", 0.0);
     options.duration_s = getDouble(args, "duration-s", 3.0);
     options.validate = !args.flag("no-validate");
@@ -111,9 +134,13 @@ runLoad(const ann::ArgParser &args)
     options.pool = &pool;
 
     // Separate connection for server metrics: sector-cache counter
-    // deltas around each point become the hit-rate columns.
+    // deltas around each point become the hit-rate columns. Dialed
+    // with the same retry budget — this is the first connection, so
+    // it is the one that races server startup.
     serve::AnnClient metrics_client;
-    metrics_client.connect(options.host, options.port);
+    serve::ConnectRetry metrics_retry;
+    metrics_retry.max_wait_ms = options.connect_retry_ms;
+    metrics_client.connect(options.host, options.port, metrics_retry);
 
     const bool open_loop = options.target_qps > 0.0;
     const char *discipline = open_loop ? "open" : "closed";
@@ -154,7 +181,13 @@ runLoad(const ann::ArgParser &args)
                       std::to_string(report.rejected),
                       std::to_string(report.unanswered),
                       report.connections > 0
-                          ? formatDouble(report.connect_us, 0)
+                          ? formatDouble(report.connect_us, 0) +
+                                (report.connect_retries > 0
+                                     ? " (+" +
+                                           std::to_string(
+                                               report.connect_retries) +
+                                           ")"
+                                     : "")
                           : "-",
                       lookups > 0
                           ? formatDouble(100.0 *
@@ -194,7 +227,8 @@ main(int argc, char **argv)
     using namespace ann;
     ArgParser args({"host", "port", "dataset", "clients", "target-qps",
                     "duration-s", "k", "nprobe", "ef-search",
-                    "search-list", "beam-width", "min-recall"},
+                    "search-list", "beam-width", "min-recall",
+                    "topology", "connect-retry-ms"},
                    {"help", "no-validate"});
     try {
         args.parse(argc, argv);

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * annrouter — one endpoint in front of a sharded annserve fleet.
+ *
+ * Reads the cluster shard map, dials every replica (waiting out shard
+ * startup with connect retries), and serves the same binary protocol
+ * clients already speak: each incoming search is scattered to one
+ * replica per shard and the partial top-k lists are merged into the
+ * global result. Tail control (hedged requests, per-shard budgets,
+ * replica ejection/rejoin) lives in dist::RouterEngine.
+ *
+ *   annrouter --topology cluster.topo --dataset cohere-1m
+ *
+ * Prints "annrouter: listening on HOST:PORT" once the fleet answered
+ * (scripts wait for that line) and a routing summary after the drain.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+
+#include "common/args.hh"
+#include "common/error.hh"
+#include "dist/router.hh"
+#include "dist/topology.hh"
+#include "serve/server.hh"
+#include "workload/registry.hh"
+
+namespace {
+
+ann::serve::AnnServer *g_server = nullptr;
+
+extern "C" void
+handleStopSignal(int)
+{
+    if (g_server != nullptr)
+        g_server->requestStop();
+}
+
+void
+printUsage()
+{
+    std::printf(
+        "usage: annrouter [options]\n"
+        "  --topology FILE     cluster shard map (router + replica\n"
+        "                      endpoints; see dist/topology.hh)\n"
+        "  --spec SPEC         inline topology, e.g.\n"
+        "                      'router@:7600;:7601,:7611;:7602,:7612'\n"
+        "  --dataset NAME      dataset the fleet serves (fixes the\n"
+        "                      query dimension; default cohere-1m)\n"
+        "  --dim N             query dimension override (instead of\n"
+        "                      --dataset)\n"
+        "  --bind ADDR         listen address override\n"
+        "  --port N            listen port override (0 = ephemeral)\n"
+        "  --queue-limit N     front-end admission limit (default "
+        "256)\n"
+        "  --max-batch N       front-end micro-batch size (default "
+        "16)\n"
+        "  --exec-threads N    scatter-gather worker width (default:\n"
+        "                      hardware concurrency)\n"
+        "  --shard-budget N    outstanding queries per shard before\n"
+        "                      shedding OVERLOADED (default 128; 0 = "
+        "off)\n"
+        "  --no-hedge          disable hedged requests\n"
+        "  --hedge-quantile P  fire the hedge after the replica's P-th\n"
+        "                      latency percentile (default 99)\n"
+        "  --hedge-min-us N    hedge delay clamp (default 100)\n"
+        "  --hedge-max-us N    hedge delay clamp (default 50000)\n"
+        "  --timeout-ms N      per-shard query deadline (default "
+        "2000)\n"
+        "  --ready-wait-ms N   fleet dial budget before serving "
+        "anyway\n"
+        "                      (default 30000)\n"
+        "  --help              this message\n");
+}
+
+int
+runRouter(const ann::ArgParser &args)
+{
+    using namespace ann;
+
+    dist::RouterConfig config;
+    if (args.has("topology"))
+        config.topology =
+            dist::loadTopologyFile(args.get("topology", ""));
+    else if (args.has("spec"))
+        config.topology = dist::parseTopologySpec(args.get("spec", ""));
+    else
+        ANN_FATAL("annrouter needs --topology FILE or --spec SPEC");
+
+    if (args.has("dim")) {
+        config.dim = static_cast<std::size_t>(args.getInt("dim", 0));
+    } else {
+        // The generator spec carries the dimension without paying for
+        // dataset generation — the router never touches the vectors.
+        config.dim =
+            workload::specForName(args.get("dataset", "cohere-1m")).dim;
+    }
+    ANN_CHECK(config.dim > 0, "query dimension must be positive");
+
+    config.shard_budget = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0, args.getInt("shard-budget", 128)));
+    config.hedge = !args.flag("no-hedge");
+    config.hedge_quantile = static_cast<double>(
+        args.getInt("hedge-quantile", 99));
+    config.hedge_min_delay_us = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(1, args.getInt("hedge-min-us", 100)));
+    config.hedge_max_delay_us = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(1, args.getInt("hedge-max-us", 50000)));
+    config.request_timeout = std::chrono::milliseconds(
+        std::max<std::int64_t>(1, args.getInt("timeout-ms", 2000)));
+
+    dist::RouterEngine router(config);
+
+    std::printf("annrouter: dialing %zu shards x %zu backends...\n",
+                config.topology.numShards(),
+                config.topology.numBackends());
+    std::fflush(stdout);
+    const auto ready_wait = std::chrono::milliseconds(
+        std::max<std::int64_t>(0, args.getInt("ready-wait-ms", 30000)));
+    if (!router.waitReady(ready_wait))
+        std::printf("annrouter: warning: fleet not fully reachable; "
+                    "unreachable replicas rejoin via probing\n");
+
+    serve::ServerConfig server_config;
+    server_config.bind_address = config.topology.router.host;
+    server_config.port = config.topology.router.port;
+    if (args.has("bind"))
+        server_config.bind_address = args.get("bind", "127.0.0.1");
+    if (args.has("port"))
+        server_config.port =
+            static_cast<std::uint16_t>(args.getInt("port", 0));
+    server_config.queue_limit =
+        static_cast<std::size_t>(args.getInt("queue-limit", 256));
+    server_config.max_batch =
+        static_cast<std::size_t>(args.getInt("max-batch", 16));
+    server_config.exec_threads =
+        static_cast<std::size_t>(args.getInt("exec-threads", 0));
+    server_config.expected_dim = config.dim;
+
+    serve::AnnServer server(router, server_config);
+    server.start();
+    g_server = &server;
+    std::signal(SIGTERM, handleStopSignal);
+    std::signal(SIGINT, handleStopSignal);
+
+    std::printf("annrouter: listening on %s:%u\n",
+                server_config.bind_address.c_str(), server.port());
+    std::fflush(stdout);
+
+    server.waitStopped();
+    g_server = nullptr;
+
+    const serve::MetricsSnapshot m = server.metrics();
+    const dist::RouterStats r = router.stats();
+    std::printf("annrouter: drained. %llu requests (%llu ok, %llu "
+                "shed); %.0f QPS, P50 %.0f us, P99 %.0f us, P99.9 "
+                "%.0f us\n",
+                static_cast<unsigned long long>(m.received),
+                static_cast<unsigned long long>(m.completed),
+                static_cast<unsigned long long>(m.shed), m.qps,
+                m.p50_us, m.p99_us, m.p999_us);
+    std::printf("annrouter: routed %llu; hedges %llu fired / %llu "
+                "won; %llu shed at shard budgets; %llu failovers, "
+                "%llu ejections, %llu rejoins, %llu stale replies "
+                "skipped\n",
+                static_cast<unsigned long long>(r.routed),
+                static_cast<unsigned long long>(r.hedges_fired),
+                static_cast<unsigned long long>(r.hedge_wins),
+                static_cast<unsigned long long>(r.shed_budget),
+                static_cast<unsigned long long>(r.failovers),
+                static_cast<unsigned long long>(r.ejections),
+                static_cast<unsigned long long>(r.rejoins),
+                static_cast<unsigned long long>(r.stale_skipped));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ann;
+    ArgParser args({"topology", "spec", "dataset", "dim", "bind",
+                    "port", "queue-limit", "max-batch", "exec-threads",
+                    "shard-budget", "hedge-quantile", "hedge-min-us",
+                    "hedge-max-us", "timeout-ms", "ready-wait-ms"},
+                   {"help", "no-hedge"});
+    try {
+        args.parse(argc, argv);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        printUsage();
+        return 1;
+    }
+    if (args.flag("help")) {
+        printUsage();
+        return 0;
+    }
+    try {
+        return runRouter(args);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "annrouter: %s\n", e.what());
+        return 1;
+    }
+}

@@ -10,9 +10,15 @@
  * Prints "annserve: listening on HOST:PORT" once ready (scripts wait
  * for that line), tuned search parameters to pass to annload, and a
  * final metrics summary after the graceful drain.
+ *
+ * Cluster mode: `--shard i/N` serves only shard i's contiguous row
+ * slice (ids offset back into the global space), and `--topology FILE
+ * --replica r` binds the endpoint the shard map assigns to replica r
+ * of that shard — the same file drives annrouter and annload.
  */
 
 #include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
@@ -22,6 +28,7 @@
 #include "common/thread_pool.hh"
 #include "core/experiments.hh"
 #include "core/tuner.hh"
+#include "dist/topology.hh"
 #include "index/layout.hh"
 #include "serve/server.hh"
 #include "storage/io_backend.hh"
@@ -78,6 +85,17 @@ printUsage()
         "                      id-order|packed-bfs (default: "
         "$ANN_LAYOUT\n"
         "                      or id-order)\n"
+        "  --shard I/N         serve only shard I of N (contiguous "
+        "row\n"
+        "                      slice; returned ids stay global)\n"
+        "  --topology FILE     cluster shard map; with --shard, binds "
+        "the\n"
+        "                      endpoint assigned to this replica\n"
+        "  --replica R         replica index within the shard "
+        "(default 0)\n"
+        "  --debug-slow-every N  sleep on every Nth request (0 = "
+        "off)\n"
+        "  --debug-slow-us US  injected straggler sleep duration\n"
         "  --help              this message\n");
 }
 
@@ -125,24 +143,78 @@ runServe(const ann::ArgParser &args)
     const std::string dataset_name = args.get("dataset", "cohere-1m");
     std::printf("annserve: loading %s and preparing %s...\n",
                 dataset_name.c_str(), setup.c_str());
-    const auto dataset = workload::loadOrGenerate(dataset_name);
+    auto dataset = workload::loadOrGenerate(dataset_name);
+
+    // Cluster mode: restrict the dataset to this process's shard
+    // slice before any index is built. Returned ids are offset back
+    // into the global id space so the router's merged top-k is
+    // comparable to a single-process run.
+    dist::ShardSpec shard_spec;
+    const bool sharded = args.has("shard");
+    std::uint64_t id_offset = 0;
+    if (sharded) {
+        ANN_CHECK(dist::parseShardSpec(args.get("shard", ""),
+                                       &shard_spec),
+                  "bad --shard '", args.get("shard", ""),
+                  "' (want I/N with I < N)");
+        const auto range = dist::shardRange(
+            dataset.rows, shard_spec.index, shard_spec.count);
+        id_offset = range.begin;
+        dataset = dist::shardSlice(dataset, shard_spec);
+        std::printf("annserve: shard %zu/%zu: rows [%zu, %zu) of %s\n",
+                    shard_spec.index, shard_spec.count, range.begin,
+                    range.end, dataset_name.c_str());
+    }
+
     auto engine = core::prepareEngine(setup, dataset);
 
-    // Hand the operator parameters that reach the tuned recall
-    // target, ready to paste into an annload invocation.
-    const auto tuned = core::tunedSettings(*engine, dataset, 0.9);
-    std::printf("annserve: tuned settings: --k %zu --nprobe %zu "
-                "--ef-search %zu --search-list %zu --beam-width %zu "
-                "(recall@%zu %.3f)\n",
-                tuned.settings.k, tuned.settings.nprobe,
-                tuned.settings.ef_search, tuned.settings.search_list,
-                tuned.settings.beam_width, tuned.settings.k,
-                tuned.recall);
+    if (!sharded) {
+        // Hand the operator parameters that reach the tuned recall
+        // target, ready to paste into an annload invocation. Shards
+        // skip this: their slice carries no ground truth (recall is
+        // accounted at the router/client in global ids).
+        const auto tuned = core::tunedSettings(*engine, dataset, 0.9);
+        std::printf("annserve: tuned settings: --k %zu --nprobe %zu "
+                    "--ef-search %zu --search-list %zu --beam-width "
+                    "%zu (recall@%zu %.3f)\n",
+                    tuned.settings.k, tuned.settings.nprobe,
+                    tuned.settings.ef_search,
+                    tuned.settings.search_list,
+                    tuned.settings.beam_width, tuned.settings.k,
+                    tuned.recall);
+    }
 
     serve::ServerConfig config;
     config.bind_address = args.get("bind", "127.0.0.1");
     config.port =
         static_cast<std::uint16_t>(args.getInt("port", 7654));
+    if (args.has("topology")) {
+        // The shard map assigns this process its endpoint, keeping
+        // annserve, annrouter, and annload consistent from one file.
+        ANN_CHECK(sharded, "--topology requires --shard I/N");
+        const auto topology =
+            dist::loadTopologyFile(args.get("topology", ""));
+        ANN_CHECK(shard_spec.count == topology.numShards(),
+                  "--shard says ", shard_spec.count,
+                  " shards but the topology has ",
+                  topology.numShards());
+        const auto replica =
+            static_cast<std::size_t>(args.getInt("replica", 0));
+        ANN_CHECK(replica < topology.numReplicas(shard_spec.index),
+                  "--replica ", replica, " out of range (shard has ",
+                  topology.numReplicas(shard_spec.index),
+                  " replicas)");
+        const dist::Endpoint &self =
+            topology.shards[shard_spec.index][replica];
+        config.bind_address = self.host;
+        config.port = self.port;
+    }
+    config.id_offset = id_offset;
+    config.slow_every = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, args.getInt("debug-slow-every", 0)));
+    config.slow_us =
+        std::chrono::microseconds(std::max<std::int64_t>(
+            0, args.getInt("debug-slow-us", 0)));
     config.queue_limit =
         static_cast<std::size_t>(args.getInt("queue-limit", 64));
     config.max_batch =
@@ -187,6 +259,14 @@ runServe(const ann::ArgParser &args)
                         static_cast<double>(m.cache_lookups),
                     static_cast<double>(m.cache_bytes_saved) /
                         (1024.0 * 1024.0));
+    if (m.learned_entry != 0 || m.learned_early_stop != 0 ||
+        !m.learned_model.empty())
+        std::printf("annserve: learned policies: entry=%s "
+                    "early-stop=%s model=%s\n",
+                    m.learned_entry != 0 ? "on" : "off",
+                    m.learned_early_stop != 0 ? "on" : "off",
+                    m.learned_model.empty() ? "(none)"
+                                            : m.learned_model.c_str());
     return 0;
 }
 
@@ -199,7 +279,8 @@ main(int argc, char **argv)
     ArgParser args({"setup", "dataset", "bind", "port", "queue-limit",
                     "max-batch", "exec-threads", "max-connections",
                     "io-backend", "io-queue-depth", "node-cache-mb",
-                    "warm-nodes", "layout"},
+                    "warm-nodes", "layout", "shard", "topology",
+                    "replica", "debug-slow-every", "debug-slow-us"},
                    {"help", "pin-threads"});
     try {
         args.parse(argc, argv);

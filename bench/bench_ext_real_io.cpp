@@ -2,7 +2,7 @@
  * @file
  * Extension — the real-I/O layer characterized on real hardware.
  *
- * Three phases, mirroring how the paper validates its testbed (fio
+ * Five phases, mirroring how the paper validates its testbed (fio
  * microbenchmarks first, then end-to-end search):
  *
  *  1. Raw sweep: batches of random single-sector O_DIRECT reads
@@ -41,6 +41,23 @@
  *     IOs/query. Writes results/BENCH_learned.json. Run with
  *     --learned-only to skip phases 1-3.
  *
+ *  5. Async pipelined beam search A/B: the same index served sync
+ *     and async ($ANN_ASYNC_BEAM) on the file backend with a
+ *     simulated per-read device latency ($ANN_IO_SIM_LATENCY_US,
+ *     default 150 us here), one thread, beam 4 — the qd-starved
+ *     point where the sync loop idles the CPU for one device
+ *     round-trip per hop. Gates: results bit-identical to the memory
+ *     backend, recall unchanged, and async QPS >=
+ *     $ANN_ASYNC_MIN_SPEEDUP (default 1.3x) of sync. A second
+ *     sub-phase runs an 8-way micro-batch of the same queries with
+ *     the single-flight layer off vs on and gates backend reads per
+ *     query at >= $ANN_ASYNC_MIN_DEDUP (default 1.1x) fewer with the
+ *     layer on, with a nonzero ios_deduped count. Both tables carry
+ *     the observed effective queue depth (mean in-flight reads from
+ *     the I/O gauge). Writes results/BENCH_async.json. Run with
+ *     --async-only to run just this phase; --layout-only and
+ *     --learned-only skip it (as does --no-async).
+ *
  * The burst workload (and hence the exported training data) is
  * seeded: --seed N or $ANN_SEED make runs reproducible; the default
  * reproduces the historical stream.
@@ -62,6 +79,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <thread>
 #include <utility>
 
 #include "bench_common.hh"
@@ -80,6 +98,7 @@
 #include "learn/model.hh"
 #include "learn/policy.hh"
 #include "storage/io_backend.hh"
+#include "storage/node_cache.hh"
 #include "workload/generator.hh"
 
 namespace {
@@ -816,6 +835,320 @@ runLearnedPhase(DiskAnnIndex &index, const workload::Dataset &skew,
     return ok;
 }
 
+/** One arm of the phase-5 async pipelining A/B. */
+struct AsyncPoint
+{
+    const char *label = "";
+    double qps = 0.0;
+    double mean_us = 0.0;
+    double p99_us = 0.0;
+    double hop_reads = 0.0;   ///< reads issued at hop time (traces);
+                              ///< spec-stash hits never show up here
+    double backend_ops = 0.0; ///< IoRequests reaching the backend,
+                              ///< speculative reads included
+    double eff_qd = 0.0;        ///< mean in-flight reads (I/O gauge)
+    double recall = 0.0;
+};
+
+/**
+ * Measure one async-toggle arm single-threaded over the whole query
+ * set. Logical reads come from the hop traces (identical across arms
+ * by the bit-identity contract); backend ops and effective queue
+ * depth come from the process-wide I/O gauge, so speculative reads
+ * that never serve a hop are charged honestly.
+ */
+void
+asyncSweepPoint(DiskAnnIndex &index, const workload::Dataset &data,
+                const DiskAnnSearchParams &params, AsyncPoint &point,
+                std::vector<SearchResult> *results = nullptr)
+{
+    std::vector<double> latencies;
+    latencies.reserve(data.num_queries);
+    std::uint64_t requests = 0;
+    double recall_sum = 0.0;
+    const storage::IoGaugeSnapshot gauge0 = storage::ioGaugeSnapshot();
+    const double start = nowUs();
+    for (std::size_t q = 0; q < data.num_queries; ++q) {
+        SearchTraceRecorder recorder;
+        const double t0 = nowUs();
+        const SearchResult result =
+            index.search(data.query(q), params, &recorder);
+        latencies.push_back(nowUs() - t0);
+        for (const SearchStep &step : recorder.steps())
+            requests += step.reads.size();
+        recall_sum +=
+            recallAtK(data.ground_truth[q], result, params.k);
+        if (results != nullptr)
+            results->push_back(result);
+    }
+    const double elapsed_us = nowUs() - start;
+    const storage::IoGaugeSnapshot gauge1 = storage::ioGaugeSnapshot();
+    const auto nq = static_cast<double>(data.num_queries);
+
+    point.qps = nq * 1e6 / elapsed_us;
+    point.mean_us = mean(latencies);
+    point.p99_us = percentile(std::move(latencies), 99.0);
+    point.hop_reads = static_cast<double>(requests) / nq;
+    point.backend_ops =
+        static_cast<double>(gauge1.ops - gauge0.ops) / nq;
+    point.eff_qd = gauge1.meanDepthSince(gauge0);
+    point.recall = recall_sum / nq;
+}
+
+/** One arm of the phase-5 single-flight dedup sub-phase. */
+struct DedupArm
+{
+    const char *label = "";
+    double qps = 0.0;
+    double backend_ops = 0.0; ///< IoRequests per query per thread
+    double eff_qd = 0.0;
+    std::uint64_t deduped = 0; ///< reads served by attaching to a flight
+};
+
+/**
+ * Phase 5: the async pipelined beam-search A/B (sync vs
+ * $ANN_ASYNC_BEAM at a qd-starved serving point) and the cross-query
+ * single-flight dedup gate under an 8-way micro-batch. Writes
+ * BENCH_async.json.
+ */
+bool
+runAsyncPhase(DiskAnnIndex &index, const workload::Dataset &skew)
+{
+    bool ok = true;
+    DiskAnnSearchParams params;
+    params.search_list = 64;
+    params.beam_width = 4;
+
+    // Whatever happens below, leave the process-wide toggles at their
+    // defaults for whoever runs next.
+    struct ToggleReset
+    {
+        ~ToggleReset()
+        {
+            storage::setAsyncBeamEnabled(false);
+            storage::setSingleFlightEnabled(true);
+        }
+    } reset;
+
+    // Memory-backend reference: async on real I/O must reproduce it
+    // bit for bit.
+    index.setIoMode({});
+    std::vector<SearchResult> reference;
+    reference.reserve(skew.num_queries);
+    for (std::size_t q = 0; q < skew.num_queries; ++q)
+        reference.push_back(index.search(skew.query(q), params));
+
+    // The qd-starved serving point: one thread, beam 4, no node
+    // cache, every node read paying a simulated device latency. The
+    // sync loop stalls one device round-trip per hop with the CPU
+    // idle; the async loop scores completed nodes while the rest of
+    // the hop is in flight and speculates the next frontier, so this
+    // is exactly where pipelining has to show up.
+    const unsigned sim_latency_us =
+        static_cast<unsigned>(std::max<std::int64_t>(
+            0, envInt("ANN_IO_SIM_LATENCY_US", 150)));
+    storage::IoOptions io;
+    io.kind = storage::IoBackendKind::File;
+    io.queue_depth = 16;
+    io.sim_latency_us = sim_latency_us;
+    index.setIoMode(io);
+
+    storage::setAsyncBeamEnabled(false);
+    AsyncPoint sync_point;
+    sync_point.label = "sync";
+    std::vector<SearchResult> sync_results;
+    sync_results.reserve(skew.num_queries);
+    asyncSweepPoint(index, skew, params, sync_point, &sync_results);
+
+    storage::setAsyncBeamEnabled(true);
+    AsyncPoint async_point;
+    async_point.label = "async";
+    std::vector<SearchResult> async_results;
+    async_results.reserve(skew.num_queries);
+    asyncSweepPoint(index, skew, params, async_point, &async_results);
+    storage::setAsyncBeamEnabled(false);
+
+    const bool identical =
+        sync_results == reference && async_results == reference;
+    std::cout << "sync and async top-k bit-identical to memory: "
+              << (identical ? "yes" : "NO") << "\n";
+    if (!identical) {
+        std::cerr << "FAIL: async beam search changed results\n";
+        ok = false;
+    }
+
+    TextTable table("async pipelined beam search A/B (file backend, "
+                    "sim latency " +
+                    std::to_string(sim_latency_us) +
+                    " us, search_list=64, beam=4, 1 thread)");
+    table.setHeader({"mode", "QPS", "mean (us)", "P99 (us)",
+                     "hop reads/q", "IOs/query", "eff QD",
+                     "recall@10"});
+    for (const AsyncPoint *p : {&sync_point, &async_point})
+        table.addRow({p->label, formatDouble(p->qps, 0),
+                      formatDouble(p->mean_us, 1),
+                      formatDouble(p->p99_us, 1),
+                      formatDouble(p->hop_reads, 1),
+                      formatDouble(p->backend_ops, 1),
+                      formatDouble(p->eff_qd, 2),
+                      formatDouble(p->recall, 3)});
+    table.print(std::cout);
+
+    const double speedup =
+        async_point.qps / std::max(sync_point.qps, 1e-9);
+    const double min_speedup = [] {
+        const char *env = std::getenv("ANN_ASYNC_MIN_SPEEDUP");
+        return env != nullptr ? std::atof(env) : 1.3;
+    }();
+    std::cout << "async speedup: " << formatDouble(speedup, 2)
+              << "x (gate >= " << formatDouble(min_speedup, 2)
+              << "x), eff QD " << formatDouble(sync_point.eff_qd, 2)
+              << " -> " << formatDouble(async_point.eff_qd, 2)
+              << "\n";
+    if (speedup < min_speedup) {
+        std::cerr << "FAIL: async pipelining saves too little\n";
+        ok = false;
+    }
+    if (async_point.recall != sync_point.recall) {
+        std::cerr << "FAIL: async changed recall\n";
+        ok = false;
+    }
+
+    // Cross-query single-flight dedup: an 8-way micro-batch running
+    // the same queries nearly in lockstep misses the same hot sectors
+    // at the same time. With the layer off every thread pays its own
+    // backend read for a concurrent miss; with it on one owner reads
+    // and the rest attach to the flight. The cache is deliberately
+    // small so the burst working set keeps missing instead of going
+    // fully resident after the first pass. The arms run the sync
+    // demand path: every read goes through the cache, so the off/on
+    // backend-I/O ratio isolates the single-flight layer (the async
+    // path's speculative reads target a private per-query stash and
+    // would dilute the measurement; its single-flight interplay is
+    // covered by the concurrency tests).
+    constexpr std::size_t kThreads = 8;
+    storage::IoOptions dedup_io = io;
+    dedup_io.node_cache.capacity_bytes =
+        256 * storage::kIoSectorBytes;
+
+    const auto dedupArm = [&](bool flights_on, DedupArm &arm) {
+        storage::setSingleFlightEnabled(flights_on);
+        index.setIoMode(dedup_io); // fresh backend, cold cache
+        const storage::NodeCacheStats cache0 = index.nodeCacheStats();
+        const storage::IoGaugeSnapshot gauge0 =
+            storage::ioGaugeSnapshot();
+        const double start = nowUs();
+        std::vector<std::thread> threads;
+        threads.reserve(kThreads);
+        for (std::size_t t = 0; t < kThreads; ++t)
+            threads.emplace_back([&] {
+                for (std::size_t q = 0; q < skew.num_queries; ++q)
+                    (void)index.search(skew.query(q), params);
+            });
+        for (auto &thread : threads)
+            thread.join();
+        const double elapsed_us = nowUs() - start;
+        const storage::IoGaugeSnapshot gauge1 =
+            storage::ioGaugeSnapshot();
+        const storage::NodeCacheStats delta =
+            index.nodeCacheStats() - cache0;
+        const auto n =
+            static_cast<double>(skew.num_queries * kThreads);
+        arm.qps = n * 1e6 / elapsed_us;
+        arm.backend_ops =
+            static_cast<double>(gauge1.ops - gauge0.ops) / n;
+        arm.eff_qd = gauge1.meanDepthSince(gauge0);
+        arm.deduped = delta.ios_deduped;
+        storage::setSingleFlightEnabled(true);
+    };
+
+    DedupArm off_arm, on_arm;
+    off_arm.label = "off";
+    on_arm.label = "on";
+    dedupArm(false, off_arm);
+    dedupArm(true, on_arm);
+
+    TextTable dedup_table(
+        "cross-query single-flight dedup (8-way micro-batch of the "
+        "same queries, sync demand path, cache=1 MiB)");
+    dedup_table.setHeader({"single-flight", "QPS", "backend ops/q",
+                           "eff QD", "ios deduped"});
+    for (const DedupArm *arm : {&off_arm, &on_arm})
+        dedup_table.addRow({arm->label, formatDouble(arm->qps, 0),
+                            formatDouble(arm->backend_ops, 1),
+                            formatDouble(arm->eff_qd, 2),
+                            std::to_string(arm->deduped)});
+    dedup_table.print(std::cout);
+
+    const double dedup_ratio =
+        off_arm.backend_ops / std::max(on_arm.backend_ops, 1e-9);
+    const double min_dedup = [] {
+        const char *env = std::getenv("ANN_ASYNC_MIN_DEDUP");
+        return env != nullptr ? std::atof(env) : 1.1;
+    }();
+    std::cout << "single-flight backend-I/O reduction: "
+              << formatDouble(dedup_ratio, 2) << "x (gate >= "
+              << formatDouble(min_dedup, 2) << "x), "
+              << on_arm.deduped << " reads deduped\n";
+    if (dedup_ratio < min_dedup) {
+        std::cerr << "FAIL: single-flight dedupes too little\n";
+        ok = false;
+    }
+    if (on_arm.deduped == 0) {
+        std::cerr << "FAIL: single-flight never deduped a read\n";
+        ok = false;
+    }
+
+    const std::string json_path =
+        core::resultsDir() + "/BENCH_async.json";
+    if (std::FILE *f = std::fopen(json_path.c_str(), "w")) {
+        std::fprintf(f,
+                     "{\n  \"dataset\": \"%s\",\n"
+                     "  \"queries\": %zu,\n"
+                     "  \"sim_latency_us\": %u,\n"
+                     "  \"points\": [\n",
+                     skew.name.c_str(), skew.num_queries,
+                     sim_latency_us);
+        const AsyncPoint *arms[] = {&sync_point, &async_point};
+        for (std::size_t i = 0; i < 2; ++i) {
+            const AsyncPoint &p = *arms[i];
+            std::fprintf(
+                f,
+                "    {\"mode\": \"%s\", \"qps\": %.1f, "
+                "\"mean_us\": %.1f, \"p99_us\": %.1f, "
+                "\"hop_reads_per_query\": %.2f, "
+                "\"ios_per_query\": %.2f, "
+                "\"eff_queue_depth\": %.3f, \"recall\": %.4f}%s\n",
+                p.label, p.qps, p.mean_us, p.p99_us, p.hop_reads,
+                p.backend_ops, p.eff_qd, p.recall,
+                i + 1 < 2 ? "," : "");
+        }
+        std::fprintf(f,
+                     "  ],\n  \"speedup\": %.3f,\n"
+                     "  \"min_speedup_gate\": %.2f,\n"
+                     "  \"bit_identical\": %s,\n"
+                     "  \"dedup\": {\"threads\": %zu, "
+                     "\"backend_ops_per_query_off\": %.2f, "
+                     "\"backend_ops_per_query_on\": %.2f, "
+                     "\"eff_queue_depth_off\": %.3f, "
+                     "\"eff_queue_depth_on\": %.3f, "
+                     "\"ios_deduped\": %llu, \"ratio\": %.3f, "
+                     "\"min_dedup_gate\": %.2f}\n}\n",
+                     speedup, min_speedup,
+                     identical ? "true" : "false", kThreads,
+                     off_arm.backend_ops, on_arm.backend_ops,
+                     off_arm.eff_qd, on_arm.eff_qd,
+                     static_cast<unsigned long long>(on_arm.deduped),
+                     dedup_ratio, min_dedup);
+        std::fclose(f);
+        std::cout << "wrote " << json_path << "\n";
+    } else {
+        std::cerr << "FAIL: cannot write " << json_path << "\n";
+        ok = false;
+    }
+    return ok;
+}
+
 } // namespace
 
 int
@@ -826,6 +1159,8 @@ main(int argc, char **argv)
     bool layout_only = false;
     bool learned_only = false;
     bool no_learned = false;
+    bool async_only = false;
+    bool no_async = false;
     // Workload seed: --seed beats $ANN_SEED beats the historical
     // default (which reproduces the pre-seeding byte streams).
     std::uint64_t seed = static_cast<std::uint64_t>(
@@ -839,11 +1174,23 @@ main(int argc, char **argv)
             learned_only = true;
         if (std::strcmp(argv[i], "--no-learned") == 0)
             no_learned = true;
+        if (std::strcmp(argv[i], "--async-only") == 0)
+            async_only = true;
+        if (std::strcmp(argv[i], "--no-async") == 0)
+            no_async = true;
         if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
             seed = std::strtoull(argv[++i], nullptr, 0);
     }
+    if (async_only) {
+        layout_only = true; // skip phases 1-2
+        no_learned = true;
+    }
     if (learned_only)
         layout_only = true; // skip phases 1-2 as well
+    // Phase 5 runs in the full sweep and under --async-only; the
+    // focused phase-3/4 smokes keep their historical scope.
+    const bool run_async =
+        async_only || (!layout_only && !learned_only && !no_async);
     core::printBenchHeader(
         "Extension: real-I/O backends (pread vs io_uring)",
         "expected: uring IOPS scale with queue depth; batched async "
@@ -1065,10 +1412,12 @@ main(int argc, char **argv)
     id_index.build(skew.baseView(), build);
 
     bool ok = true;
-    if (!learned_only)
+    if (!learned_only && !async_only)
         ok = runLayoutPhase(id_index, build, skew, dataset) && ok;
     if (!no_learned)
         ok = runLearnedPhase(id_index, skew, seed) && ok;
+    if (run_async)
+        ok = runAsyncPhase(id_index, skew) && ok;
 
     if (!ok) {
         std::cerr << "bench_ext_real_io: GATES FAILED\n";

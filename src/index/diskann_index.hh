@@ -204,6 +204,17 @@ class DiskAnnIndex
      */
     const std::uint8_t *fetchRecord(VectorId node,
                                     storage::AlignedBuffer &scratch) const;
+    /**
+     * The single entry point for every non-beam read of the node
+     * file: @p count sectors from @p first into @p dest. With
+     * @p use_cache the sector cache partitions the span into hits and
+     * miss runs and admits the misses, so load-path reads share the
+     * beam path's I/O accounting; bulk streams (save/setIoMode/warm
+     * BFS) pass false and bypass it — admitting a full-file stream
+     * would wash the cache out.
+     */
+    void readSectors(std::uint64_t first, std::uint32_t count,
+                     std::uint8_t *dest, bool use_cache) const;
 
     std::size_t rows_ = 0;
     std::size_t dim_ = 0;

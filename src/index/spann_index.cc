@@ -38,6 +38,12 @@ struct SpannScratch
     std::vector<std::size_t> fetch_offset;
     std::vector<storage::IoRequest> requests;
     VisitTable seen;
+    /** Async path ($ANN_ASYNC_BEAM): requests[i] with i <
+     *  probe_req_end[p] belong to probes 0..p. */
+    std::vector<std::size_t> probe_req_end;
+    std::vector<std::uint8_t> req_done;
+    std::vector<std::uint64_t> tags;
+    std::vector<std::uint64_t> done_tags;
 };
 
 thread_local SpannScratch tls_scratch;
@@ -277,6 +283,7 @@ SpannIndex::searchInto(const float *query,
     std::vector<storage::IoRequest> &requests = scratch->requests;
     fetch_offset.clear();
     requests.clear();
+    scratch->probe_req_end.clear();
     std::vector<SectorRead> reads; // trace-mode only (moved away)
     if (!image) {
         std::size_t total = 0;
@@ -314,6 +321,7 @@ SpannIndex::searchInto(const float *query,
                      dest + s * kSectorBytes});
                 s = e + (e < count ? 1 : 0);
             }
+            scratch->probe_req_end.push_back(requests.size());
         }
         if (recorder) {
             reads.reserve(requests.size());
@@ -334,17 +342,47 @@ SpannIndex::searchInto(const float *query,
         recorder->issueReads(std::move(reads));
     }
 
+    // Async pipelined storage phase ($ANN_ASYNC_BEAM): submit every
+    // probed list now, then scan each list as soon as ITS reads land
+    // instead of stalling on the slowest probe. Lists are scanned in
+    // probe order either way, so results are bit-identical.
+    const bool async =
+        !image && !requests.empty() && storage::asyncBeamEnabled();
+    std::unique_ptr<storage::IoQueue> ioq;
+    std::size_t ioq_outstanding = 0;
+    const auto admit_request = [&](const storage::IoRequest &req) {
+        if (!cache_)
+            return;
+        for (std::uint32_t j = 0; j < req.count; ++j)
+            cache_->admit(req.sector + j,
+                          req.dest + std::size_t{j} * kSectorBytes);
+    };
     if (!image && !requests.empty()) {
-        io_->readBatch(requests.data(), requests.size(),
-                       tls_fetch.region());
-        if (cache_) {
+        if (async) {
+            ioq = io_->openQueue();
+            scratch->tags.clear();
+            for (std::size_t r = 0; r < requests.size(); ++r)
+                scratch->tags.push_back(r);
+            scratch->req_done.assign(requests.size(), 0);
+            scratch->done_tags.resize(
+                std::min<std::size_t>(requests.size(), 128));
+            ioq->submitBatch(requests.data(), requests.size(),
+                             scratch->tags.data());
+            ioq_outstanding = requests.size();
+        } else {
+            io_->readBatch(requests.data(), requests.size(),
+                           tls_fetch.region());
             for (const storage::IoRequest &req : requests)
-                for (std::uint32_t j = 0; j < req.count; ++j)
-                    cache_->admit(req.sector + j,
-                                  req.dest + std::size_t{j} *
-                                                 kSectorBytes);
+                admit_request(req);
         }
     }
+    // All requests of probes 0..p completed?
+    const auto probe_ready = [&](std::size_t p) {
+        for (std::size_t r = 0; r < scratch->probe_req_end[p]; ++r)
+            if (!scratch->req_done[r])
+                return false;
+        return true;
+    };
 
     // Scan phase: full-precision over the fetched lists; replicas
     // deduplicate through the epoch-reset visit table (same outcome
@@ -354,6 +392,23 @@ SpannIndex::searchInto(const float *query,
     VisitTable &seen = scratch->seen;
     seen.reset(rows_);
     for (std::size_t p = 0; p < probes.size(); ++p) {
+        if (async) {
+            while (!probe_ready(p)) {
+                ANN_ASSERT(ioq_outstanding > 0,
+                           "spann async scan stalled: probe "
+                           "unfetched with no I/O outstanding");
+                const std::size_t got = ioq->pollCompletions(
+                    scratch->done_tags.data(),
+                    scratch->done_tags.size(), 1);
+                for (std::size_t t = 0; t < got; ++t) {
+                    const auto r = static_cast<std::size_t>(
+                        scratch->done_tags[t]);
+                    scratch->req_done[r] = 1;
+                    admit_request(requests[r]);
+                }
+                ioq_outstanding -= got;
+            }
+        }
         const std::size_t list = probes[p].id;
         const std::uint8_t *entries =
             image ? image + listSectorStart_[list] * kSectorBytes

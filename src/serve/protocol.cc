@@ -286,6 +286,7 @@ encodeMetricsResponse(const MetricsSnapshot &snapshot,
     put64(out, snapshot.cache_lookups);
     put64(out, snapshot.cache_hits);
     put64(out, snapshot.cache_bytes_saved);
+    put64(out, snapshot.cache_deduped);
     put64(out, snapshot.learned_entry);
     put64(out, snapshot.learned_early_stop);
     put32(out,
@@ -297,6 +298,7 @@ encodeMetricsResponse(const MetricsSnapshot &snapshot,
     putF64(out, snapshot.p50_us);
     putF64(out, snapshot.p99_us);
     putF64(out, snapshot.p999_us);
+    putF64(out, snapshot.eff_queue_depth);
     patchPayloadBytes(out, header_at);
 }
 
@@ -318,6 +320,7 @@ decodeMetricsResponse(const std::uint8_t *payload, std::size_t len,
         !cur.take64(&out->cache_lookups) ||
         !cur.take64(&out->cache_hits) ||
         !cur.take64(&out->cache_bytes_saved) ||
+        !cur.take64(&out->cache_deduped) ||
         !cur.take64(&out->learned_entry) ||
         !cur.take64(&out->learned_early_stop))
         return DecodeResult::Malformed;
@@ -330,7 +333,8 @@ decodeMetricsResponse(const std::uint8_t *payload, std::size_t len,
     cur.at += model_len;
     if (!cur.takeF64(&out->qps) ||
         !cur.takeF64(&out->mean_us) || !cur.takeF64(&out->p50_us) ||
-        !cur.takeF64(&out->p99_us) || !cur.takeF64(&out->p999_us))
+        !cur.takeF64(&out->p99_us) || !cur.takeF64(&out->p999_us) ||
+        !cur.takeF64(&out->eff_queue_depth))
         return DecodeResult::Malformed;
     return cur.consumedAll() ? DecodeResult::Ok
                              : DecodeResult::Malformed;

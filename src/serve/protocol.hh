@@ -146,6 +146,9 @@ struct MetricsSnapshot
     std::uint64_t cache_lookups = 0;
     std::uint64_t cache_hits = 0;
     std::uint64_t cache_bytes_saved = 0;
+    /** Backend reads avoided by single-flight coalescing: misses that
+     *  attached to another query's in-flight read of the sector. */
+    std::uint64_t cache_deduped = 0;
     /**
      * Learned I/O-avoidance policy echo: whether $ANN_LEARNED_ENTRY /
      * $ANN_EARLY_STOP are engaged on this server and which model file
@@ -161,6 +164,9 @@ struct MetricsSnapshot
     double p50_us = 0.0;
     double p99_us = 0.0;
     double p999_us = 0.0;
+    /** Mean in-flight storage reads since server start (the paper's
+     *  effective queue depth, not the configured window size). */
+    double eff_queue_depth = 0.0;
 };
 
 enum class DecodeResult

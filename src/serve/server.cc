@@ -117,6 +117,7 @@ AnnServer::start()
                                          ThreadPool::pinByDefault());
     nextConnId_ = 2; // 0/1 are the listen/wake tags
     started_ = std::chrono::steady_clock::now();
+    ioGaugeStart_ = storage::ioGaugeSnapshot();
     running_.store(true);
     ioThread_ = std::thread(&AnnServer::ioLoop, this);
     workerThread_ = std::thread(&AnnServer::workerLoop, this);
@@ -526,10 +527,14 @@ AnnServer::workerLoop()
                 queue_.pop_front();
             }
             queueDepth_.store(queue_.size());
-            inFlight_.store(batch.size());
+            // Gauge counts requests actually executing: incremented
+            // here, decremented per request as each one completes
+            // inside runBatch — not zeroed wholesale after the batch,
+            // which made the gauge read batch.size() while the last
+            // straggler ran and 0 the instant it finished.
+            inFlight_.fetch_add(batch.size());
         }
         runBatch(batch);
-        inFlight_.store(0);
     }
 }
 
@@ -585,6 +590,7 @@ AnnServer::runBatch(std::vector<Pending> &batch)
                 const auto t1 = std::chrono::steady_clock::now();
                 out.response.exec_ns = elapsedNs(t0, t1);
                 out.total_ns = elapsedNs(pending.enqueued, t1);
+                inFlight_.fetch_sub(1);
             }
         });
 
@@ -636,7 +642,10 @@ AnnServer::metrics() const
         snapshot.cache_lookups = cache.lookups;
         snapshot.cache_hits = cache.hits;
         snapshot.cache_bytes_saved = cache.bytesSaved();
+        snapshot.cache_deduped = cache.ios_deduped;
     }
+    snapshot.eff_queue_depth =
+        storage::ioGaugeSnapshot().meanDepthSince(ioGaugeStart_);
     {
         // Learned-policy echo: a toggle only acts when a model is
         // loaded, so report the effective (toggle AND model) state.

@@ -49,6 +49,7 @@
 #include "common/thread_pool.hh"
 #include "serve/engine_gate.hh"
 #include "serve/protocol.hh"
+#include "storage/io_backend.hh"
 
 namespace ann::serve {
 
@@ -193,6 +194,9 @@ class AnnServer
 
     // Metrics.
     std::chrono::steady_clock::time_point started_;
+    /** Gauge baseline at start(): metrics() reports the mean
+     *  effective I/O queue depth since then. */
+    storage::IoGaugeSnapshot ioGaugeStart_{};
     std::atomic<std::uint64_t> acceptedConns_{0};
     std::atomic<std::uint64_t> openConns_{0};
     std::atomic<std::uint64_t> received_{0};

@@ -7,10 +7,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <thread>
 
 #include "common/env.hh"
 #include "common/error.hh"
@@ -62,6 +66,8 @@ IoOptions::fromEnv()
         static_cast<unsigned>(std::max<std::int64_t>(1, ioQueueDepth()));
     options.direct_io = envInt("ANN_IO_DIRECT", 1) != 0;
     options.node_cache = NodeCacheConfig::fromEnv();
+    options.sim_latency_us = static_cast<unsigned>(
+        std::max<std::int64_t>(0, envInt("ANN_IO_SIM_LATENCY_US", 0)));
     return options;
 }
 
@@ -139,6 +145,164 @@ setUringRegisterEnabled(bool enabled)
     uringRegisterFlag().store(enabled, std::memory_order_relaxed);
 }
 
+namespace {
+
+std::atomic<bool> &
+asyncBeamFlag()
+{
+    static std::atomic<bool> flag{envFlag("ANN_ASYNC_BEAM", false)};
+    return flag;
+}
+
+std::atomic<bool> &
+ioPooledFlag()
+{
+    static std::atomic<bool> flag{envFlag("ANN_IO_POOLED", false)};
+    return flag;
+}
+
+} // namespace
+
+bool
+asyncBeamEnabled()
+{
+    return asyncBeamFlag().load(std::memory_order_relaxed);
+}
+
+void
+setAsyncBeamEnabled(bool enabled)
+{
+    asyncBeamFlag().store(enabled, std::memory_order_relaxed);
+}
+
+bool
+ioPooledEnabled()
+{
+    return ioPooledFlag().load(std::memory_order_relaxed);
+}
+
+void
+setIoPooledEnabled(bool enabled)
+{
+    ioPooledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+namespace {
+std::atomic<bool> &
+asyncShuffleFlag()
+{
+    static std::atomic<bool> flag{envFlag("ANN_ASYNC_SHUFFLE", false)};
+    return flag;
+}
+} // namespace
+
+bool
+asyncShuffleDelivery()
+{
+    return asyncShuffleFlag().load(std::memory_order_relaxed);
+}
+
+void
+setAsyncShuffleDelivery(bool enabled)
+{
+    asyncShuffleFlag().store(enabled, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------- effective-QD gauge
+
+namespace {
+
+std::uint64_t
+monotonicNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/**
+ * Read ops in flight across every file/uring backend, folded into a
+ * time-weighted integral on each transition. One mutex for the whole
+ * process is fine: ops live for microseconds (device latency), so the
+ * nanoseconds under this lock never show up.
+ */
+struct IoGauge
+{
+    std::mutex mutex;
+    std::uint64_t in_flight = 0;
+    double integral_ns = 0.0;
+    std::uint64_t last_ns = 0;
+    std::atomic<std::uint64_t> ops{0};
+    std::atomic<std::uint64_t> sectors{0};
+};
+
+IoGauge &
+ioGauge()
+{
+    static IoGauge gauge;
+    return gauge;
+}
+
+} // namespace
+
+void
+ioGaugeSubmit(std::size_t ops, std::size_t sectors)
+{
+    IoGauge &gauge = ioGauge();
+    gauge.ops.fetch_add(ops, std::memory_order_relaxed);
+    gauge.sectors.fetch_add(sectors, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(gauge.mutex);
+    const std::uint64_t now = monotonicNs();
+    if (gauge.last_ns != 0)
+        gauge.integral_ns += static_cast<double>(gauge.in_flight) *
+                             static_cast<double>(now - gauge.last_ns);
+    gauge.last_ns = now;
+    gauge.in_flight += ops;
+}
+
+void
+ioGaugeComplete(std::size_t ops)
+{
+    IoGauge &gauge = ioGauge();
+    std::lock_guard<std::mutex> lock(gauge.mutex);
+    const std::uint64_t now = monotonicNs();
+    if (gauge.last_ns != 0)
+        gauge.integral_ns += static_cast<double>(gauge.in_flight) *
+                             static_cast<double>(now - gauge.last_ns);
+    gauge.last_ns = now;
+    gauge.in_flight -= std::min<std::uint64_t>(gauge.in_flight, ops);
+}
+
+IoGaugeSnapshot
+ioGaugeSnapshot()
+{
+    IoGauge &gauge = ioGauge();
+    IoGaugeSnapshot snapshot;
+    snapshot.ops = gauge.ops.load(std::memory_order_relaxed);
+    snapshot.sectors = gauge.sectors.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(gauge.mutex);
+    const std::uint64_t now = monotonicNs();
+    if (gauge.last_ns != 0)
+        gauge.integral_ns += static_cast<double>(gauge.in_flight) *
+                             static_cast<double>(now - gauge.last_ns);
+    gauge.last_ns = now;
+    snapshot.depth_integral_ns = gauge.integral_ns;
+    snapshot.now_ns = now;
+    snapshot.in_flight = gauge.in_flight;
+    return snapshot;
+}
+
+double
+IoGaugeSnapshot::meanDepthSince(const IoGaugeSnapshot &begin) const
+{
+    const double dt =
+        static_cast<double>(now_ns) - static_cast<double>(begin.now_ns);
+    if (dt <= 0.0)
+        return 0.0;
+    return (depth_integral_ns - begin.depth_integral_ns) / dt;
+}
+
 AlignedBuffer::~AlignedBuffer()
 {
     std::free(data_);
@@ -190,6 +354,75 @@ ioPreadFull(int fd, std::uint8_t *dst, std::size_t len,
 
 namespace {
 
+// ------------------------------------------------- emulated IoQueues
+
+/**
+ * Pop completed tags out of @p ready. Arrival order normally; under
+ * $ANN_ASYNC_SHUFFLE an adversarial order instead — descending tag,
+ * and never more than half of what is ready (but always >= 1 and
+ * >= @p min_complete), forcing consumers through repeated partial
+ * polls. Callers hold their own lock.
+ */
+std::size_t
+deliverReady(std::vector<std::uint64_t> &ready, std::uint64_t *out,
+             std::size_t max, std::size_t min_complete)
+{
+    if (ready.empty())
+        return 0;
+    std::size_t take = std::min(max, ready.size());
+    if (asyncShuffleDelivery()) {
+        std::sort(ready.begin(), ready.end());
+        // Descending delivery: take from the back of the ascending
+        // sort. Withhold half of what is available when allowed.
+        const std::size_t half = (ready.size() + 1) / 2;
+        take = std::min(take, std::max(min_complete,
+                                       std::max<std::size_t>(1, half)));
+        for (std::size_t i = 0; i < take; ++i) {
+            out[i] = ready.back();
+            ready.pop_back();
+        }
+        return take;
+    }
+    for (std::size_t i = 0; i < take; ++i)
+        out[i] = ready[i];
+    ready.erase(ready.begin(),
+                ready.begin() + static_cast<std::ptrdiff_t>(take));
+    return take;
+}
+
+/**
+ * The base emulation: reads complete inside submitBatch() (one
+ * blocking readBatch) and pollCompletions() hands the tags back.
+ * Memory-backend queues use this — the "device" is a memcpy, so
+ * there is nothing to overlap — and so does any future backend that
+ * does not override openQueue().
+ */
+class SyncIoQueue final : public IoQueue
+{
+  public:
+    explicit SyncIoQueue(IoBackend &backend) : backend_(backend) {}
+
+    void
+    submitBatch(const IoRequest *requests, std::size_t n,
+                const std::uint64_t *tags) override
+    {
+        backend_.readBatch(requests, n);
+        ready_.insert(ready_.end(), tags, tags + n);
+    }
+
+    std::size_t
+    pollCompletions(std::uint64_t *out, std::size_t max,
+                    std::size_t min_complete) override
+    {
+        (void)min_complete; // everything submitted is already done
+        return deliverReady(ready_, out, max, min_complete);
+    }
+
+  private:
+    IoBackend &backend_;
+    std::vector<std::uint64_t> ready_;
+};
+
 // ------------------------------------------------------------- memory
 
 /** The seed behaviour: a resident byte vector, zero-copy reads. */
@@ -225,6 +458,174 @@ class MemoryIoBackend final : public IoBackend
 // --------------------------------------------------------------- file
 
 /**
+ * One pread-served read, shared by the sync batch path and the async
+ * worker pool. @p sim_latency_us sleeps first, emulating device
+ * access latency on storage that is too fast to show queue-depth
+ * effects (see IoOptions::sim_latency_us).
+ */
+void
+fileReadOne(int fd, std::uint64_t size, unsigned sim_latency_us,
+            const IoRequest &req)
+{
+    const std::uint64_t offset = req.sector * kIoSectorBytes;
+    const std::size_t bytes = req.count * kIoSectorBytes;
+    ANN_CHECK(offset + bytes <= size, "read past end of node file");
+    if (sim_latency_us > 0)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(sim_latency_us));
+    ANN_CHECK(ioPreadFull(fd, req.dest, bytes, offset),
+              "pread failed on node file: ", std::strerror(errno));
+}
+
+/** Per-IoQueue completion box the shared worker pool posts into. */
+struct FileAsyncState
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<std::uint64_t> ready;
+    std::size_t outstanding = 0;
+    bool failed = false;
+};
+
+/**
+ * The emulated async engine of the file backend: a worker pool
+ * (shared by every queue the backend opens) runs the preads and posts
+ * completions into each queue's box. Workers block in pread, not on
+ * CPU, so overlap works even single-core — the async twin of the
+ * sync path's queue-depth-sized pread pool.
+ */
+class FileAsyncEngine
+{
+  public:
+    FileAsyncEngine(int fd, std::uint64_t size, unsigned sim_latency_us,
+                    std::size_t workers)
+        : fd_(fd), size_(size), simLatencyUs_(sim_latency_us)
+    {
+        workers_.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~FileAsyncEngine()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (std::thread &worker : workers_)
+            worker.join();
+    }
+
+    void
+    submit(FileAsyncState *owner, const IoRequest &req,
+           std::uint64_t tag)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            work_.push_back({owner, req, tag});
+        }
+        cv_.notify_one();
+    }
+
+  private:
+    struct Op
+    {
+        FileAsyncState *owner;
+        IoRequest req;
+        std::uint64_t tag;
+    };
+
+    void
+    workerLoop()
+    {
+        for (;;) {
+            Op op;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                cv_.wait(lock,
+                         [&] { return stop_ || !work_.empty(); });
+                if (stop_ && work_.empty())
+                    return;
+                op = work_.front();
+                work_.pop_front();
+            }
+            bool ok = true;
+            try {
+                fileReadOne(fd_, size_, simLatencyUs_, op.req);
+            } catch (const std::exception &) {
+                ok = false; // surfaced to the consumer on delivery
+            }
+            ioGaugeComplete(1);
+            {
+                std::lock_guard<std::mutex> lock(op.owner->mutex);
+                op.owner->ready.push_back(op.tag);
+                op.owner->outstanding--;
+                op.owner->failed = op.owner->failed || !ok;
+            }
+            op.owner->cv.notify_all();
+        }
+    }
+
+    int fd_;
+    std::uint64_t size_;
+    unsigned simLatencyUs_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<Op> work_;
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/** File-backend IoQueue: a completion box over the shared engine. */
+class FileAsyncQueue final : public IoQueue
+{
+  public:
+    explicit FileAsyncQueue(FileAsyncEngine &engine) : engine_(engine)
+    {
+    }
+
+    ~FileAsyncQueue() override
+    {
+        // Drain: destinations may be released right after destruction.
+        std::unique_lock<std::mutex> lock(state_.mutex);
+        state_.cv.wait(lock, [&] { return state_.outstanding == 0; });
+    }
+
+    void
+    submitBatch(const IoRequest *requests, std::size_t n,
+                const std::uint64_t *tags) override
+    {
+        std::size_t sectors = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            sectors += requests[i].count;
+        ioGaugeSubmit(n, sectors);
+        {
+            std::lock_guard<std::mutex> lock(state_.mutex);
+            state_.outstanding += n;
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            engine_.submit(&state_, requests[i], tags[i]);
+    }
+
+    std::size_t
+    pollCompletions(std::uint64_t *out, std::size_t max,
+                    std::size_t min_complete) override
+    {
+        std::unique_lock<std::mutex> lock(state_.mutex);
+        state_.cv.wait(lock, [&] {
+            return state_.ready.size() >= min_complete;
+        });
+        ANN_CHECK(!state_.failed, "async pread failed on node file");
+        return deliverReady(state_.ready, out, max, min_complete);
+    }
+
+  private:
+    FileAsyncEngine &engine_;
+    FileAsyncState state_;
+};
+
+/**
  * pread(2)-served node file. Batches overlap through a dedicated I/O
  * pool sized by queue depth, not core count: a thread blocked in
  * pread consumes no CPU, so overlap pays off even on one core (where
@@ -236,13 +637,18 @@ class FileIoBackend final : public IoBackend
 {
   public:
     FileIoBackend(int fd, std::uint64_t size, unsigned queue_depth,
-                  bool direct)
+                  bool direct, unsigned sim_latency_us = 0)
         : fd_(fd), size_(size),
-          queueDepth_(std::max(1u, queue_depth)), direct_(direct)
+          queueDepth_(std::max(1u, queue_depth)), direct_(direct),
+          simLatencyUs_(sim_latency_us)
     {
     }
 
-    ~FileIoBackend() override { ::close(fd_); }
+    ~FileIoBackend() override
+    {
+        asyncEngine_.reset(); // workers stop before the fd closes
+        ::close(fd_);
+    }
 
     IoBackendKind kind() const override { return IoBackendKind::File; }
     std::uint64_t sizeBytes() const override { return size_; }
@@ -253,9 +659,14 @@ class FileIoBackend final : public IoBackend
     {
         if (n == 0)
             return;
+        std::size_t sectors = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            sectors += requests[i].count;
+        ioGaugeSubmit(n, sectors);
         if (queueDepth_ <= 1 || n == 1) {
             for (std::size_t i = 0; i < n; ++i)
                 readOne(requests[i]);
+            ioGaugeComplete(n);
             return;
         }
         std::call_once(poolOnce_, [this] {
@@ -267,26 +678,36 @@ class FileIoBackend final : public IoBackend
                 for (std::size_t i = begin; i < end; ++i)
                     readOne(requests[i]);
             });
+        ioGaugeComplete(n);
+    }
+
+    std::unique_ptr<IoQueue>
+    openQueue() override
+    {
+        std::call_once(engineOnce_, [this] {
+            asyncEngine_ = std::make_unique<FileAsyncEngine>(
+                fd_, size_, simLatencyUs_,
+                std::min<std::size_t>(queueDepth_, 16));
+        });
+        return std::make_unique<FileAsyncQueue>(*asyncEngine_);
     }
 
   private:
     void
     readOne(const IoRequest &req) const
     {
-        const std::uint64_t offset = req.sector * kIoSectorBytes;
-        const std::size_t bytes = req.count * kIoSectorBytes;
-        ANN_CHECK(offset + bytes <= size_,
-                  "read past end of node file");
-        ANN_CHECK(ioPreadFull(fd_, req.dest, bytes, offset),
-                  "pread failed on node file: ", std::strerror(errno));
+        fileReadOne(fd_, size_, simLatencyUs_, req);
     }
 
     int fd_;
     std::uint64_t size_;
     unsigned queueDepth_;
     bool direct_;
+    unsigned simLatencyUs_;
     std::unique_ptr<ThreadPool> ioPool_;
     std::once_flag poolOnce_;
+    std::unique_ptr<FileAsyncEngine> asyncEngine_;
+    std::once_flag engineOnce_;
 };
 
 // --------------------------------------------------------------- sinks
@@ -410,7 +831,8 @@ class FileIoSink final : public IoSink
             });
         }
         return std::make_unique<FileIoBackend>(
-            read_fd, padded, options_.queue_depth, direct);
+            read_fd, padded, options_.queue_depth, direct,
+            options_.sim_latency_us);
     }
 
   private:
@@ -421,6 +843,12 @@ class FileIoSink final : public IoSink
 };
 
 } // namespace
+
+std::unique_ptr<IoQueue>
+IoBackend::openQueue()
+{
+    return std::make_unique<SyncIoQueue>(*this);
+}
 
 std::unique_ptr<IoBackend>
 makeMemoryBackend(std::vector<std::uint8_t> image)

@@ -87,10 +87,20 @@ struct IoOptions
      * CLOCK capacity plus the BFS warm-set size. See node_cache.hh.
      */
     NodeCacheConfig node_cache;
+    /**
+     * Artificial per-read device latency in microseconds, applied by
+     * the file backend before each pread ($ANN_IO_SIM_LATENCY_US,
+     * default 0 = off). Turns fast CI storage (tmpfs, NVMe with a hot
+     * page cache) into a deterministic stand-in for a device with
+     * real access latency, so the async-vs-sync A/B gates measure
+     * pipelining instead of runner noise. Never changes the bytes
+     * read.
+     */
+    unsigned sim_latency_us = 0;
 
     /**
      * $ANN_IO_BACKEND / $ANN_IO_QUEUE_DEPTH / $ANN_IO_DIRECT /
-     * $ANN_NODE_CACHE_MB / $ANN_WARM_NODES.
+     * $ANN_NODE_CACHE_MB / $ANN_WARM_NODES / $ANN_IO_SIM_LATENCY_US.
      */
     static IoOptions fromEnv();
 };
@@ -168,6 +178,110 @@ struct IoRegion
 bool uringRegisterEnabled();
 void setUringRegisterEnabled(bool enabled);
 
+/**
+ * $ANN_ASYNC_BEAM (default off): DiskANN/SPANN beam search runs its
+ * per-hop sector fetches through the submit/poll IoQueue API instead
+ * of the blocking readBatch() barrier — node records are scored as
+ * their sectors complete and the likely next-hop frontier is read
+ * speculatively. Bit-identical to the synchronous path by
+ * construction (in-order consumption); only the I/O overlap changes.
+ */
+bool asyncBeamEnabled();
+void setAsyncBeamEnabled(bool enabled);
+
+/**
+ * $ANN_IO_POOLED (default off): IoQueues opened on the uring backend
+ * share one process-wide submission ring per backend instead of one
+ * ring per queue, so the per-query beam submissions of a micro-batch
+ * merge into pooled submissions and the device sees the sum of every
+ * query's in-flight reads as one queue depth.
+ */
+bool ioPooledEnabled();
+void setIoPooledEnabled(bool enabled);
+
+/**
+ * $ANN_ASYNC_SHUFFLE (default off, testing only): emulated IoQueues
+ * deliver completions in an adversarial order — descending tag, and
+ * never more than half of what is ready per poll — instead of
+ * arrival order. Exercises the completion-order-independence
+ * contract of the async beam search; never changes the bytes read.
+ */
+bool asyncShuffleDelivery();
+void setAsyncShuffleDelivery(bool enabled);
+
+/**
+ * Process-wide effective-queue-depth gauge over every file/uring
+ * backend: each read op contributes to a time-weighted in-flight
+ * integral from submission to completion. Two snapshots bracketing a
+ * measure phase yield the mean in-flight reads the workload kept on
+ * the backends — the paper's *effective* QD, as opposed to the
+ * configured submission-window size.
+ */
+struct IoGaugeSnapshot
+{
+    /** Read ops (IoRequests) submitted so far. */
+    std::uint64_t ops = 0;
+    /** Whole sectors those ops covered. */
+    std::uint64_t sectors = 0;
+    /** Integral of in-flight ops over time (op-nanoseconds). */
+    double depth_integral_ns = 0.0;
+    /** Monotonic stamp of this snapshot. */
+    std::uint64_t now_ns = 0;
+    /** Instantaneously in-flight ops. */
+    std::uint64_t in_flight = 0;
+
+    /** Mean in-flight reads over [@p begin, this snapshot]. */
+    double meanDepthSince(const IoGaugeSnapshot &begin) const;
+};
+
+IoGaugeSnapshot ioGaugeSnapshot();
+
+/// @cond internal — called by the backends around each read op
+void ioGaugeSubmit(std::size_t ops, std::size_t sectors);
+void ioGaugeComplete(std::size_t ops);
+/// @endcond
+
+/**
+ * Async read handle of one IoBackend: reads are submitted without
+ * blocking and reaped by tag, so a consumer can score completed
+ * sectors while the rest of a batch is still in flight — the API the
+ * pipelined beam search runs on.
+ *
+ * Implemented natively on io_uring (SQE submission without waiting,
+ * CQ reaping on poll); emulated on the file backend (a shared worker
+ * pool runs the preads and posts per-queue completions) and on the
+ * memory backend (ops complete at submit). One queue serves one
+ * consumer thread: submitBatch()/pollCompletions() are not thread-
+ * safe against each other, but any number of queues may be open
+ * concurrently on one backend. The destructor drains outstanding
+ * completions, so destination buffers may be released right after.
+ */
+class IoQueue
+{
+  public:
+    virtual ~IoQueue() = default;
+
+    /**
+     * Submit @p n reads tagged tags[i] (tags are caller-chosen and
+     * opaque; duplicates are the caller's problem). Returns once the
+     * reads are on their way — it may briefly block to reap when the
+     * submission window is full, never for the new reads themselves.
+     * Destination buffers must stay valid until the tag is reaped.
+     */
+    virtual void submitBatch(const IoRequest *requests, std::size_t n,
+                             const std::uint64_t *tags) = 0;
+
+    /**
+     * Reap up to @p max completed tags into @p out. Blocks until at
+     * least @p min_complete of them land (0 = pure poll); asking for
+     * more completions than are outstanding is a contract violation.
+     * @return the number of tags written.
+     */
+    virtual std::size_t pollCompletions(std::uint64_t *out,
+                                        std::size_t max,
+                                        std::size_t min_complete) = 0;
+};
+
 /** Serves batched whole-sector reads of one node file. */
 class IoBackend
 {
@@ -207,6 +321,15 @@ class IoBackend
         (void)region;
         readBatch(requests, n);
     }
+
+    /**
+     * Open an async read handle (see IoQueue). The base implementation
+     * emulates one over readBatch() — submitted reads complete before
+     * submitBatch() returns — so every backend supports the API; the
+     * file and uring backends override it with genuinely overlapped
+     * implementations.
+     */
+    virtual std::unique_ptr<IoQueue> openQueue();
 
     /** True when reads bypass the OS page cache (O_DIRECT). */
     virtual bool directIo() const { return false; }

@@ -1,8 +1,10 @@
 #include "storage/node_cache.hh"
 
+#include <chrono>
 #include <cstring>
 
 #include "common/env.hh"
+#include "common/error.hh"
 #include "storage/io_backend.hh"
 
 namespace ann::storage {
@@ -25,12 +27,38 @@ mixSector(std::uint64_t sector)
     return static_cast<std::size_t>(x ^ (x >> 31));
 }
 
+/** $ANN_SINGLE_FLIGHT seed, runtime-settable for A/B harnesses. */
+std::atomic<bool> &
+singleFlightFlag()
+{
+    static std::atomic<bool> flag{envFlag("ANN_SINGLE_FLIGHT", true)};
+    return flag;
+}
+
 } // namespace
 
 std::uint64_t
 NodeCacheStats::bytesSaved() const
 {
     return hits * kIoSectorBytes;
+}
+
+std::uint64_t
+NodeCacheStats::dedupBytesSaved() const
+{
+    return ios_deduped * kIoSectorBytes;
+}
+
+bool
+singleFlightEnabled()
+{
+    return singleFlightFlag().load(std::memory_order_relaxed);
+}
+
+void
+setSingleFlightEnabled(bool enabled)
+{
+    singleFlightFlag().store(enabled, std::memory_order_relaxed);
 }
 
 double
@@ -59,6 +87,7 @@ NodeCacheStats::operator+=(const NodeCacheStats &other)
     insertions += other.insertions;
     evictions += other.evictions;
     pages_reused += other.pages_reused;
+    ios_deduped += other.ios_deduped;
     return *this;
 }
 
@@ -73,6 +102,7 @@ NodeCacheStats::operator-(const NodeCacheStats &before) const
     delta.insertions = insertions - before.insertions;
     delta.evictions = evictions - before.evictions;
     delta.pages_reused = pages_reused - before.pages_reused;
+    delta.ios_deduped = ios_deduped - before.ios_deduped;
     return delta;
 }
 
@@ -158,6 +188,139 @@ SectorCache::lookup(std::uint64_t sector, std::uint8_t *dest)
     return false;
 }
 
+bool
+SectorCache::probe(std::uint64_t sector) const
+{
+    if (!warmIndex_.empty() && warmIndex_.count(sector))
+        return true;
+    if (shards_.empty())
+        return false;
+    const Shard &shard =
+        *shards_[mixSector(sector) % shards_.size()];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    return shard.map.count(sector) != 0;
+}
+
+FetchClaim
+SectorCache::beginFetch(std::uint64_t sector, std::uint8_t *dest)
+{
+    if (!singleFlightEnabled())
+        return FetchClaim::Owner;
+    std::lock_guard<std::mutex> lock(flightMutex_);
+    auto [it, inserted] = flights_.try_emplace(sector);
+    Flight &flight = it->second;
+    if (inserted)
+        return FetchClaim::Owner;
+    if (flight.done) {
+        // Completed between our lookup() miss and this claim; serve
+        // straight out of the flight buffer.
+        std::memcpy(dest, flight.data.data(), kIoSectorBytes);
+        iosDeduped_.fetch_add(1, std::memory_order_relaxed);
+        return FetchClaim::Cached;
+    }
+    if (flight.cancelled) {
+        // The previous owner unwound; adopt the entry. Waiters still
+        // parked on it will either observe Cancelled and leave or
+        // miss the window and be served by our publish — the bytes
+        // are identical either way.
+        flight.cancelled = false;
+        return FetchClaim::Owner;
+    }
+    ++flight.waiters;
+    return FetchClaim::Shared;
+}
+
+void
+SectorCache::publishFetch(std::uint64_t sector,
+                          const std::uint8_t *data)
+{
+    if (!singleFlightEnabled()) {
+        admit(sector, data);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(flightMutex_);
+        const auto it = flights_.find(sector);
+        if (it != flights_.end()) {
+            Flight &flight = it->second;
+            if (flight.waiters == 0) {
+                flights_.erase(it);
+            } else {
+                flight.data.assign(data, data + kIoSectorBytes);
+                flight.done = true;
+            }
+        }
+    }
+    flightCv_.notify_all();
+    admit(sector, data);
+}
+
+void
+SectorCache::cancelFetch(std::uint64_t sector)
+{
+    if (!singleFlightEnabled())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(flightMutex_);
+        const auto it = flights_.find(sector);
+        if (it == flights_.end())
+            return;
+        if (it->second.waiters == 0) {
+            flights_.erase(it);
+            return;
+        }
+        it->second.cancelled = true;
+    }
+    flightCv_.notify_all();
+}
+
+FetchStatus
+SectorCache::waitFetchFor(std::uint64_t sector, std::uint8_t *dest,
+                          std::uint32_t micros)
+{
+    std::unique_lock<std::mutex> lock(flightMutex_);
+    for (;;) {
+        const auto it = flights_.find(sector);
+        // An attached sharer keeps the entry alive; absence means the
+        // contract was broken upstream.
+        ANN_ASSERT(it != flights_.end(),
+                   "waitFetch without a Shared claim");
+        Flight &flight = it->second;
+        if (flight.done) {
+            std::memcpy(dest, flight.data.data(), kIoSectorBytes);
+            if (--flight.waiters == 0)
+                flights_.erase(it);
+            iosDeduped_.fetch_add(1, std::memory_order_relaxed);
+            return FetchStatus::Ready;
+        }
+        if (flight.cancelled) {
+            if (--flight.waiters == 0)
+                flights_.erase(it);
+            return FetchStatus::Cancelled;
+        }
+        if (flightCv_.wait_for(lock,
+                               std::chrono::microseconds(micros)) ==
+            std::cv_status::timeout) {
+            // Re-check once: the publish may have raced the deadline.
+            const auto again = flights_.find(sector);
+            ANN_ASSERT(again != flights_.end(),
+                       "flight entry vanished under a waiter");
+            if (!again->second.done && !again->second.cancelled)
+                return FetchStatus::Timeout;
+        }
+    }
+}
+
+FetchStatus
+SectorCache::waitFetch(std::uint64_t sector, std::uint8_t *dest)
+{
+    for (;;) {
+        const FetchStatus status = waitFetchFor(sector, dest, 1000);
+        if (status != FetchStatus::Timeout)
+            return status;
+    }
+}
+
 void
 SectorCache::admit(std::uint64_t sector, const std::uint8_t *data)
 {
@@ -241,6 +404,7 @@ SectorCache::stats() const
     stats.misses = misses_.load(std::memory_order_relaxed);
     stats.insertions = insertions_.load(std::memory_order_relaxed);
     stats.evictions = evictions_.load(std::memory_order_relaxed);
+    stats.ios_deduped = iosDeduped_.load(std::memory_order_relaxed);
     // Retired reused pages plus the reused pages still resident; the
     // scan takes each shard lock, so stats() is not for hot paths.
     stats.pages_reused = retiredReused_.load(std::memory_order_relaxed);
@@ -264,6 +428,7 @@ SectorCache::resetStats()
     insertions_.store(0, std::memory_order_relaxed);
     evictions_.store(0, std::memory_order_relaxed);
     retiredReused_.store(0, std::memory_order_relaxed);
+    iosDeduped_.store(0, std::memory_order_relaxed);
     for (const auto &shard : shards_) {
         std::lock_guard<std::mutex> lock(shard->mutex);
         shard->hit_count.assign(shard->hit_count.size(), 0);

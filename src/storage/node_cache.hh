@@ -29,6 +29,7 @@
 #define ANN_STORAGE_NODE_CACHE_HH
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -56,9 +57,17 @@ struct NodeCacheStats
      * ever earned their frame.
      */
     std::uint64_t pages_reused = 0;
+    /**
+     * Backend reads avoided by the single-flight layer: misses that
+     * attached to another query's in-flight read of the same sector
+     * instead of duplicating it (each saved one sector of I/O).
+     */
+    std::uint64_t ios_deduped = 0;
 
     /** Bytes that never reached the backend (hits x sector size). */
     std::uint64_t bytesSaved() const;
+    /** Bytes saved by single-flight attach (deduped x sector size). */
+    std::uint64_t dedupBytesSaved() const;
     /** hits / lookups, 0 when idle. */
     double hitRate() const;
     /** pages_reused / insertions, 0 when nothing was admitted. */
@@ -93,6 +102,37 @@ struct NodeCacheConfig
 };
 
 /**
+ * Single-flight toggle ($ANN_SINGLE_FLIGHT, default ON). When off,
+ * beginFetch() always claims ownership and concurrent queries
+ * duplicate reads of the same sector, as before this layer existed.
+ * Result bytes are identical either way; only I/O counts change.
+ */
+bool singleFlightEnabled();
+void setSingleFlightEnabled(bool enabled);
+
+/** What beginFetch() decided for a missed sector. */
+enum class FetchClaim
+{
+    /** Caller owns the read: fetch it, then publishFetch() (or
+     *  cancelFetch() on any failure path). */
+    Owner,
+    /** Another query is already reading it: waitFetch*() for the
+     *  shared completion. */
+    Shared,
+    /** An in-flight read completed between lookup() and claim: the
+     *  bytes were copied into dest, nothing to do. */
+    Cached,
+};
+
+/** Outcome of one waitFetchFor() round. */
+enum class FetchStatus
+{
+    Ready,     ///< bytes copied into dest; wait is over
+    Cancelled, ///< owner gave up; caller must fetch it itself
+    Timeout,   ///< still in flight; caller may do other work and retry
+};
+
+/**
  * Whole-sector cache: static warm set + sharded CLOCK dynamic part.
  *
  * Thread contract: warmInsert() runs during single-threaded index
@@ -113,6 +153,51 @@ class SectorCache
      * @return false on a miss; @p dest is untouched.
      */
     bool lookup(std::uint64_t sector, std::uint8_t *dest);
+
+    /**
+     * Containment check without copying, stats, or ref-bit refresh —
+     * for speculative-read planning (skip sectors already resident).
+     */
+    bool probe(std::uint64_t sector) const;
+
+    /**
+     * Single-flight claim on a sector that just missed lookup().
+     * FetchClaim::Owner makes the caller responsible for reading the
+     * sector and then calling publishFetch() — on *every* path,
+     * including exceptions (use cancelFetch() when the read will
+     * never happen). Shared/Cached callers issue no backend I/O.
+     * With the layer disabled this always returns Owner and
+     * publishFetch() degenerates to admit().
+     */
+    FetchClaim beginFetch(std::uint64_t sector, std::uint8_t *dest);
+
+    /**
+     * Owner side of a completed fetch: hands @p data to every query
+     * attached to the flight, admits it to the dynamic cache, and
+     * releases the flight entry.
+     */
+    void publishFetch(std::uint64_t sector, const std::uint8_t *data);
+
+    /**
+     * Owner gave up (error unwind): wake attached queries with
+     * FetchStatus::Cancelled so they fetch the sector themselves.
+     */
+    void cancelFetch(std::uint64_t sector);
+
+    /**
+     * Sharer side: wait up to @p micros for the owner to publish
+     * @p sector. Ready copies the bytes into @p dest and detaches;
+     * Cancelled detaches without bytes; Timeout stays attached so the
+     * caller can drain its own completions and retry (this is what
+     * keeps cross-query waits deadlock-free: a query never blocks
+     * indefinitely on another query's I/O while holding its own
+     * unpolled completions).
+     */
+    FetchStatus waitFetchFor(std::uint64_t sector, std::uint8_t *dest,
+                             std::uint32_t micros);
+
+    /** waitFetchFor() without a deadline (sync beam path). */
+    FetchStatus waitFetch(std::uint64_t sector, std::uint8_t *dest);
 
     /**
      * Admit a completed read. No-op when the sector already sits in
@@ -156,10 +241,26 @@ class SectorCache
         std::size_t hand = 0;
     };
 
+    /** One in-flight read other queries can attach to. */
+    struct Flight
+    {
+        /** Sector bytes, filled at publish (kept here, not only in
+         *  the cache: the CLOCK part may be disabled or evict before
+         *  the last waiter copies). */
+        std::vector<std::uint8_t> data;
+        std::uint32_t waiters = 0;
+        bool done = false;
+        bool cancelled = false;
+    };
+
     Shard &shardOf(std::uint64_t sector);
 
     std::size_t capacityBytes_ = 0;
     std::vector<std::unique_ptr<Shard>> shards_;
+
+    std::mutex flightMutex_;
+    std::condition_variable flightCv_;
+    std::unordered_map<std::uint64_t, Flight> flights_;
 
     /** Immutable once shared: sector -> offset into warmBytes_. */
     std::unordered_map<std::uint64_t, std::size_t> warmIndex_;
@@ -174,6 +275,7 @@ class SectorCache
     /** Retired (evicted/dropped) pages that had served >= 1 hit;
      *  stats() adds the still-resident reused pages on top. */
     mutable std::atomic<std::uint64_t> retiredReused_{0};
+    mutable std::atomic<std::uint64_t> iosDeduped_{0};
 };
 
 } // namespace ann::storage

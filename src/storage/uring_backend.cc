@@ -20,7 +20,10 @@
 
 #include "storage/io_backend.hh"
 
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -157,6 +160,61 @@ class UringQueue
             io_uring_cqe_seen(&ring_, cqe);
         }
         return ok;
+    }
+
+    /**
+     * Stage @p count plain READ SQEs (user_data = slots[i]) and
+     * submit them WITHOUT waiting — the async half of the submit/poll
+     * API. @return false on a ring failure (caller serves the reads
+     * with pread instead).
+     */
+    bool
+    submitAsync(int fd, const IoRequest *reqs,
+                const std::uint32_t *slots, std::size_t count)
+    {
+        for (std::size_t i = 0; i < count; ++i) {
+            io_uring_sqe *sqe = io_uring_get_sqe(&ring_);
+            if (!sqe) {
+                if (io_uring_submit(&ring_) < 0)
+                    return false;
+                sqe = io_uring_get_sqe(&ring_);
+                if (!sqe)
+                    return false;
+            }
+            const IoRequest &req = reqs[i];
+            io_uring_prep_read(
+                sqe, fd, req.dest,
+                req.count * static_cast<unsigned>(kIoSectorBytes),
+                req.sector * kIoSectorBytes);
+            sqe->user_data = slots[i];
+        }
+        return io_uring_submit(&ring_) >= 0;
+    }
+
+    /**
+     * Reap up to @p max completions into @p slots / @p res, blocking
+     * until at least @p min_complete land. @return the count, or
+     * SIZE_MAX on a ring failure.
+     */
+    std::size_t
+    reapAsync(std::uint32_t *slots, int *res, std::size_t max,
+              std::size_t min_complete)
+    {
+        std::size_t got = 0;
+        while (got < max) {
+            io_uring_cqe *cqe = nullptr;
+            if (io_uring_peek_cqe(&ring_, &cqe) != 0 || !cqe) {
+                if (got >= min_complete)
+                    break;
+                if (io_uring_wait_cqe(&ring_, &cqe) < 0)
+                    return static_cast<std::size_t>(-1);
+            }
+            slots[got] = static_cast<std::uint32_t>(cqe->user_data);
+            res[got] = cqe->res;
+            io_uring_cqe_seen(&ring_, cqe);
+            ++got;
+        }
+        return got;
     }
 
   private:
@@ -410,6 +468,81 @@ class UringQueue
         return ok;
     }
 
+    /**
+     * Stage @p count plain READ SQEs (user_data = slots[i]) and
+     * submit them WITHOUT waiting — the async half of the submit/poll
+     * API. @return false on a ring failure (caller serves the reads
+     * with pread instead).
+     */
+    bool
+    submitAsync(int fd, const IoRequest *reqs,
+                const std::uint32_t *slots, std::size_t count)
+    {
+        const unsigned mask = *sqMask_;
+        const unsigned tail = *sqTail_; // only this side writes it
+        for (std::size_t i = 0; i < count; ++i) {
+            const unsigned idx =
+                (tail + static_cast<unsigned>(i)) & mask;
+            io_uring_sqe *sqe = &sqes_[idx];
+            std::memset(sqe, 0, sizeof(*sqe));
+            const IoRequest &req = reqs[i];
+            sqe->opcode = static_cast<std::uint8_t>(IORING_OP_READ);
+            sqe->fd = fd;
+            sqe->addr = reinterpret_cast<std::uint64_t>(req.dest);
+            sqe->len =
+                req.count * static_cast<unsigned>(kIoSectorBytes);
+            sqe->off = req.sector * kIoSectorBytes;
+            sqe->user_data = slots[i];
+            sqArray_[idx] = idx;
+        }
+        __atomic_store_n(sqTail_, tail + static_cast<unsigned>(count),
+                         __ATOMIC_RELEASE);
+        int ret;
+        do {
+            ret = sysIoUringEnter(
+                ringFd_, static_cast<unsigned>(count), 0, 0);
+        } while (ret < 0 && errno == EINTR);
+        return ret >= 0;
+    }
+
+    /**
+     * Reap up to @p max completions into @p slots / @p res, blocking
+     * until at least @p min_complete land. @return the count, or
+     * SIZE_MAX on a ring failure.
+     */
+    std::size_t
+    reapAsync(std::uint32_t *slots, int *res, std::size_t max,
+              std::size_t min_complete)
+    {
+        std::size_t got = 0;
+        unsigned head = *cqHead_;
+        for (;;) {
+            const unsigned ctail =
+                __atomic_load_n(cqTail_, __ATOMIC_ACQUIRE);
+            while (head != ctail && got < max) {
+                const io_uring_cqe *cqe = &cqes_[head & *cqMask_];
+                slots[got] =
+                    static_cast<std::uint32_t>(cqe->user_data);
+                res[got] = cqe->res;
+                ++head;
+                ++got;
+            }
+            __atomic_store_n(cqHead_, head, __ATOMIC_RELEASE);
+            if (got >= min_complete || got >= max)
+                break;
+            int ret;
+            do {
+                ret = sysIoUringEnter(
+                    ringFd_, 0,
+                    static_cast<unsigned>(min_complete - got),
+                    IORING_ENTER_GETEVENTS);
+            } while (ret < 0 && errno == EINTR);
+            if (ret < 0)
+                return static_cast<std::size_t>(-1);
+        }
+        return got;
+    }
+
   private:
     static bool
     completeOne(int fd, const IoRequest *reqs, std::uint64_t index,
@@ -468,6 +601,8 @@ class UringQueue
 
 #endif // flavour
 
+class SharedUringRing;
+
 /**
  * The uring node-file backend. Rings are not thread-safe, so a small
  * pool hands one ring per in-flight readBatch(); rings are created
@@ -484,11 +619,9 @@ class UringIoBackend final : public IoBackend
     {
     }
 
-    ~UringIoBackend() override
-    {
-        idle_.clear(); // rings close before the file they read
-        ::close(fd_);
-    }
+    ~UringIoBackend() override;
+
+    std::unique_ptr<IoQueue> openQueue() override;
 
     IoBackendKind kind() const override { return IoBackendKind::Uring; }
     std::uint64_t sizeBytes() const override { return size_; }
@@ -533,12 +666,17 @@ class UringIoBackend final : public IoBackend
     {
         if (n == 0)
             return;
-        for (std::size_t i = 0; i < n; ++i)
+        std::size_t sectors = 0;
+        for (std::size_t i = 0; i < n; ++i) {
             ANN_CHECK(requests[i].sector * kIoSectorBytes +
                               requests[i].count * kIoSectorBytes <=
                           size_,
                       "read past end of node file");
+            sectors += requests[i].count;
+        }
+        ioGaugeSubmit(n, sectors);
 
+        std::size_t completed = 0;
         std::unique_ptr<UringQueue> queue = acquire(region.id);
         if (queue) {
             // Registration is best-effort per feature: fixed file and
@@ -554,6 +692,10 @@ class UringIoBackend final : public IoBackend
                 ok = queue->submitAndReap(fd_, requests, done, window,
                                           fixed_buf, fixed_file);
                 done += window;
+                if (ok) {
+                    ioGaugeComplete(window);
+                    completed += window;
+                }
             }
             release(std::move(queue));
             if (ok)
@@ -568,6 +710,7 @@ class UringIoBackend final : public IoBackend
                             requests[i].count * kIoSectorBytes,
                             requests[i].sector * kIoSectorBytes),
                 "pread fallback failed on node file");
+        ioGaugeComplete(n - completed);
     }
 
     /**
@@ -620,13 +763,451 @@ class UringIoBackend final : public IoBackend
         });
     }
 
+    friend class UringAsyncQueue;
+    friend class SharedUringRing;
+
     int fd_;
     std::uint64_t size_;
     unsigned queueDepth_;
     bool direct_;
     std::mutex mutex_;
     std::vector<std::unique_ptr<UringQueue>> idle_;
+    std::once_flag sharedOnce_;
+    std::unique_ptr<SharedUringRing> shared_;
 };
+
+/** Fix up one raw CQE result: full reads pass through, short reads
+ *  are completed with pread, negative res is a hard error. */
+bool
+fixShortRead(int fd, const IoRequest &req, int res)
+{
+    const std::size_t want = req.count * kIoSectorBytes;
+    if (res == static_cast<int>(want))
+        return true;
+    if (res < 0)
+        return false;
+    return ioPreadFull(fd, req.dest + res,
+                       want - static_cast<std::size_t>(res),
+                       req.sector * kIoSectorBytes +
+                           static_cast<std::uint64_t>(res));
+}
+
+/**
+ * Native submit/poll queue: one pooled ring owned for the queue's
+ * lifetime, plain READ SQEs (destinations move between submissions,
+ * so registered buffers do not apply), completions reaped lazily.
+ * In-flight reads are capped at the ring's entry count via a slot
+ * table; user_data carries the slot index so short reads can be
+ * completed against the original request.
+ */
+class UringAsyncQueue final : public IoQueue
+{
+  public:
+    UringAsyncQueue(UringIoBackend &backend,
+                    std::unique_ptr<UringQueue> ring)
+        : backend_(backend), ring_(std::move(ring)),
+          cap_(backend.queueDepth_)
+    {
+        slots_.resize(cap_);
+        freeSlots_.reserve(cap_);
+        for (std::uint32_t s = 0; s < cap_; ++s)
+            freeSlots_.push_back(cap_ - 1 - s);
+        reapSlots_.resize(cap_);
+        reapRes_.resize(cap_);
+    }
+
+    ~UringAsyncQueue() override
+    {
+        try {
+            while (inflight_ > 0)
+                reapSome(1);
+        } catch (...) {
+            // Ring failure while draining: the ring is destroyed
+            // below, which cancels whatever was still in flight.
+            ring_.reset();
+        }
+        if (ring_)
+            backend_.release(std::move(ring_));
+    }
+
+    void
+    submitBatch(const IoRequest *requests, std::size_t n,
+                const std::uint64_t *tags) override
+    {
+        std::size_t sectors = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            ANN_CHECK(requests[i].sector * kIoSectorBytes +
+                              requests[i].count * kIoSectorBytes <=
+                          backend_.size_,
+                      "read past end of node file");
+            sectors += requests[i].count;
+        }
+        ioGaugeSubmit(n, sectors);
+        std::size_t i = 0;
+        while (i < n) {
+            while (inflight_ >= cap_)
+                reapSome(1);
+            const std::size_t chunk =
+                std::min<std::size_t>(cap_ - inflight_, n - i);
+            chunkReqs_.clear();
+            chunkSlots_.clear();
+            for (std::size_t j = 0; j < chunk; ++j) {
+                const std::uint32_t slot = freeSlots_.back();
+                freeSlots_.pop_back();
+                slots_[slot] = Slot{requests[i + j], tags[i + j]};
+                chunkReqs_.push_back(requests[i + j]);
+                chunkSlots_.push_back(slot);
+            }
+            if (ring_->submitAsync(backend_.fd_, chunkReqs_.data(),
+                                   chunkSlots_.data(), chunk)) {
+                inflight_ += chunk;
+            } else {
+                // Submission failed: serve this chunk with preads so
+                // the caller never observes the difference.
+                for (std::size_t j = 0; j < chunk; ++j) {
+                    const std::uint32_t slot = chunkSlots_[j];
+                    const IoRequest &req = slots_[slot].req;
+                    ANN_CHECK(
+                        ioPreadFull(backend_.fd_, req.dest,
+                                    req.count * kIoSectorBytes,
+                                    req.sector * kIoSectorBytes),
+                        "pread fallback failed on node file");
+                    ready_.push_back(slots_[slot].tag);
+                    freeSlots_.push_back(slot);
+                    ioGaugeComplete(1);
+                }
+            }
+            i += chunk;
+        }
+    }
+
+    std::size_t
+    pollCompletions(std::uint64_t *out, std::size_t max,
+                    std::size_t min_complete) override
+    {
+        while (ready_.size() < min_complete && inflight_ > 0)
+            reapSome(min_complete - ready_.size());
+        const std::size_t take = std::min(max, ready_.size());
+        for (std::size_t i = 0; i < take; ++i)
+            out[i] = ready_[i];
+        ready_.erase(ready_.begin(),
+                     ready_.begin() + static_cast<std::ptrdiff_t>(take));
+        return take;
+    }
+
+  private:
+    struct Slot
+    {
+        IoRequest req;
+        std::uint64_t tag = 0;
+    };
+
+    void
+    reapSome(std::size_t min_complete)
+    {
+        const std::size_t got = ring_->reapAsync(
+            reapSlots_.data(), reapRes_.data(), cap_,
+            std::min<std::size_t>(min_complete, inflight_));
+        ANN_CHECK(got != static_cast<std::size_t>(-1),
+                  "io_uring completion reap failed");
+        for (std::size_t k = 0; k < got; ++k) {
+            const std::uint32_t slot = reapSlots_[k];
+            const Slot &s = slots_[slot];
+            ANN_CHECK(
+                fixShortRead(backend_.fd_, s.req, reapRes_[k]),
+                "io_uring async read failed on node file");
+            ready_.push_back(s.tag);
+            freeSlots_.push_back(slot);
+            ioGaugeComplete(1);
+            --inflight_;
+        }
+    }
+
+    UringIoBackend &backend_;
+    std::unique_ptr<UringQueue> ring_;
+    std::uint32_t cap_;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> freeSlots_;
+    std::size_t inflight_ = 0;
+    std::vector<std::uint64_t> ready_;
+    std::vector<IoRequest> chunkReqs_;
+    std::vector<std::uint32_t> chunkSlots_;
+    std::vector<std::uint32_t> reapSlots_;
+    std::vector<int> reapRes_;
+};
+
+/**
+ * One ring shared by every queue of a backend ($ANN_IO_POOLED): the
+ * per-query beam submissions of a micro-batch merge into pooled
+ * submissions, so the device sees the sum of the per-query depths
+ * instead of one beam at a time. Submission serializes on ringMutex_;
+ * any thread short on completions becomes the reaper and dispatches
+ * CQEs to the owning handle's mailbox.
+ */
+class SharedUringRing
+{
+  public:
+    struct Box
+    {
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::vector<std::uint64_t> ready;
+        std::size_t outstanding = 0;
+    };
+
+    SharedUringRing(UringIoBackend &backend, std::uint32_t capacity)
+        : backend_(backend), cap_(capacity)
+    {
+        ring_ = std::make_unique<UringQueue>();
+        ok_ = ring_->init(capacity);
+        if (!ok_)
+            return;
+        slots_.resize(cap_);
+        freeSlots_.reserve(cap_);
+        for (std::uint32_t s = 0; s < cap_; ++s)
+            freeSlots_.push_back(cap_ - 1 - s);
+        reapSlots_.resize(cap_);
+        reapRes_.resize(cap_);
+    }
+
+    bool ok() const { return ok_; }
+
+    void
+    submit(Box *box, const IoRequest *requests, std::size_t n,
+           const std::uint64_t *tags)
+    {
+        std::size_t sectors = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            ANN_CHECK(requests[i].sector * kIoSectorBytes +
+                              requests[i].count * kIoSectorBytes <=
+                          backend_.size_,
+                      "read past end of node file");
+            sectors += requests[i].count;
+        }
+        ioGaugeSubmit(n, sectors);
+        {
+            std::lock_guard<std::mutex> bl(box->mutex);
+            box->outstanding += n;
+        }
+        std::unique_lock<std::mutex> rl(ringMutex_);
+        std::size_t i = 0;
+        while (i < n) {
+            while (inflight_ >= cap_)
+                reapLocked(1);
+            const std::size_t chunk =
+                std::min<std::size_t>(cap_ - inflight_, n - i);
+            chunkReqs_.clear();
+            chunkSlots_.clear();
+            for (std::size_t j = 0; j < chunk; ++j) {
+                const std::uint32_t slot = freeSlots_.back();
+                freeSlots_.pop_back();
+                slots_[slot] =
+                    Slot{requests[i + j], tags[i + j], box};
+                chunkReqs_.push_back(requests[i + j]);
+                chunkSlots_.push_back(slot);
+            }
+            if (ring_->submitAsync(backend_.fd_, chunkReqs_.data(),
+                                   chunkSlots_.data(), chunk)) {
+                inflight_ += chunk;
+            } else {
+                for (std::size_t j = 0; j < chunk; ++j) {
+                    const std::uint32_t slot = chunkSlots_[j];
+                    const IoRequest &req = slots_[slot].req;
+                    ANN_CHECK(
+                        ioPreadFull(backend_.fd_, req.dest,
+                                    req.count * kIoSectorBytes,
+                                    req.sector * kIoSectorBytes),
+                        "pread fallback failed on node file");
+                    finishSlot(slot);
+                }
+            }
+            i += chunk;
+        }
+    }
+
+    std::size_t
+    poll(Box *box, std::uint64_t *out, std::size_t max,
+         std::size_t min_complete)
+    {
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> bl(box->mutex);
+                if (box->ready.size() >= min_complete ||
+                    box->outstanding == 0) {
+                    const std::size_t take =
+                        std::min(max, box->ready.size());
+                    for (std::size_t i = 0; i < take; ++i)
+                        out[i] = box->ready[i];
+                    box->ready.erase(
+                        box->ready.begin(),
+                        box->ready.begin() +
+                            static_cast<std::ptrdiff_t>(take));
+                    return take;
+                }
+            }
+            // Short on completions: become the reaper (or wait for
+            // whoever currently is).
+            std::unique_lock<std::mutex> rl(ringMutex_,
+                                            std::try_to_lock);
+            if (rl.owns_lock()) {
+                if (inflight_ > 0)
+                    reapLocked(1);
+            } else {
+                std::unique_lock<std::mutex> bl(box->mutex);
+                if (box->ready.size() < min_complete &&
+                    box->outstanding > 0)
+                    box->cv.wait_for(
+                        bl, std::chrono::microseconds(50));
+            }
+        }
+    }
+
+    /** Block until every read owned by @p box has completed, then
+     *  discard its undelivered tags (queue teardown). */
+    void
+    drain(Box *box)
+    {
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> bl(box->mutex);
+                if (box->outstanding == 0) {
+                    box->ready.clear();
+                    return;
+                }
+            }
+            std::unique_lock<std::mutex> rl(ringMutex_,
+                                            std::try_to_lock);
+            if (rl.owns_lock()) {
+                if (inflight_ > 0)
+                    reapLocked(1);
+            } else {
+                std::unique_lock<std::mutex> bl(box->mutex);
+                if (box->outstanding > 0)
+                    box->cv.wait_for(
+                        bl, std::chrono::microseconds(50));
+            }
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        IoRequest req;
+        std::uint64_t tag = 0;
+        Box *box = nullptr;
+    };
+
+    /** ringMutex_ held. Publish one completed slot to its box. */
+    void
+    finishSlot(std::uint32_t slot)
+    {
+        Slot &s = slots_[slot];
+        Box *box = s.box;
+        {
+            std::lock_guard<std::mutex> bl(box->mutex);
+            box->ready.push_back(s.tag);
+            --box->outstanding;
+        }
+        box->cv.notify_all();
+        freeSlots_.push_back(slot);
+        ioGaugeComplete(1);
+    }
+
+    /** ringMutex_ held. Reap ≥ @p min_complete CQEs (bounded by what
+     *  is in flight) and dispatch them to their owners. */
+    void
+    reapLocked(std::size_t min_complete)
+    {
+        const std::size_t got = ring_->reapAsync(
+            reapSlots_.data(), reapRes_.data(), cap_,
+            std::min<std::size_t>(min_complete, inflight_));
+        ANN_CHECK(got != static_cast<std::size_t>(-1),
+                  "io_uring completion reap failed");
+        for (std::size_t k = 0; k < got; ++k) {
+            const std::uint32_t slot = reapSlots_[k];
+            ANN_CHECK(fixShortRead(backend_.fd_, slots_[slot].req,
+                                   reapRes_[k]),
+                      "io_uring async read failed on node file");
+            finishSlot(slot);
+            --inflight_;
+        }
+    }
+
+    UringIoBackend &backend_;
+    std::uint32_t cap_;
+    std::unique_ptr<UringQueue> ring_;
+    bool ok_ = false;
+    std::mutex ringMutex_;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> freeSlots_;
+    std::size_t inflight_ = 0;
+    std::vector<IoRequest> chunkReqs_;
+    std::vector<std::uint32_t> chunkSlots_;
+    std::vector<std::uint32_t> reapSlots_;
+    std::vector<int> reapRes_;
+};
+
+/** Per-consumer handle onto the shared ring. */
+class PooledUringQueue final : public IoQueue
+{
+  public:
+    explicit PooledUringQueue(SharedUringRing &ring) : ring_(ring) {}
+    ~PooledUringQueue() override
+    {
+        try {
+            ring_.drain(&box_);
+        } catch (...) {
+        }
+    }
+
+    void
+    submitBatch(const IoRequest *requests, std::size_t n,
+                const std::uint64_t *tags) override
+    {
+        ring_.submit(&box_, requests, n, tags);
+    }
+
+    std::size_t
+    pollCompletions(std::uint64_t *out, std::size_t max,
+                    std::size_t min_complete) override
+    {
+        return ring_.poll(&box_, out, max, min_complete);
+    }
+
+  private:
+    SharedUringRing &ring_;
+    SharedUringRing::Box box_;
+};
+
+UringIoBackend::~UringIoBackend()
+{
+    shared_.reset(); // shared ring closes before the file it reads
+    idle_.clear();   // rings close before the file they read
+    ::close(fd_);
+}
+
+std::unique_ptr<IoQueue>
+UringIoBackend::openQueue()
+{
+    if (ioPooledEnabled()) {
+        std::call_once(sharedOnce_, [this] {
+            // The pooled ring merges many queries' beams, so size it
+            // for the fleet, not one query's queue depth.
+            const std::uint32_t cap = std::min<std::uint32_t>(
+                1024, std::max<std::uint32_t>(64, queueDepth_));
+            auto shared =
+                std::make_unique<SharedUringRing>(*this, cap);
+            if (shared->ok())
+                shared_ = std::move(shared);
+        });
+        if (shared_)
+            return std::make_unique<PooledUringQueue>(*shared_);
+    }
+    std::unique_ptr<UringQueue> ring = acquire(0);
+    if (!ring)
+        return IoBackend::openQueue(); // emulated over readBatch()
+    return std::make_unique<UringAsyncQueue>(*this, std::move(ring));
+}
 
 } // namespace
 

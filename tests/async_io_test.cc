@@ -1,0 +1,633 @@
+/**
+ * @file
+ * Tests for the async submit/poll I/O pipeline: the IoQueue contract
+ * on the emulated backends, the SectorCache single-flight layer, and
+ * the headline invariant of $ANN_ASYNC_BEAM — completion order must
+ * never change a result bit or a recorded trace, even when an
+ * adversarial queue delivers completions backwards and in dribbles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hh"
+#include "index/diskann_index.hh"
+#include "index/search_trace.hh"
+#include "index/spann_index.hh"
+#include "storage/io_backend.hh"
+#include "storage/node_cache.hh"
+#include "test_util.hh"
+
+namespace ann {
+namespace {
+
+using testutil::TestData;
+using testutil::groundTruth;
+using testutil::makeClusteredData;
+
+/** Restores every async/IO toggle a test flips. */
+struct ToggleGuard
+{
+    ~ToggleGuard()
+    {
+        storage::setAsyncBeamEnabled(false);
+        storage::setAsyncShuffleDelivery(false);
+        storage::setIoPooledEnabled(false);
+        storage::setSingleFlightEnabled(true);
+    }
+};
+
+std::vector<std::uint8_t>
+testImage(std::size_t sectors, std::uint64_t seed)
+{
+    std::vector<std::uint8_t> image(sectors * storage::kIoSectorBytes);
+    Rng rng(seed);
+    for (auto &byte : image)
+        byte = static_cast<std::uint8_t>(rng.next() & 0xff);
+    return image;
+}
+
+std::unique_ptr<storage::IoBackend>
+buildBackend(storage::IoBackendKind kind,
+             const std::vector<std::uint8_t> &image)
+{
+    storage::IoOptions options;
+    options.kind = kind;
+    options.queue_depth = 8;
+    options.spill_dir = "./async_io_test_spill";
+    auto sink = makeIoSink(options, image.size());
+    sink->append(image.data(), image.size());
+    return sink->finish();
+}
+
+// ------------------------------------------------------ queue contract
+
+TEST(IoQueueTest, FileQueueServesExactBytes)
+{
+    ToggleGuard guard;
+    const auto image = testImage(64, 7);
+    auto backend = buildBackend(storage::IoBackendKind::File, image);
+    auto queue = backend->openQueue();
+    ASSERT_NE(queue, nullptr);
+
+    storage::AlignedBuffer buf;
+    std::uint8_t *out = buf.ensure(image.size());
+    std::memset(out, 0, image.size());
+    std::vector<storage::IoRequest> requests;
+    std::vector<std::uint64_t> tags;
+    for (std::uint64_t s = 0; s < 64; ++s) {
+        requests.push_back(
+            {s, 1, out + s * storage::kIoSectorBytes});
+        tags.push_back(1000 + s);
+    }
+    queue->submitBatch(requests.data(), requests.size(), tags.data());
+
+    std::vector<std::uint64_t> seen;
+    std::uint64_t got[16];
+    while (seen.size() < tags.size()) {
+        const std::size_t n = queue->pollCompletions(got, 16, 1);
+        ASSERT_GT(n, 0u);
+        seen.insert(seen.end(), got, got + n);
+    }
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(seen, tags);
+    EXPECT_EQ(std::memcmp(out, image.data(), image.size()), 0);
+}
+
+TEST(IoQueueTest, MemoryBackendFallsBackToSyncQueue)
+{
+    ToggleGuard guard;
+    const auto image = testImage(8, 3);
+    auto backend =
+        buildBackend(storage::IoBackendKind::Memory, image);
+    auto queue = backend->openQueue();
+    ASSERT_NE(queue, nullptr);
+
+    storage::AlignedBuffer buf;
+    std::uint8_t *out = buf.ensure(image.size());
+    const storage::IoRequest req{0, 8, out};
+    const std::uint64_t tag = 42;
+    queue->submitBatch(&req, 1, &tag);
+    std::uint64_t got = 0;
+    ASSERT_EQ(queue->pollCompletions(&got, 1, 1), 1u);
+    EXPECT_EQ(got, 42u);
+    EXPECT_EQ(std::memcmp(out, image.data(), image.size()), 0);
+}
+
+TEST(IoQueueTest, ShuffledDeliveryStillCompletesEverything)
+{
+    ToggleGuard guard;
+    storage::setAsyncShuffleDelivery(true);
+    const auto image = testImage(32, 11);
+    auto backend = buildBackend(storage::IoBackendKind::File, image);
+    auto queue = backend->openQueue();
+
+    storage::AlignedBuffer buf;
+    std::uint8_t *out = buf.ensure(image.size());
+    std::memset(out, 0, image.size());
+    std::vector<storage::IoRequest> requests;
+    std::vector<std::uint64_t> tags;
+    for (std::uint64_t s = 0; s < 32; ++s) {
+        requests.push_back(
+            {s, 1, out + s * storage::kIoSectorBytes});
+        tags.push_back(s);
+    }
+    queue->submitBatch(requests.data(), requests.size(), tags.data());
+    std::vector<std::uint64_t> seen;
+    std::uint64_t got[8];
+    while (seen.size() < tags.size()) {
+        const std::size_t n = queue->pollCompletions(got, 8, 1);
+        ASSERT_GT(n, 0u);
+        seen.insert(seen.end(), got, got + n);
+    }
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(seen, tags);
+    // The adversarial order never changes the bytes.
+    EXPECT_EQ(std::memcmp(out, image.data(), image.size()), 0);
+}
+
+// ------------------------------------------------------- single flight
+
+TEST(SingleFlightTest, SharerAttachesAndDedupes)
+{
+    ToggleGuard guard;
+    storage::NodeCacheConfig config;
+    config.capacity_bytes = 64 * storage::kIoSectorBytes;
+    storage::SectorCache cache(config);
+
+    std::vector<std::uint8_t> bytes(storage::kIoSectorBytes, 0xAB);
+    std::vector<std::uint8_t> owner_buf(storage::kIoSectorBytes);
+    std::vector<std::uint8_t> sharer_buf(storage::kIoSectorBytes, 0);
+
+    ASSERT_EQ(cache.beginFetch(5, owner_buf.data()),
+              storage::FetchClaim::Owner);
+    ASSERT_EQ(cache.beginFetch(5, sharer_buf.data()),
+              storage::FetchClaim::Shared);
+    cache.publishFetch(5, bytes.data());
+    ASSERT_EQ(cache.waitFetch(5, sharer_buf.data()),
+              storage::FetchStatus::Ready);
+    EXPECT_EQ(std::memcmp(sharer_buf.data(), bytes.data(),
+                          storage::kIoSectorBytes),
+              0);
+    EXPECT_EQ(cache.stats().ios_deduped, 1u);
+    EXPECT_EQ(cache.stats().dedupBytesSaved(),
+              storage::kIoSectorBytes);
+    // The publish also admitted the sector.
+    std::vector<std::uint8_t> hit(storage::kIoSectorBytes);
+    EXPECT_TRUE(cache.lookup(5, hit.data()));
+}
+
+TEST(SingleFlightTest, LateSharerGetsCachedClaim)
+{
+    ToggleGuard guard;
+    storage::NodeCacheConfig config;
+    config.capacity_bytes = 64 * storage::kIoSectorBytes;
+    storage::SectorCache cache(config);
+
+    std::vector<std::uint8_t> bytes(storage::kIoSectorBytes, 0x5C);
+    std::vector<std::uint8_t> owner_buf(storage::kIoSectorBytes);
+    std::vector<std::uint8_t> sharer_buf(storage::kIoSectorBytes);
+    std::vector<std::uint8_t> late_buf(storage::kIoSectorBytes, 0);
+
+    ASSERT_EQ(cache.beginFetch(9, owner_buf.data()),
+              storage::FetchClaim::Owner);
+    // A waiter keeps the published flight entry alive...
+    ASSERT_EQ(cache.beginFetch(9, sharer_buf.data()),
+              storage::FetchClaim::Shared);
+    cache.publishFetch(9, bytes.data());
+    // ...so a claim between publish and the waiter's pickup sees the
+    // completed read and gets the bytes immediately.
+    EXPECT_EQ(cache.beginFetch(9, late_buf.data()),
+              storage::FetchClaim::Cached);
+    EXPECT_EQ(std::memcmp(late_buf.data(), bytes.data(),
+                          storage::kIoSectorBytes),
+              0);
+    EXPECT_EQ(cache.waitFetch(9, sharer_buf.data()),
+              storage::FetchStatus::Ready);
+    EXPECT_EQ(cache.stats().ios_deduped, 2u);
+}
+
+TEST(SingleFlightTest, CancelWakesSharers)
+{
+    ToggleGuard guard;
+    storage::NodeCacheConfig config;
+    config.capacity_bytes = 64 * storage::kIoSectorBytes;
+    storage::SectorCache cache(config);
+
+    std::vector<std::uint8_t> owner_buf(storage::kIoSectorBytes);
+    std::vector<std::uint8_t> sharer_buf(storage::kIoSectorBytes);
+    ASSERT_EQ(cache.beginFetch(3, owner_buf.data()),
+              storage::FetchClaim::Owner);
+    ASSERT_EQ(cache.beginFetch(3, sharer_buf.data()),
+              storage::FetchClaim::Shared);
+    cache.cancelFetch(3);
+    EXPECT_EQ(cache.waitFetch(3, sharer_buf.data()),
+              storage::FetchStatus::Cancelled);
+    EXPECT_EQ(cache.stats().ios_deduped, 0u);
+    // The sector is claimable again after the cancellation drains.
+    EXPECT_EQ(cache.beginFetch(3, owner_buf.data()),
+              storage::FetchClaim::Owner);
+    cache.cancelFetch(3);
+}
+
+TEST(SingleFlightTest, DisabledLayerAlwaysGrantsOwnership)
+{
+    ToggleGuard guard;
+    storage::setSingleFlightEnabled(false);
+    storage::NodeCacheConfig config;
+    config.capacity_bytes = 64 * storage::kIoSectorBytes;
+    storage::SectorCache cache(config);
+
+    std::vector<std::uint8_t> bytes(storage::kIoSectorBytes, 0x11);
+    std::vector<std::uint8_t> buf(storage::kIoSectorBytes);
+    EXPECT_EQ(cache.beginFetch(7, buf.data()),
+              storage::FetchClaim::Owner);
+    EXPECT_EQ(cache.beginFetch(7, buf.data()),
+              storage::FetchClaim::Owner);
+    // publishFetch degenerates to admit().
+    cache.publishFetch(7, bytes.data());
+    EXPECT_TRUE(cache.lookup(7, buf.data()));
+    EXPECT_EQ(cache.stats().ios_deduped, 0u);
+}
+
+/**
+ * TSan target: hammer the flight map from many threads with live
+ * mutations — owners publishing or cancelling while sharers attach,
+ * wait, and retry — over a small sector range so every path collides.
+ */
+TEST(SingleFlightTest, ConcurrentFlightsUnderMutation)
+{
+    ToggleGuard guard;
+    storage::NodeCacheConfig config;
+    config.capacity_bytes = 64 * storage::kIoSectorBytes;
+    storage::SectorCache cache(config);
+
+    constexpr std::size_t kThreads = 8;
+    constexpr std::size_t kRounds = 400;
+    constexpr std::uint64_t kSectors = 4;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&cache, t] {
+            Rng rng(900 + t);
+            std::vector<std::uint8_t> bytes(storage::kIoSectorBytes);
+            std::vector<std::uint8_t> buf(storage::kIoSectorBytes);
+            for (std::size_t r = 0; r < kRounds; ++r) {
+                const std::uint64_t sector = rng.next() % kSectors;
+                // The sector's canonical bytes: a pure function of
+                // the sector, as with a real immutable node file.
+                std::memset(bytes.data(),
+                            static_cast<int>(sector * 31 + 1),
+                            bytes.size());
+                if (cache.lookup(sector, buf.data())) {
+                    ASSERT_EQ(buf[0], bytes[0]);
+                    continue;
+                }
+                switch (cache.beginFetch(sector, buf.data())) {
+                case storage::FetchClaim::Owner:
+                    if (rng.next() % 8 == 0) {
+                        cache.cancelFetch(sector);
+                    } else {
+                        cache.publishFetch(sector, bytes.data());
+                    }
+                    break;
+                case storage::FetchClaim::Shared:
+                    switch (cache.waitFetch(sector, buf.data())) {
+                    case storage::FetchStatus::Ready:
+                        ASSERT_EQ(buf[0], bytes[0]);
+                        break;
+                    case storage::FetchStatus::Cancelled:
+                        break; // a real caller would read it itself
+                    case storage::FetchStatus::Timeout:
+                        FAIL() << "waitFetch returned Timeout";
+                    }
+                    break;
+                case storage::FetchClaim::Cached:
+                    ASSERT_EQ(buf[0], bytes[0]);
+                    break;
+                }
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.lookups, kThreads * kRounds);
+}
+
+// --------------------------------------- completion-order independence
+
+class AsyncBeamFixture : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        data_ = new TestData(makeClusteredData(1200, 20, 32, 777));
+        index_ = new DiskAnnIndex();
+        DiskAnnBuildParams params;
+        params.graph.max_degree = 24;
+        params.graph.build_list = 48;
+        params.pq.m = 16;
+        params.pq.ksub = 256;
+        index_->build(data_->baseView(), params);
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete data_;
+        delete index_;
+        data_ = nullptr;
+        index_ = nullptr;
+    }
+
+    static TestData *data_;
+    static DiskAnnIndex *index_;
+};
+
+TestData *AsyncBeamFixture::data_ = nullptr;
+DiskAnnIndex *AsyncBeamFixture::index_ = nullptr;
+
+/**
+ * The headline contract: async pipelined beam search under an
+ * adversarial completion order (descending tags, dribbled delivery)
+ * yields bit-identical results AND identical recorded hop traces to
+ * the memory-resident reference.
+ */
+TEST_F(AsyncBeamFixture, ShuffledCompletionsAreBitIdentical)
+{
+    ToggleGuard guard;
+    DiskAnnSearchParams params;
+    params.search_list = 32;
+    params.beam_width = 4;
+    params.k = 10;
+
+    // Reference: memory image, synchronous.
+    std::vector<SearchResult> expected;
+    std::vector<std::vector<SearchStep>> expected_steps;
+    for (std::size_t q = 0; q < data_->num_queries; ++q) {
+        SearchTraceRecorder recorder;
+        expected.push_back(index_->search(data_->queryView().row(q),
+                                          params, &recorder));
+        expected_steps.push_back(recorder.takeSteps());
+    }
+
+    storage::IoOptions file_mode;
+    file_mode.kind = storage::IoBackendKind::File;
+    file_mode.spill_dir = "./async_io_test_spill";
+    file_mode.node_cache.capacity_bytes =
+        64 * storage::kIoSectorBytes;
+    index_->setIoMode(file_mode);
+    storage::setAsyncBeamEnabled(true);
+    storage::setAsyncShuffleDelivery(true);
+
+    for (std::size_t q = 0; q < data_->num_queries; ++q) {
+        SearchTraceRecorder recorder;
+        const auto got = index_->search(data_->queryView().row(q),
+                                        params, &recorder);
+        ASSERT_EQ(got.size(), expected[q].size()) << "query " << q;
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i].id, expected[q][i].id) << "query " << q;
+            EXPECT_EQ(got[i].distance, expected[q][i].distance)
+                << "query " << q;
+        }
+        // Hop traces: same step count, same CPU ops per step. (Read
+        // shapes differ only by what the cache absorbed; the FIRST
+        // query of a cold cache must match the reference exactly.)
+        const auto steps = recorder.takeSteps();
+        ASSERT_EQ(steps.size(), expected_steps[q].size())
+            << "query " << q;
+        for (std::size_t s = 0; s < steps.size(); ++s) {
+            EXPECT_EQ(steps[s].cpu.hops,
+                      expected_steps[q][s].cpu.hops);
+            EXPECT_EQ(steps[s].cpu.quant_distances,
+                      expected_steps[q][s].cpu.quant_distances)
+                << "query " << q << " step " << s;
+            EXPECT_EQ(steps[s].cpu.full_distances,
+                      expected_steps[q][s].cpu.full_distances)
+                << "query " << q << " step " << s;
+        }
+    }
+
+    storage::IoOptions memory_mode;
+    memory_mode.kind = storage::IoBackendKind::Memory;
+    index_->setIoMode(memory_mode);
+}
+
+/** Same contract with the sector cache disabled (no single-flight,
+ *  no hit path): pure queue pipelining. */
+TEST_F(AsyncBeamFixture, AsyncWithoutCacheMatchesReference)
+{
+    ToggleGuard guard;
+    DiskAnnSearchParams params;
+    params.search_list = 24;
+    params.beam_width = 2;
+    params.k = 10;
+
+    std::vector<SearchResult> expected;
+    for (std::size_t q = 0; q < data_->num_queries; ++q)
+        expected.push_back(
+            index_->search(data_->queryView().row(q), params));
+
+    std::vector<storage::IoOptions> modes;
+    {
+        storage::IoOptions file_mode;
+        file_mode.kind = storage::IoBackendKind::File;
+        file_mode.spill_dir = "./async_io_test_spill";
+        modes.push_back(file_mode);
+        if (storage::uringSupported()) {
+            storage::IoOptions uring_mode = file_mode;
+            uring_mode.kind = storage::IoBackendKind::Uring;
+            modes.push_back(uring_mode);
+        }
+    }
+    storage::setAsyncBeamEnabled(true);
+    // Shuffle only perturbs the emulated queues; the native uring
+    // queue delivers in device order, itself nondeterministic.
+    storage::setAsyncShuffleDelivery(true);
+
+    for (const storage::IoOptions &mode : modes) {
+        index_->setIoMode(mode);
+        for (std::size_t q = 0; q < data_->num_queries; ++q) {
+            const auto got =
+                index_->search(data_->queryView().row(q), params);
+            ASSERT_EQ(got.size(), expected[q].size()) << "query " << q;
+            for (std::size_t i = 0; i < got.size(); ++i) {
+                EXPECT_EQ(got[i].id, expected[q][i].id)
+                    << "query " << q;
+                EXPECT_EQ(got[i].distance, expected[q][i].distance)
+                    << "query " << q;
+            }
+        }
+    }
+
+    storage::IoOptions memory_mode;
+    memory_mode.kind = storage::IoBackendKind::Memory;
+    index_->setIoMode(memory_mode);
+}
+
+/**
+ * TSan target: concurrent async searches over a shared cache — the
+ * single-flight map sees live cross-thread attach/publish while the
+ * speculative stash and per-query queues run. Every thread must get
+ * the memory-reference answer.
+ */
+TEST_F(AsyncBeamFixture, ConcurrentAsyncSearchesShareFlights)
+{
+    ToggleGuard guard;
+    DiskAnnSearchParams params;
+    params.search_list = 32;
+    params.beam_width = 4;
+    params.k = 10;
+
+    std::vector<SearchResult> expected;
+    for (std::size_t q = 0; q < data_->num_queries; ++q)
+        expected.push_back(
+            index_->search(data_->queryView().row(q), params));
+
+    storage::IoOptions file_mode;
+    file_mode.kind = storage::IoBackendKind::File;
+    file_mode.spill_dir = "./async_io_test_spill";
+    file_mode.node_cache.capacity_bytes =
+        128 * storage::kIoSectorBytes;
+    index_->setIoMode(file_mode);
+    storage::setAsyncBeamEnabled(true);
+
+    constexpr std::size_t kThreads = 8;
+    std::vector<std::thread> threads;
+    std::atomic<std::size_t> mismatches{0};
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            // Lockstep over the same queries maximizes same-sector
+            // collisions in the flight map.
+            (void)t;
+            for (std::size_t q = 0; q < data_->num_queries; ++q) {
+                const auto got = index_->search(
+                    data_->queryView().row(q), params);
+                if (got.size() != expected[q].size()) {
+                    mismatches.fetch_add(1);
+                    continue;
+                }
+                for (std::size_t i = 0; i < got.size(); ++i)
+                    if (got[i].id != expected[q][i].id ||
+                        got[i].distance != expected[q][i].distance)
+                        mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(mismatches.load(), 0u);
+
+    storage::IoOptions memory_mode;
+    memory_mode.kind = storage::IoBackendKind::Memory;
+    index_->setIoMode(memory_mode);
+}
+
+/**
+ * Pooled submissions ($ANN_IO_POOLED): every per-query queue of the
+ * micro-batch funnels into one shared uring ring, so concurrent async
+ * searches stress the ring mutex, the per-queue mailboxes, and the
+ * any-thread-reaps protocol. Results must still match the reference.
+ */
+TEST_F(AsyncBeamFixture, PooledRingConcurrentSearches)
+{
+    if (!storage::uringSupported())
+        GTEST_SKIP() << "io_uring unavailable in this environment";
+    ToggleGuard guard;
+    DiskAnnSearchParams params;
+    params.search_list = 32;
+    params.beam_width = 4;
+    params.k = 10;
+
+    std::vector<SearchResult> expected;
+    for (std::size_t q = 0; q < data_->num_queries; ++q)
+        expected.push_back(
+            index_->search(data_->queryView().row(q), params));
+
+    storage::setAsyncBeamEnabled(true);
+    storage::setIoPooledEnabled(true);
+    storage::IoOptions uring_mode;
+    uring_mode.kind = storage::IoBackendKind::Uring;
+    uring_mode.spill_dir = "./async_io_test_spill";
+    uring_mode.node_cache.capacity_bytes =
+        128 * storage::kIoSectorBytes;
+    // The pooled ring is created by the first openQueue() after the
+    // toggle, so setIoMode must come after setIoPooledEnabled.
+    index_->setIoMode(uring_mode);
+
+    constexpr std::size_t kThreads = 8;
+    std::vector<std::thread> threads;
+    std::atomic<std::size_t> mismatches{0};
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (std::size_t q = 0; q < data_->num_queries; ++q) {
+                const auto got = index_->search(
+                    data_->queryView().row(q), params);
+                if (got.size() != expected[q].size()) {
+                    mismatches.fetch_add(1);
+                    continue;
+                }
+                for (std::size_t i = 0; i < got.size(); ++i)
+                    if (got[i].id != expected[q][i].id ||
+                        got[i].distance != expected[q][i].distance)
+                        mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(mismatches.load(), 0u);
+
+    storage::IoOptions memory_mode;
+    memory_mode.kind = storage::IoBackendKind::Memory;
+    index_->setIoMode(memory_mode);
+}
+
+TEST(SpannAsyncTest, AsyncStoragePhaseIsBitIdentical)
+{
+    ToggleGuard guard;
+    const TestData data = makeClusteredData(1200, 20, 24, 555);
+    SpannIndex index;
+    SpannBuildParams build;
+    build.nlist = 16;
+    index.build(data.baseView(), build);
+
+    SpannSearchParams params;
+    params.k = 10;
+    params.nprobe = 4;
+    std::vector<SearchResult> expected;
+    for (std::size_t q = 0; q < data.num_queries; ++q)
+        expected.push_back(index.search(data.queryView().row(q),
+                                        params));
+
+    storage::IoOptions file_mode;
+    file_mode.kind = storage::IoBackendKind::File;
+    file_mode.spill_dir = "./async_io_test_spill";
+    file_mode.node_cache.capacity_bytes =
+        32 * storage::kIoSectorBytes;
+    index.setIoMode(file_mode);
+    storage::setAsyncBeamEnabled(true);
+    storage::setAsyncShuffleDelivery(true);
+
+    for (std::size_t q = 0; q < data.num_queries; ++q) {
+        const auto got =
+            index.search(data.queryView().row(q), params);
+        ASSERT_EQ(got.size(), expected[q].size()) << "query " << q;
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i].id, expected[q][i].id) << "query " << q;
+            EXPECT_EQ(got[i].distance, expected[q][i].distance)
+                << "query " << q;
+        }
+    }
+}
+
+} // namespace
+} // namespace ann

@@ -208,6 +208,8 @@ TEST(ProtocolTest, MetricsRoundTrip)
     snapshot.shed = 10;
     snapshot.qps = 123.5;
     snapshot.p999_us = 42.25;
+    snapshot.cache_deduped = 7;
+    snapshot.eff_queue_depth = 3.75;
 
     std::vector<std::uint8_t> frame;
     serve::encodeMetricsResponse(snapshot, &frame);
@@ -224,6 +226,8 @@ TEST(ProtocolTest, MetricsRoundTrip)
     EXPECT_EQ(decoded.shed, 10u);
     EXPECT_DOUBLE_EQ(decoded.qps, 123.5);
     EXPECT_DOUBLE_EQ(decoded.p999_us, 42.25);
+    EXPECT_EQ(decoded.cache_deduped, 7u);
+    EXPECT_DOUBLE_EQ(decoded.eff_queue_depth, 3.75);
 }
 
 // ------------------------------------------------------- loopback

@@ -85,6 +85,10 @@ printUsage()
         "                      or id-order)\n"
         "  --drop-caches       drop the sector cache and re-execute\n"
         "                      before every sweep point (cold runs)\n"
+        "  --async-beam        pipelined beam search: score nodes as\n"
+        "                      their reads land ($ANN_ASYNC_BEAM)\n"
+        "  --io-pooled         merge per-query submissions into one\n"
+        "                      shared uring ring ($ANN_IO_POOLED)\n"
         "  --duration-ms N     virtual run length (default 2000)\n"
         "  --trace FILE        dump the block trace as CSV\n"
         "  --learn-dump FILE   capture labeled per-hop records "
@@ -154,6 +158,11 @@ runBench(const ann::ArgParser &args)
                         io.node_cache.warm_nodes);
     }
 
+    if (args.flag("async-beam"))
+        storage::setAsyncBeamEnabled(true);
+    if (args.flag("io-pooled"))
+        storage::setIoPooledEnabled(true);
+
     // Resolve the on-disk layout before prepareEngine builds or loads
     // any DiskANN segment; the flag overrides $ANN_LAYOUT.
     if (args.has("layout")) {
@@ -218,8 +227,8 @@ runBench(const ann::ArgParser &args)
     TextTable table(setup + " on " + dataset_name);
     table.setHeader({"threads", "QPS", "mean (us)", "P99 (us)",
                      "P99.9 (us)", "recall@10", "CPU %", "read MiB/s",
-                     "MiB/query", "hit %", "MiB saved", "build (s)",
-                     "warm (s)", "measure (s)"});
+                     "MiB/query", "eff QD", "hit %", "MiB saved",
+                     "build (s)", "warm (s)", "measure (s)"});
     const bool want_trace = args.has("trace");
     const bool drop_caches = args.flag("drop-caches");
     bool first_row = true;
@@ -232,8 +241,15 @@ runBench(const ann::ArgParser &args)
             runner.clearTraceCache();
         }
         const auto measure_start = std::chrono::steady_clock::now();
+        // Bracket the measure phase with gauge snapshots: the column
+        // reports the mean in-flight reads the workload actually kept
+        // on the backend (effective QD), not the configured window.
+        const storage::IoGaugeSnapshot gauge_before =
+            storage::ioGaugeSnapshot();
         const auto m = runner.measure(*engine, dataset, settings, t,
                                       want_trace);
+        const double eff_qd =
+            storage::ioGaugeSnapshot().meanDepthSince(gauge_before);
         const double measure_s = secondsSince(measure_start);
         const double mib_per_query =
             m.replay.completed
@@ -251,6 +267,7 @@ runBench(const ann::ArgParser &args)
                       core::fmtCpuPct(m.replay),
                       core::fmtMib(m.replay.read_bw_mib),
                       formatDouble(mib_per_query, 3),
+                      eff_qd > 0.0 ? formatDouble(eff_qd, 2) : "-",
                       core::fmtHitRate(m.cache),
                       core::fmtMibSaved(m.cache),
                       // Build/warm happen once; charge them to the
@@ -315,7 +332,8 @@ main(int argc, char **argv)
                     "warm-nodes", "layout", "duration-ms", "trace",
                     "learn-dump", "learn-model"},
                    {"help", "verify-exec", "drop-caches",
-                    "pin-threads", "learned-entry", "early-stop"});
+                    "pin-threads", "learned-entry", "early-stop",
+                    "async-beam", "io-pooled"});
     try {
         args.parse(argc, argv);
     } catch (const FatalError &e) {

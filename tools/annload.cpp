@@ -151,7 +151,7 @@ runLoad(const ann::ArgParser &args)
                      "P99 (us)", "P99.9 (us)",
                      "recall@" + std::to_string(options.settings.k),
                      "shed", "rejected", "unanswered", "conn (us)",
-                     "hit %", "MiB saved"});
+                     "hit %", "MiB saved", "deduped", "eff QD"});
 
     bool recall_ok = true;
     bool progressed = false;
@@ -169,6 +169,21 @@ runLoad(const ann::ArgParser &args)
             static_cast<double>(after.cache_bytes_saved -
                                 before.cache_bytes_saved) /
             (1024.0 * 1024.0);
+        const std::uint64_t deduped =
+            after.cache_deduped - before.cache_deduped;
+        // The server reports the mean effective queue depth since it
+        // started; recover this point's mean from the two cumulative
+        // means: interval integral / interval length.
+        const double qd_interval_ns = static_cast<double>(
+            after.uptime_ns - before.uptime_ns);
+        const double eff_qd =
+            qd_interval_ns > 0.0
+                ? (after.eff_queue_depth *
+                       static_cast<double>(after.uptime_ns) -
+                   before.eff_queue_depth *
+                       static_cast<double>(before.uptime_ns)) /
+                      qd_interval_ns
+                : 0.0;
         const bool validated = report.recall_samples > 0;
         table.addRow({std::to_string(n), std::to_string(report.sent),
                       formatDouble(report.qps, 0),
@@ -196,7 +211,9 @@ runLoad(const ann::ArgParser &args)
                                          1) +
                                 "%"
                           : "-",
-                      lookups > 0 ? formatDouble(mib_saved, 1) : "-"});
+                      lookups > 0 ? formatDouble(mib_saved, 1) : "-",
+                      lookups > 0 ? std::to_string(deduped) : "-",
+                      eff_qd > 0.0 ? formatDouble(eff_qd, 2) : "-"});
         if (report.completed > 0)
             progressed = true;
         if (min_recall >= 0.0 && validated &&

@@ -78,6 +78,10 @@ printUsage()
         "  --io-queue-depth N  in-flight requests per real-I/O batch\n"
         "  --node-cache-mb N   sector-cache capacity per index (MiB;\n"
         "                      0 = off, default $ANN_NODE_CACHE_MB)\n"
+        "  --async-beam        pipelined beam search: score nodes as\n"
+        "                      their reads land ($ANN_ASYNC_BEAM)\n"
+        "  --io-pooled         merge per-query submissions into one\n"
+        "                      shared uring ring ($ANN_IO_POOLED)\n"
         "  --warm-nodes N      nodes BFS-warmed from the medoid "
         "(DiskANN\n"
         "                      only, default $ANN_WARM_NODES)\n"
@@ -127,6 +131,10 @@ runServe(const ann::ArgParser &args)
                     0, args.getInt("warm-nodes", 0)));
         storage::setDefaultIoOptions(io);
     }
+    if (args.flag("async-beam"))
+        storage::setAsyncBeamEnabled(true);
+    if (args.flag("io-pooled"))
+        storage::setIoPooledEnabled(true);
 
     // Resolve the on-disk layout before prepareEngine builds or loads
     // any DiskANN segment; the flag overrides $ANN_LAYOUT.
@@ -250,15 +258,20 @@ runServe(const ann::ArgParser &args)
                 static_cast<unsigned long long>(m.protocol_errors),
                 static_cast<unsigned long long>(m.accepted_connections),
                 m.qps, m.p50_us, m.p99_us, m.p999_us);
+    if (m.eff_queue_depth > 0.0)
+        std::printf("annserve: effective I/O queue depth: %.2f mean "
+                    "in-flight reads\n",
+                    m.eff_queue_depth);
     if (m.cache_lookups > 0)
         std::printf("annserve: node cache: %llu lookups, %llu hits "
-                    "(%.1f%%), %.1f MiB saved\n",
+                    "(%.1f%%), %.1f MiB saved, %llu reads deduped\n",
                     static_cast<unsigned long long>(m.cache_lookups),
                     static_cast<unsigned long long>(m.cache_hits),
                     100.0 * static_cast<double>(m.cache_hits) /
                         static_cast<double>(m.cache_lookups),
                     static_cast<double>(m.cache_bytes_saved) /
-                        (1024.0 * 1024.0));
+                        (1024.0 * 1024.0),
+                    static_cast<unsigned long long>(m.cache_deduped));
     if (m.learned_entry != 0 || m.learned_early_stop != 0 ||
         !m.learned_model.empty())
         std::printf("annserve: learned policies: entry=%s "
@@ -281,7 +294,7 @@ main(int argc, char **argv)
                     "io-backend", "io-queue-depth", "node-cache-mb",
                     "warm-nodes", "layout", "shard", "topology",
                     "replica", "debug-slow-every", "debug-slow-us"},
-                   {"help", "pin-threads"});
+                   {"help", "pin-threads", "async-beam", "io-pooled"});
     try {
         args.parse(argc, argv);
     } catch (const FatalError &e) {

@@ -58,6 +58,18 @@
  *     --async-only to run just this phase; --layout-only and
  *     --learned-only skip it (as does --no-async).
  *
+ *  6. Memory-budget (DRAM-free) A/B: one index with each record
+ *     carrying its neighbours' PQ codes, served with codes
+ *     DRAM-resident and again under a memory budget that spills them
+ *     to a sector-aligned code file behind the code-page cache
+ *     (in-beam rescoring reads the embedded copies instead).
+ *     Gates: bit-identical top-k, resident index bytes down by
+ *     >= $ANN_DRAMFREE_MIN_RESIDENT_REDUCTION (default 4x), backend
+ *     reads per query up by <= $ANN_DRAMFREE_MAX_IO_RATIO (default
+ *     1.3x), nonzero code-cache hits while spilled. Writes
+ *     results/BENCH_dramfree.json. Run with --dramfree-only for just
+ *     this phase; --no-dramfree skips it.
+ *
  * The burst workload (and hence the exported training data) is
  * seeded: --seed N or $ANN_SEED make runs reproducible; the default
  * reproduces the historical stream.
@@ -1149,6 +1161,323 @@ runAsyncPhase(DiskAnnIndex &index, const workload::Dataset &skew)
     return ok;
 }
 
+/**
+ * Replace @p data's query set with a burst: fresh samples around one
+ * base vector (a trending item), each with exact brute-force ground
+ * truth. Distinct queries, one hot graph region — high-d distance
+ * concentration makes "the nearest existing queries" span many
+ * clusters, so sampling is the only way to actually get locality.
+ */
+void
+makeBurstQueries(workload::Dataset &data, std::size_t gt_k,
+                 float spread, std::uint64_t seed)
+{
+    const std::size_t nq = data.num_queries;
+    const float *anchor = data.base.data() +
+                          std::size_t{data.ground_truth[0][0]} *
+                              data.dim;
+    Rng rng(seed);
+    std::vector<float> queries(nq * data.dim);
+    std::vector<std::vector<VectorId>> truth(nq);
+    std::vector<std::pair<float, VectorId>> dists(data.rows);
+    for (std::size_t q = 0; q < nq; ++q) {
+        float *dst = queries.data() + q * data.dim;
+        for (std::size_t d = 0; d < data.dim; ++d)
+            dst[d] = anchor[d] +
+                     0.5f * spread *
+                         static_cast<float>(rng.nextGaussian());
+        for (std::size_t v = 0; v < data.rows; ++v)
+            dists[v] = {l2DistanceSq(dst,
+                                     data.base.data() + v * data.dim,
+                                     data.dim),
+                        static_cast<VectorId>(v)};
+        std::partial_sort(dists.begin(),
+                          dists.begin() +
+                              static_cast<std::ptrdiff_t>(gt_k),
+                          dists.end());
+        truth[q].reserve(gt_k);
+        for (std::size_t i = 0; i < gt_k; ++i)
+            truth[q].push_back(dists[i].second);
+    }
+    data.queries = std::move(queries);
+    data.ground_truth = std::move(truth);
+}
+
+/** One arm of the phase-6 memory-budget (DRAM-free) A/B. */
+struct DramFreePoint
+{
+    const char *label = "";
+    std::size_t resident_bytes = 0; ///< index.memoryBytes()
+    double ios_per_query = 0.0;     ///< backend read ops (gauge delta)
+    double recall = 0.0;
+    double qps = 0.0;
+    std::uint64_t code_lookups = 0;
+    std::uint64_t code_hits = 0;
+};
+
+/**
+ * Measure one residency arm under the phase-3 discipline: cold
+ * start, the first half of the query set warms the caches, the
+ * second half is measured. I/O is counted at the gauge so the
+ * spilled arm's code-store reads are charged alongside the graph
+ * reads. @p results receives the measured-half results for the
+ * bit-identity gate.
+ */
+void
+dramFreeSweepPoint(DiskAnnIndex &index, const workload::Dataset &data,
+                   DramFreePoint &point,
+                   std::vector<SearchResult> *results)
+{
+    index.dropNodeCache();
+    DiskAnnSearchParams params;
+    params.search_list = 64;
+    params.beam_width = 4;
+
+    const std::size_t warmup = data.num_queries / 2;
+    for (std::size_t q = 0; q < warmup; ++q)
+        (void)index.search(data.query(q), params);
+
+    const storage::NodeCacheStats code_before =
+        index.codeCacheStats();
+    const storage::IoGaugeSnapshot gauge_before =
+        storage::ioGaugeSnapshot();
+    double recall_sum = 0.0;
+    const double start = nowUs();
+    for (std::size_t q = warmup; q < data.num_queries; ++q) {
+        const SearchResult result = index.search(data.query(q),
+                                                 params);
+        recall_sum +=
+            recallAtK(data.ground_truth[q], result, params.k);
+        if (results != nullptr)
+            results->push_back(result);
+    }
+    const double elapsed_us = nowUs() - start;
+    const auto nq = static_cast<double>(data.num_queries - warmup);
+
+    point.resident_bytes = index.memoryBytes();
+    point.ios_per_query =
+        static_cast<double>(storage::ioGaugeSnapshot().ops -
+                            gauge_before.ops) /
+        nq;
+    const storage::NodeCacheStats code_delta =
+        index.codeCacheStats() - code_before;
+    point.code_lookups = code_delta.lookups;
+    point.code_hits = code_delta.hits;
+    point.recall = recall_sum / nq;
+    point.qps = nq * 1e6 / elapsed_us;
+}
+
+/**
+ * Phase 6: the memory-budget (DRAM-free) A/B. One index, built with
+ * each record carrying its neighbours' PQ codes, served twice on
+ * the real file backend: unconstrained (codes DRAM-resident) and
+ * under $ANN_MEM_BUDGET_MB-style pressure (codes spilled to the
+ * sector-aligned code file, fronted by the code-page cache; in-beam
+ * neighbours re-score from the embedded copies at zero extra I/O).
+ * Gates: bit-identical top-k, resident bytes down by
+ * >= $ANN_DRAMFREE_MIN_RESIDENT_REDUCTION (default 4x), backend
+ * reads per query up by <= $ANN_DRAMFREE_MAX_IO_RATIO (default
+ * 1.3x), and a nonzero code-cache hit count in the spilled arm.
+ * Writes results/BENCH_dramfree.json.
+ */
+bool
+runDramFreePhase(std::size_t num_queries, std::uint64_t seed)
+{
+    bool ok = true;
+
+    // The phase owns its workload ($ANN_DRAMFREE_ROWS scales it) so
+    // its embedded-code index never perturbs the other phases' I/O
+    // characteristics.
+    workload::GeneratorSpec spec;
+    spec.name = "dramfree-burst";
+    spec.rows = static_cast<std::size_t>(
+        envInt("ANN_DRAMFREE_ROWS", 6000));
+    spec.dim = 128;
+    spec.num_queries = num_queries;
+    spec.clusters = 16;
+    spec.zipf_s = 0.0;
+    spec.spread = 0.22f;
+    spec.gt_k = 16;
+    spec.seed = seed;
+    workload::Dataset skew = workload::generateDataset(spec);
+    makeBurstQueries(skew, spec.gt_k, spec.spread,
+                     seed ^ 0xd7a3f7eeULL);
+
+    // Embedding appends 48 m=64 neighbour codes (3 KiB) to each 708
+    // byte record — one record per sector instead of five, the disk
+    // cost of DRAM-free codes. ksub=16 keeps the (always-resident)
+    // codebooks small relative to the code array, which is what the
+    // residency gate measures.
+    DiskAnnIndex index;
+    DiskAnnBuildParams build;
+    build.graph.max_degree = 48;
+    build.graph.build_list = 128;
+    build.pq.m = 64;
+    build.pq.ksub = 16;
+    build.layout = LayoutPolicy::PackedBfs;
+    build.embed_codes = true;
+    index.build(skew.baseView(), build);
+    if (index.embeddedCodeBytes() == 0) {
+        std::cerr << "FAIL: PQ codes did not embed in sector slack\n";
+        ok = false;
+    }
+
+    storage::IoOptions io;
+    io.kind = storage::IoBackendKind::File;
+    io.queue_depth = 16;
+
+    // Resident arm: real storage for the graph, codes in DRAM.
+    DramFreePoint resident;
+    resident.label = "resident";
+    std::vector<SearchResult> resident_results;
+    index.setIoMode(io);
+    ANN_CHECK(index.codesResident(),
+              "no budget must leave codes resident");
+    const std::size_t resident_bytes = index.memoryBytes();
+    // codebooks = memoryBytes - code array; the budget keeps them
+    // plus a small code-page cache.
+    const std::size_t code_bytes = skew.rows * build.pq.m;
+    ANN_CHECK(resident_bytes > code_bytes, "sizing inconsistency");
+    const std::size_t codebook_bytes = resident_bytes - code_bytes;
+    dramFreeSweepPoint(index, skew, resident, &resident_results);
+
+    // Spilled arm: same backend, budget = codebooks + a 64 KiB
+    // code-page cache. The cache only has to absorb the per-query
+    // medoid/entry fetches — in-beam rescoring reads the embedded
+    // copies — so it can sit far below the code array.
+    DramFreePoint spilled;
+    spilled.label = "spilled";
+    std::vector<SearchResult> spilled_results;
+    storage::IoOptions budget_io = io;
+    budget_io.mem_budget_bytes = codebook_bytes + 64 * 1024;
+    index.setIoMode(budget_io);
+    ANN_CHECK(!index.codesResident(),
+              "budget below the code array must spill");
+    dramFreeSweepPoint(index, skew, spilled, &spilled_results);
+
+    bool identical =
+        resident_results.size() == spilled_results.size();
+    for (std::size_t q = 0; identical && q < resident_results.size();
+         ++q) {
+        const SearchResult &a = resident_results[q];
+        const SearchResult &b = spilled_results[q];
+        if (a.size() != b.size()) {
+            identical = false;
+            break;
+        }
+        for (std::size_t i = 0; i < a.size(); ++i)
+            if (a[i].id != b[i].id ||
+                a[i].distance != b[i].distance)
+                identical = false;
+    }
+    std::cout << "spilled vs resident top-k bit-identical: "
+              << (identical ? "yes" : "NO") << "\n";
+    if (!identical) {
+        std::cerr << "FAIL: memory budget changed search results\n";
+        ok = false;
+    }
+
+    TextTable table("memory-budget A/B (file backend, packed-BFS, "
+                    "embedded codes, search_list=64, beam=4)");
+    table.setHeader({"arm", "resident KiB", "IOs/query",
+                     "code hit %", "recall@10", "QPS"});
+    for (const DramFreePoint *p : {&resident, &spilled})
+        table.addRow(
+            {p->label, std::to_string(p->resident_bytes / 1024),
+             formatDouble(p->ios_per_query, 1),
+             p->code_lookups > 0
+                 ? formatDouble(100.0 *
+                                    static_cast<double>(p->code_hits) /
+                                    static_cast<double>(
+                                        p->code_lookups),
+                                1)
+                 : "-",
+             formatDouble(p->recall, 3), formatDouble(p->qps, 0)});
+    table.print(std::cout);
+
+    const double reduction =
+        static_cast<double>(resident.resident_bytes) /
+        std::max<double>(
+            static_cast<double>(spilled.resident_bytes), 1.0);
+    const double min_reduction = [] {
+        const char *env =
+            std::getenv("ANN_DRAMFREE_MIN_RESIDENT_REDUCTION");
+        return env != nullptr ? std::atof(env) : 4.0;
+    }();
+    const double io_ratio =
+        spilled.ios_per_query /
+        std::max(resident.ios_per_query, 1e-9);
+    const double max_io_ratio = [] {
+        const char *env = std::getenv("ANN_DRAMFREE_MAX_IO_RATIO");
+        return env != nullptr ? std::atof(env) : 1.3;
+    }();
+    std::cout << "resident-bytes reduction: "
+              << formatDouble(reduction, 2) << "x (gate >= "
+              << formatDouble(min_reduction, 2)
+              << "x); IOs/query ratio: " << formatDouble(io_ratio, 3)
+              << " (gate <= " << formatDouble(max_io_ratio, 2)
+              << ")\n";
+    if (reduction < min_reduction) {
+        std::cerr << "FAIL: budget frees too little DRAM\n";
+        ok = false;
+    }
+    if (io_ratio > max_io_ratio) {
+        std::cerr << "FAIL: spilled codes cost too much extra I/O\n";
+        ok = false;
+    }
+    if (spilled.code_hits == 0) {
+        std::cerr << "FAIL: code-page cache never served a hit\n";
+        ok = false;
+    }
+
+    // Leave the index unconstrained again (it is phase-local, but
+    // the discipline mirrors how setIoMode unspills on migration).
+    index.setIoMode(io);
+
+    const std::string json_path =
+        core::resultsDir() + "/BENCH_dramfree.json";
+    if (std::FILE *f = std::fopen(json_path.c_str(), "w")) {
+        std::fprintf(f,
+                     "{\n  \"dataset\": \"%s\",\n"
+                     "  \"queries\": %zu,\n"
+                     "  \"embedded_code_bytes\": %zu,\n"
+                     "  \"mem_budget_bytes\": %zu,\n"
+                     "  \"points\": [\n",
+                     skew.name.c_str(), skew.num_queries,
+                     index.embeddedCodeBytes(),
+                     budget_io.mem_budget_bytes);
+        const DramFreePoint *arms[] = {&resident, &spilled};
+        for (std::size_t i = 0; i < 2; ++i) {
+            const DramFreePoint &p = *arms[i];
+            std::fprintf(
+                f,
+                "    {\"arm\": \"%s\", \"resident_bytes\": %zu, "
+                "\"ios_per_query\": %.2f, "
+                "\"code_cache_lookups\": %llu, "
+                "\"code_cache_hits\": %llu, "
+                "\"recall\": %.4f, \"qps\": %.1f}%s\n",
+                p.label, p.resident_bytes, p.ios_per_query,
+                static_cast<unsigned long long>(p.code_lookups),
+                static_cast<unsigned long long>(p.code_hits),
+                p.recall, p.qps, i + 1 < 2 ? "," : "");
+        }
+        std::fprintf(f,
+                     "  ],\n  \"resident_reduction\": %.3f,\n"
+                     "  \"min_resident_reduction_gate\": %.2f,\n"
+                     "  \"io_ratio\": %.3f,\n"
+                     "  \"max_io_ratio_gate\": %.2f,\n"
+                     "  \"bit_identical\": %s\n}\n",
+                     reduction, min_reduction, io_ratio,
+                     max_io_ratio, identical ? "true" : "false");
+        std::fclose(f);
+        std::cout << "wrote " << json_path << "\n";
+    } else {
+        std::cerr << "FAIL: cannot write " << json_path << "\n";
+        ok = false;
+    }
+    return ok;
+}
+
 } // namespace
 
 int
@@ -1161,6 +1490,8 @@ main(int argc, char **argv)
     bool no_learned = false;
     bool async_only = false;
     bool no_async = false;
+    bool dramfree_only = false;
+    bool no_dramfree = false;
     // Workload seed: --seed beats $ANN_SEED beats the historical
     // default (which reproduces the pre-seeding byte streams).
     std::uint64_t seed = static_cast<std::uint64_t>(
@@ -1178,6 +1509,10 @@ main(int argc, char **argv)
             async_only = true;
         if (std::strcmp(argv[i], "--no-async") == 0)
             no_async = true;
+        if (std::strcmp(argv[i], "--dramfree-only") == 0)
+            dramfree_only = true;
+        if (std::strcmp(argv[i], "--no-dramfree") == 0)
+            no_dramfree = true;
         if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
             seed = std::strtoull(argv[++i], nullptr, 0);
     }
@@ -1185,12 +1520,24 @@ main(int argc, char **argv)
         layout_only = true; // skip phases 1-2
         no_learned = true;
     }
+    if (dramfree_only) {
+        layout_only = true; // skip phases 1-2
+        no_learned = true;
+        no_async = true;
+    }
     if (learned_only)
         layout_only = true; // skip phases 1-2 as well
     // Phase 5 runs in the full sweep and under --async-only; the
-    // focused phase-3/4 smokes keep their historical scope.
+    // focused phase-3/4 smokes keep their historical scope. Phase 6
+    // mirrors phase 5: full sweep and --dramfree-only.
     const bool run_async =
-        async_only || (!layout_only && !learned_only && !no_async);
+        async_only && !dramfree_only
+            ? true
+            : (!layout_only && !learned_only && !no_async);
+    const bool run_dramfree =
+        dramfree_only ||
+        (!layout_only && !learned_only && !async_only &&
+         !no_dramfree);
     core::printBenchHeader(
         "Extension: real-I/O backends (pread vs io_uring)",
         "expected: uring IOPS scale with queue depth; batched async "
@@ -1365,59 +1712,27 @@ main(int argc, char **argv)
     std::cout << "burst workload seed: 0x" << std::hex << seed
               << std::dec << "\n";
     workload::Dataset skew = workload::generateDataset(skew_spec);
-    {
-        // Replace the uniform query set with a burst: fresh samples
-        // around one base vector (a trending item), each with exact
-        // brute-force ground truth. Distinct queries, one hot graph
-        // region — high-d distance concentration makes "the nearest
-        // existing queries" span many clusters, so sampling is the
-        // only way to actually get locality.
-        const std::size_t nq = skew.num_queries;
-        const float *anchor = skew.base.data() +
-                              std::size_t{skew.ground_truth[0][0]} *
-                                  skew.dim;
-        // Derived so the default seed reproduces the historical
-        // 0xb0057 query stream exactly.
-        Rng rng(seed ^ (0x1a10075ULL ^ 0xb0057ULL));
-        std::vector<float> queries(nq * skew.dim);
-        std::vector<std::vector<VectorId>> truth(nq);
-        std::vector<std::pair<float, VectorId>> dists(skew.rows);
-        for (std::size_t q = 0; q < nq; ++q) {
-            float *dst = queries.data() + q * skew.dim;
-            for (std::size_t d = 0; d < skew.dim; ++d)
-                dst[d] = anchor[d] +
-                         0.5f * skew_spec.spread *
-                             static_cast<float>(rng.nextGaussian());
-            for (std::size_t v = 0; v < skew.rows; ++v)
-                dists[v] = {l2DistanceSq(
-                                dst, skew.base.data() + v * skew.dim,
-                                skew.dim),
-                            static_cast<VectorId>(v)};
-            std::partial_sort(dists.begin(),
-                              dists.begin() +
-                                  static_cast<std::ptrdiff_t>(
-                                      skew_spec.gt_k),
-                              dists.end());
-            truth[q].reserve(skew_spec.gt_k);
-            for (std::size_t i = 0; i < skew_spec.gt_k; ++i)
-                truth[q].push_back(dists[i].second);
-        }
-        skew.queries = std::move(queries);
-        skew.ground_truth = std::move(truth);
-    }
+    // Seed derived so the default reproduces the historical 0xb0057
+    // query stream exactly.
+    makeBurstQueries(skew, skew_spec.gt_k, skew_spec.spread,
+                     seed ^ (0x1a10075ULL ^ 0xb0057ULL));
 
-    // Shared by phases 3 and 4: the id-order index over the burst
-    // data. Phase 3 adds its packed-BFS twin internally.
+    // Shared by phases 3-5: the id-order index over the burst data.
+    // Phase 3 adds its packed-BFS twin internally; phase 6 builds its
+    // own embedded-code index, so a dramfree-only run skips this.
     DiskAnnIndex id_index;
-    id_index.build(skew.baseView(), build);
+    if (!dramfree_only)
+        id_index.build(skew.baseView(), build);
 
     bool ok = true;
-    if (!learned_only && !async_only)
+    if (!learned_only && !async_only && !dramfree_only)
         ok = runLayoutPhase(id_index, build, skew, dataset) && ok;
     if (!no_learned)
         ok = runLearnedPhase(id_index, skew, seed) && ok;
     if (run_async)
         ok = runAsyncPhase(id_index, skew) && ok;
+    if (run_dramfree)
+        ok = runDramFreePhase(skew.num_queries, seed) && ok;
 
     if (!ok) {
         std::cerr << "bench_ext_real_io: GATES FAILED\n";

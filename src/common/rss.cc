@@ -1,0 +1,46 @@
+#include "common/rss.hh"
+
+#include <cstdio>
+#include <cstring>
+
+namespace ann {
+
+namespace {
+
+/** Read one "Vm...: N kB" line from /proc/self/status, in bytes. */
+std::size_t
+statusFieldBytes(const char *field)
+{
+    std::FILE *f = std::fopen("/proc/self/status", "r");
+    if (f == nullptr)
+        return 0;
+    const std::size_t field_len = std::strlen(field);
+    char line[256];
+    std::size_t bytes = 0;
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+        if (std::strncmp(line, field, field_len) != 0)
+            continue;
+        unsigned long long kib = 0;
+        if (std::sscanf(line + field_len, ": %llu", &kib) == 1)
+            bytes = static_cast<std::size_t>(kib) * 1024;
+        break;
+    }
+    std::fclose(f);
+    return bytes;
+}
+
+} // namespace
+
+std::size_t
+currentRssBytes()
+{
+    return statusFieldBytes("VmRSS");
+}
+
+std::size_t
+peakRssBytes()
+{
+    return statusFieldBytes("VmHWM");
+}
+
+} // namespace ann

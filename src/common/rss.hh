@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Process resident-set-size probes.
+ *
+ * The memory-budget subsystem reports two footprint numbers side by
+ * side: the *computed* resident index bytes (what the indexes claim
+ * to keep in DRAM) and the *measured* process RSS from the kernel, so
+ * footprint claims in benches and the serving metrics frame can be
+ * checked against reality instead of trusted.
+ */
+
+#ifndef ANN_COMMON_RSS_HH
+#define ANN_COMMON_RSS_HH
+
+#include <cstddef>
+
+namespace ann {
+
+/**
+ * Current resident set size of this process in bytes (VmRSS from
+ * /proc/self/status). 0 when the probe is unavailable.
+ */
+std::size_t currentRssBytes();
+
+/**
+ * Peak resident set size of this process in bytes (VmHWM from
+ * /proc/self/status). 0 when the probe is unavailable.
+ */
+std::size_t peakRssBytes();
+
+} // namespace ann
+
+#endif // ANN_COMMON_RSS_HH

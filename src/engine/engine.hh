@@ -150,6 +150,17 @@ class VectorDbEngine
     }
 
     /**
+     * Aggregated code-page cache counters of any spilled PQ code
+     * tiers ($ANN_MEM_BUDGET_MB / --mem-budget-mb). All-zero while
+     * every code array is DRAM-resident. Safe under the shared-read
+     * contract — counters are atomics.
+     */
+    virtual storage::NodeCacheStats codeCacheStats() const
+    {
+        return {};
+    }
+
+    /**
      * Evict every index's dynamic cache frames (cold-run protocol;
      * warm sets stay). Safe concurrently with search().
      */

@@ -73,6 +73,9 @@ LanceIvfPqEngine::prepare(const workload::Dataset &dataset,
         params.seed = 42;
         ivf.build(dataset.baseView(), params);
     });
+    // Lance models its posting lists as storage-resident; under a
+    // memory budget the real code arrays move there too.
+    index_.applyMemoryBudget(storage::defaultIoOptions());
 
     // Posting lists live on storage, packed sequentially: list i is
     // ceil(rows_i * (code + id bytes) / 4096) sectors.

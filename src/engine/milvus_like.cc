@@ -113,6 +113,10 @@ MilvusLikeEngine::prepare(const workload::Dataset &dataset,
                     params.seed = 42 + segmentBase_.size();
                     index.build(segment, params);
                 }));
+            // DiskANN segments tier themselves at load; IVF applies
+            // the budget explicitly over the finished posting lists.
+            ivfSegments_.back().applyMemoryBudget(
+                storage::defaultIoOptions());
             break;
           }
           case MilvusIndexKind::Hnsw: {
@@ -362,6 +366,15 @@ MilvusLikeEngine::nodeCacheStats() const
     storage::NodeCacheStats stats;
     for (const auto &index : diskannSegments_)
         stats += index.nodeCacheStats();
+    return stats;
+}
+
+storage::NodeCacheStats
+MilvusLikeEngine::codeCacheStats() const
+{
+    storage::NodeCacheStats stats;
+    for (const auto &index : diskannSegments_)
+        stats += index.codeCacheStats();
     return stats;
 }
 

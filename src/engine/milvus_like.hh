@@ -54,6 +54,8 @@ class MilvusLikeEngine : public VectorDbEngine
     std::uint64_t diskSectors() const override;
     /** Sum over the DiskANN segments' sector caches. */
     storage::NodeCacheStats nodeCacheStats() const override;
+    /** Sum over the DiskANN segments' spilled code-page caches. */
+    storage::NodeCacheStats codeCacheStats() const override;
     void dropNodeCache() override;
 
     /**

@@ -40,13 +40,23 @@ constexpr const char *kMagic = "DANN";
 constexpr std::uint32_t kVersionIdOrder = 3;
 /** Packed-layout archives: adds the layout tag + permutation. */
 constexpr std::uint32_t kVersionPacked = 4;
+/** Embedded-code archives: adds the per-neighbour code bytes. */
+constexpr std::uint32_t kVersionEmbedded = 5;
+
+/**
+ * Floor of the spilled code tier's page cache: even a pathological
+ * budget keeps a few code pages resident so the beam's batched code
+ * fetches have somewhere to land and dedupe.
+ */
+constexpr std::size_t kMinCodeCacheBytes = 4 * kSectorBytes;
 
 /**
  * On-disk header written into sector 0. The layout/perm_sectors pair
- * was appended for the packed layout; id-order images write zeros
- * there (previously zero padding), so their bytes are unchanged and
- * the magic distinguishes the generations: "DISKANN1" = id order,
- * "DISKANN2" = permuted records with the permutation table in sectors
+ * was appended for the packed layout and code_bytes for embedded PQ
+ * codes; images predating a field hold zeros there (previously zero
+ * padding), so their bytes are unchanged and the magic distinguishes
+ * the placement generations: "DISKANN1" = id order, "DISKANN2" =
+ * permuted records with the permutation table in sectors
  * [1, 1 + perm_sectors).
  */
 struct DiskHeader
@@ -61,6 +71,9 @@ struct DiskHeader
     std::uint64_t medoid;
     std::uint64_t layout;
     std::uint64_t perm_sectors;
+    /** Per-neighbour PQ code bytes embedded in each record's code
+     *  slots behind the adjacency list (0 = none). */
+    std::uint64_t code_bytes;
 };
 
 /**
@@ -160,6 +173,12 @@ struct DiskAnnScratch
     std::vector<std::uint8_t> node_done;
     /** Unvisited neighbours awaiting (batched) ADC scoring. */
     std::vector<VectorId> pending;
+    /** Spilled code tier: per-pending resolved code pointers (from
+     *  the record's embedded copies, or a code-store fetch keyed by
+     *  the slot list). Unused while codes are resident. */
+    std::vector<const std::uint8_t *> pending_codes;
+    std::vector<std::uint64_t> code_slots;
+    std::vector<const std::uint8_t *> code_ptrs;
     TopK reranked{1};
     /** ADC distance of each beam node this hop (aligned with beam). */
     std::vector<float> beam_dists;
@@ -199,9 +218,19 @@ DiskAnnIndex::build(const MatrixView &data,
     medoid_ = graph.medoid;
     maxDegree_ = graph.max_degree;
 
+    // PQ-code embedding (AiSAQ-style co-location): each record
+    // carries its neighbours' codes behind the adjacency list, so
+    // one graph fetch delivers everything the hop ADC-scores. The
+    // resident code tier never reads the embedded copies; they exist
+    // so a spilled tier can re-score the beam's candidates at zero
+    // extra I/O.
+    const std::size_t code_size = pq_.codeSize();
+    embeddedCodeBytes_ = params.embed_codes ? code_size : 0;
+
     // Disk layout: pack whole node records into sectors.
     nodeBytes_ = dim_ * sizeof(float) + sizeof(std::uint32_t) +
-                 maxDegree_ * sizeof(std::uint32_t);
+                 maxDegree_ * sizeof(std::uint32_t) +
+                 maxDegree_ * embeddedCodeBytes_;
     if (nodeBytes_ <= kSectorBytes) {
         nodesPerSector_ = kSectorBytes / nodeBytes_;
         sectorsPerNode_ = 1;
@@ -240,6 +269,7 @@ DiskAnnIndex::build(const MatrixView &data,
     header.medoid = medoid_;
     header.layout = static_cast<std::uint64_t>(layout_);
     header.perm_sectors = permSectors_;
+    header.code_bytes = embeddedCodeBytes_;
     std::memcpy(image.data(), &header, sizeof(header));
     if (permSectors_ > 0)
         std::memcpy(image.data() + kSectorBytes, nodePos_.data(),
@@ -257,8 +287,21 @@ DiskAnnIndex::build(const MatrixView &data,
                     sizeof(degree));
         std::memcpy(record + dim_ * sizeof(float) + sizeof(degree),
                     adj.data(), adj.size() * sizeof(std::uint32_t));
+        if (embeddedCodeBytes_ > 0) {
+            // Neighbour codes fill the record's code slots in
+            // adjacency order; unused slots (degree < max) stay zero.
+            std::uint8_t *code_base = record + dim_ * sizeof(float) +
+                                      sizeof(degree) +
+                                      maxDegree_ *
+                                          sizeof(std::uint32_t);
+            for (std::size_t i = 0; i < adj.size(); ++i)
+                std::memcpy(code_base + i * code_size,
+                            pqCodes_.data() + adj[i] * code_size,
+                            code_size);
+        }
     }
     adoptImage(std::move(image));
+    applyCodeResidency();
 }
 
 storage::IoOptions
@@ -351,6 +394,8 @@ DiskAnnIndex::dropNodeCache()
 {
     if (cache_)
         cache_->dropCaches();
+    if (codeStore_)
+        codeStore_->dropCache();
 }
 
 void
@@ -360,6 +405,10 @@ DiskAnnIndex::setIoMode(const storage::IoOptions &options)
     ioPinned_ = true;
     if (!io_)
         return; // applies at the next build()/load()
+
+    // Restore the code tier first: the new options carry their own
+    // budget, applied below once the node file has moved.
+    unspillCodes();
 
     // Migrate the node file: stream it from the current backend into
     // a sink opened under the new options.
@@ -381,6 +430,7 @@ DiskAnnIndex::setIoMode(const storage::IoOptions &options)
     }
     io_ = sink->finish();
     attachCache();
+    applyCodeResidency();
 }
 
 VectorId
@@ -468,12 +518,78 @@ DiskAnnIndex::numSectors() const
 }
 
 std::size_t
+DiskAnnIndex::codebookBytes() const
+{
+    return pq_.numSubspaces() * pq_.codebookSize() *
+           (pq_.numSubspaces() ? dim_ / pq_.numSubspaces() : 0) *
+           sizeof(float);
+}
+
+std::size_t
 DiskAnnIndex::memoryBytes() const
 {
-    return pqCodes_.size() +
-           pq_.numSubspaces() * pq_.codebookSize() *
-               (pq_.numSubspaces() ? dim_ / pq_.numSubspaces() : 0) *
-               sizeof(float);
+    return codebookBytes() +
+           (codeStore_ ? codeStore_->memoryBytes() : pqCodes_.size());
+}
+
+storage::NodeCacheStats
+DiskAnnIndex::codeCacheStats() const
+{
+    return codeStore_ ? codeStore_->cacheStats()
+                      : storage::NodeCacheStats{};
+}
+
+std::vector<std::uint8_t>
+DiskAnnIndex::codesInSlotOrder() const
+{
+    const std::size_t cs = pq_.codeSize();
+    std::vector<std::uint8_t> slot_codes(pqCodes_.size());
+    for (std::size_t v = 0; v < rows_; ++v)
+        std::memcpy(slot_codes.data() + nodePosition(v) * cs,
+                    pqCodes_.data() + v * cs, cs);
+    return slot_codes;
+}
+
+void
+DiskAnnIndex::applyCodeResidency()
+{
+    codeStore_.reset(); // callers guarantee pqCodes_ is populated
+    const storage::IoOptions options = effectiveIoOptions();
+    if (options.mem_budget_bytes == 0 || rows_ == 0)
+        return;
+    if (codebookBytes() + pqCodes_.size() <= options.mem_budget_bytes)
+        return;
+    // Over budget: the PQ code array is the first tier to go — the
+    // full-precision vectors already live in the node file, and the
+    // codebooks must stay (every query builds its ADC table from
+    // them). Whatever the codebooks leave of the budget becomes the
+    // code-page cache, floored so tiny budgets still search.
+    std::size_t cache_bytes =
+        options.mem_budget_bytes > codebookBytes()
+            ? options.mem_budget_bytes - codebookBytes()
+            : 0;
+    cache_bytes = std::max(cache_bytes, kMinCodeCacheBytes);
+    const std::vector<std::uint8_t> slot_codes = codesInSlotOrder();
+    codeStore_ = std::make_unique<PqCodeStore>(
+        slot_codes.data(), rows_, pq_.codeSize(), options,
+        cache_bytes);
+    pqCodes_.clear();
+    pqCodes_.shrink_to_fit();
+}
+
+void
+DiskAnnIndex::unspillCodes()
+{
+    if (!codeStore_)
+        return;
+    const std::size_t cs = pq_.codeSize();
+    const std::vector<std::uint8_t> slot_codes =
+        codeStore_->exportSlotOrder();
+    pqCodes_.resize(rows_ * cs);
+    for (std::size_t v = 0; v < rows_; ++v)
+        std::memcpy(pqCodes_.data() + v * cs,
+                    slot_codes.data() + nodePosition(v) * cs, cs);
+    codeStore_.reset();
 }
 
 std::size_t
@@ -598,8 +714,16 @@ DiskAnnIndex::searchInto(const float *query,
     if (cands.capacity() < cand_cap)
         cands.reserve(cand_cap);
 
+    // Code-tier access: resident codes index straight into pqCodes_;
+    // under a memory budget the spilled tier resolves through the
+    // code store instead. The store hands back exactly the bytes the
+    // resident array held, so every ADC distance below — and hence
+    // the search result — is bit-identical across the two tiers.
+    const PqCodeStore *code_store = codeStore_.get();
     const float medoid_adc = pq_.adcDistance(
-        adc, pqCodes_.data() + medoid_ * code_size);
+        adc, code_store
+                 ? code_store->fetchSlot(nodePosition(medoid_))
+                 : pqCodes_.data() + medoid_ * code_size);
     local_ops.quant_distances += 1;
     VectorId entry_id = medoid_;
     float entry_adc = medoid_adc;
@@ -630,11 +754,29 @@ DiskAnnIndex::searchInto(const float *query,
                 pool.push_back(static_cast<VectorId>(v));
         }
         float best_adc = medoid_adc;
-        for (const VectorId node : pool) {
-            const float d = pq_.adcDistance(
-                adc, pqCodes_.data() + node * code_size);
-            dists.push_back(d);
-            best_adc = std::min(best_adc, d);
+        if (code_store) {
+            // One batched fetch scores the whole pool; under a packed
+            // layout the warm set's codes sit on the store's warmed
+            // leading pages, so this costs zero I/O steady-state.
+            std::vector<std::uint64_t> &slots = scratch->code_slots;
+            slots.clear();
+            for (const VectorId node : pool)
+                slots.push_back(nodePosition(node));
+            scratch->code_ptrs.resize(slots.size());
+            code_store->fetchSlots(slots.data(), slots.size(),
+                                   scratch->code_ptrs.data());
+            for (const std::uint8_t *code : scratch->code_ptrs) {
+                const float d = pq_.adcDistance(adc, code);
+                dists.push_back(d);
+                best_adc = std::min(best_adc, d);
+            }
+        } else {
+            for (const VectorId node : pool) {
+                const float d = pq_.adcDistance(
+                    adc, pqCodes_.data() + node * code_size);
+                dists.push_back(d);
+                best_adc = std::min(best_adc, d);
+            }
         }
         local_ops.quant_distances += pool.size();
         std::vector<float> &sorted = scratch->entry_sorted;
@@ -1052,34 +1194,69 @@ DiskAnnIndex::searchInto(const float *query,
             // into cands matches the per-neighbour loop exactly and
             // the batched kernels keep the per-code reduction order,
             // so results stay bit-identical across both toggles.
+            // Spilled tier: the embedded copies behind the adjacency
+            // list carry every pending neighbour's code inside this
+            // already-fetched record — zero extra I/O. Indexes built
+            // without embedding batch the codes through the code
+            // store as one fetch instead. Either way the pointers
+            // feed the exact same scoring loops in the exact same
+            // order, so results match the resident tier bit for bit.
+            const bool inline_codes =
+                code_store != nullptr && embeddedCodeBytes_ > 0;
+            const std::uint8_t *embedded_base =
+                record + dim_ * sizeof(float) + sizeof(degree) +
+                maxDegree_ * sizeof(std::uint32_t);
+            std::vector<const std::uint8_t *> &pcodes =
+                scratch->pending_codes;
             pending.clear();
+            pcodes.clear();
             for (std::uint32_t i = 0; i < degree; ++i) {
-                if (prefetch && i + 1 < degree)
+                if (prefetch && !code_store && i + 1 < degree)
                     prefetchRead(pqCodes_.data() +
                                  neighbors[i + 1] * code_size);
                 const VectorId nb = neighbors[i];
                 if (!visited.tryVisit(nb))
                     continue;
                 pending.push_back(nb);
+                if (inline_codes)
+                    pcodes.push_back(embedded_base + i * code_size);
             }
+            const std::uint8_t *const *codes_of = nullptr;
+            if (code_store) {
+                if (!inline_codes) {
+                    std::vector<std::uint64_t> &slots =
+                        scratch->code_slots;
+                    slots.clear();
+                    for (const VectorId nb : pending)
+                        slots.push_back(nodePosition(nb));
+                    pcodes.resize(pending.size());
+                    if (!slots.empty())
+                        code_store->fetchSlots(slots.data(),
+                                               slots.size(),
+                                               pcodes.data());
+                }
+                codes_of = pcodes.data();
+            }
+            const auto code_at = [&](std::size_t pi) {
+                return codes_of ? codes_of[pi]
+                                : pqCodes_.data() +
+                                      pending[pi] * code_size;
+            };
             std::size_t p = 0;
             if (batch_adc && pending.size() >= batch_min) {
                 for (; p + 4 <= pending.size(); p += 4) {
                     const std::uint8_t *codes4[4];
                     float d4[4];
                     for (int j = 0; j < 4; ++j)
-                        codes4[j] = pqCodes_.data() +
-                                    pending[p + j] * code_size;
+                        codes4[j] = code_at(p + j);
                     pq_.adcDistanceBatch4(adc, codes4, d4);
                     for (int j = 0; j < 4; ++j)
                         cands.push_back({d4[j], pending[p + j], false});
                 }
             }
             for (; p < pending.size(); ++p)
-                cands.push_back(
-                    {pq_.adcDistance(adc, pqCodes_.data() +
-                                              pending[p] * code_size),
-                     pending[p], false});
+                cands.push_back({pq_.adcDistance(adc, code_at(p)),
+                                 pending[p], false});
             local_ops.quant_distances += pending.size();
             local_ops.heap_ops += pending.size();
         };
@@ -1271,13 +1448,18 @@ DiskAnnIndex::searchInto(const float *query,
 void
 DiskAnnIndex::save(BinaryWriter &writer) const
 {
-    // Id-order indexes keep writing the seed's version-3 byte stream
-    // (older readers still load them); the packed layout needs the
-    // permutation persisted and bumps to version 4.
+    // Id-order indexes without embedded codes keep writing the seed's
+    // version-3 byte stream (older readers still load them); the
+    // packed layout needs the permutation persisted and bumps to
+    // version 4, embedded PQ codes bump to version 5. An index loaded
+    // from a v3/v4 archive has no embedded codes, so it re-saves in
+    // its original version byte for byte.
     const bool packed = layout_ != LayoutPolicy::IdOrder;
+    const bool embedded = embeddedCodeBytes_ > 0;
     writer.writeString(kMagic);
-    writer.writePod<std::uint32_t>(packed ? kVersionPacked
-                                          : kVersionIdOrder);
+    writer.writePod<std::uint32_t>(embedded  ? kVersionEmbedded
+                                   : packed ? kVersionPacked
+                                            : kVersionIdOrder);
     writer.writePod<std::uint64_t>(rows_);
     writer.writePod<std::uint64_t>(dim_);
     writer.writePod<std::uint64_t>(maxDegree_);
@@ -1285,11 +1467,15 @@ DiskAnnIndex::save(BinaryWriter &writer) const
     writer.writePod<std::uint64_t>(nodesPerSector_);
     writer.writePod<std::uint64_t>(sectorsPerNode_);
     writer.writePod<VectorId>(medoid_);
-    if (packed) {
+    if (packed || embedded) {
+        // v5 writes the pair even under id order (nodePos_ is then
+        // empty) so the stream shape is a superset of v4's.
         writer.writePod<std::uint32_t>(
             static_cast<std::uint32_t>(layout_));
         writer.writeVector(nodePos_);
     }
+    if (embedded)
+        writer.writePod<std::uint64_t>(embeddedCodeBytes_);
     writer.writePod<std::uint64_t>(buildParams_.graph.max_degree);
     writer.writePod<std::uint64_t>(buildParams_.graph.build_list);
     writer.writePod<float>(buildParams_.graph.alpha);
@@ -1305,7 +1491,21 @@ DiskAnnIndex::save(BinaryWriter &writer) const
         writer.writeVector(tombstones);
     }
     pq_.save(writer);
-    writer.writeVector(pqCodes_);
+    if (codeStore_) {
+        // Spilled tier: read the codes back off the residency file
+        // and de-permute to id order, so the archive is byte-equal to
+        // one saved from the resident configuration.
+        const std::size_t cs = pq_.codeSize();
+        const std::vector<std::uint8_t> slot_codes =
+            codeStore_->exportSlotOrder();
+        std::vector<std::uint8_t> codes(rows_ * cs);
+        for (std::size_t v = 0; v < rows_; ++v)
+            std::memcpy(codes.data() + v * cs,
+                        slot_codes.data() + nodePosition(v) * cs, cs);
+        writer.writeVector(codes);
+    } else {
+        writer.writeVector(pqCodes_);
+    }
     // Node file, in writeVector() layout (u64 byte count + raw bytes)
     // so version-3 archives stay interchangeable, but streamed
     // chunk-wise: non-memory backends never materialize the image.
@@ -1333,7 +1533,9 @@ DiskAnnIndex::load(BinaryReader &reader)
 {
     ANN_CHECK(reader.readString() == kMagic, "not a diskann archive");
     const auto version = reader.readPod<std::uint32_t>();
-    ANN_CHECK(version == kVersionIdOrder || version == kVersionPacked,
+    ANN_CHECK(version == kVersionIdOrder ||
+                  version == kVersionPacked ||
+                  version == kVersionEmbedded,
               "diskann archive version mismatch");
     rows_ = reader.readPod<std::uint64_t>();
     dim_ = reader.readPod<std::uint64_t>();
@@ -1345,19 +1547,33 @@ DiskAnnIndex::load(BinaryReader &reader)
     layout_ = LayoutPolicy::IdOrder;
     nodePos_.clear();
     permSectors_ = 0;
-    if (version == kVersionPacked) {
+    embeddedCodeBytes_ = 0;
+    codeStore_.reset();
+    if (version >= kVersionPacked) {
         layout_ = static_cast<LayoutPolicy>(
             reader.readPod<std::uint32_t>());
-        ANN_CHECK(layout_ == LayoutPolicy::PackedBfs,
-                  "corrupt diskann archive (unknown layout)");
         nodePos_ = reader.readVector<std::uint32_t>();
-        ANN_CHECK(nodePos_.size() == rows_,
-                  "corrupt diskann archive (permutation size)");
-        permSectors_ = (rows_ * sizeof(std::uint32_t) +
-                        kSectorBytes - 1) /
-                       kSectorBytes;
+        if (layout_ == LayoutPolicy::PackedBfs) {
+            ANN_CHECK(nodePos_.size() == rows_,
+                      "corrupt diskann archive (permutation size)");
+            permSectors_ = (rows_ * sizeof(std::uint32_t) +
+                            kSectorBytes - 1) /
+                           kSectorBytes;
+        } else {
+            // Only v5 writes the pair for id order (empty perm).
+            ANN_CHECK(version == kVersionEmbedded &&
+                          layout_ == LayoutPolicy::IdOrder &&
+                          nodePos_.empty(),
+                      "corrupt diskann archive (unknown layout)");
+        }
+        if (version == kVersionEmbedded)
+            embeddedCodeBytes_ =
+                reader.readPod<std::uint64_t>();
     }
     buildParams_.layout = layout_;
+    // Keep consolidate() archive-stable: a rebuild embeds codes only
+    // if this archive had them.
+    buildParams_.embed_codes = embeddedCodeBytes_ > 0;
     buildParams_.graph.max_degree = reader.readPod<std::uint64_t>();
     buildParams_.graph.build_list = reader.readPod<std::uint64_t>();
     buildParams_.graph.alpha = reader.readPod<float>();
@@ -1396,6 +1612,7 @@ DiskAnnIndex::load(BinaryReader &reader)
     }
     io_ = sink->finish();
     attachCache();
+    applyCodeResidency();
 }
 
 } // namespace ann

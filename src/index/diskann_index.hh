@@ -36,6 +36,7 @@
 #include "common/types.hh"
 #include "index/params.hh"
 #include "index/search_trace.hh"
+#include "quant/code_store.hh"
 #include "quant/product_quantizer.hh"
 #include "storage/io_backend.hh"
 
@@ -114,8 +115,27 @@ class DiskAnnIndex
     /** Total sectors of the disk file (including the header region). */
     std::uint64_t numSectors() const;
 
-    /** In-memory footprint: PQ codes + codebooks. */
+    /**
+     * In-memory footprint: PQ codebooks plus the code tier — the full
+     * code array when resident, or the code store's cache when the
+     * tier is spilled under a memory budget.
+     */
     std::size_t memoryBytes() const;
+    /**
+     * False when the PQ code tier was spilled to the on-storage code
+     * file under $ANN_MEM_BUDGET_MB (see storage::IoOptions
+     * ::mem_budget_bytes). Results are bit-identical either way.
+     */
+    bool codesResident() const { return codeStore_ == nullptr; }
+    /**
+     * Bytes of PQ code embedded per neighbour slot of each record (0
+     * when embedding was disabled at build). Embedded copies let the
+     * spilled tier re-score every neighbour a beam fetch delivers at
+     * zero extra I/O.
+     */
+    std::size_t embeddedCodeBytes() const { return embeddedCodeBytes_; }
+    /** Code-page cache counters (all zero while codes are resident). */
+    storage::NodeCacheStats codeCacheStats() const;
     /** On-disk footprint: the full sector file. */
     std::size_t diskBytes() const
     {
@@ -215,6 +235,23 @@ class DiskAnnIndex
      */
     void readSectors(std::uint64_t first, std::uint32_t count,
                      std::uint8_t *dest, bool use_cache) const;
+    /** Bytes of the PQ codebooks (always DRAM-resident). */
+    std::size_t codebookBytes() const;
+    /** pqCodes_ permuted into record-position (slot) order. */
+    std::vector<std::uint8_t> codesInSlotOrder() const;
+    /**
+     * Apply the memory budget (effectiveIoOptions().mem_budget_bytes)
+     * to the code tier: spill pqCodes_ into a PqCodeStore when
+     * codebooks + codes exceed it, else keep them resident. Called
+     * whenever io_ changes (build / load / setIoMode). Tier priority
+     * under the budget: the full-precision vectors already live in the
+     * node file, so the PQ code array is the first DRAM tier to go;
+     * codebooks and graph metadata stay resident (every query needs
+     * them to build its ADC table).
+     */
+    void applyCodeResidency();
+    /** Restore pqCodes_ from the store (save / re-home paths). */
+    void unspillCodes();
 
     std::size_t rows_ = 0;
     std::size_t dim_ = 0;
@@ -232,6 +269,10 @@ class DiskAnnIndex
 
     ProductQuantizer pq_;
     std::vector<std::uint8_t> pqCodes_;
+    /** Per-neighbour code bytes embedded in records (0 = none). */
+    std::size_t embeddedCodeBytes_ = 0;
+    /** Non-null iff the code tier is spilled under a memory budget. */
+    std::unique_ptr<PqCodeStore> codeStore_;
     /** Serves the node file (memory image or spilled file). */
     std::unique_ptr<storage::IoBackend> io_;
     /** Hot-sector cache over io_ (null when disabled / memory). */

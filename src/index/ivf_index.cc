@@ -1,6 +1,7 @@
 #include "index/ivf_index.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/error.hh"
 #include "common/hotpath.hh"
@@ -14,6 +15,12 @@ namespace {
 
 constexpr const char *kMagic = "IVF1";
 constexpr std::uint32_t kVersion = 3;
+
+/**
+ * Per-thread staging for one probed list's spilled payload (4 KiB
+ * aligned for O_DIRECT); reused across probes and queries.
+ */
+thread_local storage::AlignedBuffer tls_payload;
 
 /**
  * Per-query scratch arena (see search_scratch.hh): centroid ranking,
@@ -92,6 +99,9 @@ VectorId
 IvfIndex::add(const float *vec)
 {
     ANN_CHECK(rows_ > 0, "add() requires a built index");
+    // Payload mutation: restore residency first. The budget, if any,
+    // re-applies at the owner's next applyMemoryBudget().
+    unspillPayload();
     const auto id = static_cast<VectorId>(rows_);
     const std::uint32_t list = nearestCentroid(centroids_, vec);
     listIds_[list].push_back(id);
@@ -144,8 +154,117 @@ IvfIndex::memoryBytes() const
 {
     std::size_t bytes = centroids_.centroids.size() * sizeof(float);
     for (const auto &ids : listIds_)
-        bytes += ids.size() * (sizeof(VectorId) + entryBytes());
+        bytes += ids.size() * sizeof(VectorId);
+    if (payloadIo_)
+        return bytes; // payload lives on the residency file
+    for (const auto &ids : listIds_)
+        bytes += ids.size() * entryBytes();
     return bytes;
+}
+
+void
+IvfIndex::applyMemoryBudget(const storage::IoOptions &options)
+{
+    unspillPayload();
+    if (options.mem_budget_bytes == 0 || rows_ == 0)
+        return;
+    if (memoryBytes() <= options.mem_budget_bytes)
+        return;
+
+    // Over budget: spill the posting payload — the dominant tier —
+    // into a residency file, one sector-aligned region per list so a
+    // probe is one contiguous read. Centroids and ids stay resident.
+    const std::size_t nl = listIds_.size();
+    listStartSector_.assign(nl, 0);
+    listPayloadBytes_.assign(nl, 0);
+    std::uint64_t sectors = 0;
+    for (std::size_t i = 0; i < nl; ++i) {
+        const std::uint64_t bytes =
+            usePq_ ? listCodes_[i].size()
+                   : listVectors_[i].size() * sizeof(float);
+        listStartSector_[i] = sectors;
+        listPayloadBytes_[i] = bytes;
+        sectors += (bytes + storage::kIoSectorBytes - 1) /
+                   storage::kIoSectorBytes;
+    }
+    if (sectors == 0)
+        return; // nothing to spill (all lists empty)
+
+    auto sink = storage::makeIoSink(
+        options, sectors * storage::kIoSectorBytes);
+    std::vector<std::uint8_t> chunk;
+    for (std::size_t i = 0; i < nl; ++i) {
+        const std::uint64_t bytes = listPayloadBytes_[i];
+        if (bytes == 0)
+            continue;
+        const std::uint64_t padded =
+            (bytes + storage::kIoSectorBytes - 1) /
+            storage::kIoSectorBytes * storage::kIoSectorBytes;
+        chunk.assign(padded, 0);
+        std::memcpy(chunk.data(),
+                    usePq_ ? static_cast<const void *>(
+                                 listCodes_[i].data())
+                           : static_cast<const void *>(
+                                 listVectors_[i].data()),
+                    static_cast<std::size_t>(bytes));
+        sink->append(chunk.data(), padded);
+    }
+    payloadIo_ = sink->finish();
+    for (auto &codes : listCodes_) {
+        codes.clear();
+        codes.shrink_to_fit();
+    }
+    for (auto &vectors : listVectors_) {
+        vectors.clear();
+        vectors.shrink_to_fit();
+    }
+}
+
+void
+IvfIndex::unspillPayload()
+{
+    if (!payloadIo_)
+        return;
+    storage::AlignedBuffer scratch;
+    for (std::size_t i = 0; i < listIds_.size(); ++i) {
+        const auto bytes =
+            static_cast<std::size_t>(listPayloadBytes_[i]);
+        if (usePq_)
+            listCodes_[i].resize(bytes);
+        else
+            listVectors_[i].resize(bytes / sizeof(float));
+        if (bytes == 0)
+            continue;
+        const std::uint8_t *src = fetchListPayload(i, scratch);
+        std::memcpy(usePq_ ? static_cast<void *>(
+                                 listCodes_[i].data())
+                           : static_cast<void *>(
+                                 listVectors_[i].data()),
+                    src, bytes);
+    }
+    payloadIo_.reset();
+    listStartSector_.clear();
+    listPayloadBytes_.clear();
+}
+
+const std::uint8_t *
+IvfIndex::fetchListPayload(std::size_t list,
+                           storage::AlignedBuffer &scratch) const
+{
+    const std::uint64_t bytes = listPayloadBytes_[list];
+    if (bytes == 0)
+        return nullptr;
+    if (const std::uint8_t *image = payloadIo_->data())
+        return image +
+               listStartSector_[list] * storage::kIoSectorBytes;
+    const auto sectors = static_cast<std::uint32_t>(
+        (bytes + storage::kIoSectorBytes - 1) /
+        storage::kIoSectorBytes);
+    std::uint8_t *buf = scratch.ensure(
+        std::size_t{sectors} * storage::kIoSectorBytes);
+    const storage::IoRequest req{listStartSector_[list], sectors, buf};
+    payloadIo_->readBatch(&req, 1);
+    return buf;
 }
 
 std::vector<std::uint32_t>
@@ -223,13 +342,22 @@ IvfIndex::searchInto(const float *query, const IvfSearchParams &params,
     for (const Neighbor &probe : probes) {
         const auto list = static_cast<std::size_t>(probe.id);
         const auto &ids = listIds_[list];
+        // Spilled payload: one batched sector read stages the probed
+        // list in the per-thread buffer. The bytes are exactly what
+        // the resident arrays held, so the scans below stay
+        // bit-identical across tiers.
+        const std::uint8_t *payload =
+            payloadIo_ && !ids.empty()
+                ? fetchListPayload(list, tls_payload)
+                : nullptr;
         if (usePq_) {
             // Collect the non-deleted entries (prefetching the next
             // code word one step ahead), then score four per batched
             // ADC pass. The push order matches the per-entry loop and
             // the batched kernels keep the per-code reduction order,
             // so results stay bit-identical across both toggles.
-            const std::uint8_t *codes = listCodes_[list].data();
+            const std::uint8_t *codes =
+                payload ? payload : listCodes_[list].data();
             pending_codes.clear();
             pending_ids.clear();
             for (std::size_t i = 0; i < ids.size(); ++i) {
@@ -254,7 +382,9 @@ IvfIndex::searchInto(const float *query, const IvfSearchParams &params,
                 top.push(pending_ids[p],
                          pq_.adcDistance(adc, pending_codes[p]));
         } else {
-            const float *vectors = listVectors_[list].data();
+            const float *vectors =
+                payload ? reinterpret_cast<const float *>(payload)
+                        : listVectors_[list].data();
             for (std::size_t i = 0; i < ids.size(); ++i) {
                 if (prefetch && i + 1 < ids.size())
                     prefetchRead(vectors + (i + 1) * dim_);
@@ -295,12 +425,33 @@ IvfIndex::save(BinaryWriter &writer) const
     if (usePq_)
         pq_.save(writer);
     writer.writePod<std::uint64_t>(listIds_.size());
+    storage::AlignedBuffer scratch;
     for (std::size_t i = 0; i < listIds_.size(); ++i) {
         writer.writeVector(listIds_[i]);
-        if (usePq_)
-            writer.writeVector(listCodes_[i]);
-        else
-            writer.writeVector(listVectors_[i]);
+        if (!payloadIo_) {
+            if (usePq_)
+                writer.writeVector(listCodes_[i]);
+            else
+                writer.writeVector(listVectors_[i]);
+            continue;
+        }
+        // Spilled: read the payload back so the archive is byte-equal
+        // to one saved from the resident configuration.
+        const auto bytes =
+            static_cast<std::size_t>(listPayloadBytes_[i]);
+        const std::uint8_t *src =
+            bytes > 0 ? fetchListPayload(i, scratch) : nullptr;
+        if (usePq_) {
+            std::vector<std::uint8_t> codes(bytes);
+            if (bytes > 0)
+                std::memcpy(codes.data(), src, bytes);
+            writer.writeVector(codes);
+        } else {
+            std::vector<float> vectors(bytes / sizeof(float));
+            if (bytes > 0)
+                std::memcpy(vectors.data(), src, bytes);
+            writer.writeVector(vectors);
+        }
     }
 }
 
@@ -330,6 +481,9 @@ IvfIndex::load(BinaryReader &reader)
     centroids_.centroids = reader.readVector<float>();
     if (usePq_)
         pq_.load(reader);
+    payloadIo_.reset();
+    listStartSector_.clear();
+    listPayloadBytes_.clear();
     const auto lists = reader.readPod<std::uint64_t>();
     listIds_.assign(lists, {});
     listVectors_.assign(usePq_ ? 0 : lists, {});

@@ -22,6 +22,7 @@
 #include "index/params.hh"
 #include "index/search_trace.hh"
 #include "quant/product_quantizer.hh"
+#include "storage/io_backend.hh"
 
 namespace ann {
 
@@ -64,6 +65,28 @@ class IvfIndex
     std::size_t memoryBytes() const;
 
     /**
+     * Tier the posting payload (raw vectors or PQ codes — the bulk of
+     * the footprint) against @p options.mem_budget_bytes: when the
+     * resident footprint exceeds the budget, each list's payload
+     * moves to a sector-aligned region of an `ann_io` residency file
+     * and probed lists read it back per query. Centroids and the id
+     * lists stay resident (every query ranks all centroids). A zero
+     * budget — or one the index already fits — restores full
+     * residency. Search results are bit-identical either way. Not
+     * safe concurrently with search().
+     */
+    void applyMemoryBudget(const storage::IoOptions &options);
+    /** False when the posting payload lives on the residency file. */
+    bool payloadResident() const { return payloadIo_ == nullptr; }
+    /** Bytes of the residency file (0 while fully resident). */
+    std::size_t diskBytes() const
+    {
+        return payloadIo_
+                   ? static_cast<std::size_t>(payloadIo_->sizeBytes())
+                   : 0;
+    }
+
+    /**
      * Ids of the @p nprobe posting lists nearest to @p query, in
      * ascending centroid distance (the lists search() would scan).
      */
@@ -91,6 +114,17 @@ class IvfIndex
     void load(BinaryReader &reader);
 
   private:
+    /** Restore the spilled payload into listVectors_/listCodes_. */
+    void unspillPayload();
+    /**
+     * Bytes of @p list 's payload, resident wherever they live: a
+     * pointer into the memory-backend image, or the per-thread
+     * @p scratch after one batched sector read. Null for empty lists.
+     */
+    const std::uint8_t *
+    fetchListPayload(std::size_t list,
+                     storage::AlignedBuffer &scratch) const;
+
     Metric metric_;
     std::size_t rows_ = 0;
     std::size_t dim_ = 0;
@@ -103,9 +137,16 @@ class IvfIndex
     std::vector<std::vector<VectorId>> listIds_;
     std::vector<bool> deleted_;
     std::size_t deletedCount_ = 0;
-    /** Per-list contiguous payload: raw floats or PQ codes. */
+    /** Per-list contiguous payload: raw floats or PQ codes. Emptied
+     *  while spilled (the residency file then holds the bytes). */
     std::vector<std::vector<float>> listVectors_;
     std::vector<std::vector<std::uint8_t>> listCodes_;
+
+    /** Non-null iff the payload is spilled (see applyMemoryBudget). */
+    std::unique_ptr<storage::IoBackend> payloadIo_;
+    /** Per-list first sector / byte count in the residency file. */
+    std::vector<std::uint64_t> listStartSector_;
+    std::vector<std::uint64_t> listPayloadBytes_;
 };
 
 } // namespace ann

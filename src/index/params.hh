@@ -76,6 +76,15 @@ struct DiskAnnBuildParams
      * choice is fixed at build time and persisted with the index.
      */
     LayoutPolicy layout = LayoutPolicy::Default;
+    /**
+     * Append each neighbour's PQ code to the node record (AiSAQ-style
+     * co-location): a beam fetch then carries every code its hop will
+     * ADC-score, so a code tier spilled under a memory budget costs
+     * zero extra I/O for in-beam rescoring. Grows each record by
+     * max_degree x code-size bytes — more disk, identical results —
+     * so it is opt-in. Embedded images persist as archive version 5.
+     */
+    bool embed_codes = false;
 };
 
 /**

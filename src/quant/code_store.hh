@@ -1,0 +1,101 @@
+/**
+ * @file
+ * All-in-storage PQ code tier (AiSAQ-style, see PAPERS.md).
+ *
+ * Under a memory budget ($ANN_MEM_BUDGET_MB) the indexes spill their
+ * PQ code arrays out of DRAM into a sector-aligned residency file
+ * served by the `ann_io` backends. This store owns that file: codes
+ * are packed whole into 4 KiB sectors in *slot* order (the caller's
+ * record-position order, so a packed-BFS layout keeps topologically
+ * close nodes' codes on the same code page), fronted by a small
+ * storage::SectorCache whose capacity is carved out of the budget.
+ *
+ * Fetches run the same discipline as the graph read path: cache
+ * lookup, then single-flight claim, then one batched backend
+ * submission for the missed runs — so concurrent queries re-reading a
+ * hot code page dedupe to one I/O and the gauge/metrics plumbing sees
+ * code reads like any other sector read. Bytes returned are exactly
+ * the bytes handed in at construction, so ADC distances — and hence
+ * search results — are bit-identical to the memory-resident tier.
+ */
+
+#ifndef ANN_QUANT_CODE_STORE_HH
+#define ANN_QUANT_CODE_STORE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "storage/io_backend.hh"
+#include "storage/node_cache.hh"
+
+namespace ann {
+
+/** On-storage PQ code array with a budget-sized sector cache. */
+class PqCodeStore
+{
+  public:
+    /**
+     * Spill @p count codes of @p code_size bytes (given in slot
+     * order) to a residency file under @p options. @p cache_bytes of
+     * DRAM front the file: the first half warms the leading code
+     * sectors (slot order = BFS order under packed layouts, the
+     * region early hops score), the rest is the CLOCK dynamic part.
+     * The memory backend keeps the image resident (data() short
+     * circuit) — spilling is then a no-op by construction.
+     */
+    PqCodeStore(const std::uint8_t *slot_codes, std::size_t count,
+                std::size_t code_size,
+                const storage::IoOptions &options,
+                std::size_t cache_bytes);
+
+    std::size_t count() const { return count_; }
+    std::size_t codeSize() const { return codeSize_; }
+    /** Codes packed per 4 KiB sector (codes never straddle). */
+    std::size_t codesPerSector() const { return codesPerSector_; }
+
+    /**
+     * DRAM this store keeps: the cache (warm + dynamic capacity), or
+     * the whole image when the backend is memory-resident.
+     */
+    std::size_t memoryBytes() const;
+    /** Bytes of the on-storage code file. */
+    std::size_t diskBytes() const;
+
+    /**
+     * Resolve the codes of @p slots[0..n) to pointers valid until the
+     * calling thread's next fetchSlots() (they alias thread-local
+     * staging, or the resident image). Safe to call concurrently from
+     * any number of threads; duplicate slots are fine.
+     */
+    void fetchSlots(const std::uint64_t *slots, std::size_t n,
+                    const std::uint8_t **out) const;
+
+    /** One-slot convenience wrapper around fetchSlots(). */
+    const std::uint8_t *fetchSlot(std::uint64_t slot) const;
+
+    /** Read every code back, in slot order (save/unspill path). */
+    std::vector<std::uint8_t> exportSlotOrder() const;
+
+    storage::NodeCacheStats cacheStats() const;
+    /** Cold-run protocol: drop the dynamic code-page frames. */
+    void dropCache();
+
+  private:
+    std::uint64_t sectorOfSlot(std::uint64_t slot) const
+    {
+        return slot / codesPerSector_;
+    }
+
+    std::size_t count_ = 0;
+    std::size_t codeSize_ = 0;
+    std::size_t codesPerSector_ = 0;
+    std::size_t fileSectors_ = 0;
+    std::size_t cacheBytes_ = 0;
+    std::unique_ptr<storage::IoBackend> io_;
+    std::unique_ptr<storage::SectorCache> cache_;
+};
+
+} // namespace ann
+
+#endif // ANN_QUANT_CODE_STORE_HH

@@ -287,6 +287,10 @@ encodeMetricsResponse(const MetricsSnapshot &snapshot,
     put64(out, snapshot.cache_hits);
     put64(out, snapshot.cache_bytes_saved);
     put64(out, snapshot.cache_deduped);
+    put64(out, snapshot.resident_index_bytes);
+    put64(out, snapshot.peak_rss_bytes);
+    put64(out, snapshot.code_cache_lookups);
+    put64(out, snapshot.code_cache_hits);
     put64(out, snapshot.learned_entry);
     put64(out, snapshot.learned_early_stop);
     put32(out,
@@ -321,6 +325,10 @@ decodeMetricsResponse(const std::uint8_t *payload, std::size_t len,
         !cur.take64(&out->cache_hits) ||
         !cur.take64(&out->cache_bytes_saved) ||
         !cur.take64(&out->cache_deduped) ||
+        !cur.take64(&out->resident_index_bytes) ||
+        !cur.take64(&out->peak_rss_bytes) ||
+        !cur.take64(&out->code_cache_lookups) ||
+        !cur.take64(&out->code_cache_hits) ||
         !cur.take64(&out->learned_entry) ||
         !cur.take64(&out->learned_early_stop))
         return DecodeResult::Malformed;

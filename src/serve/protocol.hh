@@ -149,6 +149,15 @@ struct MetricsSnapshot
     /** Backend reads avoided by single-flight coalescing: misses that
      *  attached to another query's in-flight read of the sector. */
     std::uint64_t cache_deduped = 0;
+    /** DRAM the loaded indexes hold (engine memoryBytes()): drops
+     *  when a memory budget spills tiers to storage. */
+    std::uint64_t resident_index_bytes = 0;
+    /** Process peak RSS (VmHWM) at snapshot time. */
+    std::uint64_t peak_rss_bytes = 0;
+    /** Code-page cache counters of spilled PQ code tiers (zero while
+     *  codes are DRAM-resident; see $ANN_MEM_BUDGET_MB). */
+    std::uint64_t code_cache_lookups = 0;
+    std::uint64_t code_cache_hits = 0;
     /**
      * Learned I/O-avoidance policy echo: whether $ANN_LEARNED_ENTRY /
      * $ANN_EARLY_STOP are engaged on this server and which model file

@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "common/error.hh"
+#include "common/rss.hh"
 #include "learn/policy.hh"
 
 namespace ann::serve {
@@ -643,7 +644,13 @@ AnnServer::metrics() const
         snapshot.cache_hits = cache.hits;
         snapshot.cache_bytes_saved = cache.bytesSaved();
         snapshot.cache_deduped = cache.ios_deduped;
+        const storage::NodeCacheStats codes =
+            gate_.engine().codeCacheStats();
+        snapshot.code_cache_lookups = codes.lookups;
+        snapshot.code_cache_hits = codes.hits;
     }
+    snapshot.resident_index_bytes = gate_.engine().memoryBytes();
+    snapshot.peak_rss_bytes = peakRssBytes();
     snapshot.eff_queue_depth =
         storage::ioGaugeSnapshot().meanDepthSince(ioGaugeStart_);
     {

@@ -68,6 +68,10 @@ IoOptions::fromEnv()
     options.node_cache = NodeCacheConfig::fromEnv();
     options.sim_latency_us = static_cast<unsigned>(
         std::max<std::int64_t>(0, envInt("ANN_IO_SIM_LATENCY_US", 0)));
+    options.mem_budget_bytes =
+        static_cast<std::size_t>(
+            std::max<std::int64_t>(0, envInt("ANN_MEM_BUDGET_MB", 0))) *
+        1024 * 1024;
     return options;
 }
 

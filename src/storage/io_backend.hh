@@ -97,10 +97,21 @@ struct IoOptions
      * read.
      */
     unsigned sim_latency_us = 0;
+    /**
+     * DRAM budget for index state in bytes ($ANN_MEM_BUDGET_MB /
+     * --mem-budget-mb, 0 = unlimited). When an index's resident tiers
+     * (PQ codebooks + PQ codes + posting payloads) exceed the budget,
+     * the lowest-priority tiers spill to a sector-aligned residency
+     * file served through this layer (full vectors first, then PQ
+     * codes; centroids/graph metadata stay resident). Spilling never
+     * changes search results — only which reads reach a backend.
+     */
+    std::size_t mem_budget_bytes = 0;
 
     /**
      * $ANN_IO_BACKEND / $ANN_IO_QUEUE_DEPTH / $ANN_IO_DIRECT /
-     * $ANN_NODE_CACHE_MB / $ANN_WARM_NODES / $ANN_IO_SIM_LATENCY_US.
+     * $ANN_NODE_CACHE_MB / $ANN_WARM_NODES / $ANN_IO_SIM_LATENCY_US /
+     * $ANN_MEM_BUDGET_MB.
      */
     static IoOptions fromEnv();
 };

@@ -30,6 +30,14 @@ using testutil::TestData;
 using testutil::groundTruth;
 using testutil::makeClusteredData;
 
+/** Shared spill directory, outside the checkout, removed at exit. */
+const std::string &
+testSpillDir()
+{
+    static const testutil::TempDir dir("async_io_test_spill");
+    return dir.path();
+}
+
 /** Restores every async/IO toggle a test flips. */
 struct ToggleGuard
 {
@@ -59,7 +67,7 @@ buildBackend(storage::IoBackendKind kind,
     storage::IoOptions options;
     options.kind = kind;
     options.queue_depth = 8;
-    options.spill_dir = "./async_io_test_spill";
+    options.spill_dir = testSpillDir();
     auto sink = makeIoSink(options, image.size());
     sink->append(image.data(), image.size());
     return sink->finish();
@@ -379,7 +387,7 @@ TEST_F(AsyncBeamFixture, ShuffledCompletionsAreBitIdentical)
 
     storage::IoOptions file_mode;
     file_mode.kind = storage::IoBackendKind::File;
-    file_mode.spill_dir = "./async_io_test_spill";
+    file_mode.spill_dir = testSpillDir();
     file_mode.node_cache.capacity_bytes =
         64 * storage::kIoSectorBytes;
     index_->setIoMode(file_mode);
@@ -438,7 +446,7 @@ TEST_F(AsyncBeamFixture, AsyncWithoutCacheMatchesReference)
     {
         storage::IoOptions file_mode;
         file_mode.kind = storage::IoBackendKind::File;
-        file_mode.spill_dir = "./async_io_test_spill";
+        file_mode.spill_dir = testSpillDir();
         modes.push_back(file_mode);
         if (storage::uringSupported()) {
             storage::IoOptions uring_mode = file_mode;
@@ -492,7 +500,7 @@ TEST_F(AsyncBeamFixture, ConcurrentAsyncSearchesShareFlights)
 
     storage::IoOptions file_mode;
     file_mode.kind = storage::IoBackendKind::File;
-    file_mode.spill_dir = "./async_io_test_spill";
+    file_mode.spill_dir = testSpillDir();
     file_mode.node_cache.capacity_bytes =
         128 * storage::kIoSectorBytes;
     index_->setIoMode(file_mode);
@@ -555,7 +563,7 @@ TEST_F(AsyncBeamFixture, PooledRingConcurrentSearches)
     storage::setIoPooledEnabled(true);
     storage::IoOptions uring_mode;
     uring_mode.kind = storage::IoBackendKind::Uring;
-    uring_mode.spill_dir = "./async_io_test_spill";
+    uring_mode.spill_dir = testSpillDir();
     uring_mode.node_cache.capacity_bytes =
         128 * storage::kIoSectorBytes;
     // The pooled ring is created by the first openQueue() after the
@@ -610,7 +618,7 @@ TEST(SpannAsyncTest, AsyncStoragePhaseIsBitIdentical)
 
     storage::IoOptions file_mode;
     file_mode.kind = storage::IoBackendKind::File;
-    file_mode.spill_dir = "./async_io_test_spill";
+    file_mode.spill_dir = testSpillDir();
     file_mode.node_cache.capacity_bytes =
         32 * storage::kIoSectorBytes;
     index.setIoMode(file_mode);

@@ -16,6 +16,7 @@
 #include "core/replay.hh"
 #include "core/tuner.hh"
 #include "storage/trace_analysis.hh"
+#include "test_util.hh"
 #include "workload/generator.hh"
 
 namespace ann {
@@ -261,8 +262,8 @@ class RunnerFixture : public ::testing::Test
     static void
     SetUpTestSuite()
     {
-        ::setenv("ANN_CACHE_DIR", "./core_test_cache", 1);
-        std::filesystem::create_directories("./core_test_cache");
+        cacheDir_ = new testutil::TempDir("core_test_cache");
+        ::setenv("ANN_CACHE_DIR", cacheDir_->path().c_str(), 1);
         workload::GeneratorSpec spec;
         spec.name = "core-test";
         spec.rows = 3000;
@@ -274,7 +275,7 @@ class RunnerFixture : public ::testing::Test
         data_ = new workload::Dataset(generateDataset(spec));
         engine_ = new engine::MilvusLikeEngine(
             engine::MilvusIndexKind::DiskAnn);
-        engine_->prepare(*data_, "./core_test_cache");
+        engine_->prepare(*data_, cacheDir_->path());
     }
     static void
     TearDownTestSuite()
@@ -283,16 +284,19 @@ class RunnerFixture : public ::testing::Test
         delete data_;
         engine_ = nullptr;
         data_ = nullptr;
-        std::filesystem::remove_all("./core_test_cache");
+        delete cacheDir_;
+        cacheDir_ = nullptr;
         ::unsetenv("ANN_CACHE_DIR");
     }
 
     static workload::Dataset *data_;
     static engine::MilvusLikeEngine *engine_;
+    static testutil::TempDir *cacheDir_;
 };
 
 workload::Dataset *RunnerFixture::data_ = nullptr;
 engine::MilvusLikeEngine *RunnerFixture::engine_ = nullptr;
+testutil::TempDir *RunnerFixture::cacheDir_ = nullptr;
 
 TEST_F(RunnerFixture, TracesAreMemoized)
 {

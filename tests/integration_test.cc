@@ -22,6 +22,7 @@
 #include "engine/weaviate_like.hh"
 #include "storage/trace_analysis.hh"
 #include "workload/generator.hh"
+#include "test_util.hh"
 
 namespace ann {
 namespace {
@@ -36,7 +37,6 @@ class PipelineFixture : public ::testing::Test
     static void
     SetUpTestSuite()
     {
-        std::filesystem::create_directories("./integration_cache");
         workload::GeneratorSpec spec;
         spec.name = "integration";
         spec.rows = 9000; // 2 Milvus segments
@@ -60,7 +60,14 @@ class PipelineFixture : public ::testing::Test
         delete data_;
         runner_ = nullptr;
         data_ = nullptr;
-        std::filesystem::remove_all("./integration_cache");
+    }
+
+    /** $ANN_CACHE_DIR when set, else a per-run temp directory. */
+    static std::string
+    cacheDir()
+    {
+        static const testutil::TempDir fallback("integration_test_cache");
+        return envString("ANN_CACHE_DIR", fallback.path());
     }
 
     static workload::Dataset *data_;
@@ -75,7 +82,7 @@ TEST_F(PipelineFixture, TunedSetupsMeetRecallTarget)
     for (const auto kind : {MilvusIndexKind::Ivf, MilvusIndexKind::Hnsw,
                             MilvusIndexKind::DiskAnn}) {
         MilvusLikeEngine engine(kind);
-        engine.prepare(*data_, "./integration_cache");
+        engine.prepare(*data_, cacheDir());
         const auto tuned = core::tuneEngine(engine, *data_, 0.9);
         EXPECT_GE(tuned.recall, 0.9) << engine.name();
     }
@@ -85,8 +92,9 @@ TEST_F(PipelineFixture, TunedSetupsMeetRecallTarget)
  * KF-level shape tests run on the real benchmarked workload
  * (cohere-1m from the registry), because the paper-scale CPU
  * compensation and rows-per-list scaling only apply to registry
- * datasets. Shares ./ann_cache with the bench binaries, so the first
- * run builds the indexes (~1-2 min) and later runs are instant.
+ * datasets. Set $ANN_CACHE_DIR to share index builds with the bench
+ * binaries (later runs are instant); otherwise each test run builds
+ * into a throwaway temp directory (~1-2 min).
  */
 class PaperShapeFixture : public ::testing::Test
 {
@@ -110,6 +118,14 @@ class PaperShapeFixture : public ::testing::Test
         data_ = nullptr;
     }
 
+    /** $ANN_CACHE_DIR when set, else a per-run temp directory. */
+    static std::string
+    cacheDir()
+    {
+        static const testutil::TempDir fallback("integration_test_cache");
+        return envString("ANN_CACHE_DIR", fallback.path());
+    }
+
     static workload::Dataset *data_;
     static core::BenchRunner *runner_;
 };
@@ -124,7 +140,7 @@ TEST_F(PaperShapeFixture, Kf1StorageBasedIsNotNecessarilySlower)
     MilvusLikeEngine ivf(MilvusIndexKind::Ivf);
     MilvusLikeEngine hnsw(MilvusIndexKind::Hnsw);
     MilvusLikeEngine dann(MilvusIndexKind::DiskAnn);
-    const std::string cache = envString("ANN_CACHE_DIR", "./ann_cache");
+    const std::string cache = cacheDir();
     ivf.prepare(*data_, cache);
     hnsw.prepare(*data_, cache);
     dann.prepare(*data_, cache);
@@ -147,7 +163,7 @@ TEST_F(PaperShapeFixture, Kf1StorageBasedIsNotNecessarilySlower)
 TEST_F(PaperShapeFixture, Kf2SsdStaysUnsaturated)
 {
     MilvusLikeEngine dann(MilvusIndexKind::DiskAnn);
-    dann.prepare(*data_, envString("ANN_CACHE_DIR", "./ann_cache"));
+    dann.prepare(*data_, cacheDir());
     SearchSettings settings;
     settings.search_list = 10;
     const auto m = runner_->measure(dann, *data_, settings, 256, true);
@@ -166,7 +182,7 @@ TEST_F(PaperShapeFixture, Kf2SsdStaysUnsaturated)
 TEST_F(PipelineFixture, Kf3SearchListTradeoff)
 {
     MilvusLikeEngine dann(MilvusIndexKind::DiskAnn);
-    dann.prepare(*data_, "./integration_cache");
+    dann.prepare(*data_, cacheDir());
 
     SearchSettings lo, hi;
     lo.search_list = 10;
@@ -192,8 +208,8 @@ TEST_F(PipelineFixture, SegmentedEngineBeatenBySingleGraphOnBigData)
     // engines pay once -- the gap shows in per-query CPU.
     MilvusLikeEngine milvus(MilvusIndexKind::Hnsw);
     engine::QdrantLikeEngine qdrant;
-    milvus.prepare(*data_, "./integration_cache");
-    qdrant.prepare(*data_, "./integration_cache");
+    milvus.prepare(*data_, cacheDir());
+    qdrant.prepare(*data_, cacheDir());
     SearchSettings settings;
     settings.ef_search = 40;
     const auto m = milvus.search(data_->query(0), settings);
@@ -208,7 +224,7 @@ TEST_F(PipelineFixture, SegmentedEngineBeatenBySingleGraphOnBigData)
 TEST_F(PipelineFixture, ReplayQpsScalesThenSaturates)
 {
     MilvusLikeEngine hnsw(MilvusIndexKind::Hnsw);
-    hnsw.prepare(*data_, "./integration_cache");
+    hnsw.prepare(*data_, cacheDir());
     SearchSettings settings;
     settings.ef_search = 30;
     const double q1 =

@@ -18,9 +18,18 @@
 
 #include "common/rng.hh"
 #include "storage/io_backend.hh"
+#include "test_util.hh"
 
 namespace ann::storage {
 namespace {
+
+/** Shared spill directory, outside the checkout, removed at exit. */
+const std::string &
+testSpillDir()
+{
+    static const testutil::TempDir dir("io_backend_test_spill");
+    return dir.path();
+}
 
 /** Deterministic pseudo-random image of @p sectors sectors. */
 std::vector<std::uint8_t>
@@ -41,7 +50,7 @@ buildBackend(IoBackendKind kind, const std::vector<std::uint8_t> &image,
     IoOptions options;
     options.kind = kind;
     options.queue_depth = queue_depth;
-    options.spill_dir = "./io_backend_test_spill";
+    options.spill_dir = testSpillDir();
     auto sink = makeIoSink(options, image.size());
     // Append in uneven chunks to exercise the sink's buffering.
     std::size_t offset = 0;
@@ -246,7 +255,7 @@ TEST(IoBackendTest, SinkPadsPartialTrailingSector)
     std::vector<std::uint8_t> payload(kIoSectorBytes * 5 / 2, 0xAB);
     IoOptions options;
     options.kind = IoBackendKind::File;
-    options.spill_dir = "./io_backend_test_spill";
+    options.spill_dir = testSpillDir();
     auto sink = makeIoSink(options, payload.size());
     sink->append(payload.data(), payload.size());
     auto backend = sink->finish();

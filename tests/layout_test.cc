@@ -29,6 +29,14 @@ namespace {
 using testutil::makeClusteredData;
 using testutil::TestData;
 
+/** Shared spill directory, outside the checkout, removed at exit. */
+const std::string &
+testSpillDir()
+{
+    static const testutil::TempDir dir("layout_test_spill");
+    return dir.path();
+}
+
 bool
 isPermutation(const std::vector<std::uint32_t> &position)
 {
@@ -288,7 +296,7 @@ TEST_F(LayoutFixture, PackedSaveLoadRoundTripAcrossBackends)
 
     storage::IoOptions file_mode;
     file_mode.kind = storage::IoBackendKind::File;
-    file_mode.spill_dir = "./layout_test_spill";
+    file_mode.spill_dir = testSpillDir();
     loaded.setIoMode(file_mode);
     expectIdenticalResults(*packed_, loaded, params,
                            "loaded packed (file)");
@@ -339,7 +347,7 @@ TEST_F(LayoutFixture, PackedReadsFewerSectorsWithCache)
     // sectors than id order on the same warmed query stream.
     storage::IoOptions mode;
     mode.kind = storage::IoBackendKind::File;
-    mode.spill_dir = "./layout_test_spill";
+    mode.spill_dir = testSpillDir();
     mode.node_cache.capacity_bytes =
         static_cast<std::size_t>(id_->numSectors()) * kSectorBytes / 2;
 

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Tests for the DRAM-budget tiered index state: PQ-code spilling
+ * under $ANN_MEM_BUDGET_MB must be bit-identical to the resident
+ * configuration on every backend and layout, the embedded-code
+ * archive (version 5) must round-trip while version-4 images stay
+ * byte-stable, the budget boundary must tier exactly at the resident
+ * footprint, and IVF posting payloads must spill the same way.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "common/serialize.hh"
+#include "index/diskann_index.hh"
+#include "index/ivf_index.hh"
+#include "storage/io_backend.hh"
+#include "test_util.hh"
+
+namespace ann {
+namespace {
+
+using testutil::makeClusteredData;
+using testutil::TestData;
+
+/** Spill directory shared by every test of the binary. */
+const testutil::TempDir &
+spillDir()
+{
+    static const testutil::TempDir dir("mem_budget_test_spill");
+    return dir;
+}
+
+storage::IoOptions
+ioFor(storage::IoBackendKind kind, std::size_t budget_bytes = 0)
+{
+    storage::IoOptions io;
+    io.kind = kind;
+    io.queue_depth = 8;
+    io.spill_dir = spillDir().path();
+    io.mem_budget_bytes = budget_bytes;
+    return io;
+}
+
+std::vector<SearchResult>
+searchAll(const DiskAnnIndex &index, const TestData &data,
+          std::size_t search_list = 32)
+{
+    DiskAnnSearchParams params;
+    params.search_list = search_list;
+    params.beam_width = 4;
+    params.k = 10;
+    std::vector<SearchResult> results;
+    results.reserve(data.num_queries);
+    for (std::size_t q = 0; q < data.num_queries; ++q)
+        results.push_back(
+            index.search(data.queryView().row(q), params));
+    return results;
+}
+
+void
+expectSameResults(const std::vector<SearchResult> &a,
+                  const std::vector<SearchResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t q = 0; q < a.size(); ++q) {
+        ASSERT_EQ(a[q].size(), b[q].size()) << "query " << q;
+        for (std::size_t i = 0; i < a[q].size(); ++i) {
+            EXPECT_EQ(a[q][i].id, b[q][i].id)
+                << "query " << q << " rank " << i;
+            EXPECT_EQ(a[q][i].distance, b[q][i].distance)
+                << "query " << q << " rank " << i;
+        }
+    }
+}
+
+DiskAnnIndex
+buildIndex(const TestData &data, LayoutPolicy layout, bool embed)
+{
+    DiskAnnIndex index;
+    DiskAnnBuildParams params;
+    params.graph.max_degree = 24;
+    params.graph.build_list = 48;
+    params.pq.m = 8;
+    params.pq.ksub = 16;
+    params.layout = layout;
+    params.embed_codes = embed;
+    index.build(data.baseView(), params);
+    return index;
+}
+
+std::vector<char>
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+// ------------------------------------------------- tiered bit-identity
+
+/**
+ * The tiering contract: for every backend x layout x embedding
+ * combination, a budget that spills the code tier must reproduce the
+ * resident top-k bit for bit, and restoring an unlimited budget must
+ * restore residency (and the same results again).
+ */
+TEST(MemBudgetTest, TieredMatchesResidentAcrossBackendsAndLayouts)
+{
+    const TestData data = makeClusteredData(1200, 20, 24, 4242);
+    for (const LayoutPolicy layout :
+         {LayoutPolicy::IdOrder, LayoutPolicy::PackedBfs}) {
+        for (const bool embed : {false, true}) {
+            DiskAnnIndex index = buildIndex(data, layout, embed);
+            EXPECT_EQ(index.embeddedCodeBytes() > 0, embed);
+            for (const auto kind : {storage::IoBackendKind::Memory,
+                                    storage::IoBackendKind::File}) {
+                index.setIoMode(ioFor(kind));
+                ASSERT_TRUE(index.codesResident());
+                const auto baseline = searchAll(index, data);
+                const std::size_t resident_bytes =
+                    index.memoryBytes();
+
+                // Tiny budget: codebooks survive, codes spill.
+                index.setIoMode(ioFor(kind, 1));
+                ASSERT_FALSE(index.codesResident());
+                expectSameResults(baseline, searchAll(index, data));
+                // Footprint reduction is asserted at scale in the
+                // boundary test; at this size the floored code-page
+                // cache can exceed the tiny code array.
+                if (kind == storage::IoBackendKind::File)
+                    EXPECT_GT(index.codeCacheStats().lookups, 0u);
+
+                // Unlimited budget restores residency, bit-identical.
+                index.setIoMode(ioFor(kind));
+                ASSERT_TRUE(index.codesResident());
+                EXPECT_EQ(index.memoryBytes(), resident_bytes);
+                expectSameResults(baseline, searchAll(index, data));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------- budget boundary
+
+/**
+ * The spill decision must flip exactly at the resident footprint: a
+ * budget equal to codebooks + codes keeps everything in DRAM, one
+ * byte less spills the code tier (floored code-page cache included).
+ */
+TEST(MemBudgetTest, BudgetBoundaryTiersExactlyAtResidentFootprint)
+{
+    // Enough rows that the code array dwarfs the floored code-page
+    // cache, so spilling must shrink the footprint.
+    const TestData data = makeClusteredData(5000, 10, 24, 77);
+    DiskAnnIndex index =
+        buildIndex(data, LayoutPolicy::PackedBfs, /*embed=*/true);
+    index.setIoMode(ioFor(storage::IoBackendKind::File));
+    const std::size_t full = index.memoryBytes();
+    const auto baseline = searchAll(index, data);
+
+    // Exactly at the footprint: stays resident.
+    index.setIoMode(ioFor(storage::IoBackendKind::File, full));
+    EXPECT_TRUE(index.codesResident());
+    EXPECT_EQ(index.memoryBytes(), full);
+
+    // One byte below: the code tier spills, the footprint drops to
+    // codebooks + the (floored) code-page cache, results unchanged.
+    index.setIoMode(ioFor(storage::IoBackendKind::File, full - 1));
+    ASSERT_FALSE(index.codesResident());
+    EXPECT_LT(index.memoryBytes(), full);
+    expectSameResults(baseline, searchAll(index, data));
+}
+
+// --------------------------------------------------- archive versions
+
+/**
+ * Indexes built without embedded codes persist as the version-4
+ * archive exactly as before this feature: load -> re-save must be
+ * byte-stable, so old archives never silently migrate.
+ */
+TEST(MemBudgetTest, ArchiveV4RoundTripStaysByteStable)
+{
+    const TestData data = makeClusteredData(800, 10, 16, 5150);
+    DiskAnnIndex index =
+        buildIndex(data, LayoutPolicy::PackedBfs, /*embed=*/false);
+    const std::string first = spillDir().sub("v4_first.bin");
+    const std::string second = spillDir().sub("v4_second.bin");
+    {
+        BinaryWriter writer(first, "DAT", 1);
+        index.save(writer);
+        writer.close();
+    }
+    DiskAnnIndex loaded;
+    {
+        BinaryReader reader(first, "DAT", 1);
+        loaded.load(reader);
+    }
+    EXPECT_EQ(loaded.embeddedCodeBytes(), 0u);
+    {
+        BinaryWriter writer(second, "DAT", 1);
+        loaded.save(writer);
+        writer.close();
+    }
+    EXPECT_EQ(fileBytes(first), fileBytes(second));
+    expectSameResults(searchAll(index, data),
+                      searchAll(loaded, data));
+}
+
+/**
+ * Indexes built with embedded codes persist as version 5: the
+ * embedded copies and the record geometry round-trip (byte-stable
+ * re-save), and a loaded index spills + searches identically.
+ */
+TEST(MemBudgetTest, ArchiveV5RoundTripPreservesEmbeddedCodes)
+{
+    const TestData data = makeClusteredData(800, 10, 16, 6001);
+    DiskAnnIndex index =
+        buildIndex(data, LayoutPolicy::PackedBfs, /*embed=*/true);
+    ASSERT_GT(index.embeddedCodeBytes(), 0u);
+    const std::string first = spillDir().sub("v5_first.bin");
+    const std::string second = spillDir().sub("v5_second.bin");
+    {
+        BinaryWriter writer(first, "DAT", 1);
+        index.save(writer);
+        writer.close();
+    }
+    DiskAnnIndex loaded;
+    {
+        BinaryReader reader(first, "DAT", 1);
+        loaded.load(reader);
+    }
+    EXPECT_EQ(loaded.embeddedCodeBytes(), index.embeddedCodeBytes());
+    EXPECT_EQ(loaded.nodeBytes(), index.nodeBytes());
+    {
+        BinaryWriter writer(second, "DAT", 1);
+        loaded.save(writer);
+        writer.close();
+    }
+    EXPECT_EQ(fileBytes(first), fileBytes(second));
+
+    const auto baseline = searchAll(index, data);
+    expectSameResults(baseline, searchAll(loaded, data));
+
+    // A loaded v5 index under budget serves embedded codes in-beam:
+    // spilled results stay bit-identical.
+    loaded.setIoMode(ioFor(storage::IoBackendKind::File, 1));
+    ASSERT_FALSE(loaded.codesResident());
+    expectSameResults(baseline, searchAll(loaded, data));
+}
+
+// -------------------------------------------------------- IVF payload
+
+/**
+ * The IVF tier: posting payloads (PQ codes here) spill to the
+ * residency file under budget, probed lists read them back, results
+ * stay bit-identical, and a zero budget restores residency.
+ */
+TEST(MemBudgetTest, IvfPayloadSpillIsBitIdentical)
+{
+    const TestData data = makeClusteredData(2000, 20, 24, 909);
+    IvfIndex index;
+    IvfBuildParams params;
+    params.nlist = 32;
+    params.use_pq = true;
+    params.pq.m = 8;
+    params.pq.ksub = 16;
+    index.build(data.baseView(), params);
+
+    IvfSearchParams search;
+    search.nprobe = 6;
+    search.k = 10;
+    auto run = [&] {
+        std::vector<SearchResult> results;
+        for (std::size_t q = 0; q < data.num_queries; ++q)
+            results.push_back(
+                index.search(data.queryView().row(q), search));
+        return results;
+    };
+
+    ASSERT_TRUE(index.payloadResident());
+    const std::size_t full = index.memoryBytes();
+    const auto baseline = run();
+
+    index.applyMemoryBudget(ioFor(storage::IoBackendKind::File, 1));
+    ASSERT_FALSE(index.payloadResident());
+    EXPECT_GT(index.diskBytes(), 0u);
+    EXPECT_LT(index.memoryBytes(), full);
+    expectSameResults(baseline, run());
+
+    // Zero budget = unlimited: the payload moves back to DRAM.
+    index.applyMemoryBudget(ioFor(storage::IoBackendKind::File, 0));
+    ASSERT_TRUE(index.payloadResident());
+    EXPECT_EQ(index.memoryBytes(), full);
+    expectSameResults(baseline, run());
+}
+
+} // namespace
+} // namespace ann

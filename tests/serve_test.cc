@@ -29,6 +29,7 @@
 #include "serve/protocol.hh"
 #include "serve/server.hh"
 #include "storage/io_backend.hh"
+#include "test_util.hh"
 #include "workload/generator.hh"
 
 namespace ann {
@@ -239,8 +240,7 @@ class ServeFixture : public ::testing::Test
     static void
     SetUpTestSuite()
     {
-        cacheDir_ = new std::string("./serve_test_cache");
-        std::filesystem::create_directories(*cacheDir_);
+        cacheDir_ = new testutil::TempDir("serve_test_cache");
         GeneratorSpec spec;
         spec.name = "serve-test";
         spec.rows = 4000;
@@ -251,7 +251,7 @@ class ServeFixture : public ::testing::Test
         spec.seed = 11;
         data_ = new Dataset(generateDataset(spec));
         engine_ = new MilvusLikeEngine(MilvusIndexKind::Hnsw);
-        engine_->prepare(*data_, *cacheDir_);
+        engine_->prepare(*data_, cacheDir_->path());
     }
 
     static void
@@ -259,7 +259,6 @@ class ServeFixture : public ::testing::Test
     {
         delete engine_;
         delete data_;
-        std::filesystem::remove_all(*cacheDir_);
         delete cacheDir_;
         engine_ = nullptr;
         data_ = nullptr;
@@ -313,12 +312,12 @@ class ServeFixture : public ::testing::Test
 
     static Dataset *data_;
     static MilvusLikeEngine *engine_;
-    static std::string *cacheDir_;
+    static testutil::TempDir *cacheDir_;
 };
 
 Dataset *ServeFixture::data_ = nullptr;
 MilvusLikeEngine *ServeFixture::engine_ = nullptr;
-std::string *ServeFixture::cacheDir_ = nullptr;
+testutil::TempDir *ServeFixture::cacheDir_ = nullptr;
 
 TEST_F(ServeFixture, SearchMatchesInProcessResults)
 {
@@ -763,7 +762,7 @@ TEST_F(ServeFixture, ConcurrentSearchesRaceStreamingMutations)
 {
     // Fresh engine: liveAdd/liveMarkDeleted change its contents.
     MilvusLikeEngine engine(MilvusIndexKind::Hnsw);
-    engine.prepare(*data_, *cacheDir_);
+    engine.prepare(*data_, cacheDir_->path());
     serve::EngineGate gate(engine);
 
     constexpr std::size_t kSearchers = 4;
@@ -834,7 +833,8 @@ TEST_F(ServeFixture, ConcurrentSearchesShareNodeCacheUnderMutations)
     const storage::IoOptions saved = storage::defaultIoOptions();
     storage::IoOptions io = saved;
     io.kind = storage::IoBackendKind::File;
-    io.spill_dir = "./serve_test_cache_nodecache";
+    const testutil::TempDir nodecache_dir("serve_test_nodecache");
+    io.spill_dir = nodecache_dir.path();
     io.node_cache.capacity_bytes = 4u << 20;
     io.node_cache.warm_nodes = 32;
     storage::setDefaultIoOptions(io);
@@ -894,13 +894,12 @@ TEST_F(ServeFixture, ConcurrentSearchesShareNodeCacheUnderMutations)
     EXPECT_GT(stats.hits, 0u);
     EXPECT_EQ(stats.lookups, stats.hits + stats.misses);
 
-    std::filesystem::remove_all("./serve_test_cache_nodecache");
 }
 
 TEST_F(ServeFixture, ServerSearchesDuringLiveMutations)
 {
     MilvusLikeEngine engine(MilvusIndexKind::Hnsw);
-    engine.prepare(*data_, *cacheDir_);
+    engine.prepare(*data_, cacheDir_->path());
     serve::AnnServer server(engine, baseConfig());
     server.start();
 

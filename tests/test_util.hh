@@ -7,6 +7,9 @@
 #ifndef ANN_TESTS_TEST_UTIL_HH
 #define ANN_TESTS_TEST_UTIL_HH
 
+#include <cstdlib>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "common/rng.hh"
@@ -14,6 +17,50 @@
 #include "distance/topk.hh"
 
 namespace ann::testutil {
+
+/**
+ * RAII scratch directory for tests that spill to real files: created
+ * under the system temp root (honours $TMPDIR) so artifacts never
+ * land in the repo checkout, removed recursively on destruction.
+ * Hold one in a function-local static to share a directory across
+ * the tests of a binary — it is cleaned up at process exit.
+ */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+    {
+        std::string tmpl =
+            (std::filesystem::temp_directory_path() /
+             (tag + ".XXXXXX"))
+                .string();
+        if (::mkdtemp(tmpl.data()) == nullptr) {
+            // Fall back to a fixed name under the temp root; still
+            // outside the checkout.
+            tmpl = (std::filesystem::temp_directory_path() / tag)
+                       .string();
+            std::filesystem::create_directories(tmpl);
+        }
+        path_ = tmpl;
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path_, ec);
+    }
+    TempDir(const TempDir &) = delete;
+    TempDir &operator=(const TempDir &) = delete;
+
+    const std::string &path() const { return path_; }
+    /** Path of a child entry inside the directory. */
+    std::string sub(const std::string &name) const
+    {
+        return path_ + "/" + name;
+    }
+
+  private:
+    std::string path_;
+};
 
 /** Gaussian-mixture dataset resembling embedding workloads. */
 struct TestData

@@ -21,6 +21,7 @@
 #include "index/diskann_index.hh"
 #include "index/spann_index.hh"
 #include "storage/io_backend.hh"
+#include "test_util.hh"
 #include "workload/generator.hh"
 
 namespace ann {
@@ -216,8 +217,8 @@ class ParallelExecFixture : public ::testing::Test
     static void
     SetUpTestSuite()
     {
-        ::setenv("ANN_CACHE_DIR", "./threading_test_cache", 1);
-        std::filesystem::create_directories("./threading_test_cache");
+        cacheDir_ = new testutil::TempDir("threading_test_cache");
+        ::setenv("ANN_CACHE_DIR", cacheDir_->path().c_str(), 1);
         workload::GeneratorSpec spec;
         spec.name = "threading-test";
         spec.rows = 2000;
@@ -229,9 +230,9 @@ class ParallelExecFixture : public ::testing::Test
         data_ = new workload::Dataset(generateDataset(spec));
         diskann_ = new engine::MilvusLikeEngine(
             engine::MilvusIndexKind::DiskAnn);
-        diskann_->prepare(*data_, "./threading_test_cache");
+        diskann_->prepare(*data_, cacheDir_->path());
         hnsw_ = new engine::QdrantLikeEngine();
-        hnsw_->prepare(*data_, "./threading_test_cache");
+        hnsw_->prepare(*data_, cacheDir_->path());
     }
     static void
     TearDownTestSuite()
@@ -242,18 +243,22 @@ class ParallelExecFixture : public ::testing::Test
         hnsw_ = nullptr;
         diskann_ = nullptr;
         data_ = nullptr;
-        std::filesystem::remove_all("./threading_test_cache");
+        delete cacheDir_;
+        cacheDir_ = nullptr;
+        ::unsetenv("ANN_CACHE_DIR");
         ::unsetenv("ANN_CACHE_DIR");
     }
 
     static workload::Dataset *data_;
     static engine::MilvusLikeEngine *diskann_;
     static engine::QdrantLikeEngine *hnsw_;
+    static testutil::TempDir *cacheDir_;
 };
 
 workload::Dataset *ParallelExecFixture::data_ = nullptr;
 engine::MilvusLikeEngine *ParallelExecFixture::diskann_ = nullptr;
 engine::QdrantLikeEngine *ParallelExecFixture::hnsw_ = nullptr;
+testutil::TempDir *ParallelExecFixture::cacheDir_ = nullptr;
 
 TEST_F(ParallelExecFixture, DiskAnnParallelMatchesSerial)
 {
@@ -327,7 +332,7 @@ TEST_F(ParallelExecFixture, DiskAnnBackendsBitIdenticalAcrossBeamWidths)
     std::vector<storage::IoOptions> modes;
     storage::IoOptions file_mode;
     file_mode.kind = storage::IoBackendKind::File;
-    file_mode.spill_dir = "./threading_test_cache";
+    file_mode.spill_dir = cacheDir_->path();
     modes.push_back(file_mode);
     storage::IoOptions serial_mode = file_mode;
     serial_mode.queue_depth = 1;
@@ -393,7 +398,7 @@ TEST_F(ParallelExecFixture, SpannBackendsBitIdentical)
 
     storage::IoOptions file_mode;
     file_mode.kind = storage::IoBackendKind::File;
-    file_mode.spill_dir = "./threading_test_cache";
+    file_mode.spill_dir = cacheDir_->path();
     storage::IoOptions uring_mode = file_mode;
     uring_mode.kind = storage::IoBackendKind::Uring;
 
@@ -443,7 +448,7 @@ TEST_F(ParallelExecFixture, DiskAnnNodeCacheBitIdenticalAcrossBackends)
 
     storage::IoOptions cached_file;
     cached_file.kind = storage::IoBackendKind::File;
-    cached_file.spill_dir = "./threading_test_cache";
+    cached_file.spill_dir = cacheDir_->path();
     cached_file.node_cache.capacity_bytes = 4 * 1024 * 1024;
     // Small on purpose: the 2000-node graph packs into ~65 sectors,
     // so a big warm set would blanket the file and leave no misses
@@ -521,7 +526,7 @@ TEST_F(ParallelExecFixture, SpannNodeCacheBitIdentical)
 
     storage::IoOptions cached_file;
     cached_file.kind = storage::IoBackendKind::File;
-    cached_file.spill_dir = "./threading_test_cache";
+    cached_file.spill_dir = cacheDir_->path();
     cached_file.node_cache.capacity_bytes = 8 * 1024 * 1024;
     cached_file.node_cache.warm_nodes = 100; // ignored by SPANN
     index.setIoMode(cached_file);
@@ -569,12 +574,12 @@ TEST_F(ParallelExecFixture, EngineOutputsIdenticalUnderFileBackend)
 
     storage::IoOptions file_mode;
     file_mode.kind = storage::IoBackendKind::File;
-    file_mode.spill_dir = "./threading_test_cache";
+    file_mode.spill_dir = cacheDir_->path();
     storage::setDefaultIoOptions(file_mode);
     // Fresh engine: prepare() reloads the cached index through the
     // streaming load path onto the file backend.
     engine::MilvusLikeEngine engine(engine::MilvusIndexKind::DiskAnn);
-    engine.prepare(*data_, "./threading_test_cache");
+    engine.prepare(*data_, cacheDir_->path());
     const auto real_io = core::runAllQueries(engine, *data_, settings,
                                              data_->num_queries, 4);
     storage::IoOptions memory_mode;
@@ -654,7 +659,7 @@ TEST_F(ParallelExecFixture, ToggleCombinationsBitIdenticalOnRealIo)
     mode.kind = storage::uringSupported()
                     ? storage::IoBackendKind::Uring
                     : storage::IoBackendKind::File;
-    mode.spill_dir = "./threading_test_cache";
+    mode.spill_dir = cacheDir_->path();
     index.setIoMode(mode);
 
     setScratchReuseEnabled(false);

@@ -22,6 +22,7 @@
 
 #include "common/args.hh"
 #include "common/error.hh"
+#include "common/rss.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "core/bench_runner.hh"
@@ -76,6 +77,10 @@ printUsage()
         "                      (default: $ANN_IO_QUEUE_DEPTH or 32)\n"
         "  --node-cache-mb N   sector-cache capacity per index (MiB;\n"
         "                      0 = off, default $ANN_NODE_CACHE_MB)\n"
+        "  --mem-budget-mb N   DRAM budget for index state; tiers\n"
+        "                      above it (PQ codes, IVF payload) spill\n"
+        "                      to storage (default $ANN_MEM_BUDGET_MB;\n"
+        "                      0 = unlimited)\n"
         "  --warm-nodes N      nodes BFS-warmed from the medoid "
         "(DiskANN\n"
         "                      only, default $ANN_WARM_NODES)\n"
@@ -148,6 +153,11 @@ runBench(const ann::ArgParser &args)
             io.node_cache.warm_nodes =
                 static_cast<std::size_t>(std::max<std::int64_t>(
                     0, args.getInt("warm-nodes", 0)));
+        if (args.has("mem-budget-mb"))
+            io.mem_budget_bytes =
+                static_cast<std::size_t>(std::max<std::int64_t>(
+                    0, args.getInt("mem-budget-mb", 0))) *
+                (1u << 20);
         storage::setDefaultIoOptions(io);
         if (io.kind != storage::IoBackendKind::Memory)
             std::printf("io backend: %s (queue depth %u, node cache "
@@ -228,7 +238,8 @@ runBench(const ann::ArgParser &args)
     table.setHeader({"threads", "QPS", "mean (us)", "P99 (us)",
                      "P99.9 (us)", "recall@10", "CPU %", "read MiB/s",
                      "MiB/query", "eff QD", "hit %", "MiB saved",
-                     "build (s)", "warm (s)", "measure (s)"});
+                     "res MiB", "peak RSS MiB", "build (s)",
+                     "warm (s)", "measure (s)"});
     const bool want_trace = args.has("trace");
     const bool drop_caches = args.flag("drop-caches");
     bool first_row = true;
@@ -270,6 +281,13 @@ runBench(const ann::ArgParser &args)
                       eff_qd > 0.0 ? formatDouble(eff_qd, 2) : "-",
                       core::fmtHitRate(m.cache),
                       core::fmtMibSaved(m.cache),
+                      formatDouble(
+                          static_cast<double>(engine->memoryBytes()) /
+                              (1024.0 * 1024.0),
+                          1),
+                      formatDouble(static_cast<double>(peakRssBytes()) /
+                                       (1024.0 * 1024.0),
+                                   1),
                       // Build/warm happen once; charge them to the
                       // first sweep point so row sums stay honest.
                       first_row ? formatDouble(build_s, 2) : "-",
@@ -329,7 +347,8 @@ main(int argc, char **argv)
     ArgParser args({"setup", "dataset", "threads", "exec-threads", "k",
                     "nprobe", "ef-search", "search-list", "beam-width",
                     "io-backend", "io-queue-depth", "node-cache-mb",
-                    "warm-nodes", "layout", "duration-ms", "trace",
+                    "mem-budget-mb", "warm-nodes", "layout",
+                    "duration-ms", "trace",
                     "learn-dump", "learn-model"},
                    {"help", "verify-exec", "drop-caches",
                     "pin-threads", "learned-entry", "early-stop",

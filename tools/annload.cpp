@@ -222,6 +222,25 @@ runLoad(const ann::ArgParser &args)
     }
     table.print(std::cout);
 
+    // Server-side memory picture at drain time: how much index state
+    // is DRAM-resident (drops under $ANN_MEM_BUDGET_MB), the server's
+    // peak RSS, and — when PQ codes are spilled — the code-page
+    // cache's hit rate over the whole sweep.
+    const serve::MetricsSnapshot drain = metrics_client.metrics();
+    std::printf("server memory: resident index %.1f MiB, "
+                "peak RSS %.1f MiB\n",
+                static_cast<double>(drain.resident_index_bytes) /
+                    (1024.0 * 1024.0),
+                static_cast<double>(drain.peak_rss_bytes) /
+                    (1024.0 * 1024.0));
+    if (drain.code_cache_lookups > 0)
+        std::printf("code cache: %llu lookups, %.1f%% hit\n",
+                    static_cast<unsigned long long>(
+                        drain.code_cache_lookups),
+                    100.0 *
+                        static_cast<double>(drain.code_cache_hits) /
+                        static_cast<double>(drain.code_cache_lookups));
+
     if (!progressed) {
         std::fprintf(stderr,
                      "annload: no request completed successfully\n");

@@ -76,6 +76,10 @@ printUsage()
         "  --io-backend NAME   node-file I/O backend: memory|file|"
         "uring\n"
         "  --io-queue-depth N  in-flight requests per real-I/O batch\n"
+        "  --mem-budget-mb N   DRAM budget for index state; tiers\n"
+        "                      PQ codes / posting payloads onto the\n"
+        "                      I/O backend when exceeded (0 = all\n"
+        "                      resident; overrides $ANN_MEM_BUDGET_MB)\n"
         "  --node-cache-mb N   sector-cache capacity per index (MiB;\n"
         "                      0 = off, default $ANN_NODE_CACHE_MB)\n"
         "  --async-beam        pipelined beam search: score nodes as\n"
@@ -129,6 +133,11 @@ runServe(const ann::ArgParser &args)
             io.node_cache.warm_nodes =
                 static_cast<std::size_t>(std::max<std::int64_t>(
                     0, args.getInt("warm-nodes", 0)));
+        if (args.has("mem-budget-mb"))
+            io.mem_budget_bytes =
+                static_cast<std::size_t>(std::max<std::int64_t>(
+                    0, args.getInt("mem-budget-mb", 0))) *
+                (1u << 20);
         storage::setDefaultIoOptions(io);
     }
     if (args.flag("async-beam"))
@@ -272,6 +281,20 @@ runServe(const ann::ArgParser &args)
                     static_cast<double>(m.cache_bytes_saved) /
                         (1024.0 * 1024.0),
                     static_cast<unsigned long long>(m.cache_deduped));
+    std::printf("annserve: resident index %.1f MiB, peak RSS %.1f "
+                "MiB\n",
+                static_cast<double>(m.resident_index_bytes) /
+                    (1024.0 * 1024.0),
+                static_cast<double>(m.peak_rss_bytes) /
+                    (1024.0 * 1024.0));
+    if (m.code_cache_lookups > 0)
+        std::printf("annserve: code cache: %llu lookups, %llu hits "
+                    "(%.1f%%)\n",
+                    static_cast<unsigned long long>(
+                        m.code_cache_lookups),
+                    static_cast<unsigned long long>(m.code_cache_hits),
+                    100.0 * static_cast<double>(m.code_cache_hits) /
+                        static_cast<double>(m.code_cache_lookups));
     if (m.learned_entry != 0 || m.learned_early_stop != 0 ||
         !m.learned_model.empty())
         std::printf("annserve: learned policies: entry=%s "
@@ -292,6 +315,7 @@ main(int argc, char **argv)
     ArgParser args({"setup", "dataset", "bind", "port", "queue-limit",
                     "max-batch", "exec-threads", "max-connections",
                     "io-backend", "io-queue-depth", "node-cache-mb",
+                    "mem-budget-mb",
                     "warm-nodes", "layout", "shard", "topology",
                     "replica", "debug-slow-every", "debug-slow-us"},
                    {"help", "pin-threads", "async-beam", "io-pooled"});
